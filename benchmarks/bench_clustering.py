@@ -1,0 +1,78 @@
+"""E1 — Lemma 2.3 / Figure 2: exponential start time clustering.
+
+Claims measured:
+* each edge crosses the clusters with probability <= 1/beta;
+* cluster diameter O(beta log n) (measured radius);
+* O(n) work, O(beta log n) depth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import est_clustering
+from repro.graphs import delaunay_graph
+
+from conftest import report
+
+N = 3000
+
+
+@pytest.mark.parametrize("beta", [2, 4, 8, 16])
+def test_edge_cut_probability(benchmark, beta):
+    g = delaunay_graph(N, seed=0).graph
+
+    def run():
+        return [
+            est_clustering(g, beta=beta, seed=s)[0].cut_fraction(g)
+            for s in range(10)
+        ]
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean = float(np.mean(fractions))
+    report(
+        "E1-cut", beta=beta, measured=round(mean, 4),
+        bound=round(1 / beta, 4),
+    )
+    benchmark.extra_info.update(beta=beta, cut_fraction=mean)
+    assert mean <= 1.25 / beta  # Lemma 2.3 bound (Monte Carlo slack)
+
+
+@pytest.mark.parametrize("beta", [2, 8])
+def test_radius_and_cost(benchmark, beta):
+    g = delaunay_graph(N, seed=1).graph
+
+    def run():
+        return est_clustering(g, beta=beta, seed=3)
+
+    clustering, cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = 4 * beta * np.log(g.n)
+    report(
+        "E1-radius", beta=beta, radius=clustering.radius,
+        bound=round(bound, 1), clusters=clustering.count,
+        work=cost.work, depth=cost.depth,
+    )
+    assert clustering.radius <= bound
+    assert cost.work <= 8 * (g.n + g.m)  # O(n) work
+    assert cost.depth <= clustering.radius + 2  # one round per level
+
+
+def test_cut_probability_scales_inversely(benchmark):
+    def _experiment():
+        """Doubling beta should roughly halve the cut fraction."""
+        g = delaunay_graph(N, seed=2).graph
+        means = []
+        for beta in (2, 4, 8, 16):
+            fr = [
+                est_clustering(g, beta=beta, seed=s)[0].cut_fraction(g)
+                for s in range(8)
+            ]
+            means.append(np.mean(fr))
+        report("E1-inverse", betas=[2, 4, 8, 16],
+               cuts=[round(float(m), 4) for m in means])
+        for a, b in zip(means, means[1:]):
+            assert b < a  # strictly decreasing
+        assert means[0] / means[-1] >= 3  # ~8x expected, allow slack
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+

@@ -1,0 +1,94 @@
+"""E2 — Theorem 2.4 / Figure 3: the Parallel Treewidth k-d cover.
+
+Claims measured:
+* every piece's decomposition width <= 3(d+1) + 2 (3d + stellation slack);
+* every vertex lies in at most d + 1 pieces;
+* a fixed occurrence is captured with probability >= 1/2;
+* O(nd) work and O(k log n) depth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import iter_isomorphisms
+from repro.graphs import triangulated_grid
+from repro.isomorphism import treewidth_cover, triangle
+from repro.planar import embed_geometric
+
+from conftest import report
+
+
+@pytest.mark.parametrize("d", [1, 2, 3])
+def test_width_and_membership(benchmark, d):
+    gg = triangulated_grid(30, 30)
+    emb, _ = embed_geometric(gg)
+
+    def run():
+        return treewidth_cover(gg.graph, emb, k=4, d=d, seed=0)
+
+    cover = benchmark.pedantic(run, rounds=1, iterations=1)
+    counts = cover.pieces_per_vertex(gg.graph.n)
+    report(
+        "E2-width", d=d, max_width=cover.max_width(),
+        bound=3 * (d + 1) + 2, max_membership=int(counts.max()),
+        membership_bound=d + 1, pieces=len(cover.pieces),
+        work=cover.cost.work, depth=cover.cost.depth,
+    )
+    benchmark.extra_info.update(d=d, max_width=cover.max_width())
+    assert cover.max_width() <= 3 * (d + 1) + 2
+    assert counts.max() <= d + 1
+    assert counts.min() >= 1
+
+
+def test_capture_probability(benchmark):
+    def _experiment():
+        gg = triangulated_grid(12, 12)
+        emb, _ = embed_geometric(gg)
+        pattern = triangle()
+        occurrence = set(next(iter_isomorphisms(pattern, gg.graph)).values())
+        trials, hits = 60, 0
+        for s in range(trials):
+            cover = treewidth_cover(gg.graph, emb, pattern.k, 1, seed=s)
+            if any(
+                occurrence <= set(p.originals.tolist()) for p in cover.pieces
+            ):
+                hits += 1
+        report("E2-capture", hits=hits, trials=trials,
+               rate=round(hits / trials, 3), bound=0.5)
+        assert hits / trials >= 0.5
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+
+def test_work_scales_with_nd(benchmark):
+    def _experiment():
+        gg_small = triangulated_grid(20, 20)
+        gg_large = triangulated_grid(40, 40)
+        rows = []
+        for gg in (gg_small, gg_large):
+            emb, _ = embed_geometric(gg)
+            for d in (1, 3):
+                cover = treewidth_cover(gg.graph, emb, 4, d, seed=1)
+                rows.append((gg.graph.n, d, cover.cost.work))
+        report("E2-work", rows=rows)
+        # 4x vertices at fixed d: work within ~6x; 3x d at fixed n: within ~4x.
+        by = {(n, d): w for n, d, w in rows}
+        assert by[(1600, 1)] / by[(400, 1)] <= 7
+        assert by[(400, 3)] / by[(400, 1)] <= 5
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+
+def test_depth_polylogarithmic(benchmark):
+    gg = triangulated_grid(45, 45)
+    emb, _ = embed_geometric(gg)
+    k = 4
+
+    def run():
+        return treewidth_cover(gg.graph, emb, k, 2, seed=2)
+
+    cover = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = 30 * k * np.log2(gg.graph.n)
+    report("E2-depth", n=gg.graph.n, depth=cover.cost.depth,
+           bound=round(bound))
+    assert cover.cost.depth <= bound

@@ -1,0 +1,97 @@
+"""E10 — Lemma 5.3 / Figure 7: separating subgraph isomorphism.
+
+Claims measured:
+* the extended state space costs a 2^O(k) factor over the plain one
+  (state-count ratio per node);
+* the separating-cover minors preserve separation (driver verdicts match
+  the global brute-force oracle);
+* the parallel engine's depth on the extended space stays poly-log
+  (exercised end to end on a small instance).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import grid_graph
+from repro.isomorphism import (
+    SubgraphStateSpace,
+    parallel_dp,
+    path_pattern,
+    sequential_dp,
+)
+from repro.planar import embed_geometric
+from repro.separating import (
+    SeparatingStateSpace,
+    decide_separating_isomorphism,
+    has_separating_occurrence,
+)
+from repro.treedecomp import make_nice, minfill_decomposition
+
+from conftest import report
+
+
+def test_state_blowup_factor(benchmark):
+    g = grid_graph(4, 6).graph
+    marked = np.ones(g.n, dtype=bool)
+    pattern = path_pattern(3)
+    td, _ = minfill_decomposition(g)
+    nice, _ = make_nice(td)
+    plain = SubgraphStateSpace(pattern, g)
+    extended = SeparatingStateSpace(pattern, g, marked)
+
+    def run():
+        return parallel_dp(plain, nice), parallel_dp(extended, nice)
+
+    plain_result, extended_result = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    ratio = extended_result.total_states / max(plain_result.total_states, 1)
+    bound = 2 ** (nice.width() + 1) * 4
+    report(
+        "E10-blowup", plain_states=plain_result.total_states,
+        extended_states=extended_result.total_states,
+        ratio=round(ratio, 1), paper_factor=f"2^O(k) (<= {bound})",
+    )
+    assert ratio <= bound
+
+
+@pytest.mark.parametrize("cols", [5, 7, 9])
+def test_driver_matches_oracle(benchmark, cols):
+    gg = grid_graph(3, cols)
+    emb, _ = embed_geometric(gg)
+    marked = np.ones(gg.graph.n, dtype=bool)
+    pattern = path_pattern(3)
+
+    def run():
+        return decide_separating_isomorphism(
+            gg.graph, emb, marked, pattern, seed=0,
+            engine="sequential", rounds=3,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    expect = has_separating_occurrence(pattern, gg.graph, marked)
+    report(
+        "E10-oracle", cols=cols, ours=result.found, oracle=expect,
+        work=result.cost.work, width=result.max_piece_width,
+    )
+    assert result.found == expect
+
+
+def test_parallel_engine_depth(benchmark):
+    def _experiment():
+        gg = grid_graph(3, 16)
+        emb, _ = embed_geometric(gg)
+        marked = np.ones(gg.graph.n, dtype=bool)
+        result = decide_separating_isomorphism(
+            gg.graph, emb, marked, path_pattern(3), seed=1,
+            engine="parallel", rounds=1,
+        )
+        n = gg.graph.n
+        bound = 100 * 3 * np.log2(n) ** 2
+        report("E10-depth", n=n, depth=result.cost.depth, bound=round(bound),
+               found=result.found)
+        assert result.cost.depth <= bound
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+

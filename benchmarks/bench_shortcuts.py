@@ -1,0 +1,87 @@
+"""E4 — Lemma 3.3 / Figure 5: shortcuts make reachability low-depth.
+
+Claims measured on long decomposition paths (path graphs -> chain-shaped
+nice decompositions):
+* BFS over the shortcut DAG needs O(k log N) rounds while the DAG itself
+  has Omega(N) diameter;
+* the number of shortcut edges stays linear in the DAG size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import path_graph
+from repro.isomorphism import (
+    SubgraphStateSpace,
+    parallel_dp,
+    path_pattern,
+    sequential_dp,
+)
+from repro.treedecomp import make_nice, minfill_decomposition
+
+from conftest import report
+
+
+def engine_inputs(n, k):
+    g = path_graph(n).graph
+    td, _ = minfill_decomposition(g)
+    nice, _ = make_nice(td)
+    return SubgraphStateSpace(path_pattern(k), g), nice
+
+
+@pytest.mark.parametrize("n", [200, 800, 3200])
+def test_bfs_rounds_logarithmic(benchmark, n):
+    space, nice = engine_inputs(n, k=3)
+
+    def run():
+        return parallel_dp(space, nice)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.found
+    bound = 12 * 3 * np.log2(result.total_states + 2)
+    report(
+        "E4-rounds", n=n, dag_states=result.total_states,
+        bfs_rounds=result.max_bfs_rounds, bound=round(bound, 1),
+        shortcuts=result.total_shortcuts,
+    )
+    benchmark.extra_info.update(n=n, rounds=result.max_bfs_rounds)
+    assert result.max_bfs_rounds <= bound
+    # Shortcut count stays linear in the DAG size (work efficiency).
+    assert result.total_shortcuts <= 3 * result.total_states
+
+
+def test_rounds_grow_logarithmically_not_linearly(benchmark):
+    def _experiment():
+        rows = []
+        for n in (200, 800, 3200):
+            space, nice = engine_inputs(n, k=3)
+            result = parallel_dp(space, nice)
+            rows.append((n, result.max_bfs_rounds, result.total_states))
+        report("E4-scaling", rows=rows)
+        # 16x more states, rounds grow by at most a small additive term.
+        assert rows[-1][1] <= rows[0][1] + 14
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+
+def test_depth_vs_sequential(benchmark):
+    def _experiment():
+        """The whole point: parallel depth poly-log vs sequential linear."""
+        rows = []
+        for n in (400, 1600):
+            space, nice = engine_inputs(n, k=3)
+            par = parallel_dp(space, nice)
+            seq = sequential_dp(space, nice)
+            rows.append(
+                (n, par.cost.depth, seq.cost.depth,
+                 round(seq.cost.depth / par.cost.depth, 1))
+            )
+        report("E4-depth", rows=rows)
+        # The ratio must grow with n.
+        assert rows[1][3] > rows[0][3]
+        for _, par_d, seq_d, _ in rows:
+            assert par_d < seq_d / 5
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+

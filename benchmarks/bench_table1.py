@@ -1,0 +1,146 @@
+"""T1 — Table 1, measured: work & depth of the planar subgraph isomorphism
+algorithms.
+
+Paper's claims (Table 1):
+
+==============  ==========================  ==================
+algorithm       work                        depth
+==============  ==========================  ==================
+color coding    e^k n^Theta(sqrt k) log n   Theta(k log n)
+Eppstein        O(2^(3k log(3k+1)) n)       Theta(k n)
+this paper      O((3k)^(3k+1) n log n)      O(k log^2 n)
+==============  ==========================  ==================
+
+We measure the charged work/depth of our pipeline (parallel engine),
+Eppstein's sequential algorithm, and the color-coding comparator over an n
+sweep, and assert the shapes: everyone's work grows near-linearly with n,
+Eppstein's depth grows linearly while ours stays poly-logarithmic.  Host
+wall-clock is what pytest-benchmark records.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import color_coding_decide, eppstein_decide
+from repro.graphs import grid_graph
+from repro.isomorphism import (
+    cycle_pattern,
+    decide_subgraph_isomorphism,
+    triangle,
+)
+from repro.planar import embed_geometric
+
+from conftest import report
+
+SIZES = [256, 1024, 4096]
+
+
+def _target(n):
+    side = int(np.sqrt(n))
+    gg = grid_graph(side, side)
+    emb, _ = embed_geometric(gg)
+    return gg.graph, emb
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table1_this_paper(benchmark, n):
+    graph, emb = _target(n)
+    pattern = cycle_pattern(4)
+
+    def run():
+        return decide_subgraph_isomorphism(
+            graph, emb, pattern, seed=1, rounds=1
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.found
+    benchmark.extra_info.update(
+        n=n, work=result.cost.work, depth=result.cost.depth
+    )
+    report(
+        "T1-ours", n=n, k=pattern.k, work=result.cost.work,
+        depth=result.cost.depth,
+    )
+    # Depth claim O(k log^2 n): generous constant, but clearly sublinear.
+    assert result.cost.depth <= 60 * pattern.k * math.log2(n) ** 2
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table1_eppstein(benchmark, n):
+    graph, emb = _target(n)
+    pattern = cycle_pattern(4)
+
+    def run():
+        return eppstein_decide(graph, emb, pattern)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.found
+    benchmark.extra_info.update(
+        n=n, work=result.cost.work, depth=result.cost.depth
+    )
+    report(
+        "T1-eppstein", n=n, k=pattern.k, work=result.cost.work,
+        depth=result.cost.depth,
+    )
+    # Theta(k n) depth: at least linear in n.
+    assert result.cost.depth >= graph.n
+
+
+@pytest.mark.parametrize("n", SIZES[:2])
+def test_table1_color_coding(benchmark, n):
+    graph, emb = _target(n)
+    pattern = cycle_pattern(4)
+
+    def run():
+        return color_coding_decide(pattern, graph, seed=2, repetitions=40)
+
+    found, cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert found
+    benchmark.extra_info.update(n=n, work=cost.work, depth=cost.depth)
+    report("T1-colorcoding", n=n, k=pattern.k, work=cost.work,
+           depth=cost.depth)
+
+
+def test_table1_depth_crossover(benchmark):
+    def _experiment():
+        """The headline: ours' depth is poly-log, Eppstein's is linear — the
+        gap must widen with n."""
+        pattern = triangle()
+        ratios = []
+        for n in SIZES:
+            graph, emb = _target(n)
+            ours = decide_subgraph_isomorphism(
+                graph, emb, pattern, seed=0, rounds=1
+            )
+            seq = eppstein_decide(graph, emb, pattern)
+            ratios.append(seq.cost.depth / ours.cost.depth)
+            report(
+                "T1-depth-ratio", n=n,
+                ours=ours.cost.depth, eppstein=seq.cost.depth,
+                ratio=round(seq.cost.depth / ours.cost.depth, 1),
+            )
+        assert ratios[-1] > ratios[0] > 1
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+
+def test_table1_work_near_linear(benchmark):
+    def _experiment():
+        """Our work grows ~n log n: quadrupling n grows work by <= ~5.5x."""
+        pattern = triangle()
+        works = []
+        for n in SIZES:
+            graph, emb = _target(n)
+            result = decide_subgraph_isomorphism(
+                graph, emb, pattern, seed=3, rounds=1
+            )
+            works.append(result.cost.work)
+        for small, large in zip(works, works[1:]):
+            assert large / small <= 6.5
+        report("T1-work-scaling", works=works)
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+

@@ -1,0 +1,94 @@
+"""E3 — Lemma 3.2 / Appendix A / Figure 1: tree -> layered paths.
+
+Claims measured:
+* number of layers <= log2 n + 1;
+* vertices in layer i have no children in layers > i (validated);
+* O(n) work, O(log n) depth via tree contraction with the *corrected*
+  function family (the erratum note in repro.pram.layer_algebra).
+"""
+
+import numpy as np
+import pytest
+
+from repro.treedecomp import layered_paths, tree_layers_parallel
+
+from conftest import report
+
+NIL = -1
+
+
+def random_full_binary(n_internal, rng):
+    n = 2 * n_internal + 1
+    parent = np.full(n, NIL, dtype=np.int64)
+    leaves = [0]
+    nxt = 1
+    for _ in range(n_internal):
+        v = leaves.pop(int(rng.integers(0, len(leaves))))
+        parent[nxt] = v
+        parent[nxt + 1] = v
+        leaves.extend([nxt, nxt + 1])
+        nxt += 2
+    return parent
+
+
+@pytest.mark.parametrize("n_internal", [500, 2000, 8000])
+def test_layer_count_logarithmic(benchmark, n_internal):
+    rng = np.random.default_rng(7)
+    parent = random_full_binary(n_internal, rng)
+    n = parent.shape[0]
+
+    def run():
+        return layered_paths(parent, 0)
+
+    pd, cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = np.log2(n) + 1
+    report(
+        "E3-layers", n=n, layers=pd.num_layers, bound=round(bound, 1),
+        paths=sum(len(layer) for layer in pd.layers),
+    )
+    benchmark.extra_info.update(n=n, layers=pd.num_layers)
+    assert pd.num_layers <= bound
+    # Lemma 3.2's structural property.
+    for v in range(n):
+        p = int(parent[v])
+        if p != NIL:
+            assert pd.layer_of[p] >= pd.layer_of[v]
+
+
+@pytest.mark.parametrize("n_internal", [1000, 4000])
+def test_contraction_cost(benchmark, n_internal):
+    rng = np.random.default_rng(8)
+    parent = random_full_binary(n_internal, rng)
+    n = parent.shape[0]
+
+    def run():
+        return tree_layers_parallel(parent, 0)
+
+    layers, cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    lg = np.log2(n)
+    report(
+        "E3-contraction", n=n, work=cost.work, depth=cost.depth,
+        work_per_n=round(cost.work / n, 1), depth_bound=round(30 * lg),
+    )
+    assert cost.work <= 150 * n  # O(n) work
+    assert cost.depth <= 30 * lg  # O(log n) depth
+
+
+def test_pathological_caterpillar(benchmark):
+    def _experiment():
+        """A caterpillar stays in one layer (single path per tree)."""
+        n_internal = 3000
+        n = 2 * n_internal + 1
+        parent = np.full(n, NIL, dtype=np.int64)
+        node = 0
+        for i in range(n_internal):
+            parent[node + 2] = node  # spine child
+            parent[node + 1] = node  # leaf child
+            node += 2
+        pd, _ = layered_paths(parent, 0)
+        report("E3-caterpillar", n=n, layers=pd.num_layers)
+        assert pd.num_layers == 2  # leaves in layer 0, the spine in layer 1
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+

@@ -1,0 +1,100 @@
+"""E5 — Lemma 3.1 / Figure 4: the bounded-treewidth engines.
+
+Claims measured:
+* parallel and sequential engines produce identical valid-state sets
+  (correctness at scale);
+* per-node state count respects the (tau + 3)^k bound, and the measured
+  count is far below it (the sparse pruning);
+* work grows with the bag width tau as the bound predicts (steeply), while
+  staying linear in n at fixed tau.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import grid_graph
+from repro.isomorphism import (
+    SubgraphStateSpace,
+    cycle_pattern,
+    parallel_dp,
+    sequential_dp,
+    triangle,
+)
+from repro.treedecomp import make_nice, minfill_decomposition
+
+from conftest import report
+
+
+def inputs(rows, cols, pattern):
+    g = grid_graph(rows, cols).graph
+    td, _ = minfill_decomposition(g)
+    nice, _ = make_nice(td)
+    return g, SubgraphStateSpace(pattern, g), nice
+
+
+@pytest.mark.parametrize("cols", [40, 160])
+def test_work_linear_in_n_at_fixed_width(benchmark, cols):
+    g, space, nice = inputs(4, cols, cycle_pattern(4))
+
+    def run():
+        return sequential_dp(space, nice)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.found
+    report(
+        "E5-linear", n=g.n, tau=nice.width(), work=result.cost.work,
+        work_per_n=round(result.cost.work / g.n),
+    )
+    benchmark.extra_info.update(n=g.n, work=result.cost.work)
+
+
+def test_work_per_vertex_flat(benchmark):
+    def _experiment():
+        per_vertex = []
+        for cols in (40, 80, 160):
+            g, space, nice = inputs(4, cols, cycle_pattern(4))
+            result = sequential_dp(space, nice)
+            per_vertex.append(result.cost.work / g.n)
+        report("E5-per-vertex", per_vertex=[round(w) for w in per_vertex])
+        assert max(per_vertex) / min(per_vertex) <= 1.6
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("rows", [3, 4, 5])
+def test_state_bound(benchmark, rows):
+    pattern = triangle()
+    g, space, nice = inputs(rows, 12, pattern)
+
+    def run():
+        return parallel_dp(space, nice)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    tau = nice.width()
+    bound = nice.num_nodes * (tau + 3) ** pattern.k
+    report(
+        "E5-states", tau=tau, states=result.total_states,
+        paper_bound=bound,
+        fraction=round(result.total_states / bound, 5),
+    )
+    assert result.total_states <= bound
+
+
+def test_engines_agree_at_scale(benchmark):
+    def _experiment():
+        g, space, nice = inputs(5, 24, cycle_pattern(4))
+        seq = sequential_dp(space, nice)
+        par = parallel_dp(space, nice)
+        mismatches = sum(
+            1
+            for node in range(nice.num_nodes)
+            if set(par.valid[node]) != set(seq.valid[node])
+        )
+        report("E5-agreement", nodes=nice.num_nodes, mismatches=mismatches,
+               found=seq.found)
+        assert mismatches == 0
+        assert par.found == seq.found
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+

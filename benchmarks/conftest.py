@@ -1,0 +1,50 @@
+"""Shared fixtures/helpers for the benchmark harness.
+
+Every ``bench_*.py`` regenerates one experiment from DESIGN.md's index
+(measured analogue of the paper's Table 1 plus one experiment per
+lemma/theorem/figure).  Conventions:
+
+* heavy pipelines run once per measurement (``benchmark.pedantic`` with a
+  single round) — the interesting quantities are the *charged* work/depth,
+  recorded in ``benchmark.extra_info`` and printed as ``<id>| ...`` rows
+  (run ``pytest benchmarks/ --benchmark-only -s`` to see them);
+* each measurement also asserts the qualitative claim it reproduces (who
+  wins, how curves scale), so the harness doubles as a regression test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import delaunay_graph, grid_graph, triangulated_grid
+from repro.planar import embed_geometric
+
+
+@pytest.fixture(scope="session")
+def targets():
+    """A cache of embedded targets shared by the benchmarks."""
+    cache = {}
+
+    def get(kind: str, size: int, seed: int = 0):
+        key = (kind, size, seed)
+        if key not in cache:
+            if kind == "delaunay":
+                gg = delaunay_graph(size, seed=seed)
+            elif kind == "grid":
+                side = int(np.sqrt(size))
+                gg = grid_graph(side, side)
+            elif kind == "trigrid":
+                side = int(np.sqrt(size))
+                gg = triangulated_grid(side, side)
+            else:
+                raise ValueError(kind)
+            emb, _ = embed_geometric(gg)
+            cache[key] = (gg.graph, emb)
+        return cache[key]
+
+    return get
+
+
+def report(experiment: str, **fields):
+    """Print one table row for the experiment log."""
+    cells = " ".join(f"{k}={v}" for k, v in fields.items())
+    print(f"\n{experiment}| {cells}")

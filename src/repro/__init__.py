@@ -1,0 +1,21 @@
+"""repro — Parallel Planar Subgraph Isomorphism and Vertex Connectivity.
+
+A production-quality reproduction of Gianinazzi & Hoefler (SPAA 2020).  The
+public API lives at this top level; subpackages expose the substrates:
+
+- :mod:`repro.pram` — simulated CREW PRAM (work--depth accounting).
+- :mod:`repro.graphs` — CSR graphs, generators, BFS, connectivity.
+- :mod:`repro.planar` — rotation-system embeddings, faces, surgery.
+- :mod:`repro.cluster` — exponential start time clustering.
+- :mod:`repro.treedecomp` — tree decompositions (Baker, min-fill, nice form).
+- :mod:`repro.isomorphism` — the paper's core subgraph isomorphism engines.
+- :mod:`repro.separating` — S-separating subgraph isomorphism.
+- :mod:`repro.connectivity` — planar vertex connectivity.
+- :mod:`repro.baselines` — comparators from Table 1.
+"""
+
+__version__ = "1.0.0"
+
+from .pram import Cost, Tracker
+
+__all__ = ["Cost", "Tracker", "__version__"]

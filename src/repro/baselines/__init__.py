@@ -1,0 +1,27 @@
+"""Comparators: backtracking, Ullmann, color coding, naive covers,
+Eppstein's sequential algorithm (the Table 1 related work)."""
+
+from .backtracking import (
+    count_isomorphisms,
+    has_isomorphism,
+    iter_isomorphisms,
+)
+from .ullmann import ullmann_count, ullmann_has, ullmann_iter
+from .color_coding import color_coding_decide, colorful_tree_search
+from .naive_cover import NaiveBallCover, naive_ball_cover
+from .eppstein import EppsteinResult, eppstein_decide
+
+__all__ = [
+    "iter_isomorphisms",
+    "count_isomorphisms",
+    "has_isomorphism",
+    "ullmann_iter",
+    "ullmann_has",
+    "ullmann_count",
+    "color_coding_decide",
+    "colorful_tree_search",
+    "NaiveBallCover",
+    "naive_ball_cover",
+    "EppsteinResult",
+    "eppstein_decide",
+]

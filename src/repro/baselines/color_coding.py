@@ -1,0 +1,164 @@
+"""Color coding (Alon--Yuster--Zwick [2]) — Table 1, row 1.
+
+Color every target vertex independently with one of k colors; a fixed
+occurrence becomes *colorful* (all colors distinct) with probability
+k!/k^k >= e^-k, and colorful occurrences are found by a DP whose state is a
+color SET rather than a vertex set — the exponentially smaller state the
+paper credits the technique for.  For tree patterns the DP runs over the
+pattern's rooted tree in O(2^k m) per coloring; O(e^k log(1/eps))
+colorings make the Monte Carlo error at most eps.
+
+This comparator implements the tree-pattern variant (the paper's Table 1
+entry targets planar patterns of treewidth Theta(sqrt k) — for our
+benchmark patterns, paths and trees, the tree DP is the canonical form) and
+falls back to backtracking inside each colorful subgraph for non-tree
+patterns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..graphs.csr import Graph
+from ..isomorphism.pattern import Pattern
+from ..pram import Cost, Tracker, log2_ceil
+from .backtracking import has_isomorphism
+
+__all__ = ["color_coding_decide", "colorful_tree_search"]
+
+
+def _pattern_tree_order(pattern: Pattern) -> Optional[List[Tuple[int, int]]]:
+    """(vertex, parent) pairs of a rooted spanning order when the pattern
+    is a tree; None otherwise."""
+    k = pattern.k
+    if pattern.graph.m != k - 1 or not pattern.is_connected():
+        return None
+    order = [(0, -1)]
+    seen = {0}
+    queue = [0]
+    while queue:
+        u = queue.pop()
+        for w in pattern.neighbors(u):
+            if w not in seen:
+                seen.add(w)
+                order.append((w, u))
+                queue.append(w)
+    return order
+
+
+def colorful_tree_search(
+    pattern: Pattern, graph: Graph, colors: np.ndarray
+) -> bool:
+    """Does a colorful occurrence of the *tree* pattern exist under the
+    given coloring?  O(2^k (n + m)) set-DP."""
+    order = _pattern_tree_order(pattern)
+    if order is None:
+        raise ValueError("colorful_tree_search needs a tree pattern")
+    k = pattern.k
+    # states[p][v] = set of color-bitmasks achievable by embedding the
+    # subtree of p rooted at v.  Process pattern vertices in reverse order.
+    children: Dict[int, List[int]] = {p: [] for p in range(k)}
+    for p, parent in order:
+        if parent >= 0:
+            children[parent].append(p)
+    masks: Dict[int, List[Set[int]]] = {}
+    for p, _parent in reversed(order):
+        table: List[Set[int]] = [set() for _ in range(graph.n)]
+        for v in range(graph.n):
+            base = 1 << int(colors[v])
+            combos = {base}
+            for c in children[p]:
+                child_masks = masks[c]
+                nxt: Set[int] = set()
+                for w in graph.neighbors(v):
+                    for m in child_masks[int(w)]:
+                        for cur in combos:
+                            if not (cur & m):
+                                nxt.add(cur | m)
+                combos = nxt
+                if not combos:
+                    break
+            table[v] = combos
+        masks[p] = table
+    root = order[0][0]
+    full = (1 << k) - 1
+    # Any root placement achieving k distinct colors wins (colorful).
+    return any(
+        any(bin(m).count("1") == k for m in masks[root][v])
+        for v in range(graph.n)
+    )
+
+
+def color_coding_decide(
+    pattern: Pattern,
+    graph: Graph,
+    seed: int,
+    repetitions: Optional[int] = None,
+) -> Tuple[bool, Cost]:
+    """Monte Carlo decision via color coding.
+
+    ``repetitions`` defaults to ``ceil(e^k ln n)`` (absence w.h.p.).  Work
+    per repetition is charged at the paper's ``O(2^k m)`` for tree patterns
+    and at the backtracking cost otherwise.
+    """
+    k = pattern.k
+    n = graph.n
+    if repetitions is None:
+        repetitions = max(1, math.ceil(math.e**k * math.log(max(n, 2))))
+    rng = np.random.default_rng(seed)
+    tracker = Tracker()
+    is_tree = _pattern_tree_order(pattern) is not None
+    for _ in range(repetitions):
+        colors = rng.integers(0, k, size=n)
+        tracker.charge(
+            Cost(
+                max((2**k) * (n + graph.m), 1),
+                max(1, k * log2_ceil(max(n, 2))),
+            )
+        )
+        if is_tree:
+            found = colorful_tree_search(pattern, graph, colors)
+        else:
+            # Generic fallback: exhaustive search restricted to one color
+            # class per pattern vertex is equivalent to checking the
+            # colorful property on all occurrences; we simply search the
+            # whole graph and verify colorfulness via backtracking on the
+            # color-respecting candidate sets.
+            found = _colorful_backtracking(pattern, graph, colors)
+        if found:
+            return True, tracker.cost
+    return False, tracker.cost
+
+
+def _colorful_backtracking(
+    pattern: Pattern, graph: Graph, colors: np.ndarray
+) -> bool:
+    k = pattern.k
+    assignment: Dict[int, int] = {}
+    used_colors: Set[int] = set()
+
+    def backtrack(p: int) -> bool:
+        if p == k:
+            return True
+        for v in range(graph.n):
+            cv = int(colors[v])
+            if cv in used_colors:
+                continue
+            ok = True
+            for q in pattern.neighbors(p):
+                if q < p and not graph.has_edge(v, assignment[q]):
+                    ok = False
+                    break
+            if ok:
+                assignment[p] = v
+                used_colors.add(cv)
+                if backtrack(p + 1):
+                    return True
+                used_colors.discard(cv)
+                del assignment[p]
+        return False
+
+    return backtrack(0)

@@ -1,0 +1,60 @@
+"""The naive Theta(n^2)-size ball cover (Section 2's inefficient strawman).
+
+"A simple (but work-inefficient) approach ... would consist of building for
+every vertex in the target graph the subgraph induced by nodes at a distance
+at most d, and then invoking an algorithm for bounded treewidth graphs on
+each of those subgraphs.  This approach ... is inefficient because many
+vertices of the target graph could be in multiple (even all) of these
+subgraphs, leading to a total size of these subgraphs of Theta(n^2)."
+
+Implemented for the A2 ablation benchmark: it is *deterministic* and always
+captures every occurrence, but its total piece size (and hence work) grows
+quadratically where the clustering cover stays near-linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graphs.bfs import parallel_bfs
+from ..graphs.csr import Graph
+from ..pram import Cost, Tracker
+
+__all__ = ["NaiveBallCover", "naive_ball_cover"]
+
+
+@dataclass
+class NaiveBallCover:
+    """All radius-d balls: piece i is the ball around vertex i."""
+
+    pieces: List[Tuple[Graph, np.ndarray]]
+    total_piece_size: int
+    cost: Cost
+
+
+def naive_ball_cover(graph: Graph, d: int, seed: int = 0) -> NaiveBallCover:
+    """Build the ball cover (deterministic; ``seed`` accepted for interface
+    parity with the clustering cover)."""
+    if d < 0:
+        raise ValueError("need d >= 0")
+    tracker = Tracker()
+    pieces: List[Tuple[Graph, np.ndarray]] = []
+    total = 0
+    with tracker.parallel() as region:
+        for v in range(graph.n):
+            with region.branch() as branch:
+                res, cost = parallel_bfs(graph, [v])
+                branch.charge(cost)
+                ball = np.flatnonzero(
+                    (res.level >= 0) & (res.level <= d)
+                )
+                sub, originals = graph.induced_subgraph(ball)
+                branch.charge(Cost.step(max(sub.n + sub.m, 1)))
+                pieces.append((sub, originals))
+                total += sub.n
+    return NaiveBallCover(
+        pieces=pieces, total_piece_size=total, cost=tracker.cost
+    )

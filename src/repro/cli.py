@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Examples
+--------
+::
+
+    python -m repro decide  --target trigrid:12x12 --pattern triangle
+    python -m repro count   --target grid:8x8 --pattern cycle:4 --exact
+    python -m repro list    --target grid:6x6 --pattern cycle:4
+    python -m repro vc      --target antiprism:4
+    python -m repro vc      --target delaunay:200:7 --rounds 2
+
+Target specs: ``grid:RxC``, ``trigrid:RxC``, ``delaunay:N[:SEED]``,
+``cycle:N``, ``path:N``, ``wheel:RIM``, ``antiprism:K``, ``icosahedron``,
+``tree:N[:SEED]``, ``outerplanar:N[:SEED]``.
+
+Pattern specs: ``triangle``, ``path:K``, ``cycle:K``, ``star:LEAVES``,
+``clique:K``, ``diamond``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Tuple
+
+from .graphs.csr import Graph
+from .planar.embedding import PlanarEmbedding
+
+__all__ = ["main", "parse_target", "parse_pattern"]
+
+
+def parse_target(spec: str) -> Tuple[Graph, PlanarEmbedding]:
+    """Build the target graph + embedding from a CLI spec string."""
+    from . import graphs
+    from .planar import embed_geometric, embed_planar
+
+    name, *args = spec.split(":")
+    try:
+        if name == "grid":
+            r, c = args[0].split("x")
+            gg = graphs.grid_graph(int(r), int(c))
+        elif name == "trigrid":
+            r, c = args[0].split("x")
+            gg = graphs.triangulated_grid(int(r), int(c))
+        elif name == "delaunay":
+            seed = int(args[1]) if len(args) > 1 else 0
+            gg = graphs.delaunay_graph(int(args[0]), seed=seed)
+        elif name == "cycle":
+            gg = graphs.cycle_graph(int(args[0]))
+        elif name == "path":
+            gg = graphs.path_graph(int(args[0]))
+        elif name == "wheel":
+            gg = graphs.wheel_graph(int(args[0]))
+        elif name == "antiprism":
+            gg = graphs.antiprism_graph(int(args[0]))
+        elif name == "icosahedron":
+            g = graphs.icosahedron_graph().graph
+            return g, embed_planar(g)
+        elif name == "tree":
+            seed = int(args[1]) if len(args) > 1 else 0
+            g = graphs.random_tree(int(args[0]), seed=seed)
+            return g, embed_planar(g)
+        elif name == "outerplanar":
+            seed = int(args[1]) if len(args) > 1 else 0
+            gg = graphs.outerplanar_graph(int(args[0]), seed=seed)
+        else:
+            raise ValueError(f"unknown target family {name!r}")
+    except (IndexError, ValueError) as exc:
+        raise SystemExit(f"bad target spec {spec!r}: {exc}") from exc
+    emb, _ = embed_geometric(gg)
+    return gg.graph, emb
+
+
+def parse_pattern(spec: str):
+    """Build the pattern from a CLI spec string."""
+    from . import isomorphism as iso
+
+    name, *args = spec.split(":")
+    try:
+        if name == "triangle":
+            return iso.triangle()
+        if name == "path":
+            return iso.path_pattern(int(args[0]))
+        if name == "cycle":
+            return iso.cycle_pattern(int(args[0]))
+        if name == "star":
+            return iso.star_pattern(int(args[0]))
+        if name == "clique":
+            return iso.clique_pattern(int(args[0]))
+        if name == "diamond":
+            return iso.diamond()
+        raise ValueError(f"unknown pattern family {name!r}")
+    except (IndexError, ValueError) as exc:
+        raise SystemExit(f"bad pattern spec {spec!r}: {exc}") from exc
+
+
+def _cost_summary(cost) -> str:
+    return (
+        f"work={cost.work:,} depth={cost.depth:,} "
+        f"parallelism={cost.parallelism():,.0f} "
+        f"T(64 procs)={cost.brent_time(64):,}"
+    )
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel planar subgraph isomorphism & vertex "
+        "connectivity (SPAA 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, pattern=True):
+        p.add_argument("--target", required=True, help="target graph spec")
+        if pattern:
+            p.add_argument(
+                "--pattern", required=True, help="pattern spec"
+            )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--rounds", type=int, default=None)
+        p.add_argument(
+            "--engine", choices=["parallel", "sequential"],
+            default=None,
+        )
+
+    common(sub.add_parser("decide", help="decide occurrence (Thm 2.1)"))
+    count_p = sub.add_parser("count", help="count occurrences")
+    common(count_p)
+    count_p.add_argument(
+        "--exact", action="store_true",
+        help="deterministic exact counting (window inclusion-exclusion)",
+    )
+    common(sub.add_parser("list", help="list all occurrences (Thm 4.2)"))
+    common(sub.add_parser("vc", help="vertex connectivity (Lemma 5.2)"),
+           pattern=False)
+
+    args = parser.parse_args(argv)
+    graph, embedding = parse_target(args.target)
+    print(f"target: {args.target} (n={graph.n}, m={graph.m})")
+    t0 = time.perf_counter()
+
+    if args.command == "decide":
+        from .isomorphism import find_occurrence
+
+        pattern = parse_pattern(args.pattern)
+        result = find_occurrence(
+            graph, embedding, pattern, seed=args.seed,
+            engine=args.engine or "parallel", rounds=args.rounds,
+        )
+        print(f"found: {result.found}")
+        if result.witness:
+            print(f"witness: {result.witness}")
+        print(_cost_summary(result.cost))
+    elif args.command == "count":
+        pattern = parse_pattern(args.pattern)
+        if args.exact:
+            from .isomorphism import count_occurrences_exact
+
+            result = count_occurrences_exact(graph, embedding, pattern)
+            print(f"isomorphisms (exact, deterministic): "
+                  f"{result.isomorphisms}")
+            print(_cost_summary(result.cost))
+        else:
+            from .isomorphism import list_occurrences
+
+            listing = list_occurrences(
+                graph, embedding, pattern, seed=args.seed,
+                engine=args.engine or "parallel",
+            )
+            print(f"isomorphisms (w.h.p.): {len(listing.witnesses)}")
+            print(f"distinct occurrences:  {len(listing.occurrences)}")
+            print(_cost_summary(listing.cost))
+    elif args.command == "list":
+        from .isomorphism import list_occurrences
+
+        pattern = parse_pattern(args.pattern)
+        listing = list_occurrences(
+            graph, embedding, pattern, seed=args.seed,
+            engine=args.engine or "parallel",
+        )
+        print(f"occurrences: {len(listing.occurrences)} "
+              f"({listing.iterations} iterations)")
+        for image in sorted(listing.occurrences, key=sorted)[:20]:
+            print(f"  {sorted(image)}")
+        if len(listing.occurrences) > 20:
+            print(f"  ... and {len(listing.occurrences) - 20} more")
+        print(_cost_summary(listing.cost))
+    elif args.command == "vc":
+        from .connectivity import planar_vertex_connectivity
+
+        result = planar_vertex_connectivity(
+            graph, embedding, seed=args.seed, rounds=args.rounds,
+            engine=args.engine or "sequential",
+        )
+        print(f"vertex connectivity: {result.connectivity}")
+        print(_cost_summary(result.cost))
+
+    print(f"(host time: {time.perf_counter() - t0:.2f}s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

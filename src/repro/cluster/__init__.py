@@ -1,0 +1,5 @@
+"""Low-diameter decomposition: exponential start time clustering."""
+
+from .est import Clustering, est_clustering
+
+__all__ = ["Clustering", "est_clustering"]

@@ -1,0 +1,19 @@
+"""Planar vertex connectivity (Section 5) and the flow baseline."""
+
+from .flow_vc import (
+    local_connectivity,
+    vertex_connectivity_bruteforce,
+    vertex_connectivity_flow,
+)
+from .planar_vc import VertexConnectivityResult, planar_vertex_connectivity
+from .min_cuts import MinimumCutsResult, minimum_vertex_cuts
+
+__all__ = [
+    "MinimumCutsResult",
+    "minimum_vertex_cuts",
+    "local_connectivity",
+    "vertex_connectivity_flow",
+    "vertex_connectivity_bruteforce",
+    "VertexConnectivityResult",
+    "planar_vertex_connectivity",
+]

@@ -1,0 +1,51 @@
+"""Graph substrate: CSR graphs, generators, BFS, connectivity."""
+
+from .csr import Graph
+from .bfs import BFSResult, parallel_bfs
+from .components import component_members, connected_components, is_connected
+from .biconnectivity import articulation_points, is_biconnected
+from .generators import (
+    GeometricGraph,
+    antiprism_graph,
+    apex_graph,
+    complete_graph,
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    icosahedron_graph,
+    ladder_graph,
+    outerplanar_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+    torus_grid,
+    triangulated_grid,
+    wheel_graph,
+)
+
+__all__ = [
+    "Graph",
+    "BFSResult",
+    "parallel_bfs",
+    "connected_components",
+    "is_connected",
+    "component_members",
+    "articulation_points",
+    "is_biconnected",
+    "GeometricGraph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "wheel_graph",
+    "grid_graph",
+    "triangulated_grid",
+    "delaunay_graph",
+    "antiprism_graph",
+    "icosahedron_graph",
+    "torus_grid",
+    "random_tree",
+    "ladder_graph",
+    "outerplanar_graph",
+    "apex_graph",
+]

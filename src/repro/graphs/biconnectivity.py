@@ -1,0 +1,99 @@
+"""Articulation points / 2-connectivity.
+
+Section 5.1 of the paper invokes "existing algorithms" for 2-connectivity
+(Tarjan--Vishkin [50]: linear work, O(log n) depth).  As documented in
+DESIGN.md, we execute Hopcroft--Tarjan lowpoint DFS (iterative) and *charge*
+the Tarjan--Vishkin parallel bounds — the verdict is identical, only the
+host-side execution strategy differs, and 2-connectivity is a black-box
+subroutine of the vertex connectivity driver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..pram import Cost, log2_ceil
+from .components import connected_components
+from .csr import Graph
+
+__all__ = ["articulation_points", "is_biconnected", "tarjan_vishkin_cost"]
+
+
+def tarjan_vishkin_cost(graph: Graph) -> Cost:
+    """The charged parallel cost of biconnectivity (Tarjan--Vishkin):
+    O(n + m) work, O(log n) depth."""
+    n, m = graph.n, graph.m
+    work = max(4 * (n + m), 1)
+    return Cost(work, min(max(1, 2 * log2_ceil(max(n, 2))), work))
+
+
+def articulation_points(graph: Graph) -> Tuple[np.ndarray, Cost]:
+    """All articulation points (cut vertices) of the graph.
+
+    Returns a sorted vertex array and the charged parallel cost.  Works on
+    disconnected graphs (per-component analysis).
+    """
+    n = graph.n
+    cost = tarjan_vishkin_cost(graph)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), cost
+
+    indptr, indices = graph.indptr, graph.indices
+    visited = np.zeros(n, dtype=bool)
+    disc = np.zeros(n, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    is_cut = np.zeros(n, dtype=bool)
+    timer = 0
+
+    for root in range(n):
+        if visited[root]:
+            continue
+        # Iterative lowpoint DFS from this root.
+        root_children = 0
+        # Stack entries: (vertex, parent, next neighbor offset)
+        stack: List[List[int]] = [[root, -1, int(indptr[root])]]
+        visited[root] = True
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            v, parent, ptr = stack[-1]
+            if ptr < indptr[v + 1]:
+                stack[-1][2] += 1
+                w = int(indices[ptr])
+                if not visited[w]:
+                    visited[w] = True
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    if v == root:
+                        root_children += 1
+                    stack.append([w, v, int(indptr[w])])
+                elif w != parent:
+                    if disc[w] < low[v]:
+                        low[v] = disc[w]
+            else:
+                stack.pop()
+                if stack:
+                    pv = stack[-1][0]
+                    if low[v] < low[pv]:
+                        low[pv] = low[v]
+                    if pv != root and low[v] >= disc[pv]:
+                        is_cut[pv] = True
+        if root_children >= 2:
+            is_cut[root] = True
+    return np.flatnonzero(is_cut), cost
+
+
+def is_biconnected(graph: Graph) -> Tuple[bool, Cost]:
+    """Whether the graph is 2-connected.
+
+    Convention (matching the paper's c-vertex-connectivity definition): the
+    graph needs at least ``c + 1 = 3`` vertices, must be connected, and must
+    have no articulation point.
+    """
+    if graph.n < 3:
+        return False, tarjan_vishkin_cost(graph)
+    _, count, c_cost = connected_components(graph)
+    cuts, a_cost = articulation_points(graph)
+    return count == 1 and cuts.size == 0, c_cost + a_cost

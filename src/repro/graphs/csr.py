@@ -1,0 +1,192 @@
+"""Static undirected graphs in compressed sparse row (CSR) form.
+
+The whole library operates on this one immutable representation: vertex ids
+are ``0..n-1``, adjacency is two NumPy arrays (``indptr``, ``indices``) with
+every undirected edge stored in both directions and neighbor lists sorted.
+CSR keeps the hot loops (BFS frontier expansion, clustering, covering)
+vectorizable, per the HPC guide's "vectorize the bottleneck" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable undirected graph in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (ids ``0..n-1``).
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops are rejected; duplicate
+        edges are merged (the structure is a simple graph).
+    """
+
+    __slots__ = ("n", "indptr", "indices", "_edges_uv", "_adjsets")
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int]]) -> None:
+        if n < 0:
+            raise ValueError("vertex count must be non-negative")
+        pairs = np.asarray(list(edges), dtype=np.int64)
+        if pairs.size == 0:
+            pairs = pairs.reshape(0, 2)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("edges must be (u, v) pairs")
+        if pairs.size and (pairs.min() < 0 or pairs.max() >= n):
+            raise ValueError("edge endpoint out of range")
+        if np.any(pairs[:, 0] == pairs[:, 1]):
+            raise ValueError("self-loops are not allowed")
+        # Canonicalize, dedupe, then mirror.
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        canon = np.unique(np.stack([lo, hi], axis=1), axis=0)
+        self.n = int(n)
+        self._edges_uv = canon
+        both = np.concatenate([canon, canon[:, ::-1]], axis=0)
+        order = np.lexsort((both[:, 1], both[:, 0]))
+        both = both[order]
+        self.indices = np.ascontiguousarray(both[:, 1])
+        counts = np.bincount(both[:, 0], minlength=n)
+        self.indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        self._adjsets = None
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_csr(n: int, indptr: np.ndarray, indices: np.ndarray) -> "Graph":
+        """Trusted fast path: adopt already-valid CSR arrays."""
+        g = Graph.__new__(Graph)
+        g.n = int(n)
+        g.indptr = np.asarray(indptr, dtype=np.int64)
+        g.indices = np.asarray(indices, dtype=np.int64)
+        g._adjsets = None
+        u = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.indptr))
+        mask = u < g.indices
+        g._edges_uv = np.stack([u[mask], g.indices[mask]], axis=1)
+        return g
+
+    @staticmethod
+    def empty(n: int) -> "Graph":
+        return Graph(n, [])
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return int(self._edges_uv.shape[0])
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of ``v`` (a CSR view — do not mutate)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.adjacency_set(u)
+
+    def adjacency_set(self, v: int) -> frozenset:
+        """Cached neighbor set of ``v`` (fast membership tests)."""
+        if self._adjsets is None:
+            self._adjsets = [
+                frozenset(
+                    int(x)
+                    for x in self.indices[self.indptr[u] : self.indptr[u + 1]]
+                )
+                for u in range(self.n)
+            ]
+        return self._adjsets[v]
+
+    def edges(self) -> np.ndarray:
+        """The ``m x 2`` array of canonical (u < v) edges."""
+        return self._edges_uv
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        for u, v in self._edges_uv:
+            yield int(u), int(v)
+
+    def max_degree(self) -> int:
+        if self.n == 0:
+            return 0
+        return int(self.degrees().max(initial=0))
+
+    # -- derived graphs ----------------------------------------------------
+
+    def induced_subgraph(
+        self, vertices: Sequence[int]
+    ) -> Tuple["Graph", np.ndarray]:
+        """Subgraph induced by ``vertices``.
+
+        Returns ``(subgraph, originals)`` where ``originals[i]`` is the
+        original id of the subgraph's vertex ``i``.
+        """
+        verts = np.unique(np.asarray(list(vertices), dtype=np.int64))
+        if verts.size and (verts[0] < 0 or verts[-1] >= self.n):
+            raise ValueError("vertex out of range")
+        remap = np.full(self.n, -1, dtype=np.int64)
+        remap[verts] = np.arange(verts.size)
+        e = self._edges_uv
+        if e.size:
+            keep = (remap[e[:, 0]] >= 0) & (remap[e[:, 1]] >= 0)
+            sub_edges = remap[e[keep]]
+        else:
+            sub_edges = e
+        return Graph(int(verts.size), sub_edges), verts
+
+    def quotient(
+        self, labels: np.ndarray
+    ) -> Tuple["Graph", np.ndarray]:
+        """Contract every vertex class of ``labels`` to a single vertex.
+
+        ``labels`` assigns an arbitrary hashable-free integer class to each
+        vertex; classes are compacted to ``0..k-1``.  Self-loops vanish and
+        parallel edges merge.  Returns ``(minor, class_of_vertex)``.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape[0] != self.n:
+            raise ValueError("labels must cover every vertex")
+        uniq, compact = np.unique(labels, return_inverse=True)
+        e = self._edges_uv
+        if e.size:
+            ce = compact[e]
+            keep = ce[:, 0] != ce[:, 1]
+            minor = Graph(int(uniq.size), ce[keep])
+        else:
+            minor = Graph(int(uniq.size), [])
+        return minor, compact
+
+    def with_edges_added(self, extra: Iterable[Tuple[int, int]]) -> "Graph":
+        """A new graph with additional edges (duplicates merged)."""
+        extra_arr = np.asarray(list(extra), dtype=np.int64).reshape(-1, 2)
+        if extra_arr.size:
+            combined = np.concatenate([self._edges_uv, extra_arr], axis=0)
+        else:
+            combined = self._edges_uv
+        return Graph(self.n, combined)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n == other.n and np.array_equal(
+            self._edges_uv, other._edges_uv
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._edges_uv.tobytes()))

@@ -1,0 +1,275 @@
+"""Graph generators for the paper's target families.
+
+Geometric generators return a :class:`GeometricGraph` (graph + straight-line
+planar coordinates); the coordinates give us combinatorial embeddings for
+free (``repro.planar.geometric``), playing the role of the Klein--Reif
+parallel embedding primitive (see DESIGN.md, Substitutions).
+
+The families cover everything the experiments need: planar targets of
+unbounded diameter (grids, Delaunay triangulations), targets with known
+vertex connectivity 1..5 (trees, cycles, wheels, antiprisms, icosahedron),
+a bounded-genus family (torus grids, Section 4.3) and apex graphs (the
+excluded-minor obstruction discussed in Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .csr import Graph
+
+__all__ = [
+    "GeometricGraph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "wheel_graph",
+    "grid_graph",
+    "triangulated_grid",
+    "delaunay_graph",
+    "antiprism_graph",
+    "icosahedron_graph",
+    "torus_grid",
+    "random_tree",
+    "ladder_graph",
+    "outerplanar_graph",
+    "apex_graph",
+]
+
+
+@dataclass(frozen=True)
+class GeometricGraph:
+    """A planar graph with a straight-line drawing (positions ``n x 2``)."""
+
+    graph: Graph
+    positions: np.ndarray
+
+
+def _circle_positions(n: int, radius: float = 1.0) -> np.ndarray:
+    theta = 2 * np.pi * np.arange(n) / max(n, 1)
+    return radius * np.stack([np.cos(theta), np.sin(theta)], axis=1)
+
+
+def path_graph(n: int) -> GeometricGraph:
+    """The path on ``n`` vertices (connectivity 1 for ``n >= 2``)."""
+    edges = [(i, i + 1) for i in range(n - 1)]
+    pos = np.stack([np.arange(n, dtype=float), np.zeros(n)], axis=1)
+    return GeometricGraph(Graph(n, edges), pos)
+
+
+def cycle_graph(n: int) -> GeometricGraph:
+    """The cycle on ``n >= 3`` vertices (connectivity 2)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return GeometricGraph(Graph(n, edges), _circle_positions(n))
+
+
+def star_graph(leaves: int) -> GeometricGraph:
+    """A star: center 0 with ``leaves`` leaves (connectivity 1)."""
+    edges = [(0, i) for i in range(1, leaves + 1)]
+    pos = np.concatenate(
+        [np.zeros((1, 2)), _circle_positions(leaves)], axis=0
+    )
+    return GeometricGraph(Graph(leaves + 1, edges), pos)
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n (planar only for ``n <= 4``)."""
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def wheel_graph(rim: int) -> GeometricGraph:
+    """Wheel: hub 0 joined to a rim cycle of ``rim >= 3`` vertices.
+
+    3-connected planar; the standard connectivity-3 family of E9.
+    """
+    if rim < 3:
+        raise ValueError("a wheel needs a rim of at least 3")
+    edges = [(0, i) for i in range(1, rim + 1)]
+    edges += [(i, i % rim + 1) for i in range(1, rim + 1)]
+    pos = np.concatenate([np.zeros((1, 2)), _circle_positions(rim)], axis=0)
+    return GeometricGraph(Graph(rim + 1, edges), pos)
+
+
+def grid_graph(rows: int, cols: int) -> GeometricGraph:
+    """The ``rows x cols`` grid (diameter Θ(rows+cols), treewidth min side)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    n = rows * cols
+    idx = lambda r, c: r * cols + c
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((idx(r, c), idx(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((idx(r, c), idx(r + 1, c)))
+    rr, cc = np.divmod(np.arange(n), cols)
+    pos = np.stack([cc.astype(float), rr.astype(float)], axis=1)
+    return GeometricGraph(Graph(n, edges), pos)
+
+
+def triangulated_grid(rows: int, cols: int) -> GeometricGraph:
+    """The grid with one diagonal per cell (a planar triangulation of the
+    interior); richer in small patterns (triangles, diamonds)."""
+    base = grid_graph(rows, cols)
+    idx = lambda r, c: r * cols + c
+    diagonals = [
+        (idx(r, c), idx(r + 1, c + 1))
+        for r in range(rows - 1)
+        for c in range(cols - 1)
+    ]
+    return GeometricGraph(
+        base.graph.with_edges_added(diagonals), base.positions
+    )
+
+
+def delaunay_graph(n: int, seed: int) -> GeometricGraph:
+    """Delaunay triangulation of ``n`` random points in the unit square.
+
+    The standard "random planar triangulation" workload; typical vertex
+    connectivity 3..4.
+    """
+    from scipy.spatial import Delaunay  # deferred: scipy is heavy to import
+
+    if n < 3:
+        raise ValueError("need at least 3 points")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    tri = Delaunay(pts)
+    s = tri.simplices
+    edges = np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]], axis=0)
+    return GeometricGraph(Graph(n, edges), pts)
+
+
+def antiprism_graph(k: int) -> GeometricGraph:
+    """The ``k``-antiprism: two ``k``-cycles joined in a band.
+
+    4-regular and 4-connected planar for ``k >= 3`` — the paper's
+    motivating "distinguish 4-connected from 5-connected" family.
+    """
+    if k < 3:
+        raise ValueError("an antiprism needs k >= 3")
+    n = 2 * k
+    edges = []
+    for i in range(k):
+        edges.append((i, (i + 1) % k))  # outer cycle
+        edges.append((k + i, k + (i + 1) % k))  # inner cycle
+        edges.append((i, k + i))  # band
+        edges.append(((i + 1) % k, k + i))  # band diagonal
+    outer = _circle_positions(k, radius=2.0)
+    theta = 2 * np.pi * (np.arange(k) + 0.5) / k
+    inner = 0.8 * np.stack([np.cos(theta), np.sin(theta)], axis=1)
+    return GeometricGraph(Graph(n, edges), np.concatenate([outer, inner]))
+
+
+def icosahedron_graph() -> GeometricGraph:
+    """The icosahedron: the canonical 5-connected planar graph (12 vertices).
+
+    Built as the 5-antiprism (vertices 0..9) plus two apexes: vertex 10
+    joined to the outer pentagon, vertex 11 to the inner pentagon.  The
+    returned positions are *not* a planar straight-line drawing (the top
+    apex cannot be drawn inside); callers embed this graph combinatorially
+    (``repro.planar.dmp``) rather than geometrically.
+    """
+    k = 5
+    edges = []
+    for i in range(k):
+        edges.append((i, (i + 1) % k))
+        edges.append((k + i, k + (i + 1) % k))
+        edges.append((i, k + i))
+        edges.append(((i + 1) % k, k + i))
+        edges.append((10, i))  # top apex joined to outer pentagon
+        edges.append((11, k + i))  # bottom apex joined to inner pentagon
+    outer = _circle_positions(k, radius=2.0)
+    theta = 2 * np.pi * (np.arange(k) + 0.5) / k
+    inner = 0.9 * np.stack([np.cos(theta), np.sin(theta)], axis=1)
+    # Planar drawing: bottom apex at the center, top apex outside the outer
+    # pentagon does not give a planar straight-line drawing; callers embed
+    # this graph combinatorially (DMP) rather than geometrically.
+    pos = np.concatenate(
+        [outer, inner, np.array([[3.0, 0.0], [0.0, 0.0]])]
+    )
+    return GeometricGraph(Graph(12, edges), pos)
+
+
+def torus_grid(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid with wraparound: genus 1 (Section 4.3)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus grid needs both sides >= 3")
+    n = rows * cols
+    idx = lambda r, c: r * cols + c
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append((idx(r, c), idx(r, (c + 1) % cols)))
+            edges.append((idx(r, c), idx((r + 1) % rows, c)))
+    return Graph(n, edges)
+
+
+def random_tree(n: int, seed: int) -> Graph:
+    """A uniform random recursive tree (connectivity 1)."""
+    if n < 1:
+        raise ValueError("need at least one vertex")
+    rng = np.random.default_rng(seed)
+    edges = [(int(rng.integers(0, i)), i) for i in range(1, n)]
+    return Graph(n, edges)
+
+
+def ladder_graph(rungs: int) -> GeometricGraph:
+    """The ladder ``P_rungs x K_2`` (connectivity 2)."""
+    if rungs < 2:
+        raise ValueError("a ladder needs at least 2 rungs")
+    n = 2 * rungs
+    edges = []
+    for i in range(rungs):
+        edges.append((2 * i, 2 * i + 1))
+        if i + 1 < rungs:
+            edges.append((2 * i, 2 * i + 2))
+            edges.append((2 * i + 1, 2 * i + 3))
+    xs = np.repeat(np.arange(rungs, dtype=float), 2)
+    ys = np.tile(np.array([0.0, 1.0]), rungs)
+    return GeometricGraph(Graph(n, edges), np.stack([xs, ys], axis=1))
+
+
+def outerplanar_graph(n: int, seed: int) -> GeometricGraph:
+    """A maximal outerplanar graph: an ``n``-gon with a random non-crossing
+    triangulation of its interior (treewidth 2)."""
+    if n < 3:
+        raise ValueError("need at least 3 vertices")
+    rng = np.random.default_rng(seed)
+    edges = [(i, (i + 1) % n) for i in range(n)]
+
+    def triangulate(lo: int, hi: int) -> None:
+        # Triangulate the polygon arc lo..hi (indices along the n-gon).
+        if hi - lo < 2:
+            return
+        mid = int(rng.integers(lo + 1, hi))
+        if mid - lo > 1:
+            edges.append((lo, mid))
+        if hi - mid > 1:
+            edges.append((mid, hi))
+        triangulate(lo, mid)
+        triangulate(mid, hi)
+
+    triangulate(0, n - 1)
+    return GeometricGraph(Graph(n, edges), _circle_positions(n))
+
+
+def apex_graph(base: Graph) -> Graph:
+    """``base`` plus one new vertex adjacent to everything.
+
+    Section 4.3.1: apex graphs witness that diameter does not bound
+    treewidth outside apex-minor-free families.
+    """
+    apex = base.n
+    extra = [(apex, v) for v in range(base.n)]
+    edges = np.concatenate(
+        [base.edges(), np.asarray(extra, dtype=np.int64).reshape(-1, 2)]
+    )
+    return Graph(base.n + 1, edges)

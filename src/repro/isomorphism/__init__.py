@@ -1,0 +1,66 @@
+"""The paper's core: subgraph isomorphism engines, cover, drivers."""
+
+from .pattern import (
+    Pattern,
+    clique_pattern,
+    cycle_pattern,
+    diamond,
+    path_pattern,
+    star_pattern,
+    triangle,
+)
+from .state_space import IN_CHILD, UNMATCHED, SubgraphStateSpace
+from .sequential_dp import DPResult, sequential_dp
+from .parallel_dp import ParallelDPResult, parallel_dp
+from .match_dag import PathDAGResult, solve_path
+from .recovery import first_witness, iter_witnesses, witness_images
+from .cover import CoverPiece, TreewidthCover, treewidth_cover
+from .planar_si import (
+    PlanarSIResult,
+    decide_subgraph_isomorphism,
+    find_occurrence,
+)
+from .disconnected import DisconnectedSIResult, decide_disconnected
+from .listing import ListingResult, count_occurrences, list_occurrences
+from .local_treewidth import (
+    decide_subgraph_isomorphism_general,
+    local_treewidth_cover,
+)
+from .counting import DeterministicCountResult, count_occurrences_exact
+
+__all__ = [
+    "Pattern",
+    "triangle",
+    "path_pattern",
+    "cycle_pattern",
+    "star_pattern",
+    "clique_pattern",
+    "diamond",
+    "UNMATCHED",
+    "IN_CHILD",
+    "SubgraphStateSpace",
+    "DPResult",
+    "sequential_dp",
+    "ParallelDPResult",
+    "parallel_dp",
+    "PathDAGResult",
+    "solve_path",
+    "first_witness",
+    "iter_witnesses",
+    "witness_images",
+    "CoverPiece",
+    "TreewidthCover",
+    "treewidth_cover",
+    "PlanarSIResult",
+    "decide_subgraph_isomorphism",
+    "find_occurrence",
+    "DisconnectedSIResult",
+    "decide_disconnected",
+    "ListingResult",
+    "list_occurrences",
+    "count_occurrences",
+    "local_treewidth_cover",
+    "decide_subgraph_isomorphism_general",
+    "DeterministicCountResult",
+    "count_occurrences_exact",
+]

@@ -1,0 +1,229 @@
+"""The Parallel Treewidth k-d Cover (Section 2.1, Theorem 2.4, Figures 2-3).
+
+1. Exponential Start Time 2k-clustering splits the target into low-diameter
+   clusters; a fixed occurrence of a connected k-vertex pattern survives
+   inside one cluster with probability >= 1/2 (Observation 1).
+2. A BFS from an arbitrary root of each cluster assigns levels; for each
+   window of d + 1 consecutive levels [i, i + d] the induced subgraph G_i is
+   one cover piece (Figure 3).  Windows beyond ``max_level - d`` are subsets
+   of the last full window and are skipped (the Figure 3 note).
+3. Each piece receives a width <= 3(d + 1) + 2 tree decomposition: for
+   i = 0 the piece contains the root and Baker's construction applies
+   directly; for i > 0 the levels below the window are *contracted* into a
+   super-root (the BFS depth of the contracted graph is <= d + 1), Baker's
+   construction runs from the super-root, and the super-root is dropped
+   from every bag (still a valid decomposition of the piece).
+
+Guarantees (measured by the E2 benchmark, proved in Theorem 2.4): every
+piece has treewidth O(d); every vertex is in at most d + 1 pieces; every
+fixed occurrence is captured with probability >= 1/2; O(nd) work and
+O(k log n) depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.est import est_clustering
+from ..graphs.bfs import parallel_bfs
+from ..graphs.components import component_members
+from ..graphs.csr import Graph
+from ..planar.contract import contract_vertex_sets, relabel_embedding
+from ..planar.embedding import PlanarEmbedding
+from ..pram import Cost, Tracker
+from ..treedecomp.baker import baker_decomposition
+from ..treedecomp.decomposition import TreeDecomposition
+
+__all__ = ["CoverPiece", "TreewidthCover", "treewidth_cover"]
+
+NIL = -1
+
+
+@dataclass
+class CoverPiece:
+    """One subgraph of the cover, with its decomposition.
+
+    ``originals[v]`` maps the piece's local vertex ``v`` to the target
+    graph's vertex id; ``decomposition`` is over local ids.
+    """
+
+    graph: Graph
+    originals: np.ndarray
+    decomposition: TreeDecomposition
+    cluster: int
+    window_start: int
+
+
+@dataclass
+class TreewidthCover:
+    """The full cover: pieces plus the clustering diagnostics."""
+
+    pieces: List[CoverPiece]
+    num_clusters: int
+    cost: Cost
+
+    def max_width(self) -> int:
+        return max(
+            (p.decomposition.width() for p in self.pieces), default=0
+        )
+
+    def pieces_per_vertex(self, n: int) -> np.ndarray:
+        counts = np.zeros(n, dtype=np.int64)
+        for piece in self.pieces:
+            counts[piece.originals] += 1
+        return counts
+
+
+def treewidth_cover(
+    graph: Graph,
+    embedding: PlanarEmbedding,
+    k: int,
+    d: int,
+    seed: int,
+) -> TreewidthCover:
+    """Build a Parallel Treewidth k-d Cover of ``graph`` (see module doc).
+
+    ``embedding`` must be a genus-0 embedding of ``graph`` (vertex ids
+    aligned).  ``d`` is the pattern diameter; ``k`` its vertex count.
+    """
+    if k < 1 or d < 0:
+        raise ValueError("need k >= 1 and d >= 0")
+    if embedding.n != graph.n:
+        raise ValueError("embedding does not match the graph")
+    tracker = Tracker()
+    clustering, cost = est_clustering(graph, beta=2.0 * k, seed=seed)
+    tracker.charge(cost)
+
+    pieces: List[CoverPiece] = []
+    members_per_cluster = component_members(
+        clustering.labels, clustering.count
+    )
+    with tracker.parallel() as clusters_region:
+        for cluster_id, members in enumerate(members_per_cluster):
+            with clusters_region.branch() as branch:
+                pieces.extend(
+                    _cover_cluster(
+                        graph, embedding, members, d, cluster_id, branch
+                    )
+                )
+    return TreewidthCover(
+        pieces=pieces, num_clusters=clustering.count, cost=tracker.cost
+    )
+
+
+def _cover_cluster(
+    graph: Graph,
+    embedding: PlanarEmbedding,
+    members: np.ndarray,
+    d: int,
+    cluster_id: int,
+    tracker,
+) -> List[CoverPiece]:
+    """Windows + decompositions for one cluster."""
+    sub_emb, originals = embedding.induced_subembedding(members)
+    cluster_graph = sub_emb.to_graph()
+    tracker.charge(Cost.step(max(int(members.size), 1)))
+
+    if cluster_graph.n == 1:
+        td = TreeDecomposition(
+            bags=[np.array([0])], parent=np.array([NIL]), root=0
+        )
+        return [
+            CoverPiece(
+                graph=cluster_graph,
+                originals=originals,
+                decomposition=td,
+                cluster=cluster_id,
+                window_start=0,
+            )
+        ]
+
+    root = 0
+    bfs, bfs_cost = parallel_bfs(cluster_graph, [root])
+    tracker.charge(bfs_cost)
+    max_level = bfs.depth
+    level = bfs.level
+
+    out: List[CoverPiece] = []
+    last_start = max(0, max_level - d)
+    with tracker.parallel() as windows:
+        for i in range(last_start + 1):
+            with windows.branch() as wbranch:
+                piece = _build_window_piece(
+                    sub_emb, cluster_graph, originals, level,
+                    i, d, root, cluster_id, wbranch,
+                )
+                if piece is not None:
+                    out.append(piece)
+    return out
+
+
+def _build_window_piece(
+    cluster_emb: PlanarEmbedding,
+    cluster_graph: Graph,
+    originals: np.ndarray,
+    level: np.ndarray,
+    i: int,
+    d: int,
+    root: int,
+    cluster_id: int,
+    tracker,
+) -> Optional[CoverPiece]:
+    window_mask = (level >= i) & (level <= i + d)
+    window = np.flatnonzero(window_mask)
+    if window.size == 0:
+        return None
+    if i == 0:
+        piece_emb, local_originals = cluster_emb.induced_subembedding(window)
+        tracker.charge(Cost.step(max(int(window.size), 1)))
+        piece_root = int(np.flatnonzero(local_originals == root)[0])
+        td, cost = baker_decomposition(piece_emb, piece_root)
+        tracker.charge(cost)
+        return CoverPiece(
+            graph=piece_emb.to_graph(),
+            originals=originals[local_originals],
+            decomposition=td,
+            cluster=cluster_id,
+            window_start=i,
+        )
+    # i > 0: contract the inner levels into a super-root, decompose the
+    # contracted (still planar) graph, then drop the super-root from bags.
+    keep_mask = level <= i + d
+    keep = np.flatnonzero(keep_mask)
+    sub_emb2, orig2 = cluster_emb.induced_subembedding(keep)
+    inner = np.flatnonzero(level[orig2] < i)
+    contracted, rep, cost = contract_vertex_sets(sub_emb2, [inner.tolist()])
+    tracker.charge(cost)
+    super_root_old = int(rep[inner[0]])
+    live = sorted(
+        set(int(v) for v in np.flatnonzero(level[orig2] >= i))
+        | {super_root_old}
+    )
+    small, kept = relabel_embedding(contracted, live)
+    super_root = int(np.flatnonzero(kept == super_root_old)[0])
+    td, bcost = baker_decomposition(small, super_root)
+    tracker.charge(bcost)
+    # Drop the super-root from every bag and relabel to the window's ids.
+    window_local = [v for j, v in enumerate(kept) if j != super_root]
+    remap = np.full(small.n, NIL, dtype=np.int64)
+    for new_id, j in enumerate(
+        j for j in range(small.n) if j != super_root
+    ):
+        remap[j] = new_id
+    bags = []
+    for bag in td.bags:
+        trimmed = bag[bag != super_root]
+        bags.append(remap[trimmed])
+    td2 = TreeDecomposition(bags=bags, parent=td.parent, root=td.root)
+    piece_vertices = orig2[np.asarray(window_local, dtype=np.int64)]
+    piece_graph, piece_orig = cluster_graph.induced_subgraph(piece_vertices)
+    return CoverPiece(
+        graph=piece_graph,
+        originals=originals[piece_orig],
+        decomposition=td2,
+        cluster=cluster_id,
+        window_start=i,
+    )

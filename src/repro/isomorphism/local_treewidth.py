@@ -1,0 +1,164 @@
+"""Apex-minor-free / bounded-genus generalization (Section 4.3, Thm 4.4).
+
+The k-d cover "does not use anything specific to planar graphs" — it only
+needs (a) the clustering, (b) BFS windows, and (c) a tree decomposition of
+each window whose width is bounded by a function of the window's diameter
+(locally bounded treewidth).  For planar targets that function is 3d (Baker,
+Section 2); for the general minor-closed case the paper invokes Lagergren's
+parallel decomposition [34], for which this library substitutes the
+validated min-fill heuristic (DESIGN.md, Substitutions — the E11 benchmark
+reports the widths achieved on genus-1 targets).
+
+The module therefore provides an embedding-free cover plus a general driver
+usable on, e.g., torus grids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.est import est_clustering
+from ..graphs.bfs import parallel_bfs
+from ..graphs.components import component_members
+from ..graphs.csr import Graph
+from ..pram import Cost, Tracker
+from ..treedecomp.minfill import minfill_decomposition
+from ..treedecomp.nice import make_nice
+from .cover import CoverPiece, TreewidthCover
+from .pattern import Pattern
+from .parallel_dp import parallel_dp
+from .recovery import first_witness
+from .sequential_dp import sequential_dp
+from .planar_si import PlanarSIResult, _rounds_for
+from .state_space import SubgraphStateSpace
+
+__all__ = ["local_treewidth_cover", "decide_subgraph_isomorphism_general"]
+
+NIL = -1
+
+
+def local_treewidth_cover(
+    graph: Graph, k: int, d: int, seed: int
+) -> TreewidthCover:
+    """The k-d cover for graphs of locally bounded treewidth (Section 4.3).
+
+    Identical clustering + window structure as the planar cover; each
+    window's decomposition comes from the min-fill heuristic (Lagergren
+    substitute), so the width bound is *measured*, not proven — valid
+    decompositions regardless.
+    """
+    if k < 1 or d < 0:
+        raise ValueError("need k >= 1 and d >= 0")
+    tracker = Tracker()
+    clustering, cost = est_clustering(graph, beta=2.0 * k, seed=seed)
+    tracker.charge(cost)
+    pieces: List[CoverPiece] = []
+    with tracker.parallel() as region:
+        for cluster_id, members in enumerate(
+            component_members(clustering.labels, clustering.count)
+        ):
+            with region.branch() as branch:
+                sub, originals = graph.induced_subgraph(members)
+                branch.charge(Cost.step(max(sub.n, 1)))
+                if sub.n == 0:
+                    continue
+                bfs, bcost = parallel_bfs(sub, [0])
+                branch.charge(bcost)
+                last = max(0, bfs.depth - d)
+                for i in range(last + 1):
+                    window = np.flatnonzero(
+                        (bfs.level >= i) & (bfs.level <= i + d)
+                    )
+                    if window.size == 0:
+                        continue
+                    piece_graph, piece_orig = sub.induced_subgraph(window)
+                    td, dcost = minfill_decomposition(piece_graph)
+                    branch.charge(dcost)
+                    pieces.append(
+                        CoverPiece(
+                            graph=piece_graph,
+                            originals=originals[piece_orig],
+                            decomposition=td,
+                            cluster=cluster_id,
+                            window_start=i,
+                        )
+                    )
+    return TreewidthCover(
+        pieces=pieces, num_clusters=clustering.count, cost=tracker.cost
+    )
+
+
+def decide_subgraph_isomorphism_general(
+    graph: Graph,
+    pattern: Pattern,
+    seed: int,
+    engine: str = "parallel",
+    rounds: Optional[int] = None,
+    confidence_log_factor: float = 2.0,
+    want_witness: bool = False,
+) -> PlanarSIResult:
+    """Theorem 4.4 driver: connected patterns in any graph whose windows
+    have manageable treewidth (bounded genus, apex-minor-free, ...).
+
+    Monte Carlo with the same one-sided guarantee as the planar driver.
+    """
+    if not pattern.is_connected():
+        raise ValueError("the driver handles connected patterns")
+    if engine not in ("parallel", "sequential"):
+        raise ValueError(f"unknown engine {engine!r}")
+    k, d = pattern.k, pattern.diameter()
+    tracker = Tracker()
+    total_rounds = _rounds_for(graph.n, rounds, confidence_log_factor)
+    pieces_examined = 0
+    max_width = 0
+    for r in range(total_rounds):
+        cover = local_treewidth_cover(graph, k, d, seed=seed + r)
+        tracker.charge(cover.cost)
+        found = False
+        found_witness: Optional[Dict[int, int]] = None
+        with tracker.parallel() as region:
+            for piece in cover.pieces:
+                if piece.graph.n < k:
+                    continue
+                pieces_examined += 1
+                max_width = max(max_width, piece.decomposition.width())
+                nice, ncost = make_nice(piece.decomposition.binarize())
+                space = SubgraphStateSpace(pattern, piece.graph)
+                with region.branch() as branch:
+                    branch.charge(ncost)
+                    result = (
+                        parallel_dp(space, nice)
+                        if engine == "parallel"
+                        else sequential_dp(space, nice)
+                    )
+                    branch.charge(result.cost)
+                if result.found and not found:
+                    found = True
+                    if want_witness:
+                        w = first_witness(space, nice, result.valid)
+                        if w is not None:
+                            found_witness = {
+                                p: int(piece.originals[v])
+                                for p, v in w.items()
+                            }
+        if found:
+            return PlanarSIResult(
+                found=True,
+                witness=found_witness,
+                rounds_used=r + 1,
+                cost=tracker.cost,
+                pieces_examined=pieces_examined,
+                max_piece_width=max_width,
+            )
+    return PlanarSIResult(
+        found=False,
+        witness=None,
+        rounds_used=total_rounds,
+        cost=tracker.cost,
+        pieces_examined=pieces_examined,
+        max_piece_width=max_width,
+    )

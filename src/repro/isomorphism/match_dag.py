@@ -1,0 +1,254 @@
+"""The graph of partial matches over one decomposition path (Section 3.3.2)
+with shortcuts (Section 3.3.3) and hop-bounded reachability.
+
+Given a bottom-to-top path ``P`` of the (nice) decomposition tree whose
+off-path children are already solved, validity of partial matches along P is
+exactly reachability in a DAG:
+
+* vertices — the locally plausible partial matches of every path node
+  (``(tau + 3)^k`` of them at most; sparse-pruned);
+* edges — compatibility of a child match with a parent match, conditioned on
+  a *valid* match of the off-path child at join nodes;
+* sources — the solved matches of the path's bottom node, plus every match
+  that "does not mark any vertices as matched in a child" (such matches are
+  unconditionally valid — Section 3.3.2's tagging rule);
+* the *no-new-match forest F* — each match's unique canonical lift
+  (Figure 5) — receives shortcuts: every F-tree is split into layered paths
+  (Lemma 3.2 again), every ``ceil(log2 N)``-th path vertex becomes a hub
+  carrying exponentially-spaced jumps, and every vertex gets an exit jump to
+  its path top.  Any source-to-match walk then needs only
+  O(k log N) hops (Lemma 3.3): at most k match-introducing edges, and each
+  F-segment between them crosses O(log N) F-layers at O(log N) hops each —
+  O(1) amortized through the exit jumps plus one O(log N) hub landing.
+
+The BFS is level-synchronous; its round count is the measured depth, and
+``tests/isomorphism`` property-checks that reachability reproduces the
+sequential engine's valid sets exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..pram import Cost, log2_ceil
+from ..treedecomp.nice import FORGET, INTRODUCE, JOIN, LEAF, NiceDecomposition
+from ..treedecomp.tree_paths import layered_paths
+
+__all__ = ["PathDAGResult", "solve_path"]
+
+NIL = -1
+
+
+@dataclass
+class PathDAGResult:
+    """Valid matches of every node on the path, plus diagnostics."""
+
+    valid_per_node: List[Dict[tuple, int]]
+    num_states: int
+    num_edges: int
+    num_shortcuts: int
+    bfs_rounds: int
+    cost: Cost
+
+
+def _bottom_states(space, nice, node, kids, valid_tables) -> Dict[tuple, int]:
+    """Directly solve the path's bottom node from its (off-path) children."""
+    kind = nice.kinds[node]
+    cs = kids[node]
+    out: Dict[tuple, int] = {}
+    if kind == LEAF:
+        out[space.leaf_state()] = 1
+    elif kind == INTRODUCE:
+        v = int(nice.vertex[node])
+        for s in valid_tables[cs[0]]:
+            for t in space.introduce(v, s):
+                out[t] = 1
+    elif kind == FORGET:
+        v = int(nice.vertex[node])
+        for s in valid_tables[cs[0]]:
+            t = space.forget(v, s)
+            if t is not None:
+                out[t] = 1
+    elif kind == JOIN:
+        left, right = cs
+        buckets: Dict[tuple, List[tuple]] = {}
+        for sr in valid_tables[right]:
+            buckets.setdefault(space.join_key(sr), []).append(sr)
+        for sl in valid_tables[left]:
+            for sr in buckets.get(space.join_key(sl), ()):
+                t = space.join(sl, sr)
+                if t is not None:
+                    out[t] = 1
+    else:  # pragma: no cover
+        raise ValueError(f"unknown node kind {kind!r}")
+    return out
+
+
+def solve_path(
+    space,
+    nice: NiceDecomposition,
+    path_nodes: Sequence[int],
+    valid_tables: List[Optional[Dict[tuple, int]]],
+    node_stats: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> PathDAGResult:
+    """Compute the valid partial matches of every node on ``path_nodes``
+    (bottom-to-top) via the shortcut DAG (Lemma 3.3).
+
+    ``node_stats`` optionally carries per-nice-node subtree statistics
+    ``(forgotten_count, marked_forgotten)`` used to filter the local state
+    enumeration (a sound prune — see ``admissible_at`` on the spaces).
+    """
+    kids = nice.children()
+    t = len(path_nodes)
+    work = 0
+
+    # ---- vertex sets -------------------------------------------------------
+    bottom = _bottom_states(space, nice, path_nodes[0], kids, valid_tables)
+    states_per_node: List[List[tuple]] = [list(bottom.keys())]
+    for i in range(1, t):
+        node = path_nodes[i]
+        states = space.local_states(nice.bags[node])
+        if node_stats is not None:
+            fc = int(node_stats[0][node])
+            mf = bool(node_stats[1][node])
+            states = [s for s in states if space.admissible_at(s, fc, mf)]
+        states_per_node.append(states)
+    index: List[Dict[tuple, int]] = []
+    offsets = [0]
+    for states in states_per_node:
+        index.append({s: offsets[-1] + j for j, s in enumerate(states)})
+        offsets.append(offsets[-1] + len(states))
+    total = offsets[-1]
+    work += total
+
+    # ---- edges and the forest F -------------------------------------------
+    adjacency: List[List[int]] = [[] for _ in range(total)]
+    # F oriented along the DAG: f_up[src] = the vertex holding src's
+    # canonical no-new-match lift (Figure 5); a forest of in-trees.
+    f_up = np.full(total, NIL, dtype=np.int64)
+    num_edges = 0
+
+    def add_edge(src: int, dst: int) -> None:
+        nonlocal num_edges
+        adjacency[src].append(dst)
+        num_edges += 1
+
+    for i in range(1, t):
+        node = path_nodes[i]
+        kind = nice.kinds[node]
+        cs = kids[node]
+        here = index[i]
+        below = index[i - 1]
+        off_child_states = None
+        buckets: Dict[tuple, List[tuple]] = {}
+        if kind == JOIN:
+            off_child = cs[0] if cs[1] == path_nodes[i - 1] else cs[1]
+            off_child_states = valid_tables[off_child]
+            for so in off_child_states:
+                buckets.setdefault(space.join_key(so), []).append(so)
+        v = int(nice.vertex[node]) if kind in (INTRODUCE, FORGET) else NIL
+        for s, src in below.items():
+            lift = space.lift(kind, v, s)
+            targets: List[tuple] = []
+            if kind == INTRODUCE:
+                targets = list(space.introduce(v, s))
+            elif kind == FORGET:
+                tgt = space.forget(v, s)
+                targets = [tgt] if tgt is not None else []
+            else:  # JOIN
+                for so in buckets.get(space.join_key(s), ()):
+                    tgt = space.join(s, so)
+                    if tgt is not None:
+                        targets.append(tgt)
+            work += max(len(targets), 1)
+            targets = list(dict.fromkeys(targets))
+            for tgt in targets:
+                dst = here.get(tgt)
+                if dst is None:
+                    continue  # pruned locally (cannot be valid)
+                add_edge(src, dst)
+                if tgt == lift:
+                    f_up[src] = dst
+    work += total
+
+    # ---- shortcuts on F (Lemma 3.3) ----------------------------------------
+    num_shortcuts = 0
+    if total > 1:
+        pd, _ = layered_paths(np.asarray(f_up), None)
+        # Charge Lemma 3.2's bound for the F decomposition (O(n) work,
+        # O(log n) depth); the host-side layer evaluation is sequential but
+        # the parallel evaluation is implemented and tested in repro.pram.
+        pd_cost = Cost(
+            max(2 * total, 1), max(1, 2 * log2_ceil(max(total, 2)))
+        )
+        h = max(1, log2_ceil(max(total, 2)))
+        for f_path in pd.all_paths_bottom_up():
+            ln = len(f_path)
+            if ln <= 1:
+                continue
+            top = f_path[-1]
+            for pos, u in enumerate(f_path[:-1]):
+                # Exit jump to the path top.
+                adjacency[u].append(top)
+                num_shortcuts += 1
+            hubs = f_path[::h]
+            m = len(hubs)
+            for a in range(m):
+                step = 1
+                while a + step < m:
+                    adjacency[hubs[a]].append(hubs[a + step])
+                    num_shortcuts += 1
+                    step <<= 1
+    else:
+        pd_cost = Cost.zero()
+    work += num_shortcuts
+
+    # ---- hop-bounded reachability (level-synchronous BFS) ------------------
+    reached = np.zeros(total, dtype=bool)
+    frontier: List[int] = []
+    for s, idx0 in index[0].items():
+        reached[idx0] = True
+        frontier.append(idx0)
+    for i in range(1, t):
+        for s, idx_i in index[i].items():
+            if space.is_trivial_source(s) and not reached[idx_i]:
+                reached[idx_i] = True
+                frontier.append(idx_i)
+    rounds = 0
+    bfs_work = len(frontier)
+    while frontier:
+        rounds += 1
+        nxt: List[int] = []
+        for u in frontier:
+            for w in adjacency[u]:
+                bfs_work += 1
+                if not reached[w]:
+                    reached[w] = True
+                    nxt.append(w)
+        frontier = nxt
+    work += bfs_work
+
+    valid_per_node: List[Dict[tuple, int]] = []
+    for i in range(t):
+        valid_per_node.append(
+            {s: 1 for s, idx_i in index[i].items() if reached[idx_i]}
+        )
+
+    lg = log2_ceil(max(total, 2))
+    build_work = max(work - bfs_work, 1)
+    cost = (
+        Cost(build_work, min(build_work, max(1, 4 * lg)))
+        + pd_cost
+        + Cost(max(bfs_work, 1), min(max(bfs_work, 1), max(rounds, 1)))
+    )
+    return PathDAGResult(
+        valid_per_node=valid_per_node,
+        num_states=total,
+        num_edges=num_edges,
+        num_shortcuts=num_shortcuts,
+        bfs_rounds=rounds,
+        cost=cost,
+    )

@@ -1,0 +1,149 @@
+"""Pattern graphs: the small graph H we search for (k vertices, diameter d).
+
+Bundles the pattern with the precomputed facts the engines need (neighbor
+tuples, diameter, connectivity, components) plus a small library of the
+named patterns used throughout the paper and the benchmarks (triangles,
+paths, cycles — including the separating 8-cycle of Section 5 — stars, K4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graphs.csr import Graph
+from ..graphs.components import connected_components
+
+__all__ = [
+    "Pattern",
+    "triangle",
+    "path_pattern",
+    "cycle_pattern",
+    "star_pattern",
+    "clique_pattern",
+    "diamond",
+]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A pattern graph H with cached structure.
+
+    Attributes
+    ----------
+    graph:
+        The pattern as a :class:`Graph` (vertices ``0..k-1``).
+    """
+
+    graph: Graph
+    _neighbors: Tuple[Tuple[int, ...], ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.graph.n == 0:
+            raise ValueError("the pattern must have at least one vertex")
+        object.__setattr__(
+            self,
+            "_neighbors",
+            tuple(
+                tuple(int(w) for w in self.graph.neighbors(v))
+                for v in range(self.graph.n)
+            ),
+        )
+
+    @property
+    def k(self) -> int:
+        """Number of pattern vertices."""
+        return self.graph.n
+
+    def neighbors(self, p: int) -> Tuple[int, ...]:
+        return self._neighbors[p]
+
+    def is_connected(self) -> bool:
+        _, count, _ = connected_components(self.graph)
+        return count <= 1
+
+    def components(self) -> List[np.ndarray]:
+        """Vertex arrays of the connected components."""
+        labels, count, _ = connected_components(self.graph)
+        from ..graphs.components import component_members
+
+        return component_members(labels, count)
+
+    def component_patterns(self) -> List[Tuple["Pattern", np.ndarray]]:
+        """Each component as its own pattern plus the original vertex ids."""
+        out = []
+        for members in self.components():
+            sub, originals = self.graph.induced_subgraph(members)
+            out.append((Pattern(sub), originals))
+        return out
+
+    def diameter(self) -> int:
+        """Diameter of the pattern (max over components; the quantity ``d``
+        of Corollary 2.2)."""
+        from ..graphs.bfs import parallel_bfs
+
+        best = 0
+        for v in range(self.k):
+            res, _ = parallel_bfs(self.graph, [v])
+            reached = res.level[res.level >= 0]
+            best = max(best, int(reached.max(initial=0)))
+        return best
+
+    def spanning_forest_edges(self) -> List[Tuple[int, int]]:
+        """A spanning forest (used by Observation 1's argument)."""
+        seen = np.zeros(self.k, dtype=bool)
+        edges = []
+        for root in range(self.k):
+            if seen[root]:
+                continue
+            seen[root] = True
+            queue = [root]
+            while queue:
+                u = queue.pop()
+                for w in self.neighbors(u):
+                    if not seen[w]:
+                        seen[w] = True
+                        edges.append((u, w))
+                        queue.append(w)
+        return edges
+
+
+def triangle() -> Pattern:
+    """K3."""
+    return Pattern(Graph(3, [(0, 1), (1, 2), (0, 2)]))
+
+
+def path_pattern(k: int) -> Pattern:
+    """The path on ``k`` vertices."""
+    if k < 1:
+        raise ValueError("need at least one vertex")
+    return Pattern(Graph(k, [(i, i + 1) for i in range(k - 1)]))
+
+
+def cycle_pattern(k: int) -> Pattern:
+    """The cycle on ``k >= 3`` vertices (``k = 2c`` for Section 5's
+    separating cycles)."""
+    if k < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    return Pattern(Graph(k, [(i, (i + 1) % k) for i in range(k)]))
+
+
+def star_pattern(leaves: int) -> Pattern:
+    """The star with ``leaves`` leaves."""
+    if leaves < 1:
+        raise ValueError("need at least one leaf")
+    return Pattern(Graph(leaves + 1, [(0, i) for i in range(1, leaves + 1)]))
+
+
+def clique_pattern(k: int) -> Pattern:
+    """K_k (planar-embeddable only for k <= 4)."""
+    return Pattern(
+        Graph(k, [(i, j) for i in range(k) for j in range(i + 1, k)])
+    )
+
+
+def diamond() -> Pattern:
+    """K4 minus an edge."""
+    return Pattern(Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]))

@@ -1,0 +1,178 @@
+"""Planar subgraph isomorphism drivers (Theorem 2.1, Corollary 2.2).
+
+One *round* = one Parallel Treewidth k-d Cover + one bounded-treewidth
+solve per cover piece (all pieces in parallel).  A round finds any fixed
+occurrence with probability >= 1/2 (Theorem 2.4), so:
+
+* if the pattern occurs, the expected number of rounds until detection is
+  O(1) — work ``k^O(k) n`` in expectation on positive instances;
+* ``O(log n)`` rounds certify absence w.h.p. — the Monte Carlo guarantee of
+  Theorem 2.1 (the returned decision is one-sided: "found" is always
+  correct, "not found" is correct w.h.p.).
+
+The driver is engine-agnostic (parallel engine by default, sequential for
+comparison) and returns the full cost trace for the Table-1 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graphs.csr import Graph
+from ..planar.embedding import PlanarEmbedding
+from ..planar.geometric import embedding_cost
+from ..pram import Cost, Tracker
+from ..treedecomp.nice import make_nice
+from .cover import treewidth_cover
+from .pattern import Pattern
+from .parallel_dp import parallel_dp
+from .recovery import first_witness, iter_witnesses
+from .sequential_dp import sequential_dp
+from .state_space import SubgraphStateSpace
+
+__all__ = ["PlanarSIResult", "decide_subgraph_isomorphism", "find_occurrence"]
+
+
+@dataclass
+class PlanarSIResult:
+    """Outcome of the Monte Carlo planar subgraph isomorphism driver.
+
+    ``found`` is always correct when True; when False it is correct with
+    high probability (Theorem 2.1).  ``witness`` maps pattern vertices to
+    target vertices when an occurrence was requested and found.
+    """
+
+    found: bool
+    witness: Optional[Dict[int, int]]
+    rounds_used: int
+    cost: Cost
+    pieces_examined: int
+    max_piece_width: int
+
+
+def _rounds_for(n: int, rounds: Optional[int], confidence_log_factor: float) -> int:
+    if rounds is not None:
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        return rounds
+    return max(1, math.ceil(confidence_log_factor * math.log2(max(n, 2))))
+
+
+def decide_subgraph_isomorphism(
+    graph: Graph,
+    embedding: PlanarEmbedding,
+    pattern: Pattern,
+    seed: int,
+    engine: str = "parallel",
+    rounds: Optional[int] = None,
+    confidence_log_factor: float = 2.0,
+    want_witness: bool = False,
+) -> PlanarSIResult:
+    """Decide (w.h.p.) whether the connected ``pattern`` occurs in the
+    planar ``graph`` (Theorem 2.1 / Corollary 2.2).
+
+    Parameters
+    ----------
+    engine:
+        ``"parallel"`` (Section 3.3) or ``"sequential"`` (Section 3.2).
+    rounds:
+        Fixed number of cover rounds; default ``ceil(c log2 n)`` rounds
+        with ``c = confidence_log_factor`` (absence w.h.p.).
+    """
+    if not pattern.is_connected():
+        raise ValueError(
+            "the base driver handles connected patterns; use "
+            "repro.isomorphism.disconnected for the general case"
+        )
+    if engine not in ("parallel", "sequential"):
+        raise ValueError(f"unknown engine {engine!r}")
+    k = pattern.k
+    d = pattern.diameter()
+    tracker = Tracker()
+    tracker.charge(embedding_cost(graph.n))
+    total_rounds = _rounds_for(graph.n, rounds, confidence_log_factor)
+    pieces_examined = 0
+    max_width = 0
+    for r in range(total_rounds):
+        cover = treewidth_cover(graph, embedding, k, d, seed=seed + r)
+        tracker.charge(cover.cost)
+        found_witness: Optional[Dict[int, int]] = None
+        found = False
+        with tracker.parallel() as region:
+            for piece in cover.pieces:
+                if piece.graph.n < k:
+                    continue
+                pieces_examined += 1
+                with region.branch() as branch:
+                    witness = _solve_piece(
+                        piece, pattern, engine, branch, want_witness
+                    )
+                max_width = max(max_width, piece.decomposition.width())
+                if witness is not None and not found:
+                    found = True
+                    if want_witness:
+                        found_witness = {
+                            p: int(piece.originals[v])
+                            for p, v in witness.items()
+                        }
+        if found:
+            return PlanarSIResult(
+                found=True,
+                witness=found_witness,
+                rounds_used=r + 1,
+                cost=tracker.cost,
+                pieces_examined=pieces_examined,
+                max_piece_width=max_width,
+            )
+    return PlanarSIResult(
+        found=False,
+        witness=None,
+        rounds_used=total_rounds,
+        cost=tracker.cost,
+        pieces_examined=pieces_examined,
+        max_piece_width=max_width,
+    )
+
+
+def _solve_piece(
+    piece, pattern: Pattern, engine: str, tracker, want_witness: bool
+) -> Optional[Dict[int, int]]:
+    """Solve one cover piece; returns a local witness dict, ``{}`` as a
+    found-marker when no witness was requested, or None."""
+    nice, ncost = make_nice(piece.decomposition.binarize())
+    tracker.charge(ncost)
+    space = SubgraphStateSpace(pattern, piece.graph)
+    if engine == "parallel":
+        result = parallel_dp(space, nice)
+    else:
+        result = sequential_dp(space, nice)
+    tracker.charge(result.cost)
+    if not result.found:
+        return None
+    if not want_witness:
+        return {}
+    return first_witness(space, nice, result.valid)
+
+
+def find_occurrence(
+    graph: Graph,
+    embedding: PlanarEmbedding,
+    pattern: Pattern,
+    seed: int,
+    engine: str = "parallel",
+    rounds: Optional[int] = None,
+) -> PlanarSIResult:
+    """Like :func:`decide_subgraph_isomorphism` but returns a witness."""
+    return decide_subgraph_isomorphism(
+        graph,
+        embedding,
+        pattern,
+        seed,
+        engine=engine,
+        rounds=rounds,
+        want_witness=True,
+    )

@@ -1,0 +1,103 @@
+"""Occurrence recovery: turn DP valid-state tables into explicit matches.
+
+Section 4.2.1: a valid accepting match of the root is attributed to concrete
+subgraph isomorphisms by walking the graph of partial matches in reverse,
+extending the isomorphism through each edge; only the k match-introducing
+edges change the mapping, all shortcut/translation edges leave it alone.
+
+The walker below is engine-agnostic: it needs only the per-node valid-state
+tables (produced identically by the sequential and the parallel engine) and
+the state space's backward transitions.  Enumeration is an iterative AND-OR
+search (joins fork two subgoals), streaming witnesses so callers can stop at
+any limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..treedecomp.nice import FORGET, INTRODUCE, JOIN, LEAF, NiceDecomposition
+
+__all__ = ["iter_witnesses", "first_witness", "witness_images"]
+
+
+def iter_witnesses(
+    space,
+    nice: NiceDecomposition,
+    valid: List[Dict[tuple, int]],
+) -> Iterator[Dict[int, int]]:
+    """Yield every subgraph isomorphism (pattern vertex -> target vertex)
+    recorded by the DP tables.
+
+    Each witness is yielded exactly once (the derivation of a fixed
+    isomorphism through the decomposition is unique).
+    """
+    kids = nice.children()
+    root = nice.root
+    accepting = [s for s in valid[root] if space.is_accepting(s)]
+    # DFS over (pending subgoals, assignment so far).
+    stack: List[Tuple[Tuple[Tuple[int, tuple], ...], Dict[int, int]]] = [
+        (((root, s),), {}) for s in accepting
+    ]
+    while stack:
+        goals, assignment = stack.pop()
+        if not goals:
+            yield dict(assignment)
+            continue
+        (node, state), rest = goals[0], goals[1:]
+        kind = nice.kinds[node]
+        cs = kids[node]
+        if kind == LEAF:
+            stack.append((rest, assignment))
+            continue
+        if kind == INTRODUCE:
+            v = int(nice.vertex[node])
+            for child_state, newly in space.introduce_preimage_candidates(
+                v, state
+            ):
+                if child_state not in valid[cs[0]]:
+                    continue
+                if not any(
+                    t == state for t in space.introduce(v, child_state)
+                ):
+                    continue
+                asg = assignment
+                if newly is not None:
+                    asg = dict(assignment)
+                    asg[newly] = v
+                stack.append((((cs[0], child_state),) + rest, asg))
+            continue
+        if kind == FORGET:
+            v = int(nice.vertex[node])
+            for cand in space.forget_preimage_candidates(v, state):
+                if cand in valid[cs[0]] and space.forget(v, cand) == state:
+                    stack.append((((cs[0], cand),) + rest, assignment))
+            continue
+        if kind == JOIN:
+            left, right = cs
+            for sl, sr in space.join_splits(state):
+                if sl in valid[left] and sr in valid[right]:
+                    if space.join(sl, sr) == state:
+                        stack.append(
+                            (((left, sl), (right, sr)) + rest, assignment)
+                        )
+            continue
+        raise ValueError(f"unknown node kind {kind!r}")  # pragma: no cover
+
+
+def first_witness(
+    space, nice: NiceDecomposition, valid: List[Dict[tuple, int]]
+) -> Optional[Dict[int, int]]:
+    """One subgraph isomorphism, or None."""
+    return next(iter_witnesses(space, nice, valid), None)
+
+
+def witness_images(
+    space, nice: NiceDecomposition, valid: List[Dict[tuple, int]]
+) -> set:
+    """The set of *occurrences* (frozen target-vertex sets with their edge
+    realization irrelevant): witnesses deduplicated by image."""
+    return {
+        frozenset(w.values())
+        for w in iter_witnesses(space, nice, valid)
+    }

@@ -1,0 +1,308 @@
+"""Partial matches (Section 3.1) and their transition rules.
+
+A partial match of a decomposition node X is the paper's triple
+``(phi, C, U)``: an isomorphism ``phi`` of a sub-pattern into G[X], the set
+``C`` of pattern vertices matched strictly below X ("matched in a child"),
+and the set ``U`` of pattern vertices not yet matched.  We encode a state as
+a tuple of ``k`` ints: ``state[p]`` is the target vertex ``phi(p)``, or
+``UNMATCHED`` (-1, the set U), or ``IN_CHILD`` (-2, the set C).
+
+Transitions are phrased over *nice* decompositions (introduce / forget /
+join single steps; ``repro.treedecomp.nice``), which factor the paper's
+parent/child consistency and compatibility rules (Section 3.2) into sparse
+local rules:
+
+* introduce(v): the new bag vertex may match any unmatched pattern vertex
+  whose already-mapped H-neighbors are G-adjacent to v and that has no
+  H-neighbor already forgotten (an edge into a forgotten target could never
+  be realized);
+* forget(v): forced — the pattern vertex on v (if any) moves to C, but only
+  if all its H-neighbors are matched or in C (the paper's consistency rule
+  "if phi_Y matches v to a vertex not in the parent, mark it matched in a
+  child" plus edge realizability);
+* join: the two children agree on phi (they share the bag) and their C sets
+  are disjoint — the paper's "matched in exactly one of the children".
+
+The same protocol is implemented by the extended state space of Section 5.2
+(``repro.separating.state_space``), so every engine (sequential bottom-up,
+parallel path/DAG/shortcut) works for both problems unchanged.
+
+The optional ``allowed`` mask restricts matches to a vertex subset — the set
+A of allowed vertices from the separating cover (Section 5.2.1), also useful
+on its own (e.g. to exclude merged vertices).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.csr import Graph
+from .pattern import Pattern
+
+__all__ = ["UNMATCHED", "IN_CHILD", "SubgraphStateSpace", "State"]
+
+UNMATCHED = -1
+IN_CHILD = -2
+
+State = Tuple[int, ...]
+
+
+class SubgraphStateSpace:
+    """The (phi, C, U) state space for plain subgraph isomorphism."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: Graph,
+        allowed: Optional[np.ndarray] = None,
+        host_classes: Optional[np.ndarray] = None,
+        pattern_classes: Optional[Sequence[Optional[int]]] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.graph = graph
+        self.k = pattern.k
+        if allowed is not None:
+            allowed = np.asarray(allowed, dtype=bool)
+            if allowed.shape != (graph.n,):
+                raise ValueError("allowed mask must cover every vertex")
+        self.allowed = allowed
+        # Optional class constraints: pattern vertex p may only map to
+        # target vertices whose host class matches pattern_classes[p]
+        # (None = unconstrained).  The vertex connectivity pipeline uses
+        # this to force cycle parity onto the original/face bipartition of
+        # G' — a pure symmetry reduction (every alternating cycle admits a
+        # rotation matching the classes).
+        if (host_classes is None) != (pattern_classes is None):
+            raise ValueError("host and pattern classes come together")
+        if host_classes is not None:
+            host_classes = np.asarray(host_classes, dtype=np.int64)
+            if host_classes.shape != (graph.n,):
+                raise ValueError("host classes must cover every vertex")
+            if len(pattern_classes) != self.k:
+                raise ValueError("pattern classes must cover the pattern")
+        self.host_classes = host_classes
+        self.pattern_classes = (
+            list(pattern_classes) if pattern_classes is not None else None
+        )
+        self._local_cache: dict = {}
+
+    # -- basic states ------------------------------------------------------
+
+    def leaf_state(self) -> State:
+        return (UNMATCHED,) * self.k
+
+    def is_accepting(self, s: State) -> bool:
+        return all(x == IN_CHILD for x in s)
+
+    def statistics_key(self, s: State) -> tuple:
+        return s
+
+    def is_trivial_source(self, s: State) -> bool:
+        """States that mark nothing as matched-in-a-child are valid
+        unconditionally (Section 3.3.2's tagging rule): they claim only
+        facts about the bag itself."""
+        return all(x != IN_CHILD for x in s)
+
+    def is_marked_vertex(self, v: int) -> bool:
+        """No marked set in the plain problem (see the separating space)."""
+        return False
+
+    def admissible_at(
+        self, s: State, forgotten_count: int, marked_forgotten: bool
+    ) -> bool:
+        """Cheap per-node soundness filter for locally enumerated states:
+        each C-vertex maps to a target vertex forgotten strictly below the
+        node, so ``|C|`` cannot exceed the number of forget steps there."""
+        return sum(1 for x in s if x == IN_CHILD) <= forgotten_count
+
+    # -- transitions -------------------------------------------------------
+
+    def _can_host(self, v: int) -> bool:
+        return self.allowed is None or bool(self.allowed[v])
+
+    def _class_ok(self, p: int, v: int) -> bool:
+        if self.pattern_classes is None:
+            return True
+        want = self.pattern_classes[p]
+        return want is None or int(self.host_classes[v]) == want
+
+    def introduce(self, v: int, s: State) -> Iterator[State]:
+        """All parent states over child state ``s`` when ``v`` joins the bag."""
+        yield s  # v hosts no pattern vertex
+        if not self._can_host(v):
+            return
+        has_edge = self.graph.has_edge
+        for p in range(self.k):
+            if s[p] != UNMATCHED or not self._class_ok(p, v):
+                continue
+            ok = True
+            for q in self.pattern.neighbors(p):
+                sq = s[q]
+                if sq == IN_CHILD:
+                    ok = False  # edge (p, q) could never be realized
+                    break
+                if sq >= 0 and not has_edge(v, sq):
+                    ok = False
+                    break
+            if ok:
+                yield s[:p] + (v,) + s[p + 1 :]
+
+    def forget(self, v: int, s: State) -> Optional[State]:
+        """The unique parent state when ``v`` leaves the bag (or None)."""
+        for p in range(self.k):
+            if s[p] == v:
+                for q in self.pattern.neighbors(p):
+                    if s[q] == UNMATCHED:
+                        return None  # edge (p, q) would never be realized
+                return s[:p] + (IN_CHILD,) + s[p + 1 :]
+        return s
+
+    def join(self, sl: State, sr: State) -> Optional[State]:
+        """Combine compatible children of a join node (same bag)."""
+        out: List[int] = []
+        for a, b in zip(sl, sr):
+            if a >= 0 or b >= 0:
+                if a != b:
+                    return None
+                out.append(a)
+            elif a == IN_CHILD:
+                if b == IN_CHILD:
+                    return None  # matched strictly below both sides
+                out.append(IN_CHILD)
+            elif b == IN_CHILD:
+                out.append(IN_CHILD)
+            else:
+                out.append(UNMATCHED)
+        return tuple(out)
+
+    def join_key(self, s: State) -> State:
+        """Bucketing key for join compatibility: the mapped part of phi."""
+        return tuple(x if x >= 0 else UNMATCHED for x in s)
+
+    # -- canonical no-new-match lift (Figure 5) -----------------------------
+
+    def lift(self, kind: str, v: int, s: State) -> Optional[State]:
+        """The unique parent state that introduces no new match."""
+        if kind == "introduce":
+            return s
+        if kind == "forget":
+            return self.forget(v, s)
+        if kind == "join":
+            # Combine with the always-valid (phi, C = empty) twin.
+            return s
+        if kind == "leaf":
+            return None
+        raise ValueError(f"unknown node kind {kind!r}")
+
+    # -- backward transitions (occurrence recovery, Section 4.2.1) ----------
+
+    def introduce_preimage_candidates(
+        self, v: int, s: State
+    ) -> List[Tuple[State, Optional[int]]]:
+        """Child states under an introduce node, each with the pattern
+        vertex newly matched to ``v`` (or None).  Unique for this space;
+        the separating space can have several (boolean history)."""
+        for p in range(self.k):
+            if s[p] == v:
+                return [(s[:p] + (UNMATCHED,) + s[p + 1 :], p)]
+        return [(s, None)]
+
+    def forget_preimage_candidates(self, v: int, s: State) -> List[State]:
+        """Child states that could forget ``v`` into ``s`` (unverified)."""
+        out = [s]
+        for p in range(self.k):
+            if s[p] == IN_CHILD:
+                out.append(s[:p] + (v,) + s[p + 1 :])
+        return out
+
+    def join_splits(self, s: State) -> Iterator[Tuple[State, State]]:
+        """All (left, right) child pairs combining to ``s`` (unverified)."""
+        c_positions = [p for p in range(self.k) if s[p] == IN_CHILD]
+        base = tuple(x if x >= 0 else UNMATCHED for x in s)
+        m = len(c_positions)
+        for mask in range(1 << m):
+            sl = list(base)
+            sr = list(base)
+            for i, p in enumerate(c_positions):
+                if mask >> i & 1:
+                    sl[p] = IN_CHILD
+                else:
+                    sr[p] = IN_CHILD
+            yield tuple(sl), tuple(sr)
+
+    # -- local enumeration (parallel engine, Section 3.3.2) -----------------
+
+    def local_states(self, bag: Sequence[int]) -> List[State]:
+        """Every locally plausible state of a bag.
+
+        The enumeration realizes the paper's (tau + 3)^k bound: each pattern
+        vertex is unmatched, matched-in-a-child, or on one of the <= tau + 1
+        bag vertices; locally infeasible combinations (broken injectivity,
+        missing pattern edges inside the bag, an unmatched pattern vertex
+        H-adjacent to a forgotten one) are pruned.
+        """
+        bag = [int(v) for v in bag]
+        cache_key = tuple(bag)
+        cached = self._local_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        hostable = [v for v in bag if self._can_host(v)]
+        k = self.k
+        has_edge = self.graph.has_edge
+        states: List[State] = []
+        assignment: List[int] = [UNMATCHED] * k
+        used: set = set()
+
+        def extend(p: int) -> None:
+            if p == k:
+                states.append(tuple(assignment))
+                return
+            # Option 1: p not on the bag (U for now; C refined later).
+            assignment[p] = UNMATCHED
+            extend(p + 1)
+            # Option 2: p hosted by a free bag vertex consistent with
+            # already-assigned H-neighbors.
+            for v in hostable:
+                if v in used or not self._class_ok(p, v):
+                    continue
+                ok = True
+                for q in self.pattern.neighbors(p):
+                    if q < p and assignment[q] >= 0:
+                        if not has_edge(v, assignment[q]):
+                            ok = False
+                            break
+                if ok:
+                    assignment[p] = v
+                    used.add(v)
+                    extend(p + 1)
+                    used.discard(v)
+                    assignment[p] = UNMATCHED
+
+        extend(0)
+
+        # Refine each mapped skeleton: distribute the unmatched pattern
+        # vertices over {U, C}, pruning C members with an H-neighbor in U.
+        out: List[State] = []
+        for skel in states:
+            free = [p for p in range(k) if skel[p] == UNMATCHED]
+            f = len(free)
+            for mask in range(1 << f):
+                ok = True
+                arr = list(skel)
+                for i, p in enumerate(free):
+                    if mask >> i & 1:
+                        arr[p] = IN_CHILD
+                for i, p in enumerate(free):
+                    if mask >> i & 1:
+                        for q in self.pattern.neighbors(p):
+                            if arr[q] == UNMATCHED:
+                                ok = False
+                                break
+                    if not ok:
+                        break
+                if ok:
+                    out.append(tuple(arr))
+        self._local_cache[cache_key] = out
+        return out

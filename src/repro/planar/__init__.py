@@ -1,0 +1,23 @@
+"""Planar embedding substrate: rotation systems, faces, surgery, G'."""
+
+from .embedding import PlanarEmbedding
+from .geometric import embed_geometric, embedding_cost
+from .dmp import PlanarityError, embed_planar, try_embed_planar
+from .triangulate import StellationResult, stellate
+from .contract import contract_vertex_sets, relabel_embedding
+from .face_vertex import FaceVertexGraph, build_face_vertex_graph
+
+__all__ = [
+    "PlanarEmbedding",
+    "embed_geometric",
+    "embedding_cost",
+    "PlanarityError",
+    "embed_planar",
+    "try_embed_planar",
+    "StellationResult",
+    "stellate",
+    "contract_vertex_sets",
+    "relabel_embedding",
+    "FaceVertexGraph",
+    "build_face_vertex_graph",
+]

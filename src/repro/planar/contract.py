@@ -1,0 +1,98 @@
+"""Embedding surgery: contracting connected vertex sets, relabeling.
+
+Section 5.2.1 builds *minors* of the clusters: "merge all neighboring
+clusters into a single vertex each" and "merge all connected components of
+the cluster that result after removing V(Gi) into a single vertex each".
+Contracting a connected vertex set of an embedded graph keeps the embedding
+planar; this module performs the surgery dart-by-dart (each single-edge
+contraction splices the absorbed vertex's rotation into the survivor's, as
+described in ``PlanarEmbedding.contract_edge``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..pram import Cost, log2_ceil
+from .embedding import NIL, PlanarEmbedding
+
+__all__ = ["contract_vertex_sets", "relabel_embedding"]
+
+
+def contract_vertex_sets(
+    embedding: PlanarEmbedding, groups: Sequence[Sequence[int]]
+) -> Tuple[PlanarEmbedding, np.ndarray, Cost]:
+    """Contract each (connected) vertex group to a single vertex, in place on
+    a copy of the embedding.
+
+    Returns ``(embedding, representative, cost)`` where ``representative[v]``
+    is the surviving vertex that ``v`` was merged into (itself if untouched).
+    Raises ``ValueError`` if a group is not connected in the embedding.
+    The charged cost is linear work and O(log n) depth per the parallel
+    connected-contraction primitive the paper cites [27].
+    """
+    emb = embedding.copy()
+    rep = np.arange(emb.n, dtype=np.int64)
+    touched_darts = 0
+    for group in groups:
+        verts = np.unique(np.asarray(list(group), dtype=np.int64))
+        if verts.size <= 1:
+            continue
+        in_group = set(int(v) for v in verts)
+        root = int(verts[0])
+        # BFS inside the group over the current embedding, collecting a
+        # spanning arborescence of tree darts (tail outside->in order).
+        tree_darts: List[int] = []
+        seen = {root}
+        queue = [root]
+        while queue:
+            u = queue.pop()
+            for d in emb.darts_from(u):
+                w = emb.head[d]
+                if w in in_group and w not in seen:
+                    seen.add(w)
+                    tree_darts.append(d)
+                    queue.append(w)
+        if len(seen) != verts.size:
+            raise ValueError("contraction group is not connected")
+        for d in tree_darts:
+            touched_darts += 1
+            emb.contract_edge(d)
+        for v in verts:
+            rep[v] = root
+    n = emb.n
+    work = max(4 * (touched_darts + 1), 1)
+    cost = Cost(work, min(work, max(1, log2_ceil(max(n, 2)))))
+    return emb, rep, cost
+
+
+def relabel_embedding(
+    embedding: PlanarEmbedding, keep: Sequence[int]
+) -> Tuple[PlanarEmbedding, np.ndarray]:
+    """Compact an embedding to the vertex subset ``keep``.
+
+    Unlike ``induced_subembedding`` this never re-pairs darts (safe for
+    multigraph embeddings produced by contraction), but it requires that no
+    live dart touches a dropped vertex — i.e., dropped vertices must already
+    be isolated.  Returns ``(embedding, originals)``.
+    """
+    verts = np.unique(np.asarray(list(keep), dtype=np.int64))
+    remap = np.full(embedding.n, NIL, dtype=np.int64)
+    remap[verts] = np.arange(verts.size)
+    emb = PlanarEmbedding(int(verts.size))
+    emb.head = [
+        int(remap[h]) if alive else NIL
+        for h, alive in zip(embedding.head, embedding.alive)
+    ]
+    if any(
+        h == NIL and alive
+        for h, alive in zip(emb.head, embedding.alive)
+    ):
+        raise ValueError("a live dart touches a dropped vertex")
+    emb.nxt = list(embedding.nxt)
+    emb.prv = list(embedding.prv)
+    emb.alive = list(embedding.alive)
+    emb.first_dart = [int(embedding.first_dart[v]) for v in verts]
+    return emb, verts

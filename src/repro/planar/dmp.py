@@ -1,0 +1,341 @@
+"""Planarity testing + embedding for abstract graphs (DMP algorithm).
+
+The Demoucron--Malgrange--Pertuiset incremental algorithm: start from a
+cycle, repeatedly choose a *fragment* (bridge) of the remaining graph, and
+embed a path of it into an admissible face.  O(n^2) — perfectly adequate for
+the abstract inputs we must embed without coordinates (pattern graphs, the
+icosahedron, user-supplied targets); geometric inputs take the O(n)-work
+fast path in ``repro.planar.geometric`` instead.  This module is our
+substitute for the Klein--Reif parallel embedding primitive [31] (DESIGN.md,
+Substitutions); the pipeline charges that primitive's cost via
+``embedding_cost``.
+
+The returned object is a rotation system reconstructed from the final face
+set: with every dart lying on exactly one (consistently oriented) face, the
+rotation successor of a dart d is phi(twin(d)) where phi follows faces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..graphs.csr import Graph
+from .embedding import PlanarEmbedding
+
+__all__ = ["embed_planar", "try_embed_planar", "PlanarityError"]
+
+
+class PlanarityError(ValueError):
+    """Raised when a graph admits no planar embedding."""
+
+
+def embed_planar(graph: Graph) -> PlanarEmbedding:
+    """A planar embedding of ``graph``; raises :class:`PlanarityError`."""
+    emb = try_embed_planar(graph)
+    if emb is None:
+        raise PlanarityError("graph is not planar")
+    return emb
+
+
+def try_embed_planar(graph: Graph) -> Optional[PlanarEmbedding]:
+    """A planar embedding of ``graph``, or ``None`` if it has none."""
+    n = graph.n
+    if n == 0:
+        return PlanarEmbedding(0)
+    if graph.m > max(3 * n - 6, n - 1):
+        return None  # Euler bound: too dense to be planar
+
+    rotations: List[List[int]] = [[] for _ in range(n)]
+    # Decompose into biconnected pieces; embed each; splice rotations at
+    # shared (articulation) vertices — any interleaving is planar because
+    # pieces meet in single vertices.
+    for piece_vertices, piece_edges in _biconnected_pieces(graph):
+        piece_rot = _embed_piece(piece_vertices, piece_edges)
+        if piece_rot is None:
+            return None
+        for v, order in piece_rot.items():
+            rotations[v].extend(order)
+    return PlanarEmbedding.from_rotations(n, rotations)
+
+
+# -- biconnected decomposition ----------------------------------------------
+
+
+def _biconnected_pieces(
+    graph: Graph,
+) -> List[Tuple[List[int], List[Tuple[int, int]]]]:
+    """Split into biconnected components (each a vertex + edge list)."""
+    n = graph.n
+    indptr, indices = graph.indptr, graph.indices
+    visited = np.zeros(n, dtype=bool)
+    disc = np.zeros(n, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    timer = 0
+    pieces: List[Tuple[List[int], List[Tuple[int, int]]]] = []
+    edge_stack: List[Tuple[int, int]] = []
+
+    for root in range(n):
+        if visited[root]:
+            continue
+        stack: List[List[int]] = [[root, -1, int(indptr[root])]]
+        visited[root] = True
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            v, parent, ptr = stack[-1]
+            if ptr < indptr[v + 1]:
+                stack[-1][2] += 1
+                w = int(indices[ptr])
+                if not visited[w]:
+                    visited[w] = True
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    edge_stack.append((v, w))
+                    stack.append([w, v, int(indptr[w])])
+                elif w != parent and disc[w] < disc[v]:
+                    edge_stack.append((v, w))
+                    if disc[w] < low[v]:
+                        low[v] = disc[w]
+            else:
+                stack.pop()
+                if stack:
+                    pv = stack[-1][0]
+                    if low[v] < low[pv]:
+                        low[pv] = low[v]
+                    if low[v] >= disc[pv]:
+                        # pv is a cut vertex (or the root): pop a component.
+                        comp: List[Tuple[int, int]] = []
+                        while edge_stack and edge_stack[-1] != (pv, v):
+                            comp.append(edge_stack.pop())
+                        if edge_stack:
+                            comp.append(edge_stack.pop())
+                        if comp:
+                            verts = sorted(
+                                {u for e in comp for u in e}
+                            )
+                            pieces.append((verts, comp))
+    return pieces
+
+
+# -- DMP on a biconnected piece ----------------------------------------------
+
+
+def _embed_piece(
+    vertices: Sequence[int], edges: Sequence[Tuple[int, int]]
+) -> Optional[Dict[int, List[int]]]:
+    """Embed one biconnected piece; returns per-vertex rotations (in the
+    original vertex ids) or ``None`` when non-planar."""
+    if len(edges) == 1:
+        (u, v), = edges
+        return {u: [v], v: [u]}
+
+    adj: Dict[int, Set[int]] = {v: set() for v in vertices}
+    for u, v in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+
+    cycle = _find_cycle(adj)
+    # Embedded subgraph state: set of embedded vertices, set of embedded
+    # edges, and the face list (directed vertex cycles; every dart on
+    # exactly one face).
+    embedded_vertices: Set[int] = set(cycle)
+    embedded_edges: Set[Tuple[int, int]] = set()
+
+    def canon(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+        embedded_edges.add(canon(a, b))
+    faces: List[List[int]] = [list(cycle), list(reversed(cycle))]
+    total_edges = len(edges)
+
+    while len(embedded_edges) < total_edges:
+        fragments = _fragments(adj, embedded_vertices, embedded_edges, canon)
+        # Compute admissible faces per fragment.
+        face_sets = [set(f) for f in faces]
+        choice = None
+        for frag in fragments:
+            attach = frag[1]
+            admissible = [
+                i for i, fs in enumerate(face_sets) if attach <= fs
+            ]
+            if not admissible:
+                return None  # non-planar
+            if choice is None or len(admissible) == 1:
+                choice = (frag, admissible)
+                if len(admissible) == 1:
+                    break
+        assert choice is not None
+        (frag_vertices, attach), admissible = choice
+        face_idx = admissible[0]
+        path = _fragment_path(adj, frag_vertices, attach, embedded_vertices)
+        _embed_path(faces, face_idx, path)
+        for x in path[1:-1]:
+            embedded_vertices.add(x)
+        for a, b in zip(path, path[1:]):
+            embedded_edges.add(canon(a, b))
+
+    # Reconstruct rotations from the faces: rotation successor of dart
+    # (u -> v) is the face-successor of dart (v -> u).
+    face_succ: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for f in faces:
+        k = len(f)
+        for i in range(k):
+            d = (f[i], f[(i + 1) % k])
+            face_succ[d] = (f[(i + 1) % k], f[(i + 2) % k])
+    rotations: Dict[int, List[int]] = {}
+    placed: Set[Tuple[int, int]] = set()
+    for u in vertices:
+        order: List[int] = []
+        start = next(
+            ((a, b) for (a, b) in face_succ if a == u), None
+        )
+        if start is None:
+            continue
+        d = start
+        while d not in placed:
+            placed.add(d)
+            order.append(d[1])
+            d = face_succ[(d[1], d[0])]
+        rotations[u] = order
+    return rotations
+
+
+def _find_cycle(adj: Dict[int, Set[int]]) -> List[int]:
+    """Any simple cycle of a biconnected graph: take an edge (u, v) and a
+    shortest u--v path avoiding that edge (one exists — no bridges)."""
+    u = next(iter(adj))
+    v = next(iter(adj[u]))
+    parent: Dict[int, int] = {u: -1}
+    queue = [u]
+    while queue and v not in parent:
+        nxt: List[int] = []
+        for x in queue:
+            for w in adj[x]:
+                if w in parent or (x == u and w == v):
+                    continue
+                parent[w] = x
+                nxt.append(w)
+        queue = nxt
+    if v not in parent:
+        raise AssertionError("biconnected piece with a bridge edge")
+    path = [v]
+    x = v
+    while parent[x] != -1:
+        x = parent[x]
+        path.append(x)
+    return path
+
+
+def _fragments(
+    adj: Dict[int, Set[int]],
+    embedded_vertices: Set[int],
+    embedded_edges: Set[Tuple[int, int]],
+    canon,
+) -> List[Tuple[Set[int], Set[int]]]:
+    """Bridges of G relative to the embedded subgraph H.
+
+    Each fragment is ``(vertex set incl. attachments, attachment set)``.
+    Chords (edges between two embedded vertices not yet embedded) are their
+    own fragments.
+    """
+    out: List[Tuple[Set[int], Set[int]]] = []
+    seen: Set[int] = set()
+    for v in adj:
+        if v in embedded_vertices or v in seen:
+            continue
+        # Flood a component of G - V(H).
+        comp = {v}
+        attach: Set[int] = set()
+        queue = [v]
+        seen.add(v)
+        while queue:
+            x = queue.pop()
+            for w in adj[x]:
+                if w in embedded_vertices:
+                    attach.add(w)
+                elif w not in seen:
+                    seen.add(w)
+                    comp.add(w)
+                    queue.append(w)
+        out.append((comp | attach, attach))
+    for u in adj:
+        if u not in embedded_vertices:
+            continue
+        for w in adj[u]:
+            if (
+                w in embedded_vertices
+                and u < w
+                and canon(u, w) not in embedded_edges
+            ):
+                out.append(({u, w}, {u, w}))
+    return out
+
+
+def _fragment_path(
+    adj: Dict[int, Set[int]],
+    frag_vertices: Set[int],
+    attach: Set[int],
+    embedded_vertices: Set[int],
+) -> List[int]:
+    """A path between two distinct attachments through the fragment."""
+    attach_list = sorted(attach)
+    a = attach_list[0]
+    interior = frag_vertices - embedded_vertices
+    targets = attach - {a}
+    if not interior:
+        # Chord fragment: the path is the edge itself.
+        return [a, attach_list[1]]
+    # BFS from a *through interior vertices only* to any other attachment
+    # (every path edge must belong to the fragment, so the first hop must
+    # enter the interior — a direct embedded edge a-b is not fragment path).
+    parent: Dict[int, int] = {a: -1}
+    queue = [w for w in adj[a] if w in interior]
+    for w in queue:
+        parent[w] = a
+    found = None
+    while queue and found is None:
+        nxt: List[int] = []
+        for x in queue:
+            for w in adj[x]:
+                if w in parent:
+                    continue
+                if w in targets:
+                    parent[w] = x
+                    found = w
+                    break
+                if w in interior:
+                    parent[w] = x
+                    nxt.append(w)
+            if found is not None:
+                break
+        queue = nxt
+    assert found is not None, "fragment must connect two attachments"
+    path = [found]
+    x = found
+    while parent[x] != -1:
+        x = parent[x]
+        path.append(x)
+    return list(reversed(path))
+
+
+def _embed_path(faces: List[List[int]], face_idx: int, path: List[int]) -> None:
+    """Split ``faces[face_idx]`` by the path (endpoints on the face)."""
+    face = faces[face_idx]
+    a, b = path[0], path[-1]
+    ia = face.index(a)
+    ib = face.index(b)
+    # Arc from a forward to b, and from b forward to a (cyclically).
+    if ia <= ib:
+        arc_ab = face[ia : ib + 1]
+        arc_ba = face[ib:] + face[: ia + 1]
+    else:
+        arc_ab = face[ia:] + face[: ib + 1]
+        arc_ba = face[ib : ia + 1]
+    interior = path[1:-1]
+    # New directed cycles: a..b along the face then the path reversed, and
+    # b..a along the face then the path forward.
+    faces[face_idx] = arc_ab + list(reversed(interior))
+    faces.append(arc_ba + interior)

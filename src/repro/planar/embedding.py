@@ -1,0 +1,423 @@
+"""Combinatorial planar embeddings as dart-based rotation systems.
+
+A *rotation system* fixes, for every vertex, the cyclic (counterclockwise)
+order of its incident edge-ends ("darts").  On a planar graph a rotation
+system induced by any crossing-free drawing determines the set of faces, and
+Euler's formula ``V - E + F = 1 + C`` certifies that the system is genus-0
+(i.e., actually planar).  Everything downstream of the covering machinery —
+Baker-style tree decompositions (Section 2), the face--vertex graph of the
+vertex connectivity reduction (Section 5.1, Figure 6), and the minor
+construction of the separating cover (Section 5.2.1, Figure 7) — consumes
+this object.
+
+The structure is a *multigraph* embedding: edge contraction (needed by the
+separating cover) and face stellation (needed for triangulation) create
+parallel edges, which are perfectly fine for every consumer.  Self-loops are
+never stored (contraction removes them eagerly).
+
+Representation
+--------------
+Each undirected edge owns two darts ``2e`` and ``2e + 1`` (``twin`` = xor 1).
+Per dart: ``head`` (the vertex pointed at), ``nxt``/``prv`` (circular
+doubly-linked rotation list around the dart's *tail*).  Per vertex:
+``first_dart`` (any incident dart, ``-1`` if isolated).  Darts can be marked
+dead (surgery: deletion, contraction).  The face permutation is
+``phi(d) = nxt[twin(d)]``; its orbits are the faces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.csr import Graph
+
+__all__ = ["PlanarEmbedding"]
+
+NIL = -1
+
+
+class PlanarEmbedding:
+    """A mutable dart-based rotation system (multigraph, no self-loops)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = int(n)
+        self.head: List[int] = []
+        self.nxt: List[int] = []
+        self.prv: List[int] = []
+        self.alive: List[bool] = []
+        self.first_dart: List[int] = [NIL] * self.n
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def from_rotations(
+        n: int, rotations: Sequence[Sequence[int]]
+    ) -> "PlanarEmbedding":
+        """Build from per-vertex CCW neighbor orders.
+
+        ``rotations[v]`` lists v's neighbors in rotation order; every edge
+        ``{u, v}`` must appear exactly once in each endpoint's list (parallel
+        edges: once per copy — matched up greedily).
+        """
+        if len(rotations) != n:
+            raise ValueError("need a rotation for every vertex")
+        emb = PlanarEmbedding(n)
+        # Dart allocation: pair up occurrences (u->v) with (v->u).
+        pending: Dict[Tuple[int, int], List[int]] = {}
+        dart_of_slot: List[List[int]] = [[] for _ in range(n)]
+        for u in range(n):
+            for v in rotations[u]:
+                v = int(v)
+                if not 0 <= v < n:
+                    raise ValueError("neighbor out of range")
+                if v == u:
+                    raise ValueError("self-loops are not supported")
+                partner = pending.get((v, u))
+                if partner:
+                    d = partner.pop()
+                    mine = d ^ 1
+                    if not partner:
+                        del pending[(v, u)]
+                else:
+                    mine = emb._new_dart_pair(u, v)
+                    pending.setdefault((u, v), []).append(mine)
+                    dart_of_slot[u].append(mine)
+                    continue
+                # ``mine`` is the twin slot reserved earlier for (v, u).
+                emb.head[mine] = v
+                # record actual tail ordering below via dart_of_slot
+                dart_of_slot[u].append(mine)
+        if pending:
+            raise ValueError("unmatched edge occurrence in rotations")
+        # Wire the circular rotation lists following the given orders.
+        for u in range(n):
+            darts = dart_of_slot[u]
+            if not darts:
+                continue
+            emb.first_dart[u] = darts[0]
+            k = len(darts)
+            for i, d in enumerate(darts):
+                emb.nxt[d] = darts[(i + 1) % k]
+                emb.prv[d] = darts[(i - 1) % k]
+        return emb
+
+    def _new_dart_pair(self, u: int, v: int) -> int:
+        """Allocate darts d (u->v) and d+1 (v->u); returns d.  Rotation links
+        are left dangling — the caller wires them."""
+        d = len(self.head)
+        self.head.extend([v, u])
+        self.nxt.extend([NIL, NIL])
+        self.prv.extend([NIL, NIL])
+        self.alive.extend([True, True])
+        return d
+
+    # -- basic queries -----------------------------------------------------
+
+    @staticmethod
+    def twin(d: int) -> int:
+        return d ^ 1
+
+    def tail(self, d: int) -> int:
+        return self.head[d ^ 1]
+
+    def darts_from(self, v: int) -> List[int]:
+        """Darts with tail ``v`` in rotation order."""
+        start = self.first_dart[v]
+        if start == NIL:
+            return []
+        out = [start]
+        d = self.nxt[start]
+        while d != start:
+            out.append(d)
+            d = self.nxt[d]
+        return out
+
+    def rotation(self, v: int) -> List[int]:
+        """Neighbors of ``v`` in rotation order (with multiplicity)."""
+        return [self.head[d] for d in self.darts_from(v)]
+
+    def degree(self, v: int) -> int:
+        return len(self.darts_from(v))
+
+    def num_darts_alive(self) -> int:
+        return sum(self.alive)
+
+    def num_edges(self) -> int:
+        return self.num_darts_alive() // 2
+
+    def face_next(self, d: int) -> int:
+        """The dart following ``d`` along its face walk."""
+        return self.nxt[d ^ 1]
+
+    # -- faces -------------------------------------------------------------
+
+    def face_of_darts(self) -> Tuple[np.ndarray, int]:
+        """Assign a face id to every live dart; returns (face_id, count)."""
+        total = len(self.head)
+        face_id = np.full(total, NIL, dtype=np.int64)
+        count = 0
+        for d0 in range(total):
+            if not self.alive[d0] or face_id[d0] != NIL:
+                continue
+            d = d0
+            while face_id[d] == NIL:
+                face_id[d] = count
+                d = self.face_next(d)
+            count += 1
+        return face_id, count
+
+    def faces(self) -> List[List[int]]:
+        """All faces, each as its dart walk (in order)."""
+        total = len(self.head)
+        seen = np.zeros(total, dtype=bool)
+        out: List[List[int]] = []
+        for d0 in range(total):
+            if not self.alive[d0] or seen[d0]:
+                continue
+            walk = []
+            d = d0
+            while not seen[d]:
+                seen[d] = True
+                walk.append(d)
+                d = self.face_next(d)
+            out.append(walk)
+        return out
+
+    def face_vertices(self, walk: Sequence[int]) -> List[int]:
+        """The corner sequence of a face walk (tails of its darts)."""
+        return [self.tail(d) for d in walk]
+
+    # -- validation --------------------------------------------------------
+
+    def euler_genus(self) -> int:
+        """Total Euler-characteristic deficiency, ``sum_c (2 - V_c + E_c - F_c)``.
+
+        The sum ranges over connected components; for an orientable rotation
+        system it equals twice the total genus, so 0 certifies a planar
+        (sphere) embedding of every component.  Components without edges
+        (isolated vertices) contribute their single trivial face.
+        """
+        labels = self._component_labels()
+        comp_count = int(labels.max(initial=-1)) + 1
+        v_per = np.bincount(labels, minlength=comp_count)
+        e_per = np.zeros(comp_count, dtype=np.int64)
+        for d in range(0, len(self.head), 2):
+            if self.alive[d]:
+                e_per[labels[self.head[d]]] += 1
+        face_id, f = self.face_of_darts()
+        f_per = np.zeros(comp_count, dtype=np.int64)
+        face_seen = np.zeros(f, dtype=bool)
+        for d in range(len(self.head)):
+            if self.alive[d] and not face_seen[face_id[d]]:
+                face_seen[face_id[d]] = True
+                f_per[labels[self.head[d]]] += 1
+        # Edgeless components have exactly one (trivial) face.
+        f_per[e_per == 0] = 1
+        return int(np.sum(2 - v_per + e_per - f_per))
+
+    def check(self) -> None:
+        """Validate structural invariants; raises AssertionError on damage."""
+        for d in range(len(self.head)):
+            if not self.alive[d]:
+                continue
+            assert self.alive[d ^ 1], "half-dead edge"
+            assert self.nxt[self.prv[d]] == d, "broken rotation links"
+            assert self.prv[self.nxt[d]] == d, "broken rotation links"
+            assert self.head[d ^ 1] != self.head[d], "self-loop stored"
+        for v in range(self.n):
+            fd = self.first_dart[v]
+            if fd != NIL:
+                assert self.alive[fd], "first_dart points at dead dart"
+                assert self.tail(fd) == v, "first_dart tail mismatch"
+
+    def is_planar(self) -> bool:
+        return self.euler_genus() == 0
+
+    def _component_labels(self) -> np.ndarray:
+        """Compact component labels (0..C-1) for every vertex."""
+        label = np.arange(self.n, dtype=np.int64)
+
+        def find(x: int) -> int:
+            while label[x] != x:
+                label[x] = label[label[x]]
+                x = int(label[x])
+            return x
+
+        for d in range(0, len(self.head), 2):
+            if not self.alive[d]:
+                continue
+            a, b = find(self.head[d]), find(self.head[d ^ 1])
+            if a != b:
+                label[a] = b
+        roots = np.array([find(v) for v in range(self.n)], dtype=np.int64)
+        _, compact = np.unique(roots, return_inverse=True)
+        return compact.astype(np.int64)
+
+    def _component_count(self) -> int:
+        if self.n == 0:
+            return 0
+        return int(self._component_labels().max()) + 1
+
+    # -- conversion --------------------------------------------------------
+
+    def to_graph(self) -> Graph:
+        """The underlying *simple* graph (parallel edges collapsed)."""
+        edges = []
+        for d in range(0, len(self.head), 2):
+            if self.alive[d]:
+                edges.append((self.head[d ^ 1], self.head[d]))
+        return Graph(self.n, edges)
+
+    def copy(self) -> "PlanarEmbedding":
+        emb = PlanarEmbedding(self.n)
+        emb.head = list(self.head)
+        emb.nxt = list(self.nxt)
+        emb.prv = list(self.prv)
+        emb.alive = list(self.alive)
+        emb.first_dart = list(self.first_dart)
+        return emb
+
+    # -- surgery -----------------------------------------------------------
+
+    def insert_dart_after(self, position: int, dart: int, tail: int) -> None:
+        """Splice ``dart`` (tail ``tail``) into the rotation right after
+        ``position`` (which must share the tail), or make it the sole dart
+        if ``position`` is NIL."""
+        if position == NIL:
+            self.nxt[dart] = dart
+            self.prv[dart] = dart
+            self.first_dart[tail] = dart
+            return
+        nxt = self.nxt[position]
+        self.nxt[position] = dart
+        self.prv[dart] = position
+        self.nxt[dart] = nxt
+        self.prv[nxt] = dart
+
+    def remove_dart(self, d: int) -> None:
+        """Unlink one dart from its rotation (does not touch its twin)."""
+        t = self.tail(d)
+        if self.nxt[d] == d:
+            self.first_dart[t] = NIL
+        else:
+            self.nxt[self.prv[d]] = self.nxt[d]
+            self.prv[self.nxt[d]] = self.prv[d]
+            if self.first_dart[t] == d:
+                self.first_dart[t] = self.nxt[d]
+        self.alive[d] = False
+
+    def delete_edge(self, d: int) -> None:
+        """Delete the undirected edge owning dart ``d``."""
+        self.remove_dart(d)
+        self.remove_dart(d ^ 1)
+
+    def add_edge_in_face(self, d_after_u: int, d_after_v: int) -> int:
+        """Add an edge splitting a face.
+
+        The new edge runs from ``tail(d_after_u)`` to ``tail(d_after_v)``;
+        the new dart at each endpoint is inserted into the rotation so that
+        it lies inside the face *preceding* the given dart in rotation order
+        (i.e., the new dart becomes ``prv`` of the given dart).  Both darts
+        must border the same face for planarity to be preserved; this is the
+        caller's responsibility (checked cheaply in triangulation code via
+        Euler validation in tests).
+
+        Returns the new dart from u's side.
+        """
+        u = self.tail(d_after_u)
+        v = self.tail(d_after_v)
+        d = self._new_dart_pair(u, v)
+        # Insert d before d_after_u in u's rotation.
+        self.insert_dart_after(self.prv[d_after_u], d, u)
+        self.insert_dart_after(self.prv[d_after_v], d ^ 1, v)
+        return d
+
+    def add_vertex(self) -> int:
+        """Append an isolated vertex; returns its id."""
+        self.first_dart.append(NIL)
+        self.n += 1
+        return self.n - 1
+
+    def contract_edge(self, d: int) -> None:
+        """Contract the edge owning dart ``d``: merge ``head(d)`` into
+        ``tail(d)``, preserving the embedding.
+
+        The merged rotation at the surviving vertex is u's rotation with the
+        slot of ``d`` replaced by v's rotation starting after ``twin(d)``.
+        Any resulting self-loops (parallel edges between u and v) are
+        removed.  The absorbed vertex keeps its id but becomes isolated;
+        callers typically relabel via :meth:`to_graph` + quotient maps.
+        """
+        u = self.tail(d)
+        v = self.head[d]
+        if u == v:
+            raise ValueError("self-loop contraction")
+        # Re-tail all of v's darts to u by rewriting their twins' heads.
+        v_darts = self.darts_from(v)
+        for dv in v_darts:
+            self.head[dv ^ 1] = u
+        # Splice v's rotation (starting after twin(d)) into u's at d's slot.
+        td = d ^ 1
+        before = self.prv[d]
+        after = self.nxt[d]
+        ring = [x for x in self._ring_from(td) if x != td]
+        # Remove d from u's ring and td conceptually from v's ring.
+        if after == d:  # d was u's only dart
+            self.first_dart[u] = NIL
+            before = NIL
+        else:
+            self.nxt[before] = after
+            self.prv[after] = before
+            if self.first_dart[u] == d:
+                self.first_dart[u] = after
+        self.alive[d] = False
+        self.alive[td] = False
+        self.first_dart[v] = NIL
+        # Splice the ring in.
+        insert_pos = before
+        for x in ring:
+            self.insert_dart_after(insert_pos, x, u)
+            insert_pos = x
+        # Remove self-loops created by parallel u-v edges.
+        for x in list(self.darts_from(u)):
+            if self.alive[x] and self.head[x] == u:
+                self.remove_dart(x)
+                self.remove_dart(x ^ 1)
+
+    def _ring_from(self, start: int) -> List[int]:
+        out = [start]
+        d = self.nxt[start]
+        while d != start:
+            out.append(d)
+            d = self.nxt[d]
+        return out
+
+    def induced_subembedding(
+        self, vertices: Sequence[int]
+    ) -> Tuple["PlanarEmbedding", np.ndarray]:
+        """The embedding induced on a vertex subset.
+
+        Kept darts retain their relative rotation order (a sub-rotation of a
+        planar rotation system is planar).  Returns ``(embedding,
+        originals)`` with ``originals[i]`` = original id of new vertex ``i``.
+        """
+        verts = np.unique(np.asarray(list(vertices), dtype=np.int64))
+        if verts.size and (verts[0] < 0 or verts[-1] >= self.n):
+            raise ValueError("vertex out of range")
+        remap = np.full(self.n, NIL, dtype=np.int64)
+        remap[verts] = np.arange(verts.size)
+        rotations: List[List[int]] = []
+        for v in verts:
+            rotations.append(
+                [
+                    int(remap[self.head[d]])
+                    for d in self.darts_from(int(v))
+                    if remap[self.head[d]] != NIL
+                ]
+            )
+        return (
+            PlanarEmbedding.from_rotations(int(verts.size), rotations),
+            verts,
+        )

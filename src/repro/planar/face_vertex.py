@@ -1,0 +1,75 @@
+"""The bipartite face--vertex graph G' of Section 5.1 (Figure 6).
+
+"Place a vertex inside every face f of G and connect it to all the vertices
+of the face (remove the original edges)."  Cycles of G' alternate between
+original and face vertices, so all cycles are even, and Lemma 5.1 relates
+the shortest cycle separating the original vertices to the vertex
+connectivity of G.
+
+Implementation: stellate the embedding (``repro.planar.triangulate``) and
+delete the original edges — this yields both the graph *and* a planar
+embedding of G', which the separating-cover pipeline needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..graphs.csr import Graph
+from ..pram import Cost
+from .embedding import PlanarEmbedding
+from .triangulate import stellate
+
+__all__ = ["FaceVertexGraph", "build_face_vertex_graph"]
+
+
+@dataclass(frozen=True)
+class FaceVertexGraph:
+    """G' with its embedding and the original-vertex marking.
+
+    Vertices ``0..num_original-1`` are the original vertices of G (the set
+    ``S`` of the separating-cycle problem); the rest are face vertices.
+    """
+
+    graph: Graph
+    embedding: PlanarEmbedding
+    num_original: int
+
+    @property
+    def original_vertices(self) -> np.ndarray:
+        return np.arange(self.num_original, dtype=np.int64)
+
+    def is_original(self, v: int) -> bool:
+        return v < self.num_original
+
+
+def build_face_vertex_graph(
+    embedding: PlanarEmbedding,
+) -> Tuple[FaceVertexGraph, Cost]:
+    """Construct G' from an embedding of G.
+
+    Work O(n + m), depth O(log n): stellation plus one edge-deletion round.
+    Note G' is simple even when a face visits a vertex twice — the underlying
+    ``Graph`` collapses parallel face--vertex incidences (Lemma 5.1 is stated
+    for 2-connected G, where face walks are simple anyway).
+    """
+    num_original = embedding.n
+    original_edge_darts = [
+        d for d in range(0, len(embedding.head), 2) if embedding.alive[d]
+    ]
+    stell, cost = stellate(embedding)
+    emb = stell.embedding
+    for d in original_edge_darts:
+        emb.delete_edge(d)
+    cost = cost + Cost.step(max(len(original_edge_darts), 1))
+    return (
+        FaceVertexGraph(
+            graph=emb.to_graph(),
+            embedding=emb,
+            num_original=num_original,
+        ),
+        cost,
+    )

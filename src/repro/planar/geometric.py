@@ -1,0 +1,58 @@
+"""Embeddings from straight-line drawings (the generators' fast path).
+
+Any crossing-free straight-line drawing induces a rotation system: sort each
+vertex's neighbors counterclockwise by angle.  All geometric generators in
+``repro.graphs.generators`` carry coordinates, so this plays the role of the
+Klein--Reif parallel embedding primitive (O(n) work, O(log^2 n) depth [31]),
+whose cost is charged analytically by :func:`embedding_cost` (see DESIGN.md,
+Substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..graphs.csr import Graph
+from ..graphs.generators import GeometricGraph
+from ..pram import Cost, log2_ceil
+from .embedding import PlanarEmbedding
+
+__all__ = ["embed_geometric", "embedding_cost"]
+
+
+def embedding_cost(n: int) -> Cost:
+    """The charged cost of planar embedding (Klein--Reif): O(n) work,
+    O(log^2 n) depth."""
+    lg = log2_ceil(max(n, 2))
+    work = max(4 * n, 1)
+    return Cost(work, min(max(1, lg * lg), work))
+
+
+def embed_geometric(
+    geometric: GeometricGraph, validate: bool = True
+) -> Tuple[PlanarEmbedding, Cost]:
+    """Rotation system of a straight-line planar drawing.
+
+    Raises ``ValueError`` when the drawing is not planar (Euler check), which
+    catches generator bugs early; pass ``validate=False`` to skip.
+    """
+    graph, pos = geometric.graph, np.asarray(geometric.positions, dtype=float)
+    if pos.shape != (graph.n, 2):
+        raise ValueError("positions must be n x 2")
+    rotations = []
+    for v in range(graph.n):
+        nbrs = graph.neighbors(v)
+        if nbrs.size == 0:
+            rotations.append([])
+            continue
+        delta = pos[nbrs] - pos[v]
+        angles = np.arctan2(delta[:, 1], delta[:, 0])
+        rotations.append(nbrs[np.argsort(angles, kind="stable")].tolist())
+    emb = PlanarEmbedding.from_rotations(graph.n, rotations)
+    if validate and emb.euler_genus() != 0:
+        raise ValueError(
+            "straight-line drawing is not planar (nonzero Euler genus)"
+        )
+    return emb, embedding_cost(graph.n)

@@ -1,0 +1,44 @@
+"""Simulated CREW PRAM substrate: cost algebra, tracker, parallel primitives.
+
+See ``DESIGN.md`` ("Substitutions") for why the paper's machine model is
+reproduced by exact work--depth accounting rather than OS threads.
+"""
+
+from .cost import Cost, log2_ceil
+from .machine import ParallelRegion, Tracker
+from .brent import brent_schedule, scalability_limit, speedup_curve
+from .primitives import (
+    exclusive_prefix_sum,
+    pack,
+    pack_indices,
+    parallel_reduce,
+    pointer_jump_roots,
+    prefix_sum,
+)
+from .list_ranking import list_rank, list_rank_optimal
+from .tree_contraction import (
+    Algebra,
+    BinaryExpressionTree,
+    evaluate_expression_tree,
+)
+
+__all__ = [
+    "Cost",
+    "log2_ceil",
+    "Tracker",
+    "ParallelRegion",
+    "brent_schedule",
+    "speedup_curve",
+    "scalability_limit",
+    "prefix_sum",
+    "exclusive_prefix_sum",
+    "parallel_reduce",
+    "pack",
+    "pack_indices",
+    "pointer_jump_roots",
+    "list_rank",
+    "list_rank_optimal",
+    "Algebra",
+    "BinaryExpressionTree",
+    "evaluate_expression_tree",
+]

@@ -1,0 +1,37 @@
+"""Brent-scheduling utilities: turn (work, depth) traces into P-processor
+simulated execution times and speedup curves.
+
+Section 1.1 of the paper: "By Brent's scheduling algorithm, an algorithm with
+work W and depth D can be executed with P processors in time O(W/P + D) on a
+CREW PRAM."  These helpers evaluate that bound over processor sweeps; the
+Table-1 benchmark uses them to plot simulated strong-scaling curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .cost import Cost
+
+__all__ = ["brent_schedule", "speedup_curve", "scalability_limit"]
+
+
+def brent_schedule(cost: Cost, processors: Sequence[int]) -> Dict[int, int]:
+    """Simulated time ``ceil(W/P) + D`` for each processor count."""
+    return {p: cost.brent_time(p) for p in processors}
+
+
+def speedup_curve(cost: Cost, processors: Sequence[int]) -> Dict[int, float]:
+    """Speedup ``T_1 / T_P`` for each processor count."""
+    t1 = cost.brent_time(1)
+    return {p: t1 / cost.brent_time(p) for p in processors}
+
+
+def scalability_limit(cost: Cost) -> float:
+    """The asymptote of the speedup curve: ``T_1 / D = (W + D) / D``.
+
+    No processor count can beat this; it equals 1 + parallelism.
+    """
+    if cost.depth == 0:
+        return float("inf")
+    return cost.brent_time(1) / cost.depth

@@ -1,0 +1,179 @@
+"""Work--depth cost algebra for the simulated CREW PRAM.
+
+The paper (Section 1.1, *Model of Computation*) states its bounds in the
+work--depth model: *work* is the total number of elementary operations
+performed by all processors, *depth* is the length of the critical path.
+Because the bounds are properties of the algorithm rather than of the host
+machine, we reproduce them by *accounting*: every parallel algorithm in this
+library executes its computation (single-threaded) while composing a
+:class:`Cost` that records exactly the work it performed and the depth of the
+parallel structure it prescribes.
+
+Composition laws
+----------------
+Sequential composition adds both coordinates::
+
+    (w1, d1) ; (w2, d2)  =  (w1 + w2, d1 + d2)
+
+Parallel composition adds work and takes the maximum depth::
+
+    (w1, d1) || (w2, d2)  =  (w1 + w2, max(d1, d2))
+
+Both operations are associative with identity ``Cost.zero()``; parallel
+composition is additionally commutative.  These laws are property-tested in
+``tests/pram/test_cost.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Cost", "log2_ceil"]
+
+
+def log2_ceil(n: int) -> int:
+    """Return ``ceil(log2(n))`` for ``n >= 1`` (0 for ``n <= 1``).
+
+    Used throughout for the depth of tree-shaped reductions over ``n`` items.
+    """
+    if n <= 1:
+        return 0
+    return (n - 1).bit_length()
+
+
+@dataclass(frozen=True, slots=True)
+class Cost:
+    """An immutable (work, depth) pair with PRAM composition operators.
+
+    Attributes
+    ----------
+    work:
+        Total number of elementary operations executed.
+    depth:
+        Length of the critical path (number of synchronous PRAM rounds).
+
+    Invariants: ``0 <= depth <= work`` unless both are zero.  (A round that
+    exists must perform at least one operation.)  The invariant is checked at
+    construction time; algorithms that would violate it have a bug in their
+    accounting.
+    """
+
+    work: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        if self.work < 0 or self.depth < 0:
+            raise ValueError(f"negative cost: {self!r}")
+        if self.depth > self.work:
+            raise ValueError(f"depth exceeds work: {self!r}")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Cost":
+        """The identity of both compositions."""
+        return _ZERO
+
+    @staticmethod
+    def step(work: int = 1) -> "Cost":
+        """A single synchronous round performing ``work`` operations.
+
+        ``Cost.step(0)`` is the zero cost (an empty round takes no time).
+        """
+        if work == 0:
+            return _ZERO
+        return Cost(work, 1)
+
+    @staticmethod
+    def sequential_loop(iterations: int, work_per_iteration: int = 1) -> "Cost":
+        """A purely sequential loop: work and depth both scale."""
+        total = iterations * work_per_iteration
+        return Cost(total, total)
+
+    @staticmethod
+    def reduction(n: int, op_work: int = 1) -> "Cost":
+        """Cost of a balanced binary reduction over ``n`` items."""
+        if n <= 1:
+            return Cost.step(op_work if n == 1 else 0)
+        return Cost((n - 1) * op_work, log2_ceil(n))
+
+    @staticmethod
+    def scan(n: int, op_work: int = 1) -> "Cost":
+        """Cost of a Blelloch-style exclusive/inclusive prefix scan.
+
+        Up-sweep plus down-sweep: ``2n`` applications of ``op``, depth
+        ``2 ceil(log2 n)``.
+        """
+        if n <= 1:
+            return Cost.step(op_work if n == 1 else 0)
+        return Cost(2 * n * op_work, 2 * log2_ceil(n))
+
+    # -- composition -------------------------------------------------------
+
+    def __add__(self, other: "Cost") -> "Cost":
+        """Sequential composition (``;`` in the module docstring)."""
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return Cost(self.work + other.work, self.depth + other.depth)
+
+    def __or__(self, other: "Cost") -> "Cost":
+        """Parallel composition (``||`` in the module docstring)."""
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return Cost(self.work + other.work, max(self.depth, other.depth))
+
+    @staticmethod
+    def par(costs: Iterable["Cost"]) -> "Cost":
+        """Parallel composition of an iterable of costs."""
+        work = 0
+        depth = 0
+        for c in costs:
+            work += c.work
+            if c.depth > depth:
+                depth = c.depth
+        return Cost(work, depth)
+
+    @staticmethod
+    def seq(costs: Iterable["Cost"]) -> "Cost":
+        """Sequential composition of an iterable of costs."""
+        work = 0
+        depth = 0
+        for c in costs:
+            work += c.work
+            depth += c.depth
+        return Cost(work, depth)
+
+    def repeated(self, times: int) -> "Cost":
+        """``times`` sequential repetitions of this cost."""
+        if times < 0:
+            raise ValueError("times must be non-negative")
+        return Cost(self.work * times, self.depth * times)
+
+    # -- scheduling --------------------------------------------------------
+
+    def brent_time(self, processors: int) -> int:
+        """Simulated execution time on ``processors`` CREW PRAM processors.
+
+        Brent's scheduling principle (Section 1.1): an algorithm with work
+        ``W`` and depth ``D`` runs in ``O(W/P + D)`` time on ``P``
+        processors.  We return the standard concrete bound
+        ``ceil(W / P) + D``.
+        """
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        return math.ceil(self.work / processors) + self.depth
+
+    def speedup(self, processors: int) -> float:
+        """Speedup of ``processors``-way execution over 1 processor."""
+        t1 = self.brent_time(1)
+        tp = self.brent_time(processors)
+        return t1 / tp if tp else 1.0
+
+    def parallelism(self) -> float:
+        """The algorithm's available parallelism ``W / D``."""
+        return self.work / self.depth if self.depth else float(self.work)
+
+
+_ZERO = Cost(0, 0)

@@ -1,0 +1,135 @@
+"""The unary-function family of Appendix A — with a corrected closure.
+
+Appendix A of the paper evaluates the layer-number recursion
+
+    L(l1, .., lk) = max(l)      if the maximum is unique,
+                    max(l) + 1  otherwise,
+
+by parallel expression-tree evaluation (Lemma A.1), which requires a family
+of O(1)-representable unary functions closed under composition and under
+projection of ``L``.  The paper proposes, for each natural ``i``::
+
+    f_i(x) = i + 1         if i == x          ("max so far unique, equal i")
+             max(i, x)     otherwise
+    g_i(x) = i + 1         if i >= x          ("max so far not unique")
+             x             if i <  x
+
+**Erratum.** The family ``{id, f_i, g_i}`` is *not* closed under composition,
+and the composition table printed in Appendix A is not pointwise-correct.
+Counterexample: the table claims ``f_i ∘ f_j = f_max(i,j)`` for ``i != j``,
+but ``(f_1 ∘ f_0)(0) = f_1(f_0(0)) = f_1(1) = 2`` while ``f_1(0) = 1``.  The
+discrepancy arises whenever ``i == j + 1``: the inner function can lift its
+argument to exactly the outer function's tie value, which the table ignores.
+The function ``f_1 ∘ f_0`` (``x=0 ↦ 2, 1 ↦ 2, 2 ↦ 2, x ↦ x above``) is not
+any ``f_i`` or ``g_i``.
+
+**Fix (what this module implements).** The actual closure of the family is
+the two-parameter family ``F(m, j)`` with ``-1 <= m`` and ``0 <= j <= m``
+(plus the identity ``F(-1, 0)``)::
+
+    F(m, j)(x) = m        if x < j
+                 m + 1    if j <= x <= m
+                 x        if x > m
+
+with ``f_i = F(i, i)`` and ``g_i = F(i, 0)``.  ``m`` is the maximum layer
+value accumulated so far and ``j`` is the threshold below which the pending
+argument can no longer reach that maximum (so the result is ``m`` — the
+maximum stays unique).  Composition stays in the family and is computed in
+O(1) by::
+
+    F(M, J) ∘ F(m, j)  =  F(m, j)   if m >  M
+                          F(M, 0)   if m == M
+                          F(M, J)   if m <  M and m + 1 <  J
+                          F(M, j)   if m <  M and m + 1 == J
+                          F(M, 0)   if m <  M and J <= m
+
+(verified exhaustively in ``tests/pram/test_layer_algebra.py``, together with
+a regression test pinning the paper's counterexample).  Lemma A.1 and every
+result depending on it are unaffected — only the exhibited family needed the
+extra parameter.
+
+Representation: a pair ``(m, j)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "IDENTITY",
+    "make_f",
+    "make_g",
+    "make_member",
+    "apply_fn",
+    "compose",
+    "project_layer_op",
+    "layer_op",
+]
+
+Fn = Tuple[int, int]
+
+IDENTITY: Fn = (-1, 0)
+
+
+def make_member(m: int, j: int) -> Fn:
+    """The family member ``F(m, j)`` (validated)."""
+    if m == -1 and j == 0:
+        return IDENTITY
+    if m < 0 or not 0 <= j <= m:
+        raise ValueError(f"invalid family parameters F({m}, {j})")
+    return (m, j)
+
+
+def make_f(i: int) -> Fn:
+    """The paper's ``f_i`` ("unique maximum so far, equal to ``i``")."""
+    if i < 0:
+        raise ValueError("index must be non-negative")
+    return (i, i)
+
+
+def make_g(i: int) -> Fn:
+    """The paper's ``g_i`` ("duplicated maximum so far, equal to ``i``")."""
+    if i < 0:
+        raise ValueError("index must be non-negative")
+    return (i, 0)
+
+
+def apply_fn(fn: Fn, x: int) -> int:
+    """Evaluate a family member at ``x``."""
+    m, j = fn
+    if x < j:
+        return m
+    if x <= m:
+        return m + 1
+    return x
+
+
+def compose(outer: Fn, inner: Fn) -> Fn:
+    """Return the family member equal to ``outer ∘ inner`` (O(1))."""
+    M, J = outer
+    m, j = inner
+    if m > M:
+        return inner
+    if m == M:
+        return (M, 0) if M >= 0 else IDENTITY
+    if m + 1 < J:
+        return outer
+    if m + 1 == J:
+        return (M, j)
+    return (M, 0)
+
+
+def layer_op(a: int, b: int) -> int:
+    """The binary ``L``: the layer number of a parent from its two children."""
+    if a == b:
+        return a + 1
+    return max(a, b)
+
+
+def project_layer_op(known: int) -> Fn:
+    """Project the binary ``L`` by fixing one child's layer number.
+
+    With a single fixed argument the maximum "so far" is trivially unique, so
+    ``L(known, x) = f_known(x)`` (final display of Appendix A).
+    """
+    return make_f(known)

@@ -1,0 +1,186 @@
+"""Parallel expression-tree evaluation by tree contraction (rake/SHUNT).
+
+Lemma A.1 of the paper: if a family of O(1)-computable unary functions is
+closed under composition and under projection with respect to the operations
+of an expression tree, the tree can be evaluated in ``O(n)`` work and
+``O(log n)`` depth.  This module implements the classic Miller--Reif SHUNT
+contraction for *full binary* expression trees, generic over such a function
+family (an :class:`Algebra`), and computes the value of **every** node via the
+standard contract-then-reexpand scheme.
+
+Cost model: leaves are numbered once (Euler-tour charge, ``O(n)`` work
+``O(log n)`` depth) and every contraction round shunts roughly half of the
+remaining leaves, so the executed rounds realize the ``O(n)`` work /
+``O(log n)`` depth bound, which we charge per round.  Execution applies the
+shunts of a round sequentially (each SHUNT is a semantics-preserving local
+rewrite, so any order yields the same values); the charged cost is that of
+the concurrent PRAM schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from .cost import Cost
+
+__all__ = ["Algebra", "BinaryExpressionTree", "evaluate_expression_tree"]
+
+F = TypeVar("F")  # unary-function representation
+NIL = -1
+
+
+@dataclass(frozen=True)
+class Algebra(Generic[F]):
+    """A unary-function family satisfying the hypotheses of Lemma A.1.
+
+    Attributes
+    ----------
+    identity:
+        The identity function of the family.
+    compose:
+        ``compose(outer, inner)`` = the family member ``outer ∘ inner``.
+    apply:
+        Evaluate a family member at an integer.
+    project:
+        ``project(a)`` = the unary function ``x -> op(a, x)`` as a family
+        member (closure under projection).
+    op:
+        The binary node operation of the expression tree.
+    """
+
+    identity: F
+    compose: Callable[[F, F], F]
+    apply: Callable[[F, int], int]
+    project: Callable[[int], F]
+    op: Callable[[int, int], int]
+
+
+@dataclass
+class BinaryExpressionTree:
+    """A full binary expression tree over ``n`` nodes.
+
+    ``left[v] == right[v] == -1`` marks a leaf; internal nodes have both
+    children.  ``leaf_value[v]`` is consulted only at leaves.
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    root: int
+    leaf_value: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.left = np.asarray(self.left, dtype=np.int64)
+        self.right = np.asarray(self.right, dtype=np.int64)
+        self.leaf_value = np.asarray(self.leaf_value, dtype=np.int64)
+        n = self.n
+        if not (0 <= self.root < n):
+            raise ValueError("root out of range")
+        leaf = (self.left == NIL) & (self.right == NIL)
+        internal = (self.left != NIL) & (self.right != NIL)
+        if not np.all(leaf | internal):
+            raise ValueError("tree must be full binary (0 or 2 children)")
+
+    @property
+    def n(self) -> int:
+        return int(self.left.shape[0])
+
+    def parent_array(self) -> np.ndarray:
+        parent = np.full(self.n, NIL, dtype=np.int64)
+        for v in range(self.n):
+            for c in (int(self.left[v]), int(self.right[v])):
+                if c != NIL:
+                    parent[c] = v
+        return parent
+
+    def leaves_in_order(self) -> List[int]:
+        """Leaves left-to-right (iterative DFS from the root)."""
+        order: List[int] = []
+        stack = [self.root]
+        while stack:
+            v = stack.pop()
+            if self.left[v] == NIL:
+                order.append(v)
+            else:
+                stack.append(int(self.right[v]))
+                stack.append(int(self.left[v]))
+        return order
+
+
+def evaluate_expression_tree(
+    tree: BinaryExpressionTree, algebra: Algebra[F]
+) -> Tuple[np.ndarray, Cost]:
+    """Evaluate every node of ``tree`` under ``algebra``.
+
+    Returns ``(values, cost)`` where ``values[v]`` is the expression value of
+    the subtree rooted at ``v``.
+    """
+    n = tree.n
+    values = np.full(n, NIL, dtype=np.int64)
+    if n == 1:
+        values[tree.root] = int(tree.leaf_value[tree.root])
+        return values, Cost.step(1)
+
+    parent = tree.parent_array()
+    left = tree.left.copy()
+    right = tree.right.copy()
+    funcs: List[F] = [algebra.identity] * n
+
+    leaves = tree.leaves_in_order()
+    for u in leaves:
+        values[u] = int(tree.leaf_value[u])
+    cost = Cost(2 * n, max(1, (n - 1).bit_length()))  # Euler-tour numbering
+
+    # Shunt events for reexpansion: (removed internal p, contribution a from
+    # the raked leaf, surviving sibling s, s's function before the shunt).
+    events: List[Tuple[int, int, int, F]] = []
+
+    alive = len(leaves)
+    while alive > 1:
+        # One contraction round: shunt leaves at odd positions, left children
+        # first, then right children (two PRAM subrounds).
+        for want_left in (True, False):
+            snapshot = list(leaves)
+            for idx in range(1, len(snapshot), 2):
+                u = snapshot[idx]
+                if u == NIL:
+                    continue
+                p = int(parent[u])
+                if p == NIL:
+                    continue  # u became the root
+                is_left = int(left[p]) == u
+                if is_left != want_left:
+                    continue
+                s = int(right[p]) if is_left else int(left[p])
+                # Contribution of u's (fully evaluated) subtree through its
+                # accumulated function.
+                a = algebra.apply(funcs[u], int(values[u]))
+                events.append((p, a, s, funcs[s]))
+                funcs[s] = algebra.compose(
+                    algebra.compose(funcs[p], algebra.project(a)), funcs[s]
+                )
+                g = int(parent[p])
+                parent[s] = g
+                if g != NIL:
+                    if int(left[g]) == p:
+                        left[g] = s
+                    else:
+                        right[g] = s
+                parent[u] = NIL
+                snapshot[idx] = NIL
+                leaves[idx] = NIL
+                alive -= 1
+        cost = cost + Cost.step(max(1, 4 * alive))
+        leaves = [u for u in leaves if u != NIL]
+
+    # A single leaf remains; its subtree value is already in ``values``.
+    # Reexpansion: replay shunts in reverse, filling removed internal nodes.
+    for p, a, s, old_func_s in reversed(events):
+        values[p] = algebra.op(a, algebra.apply(old_func_s, int(values[s])))
+    # Reexpansion mirrors the contraction schedule round for round.
+    expand_work = max(1, 2 * len(events))
+    cost = cost + Cost(expand_work, min(max(1, cost.depth), expand_work))
+
+    return values, cost

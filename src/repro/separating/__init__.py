@@ -1,0 +1,22 @@
+"""S-separating subgraph isomorphism (Section 5.2)."""
+
+from .state_space import SeparatingStateSpace
+from .cover import SeparatingCover, SeparatingPiece, separating_cover
+from .driver import SeparatingSIResult, decide_separating_isomorphism
+from .oracle import (
+    has_separating_occurrence,
+    is_separating_occurrence,
+    iter_separating_occurrences,
+)
+
+__all__ = [
+    "SeparatingStateSpace",
+    "SeparatingCover",
+    "SeparatingPiece",
+    "separating_cover",
+    "SeparatingSIResult",
+    "decide_separating_isomorphism",
+    "has_separating_occurrence",
+    "is_separating_occurrence",
+    "iter_separating_occurrences",
+]

@@ -1,0 +1,192 @@
+"""The separating k-d cover: minors instead of induced subgraphs
+(Section 5.2.1, Figure 7).
+
+For an occurrence confined to one window W of the cover, deciding whether it
+separates the marked set S needs the *outside* connectivity structure, which
+an induced subgraph discards.  The fix: contract every connected component
+of ``G - W`` into a single vertex.  The resulting graph is a planar *minor*
+containing W induced, plus merged vertices that (a) may not be used by the
+occurrence (the allowed set A) and (b) count as marked when their component
+contains a marked vertex.  Removing an occurrence O ⊆ W then leaves the
+same marked-component structure in the minor as in G — separation is
+preserved both ways.
+
+(The paper factors the same construction through per-cluster intermediate
+minors — "merge all neighboring clusters into a single vertex each";
+quotients compose, so contracting the components of the full complement
+directly yields the identical piece.)
+
+The windows themselves come from the usual clustering + per-cluster BFS
+(Theorem 2.4's capture probability is untouched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..cluster.est import est_clustering
+from ..graphs.bfs import parallel_bfs
+from ..graphs.components import component_members, connected_components
+from ..graphs.csr import Graph
+from ..planar.contract import contract_vertex_sets, relabel_embedding
+from ..planar.embedding import PlanarEmbedding
+from ..pram import Cost, Tracker
+from ..treedecomp.baker import baker_decomposition
+from ..treedecomp.decomposition import TreeDecomposition
+
+__all__ = ["SeparatingPiece", "SeparatingCover", "separating_cover"]
+
+NIL = -1
+
+
+@dataclass
+class SeparatingPiece:
+    """One minor of the separating cover.
+
+    ``originals[v]`` is the target-graph vertex behind local vertex ``v``
+    for window vertices, and ``-1`` for merged vertices.  ``allowed`` and
+    ``marked`` are local masks (merged vertices: never allowed; marked when
+    their contracted component contains a marked vertex).
+    """
+
+    graph: Graph
+    originals: np.ndarray
+    allowed: np.ndarray
+    marked: np.ndarray
+    decomposition: TreeDecomposition
+    cluster: int
+    window_start: int
+
+
+@dataclass
+class SeparatingCover:
+    pieces: List[SeparatingPiece]
+    num_clusters: int
+    cost: Cost
+
+    def max_width(self) -> int:
+        return max(
+            (p.decomposition.width() for p in self.pieces), default=0
+        )
+
+
+def separating_cover(
+    graph: Graph,
+    embedding: PlanarEmbedding,
+    marked: np.ndarray,
+    k: int,
+    d: int,
+    seed: int,
+) -> SeparatingCover:
+    """Build the separating k-d cover (see module docstring)."""
+    if k < 1 or d < 0:
+        raise ValueError("need k >= 1 and d >= 0")
+    marked = np.asarray(marked, dtype=bool)
+    if marked.shape != (graph.n,):
+        raise ValueError("marked mask must cover every vertex")
+    tracker = Tracker()
+    clustering, cost = est_clustering(graph, beta=2.0 * k, seed=seed)
+    tracker.charge(cost)
+
+    pieces: List[SeparatingPiece] = []
+    with tracker.parallel() as clusters_region:
+        for cluster_id, members in enumerate(
+            component_members(clustering.labels, clustering.count)
+        ):
+            with clusters_region.branch() as branch:
+                sub, originals = graph.induced_subgraph(members)
+                branch.charge(Cost.step(max(sub.n, 1)))
+                if sub.n == 0:
+                    continue
+                bfs, bcost = parallel_bfs(sub, [0])
+                branch.charge(bcost)
+                last = max(0, bfs.depth - d)
+                with branch.parallel() as windows:
+                    for i in range(last + 1):
+                        window_local = np.flatnonzero(
+                            (bfs.level >= i) & (bfs.level <= i + d)
+                        )
+                        if window_local.size == 0:
+                            continue
+                        window = originals[window_local]
+                        # Root the piece at a level-i vertex: every window
+                        # vertex is then within O(d) hops (through the
+                        # window itself and the merged inner component),
+                        # keeping the Baker width O(d).
+                        level_i = window_local[
+                            bfs.level[window_local] == i
+                        ]
+                        root_vertex = int(originals[level_i[0]])
+                        with windows.branch() as wbranch:
+                            piece = _window_minor(
+                                graph, embedding, marked, window,
+                                root_vertex, cluster_id, i, wbranch,
+                            )
+                        if piece is not None:
+                            pieces.append(piece)
+    return SeparatingCover(
+        pieces=pieces, num_clusters=clustering.count, cost=tracker.cost
+    )
+
+
+def _window_minor(
+    graph: Graph,
+    embedding: PlanarEmbedding,
+    marked: np.ndarray,
+    window: np.ndarray,
+    root_vertex: int,
+    cluster_id: int,
+    window_start: int,
+    tracker,
+) -> Optional[SeparatingPiece]:
+    """Contract the components of G - window; decompose; build masks."""
+    n = graph.n
+    in_window = np.zeros(n, dtype=bool)
+    in_window[window] = True
+    complement = np.flatnonzero(~in_window)
+    groups: List[List[int]] = []
+    if complement.size:
+        comp_graph, comp_orig = graph.induced_subgraph(complement)
+        labels, count, ccost = connected_components(comp_graph)
+        tracker.charge(ccost)
+        groups = [
+            comp_orig[idx].tolist()
+            for idx in component_members(labels, count)
+        ]
+    minor_emb, rep, cost = contract_vertex_sets(embedding, groups)
+    tracker.charge(cost)
+    # Live vertices: the window plus one representative per group.
+    reps = sorted({int(rep[g[0]]) for g in groups})
+    live = sorted(set(window.tolist()) | set(reps))
+    small, kept = relabel_embedding(minor_emb, live)
+    local_n = small.n
+
+    originals = np.full(local_n, NIL, dtype=np.int64)
+    allowed = np.zeros(local_n, dtype=bool)
+    local_marked = np.zeros(local_n, dtype=bool)
+    kept_index = {int(v): j for j, v in enumerate(kept)}
+    for v in window.tolist():
+        j = kept_index[int(v)]
+        originals[j] = v
+        allowed[j] = True
+        local_marked[j] = bool(marked[v])
+    for g in groups:
+        j = kept_index[int(rep[g[0]])]
+        local_marked[j] = bool(marked[np.asarray(g, dtype=np.int64)].any())
+
+    piece_graph = small.to_graph()
+    root = kept_index[root_vertex]
+    td, bcost = baker_decomposition(small, root)
+    tracker.charge(bcost)
+    return SeparatingPiece(
+        graph=piece_graph,
+        originals=originals,
+        allowed=allowed,
+        marked=local_marked,
+        decomposition=td,
+        cluster=cluster_id,
+        window_start=window_start,
+    )

@@ -1,0 +1,144 @@
+"""S-Separating Subgraph Isomorphism driver (Section 5.2, Lemma 5.3).
+
+Same Monte Carlo round structure as the plain planar driver: one separating
+k-d cover per round, one extended-DP solve per minor (in parallel), find any
+fixed separating occurrence with probability >= 1/2 per round, certify
+absence with O(log n) rounds w.h.p.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graphs.csr import Graph
+from ..isomorphism.parallel_dp import parallel_dp
+from ..isomorphism.pattern import Pattern
+from ..isomorphism.planar_si import _rounds_for
+from ..isomorphism.recovery import first_witness
+from ..isomorphism.sequential_dp import sequential_dp
+from ..planar.embedding import PlanarEmbedding
+from ..pram import Cost, Tracker
+from ..treedecomp.nice import make_nice
+from .cover import separating_cover
+from .state_space import SeparatingStateSpace
+
+__all__ = ["SeparatingSIResult", "decide_separating_isomorphism"]
+
+
+@dataclass
+class SeparatingSIResult:
+    """Monte Carlo outcome of the separating search.
+
+    ``witness`` (when requested and found) maps pattern vertices to target
+    vertices of the original graph; the image separates the marked set.
+    """
+
+    found: bool
+    witness: Optional[Dict[int, int]]
+    rounds_used: int
+    cost: Cost
+    pieces_examined: int
+    max_piece_width: int
+
+
+def decide_separating_isomorphism(
+    graph: Graph,
+    embedding: PlanarEmbedding,
+    marked: np.ndarray,
+    pattern: Pattern,
+    seed: int,
+    engine: str = "parallel",
+    rounds: Optional[int] = None,
+    confidence_log_factor: float = 2.0,
+    want_witness: bool = False,
+    host_classes: Optional[np.ndarray] = None,
+    pattern_classes=None,
+) -> SeparatingSIResult:
+    """Decide (w.h.p.) whether some occurrence of the connected ``pattern``
+    separates the ``marked`` vertices of the planar ``graph`` (Lemma 5.3).
+
+    ``host_classes`` / ``pattern_classes`` optionally constrain which target
+    vertices each pattern vertex may use (see ``SubgraphStateSpace``); the
+    vertex connectivity pipeline uses them to pin cycle parity onto the
+    bipartition of G'.
+    """
+    if not pattern.is_connected():
+        raise ValueError("the separating driver handles connected patterns")
+    if engine not in ("parallel", "sequential"):
+        raise ValueError(f"unknown engine {engine!r}")
+    k, d = pattern.k, pattern.diameter()
+    tracker = Tracker()
+    total_rounds = _rounds_for(graph.n, rounds, confidence_log_factor)
+    pieces_examined = 0
+    max_width = 0
+    for r in range(total_rounds):
+        cover = separating_cover(
+            graph, embedding, marked, k, d, seed=seed + r
+        )
+        tracker.charge(cover.cost)
+        found = False
+        found_witness: Optional[Dict[int, int]] = None
+        with tracker.parallel() as region:
+            for piece in cover.pieces:
+                if int(piece.allowed.sum()) < k:
+                    continue
+                pieces_examined += 1
+                max_width = max(max_width, piece.decomposition.width())
+                nice, ncost = make_nice(piece.decomposition.binarize())
+                local_classes = None
+                if host_classes is not None:
+                    # Merged vertices (originals == -1) get class -1; they
+                    # are disallowed anyway.
+                    local_classes = np.where(
+                        piece.originals >= 0,
+                        host_classes[np.maximum(piece.originals, 0)],
+                        -1,
+                    )
+                space = SeparatingStateSpace(
+                    pattern,
+                    piece.graph,
+                    piece.marked,
+                    piece.allowed,
+                    host_classes=local_classes,
+                    pattern_classes=(
+                        pattern_classes if host_classes is not None else None
+                    ),
+                )
+                with region.branch() as branch:
+                    branch.charge(ncost)
+                    result = (
+                        parallel_dp(space, nice)
+                        if engine == "parallel"
+                        else sequential_dp(space, nice)
+                    )
+                    branch.charge(result.cost)
+                if result.found and not found:
+                    found = True
+                    if want_witness:
+                        w = first_witness(space, nice, result.valid)
+                        if w is not None:
+                            found_witness = {
+                                p: int(piece.originals[v])
+                                for p, v in w.items()
+                            }
+        if found:
+            return SeparatingSIResult(
+                found=True,
+                witness=found_witness,
+                rounds_used=r + 1,
+                cost=tracker.cost,
+                pieces_examined=pieces_examined,
+                max_piece_width=max_width,
+            )
+    return SeparatingSIResult(
+        found=False,
+        witness=None,
+        rounds_used=total_rounds,
+        cost=tracker.cost,
+        pieces_examined=pieces_examined,
+        max_piece_width=max_width,
+    )

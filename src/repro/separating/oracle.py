@@ -1,0 +1,68 @@
+"""Brute-force oracle for S-separating subgraph isomorphism.
+
+Enumerates occurrences by backtracking and checks the separation condition
+by deleting the image and inspecting which components contain marked
+vertices.  Used by the test suite to validate the extended DP and by the
+tiny-graph fallback of the vertex connectivity driver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from ..baselines.backtracking import iter_isomorphisms
+from ..graphs.components import connected_components
+from ..graphs.csr import Graph
+from ..isomorphism.pattern import Pattern
+
+__all__ = [
+    "is_separating_occurrence",
+    "iter_separating_occurrences",
+    "has_separating_occurrence",
+]
+
+
+def is_separating_occurrence(
+    graph: Graph, marked: np.ndarray, image: set
+) -> bool:
+    """Does deleting ``image`` leave marked vertices in >= 2 components?"""
+    rest = [v for v in range(graph.n) if v not in image]
+    if not rest:
+        return False
+    sub, originals = graph.induced_subgraph(rest)
+    labels, count, _ = connected_components(sub)
+    marked_components = {
+        int(labels[i])
+        for i, v in enumerate(originals)
+        if marked[int(v)]
+    }
+    return len(marked_components) >= 2
+
+
+def iter_separating_occurrences(
+    pattern: Pattern,
+    graph: Graph,
+    marked: np.ndarray,
+    allowed: Optional[np.ndarray] = None,
+) -> Iterator[Dict[int, int]]:
+    """Every subgraph isomorphism whose image separates the marked set."""
+    for w in iter_isomorphisms(pattern, graph, allowed=allowed):
+        if is_separating_occurrence(graph, marked, set(w.values())):
+            yield w
+
+
+def has_separating_occurrence(
+    pattern: Pattern,
+    graph: Graph,
+    marked: np.ndarray,
+    allowed: Optional[np.ndarray] = None,
+) -> bool:
+    return (
+        next(
+            iter_separating_occurrences(pattern, graph, marked, allowed),
+            None,
+        )
+        is not None
+    )

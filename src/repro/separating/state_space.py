@@ -1,0 +1,312 @@
+"""Extended partial matches for S-separating subgraph isomorphism
+(Section 5.2.2).
+
+A state extends the plain ``(phi, C, U)`` triple with:
+
+* the side sets ``I`` / ``O`` — the bag's *non-occupied* vertices placed on
+  the inside / outside of the sought separation (every non-occupied bag
+  vertex carries a side, assigned when it is introduced);
+* two booleans ``ix`` / ``ox`` — whether some *marked* vertex (the paper's
+  set S) processed so far lies inside / outside.
+
+The paper's rules map onto nice-decomposition steps:
+
+* introduce(v): either v hosts a new pattern-vertex match (plain rules,
+  restricted to the allowed set A of Section 5.2.1), or v takes a side —
+  legal only when no G-neighbor of v sits on the opposite side ("every
+  connected component of G[X] minus the occurrence is entirely inside or
+  entirely outside"); a marked v raises its side's boolean;
+* forget(v): plain rules when v is occupied, otherwise v leaves its side
+  set (its boolean contribution was recorded at introduction, which is the
+  "the parent match has to remember" rule);
+* join: plain compatibility, identical side assignments (the bags
+  coincide), booleans OR-ed.
+
+A root state (empty bag) is accepting when the pattern is fully matched and
+``ix and ox`` — a marked vertex on each side, so removing the occurrence
+separates S.
+
+Encoding: ``(base, inside, outside, ix, ox)`` with ``base`` the plain tuple
+and the side sets as sorted vertex tuples.  The space implements the same
+protocol as the plain one, so both DP engines, the recovery walker and the
+shortcut machinery run unchanged (Lemma 5.3: the state count grows by the
+2^O(k) side/boolean factor only).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from itertools import product
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.csr import Graph
+from ..isomorphism.pattern import Pattern
+from ..isomorphism.state_space import (
+    IN_CHILD,
+    UNMATCHED,
+    SubgraphStateSpace,
+)
+
+__all__ = ["SeparatingStateSpace"]
+
+SepState = Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...], bool, bool]
+
+
+def _insert_sorted(tup: Tuple[int, ...], v: int) -> Tuple[int, ...]:
+    """Insert ``v`` into a sorted tuple (O(len), no re-sort)."""
+    i = bisect_left(tup, v)
+    return tup[:i] + (v,) + tup[i:]
+
+
+class SeparatingStateSpace:
+    """State space deciding S-separating subgraph isomorphism."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: Graph,
+        marked: np.ndarray,
+        allowed: Optional[np.ndarray] = None,
+        host_classes: Optional[np.ndarray] = None,
+        pattern_classes: Optional[Sequence[Optional[int]]] = None,
+    ) -> None:
+        self.base = SubgraphStateSpace(
+            pattern,
+            graph,
+            allowed=allowed,
+            host_classes=host_classes,
+            pattern_classes=pattern_classes,
+        )
+        self.pattern = pattern
+        self.graph = graph
+        self.k = pattern.k
+        marked = np.asarray(marked, dtype=bool)
+        if marked.shape != (graph.n,):
+            raise ValueError("marked mask must cover every vertex")
+        self.marked = marked
+        self._local_cache: dict = {}
+
+    # -- basic states ------------------------------------------------------
+
+    def leaf_state(self) -> SepState:
+        return (self.base.leaf_state(), (), (), False, False)
+
+    def is_accepting(self, s: SepState) -> bool:
+        b, _inside, _outside, ix, ox = s
+        return self.base.is_accepting(b) and ix and ox
+
+    def is_marked_vertex(self, v: int) -> bool:
+        return bool(self.marked[v])
+
+    def admissible_at(
+        self, s: SepState, forgotten_count: int, marked_forgotten: bool
+    ) -> bool:
+        """Per-node filter: the base C-capacity bound, plus boolean
+        provenance — ``ix`` (resp. ``ox``) can only hold when a marked
+        vertex sits in the bag's inside (outside) set or was forgotten in
+        the subtree below."""
+        b, inside, outside, ix, ox = s
+        if not self.base.admissible_at(b, forgotten_count, marked_forgotten):
+            return False
+        if ix and not marked_forgotten:
+            if not any(self.marked[x] for x in inside):
+                return False
+        if ox and not marked_forgotten:
+            if not any(self.marked[x] for x in outside):
+                return False
+        return True
+
+    def is_trivial_source(self, s: SepState) -> bool:
+        """Unlike the plain space, C = empty does NOT imply validity here:
+        the booleans and the side assignment also constrain *forgotten*
+        vertices (side consistency through them is not locally checkable).
+        Reachability from the path-bottom states is complete on its own, so
+        no extra sources are tagged."""
+        return False
+
+    # -- transitions -------------------------------------------------------
+
+    def _side_legal(self, v: int, opposite: Tuple[int, ...]) -> bool:
+        """May v take a side whose opposite set is ``opposite``?"""
+        adj = self.graph.adjacency_set(v)
+        return not any(w in adj for w in opposite)
+
+    def introduce(self, v: int, s: SepState) -> Iterator[SepState]:
+        b, inside, outside, ix, ox = s
+        # Occupied options: the plain space also yields the unchanged state
+        # ("v unused"), which here must take a side instead — skip it (an
+        # actual extension always differs from b, as v is new to the bag).
+        for t in self.base.introduce(v, b):
+            if t != b:
+                yield (t, inside, outside, ix, ox)
+        mk = bool(self.marked[v])
+        if self._side_legal(v, outside):
+            yield (b, _insert_sorted(inside, v), outside, ix or mk, ox)
+        if self._side_legal(v, inside):
+            yield (b, inside, _insert_sorted(outside, v), ix, ox or mk)
+
+    def forget(self, v: int, s: SepState) -> Optional[SepState]:
+        b, inside, outside, ix, ox = s
+        if v in inside:
+            return (b, tuple(x for x in inside if x != v), outside, ix, ox)
+        if v in outside:
+            return (b, inside, tuple(x for x in outside if x != v), ix, ox)
+        nb = self.base.forget(v, b)
+        if nb is None:
+            return None
+        return (nb, inside, outside, ix, ox)
+
+    def join(self, sl: SepState, sr: SepState) -> Optional[SepState]:
+        bl, il, ol, ixl, oxl = sl
+        br, ir, orr, ixr, oxr = sr
+        if il != ir or ol != orr:
+            return None
+        nb = self.base.join(bl, br)
+        if nb is None:
+            return None
+        return (nb, il, ol, ixl or ixr, oxl or oxr)
+
+    def join_key(self, s: SepState) -> tuple:
+        b, inside, outside, _ix, _ox = s
+        return (self.base.join_key(b), inside, outside)
+
+    # -- canonical lift (Figure 5, extended) ---------------------------------
+
+    def lift(self, kind: str, v: int, s: SepState) -> Optional[SepState]:
+        if kind == "introduce":
+            b, inside, outside, ix, ox = s
+            mk = bool(self.marked[v])
+            # Deterministic side preference: outside, then inside.
+            if self._side_legal(v, inside):
+                return (b, inside, _insert_sorted(outside, v), ix, ox or mk)
+            if self._side_legal(v, outside):
+                return (b, _insert_sorted(inside, v), outside, ix or mk, ox)
+            return None
+        if kind == "forget":
+            return self.forget(v, s)
+        if kind == "join":
+            # Combine with the canonical (phi, C = empty) twin carrying the
+            # same sides; its booleans are exactly the bag contribution.
+            b, inside, outside, ix, ox = s
+            m_in = any(self.marked[x] for x in inside)
+            m_out = any(self.marked[x] for x in outside)
+            return (b, inside, outside, ix or m_in, ox or m_out)
+        if kind == "leaf":
+            return None
+        raise ValueError(f"unknown node kind {kind!r}")
+
+    # -- backward transitions (recovery) -------------------------------------
+
+    def introduce_preimage_candidates(
+        self, v: int, s: SepState
+    ) -> List[Tuple[SepState, Optional[int]]]:
+        b, inside, outside, ix, ox = s
+        if v in inside:
+            trimmed = tuple(x for x in inside if x != v)
+            return [
+                ((b, trimmed, outside, bit, ox), None)
+                for bit in ((False, True) if self.marked[v] else (ix,))
+            ]
+        if v in outside:
+            trimmed = tuple(x for x in outside if x != v)
+            return [
+                ((b, inside, trimmed, ix, bit), None)
+                for bit in ((False, True) if self.marked[v] else (ox,))
+            ]
+        out: List[Tuple[SepState, Optional[int]]] = []
+        for nb, newly in self.base.introduce_preimage_candidates(v, b):
+            if newly is not None:
+                out.append(((nb, inside, outside, ix, ox), newly))
+        return out
+
+    def forget_preimage_candidates(self, v: int, s: SepState) -> List[SepState]:
+        b, inside, outside, ix, ox = s
+        out: List[SepState] = [
+            (b, tuple(sorted(inside + (v,))), outside, ix, ox),
+            (b, inside, tuple(sorted(outside + (v,))), ix, ox),
+        ]
+        for nb in self.base.forget_preimage_candidates(v, b):
+            if nb != b:
+                out.append((nb, inside, outside, ix, ox))
+        return out
+
+    def join_splits(
+        self, s: SepState
+    ) -> Iterator[Tuple[SepState, SepState]]:
+        b, inside, outside, ix, ox = s
+        ix_pairs = [(True, True), (True, False), (False, True)] if ix else [
+            (False, False)
+        ]
+        ox_pairs = [(True, True), (True, False), (False, True)] if ox else [
+            (False, False)
+        ]
+        for bl, br in self.base.join_splits(b):
+            for (ixl, ixr), (oxl, oxr) in product(ix_pairs, ox_pairs):
+                yield (
+                    (bl, inside, outside, ixl, oxl),
+                    (br, inside, outside, ixr, oxr),
+                )
+
+    # -- local enumeration ---------------------------------------------------
+
+    def local_states(self, bag: Sequence[int]) -> List[SepState]:
+        """Locally plausible extended states: base skeletons refined with
+        per-component side assignments and bag-consistent booleans."""
+        bag_list = [int(v) for v in bag]
+        cache_key = tuple(bag_list)
+        cached = self._local_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        out: List[SepState] = []
+        comp_cache: dict = {}
+        for b in self.base.local_states(bag_list):
+            occupied = set(x for x in b if x >= 0)
+            free = tuple(v for v in bag_list if v not in occupied)
+            components = comp_cache.get(free)
+            if components is None:
+                components = self._components(list(free))
+                comp_cache[free] = components
+            for mask in range(1 << len(components)):
+                inside: List[int] = []
+                outside: List[int] = []
+                for i, comp in enumerate(components):
+                    (inside if mask >> i & 1 else outside).extend(comp)
+                m_in = any(self.marked[x] for x in inside)
+                m_out = any(self.marked[x] for x in outside)
+                for ix in ((True,) if m_in else (False, True)):
+                    for ox in ((True,) if m_out else (False, True)):
+                        out.append(
+                            (
+                                b,
+                                tuple(sorted(inside)),
+                                tuple(sorted(outside)),
+                                ix,
+                                ox,
+                            )
+                        )
+        self._local_cache[cache_key] = out
+        return out
+
+    def _components(self, vertices: List[int]) -> List[List[int]]:
+        """Connected components of G restricted to ``vertices``."""
+        vset = set(vertices)
+        seen = set()
+        comps: List[List[int]] = []
+        for v in vertices:
+            if v in seen:
+                continue
+            comp = [v]
+            seen.add(v)
+            queue = [v]
+            while queue:
+                x = queue.pop()
+                for w in self.graph.neighbors(x):
+                    w = int(w)
+                    if w in vset and w not in seen:
+                        seen.add(w)
+                        comp.append(w)
+                        queue.append(w)
+            comps.append(sorted(comp))
+        return comps

@@ -1,0 +1,30 @@
+"""Tree decompositions: core class, Baker/Eppstein, min-fill, nice form,
+layered path decomposition."""
+
+from .decomposition import TreeDecomposition
+from .baker import baker_decomposition, bfs_tree_darts
+from .minfill import minfill_decomposition
+from .nice import FORGET, INTRODUCE, JOIN, LEAF, NiceDecomposition, make_nice
+from .tree_paths import (
+    PathDecomposition,
+    layered_paths,
+    tree_layers_parallel,
+    tree_layers_sequential,
+)
+
+__all__ = [
+    "TreeDecomposition",
+    "baker_decomposition",
+    "bfs_tree_darts",
+    "minfill_decomposition",
+    "NiceDecomposition",
+    "make_nice",
+    "LEAF",
+    "INTRODUCE",
+    "FORGET",
+    "JOIN",
+    "PathDecomposition",
+    "layered_paths",
+    "tree_layers_parallel",
+    "tree_layers_sequential",
+]

@@ -1,0 +1,174 @@
+"""Tree decompositions: representation, validation, binarization.
+
+Section 1.1 of the paper defines a tree decomposition by two axioms (every
+vertex's bags form a contiguous nonempty subtree; every edge has a bag
+containing both endpoints) and notes that interior nodes can be assumed to
+have exactly two children "as we can split high-degree nodes and add empty
+leaf nodes without changing the width".  :meth:`TreeDecomposition.binarize`
+implements exactly that normalization, which the path-decomposition machinery
+of Section 3.3 requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.csr import Graph
+
+__all__ = ["TreeDecomposition"]
+
+NIL = -1
+
+
+@dataclass
+class TreeDecomposition:
+    """A rooted tree decomposition.
+
+    Attributes
+    ----------
+    bags:
+        ``bags[i]`` is the sorted vertex array of node ``i``.
+    parent:
+        ``parent[i]`` is the tree parent of node ``i`` (root: ``-1``).
+    root:
+        Index of the root node.
+    """
+
+    bags: List[np.ndarray]
+    parent: np.ndarray
+    root: int
+
+    def __post_init__(self) -> None:
+        self.parent = np.asarray(self.parent, dtype=np.int64)
+        self.bags = [
+            np.unique(np.asarray(b, dtype=np.int64)) for b in self.bags
+        ]
+        t = len(self.bags)
+        if self.parent.shape != (t,):
+            raise ValueError("parent array must cover every node")
+        if t == 0:
+            raise ValueError("a tree decomposition is nonempty")
+        if not 0 <= self.root < t or self.parent[self.root] != NIL:
+            raise ValueError("invalid root")
+        if int(np.sum(self.parent == NIL)) != 1:
+            raise ValueError("exactly one root expected")
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.bags)
+
+    def width(self) -> int:
+        """max |bag| - 1."""
+        return max(int(b.size) for b in self.bags) - 1
+
+    def children(self) -> List[List[int]]:
+        out: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        for i, p in enumerate(self.parent):
+            if p != NIL:
+                out[int(p)].append(i)
+        return out
+
+    def height(self) -> int:
+        """Edge-height of the decomposition tree."""
+        depth = np.zeros(self.num_nodes, dtype=np.int64)
+        order = self.topological_order()
+        for i in order[1:]:
+            depth[i] = depth[self.parent[i]] + 1
+        return int(depth.max(initial=0))
+
+    def topological_order(self) -> List[int]:
+        """Root-first order (parents before children)."""
+        kids = self.children()
+        order = [self.root]
+        head = 0
+        while head < len(order):
+            order.extend(kids[order[head]])
+            head += 1
+        if len(order) != self.num_nodes:
+            raise ValueError("decomposition tree is not connected")
+        return order
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self, graph: Graph) -> None:
+        """Check the tree decomposition axioms for ``graph``.
+
+        Raises ``ValueError`` with a description of the first violated axiom.
+        """
+        t = self.num_nodes
+        # Vertex coverage + subtree contiguity: for every vertex, the nodes
+        # whose bags contain it must form one connected subtree.
+        appears: List[List[int]] = [[] for _ in range(graph.n)]
+        for i, bag in enumerate(self.bags):
+            for v in bag:
+                appears[int(v)].append(i)
+        for v in range(graph.n):
+            nodes = appears[v]
+            if not nodes:
+                raise ValueError(f"vertex {v} is in no bag")
+            node_set = set(nodes)
+            # Connected iff all nodes but one have their parent in the set
+            # (restricted to the set, the parent relation has one root).
+            roots = sum(
+                1 for i in nodes if int(self.parent[i]) not in node_set
+            )
+            if roots != 1:
+                raise ValueError(
+                    f"bags containing vertex {v} are not contiguous"
+                )
+        # Edge coverage (check only the bags that contain one endpoint).
+        bag_sets = [set(b.tolist()) for b in self.bags]
+        for u, v in graph.iter_edges():
+            if not any(v in bag_sets[i] for i in appears[u]):
+                raise ValueError(f"edge ({u}, {v}) is covered by no bag")
+
+    # -- normalization -----------------------------------------------------
+
+    def binarize(self) -> "TreeDecomposition":
+        """Equivalent decomposition where every interior node has exactly two
+        children (split high-degree nodes, pad single children with empty
+        leaves), without increasing the width."""
+        bags: List[np.ndarray] = []
+        parent: List[int] = []
+
+        def add(bag: np.ndarray, par: int) -> int:
+            bags.append(bag)
+            parent.append(par)
+            return len(bags) - 1
+
+        kids = self.children()
+
+        # Iterative structure copy (children attached under chains of
+        # duplicated bags when a node has more than two of them).
+        stack: List[Tuple[int, int]] = [(self.root, NIL)]
+        while stack:
+            node, par = stack.pop()
+            new_id = add(self.bags[node], par)
+            cs = kids[node]
+            if len(cs) == 0:
+                continue
+            if len(cs) == 1:
+                # Pad with an empty leaf to keep the node binary.
+                stack.append((cs[0], new_id))
+                add(np.empty(0, dtype=np.int64), new_id)
+                continue
+            # More than one child: build a chain of duplicate bags; each
+            # chain node takes one child plus the rest of the chain.
+            anchor = new_id
+            for extra in cs[:-2]:
+                stack.append((extra, anchor))
+                anchor = add(self.bags[node], anchor)
+            stack.append((cs[-2], anchor))
+            stack.append((cs[-1], anchor))
+
+        return TreeDecomposition(
+            bags=bags, parent=np.asarray(parent, dtype=np.int64), root=0
+        )
+
+    def is_binary(self) -> bool:
+        return all(len(c) in (0, 2) for c in self.children())

@@ -1,0 +1,197 @@
+"""Nice tree decompositions: introduce / forget / join normal form.
+
+The dynamic program of Section 3 extends partial matches between a child and
+a parent bag.  A *nice* decomposition factors every bag change into single-
+vertex steps, which keeps the sparse state-generation transitions cheap while
+preserving the paper's (phi, C, U) state semantics:
+
+* ``leaf``      — empty bag;
+* ``introduce`` — bag = child bag + one vertex;
+* ``forget``    — bag = child bag - one vertex;
+* ``join``      — two children with identical bags.
+
+The root has an empty bag (everything forgotten), so acceptance is simply
+"the root reaches the state with every pattern vertex matched in a child".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..pram import Cost
+from .decomposition import TreeDecomposition
+
+__all__ = ["NiceDecomposition", "make_nice"]
+
+NIL = -1
+
+LEAF = "leaf"
+INTRODUCE = "introduce"
+FORGET = "forget"
+JOIN = "join"
+
+
+@dataclass
+class NiceDecomposition:
+    """A nice tree decomposition (see module docstring).
+
+    ``vertex[i]`` is the vertex introduced/forgotten at node ``i`` (NIL for
+    leaf/join).  ``children[i]`` lists ``i``'s children; unary chains have
+    exactly one, joins exactly two.
+    """
+
+    kinds: List[str]
+    vertex: np.ndarray
+    bags: List[np.ndarray]
+    parent: np.ndarray
+    root: int
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.kinds)
+
+    def children(self) -> List[List[int]]:
+        out: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        for i, p in enumerate(self.parent):
+            if p != NIL:
+                out[int(p)].append(i)
+        return out
+
+    def width(self) -> int:
+        return max(int(b.size) for b in self.bags) - 1
+
+    def topological_order(self) -> List[int]:
+        kids = self.children()
+        order = [self.root]
+        head = 0
+        while head < len(order):
+            order.extend(kids[order[head]])
+            head += 1
+        return order
+
+    def as_tree_decomposition(self) -> TreeDecomposition:
+        """View as a plain tree decomposition (for validation)."""
+        return TreeDecomposition(
+            bags=[b.copy() for b in self.bags],
+            parent=self.parent.copy(),
+            root=self.root,
+        )
+
+    def validate_structure(self) -> None:
+        """Check the nice-form invariants node by node."""
+        kids = self.children()
+        for i, kind in enumerate(self.kinds):
+            bag = set(self.bags[i].tolist())
+            cs = kids[i]
+            if kind == LEAF:
+                assert not cs and not bag, f"bad leaf {i}"
+            elif kind == INTRODUCE:
+                assert len(cs) == 1, f"introduce {i} needs one child"
+                child_bag = set(self.bags[cs[0]].tolist())
+                v = int(self.vertex[i])
+                assert v not in child_bag and bag == child_bag | {v}
+            elif kind == FORGET:
+                assert len(cs) == 1, f"forget {i} needs one child"
+                child_bag = set(self.bags[cs[0]].tolist())
+                v = int(self.vertex[i])
+                assert v in child_bag and bag == child_bag - {v}
+            elif kind == JOIN:
+                assert len(cs) == 2, f"join {i} needs two children"
+                for c in cs:
+                    assert set(self.bags[c].tolist()) == bag
+            else:
+                raise AssertionError(f"unknown node kind {kind!r}")
+
+
+def make_nice(
+    decomposition: TreeDecomposition,
+) -> Tuple[NiceDecomposition, Cost]:
+    """Convert any tree decomposition into nice form.
+
+    The node count grows to O(t * width); the width is unchanged.  The
+    conversion is a local rewrite per decomposition edge, O(t * width) work
+    and O(log n) depth on the PRAM (each chain is built independently); we
+    charge that bound.
+    """
+    kinds: List[str] = []
+    vertex: List[int] = []
+    bags: List[np.ndarray] = []
+    parent: List[int] = []
+
+    def add(kind: str, v: int, bag) -> int:
+        kinds.append(kind)
+        vertex.append(v)
+        bags.append(np.asarray(sorted(bag), dtype=np.int64))
+        parent.append(NIL)
+        return len(kinds) - 1
+
+    def link(child: int, par: int) -> None:
+        parent[child] = par
+
+    def chain_up(node_id: int, from_bag, to_bag) -> int:
+        """Stack forget/introduce nodes on top of ``node_id`` (whose bag is
+        ``from_bag``) until the bag equals ``to_bag``; returns the top id."""
+        cur = set(from_bag)
+        nid = node_id
+        for v in sorted(cur - set(to_bag)):
+            cur.discard(v)
+            new = add(FORGET, v, cur)
+            link(nid, new)
+            nid = new
+        for v in sorted(set(to_bag) - cur):
+            cur.add(v)
+            new = add(INTRODUCE, v, cur)
+            link(nid, new)
+            nid = new
+        return nid
+
+    kids = decomposition.children()
+    # Iterative post-order: build children before parents.
+    built: dict = {}
+    stack: List[Tuple[int, bool]] = [(decomposition.root, False)]
+    while stack:
+        dnode, expanded = stack.pop()
+        cs = kids[dnode]
+        if not expanded:
+            stack.append((dnode, True))
+            for c in cs:
+                stack.append((c, False))
+            continue
+        bag = set(decomposition.bags[dnode].tolist())
+        if not cs:
+            leaf = add(LEAF, NIL, ())
+            built[dnode] = chain_up(leaf, (), bag)
+            continue
+        arms = [
+            chain_up(built[c], decomposition.bags[c].tolist(), bag)
+            for c in cs
+        ]
+        while len(arms) > 1:
+            a = arms.pop()
+            b = arms.pop()
+            j = add(JOIN, NIL, bag)
+            link(a, j)
+            link(b, j)
+            arms.append(j)
+        built[dnode] = arms[0]
+
+    top = built[decomposition.root]
+    nice_root = chain_up(
+        top, decomposition.bags[decomposition.root].tolist(), ()
+    )
+
+    nd = NiceDecomposition(
+        kinds=kinds,
+        vertex=np.asarray(vertex, dtype=np.int64),
+        bags=bags,
+        parent=np.asarray(parent, dtype=np.int64),
+        root=nice_root,
+    )
+    from ..pram import log2_ceil
+
+    t = nd.num_nodes
+    cost = Cost(max(2 * t, 1), max(1, 2 * log2_ceil(max(t, 2))))
+    return nd, cost

@@ -1,0 +1,205 @@
+"""Tree -> layered path decomposition (Lemma 3.2 / Appendix A).
+
+Layer numbers follow the recursion ``L`` of Appendix A: a leaf has layer 0;
+a parent whose children's maximum layer is unique inherits it (it extends
+that child's path), otherwise it starts a new path one layer up.  The number
+of layers is O(log n) because a layer increase requires two children of equal
+maximal layer (the node count at least halves per layer).
+
+Within a layer, the nodes induce a forest of *paths* (each node has at most
+one same-layer child — the unique maximum); vertices in layer ``i`` have no
+children in a layer larger than ``i``.
+
+Implementations:
+
+* :func:`tree_layers_sequential` — direct post-order evaluation (reference).
+* :func:`tree_layers_parallel` — expression-tree evaluation via tree
+  contraction with the corrected Appendix A function family (O(n) work,
+  O(log n) depth; full binary trees).
+* :func:`layered_paths` — extracts and orders the paths (list ranking gives
+  within-path positions in O(log n) depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..pram import Cost
+from ..pram.layer_algebra import (
+    IDENTITY,
+    apply_fn,
+    compose,
+    layer_op,
+    project_layer_op,
+)
+from ..pram.list_ranking import list_rank
+from ..pram.tree_contraction import (
+    Algebra,
+    BinaryExpressionTree,
+    evaluate_expression_tree,
+)
+
+__all__ = [
+    "tree_layers_sequential",
+    "tree_layers_parallel",
+    "layered_paths",
+    "PathDecomposition",
+]
+
+NIL = -1
+
+_LAYER_ALGEBRA = Algebra(
+    identity=IDENTITY,
+    compose=compose,
+    apply=apply_fn,
+    project=project_layer_op,
+    op=layer_op,
+)
+
+
+def _children_arrays(parent: np.ndarray, root: int) -> List[List[int]]:
+    out: List[List[int]] = [[] for _ in range(parent.shape[0])]
+    for v, p in enumerate(parent):
+        if p != NIL:
+            out[int(p)].append(v)
+    return out
+
+
+def tree_layers_sequential(
+    parent: np.ndarray, root: Optional[int] = None
+) -> np.ndarray:
+    """Layer numbers by direct bottom-up evaluation (rooted tree or forest;
+    pass ``root=None`` to treat every parentless node as a root)."""
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.shape[0]
+    kids = _children_arrays(parent, root)
+    layers = np.zeros(n, dtype=np.int64)
+    # Post-order via reversed BFS order (children before parents).
+    roots = (
+        [root]
+        if root is not None
+        else [v for v in range(n) if parent[v] == NIL]
+    )
+    order = list(roots)
+    head = 0
+    while head < len(order):
+        order.extend(kids[order[head]])
+        head += 1
+    for v in reversed(order):
+        cs = kids[v]
+        if not cs:
+            layers[v] = 0
+            continue
+        vals = sorted((int(layers[c]) for c in cs), reverse=True)
+        if len(vals) == 1:
+            # Unary node: the maximum is trivially unique.
+            layers[v] = vals[0]
+        elif vals[0] == vals[1]:
+            layers[v] = vals[0] + 1
+        else:
+            layers[v] = vals[0]
+    return layers
+
+
+def tree_layers_parallel(
+    parent: np.ndarray, root: int
+) -> Tuple[np.ndarray, Cost]:
+    """Layer numbers via tree contraction (full binary trees; Lemma A.1)."""
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.shape[0]
+    kids = _children_arrays(parent, root)
+    left = np.full(n, NIL, dtype=np.int64)
+    right = np.full(n, NIL, dtype=np.int64)
+    for v, cs in enumerate(kids):
+        if len(cs) == 2:
+            left[v], right[v] = cs
+        elif len(cs) != 0:
+            raise ValueError("tree_layers_parallel needs a full binary tree")
+    tree = BinaryExpressionTree(
+        left=left, right=right, root=root, leaf_value=np.zeros(n, dtype=np.int64)
+    )
+    return evaluate_expression_tree(tree, _LAYER_ALGEBRA)
+
+
+@dataclass(frozen=True)
+class PathDecomposition:
+    """The layered path decomposition of a rooted tree.
+
+    ``layers[i]`` is the list of paths in layer ``i``; each path lists its
+    nodes bottom-to-top (the last node's parent, if any, lies in a higher
+    layer or is the tree root boundary).  ``layer_of[v]`` and ``path_of[v]``
+    give each node's coordinates.
+    """
+
+    layers: List[List[List[int]]]
+    layer_of: np.ndarray
+    path_of: np.ndarray
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def all_paths_bottom_up(self) -> List[List[int]]:
+        return [p for layer in self.layers for p in layer]
+
+
+def layered_paths(
+    parent: np.ndarray,
+    root: Optional[int] = None,
+    use_parallel_layers: bool = False,
+) -> Tuple[PathDecomposition, Cost]:
+    """Decompose a rooted tree or forest into O(log n) layers of disjoint
+    paths (Lemma 3.2): nodes in layer i have no children in layers > i."""
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.shape[0]
+    if use_parallel_layers:
+        layer_of, cost = tree_layers_parallel(parent, root)
+    else:
+        layer_of = tree_layers_sequential(parent, root)
+        cost = Cost(max(2 * n, 1), max(2 * n, 1))
+
+    # Same-layer parent pointers form the path successor relation.
+    succ = np.full(n, NIL, dtype=np.int64)
+    for v in range(n):
+        p = int(parent[v])
+        if p != NIL and layer_of[p] == layer_of[v]:
+            succ[v] = p
+    ranks, rank_cost = list_rank(succ)
+    cost = cost + rank_cost
+
+    # Path identification: top node of each path (succ == NIL) anchors it.
+    num_layers = int(layer_of.max(initial=0)) + 1
+    path_of = np.full(n, NIL, dtype=np.int64)
+    layers: List[List[List[int]]] = [[] for _ in range(num_layers)]
+    tops = [v for v in range(n) if succ[v] == NIL]
+    path_nodes: List[List[int]] = [[] for _ in tops]
+    # Every node's path top, by pointer jumping (tops are the roots of the
+    # successor forest).
+    from ..pram.primitives import pointer_jump_roots
+
+    succ_self = np.where(succ == NIL, np.arange(n, dtype=np.int64), succ)
+    top_of, jump_cost = pointer_jump_roots(succ_self)
+    cost = cost + jump_cost
+    top_index = {int(v): i for i, v in enumerate(tops)}
+    lengths = np.zeros(len(tops), dtype=np.int64)
+    for v in range(n):
+        lengths[top_index[int(top_of[v])]] += 1
+    for i, v in enumerate(tops):
+        path_nodes[i] = [NIL] * int(lengths[i])
+    for v in range(n):
+        pi = top_index[int(top_of[v])]
+        # rank counts hops to the top; bottom-to-top ordering:
+        position = int(lengths[pi]) - 1 - int(ranks[v])
+        path_nodes[pi][position] = v
+        path_of[v] = pi
+    for i, v in enumerate(tops):
+        layers[int(layer_of[v])].append(path_nodes[i])
+
+    cost = cost + Cost.scan(max(n, 1)) + Cost.step(max(n, 1))
+    return (
+        PathDecomposition(layers=layers, layer_of=layer_of, path_of=path_of),
+        cost,
+    )

@@ -1,0 +1,174 @@
+"""Baseline comparators: all must agree with exhaustive backtracking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    color_coding_decide,
+    colorful_tree_search,
+    count_isomorphisms,
+    eppstein_decide,
+    has_isomorphism,
+    naive_ball_cover,
+    ullmann_count,
+    ullmann_has,
+)
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    path_graph,
+    triangulated_grid,
+    wheel_graph,
+)
+from repro.isomorphism import (
+    clique_pattern,
+    cycle_pattern,
+    path_pattern,
+    star_pattern,
+    triangle,
+)
+from repro.planar import embed_geometric
+
+
+class TestUllmann:
+    @pytest.mark.parametrize(
+        "pattern",
+        [triangle(), path_pattern(3), cycle_pattern(4), star_pattern(3)],
+        ids=["k3", "p3", "c4", "s3"],
+    )
+    def test_count_matches_backtracking(self, pattern):
+        g = triangulated_grid(3, 4).graph
+        assert ullmann_count(pattern, g) == count_isomorphisms(pattern, g)
+
+    def test_negative(self):
+        assert not ullmann_has(triangle(), grid_graph(4, 4).graph)
+        assert not ullmann_has(clique_pattern(4), wheel_graph(6).graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_graphs(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (int(u), int(v))
+            for u, v in rng.integers(0, n, size=(2 * n, 2))
+            if u != v
+        ]
+        g = Graph(n, edges)
+        for pattern in (triangle(), path_pattern(3)):
+            assert ullmann_has(pattern, g) == has_isomorphism(pattern, g)
+
+
+class TestColorCoding:
+    def test_tree_pattern_positive(self):
+        g = grid_graph(6, 6).graph
+        found, _ = color_coding_decide(path_pattern(4), g, seed=0)
+        assert found
+
+    def test_tree_pattern_negative(self):
+        g = path_graph(4).graph
+        found, _ = color_coding_decide(path_pattern(6), g, seed=1)
+        assert not found
+
+    def test_star_pattern(self):
+        g = wheel_graph(8).graph
+        found, _ = color_coding_decide(star_pattern(4), g, seed=2)
+        assert found
+
+    def test_non_tree_pattern_fallback(self):
+        g = triangulated_grid(4, 4).graph
+        found, _ = color_coding_decide(triangle(), g, seed=3)
+        assert found
+        found2, _ = color_coding_decide(
+            triangle(), grid_graph(4, 4).graph, seed=4
+        )
+        assert not found2
+
+    def test_colorful_search_needs_tree(self):
+        g = grid_graph(3, 3).graph
+        with pytest.raises(ValueError):
+            colorful_tree_search(triangle(), g, np.zeros(9, dtype=int))
+
+    def test_colorful_search_respects_colors(self):
+        # A path of 3 with all-equal colors is never colorful.
+        g = path_graph(5).graph
+        assert not colorful_tree_search(
+            path_pattern(3), g, np.zeros(5, dtype=int)
+        )
+        assert colorful_tree_search(
+            path_pattern(3), g, np.arange(5) % 3
+        )
+
+    def test_cost_charged(self):
+        g = grid_graph(4, 4).graph
+        _, cost = color_coding_decide(
+            path_pattern(3), g, seed=5, repetitions=3
+        )
+        assert cost.work > 0 and cost.depth <= cost.work
+
+
+class TestNaiveBallCover:
+    def test_total_size_quadratic_on_path(self):
+        # Balls of radius d in a path: ~ (2d+1) n vertices in total; on a
+        # star they explode to n^2 — capture the contrast on a cycle.
+        g = cycle_graph(40).graph
+        cover = naive_ball_cover(g, d=10)
+        assert cover.total_piece_size == 40 * 21
+
+    def test_every_ball_contains_center(self):
+        g = grid_graph(4, 4).graph
+        cover = naive_ball_cover(g, d=2)
+        for v, (sub, originals) in enumerate(cover.pieces):
+            assert v in set(originals.tolist())
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            naive_ball_cover(path_graph(3).graph, d=-1)
+
+
+class TestEppstein:
+    @pytest.mark.parametrize(
+        "gg,pattern,expect",
+        [
+            (triangulated_grid(5, 5), triangle(), True),
+            (grid_graph(5, 5), triangle(), False),
+            (grid_graph(5, 5), cycle_pattern(4), True),
+            (wheel_graph(9), star_pattern(4), True),
+            (cycle_graph(12), cycle_pattern(5), False),
+        ],
+        ids=["k3+", "k3-", "c4+", "s4+", "c5-"],
+    )
+    def test_decisions(self, gg, pattern, expect):
+        emb, _ = embed_geometric(gg)
+        result = eppstein_decide(gg.graph, emb, pattern)
+        assert result.found == expect
+
+    def test_witness(self):
+        gg = triangulated_grid(4, 4)
+        emb, _ = embed_geometric(gg)
+        result = eppstein_decide(gg.graph, emb, triangle(), want_witness=True)
+        assert result.found
+        w = result.witness
+        for a, b in triangle().graph.iter_edges():
+            assert gg.graph.has_edge(w[a], w[b])
+
+    def test_deterministic(self):
+        gg = delaunay_graph(50, seed=3)
+        emb, _ = embed_geometric(gg)
+        a = eppstein_decide(gg.graph, emb, triangle())
+        b = eppstein_decide(gg.graph, emb, triangle())
+        assert a.found == b.found and a.cost == b.cost
+
+    def test_sequential_depth_is_linearish(self):
+        gg = path_graph(200)
+        emb, _ = embed_geometric(gg)
+        result = eppstein_decide(gg.graph, emb, path_pattern(3))
+        assert result.found
+        # Depth tracks n (the BFS is charged sequentially).
+        assert result.cost.depth >= gg.graph.n

@@ -1,0 +1,129 @@
+"""EST clustering tests: Lemma 2.3 properties, Observation 1."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import est_clustering
+from repro.graphs import (
+    Graph,
+    component_members,
+    connected_components,
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    path_graph,
+)
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        clustering, cost = est_clustering(Graph.empty(0), beta=4, seed=0)
+        assert clustering.count == 0
+
+    def test_labels_partition(self):
+        g = grid_graph(8, 8).graph
+        clustering, _ = est_clustering(g, beta=4, seed=1)
+        assert clustering.labels.shape == (g.n,)
+        assert clustering.labels.min() == 0
+        assert clustering.labels.max() == clustering.count - 1
+
+    def test_clusters_connected(self):
+        g = delaunay_graph(150, seed=2).graph
+        clustering, _ = est_clustering(g, beta=3, seed=3)
+        for members in component_members(clustering.labels, clustering.count):
+            sub, _ = g.induced_subgraph(members)
+            _, count, _ = connected_components(sub)
+            assert count == 1
+
+    def test_reproducible(self):
+        g = grid_graph(10, 10).graph
+        a, _ = est_clustering(g, beta=4, seed=7)
+        b, _ = est_clustering(g, beta=4, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        g = grid_graph(10, 10).graph
+        a, _ = est_clustering(g, beta=2, seed=1)
+        b, _ = est_clustering(g, beta=2, seed=2)
+        assert not np.array_equal(a.labels, b.labels)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            est_clustering(path_graph(3).graph, beta=0, seed=0)
+
+    def test_isolated_vertices_form_clusters(self):
+        clustering, _ = est_clustering(Graph.empty(5), beta=2, seed=0)
+        assert clustering.count == 5
+
+
+class TestLemma23:
+    """Statistical checks of the Lemma 2.3 guarantees."""
+
+    def test_edge_cut_probability_bound(self):
+        # P(edge crosses) <= 1/beta.  Average over seeds; allow slack 1.3x.
+        g = grid_graph(15, 15).graph
+        beta = 6.0
+        fractions = [
+            est_clustering(g, beta=beta, seed=s)[0].cut_fraction(g)
+            for s in range(40)
+        ]
+        assert np.mean(fractions) <= 1.3 / beta
+
+    def test_larger_beta_cuts_fewer_edges(self):
+        g = delaunay_graph(200, seed=5).graph
+        small = np.mean(
+            [est_clustering(g, 2, seed=s)[0].cut_fraction(g) for s in range(15)]
+        )
+        large = np.mean(
+            [est_clustering(g, 10, seed=s)[0].cut_fraction(g) for s in range(15)]
+        )
+        assert large < small
+
+    def test_radius_scales_with_beta_log_n(self):
+        g = grid_graph(20, 20).graph
+        beta = 3.0
+        for s in range(10):
+            clustering, _ = est_clustering(g, beta=beta, seed=s)
+            # O(beta log n) with a generous constant.
+            assert clustering.radius <= 4 * beta * np.log(g.n)
+
+    def test_cluster_diameter_bounded(self):
+        g = delaunay_graph(150, seed=9).graph
+        beta = 3.0
+        clustering, _ = est_clustering(g, beta=beta, seed=4)
+        # Each cluster's diameter (in the induced subgraph) is at most
+        # 2 * radius; verify via BFS inside each cluster.
+        from repro.graphs import parallel_bfs
+
+        for members in component_members(clustering.labels, clustering.count):
+            sub, _ = g.induced_subgraph(members)
+            res, _ = parallel_bfs(sub, [0])
+            assert res.depth <= 2 * clustering.radius + 1
+
+    def test_observation1_connected_subgraph_survives(self):
+        # Observation 1: a connected k-vertex subgraph stays in one cluster
+        # with probability >= 1/2 under 2k-clustering.  Use a 3x3 sub-block
+        # of a grid (k = 9).
+        gg = grid_graph(12, 12)
+        g = gg.graph
+        block = [r * 12 + c for r in range(4, 7) for c in range(4, 7)]
+        k = len(block)
+        hits = 0
+        trials = 60
+        for s in range(trials):
+            clustering, _ = est_clustering(g, beta=2 * k, seed=s)
+            if len({int(clustering.labels[v]) for v in block}) == 1:
+                hits += 1
+        assert hits / trials >= 0.5
+
+
+class TestCost:
+    def test_work_linear(self):
+        g = delaunay_graph(500, seed=1).graph
+        _, cost = est_clustering(g, beta=4, seed=0)
+        assert cost.work <= 8 * (g.n + g.m)
+
+    def test_depth_tracks_radius(self):
+        g = grid_graph(25, 25).graph
+        clustering, cost = est_clustering(g, beta=2, seed=0)
+        assert cost.depth <= clustering.radius + 2

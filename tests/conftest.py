@@ -1,0 +1,16 @@
+"""Suite-wide configuration.
+
+Hypothesis deadlines are disabled globally: the suite runs CPU-heavy
+pipelines on shared single-core CI containers, where per-example wall-clock
+deadlines only produce flakes (correctness is asserted explicitly, never by
+timing).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,86 @@
+"""Flow-based vertex connectivity baseline vs networkx and brute force."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.connectivity import (
+    local_connectivity,
+    vertex_connectivity_bruteforce,
+    vertex_connectivity_flow,
+)
+from repro.graphs import (
+    Graph,
+    antiprism_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    icosahedron_graph,
+    path_graph,
+    star_graph,
+    wheel_graph,
+)
+
+
+def to_nx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.iter_edges())
+    return h
+
+
+KNOWN = [
+    (path_graph(6).graph, 1),
+    (star_graph(5).graph, 1),
+    (cycle_graph(7).graph, 2),
+    (grid_graph(4, 5).graph, 2),
+    (wheel_graph(7).graph, 3),
+    (antiprism_graph(5).graph, 4),
+    (icosahedron_graph().graph, 5),
+    (complete_graph(4), 3),
+    (complete_graph(2), 1),
+    (Graph(1, []), 0),
+    (Graph(4, [(0, 1), (2, 3)]), 0),
+]
+
+
+class TestFlowVC:
+    @pytest.mark.parametrize("g,expect", KNOWN, ids=[f"k{e}n{g.n}" for g, e in KNOWN])
+    def test_known_families(self, g, expect):
+        assert vertex_connectivity_flow(g) == expect
+
+    @pytest.mark.parametrize("g,expect", [c for c in KNOWN if c[0].n <= 10])
+    def test_bruteforce_agrees(self, g, expect):
+        assert vertex_connectivity_bruteforce(g) == expect
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_matches_networkx(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = []
+        for _ in range(3 * n):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.append((int(u), int(v)))
+        g = Graph(n, edges)
+        assert vertex_connectivity_flow(g) == nx.node_connectivity(to_nx(g))
+
+    def test_local_connectivity(self):
+        g = grid_graph(3, 3).graph
+        # Corners 0 and 8: two vertex-disjoint paths.
+        assert local_connectivity(g, 0, 8) == 2
+        assert local_connectivity(g, 0, 8) == nx.node_connectivity(
+            to_nx(g), 0, 8
+        )
+
+    def test_local_connectivity_validation(self):
+        g = path_graph(3).graph
+        with pytest.raises(ValueError):
+            local_connectivity(g, 0, 1)  # adjacent
+        with pytest.raises(ValueError):
+            local_connectivity(g, 1, 1)

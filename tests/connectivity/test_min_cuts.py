@@ -1,0 +1,95 @@
+"""Minimum vertex cut enumeration vs brute force."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.connectivity import minimum_vertex_cuts
+from repro.graphs import (
+    Graph,
+    connected_components,
+    cycle_graph,
+    grid_graph,
+    ladder_graph,
+    path_graph,
+    star_graph,
+)
+from repro.planar import embed_geometric, embed_planar
+
+
+def brute_force_min_cuts(g):
+    """All minimum vertex cuts by subset enumeration (tiny graphs)."""
+    _, count, _ = connected_components(g)
+    if count > 1:
+        return 0, set()
+    for size in range(1, g.n - 1):
+        cuts = set()
+        for cut in combinations(range(g.n), size):
+            rest = [v for v in range(g.n) if v not in cut]
+            sub, _ = g.induced_subgraph(rest)
+            _, comps, _ = connected_components(sub)
+            if comps > 1:
+                cuts.add(frozenset(cut))
+        if cuts:
+            return size, cuts
+    return g.n - 1, set()
+
+
+def enumerate_cuts(gg_or_graph, seed=0, **kw):
+    if hasattr(gg_or_graph, "graph"):
+        g = gg_or_graph.graph
+        emb, _ = embed_geometric(gg_or_graph)
+    else:
+        g = gg_or_graph
+        emb = embed_planar(g)
+    return g, minimum_vertex_cuts(g, emb, seed=seed, **kw)
+
+
+class TestEnumeration:
+    def test_cycle_cuts_are_nonadjacent_pairs(self):
+        g, result = enumerate_cuts(cycle_graph(7))
+        kappa, expect = brute_force_min_cuts(g)
+        assert result.connectivity == kappa == 2
+        assert result.cuts == expect
+        assert len(expect) == 7 * 4 // 2  # non-adjacent pairs of C7
+
+    def test_ladder(self):
+        g, result = enumerate_cuts(ladder_graph(4))
+        kappa, expect = brute_force_min_cuts(g)
+        assert result.connectivity == kappa == 2
+        assert result.cuts == expect
+
+    def test_small_grid(self):
+        g, result = enumerate_cuts(grid_graph(3, 3))
+        kappa, expect = brute_force_min_cuts(g)
+        assert result.connectivity == kappa == 2
+        assert result.cuts == expect
+
+    def test_every_reported_cut_disconnects(self):
+        g, result = enumerate_cuts(grid_graph(3, 4))
+        for cut in result.cuts:
+            rest = [v for v in range(g.n) if v not in cut]
+            sub, _ = g.induced_subgraph(rest)
+            _, comps, _ = connected_components(sub)
+            assert comps > 1
+            assert len(cut) == result.connectivity
+
+
+class TestTrivialCases:
+    def test_articulation_points_for_kappa1(self):
+        g, result = enumerate_cuts(path_graph(5))
+        assert result.connectivity == 1
+        assert result.cuts == {frozenset([1]), frozenset([2]),
+                               frozenset([3])}
+
+    def test_star_center(self):
+        g, result = enumerate_cuts(star_graph(4))
+        assert result.connectivity == 1
+        assert result.cuts == {frozenset([0])}
+
+    def test_disconnected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        emb = embed_planar(g)
+        result = minimum_vertex_cuts(g, emb)
+        assert result.connectivity == 0 and result.cuts == set()

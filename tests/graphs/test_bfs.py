@@ -1,0 +1,85 @@
+"""Tests for parallel BFS: levels vs networkx, cost shape vs diameter."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    parallel_bfs,
+    path_graph,
+)
+
+
+def to_nx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.iter_edges())
+    return h
+
+
+class TestCorrectness:
+    def test_path_levels(self):
+        g = path_graph(6).graph
+        res, _ = parallel_bfs(g, [0])
+        assert res.level.tolist() == [0, 1, 2, 3, 4, 5]
+        assert res.parent.tolist() == [-1, 0, 1, 2, 3, 4]
+
+    def test_unreached_marked(self):
+        g = Graph(4, [(0, 1)])
+        res, _ = parallel_bfs(g, [0])
+        assert res.level.tolist() == [0, 1, -1, -1]
+
+    def test_multi_source(self):
+        g = path_graph(7).graph
+        res, _ = parallel_bfs(g, [0, 6])
+        assert res.level.tolist() == [0, 1, 2, 3, 2, 1, 0]
+
+    def test_parents_form_valid_tree(self):
+        g = delaunay_graph(80, seed=4).graph
+        res, _ = parallel_bfs(g, [0])
+        for v in range(1, g.n):
+            p = int(res.parent[v])
+            assert g.has_edge(p, v)
+            assert res.level[v] == res.level[p] + 1
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_matches_networkx_on_delaunay(self, seed):
+        g = delaunay_graph(40, seed=seed).graph
+        res, _ = parallel_bfs(g, [0])
+        expect = nx.single_source_shortest_path_length(to_nx(g), 0)
+        for v in range(g.n):
+            assert res.level[v] == expect.get(v, -1)
+
+    def test_source_validation(self):
+        g = path_graph(3).graph
+        with pytest.raises(ValueError):
+            parallel_bfs(g, [])
+        with pytest.raises(ValueError):
+            parallel_bfs(g, [3])
+
+
+class TestCost:
+    def test_depth_tracks_bfs_levels(self):
+        g = path_graph(100).graph
+        res, cost = parallel_bfs(g, [0])
+        assert res.depth == 99
+        # One round per level plus init/terminal rounds.
+        assert res.depth <= cost.depth <= res.depth + 3
+
+    def test_work_linear_in_size(self):
+        g = grid_graph(20, 20).graph
+        _, cost = parallel_bfs(g, [0])
+        assert cost.work <= 6 * (g.n + 2 * g.m)
+
+    def test_low_diameter_low_depth(self):
+        # A cycle has diameter n/2; BFS from one source: depth ~ n/2.
+        g = cycle_graph(64).graph
+        res, cost = parallel_bfs(g, [0])
+        assert res.depth == 32
+        assert cost.depth <= 35

@@ -1,0 +1,97 @@
+"""Articulation points / 2-connectivity vs networkx."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    antiprism_graph,
+    articulation_points,
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    is_biconnected,
+    path_graph,
+    star_graph,
+    wheel_graph,
+)
+
+
+def to_nx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.iter_edges())
+    return h
+
+
+@st.composite
+def sparse_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=50))
+    m = draw(st.integers(min_value=0, max_value=2 * n))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=10**6)))
+    edges = []
+    for _ in range(m):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.append((int(u), int(v)))
+    return Graph(n, edges)
+
+
+class TestArticulationPoints:
+    def test_path_interior_vertices(self):
+        cuts, _ = articulation_points(path_graph(5).graph)
+        assert cuts.tolist() == [1, 2, 3]
+
+    def test_cycle_has_none(self):
+        cuts, _ = articulation_points(cycle_graph(8).graph)
+        assert cuts.size == 0
+
+    def test_star_center(self):
+        cuts, _ = articulation_points(star_graph(5).graph)
+        assert cuts.tolist() == [0]
+
+    def test_bowtie(self):
+        # Two triangles sharing vertex 2.
+        g = Graph(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+        cuts, _ = articulation_points(g)
+        assert cuts.tolist() == [2]
+
+    def test_disconnected_graph(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        cuts, _ = articulation_points(g)
+        assert cuts.tolist() == [1, 4]
+
+    @given(sparse_graphs())
+    def test_matches_networkx(self, g):
+        cuts, _ = articulation_points(g)
+        expect = sorted(nx.articulation_points(to_nx(g)))
+        assert cuts.tolist() == expect
+
+
+class TestIsBiconnected:
+    def test_known_families(self):
+        assert is_biconnected(cycle_graph(6).graph)[0]
+        assert is_biconnected(wheel_graph(6).graph)[0]
+        assert is_biconnected(antiprism_graph(5).graph)[0]
+        assert not is_biconnected(path_graph(5).graph)[0]
+        assert not is_biconnected(star_graph(4).graph)[0]
+
+    def test_small_graphs_are_not_biconnected(self):
+        # Fewer than 3 vertices cannot be 2-connected under the paper's
+        # definition (needs c + 1 vertices).
+        assert not is_biconnected(Graph(2, [(0, 1)]))[0]
+        assert not is_biconnected(Graph.empty(1))[0]
+
+    @given(sparse_graphs())
+    def test_matches_networkx(self, g):
+        ours, _ = is_biconnected(g)
+        theirs = g.n >= 3 and nx.is_biconnected(to_nx(g))
+        assert ours == theirs
+
+    def test_delaunay_is_biconnected(self):
+        assert is_biconnected(delaunay_graph(100, seed=7).graph)[0]
+
+    def test_grid_is_biconnected(self):
+        assert is_biconnected(grid_graph(4, 5).graph)[0]

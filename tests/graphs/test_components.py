@@ -1,0 +1,106 @@
+"""Connected components vs networkx; cost shape checks."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    component_members,
+    connected_components,
+    delaunay_graph,
+    grid_graph,
+    is_connected,
+    path_graph,
+)
+
+
+def to_nx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.iter_edges())
+    return h
+
+
+@st.composite
+def sparse_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    m = draw(st.integers(min_value=0, max_value=2 * n))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=10**6)))
+    edges = []
+    for _ in range(m):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.append((int(u), int(v)))
+    return Graph(n, edges)
+
+
+class TestComponents:
+    def test_empty_graph(self):
+        labels, count, _ = connected_components(Graph.empty(0))
+        assert count == 0 and labels.size == 0
+
+    def test_isolated_vertices(self):
+        labels, count, _ = connected_components(Graph.empty(4))
+        assert count == 4
+        assert len(set(labels.tolist())) == 4
+
+    def test_single_component(self):
+        g = grid_graph(6, 6).graph
+        labels, count, _ = connected_components(g)
+        assert count == 1
+        assert np.all(labels == labels[0])
+
+    def test_two_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        labels, count, _ = connected_components(g)
+        assert count == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    @given(sparse_graphs())
+    def test_matches_networkx(self, g):
+        labels, count, _ = connected_components(g)
+        expect = list(nx.connected_components(to_nx(g)))
+        assert count == len(expect)
+        for comp in expect:
+            comp = sorted(comp)
+            assert len({int(labels[v]) for v in comp}) == 1
+
+    @given(sparse_graphs())
+    def test_labels_compact(self, g):
+        labels, count, _ = connected_components(g)
+        assert sorted(set(labels.tolist())) == list(range(count))
+
+    def test_component_members_partition(self):
+        g = Graph(5, [(0, 2), (1, 3)])
+        labels, count, _ = connected_components(g)
+        groups = component_members(labels, count)
+        union = sorted(int(v) for grp in groups for v in grp)
+        assert union == list(range(5))
+        for grp in groups:
+            assert len({int(labels[v]) for v in grp}) == 1
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(5).graph)[0]
+        assert not is_connected(Graph(3, [(0, 1)]))[0]
+        assert is_connected(Graph.empty(1))[0]
+        assert is_connected(Graph.empty(0))[0]
+
+
+class TestCost:
+    def test_logarithmic_depth(self):
+        g = delaunay_graph(2000, seed=1).graph
+        _, _, cost = connected_components(g)
+        import math
+
+        assert cost.depth <= 12 * (math.log2(g.n) + 2)
+
+    def test_near_linear_work(self):
+        g = delaunay_graph(2000, seed=2).graph
+        _, _, cost = connected_components(g)
+        import math
+
+        assert cost.work <= 12 * (g.n + g.m) * (math.log2(g.n) + 2)

@@ -1,0 +1,143 @@
+"""Tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+
+
+@st.composite
+def random_graphs(draw, max_n=30):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    if n < 2:
+        return Graph(n, []), n
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=3 * n))
+    return Graph(n, edges), n
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph.empty(5)
+        assert g.n == 5 and g.m == 0
+        assert all(g.degree(v) == 0 for v in range(5))
+
+    def test_triangle(self):
+        g = Graph(3, [(0, 1), (1, 2), (2, 0)])
+        assert g.m == 3
+        assert g.degrees().tolist() == [2, 2, 2]
+        assert g.neighbors(0).tolist() == [1, 2]
+
+    def test_duplicate_edges_merged(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 2)])
+        with pytest.raises(ValueError):
+            Graph(2, [(-1, 0)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1, [])
+
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(2, 4), (2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2).tolist() == [0, 1, 3, 4]
+
+    def test_from_csr_roundtrip(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        h = Graph.from_csr(g.n, g.indptr, g.indices)
+        assert g == h
+
+
+class TestQueries:
+    @given(random_graphs())
+    def test_has_edge_matches_edge_list(self, gn):
+        g, n = gn
+        listed = {tuple(e) for e in g.edges().tolist()}
+        for u in range(n):
+            for v in range(n):
+                expect = (min(u, v), max(u, v)) in listed and u != v
+                assert g.has_edge(u, v) == expect
+
+    @given(random_graphs())
+    def test_degree_sum_is_twice_edges(self, gn):
+        g, _ = gn
+        assert int(g.degrees().sum()) == 2 * g.m
+
+    @given(random_graphs())
+    def test_edges_canonical(self, gn):
+        g, _ = gn
+        e = g.edges()
+        if e.size:
+            assert np.all(e[:, 0] < e[:, 1])
+
+    def test_iter_edges(self):
+        g = Graph(3, [(1, 0), (2, 1)])
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 2)]
+
+    def test_max_degree(self):
+        assert Graph.empty(0).max_degree() == 0
+        assert Graph(4, [(0, 1), (0, 2), (0, 3)]).max_degree() == 3
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        sub, originals = g.induced_subgraph([0, 1, 2])
+        assert originals.tolist() == [0, 1, 2]
+        assert sub.n == 3 and sub.m == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+    def test_induced_subgraph_relabels(self):
+        g = Graph(6, [(3, 5), (5, 4)])
+        sub, originals = g.induced_subgraph([5, 3])
+        assert originals.tolist() == [3, 5]
+        assert sub.m == 1 and sub.has_edge(0, 1)
+
+    def test_induced_subgraph_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph.empty(3).induced_subgraph([4])
+
+    @given(random_graphs())
+    def test_induced_subgraph_edge_subset(self, gn):
+        g, n = gn
+        half = list(range(0, n, 2))
+        sub, originals = g.induced_subgraph(half)
+        for a, b in sub.iter_edges():
+            assert g.has_edge(int(originals[a]), int(originals[b]))
+
+    def test_quotient_contracts_classes(self):
+        # Path 0-1-2-3; contract {0,1} and {2,3} -> single edge.
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        minor, classes = g.quotient(np.array([7, 7, 9, 9]))
+        assert minor.n == 2 and minor.m == 1
+        assert classes.tolist() == [0, 0, 1, 1]
+
+    def test_quotient_drops_self_loops_and_parallels(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 2), (2, 3), (1, 3)])
+        minor, _ = g.quotient(np.array([0, 0, 1, 1]))
+        assert minor.n == 2 and minor.m == 1
+
+    def test_quotient_label_length_checked(self):
+        with pytest.raises(ValueError):
+            Graph.empty(3).quotient(np.array([0, 1]))
+
+    def test_with_edges_added(self):
+        g = Graph(3, [(0, 1)])
+        h = g.with_edges_added([(1, 2), (0, 1)])
+        assert h.m == 2 and g.m == 1
+
+    def test_equality_and_hash(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b and hash(a) == hash(b)
+        assert a != Graph(3, [(0, 1)])

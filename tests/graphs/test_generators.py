@@ -1,0 +1,151 @@
+"""Generator sanity tests: sizes, degrees, planarity (networkx oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    antiprism_graph,
+    apex_graph,
+    complete_graph,
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    icosahedron_graph,
+    ladder_graph,
+    outerplanar_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+    torus_grid,
+    triangulated_grid,
+    wheel_graph,
+)
+
+
+def to_nx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.iter_edges())
+    return h
+
+
+PLANAR_CASES = [
+    ("path", lambda: path_graph(10).graph),
+    ("cycle", lambda: cycle_graph(12).graph),
+    ("star", lambda: star_graph(8).graph),
+    ("wheel", lambda: wheel_graph(9).graph),
+    ("grid", lambda: grid_graph(5, 7).graph),
+    ("tri-grid", lambda: triangulated_grid(5, 6).graph),
+    ("delaunay", lambda: delaunay_graph(60, seed=1).graph),
+    ("antiprism", lambda: antiprism_graph(7).graph),
+    ("icosahedron", lambda: icosahedron_graph().graph),
+    ("ladder", lambda: ladder_graph(6).graph),
+    ("outerplanar", lambda: outerplanar_graph(15, seed=2).graph),
+    ("k4", lambda: complete_graph(4)),
+    ("tree", lambda: random_tree(40, seed=3)),
+]
+
+
+@pytest.mark.parametrize("name,make", PLANAR_CASES)
+def test_generators_are_planar(name, make):
+    g = make()
+    ok, _ = nx.check_planarity(to_nx(g))
+    assert ok, f"{name} generator produced a non-planar graph"
+
+
+@pytest.mark.parametrize("name,make", PLANAR_CASES)
+def test_generators_connected(name, make):
+    g = make()
+    assert nx.is_connected(to_nx(g))
+
+
+class TestSizes:
+    def test_path(self):
+        gg = path_graph(5)
+        assert gg.graph.n == 5 and gg.graph.m == 4
+        assert gg.positions.shape == (5, 2)
+
+    def test_cycle(self):
+        assert cycle_graph(6).graph.m == 6
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_grid(self):
+        g = grid_graph(3, 4).graph
+        assert g.n == 12 and g.m == 3 * 3 + 2 * 4
+
+    def test_triangulated_grid(self):
+        g = triangulated_grid(3, 3).graph
+        assert g.m == grid_graph(3, 3).graph.m + 4
+
+    def test_wheel(self):
+        g = wheel_graph(5).graph
+        assert g.n == 6 and g.m == 10
+        assert g.degree(0) == 5
+
+    def test_antiprism_is_4_regular(self):
+        g = antiprism_graph(6).graph
+        assert g.n == 12 and g.m == 24
+        assert np.all(g.degrees() == 4)
+
+    def test_icosahedron(self):
+        g = icosahedron_graph().graph
+        assert g.n == 12 and g.m == 30
+        assert np.all(g.degrees() == 5)
+
+    def test_torus_grid_is_4_regular_nonplanar(self):
+        g = torus_grid(5, 5)
+        assert np.all(g.degrees() == 4)
+        ok, _ = nx.check_planarity(to_nx(g))
+        assert not ok  # genus 1
+
+    def test_random_tree(self):
+        g = random_tree(30, seed=0)
+        assert g.m == 29
+
+    def test_apex_over_grid_is_nonplanar(self):
+        g = apex_graph(grid_graph(4, 4).graph)
+        assert g.degree(16) == 16
+        ok, _ = nx.check_planarity(to_nx(g))
+        assert not ok
+
+    def test_delaunay_reproducible(self):
+        a = delaunay_graph(40, seed=9).graph
+        b = delaunay_graph(40, seed=9).graph
+        assert a == b
+
+    def test_outerplanar_is_maximal(self):
+        # A maximal outerplanar graph on n vertices has 2n - 3 edges.
+        g = outerplanar_graph(12, seed=5).graph
+        assert g.m == 2 * 12 - 3
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+        with pytest.raises(ValueError):
+            antiprism_graph(2)
+        with pytest.raises(ValueError):
+            torus_grid(2, 5)
+        with pytest.raises(ValueError):
+            wheel_graph(2)
+        with pytest.raises(ValueError):
+            random_tree(0, seed=1)
+        with pytest.raises(ValueError):
+            ladder_graph(1)
+        with pytest.raises(ValueError):
+            outerplanar_graph(2, seed=1)
+        with pytest.raises(ValueError):
+            delaunay_graph(2, seed=1)
+
+
+class TestGeometry:
+    def test_grid_positions_match_lattice(self):
+        gg = grid_graph(2, 3)
+        assert gg.positions[0].tolist() == [0.0, 0.0]
+        assert gg.positions[5].tolist() == [2.0, 1.0]
+
+    def test_positions_unique(self):
+        for gg in (grid_graph(4, 4), delaunay_graph(50, 3), antiprism_graph(5)):
+            pts = {tuple(p) for p in gg.positions.tolist()}
+            assert len(pts) == gg.graph.n

@@ -1,0 +1,129 @@
+"""End-to-end integration: full pipeline vs oracles across the stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    count_isomorphisms,
+    eppstein_decide,
+    has_isomorphism,
+    ullmann_has,
+)
+from repro.connectivity import (
+    planar_vertex_connectivity,
+    vertex_connectivity_flow,
+)
+from repro.graphs import Graph, delaunay_graph
+from repro.isomorphism import (
+    cycle_pattern,
+    decide_subgraph_isomorphism,
+    list_occurrences,
+    path_pattern,
+    star_pattern,
+    triangle,
+)
+from repro.planar import embed_geometric, embed_planar
+
+
+PATTERNS = {
+    "triangle": triangle(),
+    "p4": path_pattern(4),
+    "c4": cycle_pattern(4),
+    "star3": star_pattern(3),
+}
+
+
+class TestDecisionPipeline:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.sampled_from(sorted(PATTERNS)),
+    )
+    def test_matches_oracle_on_random_delaunay(self, seed, pname):
+        gg = delaunay_graph(45, seed=seed)
+        emb, _ = embed_geometric(gg)
+        pattern = PATTERNS[pname]
+        expect = has_isomorphism(pattern, gg.graph)
+        result = decide_subgraph_isomorphism(
+            gg.graph, emb, pattern, seed=seed
+        )
+        if expect:
+            assert result.found  # w.h.p.; deterministic failure = bug
+        else:
+            assert not result.found  # one-sided: never a false positive
+
+    def test_all_five_algorithms_agree(self):
+        gg = delaunay_graph(40, seed=3)
+        emb, _ = embed_geometric(gg)
+        pattern = triangle()
+        expect = has_isomorphism(pattern, gg.graph)
+        assert ullmann_has(pattern, gg.graph) == expect
+        assert eppstein_decide(gg.graph, emb, pattern).found == expect
+        assert (
+            decide_subgraph_isomorphism(
+                gg.graph, emb, pattern, seed=0
+            ).found
+            == expect
+        )
+        assert (
+            decide_subgraph_isomorphism(
+                gg.graph, emb, pattern, seed=0, engine="sequential"
+            ).found
+            == expect
+        )
+
+
+class TestListingPipeline:
+    def test_listing_equals_exhaustive_on_delaunay(self):
+        gg = delaunay_graph(35, seed=9)
+        emb, _ = embed_geometric(gg)
+        result = list_occurrences(gg.graph, emb, triangle(), seed=1)
+        assert len(result.witnesses) == count_isomorphisms(
+            triangle(), gg.graph
+        )
+
+
+class TestConnectivityPipeline:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=40))
+    def test_random_planar_subgraph_connectivity(self, seed):
+        # Random spanning-ish subgraphs of Delaunay triangulations give a
+        # mix of kappa in {0, 1, 2, 3}.
+        rng = np.random.default_rng(seed)
+        base = delaunay_graph(24, seed=seed).graph
+        keep = rng.random(base.m) < 0.8
+        g = Graph(base.n, base.edges()[keep])
+        emb = embed_planar(g)
+        result = planar_vertex_connectivity(g, emb, seed=seed, rounds=3)
+        flow = vertex_connectivity_flow(g)
+        if result.connectivity != flow:
+            # Monte Carlo one-sidedness: we may only ever *underestimate*
+            # by missing a separating cycle — never overestimate, and with
+            # 3 rounds misses should effectively not happen.
+            pytest.fail(f"kappa mismatch: ours={result.connectivity} "
+                        f"flow={flow} (seed={seed})")
+
+
+class TestCostSanity:
+    def test_work_dominates_depth_everywhere(self):
+        gg = delaunay_graph(60, seed=5)
+        emb, _ = embed_geometric(gg)
+        result = decide_subgraph_isomorphism(
+            gg.graph, emb, cycle_pattern(4), seed=2
+        )
+        assert 0 < result.cost.depth <= result.cost.work
+
+    def test_parallel_engine_shallower_than_sequential(self):
+        gg = delaunay_graph(120, seed=6)
+        emb, _ = embed_geometric(gg)
+        par = decide_subgraph_isomorphism(
+            gg.graph, emb, triangle(), seed=0, rounds=1
+        )
+        seq = decide_subgraph_isomorphism(
+            gg.graph, emb, triangle(), seed=0, rounds=1,
+            engine="sequential",
+        )
+        assert par.found == seq.found
+        assert par.cost.depth < seq.cost.depth

@@ -1,0 +1,98 @@
+"""Deterministic exact counting (the future-work extension) vs oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import count_isomorphisms
+from repro.graphs import (
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    triangulated_grid,
+    wheel_graph,
+    Graph,
+    GeometricGraph,
+)
+from repro.isomorphism import (
+    Pattern,
+    count_occurrences_exact,
+    cycle_pattern,
+    path_pattern,
+    star_pattern,
+    triangle,
+)
+from repro.planar import embed_geometric, embed_planar
+
+
+def count(gg, pattern):
+    emb, _ = embed_geometric(gg)
+    return count_occurrences_exact(gg.graph, emb, pattern)
+
+
+CASES = [
+    ("k3-in-trigrid", triangulated_grid(5, 5), triangle()),
+    ("k3-in-grid", grid_graph(5, 5), triangle()),
+    ("c4-in-grid", grid_graph(5, 5), cycle_pattern(4)),
+    ("p4-in-cycle", cycle_graph(11), path_pattern(4)),
+    ("s3-in-wheel", wheel_graph(8), star_pattern(3)),
+    ("p3-in-delaunay", delaunay_graph(40, seed=2), path_pattern(3)),
+]
+
+
+@pytest.mark.parametrize("name,gg,pattern", CASES, ids=[c[0] for c in CASES])
+def test_matches_exhaustive(name, gg, pattern):
+    result = count(gg, pattern)
+    assert result.isomorphisms == count_isomorphisms(pattern, gg.graph)
+
+
+class TestDeterminism:
+    def test_repeatable(self):
+        gg = triangulated_grid(4, 4)
+        a = count(gg, triangle())
+        b = count(gg, triangle())
+        assert a.isomorphisms == b.isomorphisms
+        assert a.cost == b.cost  # no randomness anywhere
+
+    def test_zero_when_absent(self):
+        assert count(grid_graph(4, 4), triangle()).isomorphisms == 0
+
+    def test_disconnected_target(self):
+        g = Graph(8, [(0, 1), (1, 2), (0, 2), (4, 5), (5, 6), (4, 6)])
+        emb = embed_planar(g)
+        result = count_occurrences_exact(g, emb, triangle())
+        assert result.isomorphisms == 12  # two triangles x |Aut(K3)| = 6
+
+    def test_disconnected_pattern_rejected(self):
+        gg = grid_graph(3, 3)
+        emb, _ = embed_geometric(gg)
+        with pytest.raises(ValueError, match="connected"):
+            count_occurrences_exact(
+                gg.graph, emb, Pattern(Graph(2, []))
+            )
+
+    def test_deep_target(self):
+        # Windows with nontrivial nesting: a long path, pattern diameter 2.
+        gg = path_graph(30)
+        result = count(gg, path_pattern(3))
+        assert result.isomorphisms == 2 * 28  # 28 images x 2 orientations
+
+    def test_tree_target(self):
+        g = random_tree(25, seed=4)
+        emb = embed_planar(g)
+        result = count_occurrences_exact(g, emb, star_pattern(3))
+        assert result.isomorphisms == count_isomorphisms(
+            star_pattern(3), g
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_random_delaunay(self, seed):
+        gg = delaunay_graph(25, seed=seed)
+        result = count(gg, cycle_pattern(4))
+        assert result.isomorphisms == count_isomorphisms(
+            cycle_pattern(4), gg.graph
+        )

@@ -1,0 +1,144 @@
+"""Theorem 2.4 tests: the Parallel Treewidth k-d Cover."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import iter_isomorphisms
+from repro.graphs import (
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    parallel_bfs,
+    path_graph,
+    triangulated_grid,
+)
+from repro.isomorphism import (
+    cycle_pattern,
+    path_pattern,
+    treewidth_cover,
+    triangle,
+)
+from repro.planar import embed_geometric
+
+
+def cover_of(gg, k, d, seed):
+    emb, _ = embed_geometric(gg)
+    return treewidth_cover(gg.graph, emb, k, d, seed), emb
+
+
+class TestCoverStructure:
+    def test_pieces_are_subgraphs_with_valid_decompositions(self):
+        gg = grid_graph(8, 8)
+        cover, _ = cover_of(gg, k=4, d=2, seed=0)
+        g = gg.graph
+        for piece in cover.pieces:
+            piece.decomposition.validate(piece.graph)
+            for a, b in piece.graph.iter_edges():
+                assert g.has_edge(
+                    int(piece.originals[a]), int(piece.originals[b])
+                )
+
+    def test_width_bound(self):
+        # Theorem 2.4 (with the stellation slack): width <= 3(d+1) + 2.
+        for d in (0, 1, 2, 3):
+            gg = delaunay_graph(120, seed=d)
+            cover, _ = cover_of(gg, k=4, d=d, seed=d)
+            assert cover.max_width() <= 3 * (d + 1) + 2
+
+    def test_vertex_in_few_pieces(self):
+        gg = grid_graph(10, 10)
+        d = 2
+        cover, _ = cover_of(gg, k=4, d=d, seed=1)
+        counts = cover.pieces_per_vertex(gg.graph.n)
+        assert counts.max() <= d + 1
+        # Every vertex is covered by at least one piece.
+        assert counts.min() >= 1
+
+    def test_pieces_cover_all_vertices_and_cluster_edges(self):
+        gg = delaunay_graph(80, seed=2)
+        cover, _ = cover_of(gg, k=3, d=1, seed=3)
+        seen = np.zeros(gg.graph.n, dtype=bool)
+        for piece in cover.pieces:
+            seen[piece.originals] = True
+        assert seen.all()
+
+    def test_d_zero(self):
+        gg = grid_graph(5, 5)
+        cover, _ = cover_of(gg, k=1, d=0, seed=4)
+        # Each piece is a single BFS level (no edges inside a level of a
+        # bipartite grid).
+        for piece in cover.pieces:
+            assert piece.decomposition.width() <= 3 * 1 + 2
+
+    def test_invalid_args(self):
+        gg = path_graph(4)
+        emb, _ = embed_geometric(gg)
+        with pytest.raises(ValueError):
+            treewidth_cover(gg.graph, emb, 0, 1, seed=0)
+        with pytest.raises(ValueError):
+            treewidth_cover(gg.graph, emb, 2, -1, seed=0)
+
+
+class TestCaptureProbability:
+    def test_fixed_occurrence_captured_half_the_time(self):
+        # Theorem 2.4: a fixed occurrence is inside some piece with
+        # probability >= 1/2.  Track one fixed triangle of a triangulated
+        # grid across seeds.
+        gg = triangulated_grid(9, 9)
+        pattern = triangle()
+        occurrence = next(iter_isomorphisms(pattern, gg.graph))
+        target_set = set(occurrence.values())
+        hits = 0
+        trials = 40
+        emb, _ = embed_geometric(gg)
+        for s in range(trials):
+            cover = treewidth_cover(
+                gg.graph, emb, pattern.k, pattern.diameter(), seed=s
+            )
+            for piece in cover.pieces:
+                piece_set = set(piece.originals.tolist())
+                if target_set <= piece_set:
+                    # The piece must contain the occurrence as a subgraph
+                    # (it is induced, so edges are automatic).
+                    hits += 1
+                    break
+        assert hits / trials >= 0.5
+
+    def test_long_path_occurrences(self):
+        # Patterns of diameter 3 in a cycle (occurrences everywhere).
+        gg = cycle_graph(40)
+        pattern = path_pattern(4)
+        emb, _ = embed_geometric(gg)
+        hits = 0
+        trials = 30
+        target_set = {0, 1, 2, 3}
+        for s in range(trials):
+            cover = treewidth_cover(gg.graph, emb, 4, 3, seed=s)
+            if any(
+                target_set <= set(p.originals.tolist())
+                for p in cover.pieces
+            ):
+                hits += 1
+        assert hits / trials >= 0.5
+
+
+class TestCoverCost:
+    def test_work_scales_with_n_times_d(self):
+        emb_small, _ = embed_geometric(grid_graph(10, 10))
+        emb_large, _ = embed_geometric(grid_graph(20, 20))
+        small = treewidth_cover(
+            grid_graph(10, 10).graph, emb_small, 4, 2, seed=0
+        )
+        large = treewidth_cover(
+            grid_graph(20, 20).graph, emb_large, 4, 2, seed=0
+        )
+        assert large.cost.work <= 8 * small.cost.work  # ~4x vertices
+
+    def test_depth_polylogarithmic(self):
+        gg = delaunay_graph(400, seed=7)
+        emb, _ = embed_geometric(gg)
+        cover = treewidth_cover(gg.graph, emb, 4, 2, seed=1)
+        k = 4
+        lg = np.log2(gg.graph.n)
+        # O(k log n) depth with generous constants (clustering radius etc.).
+        assert cover.cost.depth <= 30 * k * lg

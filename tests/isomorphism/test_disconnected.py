@@ -1,0 +1,87 @@
+"""Lemma 4.1 tests: disconnected patterns by random coloring."""
+
+import pytest
+
+from repro.graphs import Graph, grid_graph, path_graph, triangulated_grid
+from repro.isomorphism import Pattern, decide_disconnected, triangle
+from repro.planar import embed_geometric
+
+
+def two_triangles():
+    return Pattern(
+        Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    )
+
+
+def edge_plus_isolated():
+    return Pattern(Graph(3, [(0, 1)]))
+
+
+def three_singletons():
+    return Pattern(Graph(3, []))
+
+
+class TestDisconnected:
+    def test_two_triangles_found(self):
+        gg = triangulated_grid(8, 8)
+        emb, _ = embed_geometric(gg)
+        result = decide_disconnected(
+            gg.graph, emb, two_triangles(), seed=0, colorings=200
+        )
+        assert result.found
+
+    def test_witness_valid(self):
+        gg = triangulated_grid(7, 7)
+        emb, _ = embed_geometric(gg)
+        pattern = two_triangles()
+        result = decide_disconnected(
+            gg.graph, emb, pattern, seed=1, colorings=200, want_witness=True
+        )
+        assert result.found and result.witness is not None
+        w = result.witness
+        assert len(w) == pattern.k
+        assert len(set(w.values())) == pattern.k
+        for a, b in pattern.graph.iter_edges():
+            assert gg.graph.has_edge(w[a], w[b])
+
+    def test_absent_pattern(self):
+        gg = grid_graph(6, 6)  # triangle-free
+        emb, _ = embed_geometric(gg)
+        result = decide_disconnected(
+            gg.graph, emb, two_triangles(), seed=2, colorings=30
+        )
+        assert not result.found
+
+    def test_singletons(self):
+        gg = path_graph(8)
+        emb, _ = embed_geometric(gg)
+        result = decide_disconnected(
+            gg.graph, emb, three_singletons(), seed=3, colorings=100
+        )
+        assert result.found
+
+    def test_connected_pattern_falls_through(self):
+        gg = triangulated_grid(5, 5)
+        emb, _ = embed_geometric(gg)
+        result = decide_disconnected(gg.graph, emb, triangle(), seed=4)
+        assert result.found and result.colorings_used == 1
+
+    def test_edge_plus_isolated_vertex(self):
+        gg = path_graph(6)
+        emb, _ = embed_geometric(gg)
+        result = decide_disconnected(
+            gg.graph, emb, edge_plus_isolated(), seed=5, colorings=100,
+            want_witness=True,
+        )
+        assert result.found
+        w = result.witness
+        assert gg.graph.has_edge(w[0], w[1])
+        assert w[2] not in (w[0], w[1])
+
+    def test_graph_too_small(self):
+        gg = path_graph(3)
+        emb, _ = embed_geometric(gg)
+        result = decide_disconnected(
+            gg.graph, emb, two_triangles(), seed=6, colorings=10
+        )
+        assert not result.found

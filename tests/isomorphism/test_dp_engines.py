@@ -1,0 +1,219 @@
+"""Core engine tests: sequential DP ≡ parallel DP ≡ backtracking oracle.
+
+This is the load-bearing test file of the reproduction: Lemma 3.1's engine
+must produce exactly the same valid partial matches (and hence the same
+decisions, counts and witnesses) as Eppstein's sequential algorithm and as
+exhaustive backtracking, across graph families, patterns, and decomposition
+shapes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import count_isomorphisms, iter_isomorphisms
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    outerplanar_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+    triangulated_grid,
+    wheel_graph,
+)
+from repro.isomorphism import (
+    Pattern,
+    SubgraphStateSpace,
+    clique_pattern,
+    cycle_pattern,
+    diamond,
+    first_witness,
+    iter_witnesses,
+    parallel_dp,
+    path_pattern,
+    sequential_dp,
+    star_pattern,
+    triangle,
+)
+from repro.treedecomp import make_nice, minfill_decomposition
+
+
+def engines(pattern, graph):
+    td, _ = minfill_decomposition(graph)
+    nice, _ = make_nice(td)
+    space = SubgraphStateSpace(pattern, graph)
+    return space, nice
+
+
+TARGETS = [
+    ("grid", grid_graph(4, 4).graph),
+    ("tri-grid", triangulated_grid(3, 4).graph),
+    ("cycle", cycle_graph(9).graph),
+    ("path", path_graph(8).graph),
+    ("wheel", wheel_graph(7).graph),
+    ("tree", random_tree(14, seed=3)),
+    ("outerplanar", outerplanar_graph(10, seed=1).graph),
+    ("delaunay", delaunay_graph(16, seed=5).graph),
+]
+
+PATTERNS = [
+    ("triangle", triangle()),
+    ("p3", path_pattern(3)),
+    ("p4", path_pattern(4)),
+    ("c4", cycle_pattern(4)),
+    ("star3", star_pattern(3)),
+    ("k4", clique_pattern(4)),
+    ("diamond", diamond()),
+]
+
+
+@pytest.mark.parametrize("tname,target", TARGETS, ids=[t[0] for t in TARGETS])
+@pytest.mark.parametrize("pname,pattern", PATTERNS, ids=[p[0] for p in PATTERNS])
+class TestEnginesAgree:
+    def test_sequential_matches_oracle_count(self, tname, target, pname, pattern):
+        space, nice = engines(pattern, target)
+        result = sequential_dp(space, nice)
+        expect = count_isomorphisms(pattern, target)
+        assert result.accepting_count == expect
+        assert result.found == (expect > 0)
+
+    def test_parallel_matches_sequential_valid_sets(
+        self, tname, target, pname, pattern
+    ):
+        space, nice = engines(pattern, target)
+        seq = sequential_dp(space, nice)
+        par = parallel_dp(space, nice)
+        assert par.found == seq.found
+        for node in range(nice.num_nodes):
+            assert set(par.valid[node]) == set(seq.valid[node]), (
+                f"valid sets differ at nice node {node}"
+            )
+
+    def test_witnesses_match_oracle(self, tname, target, pname, pattern):
+        space, nice = engines(pattern, target)
+        seq = sequential_dp(space, nice)
+        ours = {tuple(sorted(w.items())) for w in iter_witnesses(space, nice, seq.valid)}
+        oracle = {
+            tuple(sorted(w.items()))
+            for w in iter_isomorphisms(pattern, target)
+        }
+        assert ours == oracle
+
+
+class TestWitnessRecovery:
+    def test_witness_is_isomorphism(self):
+        g = grid_graph(5, 5).graph
+        pattern = cycle_pattern(4)
+        space, nice = engines(pattern, g)
+        seq = sequential_dp(space, nice)
+        w = first_witness(space, nice, seq.valid)
+        assert w is not None
+        assert len(set(w.values())) == pattern.k
+        for a, b in pattern.graph.iter_edges():
+            assert g.has_edge(w[a], w[b])
+
+    def test_no_witness_when_absent(self):
+        g = random_tree(12, seed=0)  # no triangles in a tree
+        space, nice = engines(triangle(), g)
+        seq = sequential_dp(space, nice)
+        assert not seq.found
+        assert first_witness(space, nice, seq.valid) is None
+
+    def test_witnesses_from_parallel_valid_sets(self):
+        g = triangulated_grid(3, 3).graph
+        pattern = triangle()
+        space, nice = engines(pattern, g)
+        par = parallel_dp(space, nice)
+        ours = {
+            tuple(sorted(w.items()))
+            for w in iter_witnesses(space, nice, par.valid)
+        }
+        oracle = {
+            tuple(sorted(w.items()))
+            for w in iter_isomorphisms(pattern, g)
+        }
+        assert ours == oracle
+
+
+class TestAllowedMask:
+    def test_mask_restricts_matches(self):
+        g = triangulated_grid(3, 3).graph
+        allowed = np.ones(g.n, dtype=bool)
+        allowed[0] = False  # forbid one corner
+        pattern = triangle()
+        space = SubgraphStateSpace(pattern, g, allowed=allowed)
+        td, _ = minfill_decomposition(g)
+        nice, _ = make_nice(td)
+        seq = sequential_dp(space, nice)
+        expect = count_isomorphisms(pattern, g, allowed=allowed)
+        assert seq.accepting_count == expect
+        for w in iter_witnesses(space, nice, seq.valid):
+            assert 0 not in w.values()
+
+    def test_all_forbidden(self):
+        g = cycle_graph(5).graph
+        allowed = np.zeros(g.n, dtype=bool)
+        space = SubgraphStateSpace(path_pattern(2), g, allowed=allowed)
+        td, _ = minfill_decomposition(g)
+        nice, _ = make_nice(td)
+        assert not sequential_dp(space, nice).found
+
+
+class TestRandomized:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=10**6),
+        st.sampled_from(["triangle", "p3", "c4", "star3"]),
+    )
+    def test_random_graphs_all_engines(self, n, seed, pname):
+        rng = np.random.default_rng(seed)
+        edges = []
+        for _ in range(2 * n):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.append((int(u), int(v)))
+        g = Graph(n, edges)
+        pattern = dict(PATTERNS)[pname]
+        space, nice = engines(pattern, g)
+        seq = sequential_dp(space, nice)
+        par = parallel_dp(space, nice)
+        expect = count_isomorphisms(pattern, g)
+        assert seq.accepting_count == expect
+        assert par.found == (expect > 0)
+        assert sum(
+            1 for _ in iter_witnesses(space, nice, par.valid)
+        ) == expect
+
+
+class TestCostShapes:
+    def test_parallel_depth_beats_sequential_on_long_paths(self):
+        # A long path graph: the minfill decomposition is a long chain; the
+        # parallel engine's depth must be dramatically smaller.
+        g = path_graph(300).graph
+        pattern = path_pattern(3)
+        space, nice = engines(pattern, g)
+        seq = sequential_dp(space, nice)
+        par = parallel_dp(space, nice)
+        assert par.found and seq.found
+        assert par.cost.depth < seq.cost.depth / 10
+
+    def test_parallel_bfs_rounds_logarithmic(self):
+        g = path_graph(400).graph
+        pattern = path_pattern(3)
+        space, nice = engines(pattern, g)
+        par = parallel_dp(space, nice)
+        # Lemma 3.3: O(k log n) hops.
+        assert par.max_bfs_rounds <= 10 * pattern.k * np.log2(nice.num_nodes)
+
+    def test_state_count_respects_paper_bound(self):
+        g = grid_graph(4, 4).graph
+        pattern = triangle()
+        space, nice = engines(pattern, g)
+        tau = nice.width()
+        par = parallel_dp(space, nice)
+        assert par.total_states <= nice.num_nodes * (tau + 3) ** pattern.k

@@ -1,0 +1,87 @@
+"""Theorem 4.2 tests: listing all occurrences with the stopping rule."""
+
+import pytest
+
+from repro.baselines import count_isomorphisms, iter_isomorphisms
+from repro.graphs import (
+    cycle_graph,
+    grid_graph,
+    triangulated_grid,
+    wheel_graph,
+)
+from repro.isomorphism import (
+    count_occurrences,
+    cycle_pattern,
+    list_occurrences,
+    path_pattern,
+    triangle,
+)
+from repro.planar import embed_geometric
+
+
+def listing(gg, pattern, seed=0, **kw):
+    emb, _ = embed_geometric(gg)
+    return list_occurrences(gg.graph, emb, pattern, seed, **kw)
+
+
+class TestListing:
+    def test_lists_every_triangle(self):
+        gg = triangulated_grid(5, 5)
+        result = listing(gg, triangle(), seed=0)
+        oracle = {
+            tuple(sorted(w.items()))
+            for w in iter_isomorphisms(triangle(), gg.graph)
+        }
+        ours = {tuple(w) for w in result.witnesses}
+        assert ours == oracle
+
+    def test_lists_every_c4_in_grid(self):
+        gg = grid_graph(5, 5)
+        result = listing(gg, cycle_pattern(4), seed=1)
+        assert len(result.witnesses) == count_isomorphisms(
+            cycle_pattern(4), gg.graph
+        )
+        # 16 squares, each C4 has 8 automorphisms.
+        assert len(result.occurrences) == 16
+
+    def test_empty_result_when_absent(self):
+        gg = grid_graph(5, 5)
+        result = listing(gg, triangle(), seed=2)
+        assert not result.witnesses
+        assert result.iterations >= 1
+
+    def test_occurrences_dedup_automorphisms(self):
+        gg = cycle_graph(12)
+        result = listing(gg, path_pattern(3), seed=3)
+        # Each 3-path image counted once; 12 of them on a 12-cycle.
+        assert len(result.occurrences) == 12
+        assert len(result.witnesses) == 24  # two orientations
+
+    def test_count_occurrences_wrapper(self):
+        gg = wheel_graph(8)
+        emb, _ = embed_geometric(gg)
+        maps = count_occurrences(gg.graph, emb, triangle(), seed=4)
+        images = count_occurrences(
+            gg.graph, emb, triangle(), seed=4, distinct_images=True
+        )
+        assert maps == count_isomorphisms(triangle(), gg.graph)
+        assert images == 8  # one triangle per rim edge
+        assert maps == 6 * images  # |Aut(K3)| = 6
+
+    def test_max_iterations_cap(self):
+        gg = grid_graph(4, 4)
+        result = listing(gg, triangle(), seed=5, max_iterations=3)
+        assert result.iterations <= 3
+
+    def test_disconnected_pattern_rejected(self):
+        from repro.graphs import Graph
+        from repro.isomorphism import Pattern
+
+        with pytest.raises(ValueError, match="connected"):
+            listing(grid_graph(3, 3), Pattern(Graph(2, [])))
+
+    def test_sequential_engine(self):
+        gg = triangulated_grid(4, 4)
+        a = listing(gg, triangle(), seed=6, engine="sequential")
+        b = listing(gg, triangle(), seed=6, engine="parallel")
+        assert a.witnesses == b.witnesses

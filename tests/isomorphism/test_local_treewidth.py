@@ -1,0 +1,84 @@
+"""Section 4.3 tests: bounded-genus targets via the general cover."""
+
+import pytest
+
+from repro.baselines import has_isomorphism
+from repro.graphs import grid_graph, torus_grid
+from repro.isomorphism import (
+    cycle_pattern,
+    decide_subgraph_isomorphism_general,
+    local_treewidth_cover,
+    path_pattern,
+    triangle,
+)
+
+
+class TestGeneralCover:
+    def test_pieces_valid(self):
+        g = torus_grid(8, 8)
+        cover = local_treewidth_cover(g, k=4, d=2, seed=0)
+        for piece in cover.pieces:
+            piece.decomposition.validate(piece.graph)
+
+    def test_vertices_covered(self):
+        import numpy as np
+
+        g = torus_grid(7, 7)
+        cover = local_treewidth_cover(g, k=3, d=1, seed=1)
+        seen = np.zeros(g.n, dtype=bool)
+        for piece in cover.pieces:
+            seen[piece.originals] = True
+        assert seen.all()
+
+    def test_width_tracks_window_diameter(self):
+        g = torus_grid(10, 10)
+        for d in (1, 2):
+            cover = local_treewidth_cover(g, k=4, d=d, seed=2)
+            # Locally linear treewidth: width O(d); heuristic slack allowed.
+            assert cover.max_width() <= 6 * (d + 1) + 4
+
+
+class TestGeneralDriver:
+    def test_c4_in_torus(self):
+        g = torus_grid(6, 6)
+        assert has_isomorphism(cycle_pattern(4), g)
+        result = decide_subgraph_isomorphism_general(
+            g, cycle_pattern(4), seed=0
+        )
+        assert result.found
+
+    def test_no_triangle_in_torus(self):
+        g = torus_grid(6, 6)
+        result = decide_subgraph_isomorphism_general(g, triangle(), seed=1)
+        assert not result.found
+
+    def test_witness(self):
+        g = torus_grid(5, 5)
+        result = decide_subgraph_isomorphism_general(
+            g, path_pattern(4), seed=2, want_witness=True
+        )
+        assert result.found
+        w = result.witness
+        for a, b in path_pattern(4).graph.iter_edges():
+            assert g.has_edge(w[a], w[b])
+
+    def test_matches_planar_driver_on_planar_input(self):
+        from repro.isomorphism import decide_subgraph_isomorphism
+        from repro.planar import embed_geometric
+
+        gg = grid_graph(6, 6)
+        emb, _ = embed_geometric(gg)
+        planar = decide_subgraph_isomorphism(
+            gg.graph, emb, cycle_pattern(4), seed=3
+        )
+        general = decide_subgraph_isomorphism_general(
+            gg.graph, cycle_pattern(4), seed=3
+        )
+        assert planar.found == general.found == True  # noqa: E712
+
+    def test_sequential_engine(self):
+        g = torus_grid(5, 5)
+        result = decide_subgraph_isomorphism_general(
+            g, cycle_pattern(4), seed=4, engine="sequential"
+        )
+        assert result.found

@@ -1,0 +1,97 @@
+"""Tests for the Pattern class and the pattern library."""
+
+import pytest
+
+from repro.graphs import Graph
+from repro.isomorphism import (
+    Pattern,
+    clique_pattern,
+    cycle_pattern,
+    diamond,
+    path_pattern,
+    star_pattern,
+    triangle,
+)
+
+
+class TestLibrary:
+    def test_triangle(self):
+        p = triangle()
+        assert p.k == 3 and p.graph.m == 3
+        assert p.diameter() == 1
+
+    def test_path(self):
+        p = path_pattern(5)
+        assert p.k == 5 and p.diameter() == 4
+        with pytest.raises(ValueError):
+            path_pattern(0)
+
+    def test_cycle(self):
+        assert cycle_pattern(8).diameter() == 4
+        assert cycle_pattern(3).graph == triangle().graph
+        with pytest.raises(ValueError):
+            cycle_pattern(2)
+
+    def test_star(self):
+        p = star_pattern(4)
+        assert p.k == 5 and p.diameter() == 2
+        assert p.neighbors(0) == (1, 2, 3, 4)
+        with pytest.raises(ValueError):
+            star_pattern(0)
+
+    def test_clique(self):
+        p = clique_pattern(4)
+        assert p.graph.m == 6 and p.diameter() == 1
+
+    def test_diamond(self):
+        p = diamond()
+        assert p.k == 4 and p.graph.m == 5
+        assert p.diameter() == 2
+
+
+class TestPattern:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern(Graph.empty(0))
+
+    def test_connectivity(self):
+        assert triangle().is_connected()
+        assert not Pattern(Graph(4, [(0, 1), (2, 3)])).is_connected()
+        assert Pattern(Graph(1, [])).is_connected()
+
+    def test_components(self):
+        p = Pattern(Graph(5, [(0, 1), (2, 3)]))
+        comps = p.components()
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+
+    def test_component_patterns_relabel(self):
+        p = Pattern(Graph(5, [(3, 4), (0, 1), (1, 2)]))
+        parts = p.component_patterns()
+        sizes = sorted(sub.k for sub, _ in parts)
+        assert sizes == [2, 3]
+        for sub, originals in parts:
+            for a, b in sub.graph.iter_edges():
+                assert p.graph.has_edge(
+                    int(originals[a]), int(originals[b])
+                )
+
+    def test_diameter_of_disconnected(self):
+        # Max over components.
+        p = Pattern(Graph(5, [(0, 1), (2, 3), (3, 4)]))
+        assert p.diameter() == 2
+
+    def test_spanning_forest(self):
+        p = cycle_pattern(6)
+        forest = p.spanning_forest_edges()
+        assert len(forest) == 5  # k - 1 for a connected pattern
+        for u, v in forest:
+            assert p.graph.has_edge(u, v)
+
+    def test_spanning_forest_disconnected(self):
+        p = Pattern(Graph(4, [(0, 1), (2, 3)]))
+        assert len(p.spanning_forest_edges()) == 2
+
+    def test_neighbors_cached(self):
+        p = diamond()
+        assert p.neighbors(0) == (1, 2, 3)
+        assert p.neighbors(1) == (0, 2)

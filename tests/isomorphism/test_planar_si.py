@@ -1,0 +1,148 @@
+"""Theorem 2.1 / Corollary 2.2 driver tests: decision + witness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import has_isomorphism
+from repro.graphs import (
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    triangulated_grid,
+    wheel_graph,
+)
+from repro.isomorphism import (
+    clique_pattern,
+    cycle_pattern,
+    decide_subgraph_isomorphism,
+    diamond,
+    find_occurrence,
+    path_pattern,
+    star_pattern,
+    triangle,
+)
+from repro.planar import embed_geometric, embed_planar
+
+
+def run(gg, pattern, seed=0, **kw):
+    emb, _ = embed_geometric(gg)
+    return decide_subgraph_isomorphism(gg.graph, emb, pattern, seed, **kw)
+
+
+POSITIVE = [
+    ("triangle-in-trigrid", triangulated_grid(7, 7), triangle()),
+    ("c4-in-grid", grid_graph(7, 7), cycle_pattern(4)),
+    ("p5-in-grid", grid_graph(6, 6), path_pattern(5)),
+    ("star4-in-wheel", wheel_graph(12), star_pattern(4)),
+    ("diamond-in-trigrid", triangulated_grid(6, 6), diamond()),
+    ("triangle-in-delaunay", delaunay_graph(90, seed=4), triangle()),
+]
+
+NEGATIVE = [
+    ("triangle-in-grid", grid_graph(7, 7), triangle()),
+    ("c3-in-c10", cycle_graph(10), triangle()),
+    ("k4-in-grid", grid_graph(6, 6), clique_pattern(4)),
+    ("c5-in-grid", grid_graph(6, 6), cycle_pattern(5)),
+]
+
+
+@pytest.mark.parametrize("name,gg,pattern", POSITIVE, ids=[c[0] for c in POSITIVE])
+class TestPositiveInstances:
+    def test_found(self, name, gg, pattern):
+        assert has_isomorphism(pattern, gg.graph)  # sanity
+        result = run(gg, pattern, seed=1)
+        assert result.found
+
+    def test_witness_is_occurrence(self, name, gg, pattern):
+        emb, _ = embed_geometric(gg)
+        result = find_occurrence(gg.graph, emb, pattern, seed=2)
+        assert result.found and result.witness is not None
+        w = result.witness
+        assert len(set(w.values())) == pattern.k
+        for a, b in pattern.graph.iter_edges():
+            assert gg.graph.has_edge(w[a], w[b])
+
+
+@pytest.mark.parametrize("name,gg,pattern", NEGATIVE, ids=[c[0] for c in NEGATIVE])
+class TestNegativeInstances:
+    def test_not_found(self, name, gg, pattern):
+        assert not has_isomorphism(pattern, gg.graph)  # sanity
+        result = run(gg, pattern, seed=3)
+        assert not result.found
+        assert result.witness is None
+
+
+class TestDriverBehavior:
+    def test_expected_constant_rounds_on_positive(self):
+        # Each round succeeds with probability >= 1/2, so the mean rounds
+        # used should be < 2.5 over many seeds.
+        gg = triangulated_grid(8, 8)
+        emb, _ = embed_geometric(gg)
+        rounds = [
+            decide_subgraph_isomorphism(
+                gg.graph, emb, triangle(), seed=s
+            ).rounds_used
+            for s in range(20)
+        ]
+        assert np.mean(rounds) <= 2.5
+
+    def test_sequential_engine_agrees(self):
+        gg = triangulated_grid(6, 6)
+        for pattern in (triangle(), cycle_pattern(4)):
+            a = run(gg, pattern, seed=5, engine="sequential")
+            b = run(gg, pattern, seed=5, engine="parallel")
+            assert a.found == b.found
+
+    def test_disconnected_pattern_rejected(self):
+        from repro.graphs import Graph
+        from repro.isomorphism import Pattern
+
+        two_edges = Pattern(Graph(4, [(0, 1), (2, 3)]))
+        with pytest.raises(ValueError, match="connected"):
+            run(grid_graph(4, 4), two_edges)
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            run(grid_graph(3, 3), triangle(), engine="quantum")
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            run(grid_graph(3, 3), triangle(), rounds=0)
+
+    def test_explicit_rounds_respected(self):
+        gg = grid_graph(6, 6)
+        result = run(gg, triangle(), seed=0, rounds=3)
+        assert result.rounds_used == 3  # negative instance: all rounds used
+
+    def test_pattern_larger_than_graph(self):
+        gg = path_graph(3)
+        result = run(gg, path_pattern(5), seed=0, rounds=2)
+        assert not result.found
+
+    def test_dmp_embedding_input(self):
+        # The driver works with combinatorial (DMP) embeddings too.
+        g = random_tree(30, seed=8)
+        emb = embed_planar(g)
+        result = decide_subgraph_isomorphism(
+            g, emb, path_pattern(3), seed=0
+        )
+        assert result.found
+
+    def test_cost_accumulates(self):
+        result = run(grid_graph(6, 6), cycle_pattern(4), seed=0)
+        assert result.cost.work > 0
+        assert 0 < result.cost.depth <= result.cost.work
+
+
+class TestMonteCarloSoundness:
+    def test_no_false_positives_over_seeds(self):
+        gg = grid_graph(6, 6)
+        for s in range(10):
+            assert not run(gg, triangle(), seed=s).found
+
+    def test_whp_no_false_negatives(self):
+        gg = triangulated_grid(6, 6)
+        for s in range(10):
+            assert run(gg, triangle(), seed=s).found

@@ -1,0 +1,89 @@
+"""Recovery walker details: images, dedup, engine-agnosticism."""
+
+import pytest
+
+from repro.baselines import count_isomorphisms, iter_isomorphisms
+from repro.graphs import cycle_graph, grid_graph, triangulated_grid, wheel_graph
+from repro.isomorphism import (
+    SubgraphStateSpace,
+    cycle_pattern,
+    first_witness,
+    iter_witnesses,
+    parallel_dp,
+    path_pattern,
+    sequential_dp,
+    triangle,
+    witness_images,
+)
+from repro.treedecomp import make_nice, minfill_decomposition
+
+
+def tables(graph, pattern, engine="sequential"):
+    td, _ = minfill_decomposition(graph)
+    nice, _ = make_nice(td)
+    space = SubgraphStateSpace(pattern, graph)
+    run = sequential_dp if engine == "sequential" else parallel_dp
+    result = run(space, nice)
+    return space, nice, result
+
+
+class TestWitnessImages:
+    def test_images_dedup_automorphisms(self):
+        g = wheel_graph(7).graph
+        space, nice, result = tables(g, triangle())
+        images = witness_images(space, nice, result.valid)
+        # One triangle per rim edge.
+        assert len(images) == 7
+        maps = sum(1 for _ in iter_witnesses(space, nice, result.valid))
+        assert maps == 6 * len(images)
+
+    def test_images_are_real_occurrences(self):
+        g = triangulated_grid(3, 3).graph
+        space, nice, result = tables(g, triangle())
+        for image in witness_images(space, nice, result.valid):
+            sub, _ = g.induced_subgraph(sorted(image))
+            assert sub.m >= 3  # a triangle lives inside
+
+    def test_empty_when_absent(self):
+        g = grid_graph(3, 3).graph
+        space, nice, result = tables(g, triangle())
+        assert witness_images(space, nice, result.valid) == set()
+
+
+class TestWitnessEnumeration:
+    def test_no_duplicates(self):
+        g = cycle_graph(8).graph
+        space, nice, result = tables(g, path_pattern(4))
+        ws = [
+            tuple(sorted(w.items()))
+            for w in iter_witnesses(space, nice, result.valid)
+        ]
+        assert len(ws) == len(set(ws))
+        assert len(ws) == count_isomorphisms(path_pattern(4), g)
+
+    def test_streaming_stop_early(self):
+        g = triangulated_grid(4, 4).graph
+        space, nice, result = tables(g, triangle())
+        gen = iter_witnesses(space, nice, result.valid)
+        first = next(gen)
+        assert len(first) == 3  # can stop after one without exhausting
+
+    def test_parallel_tables_equivalent(self):
+        g = cycle_graph(9).graph
+        pattern = path_pattern(3)
+        _, _, seq = tables(g, pattern, "sequential")
+        space, nice, par = tables(g, pattern, "parallel")
+        a = {
+            tuple(sorted(w.items()))
+            for w in iter_witnesses(space, nice, seq.valid)
+        }
+        b = {
+            tuple(sorted(w.items()))
+            for w in iter_witnesses(space, nice, par.valid)
+        }
+        assert a == b
+
+    def test_first_witness_none_cases(self):
+        g = grid_graph(2, 2).graph
+        space, nice, result = tables(g, cycle_pattern(5))
+        assert first_witness(space, nice, result.valid) is None

@@ -1,0 +1,181 @@
+"""Unit tests for the plain (phi, C, U) state space transitions."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, cycle_graph, grid_graph
+from repro.isomorphism import (
+    IN_CHILD,
+    UNMATCHED,
+    SubgraphStateSpace,
+    path_pattern,
+    triangle,
+)
+
+U, C = UNMATCHED, IN_CHILD
+
+
+def space_on(graph, pattern, **kw):
+    return SubgraphStateSpace(pattern, graph, **kw)
+
+
+class TestIntroduce:
+    def test_yields_unused_and_extensions(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        sp = space_on(g, path_pattern(2))
+        out = list(sp.introduce(0, (U, U)))
+        assert (U, U) in out  # unused
+        assert (0, U) in out and (U, 0) in out
+
+    def test_edge_consistency(self):
+        # Pattern edge (0,1); if pattern 0 is on target 0, pattern 1 can
+        # only go on neighbors of target 0.
+        g = Graph(3, [(0, 1)])  # target: 0-1, 2 isolated
+        sp = space_on(g, path_pattern(2))
+        out = list(sp.introduce(2, (0, U)))
+        assert (0, 2) not in out  # 2 not adjacent to 0
+        out2 = list(sp.introduce(1, (0, U)))
+        assert (0, 1) in out2
+
+    def test_blocked_by_forgotten_neighbor(self):
+        # Pattern 1 already in C: pattern 0 (H-adjacent) cannot be newly
+        # matched anymore (the edge could never be verified).
+        g = Graph(2, [(0, 1)])
+        sp = space_on(g, path_pattern(2))
+        out = list(sp.introduce(0, (U, C)))
+        assert out == [(U, C)]
+
+    def test_allowed_mask(self):
+        g = Graph(2, [(0, 1)])
+        allowed = np.array([False, True])
+        sp = space_on(g, path_pattern(1), allowed=allowed)
+        assert list(sp.introduce(0, (U,))) == [(U,)]
+        assert (1,) in list(sp.introduce(1, (U,)))
+
+
+class TestForget:
+    def test_moves_to_child(self):
+        g = Graph(2, [(0, 1)])
+        sp = space_on(g, path_pattern(2))
+        assert sp.forget(0, (0, 1)) == (C, 1)
+
+    def test_blocks_unrealized_edge(self):
+        # Forgetting pattern 0's target while pattern 1 (H-adjacent) is
+        # still unmatched kills the state.
+        g = Graph(2, [(0, 1)])
+        sp = space_on(g, path_pattern(2))
+        assert sp.forget(0, (0, U)) is None
+
+    def test_untouched_when_vertex_unused(self):
+        g = Graph(2, [(0, 1)])
+        sp = space_on(g, path_pattern(2))
+        assert sp.forget(1, (0, U)) == (0, U)
+
+
+class TestJoin:
+    def test_agree_on_mapped(self):
+        sp = space_on(Graph(3, [(0, 1), (1, 2)]), path_pattern(2))
+        assert sp.join((0, U), (0, U)) == (0, U)
+        assert sp.join((0, U), (1, U)) is None
+
+    def test_child_exclusivity(self):
+        sp = space_on(Graph(3, [(0, 1), (1, 2)]), path_pattern(2))
+        assert sp.join((C, U), (U, U)) == (C, U)
+        assert sp.join((C, U), (C, U)) is None
+        assert sp.join((C, U), (U, C)) == (C, C)
+
+    def test_mapped_vs_child_incompatible(self):
+        sp = space_on(Graph(3, [(0, 1), (1, 2)]), path_pattern(2))
+        assert sp.join((0, U), (C, U)) is None
+
+
+class TestClassConstraints:
+    def test_class_restricts_hosting(self):
+        g = cycle_graph(4).graph
+        classes = np.array([0, 1, 0, 1])
+        sp = space_on(
+            g, path_pattern(2),
+            host_classes=classes, pattern_classes=[0, 1],
+        )
+        # Pattern vertex 0 (class 0) cannot sit on target 1 (class 1).
+        out = list(sp.introduce(1, (U, U)))
+        assert (1, U) not in out
+        assert (U, 1) in out
+
+    def test_class_validation(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            SubgraphStateSpace(
+                path_pattern(2), g, host_classes=np.zeros(2, dtype=int),
+                pattern_classes=None,
+            )
+        with pytest.raises(ValueError):
+            SubgraphStateSpace(
+                path_pattern(2), g,
+                host_classes=np.zeros(3, dtype=int),
+                pattern_classes=[0, 0],
+            )
+
+    def test_decision_respects_classes(self):
+        # A 4-cycle with proper 2-coloring: a P2 with both endpoints in
+        # class 0 is impossible.
+        g = cycle_graph(4).graph
+        classes = np.array([0, 1, 0, 1])
+        from repro.isomorphism import sequential_dp
+        from repro.treedecomp import make_nice, minfill_decomposition
+
+        td, _ = minfill_decomposition(g)
+        nice, _ = make_nice(td)
+        sp_bad = space_on(
+            g, path_pattern(2),
+            host_classes=classes, pattern_classes=[0, 0],
+        )
+        sp_good = space_on(
+            g, path_pattern(2),
+            host_classes=classes, pattern_classes=[0, 1],
+        )
+        assert not sequential_dp(sp_bad, nice).found
+        assert sequential_dp(sp_good, nice).found
+
+
+class TestLocalStates:
+    def test_counts_within_paper_bound(self):
+        g = grid_graph(3, 3).graph
+        sp = space_on(g, triangle())
+        bag = [0, 1, 3, 4]
+        states = sp.local_states(bag)
+        tau = len(bag) - 1
+        assert 0 < len(states) <= (tau + 3) ** 3
+
+    def test_no_duplicates(self):
+        g = grid_graph(3, 3).graph
+        sp = space_on(g, triangle())
+        states = sp.local_states([0, 1, 3, 4])
+        assert len(states) == len(set(states))
+
+    def test_cache_returns_same(self):
+        g = grid_graph(3, 3).graph
+        sp = space_on(g, triangle())
+        assert sp.local_states([0, 1]) is sp.local_states([0, 1])
+
+    def test_respects_injectivity_and_edges(self):
+        g = Graph(3, [(0, 1)])
+        sp = space_on(g, path_pattern(2))
+        for s in sp.local_states([0, 1, 2]):
+            mapped = [x for x in s if x >= 0]
+            assert len(mapped) == len(set(mapped))
+            if s[0] >= 0 and s[1] >= 0:
+                assert g.has_edge(s[0], s[1])
+
+
+class TestAdmissibility:
+    def test_c_capacity(self):
+        sp = space_on(Graph(2, [(0, 1)]), path_pattern(2))
+        assert sp.admissible_at((C, C), 2, False)
+        assert not sp.admissible_at((C, C), 1, False)
+        assert sp.admissible_at((U, U), 0, False)
+
+    def test_trivial_source(self):
+        sp = space_on(Graph(2, [(0, 1)]), path_pattern(2))
+        assert sp.is_trivial_source((0, U))
+        assert not sp.is_trivial_source((C, U))

@@ -1,0 +1,124 @@
+"""DMP planarity test / embedder vs the networkx oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    antiprism_graph,
+    complete_graph,
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    icosahedron_graph,
+    outerplanar_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+    torus_grid,
+    triangulated_grid,
+    wheel_graph,
+)
+from repro.planar import PlanarityError, embed_planar, try_embed_planar
+
+
+def to_nx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.iter_edges())
+    return h
+
+
+PLANAR = [
+    path_graph(8).graph,
+    cycle_graph(9).graph,
+    star_graph(7).graph,
+    wheel_graph(8).graph,
+    grid_graph(4, 5).graph,
+    triangulated_grid(4, 4).graph,
+    delaunay_graph(40, seed=3).graph,
+    antiprism_graph(6).graph,
+    icosahedron_graph().graph,
+    outerplanar_graph(12, seed=1).graph,
+    complete_graph(4),
+    random_tree(25, seed=2),
+    Graph.empty(5),
+    Graph.empty(0),
+    Graph(1, []),
+]
+
+NONPLANAR = [
+    complete_graph(5),
+    complete_graph(6),
+    torus_grid(3, 3),
+    # K33
+    Graph(6, [(i, j) for i in range(3) for j in range(3, 6)]),
+]
+
+
+class TestPlanarInputs:
+    @pytest.mark.parametrize("g", PLANAR, ids=lambda g: f"n{g.n}m{g.m}")
+    def test_embeds_with_genus_zero(self, g):
+        emb = embed_planar(g)
+        emb.check()
+        assert emb.euler_genus() == 0
+        assert emb.to_graph() == g
+
+    def test_k4_face_count(self):
+        emb = embed_planar(complete_graph(4))
+        assert len(emb.faces()) == 4
+
+    def test_icosahedron_face_count(self):
+        emb = embed_planar(icosahedron_graph().graph)
+        assert len(emb.faces()) == 20
+        assert all(len(w) == 3 for w in emb.faces())
+
+
+class TestNonPlanarInputs:
+    @pytest.mark.parametrize("g", NONPLANAR, ids=lambda g: f"n{g.n}m{g.m}")
+    def test_rejected(self, g):
+        assert try_embed_planar(g) is None
+        with pytest.raises(PlanarityError):
+            embed_planar(g)
+
+
+class TestAgainstOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=18),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_matches_networkx_verdict(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        edges = set()
+        for _ in range(m):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.add((min(int(u), int(v)), max(int(u), int(v))))
+        g = Graph(n, list(edges))
+        ours = try_embed_planar(g)
+        theirs, _ = nx.check_planarity(to_nx(g))
+        assert (ours is not None) == theirs
+        if ours is not None:
+            ours.check()
+            assert ours.euler_genus() == 0
+            assert ours.to_graph() == g
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_planar_subgraphs(self, seed):
+        # Take a Delaunay triangulation and delete random edges: always
+        # planar, often disconnected with cut vertices — stresses the
+        # biconnected gluing.
+        rng = np.random.default_rng(seed)
+        g = delaunay_graph(25, seed=seed % 100).graph
+        keep = rng.random(g.m) < 0.6
+        g2 = Graph(g.n, g.edges()[keep])
+        emb = embed_planar(g2)
+        emb.check()
+        assert emb.euler_genus() == 0
+        assert emb.to_graph() == g2

@@ -1,0 +1,204 @@
+"""Tests for the dart-based rotation system: faces, Euler genus, surgery."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    path_graph,
+    triangulated_grid,
+)
+from repro.planar import PlanarEmbedding, embed_geometric
+
+
+def embed(gg):
+    emb, _ = embed_geometric(gg)
+    return emb
+
+
+class TestFromRotations:
+    def test_triangle(self):
+        emb = PlanarEmbedding.from_rotations(3, [[1, 2], [2, 0], [0, 1]])
+        emb.check()
+        assert emb.num_edges() == 3
+        assert emb.euler_genus() == 0
+        assert len(emb.faces()) == 2
+
+    def test_single_edge(self):
+        emb = PlanarEmbedding.from_rotations(2, [[1], [0]])
+        assert emb.num_edges() == 1
+        assert len(emb.faces()) == 1  # one face walked twice
+        assert emb.euler_genus() == 0
+
+    def test_isolated_vertices(self):
+        emb = PlanarEmbedding.from_rotations(3, [[], [], []])
+        assert emb.num_edges() == 0
+        assert emb.euler_genus() == 0
+
+    def test_unmatched_rotation_rejected(self):
+        with pytest.raises(ValueError):
+            PlanarEmbedding.from_rotations(2, [[1], []])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            PlanarEmbedding.from_rotations(1, [[0]])
+
+    def test_k4_planar_rotation(self):
+        # K4 with an explicitly planar rotation system.
+        emb = PlanarEmbedding.from_rotations(
+            4, [[1, 2, 3], [2, 0, 3], [0, 1, 3], [0, 2, 1]]
+        )
+        assert emb.euler_genus() == 0
+        assert len(emb.faces()) == 4
+
+    def test_k4_toroidal_rotation(self):
+        # A different rotation of K4 that is NOT genus 0.
+        emb = PlanarEmbedding.from_rotations(
+            4, [[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]]
+        )
+        assert emb.euler_genus() != 0
+
+
+class TestGeometricEmbeddings:
+    @pytest.mark.parametrize(
+        "gg",
+        [
+            grid_graph(4, 5),
+            triangulated_grid(4, 4),
+            cycle_graph(9),
+            path_graph(7),
+            delaunay_graph(60, seed=5),
+        ],
+        ids=["grid", "tri-grid", "cycle", "path", "delaunay"],
+    )
+    def test_genus_zero(self, gg):
+        emb = embed(gg)
+        emb.check()
+        assert emb.euler_genus() == 0
+
+    def test_euler_formula_grid(self):
+        emb = embed(grid_graph(3, 3))
+        # V=9, E=12 -> F = 2 - 9 + 12 = 5 (4 squares + outer).
+        assert len(emb.faces()) == 5
+
+    def test_face_walks_partition_darts(self):
+        emb = embed(delaunay_graph(40, seed=1))
+        walks = emb.faces()
+        all_darts = [d for w in walks for d in w]
+        assert len(all_darts) == 2 * emb.num_edges()
+        assert len(set(all_darts)) == len(all_darts)
+
+    def test_face_vertices(self):
+        emb = embed(cycle_graph(5))
+        faces = emb.faces()
+        assert len(faces) == 2
+        for walk in faces:
+            assert sorted(emb.face_vertices(walk)) == [0, 1, 2, 3, 4]
+
+    def test_rotation_roundtrip(self):
+        gg = grid_graph(3, 4)
+        emb = embed(gg)
+        for v in range(gg.graph.n):
+            assert sorted(emb.rotation(v)) == gg.graph.neighbors(v).tolist()
+
+    def test_to_graph_roundtrip(self):
+        gg = delaunay_graph(50, seed=2)
+        emb = embed(gg)
+        assert emb.to_graph() == gg.graph
+
+    def test_positions_shape_validated(self):
+        from repro.graphs import GeometricGraph
+
+        bad = GeometricGraph(grid_graph(2, 2).graph, np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            embed_geometric(bad)
+
+
+class TestSurgery:
+    def test_delete_edge(self):
+        emb = embed(cycle_graph(4))
+        emb.delete_edge(0)
+        emb.check()
+        assert emb.num_edges() == 3
+        assert emb.euler_genus() == 0
+        assert len(emb.faces()) == 1
+
+    def test_add_edge_in_face(self):
+        emb = embed(cycle_graph(4))
+        # Add a chord between opposite vertices of the square, inside one
+        # face: find darts bounding the same face with tails 0 and 2.
+        face = next(w for w in emb.faces() if len(w) == 4)
+        d0 = next(d for d in face if emb.tail(d) == 0)
+        d2 = next(d for d in face if emb.tail(d) == 2)
+        emb.add_edge_in_face(d0, d2)
+        emb.check()
+        assert emb.num_edges() == 5
+        assert emb.euler_genus() == 0
+        assert len(emb.faces()) == 3
+
+    def test_contract_edge_triangle(self):
+        emb = embed(cycle_graph(3))
+        emb.contract_edge(0)
+        emb.check()
+        # Triangle contracts to two parallel edges (kept as a multigraph);
+        # the simple view collapses them.
+        assert emb.num_edges() == 2
+        assert emb.euler_genus() == 0
+        assert emb.to_graph().m == 1
+
+    def test_contract_grid_row(self):
+        gg = grid_graph(3, 3)
+        emb = embed(gg)
+        # Contract the top-row path 0-1, then 0-2 (which 1's merge created).
+        d01 = next(
+            d
+            for d in emb.darts_from(0)
+            if emb.head[d] == 1
+        )
+        emb.contract_edge(d01)
+        emb.check()
+        assert emb.euler_genus() == 0
+        g = emb.to_graph()
+        # Vertex 1 absorbed into 0: 0 now adjacent to 2 and 4.
+        assert g.has_edge(0, 2) and g.has_edge(0, 4)
+        assert emb.degree(1) == 0
+
+    def test_contract_keeps_planarity_random(self):
+        gg = delaunay_graph(30, seed=3)
+        emb = embed(gg)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            live = [
+                d
+                for d in range(0, len(emb.head), 2)
+                if emb.alive[d] and emb.head[d] != emb.head[d ^ 1]
+            ]
+            if not live:
+                break
+            emb.contract_edge(int(rng.choice(live)))
+            emb.check()
+            assert emb.euler_genus() == 0
+
+    def test_add_vertex(self):
+        emb = embed(cycle_graph(3))
+        v = emb.add_vertex()
+        assert v == 3 and emb.degree(v) == 0
+        assert emb.euler_genus() == 0
+
+    def test_induced_subembedding(self):
+        gg = grid_graph(4, 4)
+        emb = embed(gg)
+        sub, originals = emb.induced_subembedding(range(8))
+        sub.check()
+        assert sub.euler_genus() == 0
+        expect, _ = gg.graph.induced_subgraph(range(8))
+        assert sub.to_graph() == expect
+        assert originals.tolist() == list(range(8))
+
+    def test_copy_independent(self):
+        emb = embed(cycle_graph(4))
+        cp = emb.copy()
+        cp.delete_edge(0)
+        assert emb.num_edges() == 4 and cp.num_edges() == 3

@@ -1,0 +1,79 @@
+"""Tests for the bipartite face--vertex graph G' (Section 5.1, Figure 6)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    antiprism_graph,
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    wheel_graph,
+)
+from repro.planar import build_face_vertex_graph, embed_geometric
+
+
+def build(gg):
+    emb, _ = embed_geometric(gg)
+    fv, _ = build_face_vertex_graph(emb)
+    return fv
+
+
+class TestFaceVertexGraph:
+    def test_cycle(self):
+        # C_n: 2 faces; G' has n + 2 vertices, each face joined to all n.
+        fv = build(cycle_graph(5))
+        assert fv.num_original == 5
+        assert fv.graph.n == 7
+        assert fv.graph.m == 10
+        for f in (5, 6):
+            assert fv.graph.degree(f) == 5
+
+    def test_bipartite(self):
+        fv = build(delaunay_graph(40, seed=6))
+        for u, v in fv.graph.iter_edges():
+            assert fv.is_original(u) != fv.is_original(v)
+
+    def test_no_original_edges_remain(self):
+        gg = grid_graph(4, 4)
+        fv = build(gg)
+        for u, v in gg.graph.iter_edges():
+            assert not fv.graph.has_edge(u, v)
+
+    def test_face_degrees_match_face_sizes(self):
+        gg = grid_graph(3, 3)
+        emb, _ = embed_geometric(gg)
+        sizes = sorted(len(w) for w in emb.faces())
+        fv = build(gg)
+        fdegs = sorted(
+            fv.graph.degree(v) for v in range(fv.num_original, fv.graph.n)
+        )
+        assert fdegs == sizes
+
+    def test_embedding_planar(self):
+        fv = build(delaunay_graph(60, seed=7))
+        fv.embedding.check()
+        assert fv.embedding.euler_genus() == 0
+
+    def test_embedding_matches_graph(self):
+        fv = build(antiprism_graph(5))
+        assert fv.embedding.to_graph() == fv.graph
+
+    def test_original_vertices_property(self):
+        fv = build(cycle_graph(4))
+        assert fv.original_vertices.tolist() == [0, 1, 2, 3]
+
+    def test_euler_count(self):
+        # A planar graph with F faces: G' has n + F vertices and
+        # sum(face sizes) = 2m edges.
+        gg = wheel_graph(6)
+        emb, _ = embed_geometric(gg)
+        f = len(emb.faces())
+        fv = build(gg)
+        assert fv.graph.n == gg.graph.n + f
+        assert fv.graph.m == 2 * gg.graph.m
+
+    def test_wheel_cycles_even(self):
+        fv = build(wheel_graph(5))
+        h = nx.Graph(list(fv.graph.iter_edges()))
+        assert nx.is_bipartite(h)

@@ -1,0 +1,42 @@
+"""Geometric embedding details: charged cost, validation toggles."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import GeometricGraph, Graph, grid_graph
+from repro.planar import embed_geometric, embedding_cost
+
+
+class TestEmbeddingCost:
+    def test_shape(self):
+        small = embedding_cost(100)
+        large = embedding_cost(10_000)
+        # O(n) work, O(log^2 n) depth.
+        assert large.work / small.work == pytest.approx(100, rel=0.05)
+        assert large.depth <= 4 * small.depth
+
+    def test_tiny(self):
+        c = embedding_cost(0)
+        assert c.work >= 1 and c.depth >= 1
+
+
+class TestValidation:
+    def crossing_drawing(self):
+        # K4 drawn with a crossing: positions on a square with both
+        # diagonals drawn straight.
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)])
+        pos = np.array([[0.0, 0], [1, 0], [1, 1], [0, 1]])
+        return GeometricGraph(g, pos)
+
+    def test_crossing_rejected(self):
+        with pytest.raises(ValueError, match="not planar"):
+            embed_geometric(self.crossing_drawing())
+
+    def test_validation_can_be_skipped(self):
+        emb, _ = embed_geometric(self.crossing_drawing(), validate=False)
+        assert emb.euler_genus() != 0  # garbage in, genus out
+
+    def test_cost_returned(self):
+        gg = grid_graph(4, 4)
+        _, cost = embed_geometric(gg)
+        assert cost == embedding_cost(16)

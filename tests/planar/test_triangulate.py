@@ -1,0 +1,91 @@
+"""Stellation tests: every face becomes a triangle, planarity preserved."""
+
+import pytest
+
+from repro.graphs import (
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.planar import embed_geometric, stellate
+
+
+def embed(gg):
+    emb, _ = embed_geometric(gg)
+    return emb
+
+
+def all_faces_triangles(emb):
+    return all(len(w) == 3 for w in emb.faces())
+
+
+class TestStellate:
+    @pytest.mark.parametrize(
+        "gg",
+        [
+            grid_graph(4, 4),
+            cycle_graph(7),
+            path_graph(5),  # tree: one non-simple face walk
+            star_graph(6),  # tree with a high-degree center
+            delaunay_graph(50, seed=8),
+        ],
+        ids=["grid", "cycle", "path", "star", "delaunay"],
+    )
+    def test_triangulates_and_stays_planar(self, gg):
+        emb = embed(gg)
+        result, _ = stellate(emb)
+        t = result.embedding
+        t.check()
+        assert t.euler_genus() == 0
+        assert all_faces_triangles(t)
+
+    def test_face_vertex_count(self):
+        emb = embed(grid_graph(3, 3))
+        nfaces = len(emb.faces())
+        result, _ = stellate(emb)
+        assert result.embedding.n == emb.n + nfaces
+        assert result.num_original == emb.n
+        assert result.face_of_vertex.shape == (nfaces,)
+
+    def test_original_untouched(self):
+        emb = embed(cycle_graph(5))
+        result, _ = stellate(emb)
+        # The original edges are still present.
+        g = result.embedding.to_graph()
+        for u, v in cycle_graph(5).graph.iter_edges():
+            assert g.has_edge(u, v)
+
+    def test_center_joined_to_every_corner(self):
+        emb = embed(cycle_graph(4))
+        result, _ = stellate(emb)
+        g = result.embedding.to_graph()
+        for center in (4, 5):
+            for v in range(4):
+                assert g.has_edge(center, v)
+
+    def test_tree_stellation_multiedges(self):
+        # Path a-b-c: single face walk of length 4 visiting b twice; the
+        # center gets a double edge to b in the multigraph.
+        emb = embed(path_graph(3))
+        result, _ = stellate(emb)
+        t = result.embedding
+        assert t.euler_genus() == 0
+        assert all_faces_triangles(t)
+        center = 3
+        assert t.degree(center) == 4  # a, b, b, c
+        assert sorted(t.rotation(center)) == [0, 1, 1, 2]
+
+    def test_cost_linear(self):
+        emb = embed(delaunay_graph(200, seed=4))
+        _, cost = stellate(emb)
+        darts = 2 * emb.num_edges()
+        assert cost.work <= 4 * (darts + emb.n)
+        assert cost.depth <= 12
+
+    def test_is_face_vertex(self):
+        emb = embed(cycle_graph(3))
+        result, _ = stellate(emb)
+        assert not result.is_face_vertex(2)
+        assert result.is_face_vertex(3)

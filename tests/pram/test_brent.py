@@ -1,0 +1,52 @@
+"""Tests for the Brent-scheduling helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram import Cost, brent_schedule, scalability_limit, speedup_curve
+
+
+class TestBrentSchedule:
+    def test_times_match_cost_method(self):
+        c = Cost(10_000, 50)
+        sched = brent_schedule(c, [1, 2, 4, 100])
+        assert sched == {p: c.brent_time(p) for p in (1, 2, 4, 100)}
+
+    def test_monotone(self):
+        c = Cost(10_000, 50)
+        times = list(brent_schedule(c, [1, 2, 4, 8, 16]).values())
+        assert times == sorted(times, reverse=True)
+
+
+class TestSpeedupCurve:
+    def test_single_processor_is_one(self):
+        c = Cost(5_000, 10)
+        assert speedup_curve(c, [1])[1] == 1.0
+
+    def test_saturates_at_scalability_limit(self):
+        c = Cost(5_000_000, 1_000)
+        limit = scalability_limit(c)
+        curve = speedup_curve(c, [10**9])
+        # T_inf = D + 1 (the ceil of W/P), so the curve approaches but
+        # never exceeds the T1/D asymptote.
+        assert curve[10**9] <= limit
+        assert curve[10**9] == pytest.approx(limit, rel=0.01)
+
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=1, max_value=10**4),
+    )
+    def test_speedup_never_exceeds_processors(self, extra, depth):
+        c = Cost(depth + extra, depth)
+        for p in (1, 3, 17):
+            assert speedup_curve(c, [p])[p] <= p + 1e-9
+
+
+class TestScalabilityLimit:
+    def test_zero_depth(self):
+        assert scalability_limit(Cost(0, 0)) == float("inf")
+
+    def test_formula(self):
+        c = Cost(1000, 10)
+        assert scalability_limit(c) == (1000 + 10) / 10

@@ -1,0 +1,140 @@
+"""Property and unit tests for the work--depth cost algebra."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram import Cost, log2_ceil
+
+
+def costs() -> st.SearchStrategy[Cost]:
+    return st.builds(
+        lambda d, extra: Cost(d + extra, d),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert Cost.zero() == Cost(0, 0)
+
+    def test_step(self):
+        assert Cost.step(7) == Cost(7, 1)
+
+    def test_step_zero_work_is_free(self):
+        assert Cost.step(0) == Cost.zero()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Cost(-1, 0)
+        with pytest.raises(ValueError):
+            Cost(1, -1)
+
+    def test_depth_exceeding_work_rejected(self):
+        with pytest.raises(ValueError):
+            Cost(1, 2)
+
+    def test_sequential_loop(self):
+        assert Cost.sequential_loop(5, 3) == Cost(15, 15)
+
+    def test_reduction_small(self):
+        assert Cost.reduction(0) == Cost.zero()
+        assert Cost.reduction(1) == Cost(1, 1)
+        assert Cost.reduction(2) == Cost(1, 1)
+        assert Cost.reduction(8) == Cost(7, 3)
+        assert Cost.reduction(9) == Cost(8, 4)
+
+    def test_scan_small(self):
+        assert Cost.scan(1) == Cost(1, 1)
+        assert Cost.scan(8) == Cost(16, 6)
+
+
+class TestAlgebraLaws:
+    @given(costs(), costs(), costs())
+    def test_sequential_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(costs(), costs(), costs())
+    def test_parallel_associative(self, a, b, c):
+        assert (a | b) | c == a | (b | c)
+
+    @given(costs(), costs())
+    def test_parallel_commutative(self, a, b):
+        assert a | b == b | a
+
+    @given(costs())
+    def test_zero_is_identity(self, a):
+        z = Cost.zero()
+        assert a + z == a and z + a == a
+        assert a | z == a and z | a == a
+
+    @given(costs(), costs())
+    def test_parallel_no_slower_than_sequential(self, a, b):
+        assert (a | b).depth <= (a + b).depth
+        assert (a | b).work == (a + b).work
+
+    @given(st.lists(costs(), max_size=20))
+    def test_par_matches_folded_or(self, items):
+        folded = Cost.zero()
+        for c in items:
+            folded = folded | c
+        assert Cost.par(items) == folded
+
+    @given(st.lists(costs(), max_size=20))
+    def test_seq_matches_folded_add(self, items):
+        folded = Cost.zero()
+        for c in items:
+            folded = folded + c
+        assert Cost.seq(items) == folded
+
+    @given(costs(), st.integers(min_value=0, max_value=50))
+    def test_repeated(self, a, times):
+        expect = Cost.seq([a] * times)
+        assert a.repeated(times) == expect
+
+
+class TestBrent:
+    @given(costs(), st.integers(min_value=1, max_value=4096))
+    def test_brent_bounds(self, a, p):
+        t = a.brent_time(p)
+        # ceil(W/P) + D is between max(W/P, D) and W + D.
+        assert t >= a.depth
+        assert t >= math.ceil(a.work / p)
+        assert t <= a.work + a.depth
+
+    @given(costs())
+    def test_one_processor_is_sequential(self, a):
+        assert a.brent_time(1) == a.work + a.depth
+
+    @given(costs(), st.integers(min_value=1, max_value=100))
+    def test_more_processors_never_hurt(self, a, p):
+        assert a.brent_time(p + 1) <= a.brent_time(p)
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            Cost(4, 2).brent_time(0)
+
+    def test_speedup_saturates_at_depth(self):
+        c = Cost(1000, 10)
+        assert c.brent_time(10**9) == 11
+        assert c.speedup(10**9) == pytest.approx(1010 / 11)
+
+    def test_parallelism(self):
+        assert Cost(1000, 10).parallelism() == 100.0
+        assert Cost(0, 0).parallelism() == 0.0
+
+
+class TestLog2Ceil:
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_matches_math(self, n):
+        assert log2_ceil(n) == (math.ceil(math.log2(n)) if n > 1 else 0)
+
+    def test_edges(self):
+        assert log2_ceil(0) == 0
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+        assert log2_ceil(4) == 2

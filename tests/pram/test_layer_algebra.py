@@ -1,0 +1,143 @@
+"""Closure identities of the (corrected) Appendix A unary-function family.
+
+The paper claims the family {f_i, g_i, id} is closed under composition; this
+is false (see the erratum note in ``repro.pram.layer_algebra``).  We pin the
+counterexample as a regression test and verify the corrected two-parameter
+family F(m, j) semantically: composition must agree pointwise with actual
+function composition, everywhere.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram.layer_algebra import (
+    IDENTITY,
+    apply_fn,
+    compose,
+    layer_op,
+    make_f,
+    make_g,
+    make_member,
+    project_layer_op,
+)
+
+layers = st.integers(min_value=0, max_value=40)
+members = st.one_of(
+    st.just(IDENTITY),
+    st.builds(make_f, layers),
+    st.builds(make_g, layers),
+    layers.flatmap(
+        lambda m: st.integers(min_value=0, max_value=m).map(
+            lambda j: make_member(m, j)
+        )
+    ),
+)
+points = st.integers(min_value=0, max_value=100)
+
+
+class TestDefinitions:
+    @given(layers, points)
+    def test_f_matches_paper_definition(self, i, x):
+        expect = i + 1 if i == x else max(i, x)
+        assert apply_fn(make_f(i), x) == expect
+
+    @given(layers, points)
+    def test_g_matches_paper_definition(self, i, x):
+        expect = i + 1 if i >= x else x
+        assert apply_fn(make_g(i), x) == expect
+
+    @given(points)
+    def test_identity(self, x):
+        assert apply_fn(IDENTITY, x) == x
+
+    def test_invalid_members_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_member(2, 3)
+        with pytest.raises(ValueError):
+            make_member(-2, 0)
+        with pytest.raises(ValueError):
+            make_f(-1)
+
+
+class TestErratum:
+    def test_paper_composition_table_counterexample(self):
+        """Appendix A claims f_i ∘ f_j = f_max(i,j) for i != j; false for
+        i = 1, j = 0 at x = 0 (the inner f can lift x onto the outer tie)."""
+        actual = apply_fn(make_f(1), apply_fn(make_f(0), 0))
+        table_claim = apply_fn(make_f(1), 0)
+        assert actual == 2
+        assert table_claim == 1
+        assert actual != table_claim
+        # Our corrected composition returns the right function: g_1.
+        assert compose(make_f(1), make_f(0)) == make_g(1)
+
+    def test_composition_result_outside_paper_family(self):
+        """f_2 ∘ f_1 (x=0 ↦ 2, 1 ↦ 3, 2 ↦ 3, above ↦ x) is no f_i or g_i."""
+        composed = compose(make_f(2), make_f(1))
+        probe = [apply_fn(composed, x) for x in range(5)]
+        assert probe == [2, 3, 3, 3, 4]
+        for i in range(10):
+            assert probe != [apply_fn(make_f(i), x) for x in range(5)]
+            assert probe != [apply_fn(make_g(i), x) for x in range(5)]
+
+
+class TestClosure:
+    @given(members, members, points)
+    def test_compose_is_pointwise_composition(self, outer, inner, x):
+        composed = compose(outer, inner)
+        assert apply_fn(composed, x) == apply_fn(outer, apply_fn(inner, x))
+
+    @given(members, members)
+    def test_compose_stays_canonical(self, outer, inner):
+        m, j = compose(outer, inner)
+        assert (m, j) == IDENTITY or (m >= 0 and 0 <= j <= m)
+
+    @given(members, members, members, points)
+    def test_compose_associative_semantically(self, a, b, c, x):
+        left = compose(compose(a, b), c)
+        right = compose(a, compose(b, c))
+        assert apply_fn(left, x) == apply_fn(right, x)
+
+    @given(members, members, members)
+    def test_compose_associative_syntactically(self, a, b, c):
+        assert compose(compose(a, b), c) == compose(a, compose(b, c))
+
+    @given(members)
+    def test_identity_is_neutral(self, a):
+        assert compose(a, IDENTITY) == a
+        assert compose(IDENTITY, a) == a
+
+    def test_exhaustive_closure_small_parameters(self):
+        """Brute-force check of the composition law on all small members."""
+        params = [IDENTITY] + [
+            make_member(m, j) for m in range(0, 12) for j in range(0, m + 1)
+        ]
+        for outer in params:
+            for inner in params:
+                composed = compose(outer, inner)
+                for x in range(0, 26):
+                    assert apply_fn(composed, x) == apply_fn(
+                        outer, apply_fn(inner, x)
+                    )
+
+
+class TestProjection:
+    @given(layers, points)
+    def test_projection_matches_layer_op(self, known, x):
+        fn = project_layer_op(known)
+        assert apply_fn(fn, x) == layer_op(known, x)
+
+    @given(layers, layers)
+    def test_layer_op_symmetric(self, a, b):
+        assert layer_op(a, b) == layer_op(b, a)
+
+    @given(layers)
+    def test_equal_children_bump_layer(self, a):
+        assert layer_op(a, a) == a + 1
+
+    @given(layers, layers)
+    def test_unique_max_propagates(self, a, b):
+        if a != b:
+            assert layer_op(a, b) == max(a, b)

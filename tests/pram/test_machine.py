@@ -1,0 +1,70 @@
+"""Tests for the Tracker / nested parallel region accounting."""
+
+from repro.pram import Cost, Tracker
+
+
+class TestTracker:
+    def test_empty(self):
+        assert Tracker().cost == Cost.zero()
+
+    def test_charge_sequential(self):
+        t = Tracker()
+        t.charge(Cost(10, 2))
+        t.charge(Cost(5, 3))
+        assert t.cost == Cost(15, 5)
+
+    def test_step(self):
+        t = Tracker()
+        t.step(4)
+        t.step(6)
+        assert t.cost == Cost(10, 2)
+
+    def test_step_zero_is_free(self):
+        t = Tracker()
+        t.step(0)
+        assert t.cost == Cost.zero()
+
+    def test_parallel_region_max_depth(self):
+        t = Tracker()
+        with t.parallel() as region:
+            region.add(Cost(100, 10))
+            region.add(Cost(50, 20))
+            region.add(Cost(1, 1))
+        assert t.cost == Cost(151, 20)
+
+    def test_parallel_region_branches(self):
+        t = Tracker()
+        with t.parallel() as region:
+            with region.branch() as b1:
+                b1.step(10)
+                b1.step(10)
+            with region.branch() as b2:
+                b2.step(100)
+        assert t.cost == Cost(120, 2)
+
+    def test_nested_regions(self):
+        t = Tracker()
+        t.step(1)
+        with t.parallel() as outer:
+            with outer.branch() as b:
+                with b.parallel() as inner:
+                    inner.add(Cost(10, 5))
+                    inner.add(Cost(10, 7))
+                b.step(3)
+            outer.add(Cost(2, 2))
+        # branch b: parallel(10/5, 10/7) then a step -> (23, 8)
+        # outer: par((23,8),(2,2)) = (25, 8); plus the initial step.
+        assert t.cost == Cost(26, 9)
+
+    def test_sequential_after_region(self):
+        t = Tracker()
+        with t.parallel() as region:
+            region.add(Cost(5, 5))
+        t.step(1)
+        assert t.cost == Cost(6, 6)
+
+    def test_empty_region_is_free(self):
+        t = Tracker()
+        with t.parallel():
+            pass
+        assert t.cost == Cost.zero()

@@ -1,0 +1,194 @@
+"""Tests for the data-parallel primitives and their cost accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.pram import (
+    Cost,
+    exclusive_prefix_sum,
+    list_rank,
+    pack,
+    pack_indices,
+    parallel_reduce,
+    pointer_jump_roots,
+    prefix_sum,
+)
+
+int_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=st.integers(min_value=-1000, max_value=1000),
+)
+
+
+class TestScans:
+    @given(int_arrays)
+    def test_prefix_sum_matches_cumsum(self, a):
+        out, cost = prefix_sum(a)
+        assert np.array_equal(out, np.cumsum(a))
+        assert cost.work >= len(a)
+        assert cost.depth <= 2 * max(1, int(np.ceil(np.log2(max(len(a), 2))))) + 2
+
+    @given(int_arrays)
+    def test_exclusive_prefix_sum(self, a):
+        out, _ = exclusive_prefix_sum(a)
+        assert out[0] == 0
+        assert np.array_equal(out[1:], np.cumsum(a)[:-1])
+
+    def test_logarithmic_depth_scaling(self):
+        _, c1 = prefix_sum(np.ones(1024, dtype=np.int64))
+        _, c2 = prefix_sum(np.ones(2048, dtype=np.int64))
+        assert c2.depth == c1.depth + 2  # one more scan level up+down
+        assert c2.work == 2 * c1.work
+
+
+class TestReduce:
+    @given(int_arrays, st.sampled_from(["sum", "max", "min"]))
+    def test_matches_numpy(self, a, op):
+        out, cost = parallel_reduce(a, op)
+        expect = {"sum": a.sum, "max": a.max, "min": a.min}[op]()
+        assert out == expect
+        assert cost.depth <= int(np.ceil(np.log2(max(len(a), 2)))) + 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_reduce(np.array([]))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_reduce(np.array([1]), "median")
+
+
+class TestPack:
+    @given(int_arrays)
+    def test_pack_keeps_masked(self, a):
+        mask = a % 2 == 0
+        out, cost = pack(a, mask)
+        assert np.array_equal(out, a[mask])
+        assert cost.work >= len(a)
+
+    @given(int_arrays)
+    def test_pack_indices(self, a):
+        mask = a > 0
+        idx, _ = pack_indices(mask)
+        assert np.array_equal(idx, np.flatnonzero(mask))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pack(np.array([1, 2]), np.array([True]))
+
+
+class TestPointerJumping:
+    def test_single_tree(self):
+        parent = np.array([0, 0, 1, 2, 3])
+        roots, cost = pointer_jump_roots(parent)
+        assert np.array_equal(roots, np.zeros(5, dtype=np.int64))
+        # Height-4 chain: doubling resolves it in O(log h) rounds.
+        assert cost.depth <= 2 * 4
+
+    def test_forest(self):
+        parent = np.array([0, 0, 1, 3, 3, 4])
+        roots, _ = pointer_jump_roots(parent)
+        assert np.array_equal(roots, np.array([0, 0, 0, 3, 3, 3]))
+
+    def test_all_roots(self):
+        parent = np.arange(6)
+        roots, cost = pointer_jump_roots(parent)
+        assert np.array_equal(roots, parent)
+
+    def test_doubling_rounds_are_logarithmic(self):
+        n = 1024
+        chain = np.maximum(np.arange(n) - 1, 0)
+        _, cost = pointer_jump_roots(chain)
+        assert cost.depth <= 2 * (int(np.log2(n)) + 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pointer_jump_roots(np.array([5]))
+
+    def test_empty(self):
+        roots, cost = pointer_jump_roots(np.array([], dtype=np.int64))
+        assert roots.size == 0 and cost == Cost.zero()
+
+
+class TestListRanking:
+    def test_single_chain(self):
+        # 0 -> 1 -> 2 -> 3 -> tail
+        succ = np.array([1, 2, 3, -1])
+        ranks, cost = list_rank(succ)
+        assert np.array_equal(ranks, np.array([3, 2, 1, 0]))
+        assert cost.depth <= 3 * (int(np.log2(4)) + 2)
+
+    def test_multiple_chains(self):
+        succ = np.array([1, -1, 3, -1, -1])
+        ranks, _ = list_rank(succ)
+        assert np.array_equal(ranks, np.array([1, 0, 1, 0, 0]))
+
+    @given(st.integers(min_value=1, max_value=300), st.randoms(use_true_random=False))
+    def test_random_permutation_chain(self, n, rnd):
+        order = list(range(n))
+        rnd.shuffle(order)
+        succ = np.full(n, -1, dtype=np.int64)
+        for a, b in zip(order, order[1:]):
+            succ[a] = b
+        ranks, cost = list_rank(succ)
+        for pos, v in enumerate(order):
+            assert ranks[v] == n - 1 - pos
+        # Wyllie: O(log n) rounds of O(n) work.
+        assert cost.depth <= 3 * (int(np.ceil(np.log2(max(n, 2)))) + 2)
+        assert cost.work <= 4 * n * (int(np.ceil(np.log2(max(n, 2)))) + 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            list_rank(np.array([0]))
+
+    def test_empty(self):
+        ranks, cost = list_rank(np.array([], dtype=np.int64))
+        assert ranks.size == 0 and cost == Cost.zero()
+
+
+class TestListRankingOptimal:
+    """The work-optimal (Anderson--Miller style) variant."""
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=0, max_value=10**6),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_wyllie(self, n, seed, rnd):
+        from repro.pram import list_rank_optimal
+
+        order = list(range(n))
+        rnd.shuffle(order)
+        succ = np.full(n, -1, dtype=np.int64)
+        cut = rnd.randrange(n)
+        for seg in (order[:cut], order[cut:]):
+            for a, b in zip(seg, seg[1:]):
+                succ[a] = b
+        wyllie, _ = list_rank(succ)
+        optimal, _ = list_rank_optimal(succ, seed=seed)
+        assert np.array_equal(wyllie, optimal)
+
+    def test_work_beats_wyllie_at_scale(self):
+        from repro.pram import list_rank_optimal
+
+        n = 8192
+        succ = np.full(n, -1, dtype=np.int64)
+        succ[:-1] = np.arange(1, n)
+        _, c_w = list_rank(succ)
+        _, c_o = list_rank_optimal(succ)
+        assert c_o.work < c_w.work / 2  # O(n) vs O(n log n)
+        assert c_o.depth <= 12 * (int(np.log2(n)) + 2)
+
+    def test_validation(self):
+        from repro.pram import list_rank_optimal
+
+        with pytest.raises(ValueError):
+            list_rank_optimal(np.array([0]))
+        with pytest.raises(ValueError):
+            list_rank_optimal(np.array([5]))
+        ranks, cost = list_rank_optimal(np.array([], dtype=np.int64))
+        assert ranks.size == 0

@@ -1,0 +1,144 @@
+"""Tree-contraction expression evaluation vs a direct recursive evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram import Algebra, BinaryExpressionTree, evaluate_expression_tree
+from repro.pram.layer_algebra import (
+    IDENTITY,
+    apply_fn,
+    compose,
+    layer_op,
+    project_layer_op,
+)
+
+LAYER_ALGEBRA = Algebra(
+    identity=IDENTITY,
+    compose=compose,
+    apply=apply_fn,
+    project=project_layer_op,
+    op=layer_op,
+)
+
+
+def random_full_binary_tree(n_internal: int, rnd) -> BinaryExpressionTree:
+    """Grow a full binary tree with ``n_internal`` internal nodes by
+    repeatedly splitting a random leaf."""
+    n = 2 * n_internal + 1
+    left = np.full(n, -1, dtype=np.int64)
+    right = np.full(n, -1, dtype=np.int64)
+    next_id = 1
+    leaves = [0]
+    for _ in range(n_internal):
+        v = leaves.pop(rnd.randrange(len(leaves)))
+        left[v] = next_id
+        right[v] = next_id + 1
+        leaves.extend([next_id, next_id + 1])
+        next_id += 2
+    return BinaryExpressionTree(
+        left=left, right=right, root=0, leaf_value=np.zeros(n, dtype=np.int64)
+    )
+
+
+def reference_values(tree: BinaryExpressionTree) -> np.ndarray:
+    """Direct post-order evaluation."""
+    values = np.full(tree.n, -1, dtype=np.int64)
+    stack = [(tree.root, False)]
+    while stack:
+        v, expanded = stack.pop()
+        if tree.left[v] == -1:
+            values[v] = int(tree.leaf_value[v])
+        elif expanded:
+            values[v] = layer_op(
+                int(values[tree.left[v]]), int(values[tree.right[v]])
+            )
+        else:
+            stack.append((v, True))
+            stack.append((int(tree.left[v]), False))
+            stack.append((int(tree.right[v]), False))
+    return values
+
+
+class TestContraction:
+    def test_single_leaf(self):
+        tree = BinaryExpressionTree(
+            left=np.array([-1]), right=np.array([-1]), root=0,
+            leaf_value=np.array([0]),
+        )
+        values, _ = evaluate_expression_tree(tree, LAYER_ALGEBRA)
+        assert values[0] == 0
+
+    def test_one_internal_node(self):
+        # root 0 with two leaves -> both layer 0 -> root layer 1.
+        tree = BinaryExpressionTree(
+            left=np.array([1, -1, -1]),
+            right=np.array([2, -1, -1]),
+            root=0,
+            leaf_value=np.zeros(3, dtype=np.int64),
+        )
+        values, _ = evaluate_expression_tree(tree, LAYER_ALGEBRA)
+        assert values.tolist() == [1, 0, 0]
+
+    def test_left_caterpillar_stays_layer_zero_plus_one(self):
+        # A left-leaning chain: every internal node has a leaf right child.
+        # L(l, 0) stays max-unique until l == 0: layers climb to 1 then stay.
+        n_internal = 20
+        n = 2 * n_internal + 1
+        left = np.full(n, -1, dtype=np.int64)
+        right = np.full(n, -1, dtype=np.int64)
+        node = 0
+        for i in range(n_internal):
+            left[node] = node + 2
+            right[node] = node + 1
+            node += 2
+        tree = BinaryExpressionTree(
+            left=left, right=right, root=0, leaf_value=np.zeros(n, dtype=np.int64)
+        )
+        values, _ = evaluate_expression_tree(tree, LAYER_ALGEBRA)
+        assert np.array_equal(values, reference_values(tree))
+        # Caterpillar: the bottom internal node is 1, all above stay 1.
+        internals = [v for v in range(n) if left[v] != -1]
+        assert all(values[v] == 1 for v in internals)
+
+    def test_complete_tree_layers_grow_logarithmically(self):
+        # A perfect binary tree of height h gets layer h at the root
+        # (both children always tie).
+        h = 6
+        n = 2 ** (h + 1) - 1
+        left = np.full(n, -1, dtype=np.int64)
+        right = np.full(n, -1, dtype=np.int64)
+        for v in range((n - 1) // 2):
+            left[v] = 2 * v + 1
+            right[v] = 2 * v + 2
+        tree = BinaryExpressionTree(
+            left=left, right=right, root=0, leaf_value=np.zeros(n, dtype=np.int64)
+        )
+        values, cost = evaluate_expression_tree(tree, LAYER_ALGEBRA)
+        assert values[0] == h
+        assert np.array_equal(values, reference_values(tree))
+        # Work linear, depth logarithmic (generous constants).
+        assert cost.work <= 60 * n
+        assert cost.depth <= 12 * (h + 2)
+
+    @given(
+        st.integers(min_value=1, max_value=120),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_reference_on_random_trees(self, n_internal, rnd):
+        tree = random_full_binary_tree(n_internal, rnd)
+        values, cost = evaluate_expression_tree(tree, LAYER_ALGEBRA)
+        assert np.array_equal(values, reference_values(tree))
+        n = tree.n
+        assert cost.work <= 120 * n
+        assert cost.depth <= 30 * (int(np.ceil(np.log2(n + 1))) + 2)
+
+    def test_malformed_tree_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryExpressionTree(
+                left=np.array([1, -1]),
+                right=np.array([-1, -1]),
+                root=0,
+                leaf_value=np.zeros(2, dtype=np.int64),
+            )

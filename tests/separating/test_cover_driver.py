@@ -1,0 +1,144 @@
+"""Separating cover (Section 5.2.1, Figure 7) and driver (Lemma 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cycle_graph, grid_graph, wheel_graph
+from repro.isomorphism import cycle_pattern, path_pattern
+from repro.planar import embed_geometric
+from repro.separating import (
+    decide_separating_isomorphism,
+    has_separating_occurrence,
+    is_separating_occurrence,
+    separating_cover,
+)
+
+
+class TestSeparatingCover:
+    def test_pieces_valid_and_masked(self):
+        gg = grid_graph(6, 6)
+        emb, _ = embed_geometric(gg)
+        marked = np.ones(gg.graph.n, dtype=bool)
+        cover = separating_cover(gg.graph, emb, marked, k=4, d=2, seed=0)
+        assert cover.pieces
+        for piece in cover.pieces:
+            piece.decomposition.validate(piece.graph)
+            # Merged vertices: never allowed, originals == -1.
+            for v in range(piece.graph.n):
+                if piece.originals[v] == -1:
+                    assert not piece.allowed[v]
+                else:
+                    assert piece.allowed[v]
+
+    def test_merged_vertices_inherit_marks(self):
+        gg = grid_graph(5, 5)
+        emb, _ = embed_geometric(gg)
+        marked = np.zeros(gg.graph.n, dtype=bool)
+        marked[0] = True  # a single marked corner
+        cover = separating_cover(gg.graph, emb, marked, k=3, d=1, seed=1)
+        # In pieces whose window excludes vertex 0, some merged vertex must
+        # carry the mark.
+        for piece in cover.pieces:
+            window_marks = piece.marked[piece.originals >= 0]
+            merged_marks = piece.marked[piece.originals == -1]
+            originals = set(piece.originals.tolist()) - {-1}
+            if 0 not in originals:
+                assert merged_marks.any()
+
+    def test_window_subgraph_is_induced(self):
+        gg = grid_graph(5, 5)
+        emb, _ = embed_geometric(gg)
+        marked = np.ones(gg.graph.n, dtype=bool)
+        cover = separating_cover(gg.graph, emb, marked, k=3, d=2, seed=2)
+        g = gg.graph
+        for piece in cover.pieces:
+            for a, b in piece.graph.iter_edges():
+                oa, ob = int(piece.originals[a]), int(piece.originals[b])
+                if oa >= 0 and ob >= 0:
+                    assert g.has_edge(oa, ob)
+
+    def test_width_bounded(self):
+        gg = grid_graph(8, 8)
+        emb, _ = embed_geometric(gg)
+        marked = np.ones(gg.graph.n, dtype=bool)
+        d = 2
+        cover = separating_cover(gg.graph, emb, marked, k=4, d=d, seed=3)
+        # Windows plus merged vertices keep O(d) BFS depth (see cover.py).
+        assert cover.max_width() <= 3 * (d + 5) + 2
+
+    def test_invalid_args(self):
+        gg = grid_graph(3, 3)
+        emb, _ = embed_geometric(gg)
+        with pytest.raises(ValueError):
+            separating_cover(
+                gg.graph, emb, np.ones(9, dtype=bool), 0, 1, seed=0
+            )
+        with pytest.raises(ValueError):
+            separating_cover(
+                gg.graph, emb, np.ones(4, dtype=bool), 2, 1, seed=0
+            )
+
+
+class TestSeparatingDriver:
+    def test_grid_middle_path_separates(self):
+        # 3 x n grid: a vertical path of 3 vertices separates left/right.
+        gg = grid_graph(3, 7)
+        emb, _ = embed_geometric(gg)
+        marked = np.ones(gg.graph.n, dtype=bool)
+        pattern = path_pattern(3)
+        assert has_separating_occurrence(pattern, gg.graph, marked)
+        result = decide_separating_isomorphism(
+            gg.graph, emb, marked, pattern, seed=0, want_witness=True
+        )
+        assert result.found
+        image = set(result.witness.values())
+        assert is_separating_occurrence(gg.graph, marked, image)
+
+    def test_cycle_no_short_separator(self):
+        gg = cycle_graph(10)
+        emb, _ = embed_geometric(gg)
+        marked = np.ones(10, dtype=bool)
+        result = decide_separating_isomorphism(
+            gg.graph, emb, marked, path_pattern(2), seed=1, rounds=4
+        )
+        assert not result.found
+
+    def test_wheel_c4_does_not_separate(self):
+        # Removing any 4-cycle of a wheel leaves ... check against oracle.
+        gg = wheel_graph(8)
+        emb, _ = embed_geometric(gg)
+        marked = np.ones(gg.graph.n, dtype=bool)
+        expect = has_separating_occurrence(
+            cycle_pattern(3), gg.graph, marked
+        )
+        result = decide_separating_isomorphism(
+            gg.graph, emb, marked, cycle_pattern(3), seed=2, rounds=4
+        )
+        assert result.found == expect
+
+    def test_sequential_engine_agrees(self):
+        gg = grid_graph(3, 6)
+        emb, _ = embed_geometric(gg)
+        marked = np.ones(gg.graph.n, dtype=bool)
+        a = decide_separating_isomorphism(
+            gg.graph, emb, marked, path_pattern(3), seed=3,
+            engine="sequential",
+        )
+        assert a.found
+
+    def test_validation(self):
+        gg = grid_graph(3, 3)
+        emb, _ = embed_geometric(gg)
+        marked = np.ones(9, dtype=bool)
+        from repro.graphs import Graph
+        from repro.isomorphism import Pattern
+
+        with pytest.raises(ValueError, match="connected"):
+            decide_separating_isomorphism(
+                gg.graph, emb, marked, Pattern(Graph(2, [])), seed=0
+            )
+        with pytest.raises(ValueError, match="engine"):
+            decide_separating_isomorphism(
+                gg.graph, emb, marked, path_pattern(2), seed=0,
+                engine="magic",
+            )

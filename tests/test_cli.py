@@ -1,0 +1,99 @@
+"""CLI tests: spec parsing and the command entry points."""
+
+import pytest
+
+from repro.cli import main, parse_pattern, parse_target
+
+
+class TestParseTarget:
+    @pytest.mark.parametrize(
+        "spec,n",
+        [
+            ("grid:3x4", 12),
+            ("trigrid:3x3", 9),
+            ("delaunay:30:5", 30),
+            ("cycle:7", 7),
+            ("path:5", 5),
+            ("wheel:6", 7),
+            ("antiprism:4", 8),
+            ("icosahedron", 12),
+            ("tree:9:1", 9),
+            ("outerplanar:8:2", 8),
+        ],
+    )
+    def test_families(self, spec, n):
+        graph, emb = parse_target(spec)
+        assert graph.n == n
+        assert emb.euler_genus() == 0
+
+    def test_bad_specs(self):
+        with pytest.raises(SystemExit):
+            parse_target("moebius:5")
+        with pytest.raises(SystemExit):
+            parse_target("grid:oops")
+        with pytest.raises(SystemExit):
+            parse_target("delaunay:")
+
+
+class TestParsePattern:
+    @pytest.mark.parametrize(
+        "spec,k",
+        [
+            ("triangle", 3),
+            ("path:4", 4),
+            ("cycle:6", 6),
+            ("star:3", 4),
+            ("clique:4", 4),
+            ("diamond", 4),
+        ],
+    )
+    def test_families(self, spec, k):
+        assert parse_pattern(spec).k == k
+
+    def test_bad_specs(self):
+        with pytest.raises(SystemExit):
+            parse_pattern("hypercube:3")
+        with pytest.raises(SystemExit):
+            parse_pattern("cycle:x")
+
+
+class TestCommands:
+    def test_decide(self, capsys):
+        assert main(
+            ["decide", "--target", "trigrid:5x5", "--pattern", "triangle"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "found: True" in out
+        assert "witness" in out
+
+    def test_decide_negative(self, capsys):
+        assert main(
+            ["decide", "--target", "grid:5x5", "--pattern", "triangle",
+             "--rounds", "2"]
+        ) == 0
+        assert "found: False" in capsys.readouterr().out
+
+    def test_count_exact(self, capsys):
+        assert main(
+            ["count", "--target", "grid:4x4", "--pattern", "cycle:4",
+             "--exact"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "isomorphisms (exact, deterministic): 72" in out  # 9 * 8
+
+    def test_list(self, capsys):
+        assert main(
+            ["list", "--target", "grid:4x4", "--pattern", "cycle:4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "occurrences: 9" in out
+
+    def test_vc(self, capsys):
+        assert main(
+            ["vc", "--target", "wheel:6", "--rounds", "2"]
+        ) == 0
+        assert "vertex connectivity: 3" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

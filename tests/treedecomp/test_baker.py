@@ -1,0 +1,113 @@
+"""Baker/Eppstein decomposition: validity and the 3D + 2 width bound."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    outerplanar_graph,
+    parallel_bfs,
+    path_graph,
+    star_graph,
+    triangulated_grid,
+    wheel_graph,
+)
+from repro.planar import embed_geometric, embed_planar
+from repro.treedecomp import baker_decomposition
+
+
+def bfs_depth(graph, root):
+    res, _ = parallel_bfs(graph, [root])
+    return res.depth
+
+
+CASES = [
+    ("path", path_graph(12), 0),
+    ("cycle", cycle_graph(14), 0),
+    ("star", star_graph(9), 0),
+    ("wheel", wheel_graph(10), 0),
+    ("grid", grid_graph(5, 6), 0),
+    ("tri-grid", triangulated_grid(5, 5), 0),
+    ("delaunay", delaunay_graph(80, seed=3), 0),
+    ("outerplanar", outerplanar_graph(16, seed=4), 0),
+]
+
+
+@pytest.mark.parametrize("name,gg,root", CASES, ids=[c[0] for c in CASES])
+class TestBakerOnFamilies:
+    def test_valid_decomposition(self, name, gg, root):
+        emb, _ = embed_geometric(gg)
+        td, _ = baker_decomposition(emb, root)
+        td.validate(gg.graph)
+
+    def test_width_bound(self, name, gg, root):
+        emb, _ = embed_geometric(gg)
+        td, _ = baker_decomposition(emb, root)
+        depth = bfs_depth(gg.graph, root)
+        assert td.width() <= 3 * depth + 2
+
+
+class TestBakerSpecifics:
+    def test_single_vertex(self):
+        from repro.planar import PlanarEmbedding
+
+        emb = PlanarEmbedding(1)
+        td, _ = baker_decomposition(emb, 0)
+        assert td.num_nodes == 1
+        assert td.bags[0].tolist() == [0]
+
+    def test_single_edge(self):
+        from repro.graphs import path_graph
+
+        emb, _ = embed_geometric(path_graph(2))
+        td, _ = baker_decomposition(emb, 0)
+        td.validate(path_graph(2).graph)
+        assert td.width() <= 3 * 1 + 2
+
+    def test_disconnected_rejected(self):
+        from repro.graphs import Graph, GeometricGraph
+
+        gg = GeometricGraph(
+            Graph(4, [(0, 1), (2, 3)]),
+            np.array([[0.0, 0], [1, 0], [0, 1], [1, 1]]),
+        )
+        emb, _ = embed_geometric(gg)
+        with pytest.raises(ValueError, match="connected"):
+            baker_decomposition(emb, 0)
+
+    def test_abstract_embedding_input(self):
+        # Works on DMP-produced embeddings too (icosahedron).
+        from repro.graphs import icosahedron_graph
+
+        g = icosahedron_graph().graph
+        emb = embed_planar(g)
+        td, _ = baker_decomposition(emb, 0)
+        td.validate(g)
+        assert td.width() <= 3 * bfs_depth(g, 0) + 2
+
+    def test_low_diameter_beats_generic_treewidth(self):
+        # A 20x4 grid has diameter 22 but BFS depth from a corner is 22;
+        # rooting at the center of the short side gives small depth and the
+        # width tracks the *depth*, not n.
+        gg = grid_graph(3, 30)
+        emb, _ = embed_geometric(gg)
+        root = 45  # middle of the long strip
+        td, _ = baker_decomposition(emb, root)
+        td.validate(gg.graph)
+        assert td.width() <= 3 * bfs_depth(gg.graph, root) + 2
+
+    def test_number_of_nodes_linear_in_faces(self):
+        gg = delaunay_graph(100, seed=5)
+        emb, _ = embed_geometric(gg)
+        td, _ = baker_decomposition(emb, 0)
+        # One node per stellated face: <= 2 * (2m) triangles.
+        assert td.num_nodes <= 4 * gg.graph.m
+
+    def test_cost_reasonable(self):
+        gg = delaunay_graph(150, seed=6)
+        emb, _ = embed_geometric(gg)
+        _, cost = baker_decomposition(emb, 0)
+        depth = bfs_depth(gg.graph, 0)
+        assert cost.depth <= 6 * (depth + 8)

@@ -1,0 +1,135 @@
+"""TreeDecomposition core: validation, binarization, width."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, cycle_graph, grid_graph, path_graph
+from repro.treedecomp import TreeDecomposition
+
+
+def path_decomposition_of_path(n):
+    """The canonical width-1 decomposition of P_n: bags {i, i+1}."""
+    bags = [np.array([i, i + 1]) for i in range(n - 1)]
+    parent = np.array([-1] + list(range(n - 2)))
+    return TreeDecomposition(bags=bags, parent=parent, root=0)
+
+
+class TestBasics:
+    def test_width(self):
+        td = path_decomposition_of_path(5)
+        assert td.width() == 1
+        assert td.num_nodes == 4
+
+    def test_figure1_example(self):
+        # The decomposition from Figure 1 of the paper.
+        # Graph: a-b, b-c, a-c, c-d, d-e, c-e, c-f, e-f, a-f, f-g, a-g.
+        a, b, c, d, e, f, g = range(7)
+        graph = Graph(
+            7,
+            [
+                (a, b), (b, c), (a, c),
+                (c, d), (d, e), (c, e),
+                (c, f), (e, f), (a, f),
+                (f, g), (a, g),
+            ],
+        )
+        td = TreeDecomposition(
+            bags=[
+                np.array([c, e, f]),
+                np.array([c, d, e]),
+                np.array([a, c, f]),
+                np.array([a, b, c]),
+                np.array([a, f, g]),
+            ],
+            parent=np.array([-1, 0, 0, 2, 2]),
+            root=0,
+        )
+        td.validate(graph)
+        assert td.width() == 2
+
+    def test_validate_rejects_missing_vertex(self):
+        g = path_graph(3).graph
+        td = TreeDecomposition(
+            bags=[np.array([0, 1])], parent=np.array([-1]), root=0
+        )
+        with pytest.raises(ValueError, match="vertex 2"):
+            td.validate(g)
+
+    def test_validate_rejects_missing_edge(self):
+        g = cycle_graph(3).graph
+        td = TreeDecomposition(
+            bags=[np.array([0, 1]), np.array([1, 2])],
+            parent=np.array([-1, 0]),
+            root=0,
+        )
+        with pytest.raises(ValueError, match="edge"):
+            td.validate(g)
+
+    def test_validate_rejects_discontiguous_vertex(self):
+        g = path_graph(4).graph
+        td = TreeDecomposition(
+            bags=[np.array([0, 1]), np.array([1, 2]), np.array([2, 3, 0])],
+            parent=np.array([-1, 0, 1]),
+            root=0,
+        )
+        with pytest.raises(ValueError, match="contiguous"):
+            td.validate(g)
+
+    def test_structural_validation(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition(bags=[], parent=np.array([]), root=0)
+        with pytest.raises(ValueError):
+            TreeDecomposition(
+                bags=[np.array([0])], parent=np.array([0]), root=0
+            )
+        with pytest.raises(ValueError):  # two roots
+            TreeDecomposition(
+                bags=[np.array([0]), np.array([0])],
+                parent=np.array([-1, -1]),
+                root=0,
+            )
+
+    def test_height_and_order(self):
+        td = path_decomposition_of_path(6)
+        assert td.height() == 4
+        order = td.topological_order()
+        assert order[0] == 0 and len(order) == 5
+
+
+class TestBinarize:
+    def test_binarize_high_degree(self):
+        # A star-shaped decomposition: root with 4 children.
+        bags = [np.array([0])] + [np.array([0, i]) for i in range(1, 5)]
+        td = TreeDecomposition(
+            bags=bags, parent=np.array([-1, 0, 0, 0, 0]), root=0
+        )
+        g = Graph(5, [(0, i) for i in range(1, 5)])
+        binary = td.binarize()
+        assert binary.is_binary()
+        binary.validate(g)
+        assert binary.width() == td.width()
+
+    def test_binarize_unary_chain(self):
+        td = path_decomposition_of_path(5)
+        g = path_graph(5).graph
+        binary = td.binarize()
+        assert binary.is_binary()
+        binary.validate(g)
+        assert binary.width() == 1
+
+    def test_binarize_preserves_single_node(self):
+        td = TreeDecomposition(
+            bags=[np.array([0, 1])], parent=np.array([-1]), root=0
+        )
+        binary = td.binarize()
+        assert binary.is_binary() and binary.num_nodes == 1
+
+    def test_binarize_grid_minfill(self):
+        from repro.treedecomp import minfill_decomposition
+
+        g = grid_graph(4, 4).graph
+        td, _ = minfill_decomposition(g)
+        binary = td.binarize()
+        assert binary.is_binary()
+        binary.validate(g)
+        assert binary.width() == td.width()

@@ -1,0 +1,109 @@
+"""Min-fill heuristic decomposition tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    outerplanar_graph,
+    path_graph,
+    random_tree,
+    torus_grid,
+)
+from repro.treedecomp import minfill_decomposition
+
+
+class TestKnownWidths:
+    def test_tree_width_one(self):
+        g = random_tree(25, seed=1)
+        td, _ = minfill_decomposition(g)
+        td.validate(g)
+        assert td.width() == 1
+
+    def test_cycle_width_two(self):
+        g = cycle_graph(12).graph
+        td, _ = minfill_decomposition(g)
+        td.validate(g)
+        assert td.width() == 2
+
+    def test_outerplanar_width_two(self):
+        g = outerplanar_graph(14, seed=2).graph
+        td, _ = minfill_decomposition(g)
+        td.validate(g)
+        assert td.width() == 2
+
+    def test_clique_width(self):
+        g = complete_graph(5)
+        td, _ = minfill_decomposition(g)
+        td.validate(g)
+        assert td.width() == 4
+
+    def test_grid_width_close_to_optimal(self):
+        g = grid_graph(4, 8).graph
+        td, _ = minfill_decomposition(g)
+        td.validate(g)
+        assert 4 <= td.width() + 1 <= 7  # treewidth of 4xN grid is 4
+
+    def test_torus_grid(self):
+        g = torus_grid(4, 4)
+        td, _ = minfill_decomposition(g)
+        td.validate(g)
+        assert td.width() >= 4  # genus-1 grid needs more than planar
+
+    def test_path(self):
+        g = path_graph(10).graph
+        td, _ = minfill_decomposition(g)
+        td.validate(g)
+        assert td.width() == 1
+
+
+class TestRobustness:
+    def test_single_vertex(self):
+        td, _ = minfill_decomposition(Graph.empty(1))
+        td.validate(Graph.empty(1))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            minfill_decomposition(Graph.empty(0))
+
+    def test_disconnected(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        td, _ = minfill_decomposition(g)
+        td.validate(g)
+        assert td.width() == 1
+
+    def test_isolated_vertices(self):
+        g = Graph(4, [(0, 1)])
+        td, _ = minfill_decomposition(g)
+        td.validate(g)
+
+    def test_min_degree_strategy(self):
+        g = grid_graph(4, 4).graph
+        td, _ = minfill_decomposition(g, strategy="min_degree")
+        td.validate(g)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            minfill_decomposition(path_graph(3).graph, strategy="magic")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=25),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_always_valid_on_random_graphs(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        edges = []
+        for _ in range(m):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.append((int(u), int(v)))
+        g = Graph(n, edges)
+        td, _ = minfill_decomposition(g)
+        td.validate(g)

@@ -1,0 +1,115 @@
+"""Nice decomposition conversion tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+)
+from repro.planar import embed_geometric
+from repro.treedecomp import (
+    TreeDecomposition,
+    baker_decomposition,
+    make_nice,
+    minfill_decomposition,
+)
+
+
+def nice_of(graph, td):
+    nd, _ = make_nice(td)
+    nd.validate_structure()
+    nd.as_tree_decomposition().validate(graph)
+    return nd
+
+
+class TestMakeNice:
+    def test_single_bag(self):
+        g = cycle_graph(3).graph
+        td, _ = minfill_decomposition(g)
+        nd = nice_of(g, td)
+        assert nd.width() == td.width()
+        # Root bag empty.
+        assert nd.bags[nd.root].size == 0
+
+    def test_path_decomposition(self):
+        g = path_graph(6).graph
+        bags = [np.array([i, i + 1]) for i in range(5)]
+        td = TreeDecomposition(
+            bags=bags, parent=np.array([-1, 0, 1, 2, 3]), root=0
+        )
+        nd = nice_of(g, td)
+        assert nd.width() == 1
+        kinds = set(nd.kinds)
+        assert kinds == {"leaf", "introduce", "forget"}
+
+    def test_join_nodes_for_branching(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        bags = [np.array([0]), np.array([0, 1]), np.array([0, 2]),
+                np.array([0, 3])]
+        td = TreeDecomposition(
+            bags=bags, parent=np.array([-1, 0, 0, 0]), root=0
+        )
+        nd = nice_of(g, td)
+        assert nd.kinds.count("join") == 2
+
+    def test_width_preserved(self):
+        g = grid_graph(4, 5).graph
+        td, _ = minfill_decomposition(g)
+        nd = nice_of(g, td)
+        assert nd.width() == td.width()
+
+    def test_baker_to_nice(self):
+        gg = delaunay_graph(60, seed=9)
+        emb, _ = embed_geometric(gg)
+        td, _ = baker_decomposition(emb, 0)
+        nd = nice_of(gg.graph, td)
+        assert nd.width() == td.width()
+
+    def test_leaf_bags_empty(self):
+        g = cycle_graph(5).graph
+        td, _ = minfill_decomposition(g)
+        nd, _ = make_nice(td)
+        for i, kind in enumerate(nd.kinds):
+            if kind == "leaf":
+                assert nd.bags[i].size == 0
+
+    def test_node_count_linear(self):
+        g = grid_graph(5, 5).graph
+        td, _ = minfill_decomposition(g)
+        nd, _ = make_nice(td)
+        assert nd.num_nodes <= 4 * td.num_nodes * (td.width() + 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=40),
+           st.integers(min_value=0, max_value=10**6))
+    def test_random_trees_roundtrip(self, n, seed):
+        g = random_tree(n, seed=seed)
+        td, _ = minfill_decomposition(g)
+        nd = nice_of(g, td)
+        assert nd.width() == 1
+
+    def test_every_graph_vertex_introduced_and_forgotten(self):
+        g = cycle_graph(6).graph
+        td, _ = minfill_decomposition(g)
+        nd, _ = make_nice(td)
+        introduced = {}
+        forgotten = {}
+        for i, kind in enumerate(nd.kinds):
+            if kind == "introduce":
+                introduced.setdefault(int(nd.vertex[i]), 0)
+                introduced[int(nd.vertex[i])] += 1
+            elif kind == "forget":
+                forgotten.setdefault(int(nd.vertex[i]), 0)
+                forgotten[int(nd.vertex[i])] += 1
+        # Every vertex is introduced at least once and forgotten at least
+        # once (ends at the empty root bag).
+        for v in range(g.n):
+            assert introduced.get(v, 0) >= 1
+            assert forgotten.get(v, 0) >= 1

@@ -1,0 +1,148 @@
+"""Lemma 3.2 tests: layered path decomposition of rooted trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.treedecomp import (
+    layered_paths,
+    tree_layers_parallel,
+    tree_layers_sequential,
+)
+
+NIL = -1
+
+
+def random_tree_parent(n, rnd):
+    parent = np.full(n, NIL, dtype=np.int64)
+    for v in range(1, n):
+        parent[v] = rnd.randrange(v)
+    return parent, 0
+
+
+def random_full_binary_parent(n_internal, rnd):
+    n = 2 * n_internal + 1
+    parent = np.full(n, NIL, dtype=np.int64)
+    leaves = [0]
+    nxt = 1
+    for _ in range(n_internal):
+        v = leaves.pop(rnd.randrange(len(leaves)))
+        parent[nxt] = v
+        parent[nxt + 1] = v
+        leaves.extend([nxt, nxt + 1])
+        nxt += 2
+    return parent, 0
+
+
+class TestLayers:
+    def test_single_node(self):
+        layers = tree_layers_sequential(np.array([NIL]), 0)
+        assert layers.tolist() == [0]
+
+    def test_path_tree_single_layer(self):
+        # A path (every node one child): all layer 0, one path.
+        n = 10
+        parent = np.array([NIL] + list(range(n - 1)))
+        layers = tree_layers_sequential(parent, 0)
+        assert np.all(layers == 0)
+
+    def test_perfect_binary_layers(self):
+        # Perfect binary tree of height h: root layer h.
+        h = 5
+        n = 2 ** (h + 1) - 1
+        parent = np.array([NIL] + [(v - 1) // 2 for v in range(1, n)])
+        layers = tree_layers_sequential(parent, 0)
+        assert layers[0] == h
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=150),
+        st.randoms(use_true_random=False),
+    )
+    def test_layer_count_logarithmic(self, n, rnd):
+        parent, root = random_tree_parent(n, rnd)
+        layers = tree_layers_sequential(parent, root)
+        assert layers.max(initial=0) <= np.log2(n) + 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=80),
+        st.randoms(use_true_random=False),
+    )
+    def test_parallel_matches_sequential(self, n_internal, rnd):
+        parent, root = random_full_binary_parent(n_internal, rnd)
+        seq = tree_layers_sequential(parent, root)
+        par, cost = tree_layers_parallel(parent, root)
+        assert np.array_equal(seq, par)
+        n = parent.shape[0]
+        assert cost.work <= 150 * n
+
+    def test_parallel_rejects_non_binary(self):
+        parent = np.array([NIL, 0])
+        with pytest.raises(ValueError):
+            tree_layers_parallel(parent, 0)
+
+
+class TestLayeredPaths:
+    def assert_valid_path_decomposition(self, parent, root, pd):
+        n = parent.shape[0]
+        # Every node in exactly one path of its layer.
+        seen = set()
+        for layer_idx, layer in enumerate(pd.layers):
+            for path in layer:
+                for i, v in enumerate(path):
+                    assert v not in seen
+                    seen.add(v)
+                    assert pd.layer_of[v] == layer_idx
+                    # Consecutive path nodes are tree parent links.
+                    if i + 1 < len(path):
+                        assert parent[v] == path[i + 1]
+        assert seen == set(range(n))
+        # Lemma 3.2: nodes in layer i have no children in a layer larger
+        # than i.
+        for v in range(n):
+            p = int(parent[v])
+            if p != NIL:
+                assert pd.layer_of[p] >= pd.layer_of[v]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=150),
+        st.randoms(use_true_random=False),
+    )
+    def test_random_trees(self, n, rnd):
+        parent, root = random_tree_parent(n, rnd)
+        pd, _ = layered_paths(parent, root)
+        self.assert_valid_path_decomposition(parent, root, pd)
+        assert pd.num_layers <= np.log2(n) + 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.randoms(use_true_random=False),
+    )
+    def test_binary_trees_parallel_layers(self, n_internal, rnd):
+        parent, root = random_full_binary_parent(n_internal, rnd)
+        pd, cost = layered_paths(parent, root, use_parallel_layers=True)
+        self.assert_valid_path_decomposition(parent, root, pd)
+        n = parent.shape[0]
+        lg = int(np.ceil(np.log2(n + 1)))
+        assert cost.depth <= 60 * (lg + 2)
+
+    def test_chain(self):
+        n = 12
+        parent = np.array([NIL] + list(range(n - 1)))
+        pd, _ = layered_paths(parent, 0)
+        assert pd.num_layers == 1
+        assert len(pd.layers[0]) == 1
+        path = pd.layers[0][0]
+        # Bottom-to-top: deepest node first, root last.
+        assert path[-1] == 0
+        assert path[0] == n - 1
+
+    def test_root_is_in_top_layer(self):
+        rnd = __import__("random").Random(7)
+        parent, root = random_tree_parent(60, rnd)
+        pd, _ = layered_paths(parent, root)
+        assert pd.layer_of[root] == pd.num_layers - 1
