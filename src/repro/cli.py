@@ -10,6 +10,13 @@ Examples
     python -m repro vc      --target antiprism:4
     python -m repro vc      --target delaunay:200:7 --rounds 2
 
+Every command accepts ``--trace`` to print the hierarchical per-phase
+work/depth table (the span tree recorded by ``repro.pram.trace``) and
+``--trace-json PATH`` to dump the same tree as JSON::
+
+    python -m repro decide --target trigrid:12x12 --pattern triangle --trace
+    python -m repro vc --target wheel:6 --rounds 2 --trace-json vc-trace.json
+
 Target specs: ``grid:RxC``, ``trigrid:RxC``, ``delaunay:N[:SEED]``,
 ``cycle:N``, ``path:N``, ``wheel:RIM``, ``antiprism:K``, ``icosahedron``,
 ``tree:N[:SEED]``, ``outerplanar:N[:SEED]``.
@@ -104,6 +111,29 @@ def _cost_summary(cost) -> str:
     )
 
 
+def _emit_trace(args, trace) -> None:
+    """Print and/or dump the result's span tree per --trace/--trace-json."""
+    if trace is None:
+        if args.trace or args.trace_json:
+            print("(no trace recorded for this command)")
+        return
+    if args.trace:
+        from .pram import format_trace
+
+        print(format_trace(trace))
+    if args.trace_json:
+        import json
+
+        try:
+            with open(args.trace_json, "w", encoding="utf-8") as fh:
+                json.dump(trace.to_dict(), fh, indent=2)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write trace to {args.trace_json!r}: {exc}"
+            ) from exc
+        print(f"trace written to {args.trace_json}")
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -123,6 +153,14 @@ def main(argv: Optional[list] = None) -> int:
         p.add_argument(
             "--engine", choices=["parallel", "sequential"],
             default=None,
+        )
+        p.add_argument(
+            "--trace", action="store_true",
+            help="print the hierarchical per-phase work/depth table",
+        )
+        p.add_argument(
+            "--trace-json", metavar="PATH", default=None,
+            help="write the span tree as JSON to PATH",
         )
 
     common(sub.add_parser("decide", help="decide occurrence (Thm 2.1)"))
@@ -153,6 +191,7 @@ def main(argv: Optional[list] = None) -> int:
         if result.witness:
             print(f"witness: {result.witness}")
         print(_cost_summary(result.cost))
+        _emit_trace(args, result.trace)
     elif args.command == "count":
         pattern = parse_pattern(args.pattern)
         if args.exact:
@@ -162,6 +201,7 @@ def main(argv: Optional[list] = None) -> int:
             print(f"isomorphisms (exact, deterministic): "
                   f"{result.isomorphisms}")
             print(_cost_summary(result.cost))
+            _emit_trace(args, result.trace)
         else:
             from .isomorphism import list_occurrences
 
@@ -172,6 +212,7 @@ def main(argv: Optional[list] = None) -> int:
             print(f"isomorphisms (w.h.p.): {len(listing.witnesses)}")
             print(f"distinct occurrences:  {len(listing.occurrences)}")
             print(_cost_summary(listing.cost))
+            _emit_trace(args, listing.trace)
     elif args.command == "list":
         from .isomorphism import list_occurrences
 
@@ -187,6 +228,7 @@ def main(argv: Optional[list] = None) -> int:
         if len(listing.occurrences) > 20:
             print(f"  ... and {len(listing.occurrences) - 20} more")
         print(_cost_summary(listing.cost))
+        _emit_trace(args, listing.trace)
     elif args.command == "vc":
         from .connectivity import planar_vertex_connectivity
 
@@ -196,6 +238,7 @@ def main(argv: Optional[list] = None) -> int:
         )
         print(f"vertex connectivity: {result.connectivity}")
         print(_cost_summary(result.cost))
+        _emit_trace(args, result.trace)
 
     print(f"(host time: {time.perf_counter() - t0:.2f}s)")
     return 0

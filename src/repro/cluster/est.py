@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..graphs.csr import Graph
-from ..pram import Cost
+from ..pram import Cost, Tracer
 
 __all__ = ["Clustering", "est_clustering"]
 
@@ -66,7 +66,11 @@ class Clustering:
 
 
 def est_clustering(
-    graph: Graph, beta: float, seed: int
+    graph: Graph,
+    beta: float,
+    seed: int,
+    tracer: Optional[Tracer] = None,
+    label: str = "clustering",
 ) -> Tuple[Clustering, Cost]:
     """Run EST beta-clustering (Lemma 2.3).
 
@@ -85,6 +89,8 @@ def est_clustering(
         raise ValueError("beta must be positive")
     n = graph.n
     if n == 0:
+        if tracer is not None:
+            tracer.charge(Cost.zero(), label=label, clusters=0)
         return (
             Clustering(
                 labels=np.empty(0, dtype=np.int64),
@@ -130,4 +136,8 @@ def est_clustering(
         max(4 * (n + graph.m), 1),
         max(1, min(radius + 2, 4 * (n + graph.m))),
     )
+    if tracer is not None:
+        tracer.charge(
+            cost, label=label, clusters=clustering.count, radius=radius
+        )
     return clustering, cost

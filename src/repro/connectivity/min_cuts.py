@@ -35,7 +35,7 @@ from ..isomorphism.sequential_dp import sequential_dp
 from ..isomorphism.parallel_dp import parallel_dp
 from ..planar.embedding import PlanarEmbedding
 from ..planar.face_vertex import build_face_vertex_graph
-from ..pram import Cost, Tracker
+from ..pram import Cost, Span, Tracer
 from ..separating.cover import separating_cover
 from ..separating.state_space import SeparatingStateSpace
 from ..treedecomp.nice import make_nice
@@ -56,6 +56,7 @@ class MinimumCutsResult:
     cuts: Set[FrozenSet[int]]
     iterations: int
     cost: Cost
+    trace: Optional[Span] = None
 
 
 def _really_cuts(graph: Graph, cut: FrozenSet[int]) -> bool:
@@ -87,33 +88,39 @@ def minimum_vertex_cuts(
     kappa = 5 no separating 8-cycle exists — both cases return the trivial
     answer.
     """
-    tracker = Tracker()
+    tracker = Tracer("min-cuts")
+    tracker.count(n=graph.n)
     if known_connectivity is None:
         vc = planar_vertex_connectivity(
             graph, embedding, seed=seed, engine=engine
         )
-        tracker.charge(vc.cost)
+        tracker.attach(vc.trace)
         kappa = vc.connectivity
     else:
         kappa = known_connectivity
     if kappa == 0:
-        return MinimumCutsResult(0, set(), 0, tracker.cost)
+        return MinimumCutsResult(
+            0, set(), 0, tracker.cost, trace=tracker.root
+        )
     if kappa == 1:
         from ..graphs.biconnectivity import articulation_points
 
         cuts_arr, acost = articulation_points(graph)
-        tracker.charge(acost)
+        tracker.charge(acost, label="articulation")
         return MinimumCutsResult(
             1,
             {frozenset([int(v)]) for v in cuts_arr},
             0,
             tracker.cost,
+            trace=tracker.root,
         )
     if kappa >= 5:
-        return MinimumCutsResult(kappa, set(), 0, tracker.cost)
+        return MinimumCutsResult(
+            kappa, set(), 0, tracker.cost, trace=tracker.root
+        )
 
     fv, fcost = build_face_vertex_graph(embedding)
-    tracker.charge(fcost)
+    tracker.charge(fcost, label="face-vertex")
     marked = np.zeros(fv.graph.n, dtype=bool)
     marked[: fv.num_original] = True
     host_classes = (np.arange(fv.graph.n) >= fv.num_original).astype(
@@ -128,55 +135,63 @@ def minimum_vertex_cuts(
     log_n = math.log2(max(graph.n, 2))
     while True:
         iterations += 1
-        cover = separating_cover(
-            fv.graph, fv.embedding, marked, pattern.k,
-            pattern.diameter(), seed=seed + 31 * iterations,
-        )
-        tracker.charge(cover.cost)
-        new_here = 0
-        for piece in cover.pieces:
-            if int(piece.allowed.sum()) < pattern.k:
-                continue
-            local_classes = np.where(
-                piece.originals >= 0,
-                host_classes[np.maximum(piece.originals, 0)],
-                -1,
+        with tracker.span("iteration"):
+            cover = separating_cover(
+                fv.graph, fv.embedding, marked, pattern.k,
+                pattern.diameter(), seed=seed + 31 * iterations,
+                tracer=tracker,
             )
-            space = SeparatingStateSpace(
-                pattern, piece.graph, piece.marked, piece.allowed,
-                host_classes=local_classes,
-                pattern_classes=pattern_classes,
-            )
-            nice, ncost = make_nice(piece.decomposition.binarize())
-            tracker.charge(ncost)
-            result = (
-                parallel_dp(space, nice)
-                if engine == "parallel"
-                else sequential_dp(space, nice)
-            )
-            tracker.charge(result.cost)
-            if not result.found:
-                continue
-            for w in iter_witnesses(space, nice, result.valid):
-                cut = frozenset(
-                    int(piece.originals[v])
-                    for v in w.values()
-                    if 0 <= int(piece.originals[v]) < fv.num_original
+            new_here = 0
+            stop_now = False
+            for piece in cover.pieces:
+                if int(piece.allowed.sum()) < pattern.k:
+                    continue
+                local_classes = np.where(
+                    piece.originals >= 0,
+                    host_classes[np.maximum(piece.originals, 0)],
+                    -1,
                 )
-                if (
-                    len(cut) == kappa
-                    and cut not in cuts
-                    and _really_cuts(graph, cut)
-                ):
-                    cuts.add(cut)
-                    new_here += 1
-                    if stop_after_first:
-                        return MinimumCutsResult(
-                            connectivity=kappa,
-                            cuts=cuts,
-                            iterations=iterations,
-                            cost=tracker.cost,
-                        )
+                space = SeparatingStateSpace(
+                    pattern, piece.graph, piece.marked, piece.allowed,
+                    host_classes=local_classes,
+                    pattern_classes=pattern_classes,
+                )
+                nice, _ = make_nice(
+                    piece.decomposition.binarize(), tracer=tracker
+                )
+                result = (
+                    parallel_dp(space, nice, tracer=tracker)
+                    if engine == "parallel"
+                    else sequential_dp(space, nice, tracer=tracker)
+                )
+                if not result.found:
+                    continue
+                for w in iter_witnesses(space, nice, result.valid):
+                    cut = frozenset(
+                        int(piece.originals[v])
+                        for v in w.values()
+                        if 0 <= int(piece.originals[v]) < fv.num_original
+                    )
+                    if (
+                        len(cut) == kappa
+                        and cut not in cuts
+                        and _really_cuts(graph, cut)
+                    ):
+                        cuts.add(cut)
+                        new_here += 1
+                        if stop_after_first:
+                            stop_now = True
+                            break
+                if stop_now:
+                    break
+        if stop_now:
+            return MinimumCutsResult(
+                connectivity=kappa,
+                cuts=cuts,
+                iterations=iterations,
+                cost=tracker.cost,
+                trace=tracker.root,
+            )
         if new_here:
             dry = 0
         else:
@@ -193,4 +208,5 @@ def minimum_vertex_cuts(
         cuts=cuts,
         iterations=iterations,
         cost=tracker.cost,
+        trace=tracker.root,
     )

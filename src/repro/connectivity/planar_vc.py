@@ -35,7 +35,7 @@ from ..graphs.csr import Graph
 from ..isomorphism.pattern import cycle_pattern
 from ..planar.embedding import PlanarEmbedding
 from ..planar.face_vertex import build_face_vertex_graph
-from ..pram import Cost, Tracker
+from ..pram import Cost, Span, Tracer
 from ..separating.driver import decide_separating_isomorphism
 from .flow_vc import vertex_connectivity_flow
 
@@ -58,6 +58,7 @@ class VertexConnectivityResult:
     connectivity: int
     certificate_cut: Optional[frozenset]
     cost: Cost
+    trace: Optional[Span] = None
 
 
 def planar_vertex_connectivity(
@@ -80,35 +81,41 @@ def planar_vertex_connectivity(
     the E10 benchmark measures its depth).
     """
     n = graph.n
-    tracker = Tracker()
+    tracker = Tracer("planar-vc")
+    tracker.count(n=n)
     if n <= 5:
         # Lemma 5.1 needs a separator to exist; tiny/complete graphs are
         # answered exactly by the flow baseline.
         kappa = vertex_connectivity_flow(graph)
-        tracker.charge(Cost.step(max(n * n, 1)))
+        tracker.charge(Cost.step(max(n * n, 1)), label="flow-baseline")
         return VertexConnectivityResult(
-            connectivity=kappa, certificate_cut=None, cost=tracker.cost
+            connectivity=kappa, certificate_cut=None, cost=tracker.cost,
+            trace=tracker.root,
         )
 
     _, count, ccost = connected_components(graph)
-    tracker.charge(ccost)
+    tracker.charge(ccost, label="components", components=count)
     if count > 1:
-        return VertexConnectivityResult(0, None, tracker.cost)
+        return VertexConnectivityResult(
+            0, None, tracker.cost, trace=tracker.root
+        )
     two, bcost = is_biconnected(graph)
-    tracker.charge(bcost)
+    tracker.charge(bcost, label="biconnectivity")
     if not two:
         cut = None
         if want_certificate:
             from ..graphs.biconnectivity import articulation_points
 
             points, acost = articulation_points(graph)
-            tracker.charge(acost)
+            tracker.charge(acost, label="articulation")
             if points.size:
                 cut = frozenset([int(points[0])])
-        return VertexConnectivityResult(1, cut, tracker.cost)
+        return VertexConnectivityResult(
+            1, cut, tracker.cost, trace=tracker.root
+        )
 
     fv, fcost = build_face_vertex_graph(embedding)
-    tracker.charge(fcost)
+    tracker.charge(fcost, label="face-vertex")
     marked = np.zeros(fv.graph.n, dtype=bool)
     marked[: fv.num_original] = True
     # Cycles of the bipartite G' alternate original/face vertices, so the
@@ -119,19 +126,20 @@ def planar_vertex_connectivity(
     )
 
     for c in (2, 3, 4):
-        result = decide_separating_isomorphism(
-            fv.graph,
-            fv.embedding,
-            marked,
-            cycle_pattern(2 * c),
-            seed=seed + 101 * c,
-            engine=engine,
-            rounds=rounds,
-            want_witness=want_certificate,
-            host_classes=host_classes,
-            pattern_classes=[p % 2 for p in range(2 * c)],
-        )
-        tracker.charge(result.cost)
+        with tracker.span("cycle-search", cycle=2 * c):
+            result = decide_separating_isomorphism(
+                fv.graph,
+                fv.embedding,
+                marked,
+                cycle_pattern(2 * c),
+                seed=seed + 101 * c,
+                engine=engine,
+                rounds=rounds,
+                want_witness=want_certificate,
+                host_classes=host_classes,
+                pattern_classes=[p % 2 for p in range(2 * c)],
+            )
+            tracker.attach(result.trace)
         if result.found:
             certificate = None
             if want_certificate:
@@ -143,13 +151,14 @@ def planar_vertex_connectivity(
                 connectivity=c,
                 certificate_cut=certificate,
                 cost=tracker.cost,
+                trace=tracker.root,
             )
     # Planar graphs are never 6-connected (Euler: minimum degree <= 5).
-    return VertexConnectivityResult(5, None, tracker.cost)
+    return VertexConnectivityResult(5, None, tracker.cost, trace=tracker.root)
 
 
 def _certified_cut(
-    graph, embedding, kappa, witness, seed, engine, tracker
+    graph, embedding, kappa, witness, seed, engine, tracker: Tracer
 ) -> Optional[frozenset]:
     """Turn the found separating cycle into a *verified* minimum cut,
     enumerating further cycles if the first candidate does not cut G."""
@@ -166,5 +175,5 @@ def _certified_cut(
         stop_after_first=True, known_connectivity=kappa,
         max_iterations=8,
     )
-    tracker.charge(fallback.cost)
+    tracker.attach(fallback.trace)
     return next(iter(fallback.cuts), None)

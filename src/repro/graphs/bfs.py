@@ -11,11 +11,11 @@ exactly about the situation when the diameter D is not bounded").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..pram import Cost
+from ..pram import Cost, Tracer
 from .csr import Graph
 
 __all__ = ["BFSResult", "parallel_bfs"]
@@ -45,11 +45,15 @@ class BFSResult:
 
 
 def parallel_bfs(
-    graph: Graph, sources: Sequence[int] | np.ndarray
+    graph: Graph,
+    sources: Sequence[int] | np.ndarray,
+    tracer: Optional[Tracer] = None,
+    label: str = "bfs",
 ) -> Tuple[BFSResult, Cost]:
     """Multi-source level-synchronous BFS with work--depth accounting.
 
-    Work: O(n + explored edges).  Depth: one round per BFS level.
+    Work: O(n + explored edges).  Depth: one round per BFS level.  When a
+    ``tracer`` is given the cost is also charged to it as a labeled leaf.
     """
     srcs = np.unique(np.asarray(list(np.atleast_1d(sources)), dtype=np.int64))
     if srcs.size == 0:
@@ -88,4 +92,6 @@ def parallel_bfs(
             frontier = np.empty(0, dtype=np.int64)
         # One parallel round per level: work ~ edges touched this level.
         cost = cost + Cost.step(max(total + int(frontier.size), 1))
+    if tracer is not None:
+        tracer.charge(cost, label=label, levels=depth_level, n=graph.n)
     return BFSResult(level=level, parent=parent), cost

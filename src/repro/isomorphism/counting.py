@@ -34,7 +34,7 @@ from ..graphs.bfs import parallel_bfs
 from ..graphs.components import component_members, connected_components
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Tracker
+from ..pram import Cost, Span, Tracer
 from ..treedecomp.nice import make_nice
 from .pattern import Pattern
 from .cover import _build_window_piece
@@ -55,6 +55,7 @@ class DeterministicCountResult:
     isomorphisms: int
     windows_examined: int
     cost: Cost
+    trace: Optional[Span] = None
 
 
 def count_occurrences_exact(
@@ -66,18 +67,18 @@ def count_occurrences_exact(
     if not pattern.is_connected():
         raise ValueError("exact counting needs a connected pattern")
     k, d = pattern.k, pattern.diameter()
-    tracker = Tracker()
+    tracker = Tracer("count-exact")
+    tracker.count(n=graph.n, k=k, d=d)
     total = 0
     windows = 0
     labels, comp_count, ccost = connected_components(graph)
-    tracker.charge(ccost)
+    tracker.charge(ccost, label="components", components=comp_count)
     for members in component_members(labels, comp_count):
         if members.size < k:
             continue
         sub_emb, originals = embedding.induced_subembedding(members)
         sub = sub_emb.to_graph()
-        bfs, bcost = parallel_bfs(sub, [0])
-        tracker.charge(bcost)
+        bfs, _ = parallel_bfs(sub, [0], tracer=tracker)
         level = bfs.level
         max_level = bfs.depth
         for i in range(max(0, max_level - d) + 1):
@@ -103,8 +104,12 @@ def count_occurrences_exact(
             )
             total += m_i - k_i
             windows += 1
+    tracker.count(windows=windows)
     return DeterministicCountResult(
-        isomorphisms=total, windows_examined=windows, cost=tracker.cost
+        isomorphisms=total,
+        windows_examined=windows,
+        cost=tracker.cost,
+        trace=tracker.root,
     )
 
 
@@ -115,7 +120,7 @@ def _window_count(
     lo: int,
     hi: int,
     pattern: Pattern,
-    tracker: Tracker,
+    tracker: Tracer,
 ) -> int:
     """Exact isomorphism count inside the induced subgraph of levels
     [lo, hi] (0 when the window is empty or too small)."""
@@ -127,11 +132,9 @@ def _window_count(
         return 0
     from ..treedecomp.minfill import minfill_decomposition
 
-    td, dcost = minfill_decomposition(sub)
-    tracker.charge(dcost)
-    nice, ncost = make_nice(td.binarize())
-    tracker.charge(ncost)
-    space = SubgraphStateSpace(pattern, sub)
-    result = sequential_dp(space, nice)
-    tracker.charge(result.cost)
+    with tracker.span("window-count"):
+        td, _ = minfill_decomposition(sub, tracer=tracker)
+        nice, _ = make_nice(td.binarize(), tracer=tracker)
+        space = SubgraphStateSpace(pattern, sub)
+        result = sequential_dp(space, nice, tracer=tracker)
     return result.accepting_count

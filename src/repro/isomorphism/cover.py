@@ -33,7 +33,7 @@ from ..graphs.components import component_members
 from ..graphs.csr import Graph
 from ..planar.contract import contract_vertex_sets, relabel_embedding
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Tracker
+from ..pram import Cost, Span, Tracer
 from ..treedecomp.baker import baker_decomposition
 from ..treedecomp.decomposition import TreeDecomposition
 
@@ -59,11 +59,16 @@ class CoverPiece:
 
 @dataclass
 class TreewidthCover:
-    """The full cover: pieces plus the clustering diagnostics."""
+    """The full cover: pieces plus the clustering diagnostics.
+
+    ``trace`` is the cover's phase subtree (root named ``"cover"``); its
+    total equals ``cost``.
+    """
 
     pieces: List[CoverPiece]
     num_clusters: int
     cost: Cost
+    trace: Optional[Span] = None
 
     def max_width(self) -> int:
         return max(
@@ -83,34 +88,44 @@ def treewidth_cover(
     k: int,
     d: int,
     seed: int,
+    tracer: Optional[Tracer] = None,
 ) -> TreewidthCover:
     """Build a Parallel Treewidth k-d Cover of ``graph`` (see module doc).
 
     ``embedding`` must be a genus-0 embedding of ``graph`` (vertex ids
     aligned).  ``d`` is the pattern diameter; ``k`` its vertex count.
+    When a ``tracer`` is given, the construction records its phases
+    (``clustering``, one branch per cluster with its ``bfs`` and per-window
+    ``baker``/``contract`` charges) under a ``cover`` span of that trace.
     """
     if k < 1 or d < 0:
         raise ValueError("need k >= 1 and d >= 0")
     if embedding.n != graph.n:
         raise ValueError("embedding does not match the graph")
-    tracker = Tracker()
-    clustering, cost = est_clustering(graph, beta=2.0 * k, seed=seed)
-    tracker.charge(cost)
+    tracker = tracer if tracer is not None else Tracer("cover-run")
+    with tracker.span("cover", k=k, d=d) as cover_span:
+        clustering, _ = est_clustering(
+            graph, beta=2.0 * k, seed=seed, tracer=tracker
+        )
 
-    pieces: List[CoverPiece] = []
-    members_per_cluster = component_members(
-        clustering.labels, clustering.count
-    )
-    with tracker.parallel() as clusters_region:
-        for cluster_id, members in enumerate(members_per_cluster):
-            with clusters_region.branch() as branch:
-                pieces.extend(
-                    _cover_cluster(
-                        graph, embedding, members, d, cluster_id, branch
+        pieces: List[CoverPiece] = []
+        members_per_cluster = component_members(
+            clustering.labels, clustering.count
+        )
+        with tracker.parallel("clusters") as clusters_region:
+            for cluster_id, members in enumerate(members_per_cluster):
+                with clusters_region.branch("cluster") as branch:
+                    pieces.extend(
+                        _cover_cluster(
+                            graph, embedding, members, d, cluster_id, branch
+                        )
                     )
-                )
+        tracker.count(pieces=len(pieces))
     return TreewidthCover(
-        pieces=pieces, num_clusters=clustering.count, cost=tracker.cost
+        pieces=pieces,
+        num_clusters=clustering.count,
+        cost=cover_span.cost,
+        trace=cover_span,
     )
 
 
@@ -120,12 +135,14 @@ def _cover_cluster(
     members: np.ndarray,
     d: int,
     cluster_id: int,
-    tracker,
+    tracker: Tracer,
 ) -> List[CoverPiece]:
     """Windows + decompositions for one cluster."""
     sub_emb, originals = embedding.induced_subembedding(members)
     cluster_graph = sub_emb.to_graph()
-    tracker.charge(Cost.step(max(int(members.size), 1)))
+    tracker.charge(
+        Cost.step(max(int(members.size), 1)), label="subembed"
+    )
 
     if cluster_graph.n == 1:
         td = TreeDecomposition(
@@ -142,16 +159,15 @@ def _cover_cluster(
         ]
 
     root = 0
-    bfs, bfs_cost = parallel_bfs(cluster_graph, [root])
-    tracker.charge(bfs_cost)
+    bfs, _ = parallel_bfs(cluster_graph, [root], tracer=tracker)
     max_level = bfs.depth
     level = bfs.level
 
     out: List[CoverPiece] = []
     last_start = max(0, max_level - d)
-    with tracker.parallel() as windows:
+    with tracker.parallel("windows") as windows:
         for i in range(last_start + 1):
-            with windows.branch() as wbranch:
+            with windows.branch("window") as wbranch:
                 piece = _build_window_piece(
                     sub_emb, cluster_graph, originals, level,
                     i, d, root, cluster_id, wbranch,
@@ -170,7 +186,7 @@ def _build_window_piece(
     d: int,
     root: int,
     cluster_id: int,
-    tracker,
+    tracker: Tracer,
 ) -> Optional[CoverPiece]:
     window_mask = (level >= i) & (level <= i + d)
     window = np.flatnonzero(window_mask)
@@ -178,10 +194,11 @@ def _build_window_piece(
         return None
     if i == 0:
         piece_emb, local_originals = cluster_emb.induced_subembedding(window)
-        tracker.charge(Cost.step(max(int(window.size), 1)))
+        tracker.charge(
+            Cost.step(max(int(window.size), 1)), label="subembed"
+        )
         piece_root = int(np.flatnonzero(local_originals == root)[0])
-        td, cost = baker_decomposition(piece_emb, piece_root)
-        tracker.charge(cost)
+        td, _ = baker_decomposition(piece_emb, piece_root, tracer=tracker)
         return CoverPiece(
             graph=piece_emb.to_graph(),
             originals=originals[local_originals],
@@ -196,7 +213,7 @@ def _build_window_piece(
     sub_emb2, orig2 = cluster_emb.induced_subembedding(keep)
     inner = np.flatnonzero(level[orig2] < i)
     contracted, rep, cost = contract_vertex_sets(sub_emb2, [inner.tolist()])
-    tracker.charge(cost)
+    tracker.charge(cost, label="contract")
     super_root_old = int(rep[inner[0]])
     live = sorted(
         set(int(v) for v in np.flatnonzero(level[orig2] >= i))
@@ -204,8 +221,7 @@ def _build_window_piece(
     )
     small, kept = relabel_embedding(contracted, live)
     super_root = int(np.flatnonzero(kept == super_root_old)[0])
-    td, bcost = baker_decomposition(small, super_root)
-    tracker.charge(bcost)
+    td, _ = baker_decomposition(small, super_root, tracer=tracker)
     # Drop the super-root from every bag and relabel to the window's ids.
     window_local = [v for j, v in enumerate(kept) if j != super_root]
     remap = np.full(small.n, NIL, dtype=np.int64)

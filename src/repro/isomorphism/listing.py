@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Tracker
+from ..pram import Cost, Span, Tracer
 from ..treedecomp.nice import make_nice
 from .cover import treewidth_cover
 from .pattern import Pattern
@@ -42,6 +42,7 @@ class ListingResult:
     witnesses: Set[Witness]
     iterations: int
     cost: Cost
+    trace: Optional[Span] = None
 
     @property
     def occurrences(self) -> Set[frozenset]:
@@ -61,29 +62,33 @@ def list_occurrences(
     if not pattern.is_connected():
         raise ValueError("listing requires a connected pattern")
     k, d = pattern.k, pattern.diameter()
-    tracker = Tracker()
+    tracker = Tracer("list-occurrences")
+    tracker.count(n=graph.n, k=k, d=d)
     found: Set[Witness] = set()
     dry_streak = 0
     iterations = 0
     log_n = math.log2(max(graph.n, 2))
     while True:
         iterations += 1
-        cover = treewidth_cover(
-            graph, embedding, k, d, seed=seed + iterations
-        )
-        tracker.charge(cover.cost)
-        new_here = 0
-        with tracker.parallel() as region:
-            for piece in cover.pieces:
-                if piece.graph.n < k:
-                    continue
-                with region.branch() as branch:
-                    for w in _piece_witnesses(piece, pattern, engine, branch):
-                        if w not in found:
-                            found.add(w)
-                            new_here += 1
-        # Dedup cost: hashing all newly produced witnesses.
-        tracker.charge(Cost.step(max(k, 1)))
+        with tracker.span("round"):
+            cover = treewidth_cover(
+                graph, embedding, k, d, seed=seed + iterations,
+                tracer=tracker,
+            )
+            new_here = 0
+            with tracker.parallel("pieces") as region:
+                for piece in cover.pieces:
+                    if piece.graph.n < k:
+                        continue
+                    with region.branch("dp-solve") as branch:
+                        for w in _piece_witnesses(
+                            piece, pattern, engine, branch
+                        ):
+                            if w not in found:
+                                found.add(w)
+                                new_here += 1
+            # Dedup cost: hashing all newly produced witnesses.
+            tracker.charge(Cost.step(max(k, 1)), label="dedup")
         if new_here:
             dry_streak = 0
         else:
@@ -93,20 +98,22 @@ def list_occurrences(
             break
         if max_iterations is not None and iterations >= max_iterations:
             break
+    tracker.count(iterations=iterations, witnesses=len(found))
     return ListingResult(
-        witnesses=found, iterations=iterations, cost=tracker.cost
+        witnesses=found,
+        iterations=iterations,
+        cost=tracker.cost,
+        trace=tracker.root,
     )
 
 
-def _piece_witnesses(piece, pattern, engine, tracker):
-    nice, ncost = make_nice(piece.decomposition.binarize())
-    tracker.charge(ncost)
+def _piece_witnesses(piece, pattern, engine, tracker: Tracer):
+    nice, _ = make_nice(piece.decomposition.binarize(), tracer=tracker)
     space = SubgraphStateSpace(pattern, piece.graph)
     if engine == "parallel":
-        result = parallel_dp(space, nice)
+        result = parallel_dp(space, nice, tracer=tracker)
     else:
-        result = sequential_dp(space, nice)
-    tracker.charge(result.cost)
+        result = sequential_dp(space, nice, tracer=tracker)
     if not result.found:
         return
     count = 0
@@ -115,7 +122,10 @@ def _piece_witnesses(piece, pattern, engine, tracker):
         yield tuple(
             sorted((p, int(piece.originals[v])) for p, v in w.items())
         )
-    tracker.charge(Cost.step(max(count * pattern.k, 1)))
+    tracker.charge(
+        Cost.step(max(count * pattern.k, 1)), label="recover",
+        witnesses=count,
+    )
 
 
 def count_occurrences(

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..pram import Cost, Tracker
+from ..pram import Cost, Span, Tracer
 from ..treedecomp.nice import NiceDecomposition
 from ..treedecomp.tree_paths import layered_paths
 from .match_dag import PathDAGResult, solve_path
@@ -47,11 +47,28 @@ class ParallelDPResult:
     max_bfs_rounds: int
     total_states: int
     total_shortcuts: int
+    trace: Optional[Span] = None
 
 
-def parallel_dp(space, nice: NiceDecomposition) -> ParallelDPResult:
-    """Run the parallel path/DAG/shortcut engine; see module docstring."""
-    tracker = Tracker()
+def parallel_dp(
+    space, nice: NiceDecomposition, tracer: Optional[Tracer] = None
+) -> ParallelDPResult:
+    """Run the parallel path/DAG/shortcut engine; see module docstring.
+
+    When a ``tracer`` is given the engine's phases (Lemma 3.2 layering,
+    subtree statistics, one parallel region per layer) nest under a
+    ``parallel-dp`` span of the caller's trace; otherwise a standalone
+    trace is recorded and returned on the result.
+    """
+    tracker = tracer if tracer is not None else Tracer("parallel-dp-run")
+    with tracker.span("parallel-dp") as dp_span:
+        result = _parallel_dp_traced(space, nice, tracker, dp_span)
+    return result
+
+
+def _parallel_dp_traced(
+    space, nice: NiceDecomposition, tracker: Tracer, dp_span: Span
+) -> ParallelDPResult:
     n_nodes = nice.num_nodes
     # Lemma 3.2 decomposition of the decomposition tree.  The layer numbers
     # are evaluated host-side sequentially; the parallel evaluation (tree
@@ -61,7 +78,9 @@ def parallel_dp(space, nice: NiceDecomposition) -> ParallelDPResult:
     from ..pram import log2_ceil
 
     tracker.charge(
-        Cost(max(2 * n_nodes, 1), max(1, 2 * log2_ceil(max(n_nodes, 2))))
+        Cost(max(2 * n_nodes, 1), max(1, 2 * log2_ceil(max(n_nodes, 2)))),
+        label="layered-paths",
+        layers=pd.num_layers,
     )
 
     # Per-node subtree statistics for the sound local-state prune: the
@@ -78,7 +97,10 @@ def parallel_dp(space, nice: NiceDecomposition) -> ParallelDPResult:
         for c in kids[i]:
             forgotten_count[i] += forgotten_count[c]
             marked_forgotten[i] |= marked_forgotten[c]
-    tracker.charge(Cost(max(2 * n_nodes, 1), max(1, 2 * log2_ceil(max(n_nodes, 2)))))
+    tracker.charge(
+        Cost(max(2 * n_nodes, 1), max(1, 2 * log2_ceil(max(n_nodes, 2)))),
+        label="subtree-stats",
+    )
     node_stats = (forgotten_count, marked_forgotten)
 
     valid: List[Optional[Dict[tuple, int]]] = [None] * n_nodes
@@ -87,7 +109,7 @@ def parallel_dp(space, nice: NiceDecomposition) -> ParallelDPResult:
     total_states = 0
     total_shortcuts = 0
     for layer in pd.layers:
-        with tracker.parallel() as region:
+        with tracker.parallel("layer") as region:
             for path in layer:
                 num_paths += 1
                 result = solve_path(
@@ -95,11 +117,23 @@ def parallel_dp(space, nice: NiceDecomposition) -> ParallelDPResult:
                 )
                 for node, table in zip(path, result.valid_per_node):
                     valid[node] = table
-                region.add(result.cost)
+                region.add(
+                    result.cost,
+                    label="path",
+                    nodes=len(path),
+                    states=result.num_states,
+                    shortcuts=result.num_shortcuts,
+                )
                 max_rounds = max(max_rounds, result.bfs_rounds)
                 total_states += result.num_states
                 total_shortcuts += result.num_shortcuts
 
+    tracker.count(
+        layers=pd.num_layers,
+        paths=num_paths,
+        states=total_states,
+        shortcuts=total_shortcuts,
+    )
     root_table = valid[nice.root]
     assert root_table is not None
     accepting = sum(1 for s in root_table if space.is_accepting(s))
@@ -108,10 +142,11 @@ def parallel_dp(space, nice: NiceDecomposition) -> ParallelDPResult:
         root=nice.root,
         accepting_count=int(accepting),
         found=accepting > 0,
-        cost=tracker.cost,
+        cost=dp_span.cost,
         num_layers=pd.num_layers,
         num_paths=num_paths,
         max_bfs_rounds=max_rounds,
         total_states=total_states,
         total_shortcuts=total_shortcuts,
+        trace=dp_span,
     )

@@ -25,7 +25,7 @@ import numpy as np
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
 from ..planar.geometric import embedding_cost
-from ..pram import Cost, Tracker
+from ..pram import Cost, Span, Tracer
 from ..treedecomp.nice import make_nice
 from .cover import treewidth_cover
 from .pattern import Pattern
@@ -52,6 +52,7 @@ class PlanarSIResult:
     cost: Cost
     pieces_examined: int
     max_piece_width: int
+    trace: Optional[Span] = None
 
 
 def _rounds_for(n: int, rounds: Optional[int], confidence_log_factor: float) -> int:
@@ -92,33 +93,38 @@ def decide_subgraph_isomorphism(
         raise ValueError(f"unknown engine {engine!r}")
     k = pattern.k
     d = pattern.diameter()
-    tracker = Tracker()
-    tracker.charge(embedding_cost(graph.n))
+    tracker = Tracer("decide-si")
+    tracker.count(n=graph.n, m=graph.m, k=k, d=d)
+    tracker.charge(embedding_cost(graph.n), label="embed")
     total_rounds = _rounds_for(graph.n, rounds, confidence_log_factor)
     pieces_examined = 0
     max_width = 0
     for r in range(total_rounds):
-        cover = treewidth_cover(graph, embedding, k, d, seed=seed + r)
-        tracker.charge(cover.cost)
         found_witness: Optional[Dict[int, int]] = None
         found = False
-        with tracker.parallel() as region:
-            for piece in cover.pieces:
-                if piece.graph.n < k:
-                    continue
-                pieces_examined += 1
-                with region.branch() as branch:
-                    witness = _solve_piece(
-                        piece, pattern, engine, branch, want_witness
+        with tracker.span("round"):
+            cover = treewidth_cover(
+                graph, embedding, k, d, seed=seed + r, tracer=tracker
+            )
+            with tracker.parallel("pieces") as region:
+                for piece in cover.pieces:
+                    if piece.graph.n < k:
+                        continue
+                    pieces_examined += 1
+                    with region.branch("dp-solve") as branch:
+                        witness = _solve_piece(
+                            piece, pattern, engine, branch, want_witness
+                        )
+                    max_width = max(
+                        max_width, piece.decomposition.width()
                     )
-                max_width = max(max_width, piece.decomposition.width())
-                if witness is not None and not found:
-                    found = True
-                    if want_witness:
-                        found_witness = {
-                            p: int(piece.originals[v])
-                            for p, v in witness.items()
-                        }
+                    if witness is not None and not found:
+                        found = True
+                        if want_witness:
+                            found_witness = {
+                                p: int(piece.originals[v])
+                                for p, v in witness.items()
+                            }
         if found:
             return PlanarSIResult(
                 found=True,
@@ -127,6 +133,7 @@ def decide_subgraph_isomorphism(
                 cost=tracker.cost,
                 pieces_examined=pieces_examined,
                 max_piece_width=max_width,
+                trace=tracker.root,
             )
     return PlanarSIResult(
         found=False,
@@ -135,22 +142,22 @@ def decide_subgraph_isomorphism(
         cost=tracker.cost,
         pieces_examined=pieces_examined,
         max_piece_width=max_width,
+        trace=tracker.root,
     )
 
 
 def _solve_piece(
-    piece, pattern: Pattern, engine: str, tracker, want_witness: bool
+    piece, pattern: Pattern, engine: str, tracker: Tracer,
+    want_witness: bool,
 ) -> Optional[Dict[int, int]]:
     """Solve one cover piece; returns a local witness dict, ``{}`` as a
     found-marker when no witness was requested, or None."""
-    nice, ncost = make_nice(piece.decomposition.binarize())
-    tracker.charge(ncost)
+    nice, _ = make_nice(piece.decomposition.binarize(), tracer=tracker)
     space = SubgraphStateSpace(pattern, piece.graph)
     if engine == "parallel":
-        result = parallel_dp(space, nice)
+        result = parallel_dp(space, nice, tracer=tracker)
     else:
-        result = sequential_dp(space, nice)
-    tracker.charge(result.cost)
+        result = sequential_dp(space, nice, tracer=tracker)
     if not result.found:
         return None
     if not want_witness:

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..pram import Cost
+from ..pram import Cost, Tracer
 from ..treedecomp.nice import FORGET, INTRODUCE, JOIN, LEAF, NiceDecomposition
 
 __all__ = ["DPResult", "sequential_dp"]
@@ -47,12 +47,18 @@ class DPResult:
     cost: Cost
 
 
-def sequential_dp(space, nice: NiceDecomposition) -> DPResult:
+def sequential_dp(
+    space,
+    nice: NiceDecomposition,
+    tracer: Optional[Tracer] = None,
+    label: str = "sequential-dp",
+) -> DPResult:
     """Run the bottom-up DP; see :class:`DPResult`.
 
     Work is the number of state transitions examined; depth charges the
     heaviest root-to-leaf chain (the algorithm is sequential along the
     tree, the paper's Theta(k n) depth bottleneck that Section 3.3 removes).
+    When a ``tracer`` is given the cost is charged to it as a labeled leaf.
     """
     order = nice.topological_order()
     kids = nice.children()
@@ -110,6 +116,11 @@ def sequential_dp(space, nice: NiceDecomposition) -> DPResult:
         )
     total_work = int(node_work.sum())
     cost = Cost(total_work, min(int(depth[nice.root]), total_work))
+
+    if tracer is not None:
+        tracer.charge(
+            cost, label=label, nodes=nice.num_nodes, transitions=total_work
+        )
 
     accepting = sum(
         mult

@@ -5,7 +5,15 @@ reproduced by exact work--depth accounting rather than OS threads.
 """
 
 from .cost import Cost, log2_ceil
-from .machine import ParallelRegion, Tracker
+from .trace import (
+    ParallelRegion,
+    Span,
+    Tracer,
+    Tracker,
+    aggregate_phases,
+    format_trace,
+    span_from_dict,
+)
 from .brent import brent_schedule, scalability_limit, speedup_curve
 from .primitives import (
     exclusive_prefix_sum,
@@ -26,7 +34,12 @@ __all__ = [
     "Cost",
     "log2_ceil",
     "Tracker",
+    "Tracer",
+    "Span",
     "ParallelRegion",
+    "format_trace",
+    "aggregate_phases",
+    "span_from_dict",
     "brent_schedule",
     "speedup_curve",
     "scalability_limit",

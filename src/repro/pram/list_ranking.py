@@ -9,18 +9,23 @@ execute.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .cost import Cost
+from .trace import Tracer
 
 __all__ = ["list_rank", "list_rank_optimal"]
 
 NIL = -1
 
 
-def list_rank(successor: np.ndarray) -> Tuple[np.ndarray, Cost]:
+def list_rank(
+    successor: np.ndarray,
+    tracer: Optional[Tracer] = None,
+    label: str = "list-rank",
+) -> Tuple[np.ndarray, Cost]:
     """Rank every element of a (collection of) linked list(s).
 
     Parameters
@@ -47,6 +52,7 @@ def list_rank(successor: np.ndarray) -> Tuple[np.ndarray, Cost]:
 
     ranks = np.where(succ == NIL, 0, 1).astype(np.int64)
     cost = Cost.step(n)  # initialization round
+    rounds = 0
     live = succ != NIL
     while live.any():
         # rank[i] += rank[succ[i]]; succ[i] = succ[succ[i]]  (for live i)
@@ -55,12 +61,18 @@ def list_rank(successor: np.ndarray) -> Tuple[np.ndarray, Cost]:
         ranks[idx] += ranks[nxt]
         succ[idx] = succ[nxt]
         cost = cost + Cost.step(3 * n)
+        rounds += 1
         live = succ != NIL
+    if tracer is not None:
+        tracer.charge(cost, label=label, items=n, rounds=rounds)
     return ranks, cost
 
 
 def list_rank_optimal(
-    successor: np.ndarray, seed: int = 0
+    successor: np.ndarray,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    label: str = "list-rank-optimal",
 ) -> Tuple[np.ndarray, Cost]:
     """Work-optimal list ranking by random splitter contraction.
 
@@ -129,4 +141,6 @@ def list_rank_optimal(
         ranks[i] = int(weight[i]) + int(ranks[s])
     cost = cost + Cost(max(1, 2 * len(events)),
                        min(max(1, 2 * len(events)), max(1, cost.depth)))
+    if tracer is not None:
+        tracer.charge(cost, label=label, items=n)
     return ranks, cost

@@ -1,10 +1,12 @@
-"""Work--depth tracker: a mutable accumulator over the :class:`Cost` algebra.
+"""Work--depth tracker: compatibility façade over the trace substrate.
 
-Long-running drivers (the subgraph-isomorphism pipeline, the vertex
-connectivity decision) thread a :class:`Tracker` through their phases so the
-total cost of a run is assembled incrementally.  Nested parallel regions are
-expressed with :meth:`Tracker.parallel`, which turns the costs *charged inside
-the region* into a parallel composition (sum of work, max of depth)::
+Historically this module held the flat ``Tracker``/``ParallelRegion``
+accumulator pair.  The accounting substrate now lives in
+:mod:`repro.pram.trace`: :class:`~repro.pram.trace.Tracer` keeps the exact
+``charge`` / ``step`` / ``parallel`` semantics (the same (work, depth)
+arithmetic, now also exception-safe) while recording a phase-labeled span
+tree.  ``Tracker`` remains as an alias so existing call sites and the
+published API keep working::
 
     t = Tracker()
     t.charge(Cost.step(5))              # a sequential round
@@ -12,7 +14,8 @@ the region* into a parallel composition (sum of work, max of depth)::
         for cluster in clusters:        # conceptually concurrent branches
             with region.branch():
                 ...                     # charges inside land on this branch
-    total = t.cost
+    total = t.cost                      # unchanged
+    tree = t.root                       # new: the recorded phase tree
 
 The tracker only *accounts*; execution remains single-threaded (see
 ``repro.pram.cost`` for why this is the faithful reproduction of the paper's
@@ -21,67 +24,6 @@ CREW PRAM claims).
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Iterator
+from .trace import ParallelRegion, Tracer, Tracker
 
-from .cost import Cost
-
-__all__ = ["Tracker", "ParallelRegion"]
-
-
-class Tracker:
-    """Accumulates the cost of a computation with nested parallel regions."""
-
-    def __init__(self) -> None:
-        self._work = 0
-        self._depth = 0
-
-    @property
-    def cost(self) -> Cost:
-        """The total cost charged so far."""
-        return Cost(self._work, self._depth)
-
-    def charge(self, cost: Cost) -> None:
-        """Sequentially compose ``cost`` onto the running total."""
-        self._work += cost.work
-        self._depth += cost.depth
-
-    def step(self, work: int = 1) -> None:
-        """Charge one synchronous round of ``work`` operations."""
-        if work > 0:
-            self._work += work
-            self._depth += 1
-
-    @contextmanager
-    def parallel(self) -> Iterator["ParallelRegion"]:
-        """Open a parallel region; its branches compose in parallel."""
-        region = ParallelRegion(self)
-        yield region
-        self.charge(region.cost)
-
-
-class ParallelRegion:
-    """Collects branch costs; total = (sum of work, max of depth)."""
-
-    def __init__(self, parent: Tracker) -> None:
-        self._parent = parent
-        self._work = 0
-        self._max_depth = 0
-
-    @property
-    def cost(self) -> Cost:
-        return Cost(self._work, self._max_depth)
-
-    def add(self, cost: Cost) -> None:
-        """Add a branch with a precomputed cost."""
-        self._work += cost.work
-        if cost.depth > self._max_depth:
-            self._max_depth = cost.depth
-
-    @contextmanager
-    def branch(self) -> Iterator[Tracker]:
-        """Open a branch; costs charged to the yielded tracker join the
-        region as one parallel arm."""
-        sub = Tracker()
-        yield sub
-        self.add(sub.cost)
+__all__ = ["Tracker", "Tracer", "ParallelRegion"]

@@ -5,15 +5,21 @@ returns ``(result, Cost)`` where the cost is what the textbook CREW PRAM
 implementation would charge (Blelloch scans, balanced reductions, packing by
 scan).  These are the building blocks used by the clustering, BFS, covering
 and shortcut machinery of the paper.
+
+Every primitive accepts an optional ``tracer``: when given, the primitive's
+cost is additionally charged to the tracer as a labeled leaf span (the label
+defaults to the primitive's name), so callers get phase attribution without
+having to thread the returned cost by hand.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from .cost import Cost, log2_ceil
+from .trace import Tracer
 
 __all__ = [
     "prefix_sum",
@@ -25,25 +31,51 @@ __all__ = [
 ]
 
 
-def prefix_sum(values: np.ndarray) -> Tuple[np.ndarray, Cost]:
+def _record(
+    tracer: Optional[Tracer], cost: Cost, label: str, **counters: float
+) -> Cost:
+    """Charge ``cost`` as a labeled leaf on ``tracer`` (when present)."""
+    if tracer is not None:
+        tracer.charge(cost, label=label, **counters)
+    return cost
+
+
+def prefix_sum(
+    values: np.ndarray,
+    tracer: Optional[Tracer] = None,
+    label: str = "prefix-sum",
+) -> Tuple[np.ndarray, Cost]:
     """Inclusive prefix sum; ``O(n)`` work, ``O(log n)`` depth."""
     values = np.asarray(values)
     n = int(values.shape[0])
-    return np.cumsum(values), Cost.scan(n)
+    return np.cumsum(values), _record(tracer, Cost.scan(n), label, items=n)
 
 
-def exclusive_prefix_sum(values: np.ndarray) -> Tuple[np.ndarray, Cost]:
+def exclusive_prefix_sum(
+    values: np.ndarray,
+    tracer: Optional[Tracer] = None,
+    label: str = "prefix-sum",
+) -> Tuple[np.ndarray, Cost]:
     """Exclusive prefix sum (``out[i] = sum(values[:i])``)."""
     values = np.asarray(values)
     n = int(values.shape[0])
     out = np.empty(n + 1, dtype=np.int64)
     out[0] = 0
     np.cumsum(values, out=out[1:])
-    return out[:-1], Cost.scan(n)
+    return out[:-1], _record(tracer, Cost.scan(n), label, items=n)
 
 
-def parallel_reduce(values: np.ndarray, op: str = "sum") -> Tuple[float, Cost]:
-    """Balanced binary reduction; ``op`` is one of sum/max/min."""
+def parallel_reduce(
+    values: np.ndarray,
+    op: str = "sum",
+    tracer: Optional[Tracer] = None,
+    label: str = "reduce",
+) -> Tuple[Union[int, float], Cost]:
+    """Balanced binary reduction; ``op`` is one of sum/max/min.
+
+    Returns a plain Python scalar (``int`` for integer/boolean inputs,
+    ``float`` for floating inputs) — never a NumPy scalar.
+    """
     values = np.asarray(values)
     n = int(values.shape[0])
     if n == 0:
@@ -56,13 +88,22 @@ def parallel_reduce(values: np.ndarray, op: str = "sum") -> Tuple[float, Cost]:
         result = values.min()
     else:
         raise ValueError(f"unknown reduction op {op!r}")
-    return result, Cost.reduction(n)
+    return result.item(), _record(
+        tracer, Cost.reduction(n), label, items=n
+    )
 
 
-def pack(values: np.ndarray, mask: np.ndarray) -> Tuple[np.ndarray, Cost]:
+def pack(
+    values: np.ndarray,
+    mask: np.ndarray,
+    tracer: Optional[Tracer] = None,
+    label: str = "pack",
+) -> Tuple[np.ndarray, Cost]:
     """Keep ``values[i]`` where ``mask[i]``; scan-based compaction.
 
-    Work ``O(n)``, depth ``O(log n)`` — the canonical PRAM filter.
+    Work ``O(n)``, depth ``O(log n)`` — the canonical PRAM filter.  An
+    empty input compacts for free (``Cost.zero()``): there is nothing to
+    scan and nothing to scatter.
     """
     values = np.asarray(values)
     mask = np.asarray(mask, dtype=bool)
@@ -70,18 +111,30 @@ def pack(values: np.ndarray, mask: np.ndarray) -> Tuple[np.ndarray, Cost]:
         raise ValueError("values and mask must have equal length")
     n = int(values.shape[0])
     # Scan to compute target offsets + one scatter round.
-    cost = Cost.scan(n) + Cost.step(max(n, 1))
-    return values[mask], cost
+    cost = Cost.scan(n) + Cost.step(n)
+    return values[mask], _record(tracer, cost, label, items=n)
 
-def pack_indices(mask: np.ndarray) -> Tuple[np.ndarray, Cost]:
-    """Indices ``i`` with ``mask[i]`` true, via scan-based compaction."""
+
+def pack_indices(
+    mask: np.ndarray,
+    tracer: Optional[Tracer] = None,
+    label: str = "pack",
+) -> Tuple[np.ndarray, Cost]:
+    """Indices ``i`` with ``mask[i]`` true, via scan-based compaction.
+
+    Empty masks cost zero, as for :func:`pack`.
+    """
     mask = np.asarray(mask, dtype=bool)
     n = int(mask.shape[0])
-    cost = Cost.scan(n) + Cost.step(max(n, 1))
-    return np.flatnonzero(mask), cost
+    cost = Cost.scan(n) + Cost.step(n)
+    return np.flatnonzero(mask), _record(tracer, cost, label, items=n)
 
 
-def pointer_jump_roots(parent: np.ndarray) -> Tuple[np.ndarray, Cost]:
+def pointer_jump_roots(
+    parent: np.ndarray,
+    tracer: Optional[Tracer] = None,
+    label: str = "pointer-jump",
+) -> Tuple[np.ndarray, Cost]:
     """Resolve every node of a forest to its root by pointer doubling.
 
     ``parent[i]`` is the parent of ``i`` (roots satisfy ``parent[i] == i``).
@@ -92,14 +145,16 @@ def pointer_jump_roots(parent: np.ndarray) -> Tuple[np.ndarray, Cost]:
     parent = np.asarray(parent, dtype=np.int64).copy()
     n = int(parent.shape[0])
     if n == 0:
-        return parent, Cost.zero()
+        return parent, _record(tracer, Cost.zero(), label, items=0)
     if parent.min() < 0 or parent.max() >= n:
         raise ValueError("parent pointers out of range")
     cost = Cost.zero()
+    rounds = 0
     while True:
         grand = parent[parent]
         cost = cost + Cost.step(2 * n)  # read parent-of-parent + write back
+        rounds += 1
         if np.array_equal(grand, parent):
             break
         parent = grand
-    return parent, cost
+    return parent, _record(tracer, cost, label, items=n, rounds=rounds)

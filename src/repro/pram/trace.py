@@ -1,0 +1,507 @@
+"""Hierarchical work--depth tracing: a phase-labeled span tree over the
+:class:`Cost` algebra.
+
+The paper's bounds are *per phase* — clustering (Lemma 2.3), the treewidth
+cover (Theorem 2.4), the shortcut DP solve (Section 3.3) — but a flat
+``(work, depth)`` total cannot say which phase dominates a run, nor let a
+benchmark check one lemma's bound in isolation.  This module refactors the
+old flat ``Tracker`` into a **trace substrate**:
+
+:class:`Span`
+    One node of the phase tree.  A span has a name, a composition ``mode``
+    (``"seq"`` — children and direct charges compose sequentially; ``"par"``
+    — children are concurrent branches composing as (sum work, max depth)),
+    running work/depth totals, optional numeric ``counters`` (rounds, items,
+    pieces, ...) and its child spans.
+
+:class:`Tracer`
+    A drop-in replacement for the old ``Tracker`` (``charge`` / ``step`` /
+    ``parallel`` keep their exact semantics — the cost arithmetic is
+    unchanged, property-tested against the ``Cost.seq``/``Cost.par``
+    algebra) that additionally records *where* every unit of work went:
+
+    >>> t = Tracer("decide-si")
+    >>> with t.span("clustering"):
+    ...     t.charge(Cost(100, 4))
+    >>> with t.parallel("pieces") as region:
+    ...     with region.branch("dp-solve") as b:
+    ...         b.step(10)
+    >>> t.cost
+    Cost(work=110, depth=5)
+    >>> t.root.children[0].name
+    'clustering'
+
+Every composition is exception-safe: costs charged before an exception
+propagates out of a ``span`` / ``parallel`` / ``branch`` block are folded
+into the parent (``try/finally``), so a failed run still yields an honest
+partial trace.
+
+Serialization and rendering: :meth:`Span.to_dict` / :func:`span_from_dict`
+round-trip through JSON (the CLI's ``--trace-json``), :func:`format_trace`
+renders the indented per-phase table (the CLI's ``--trace``), and
+:func:`aggregate_phases` sums work per phase name for benchmark breakdowns.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from .cost import Cost
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "ParallelRegion",
+    "format_trace",
+    "aggregate_phases",
+    "span_from_dict",
+]
+
+SEQ = "seq"
+PAR = "par"
+
+
+class Span:
+    """One node of the phase tree; see the module docstring.
+
+    ``work``/``depth`` are running totals folded per ``mode``; they are
+    final once the span's ``with`` block has exited.  ``self_work`` /
+    ``self_depth`` hold direct (unlabeled) charges, so that the span's
+    total always equals the fold of its direct charges and children — the
+    invariant property-tested in ``tests/pram/test_trace.py``.
+    """
+
+    __slots__ = (
+        "name",
+        "mode",
+        "work",
+        "depth",
+        "self_work",
+        "self_depth",
+        "counters",
+        "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        mode: str = SEQ,
+        counters: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if mode not in (SEQ, PAR):
+            raise ValueError(f"unknown span mode {mode!r}")
+        self.name = name
+        self.mode = mode
+        self.work = 0
+        self.depth = 0
+        self.self_work = 0
+        self.self_depth = 0
+        self.counters: Dict[str, float] = dict(counters or {})
+        self.children: List["Span"] = []
+
+    # -- accounting (package-internal; used by Tracer/ParallelRegion) -----
+
+    def _charge(self, cost: Cost) -> None:
+        """Sequentially fold a direct charge (seq spans only)."""
+        self.self_work += cost.work
+        self.self_depth += cost.depth
+        self.work += cost.work
+        self.depth += cost.depth
+
+    def _attach(self, child: "Span") -> None:
+        """Fold a finished child span into this span's totals."""
+        self.children.append(child)
+        self.work += child.work
+        if self.mode == PAR:
+            if child.depth > self.depth:
+                self.depth = child.depth
+        else:
+            self.depth += child.depth
+
+    def _count(self, counters: Dict[str, float]) -> None:
+        for key, value in counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def cost(self) -> Cost:
+        """This span's total cost (final once the span is closed)."""
+        return Cost(self.work, self.depth)
+
+    def folded(self) -> Cost:
+        """Recompute the cost from scratch by folding the tree.
+
+        Equal to :attr:`cost` by construction; exists so the property tests
+        can check the running totals against the declarative algebra.
+        """
+        own = Cost(self.self_work, self.self_depth)
+        kids = (c.folded() for c in self.children)
+        if self.mode == PAR:
+            return own + Cost.par(kids)
+        return own + Cost.seq(kids)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in preorder (self included)."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        """Every span named ``name`` in preorder (self included)."""
+        out: List["Span"] = []
+        stack = [self]
+        while stack:
+            s = stack.pop()
+            if s.name == name:
+                out.append(s)
+            stack.extend(reversed(s.children))
+        return out
+
+    def walk(self) -> Iterator["Span"]:
+        """Preorder iteration over the subtree."""
+        stack = [self]
+        while stack:
+            s = stack.pop()
+            yield s
+            stack.extend(reversed(s.children))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable tree (round-trips via :func:`span_from_dict`)."""
+        out: dict = {
+            "name": self.name,
+            "mode": self.mode,
+            "work": self.work,
+            "depth": self.depth,
+        }
+        if self.self_work or self.self_depth:
+            out["self_work"] = self.self_work
+            out["self_depth"] = self.self_depth
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.mode}, work={self.work}, "
+            f"depth={self.depth}, children={len(self.children)})"
+        )
+
+
+def span_from_dict(data: dict) -> Span:
+    """Inverse of :meth:`Span.to_dict`."""
+    span = Span(data["name"], data.get("mode", SEQ), data.get("counters"))
+    span.work = int(data["work"])
+    span.depth = int(data["depth"])
+    span.self_work = int(data.get("self_work", 0))
+    span.self_depth = int(data.get("self_depth", 0))
+    span.children = [span_from_dict(c) for c in data.get("children", [])]
+    return span
+
+
+class Tracer:
+    """Backward-compatible successor of the flat ``Tracker``.
+
+    The old API (``charge``, ``step``, ``parallel``, ``cost``) behaves
+    identically; on top of it, :meth:`span` opens a named sequential phase,
+    ``charge(cost, label=...)`` records a labeled leaf, and :meth:`count`
+    bumps counters on the current phase.  The recorded tree is :attr:`root`.
+    """
+
+    def __init__(self, name: str = "run") -> None:
+        root = Span(name, SEQ)
+        self._root = root
+        self._stack: List[Span] = [root]
+
+    @property
+    def root(self) -> Span:
+        """The root span (totals are final once all phases are closed)."""
+        return self._root
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span."""
+        return self._stack[-1]
+
+    @property
+    def cost(self) -> Cost:
+        """The total cost charged so far (correct even mid-phase)."""
+        work = 0
+        depth = 0
+        for span in self._stack:
+            work += span.work
+            depth += span.depth
+        return Cost(work, depth)
+
+    def charge(
+        self,
+        cost: Cost,
+        label: Optional[str] = None,
+        **counters: float,
+    ) -> None:
+        """Sequentially compose ``cost`` onto the current phase.
+
+        With ``label``, the charge is recorded as a named leaf span (with
+        optional counters) instead of anonymous self-cost — same total,
+        richer attribution.
+        """
+        if label is None:
+            self._stack[-1]._charge(cost)
+        else:
+            leaf = Span(label, SEQ, counters or None)
+            leaf._charge(cost)
+            self._stack[-1]._attach(leaf)
+
+    def step(self, work: int = 1) -> None:
+        """Charge one synchronous round of ``work`` operations."""
+        if work > 0:
+            self.charge(Cost(work, 1))
+
+    def count(self, **counters: float) -> None:
+        """Accumulate numeric counters onto the current phase."""
+        self._stack[-1]._count(counters)
+
+    def attach(self, span: Span) -> None:
+        """Sequentially fold an already-recorded subtree (e.g. the trace of
+        a helper that built its own :class:`Tracer`) into the current phase."""
+        self._stack[-1]._attach(span)
+
+    @contextmanager
+    def span(self, name: str, **counters: float) -> Iterator[Span]:
+        """Open a named sequential phase; closes (and folds into the parent)
+        even when the body raises."""
+        child = Span(name, SEQ, counters or None)
+        self._stack.append(child)
+        try:
+            yield child
+        finally:
+            popped = self._stack.pop()
+            assert popped is child, "span stack corrupted"
+            self._stack[-1]._attach(child)
+
+    @contextmanager
+    def parallel(self, name: str = "parallel") -> Iterator["ParallelRegion"]:
+        """Open a parallel region; its branches compose as (sum work, max
+        depth).  Exception-safe: branches recorded before a raise are kept."""
+        region = ParallelRegion(Span(name, PAR))
+        try:
+            yield region
+        finally:
+            self._stack[-1]._attach(region._span)
+
+
+# Backward-compatible alias: the old flat accumulator's name.  Everything
+# constructed as ``Tracker()`` now records a span tree for free.
+Tracker = Tracer
+
+
+class ParallelRegion:
+    """Collects concurrent branches; total = (sum of work, max of depth)."""
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    @property
+    def cost(self) -> Cost:
+        return self._span.cost
+
+    def add(
+        self,
+        cost: Cost,
+        label: str = "branch",
+        **counters: float,
+    ) -> None:
+        """Add a branch with a precomputed cost (a labeled leaf span)."""
+        leaf = Span(label, SEQ, counters or None)
+        leaf._charge(cost)
+        self._span._attach(leaf)
+
+    @contextmanager
+    def branch(self, name: str = "branch") -> Iterator[Tracer]:
+        """Open one concurrent branch; costs charged to the yielded tracer
+        join the region as one parallel arm.  Exception-safe."""
+        sub = Tracer(name)
+        try:
+            yield sub
+        finally:
+            self._span._attach(sub.root)
+
+
+# -- rendering and aggregation --------------------------------------------
+
+
+class _Row:
+    __slots__ = ("name", "mode", "work", "depth", "count", "counters", "kids")
+
+    def __init__(self, name, mode, work, depth, count, counters, kids):
+        self.name = name
+        self.mode = mode
+        self.work = work
+        self.depth = depth
+        self.count = count
+        self.counters = counters
+        self.kids = kids
+
+
+def _merge_rows(spans: List[Span], parent_mode: str) -> List[_Row]:
+    """Group sibling spans by (name, mode) for compact rendering.
+
+    Merged work always sums; merged depth sums under a sequential parent
+    and takes the max under a parallel parent (the branches ran
+    concurrently).
+    """
+    order: List[tuple] = []
+    groups: Dict[tuple, List[Span]] = {}
+    for s in spans:
+        key = (s.name, s.mode)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(s)
+    rows = []
+    for name, mode in order:
+        members = groups[(name, mode)]
+        work = sum(m.work for m in members)
+        depths = [m.depth for m in members]
+        depth = max(depths) if parent_mode == PAR else sum(depths)
+        counters: Dict[str, float] = {}
+        self_work = 0
+        self_depth = 0
+        kids: List[Span] = []
+        for m in members:
+            for k, v in m.counters.items():
+                counters[k] = counters.get(k, 0) + v
+            self_work += m.self_work
+            self_depth += m.self_depth
+            kids.extend(m.children)
+        if kids and self_work:
+            own = Span("(self)", SEQ)
+            own._charge(Cost(self_work, self_depth))
+            kids = [own] + kids
+        rows.append(
+            _Row(name, mode, work, depth, len(members), counters, kids)
+        )
+    return rows
+
+
+def _format_counters(counters: Dict[str, float]) -> str:
+    if not counters:
+        return ""
+    parts = []
+    for key in sorted(counters):
+        value = counters[key]
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        parts.append(f"{key}={value:,}")
+    return " ".join(parts)
+
+
+def format_trace(
+    span: Span,
+    max_depth: Optional[int] = None,
+    min_work_fraction: float = 0.0,
+    merge_siblings: bool = True,
+) -> str:
+    """Render a span tree as an indented per-phase work/depth table.
+
+    Parameters
+    ----------
+    max_depth:
+        Deepest tree level to print (``None`` = unlimited).
+    min_work_fraction:
+        Hide subtrees whose work is below this fraction of the root's
+        (elided rows are summarized, never silently dropped).
+    merge_siblings:
+        Collapse same-named siblings into one row with a ``xN`` multiplier
+        (depth of merged parallel branches is their max).
+    """
+    total_work = max(span.work, 1)
+    lines: List[str] = []
+    name_width = 44
+
+    def emit(row: _Row, indent: int) -> None:
+        label = row.name + (f" x{row.count}" if row.count > 1 else "")
+        if row.mode == PAR:
+            label += " ||"
+        pad = "  " * indent
+        name_col = f"{pad}{label}"
+        if len(name_col) > name_width:
+            name_col = name_col[: name_width - 1] + "…"
+        pct = 100.0 * row.work / total_work
+        line = (
+            f"{name_col:<{name_width}} {row.work:>14,} {row.depth:>9,}"
+            f" {pct:>6.1f}%"
+        )
+        extra = _format_counters(row.counters)
+        if extra:
+            line += f"  {extra}"
+        lines.append(line)
+        if max_depth is not None and indent + 1 > max_depth:
+            return
+        kids = (
+            _merge_rows(row.kids, row.mode)
+            if merge_siblings
+            else [
+                _Row(
+                    c.name, c.mode, c.work, c.depth, 1, dict(c.counters),
+                    list(c.children),
+                )
+                for c in row.kids
+            ]
+        )
+        hidden_work = 0
+        hidden_count = 0
+        for kid in kids:
+            if kid.work < min_work_fraction * total_work:
+                hidden_work += kid.work
+                hidden_count += kid.count
+                continue
+            emit(kid, indent + 1)
+        if hidden_count:
+            pad2 = "  " * (indent + 1)
+            lines.append(
+                f"{pad2}({hidden_count} phase(s) below threshold, "
+                f"work={hidden_work:,})"
+            )
+
+    header = (
+        f"{'phase':<{name_width}} {'work':>14} {'depth':>9} {'share':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    root_rows = _merge_rows([span], SEQ)
+    emit(root_rows[0], 0)
+    return "\n".join(lines)
+
+
+def aggregate_phases(span: Span) -> Dict[str, Dict[str, float]]:
+    """Total work per phase name across the whole tree.
+
+    Returns ``{name: {"work": summed total work of every span with that
+    name (descendants included), "count": occurrences, "max_depth":
+    largest single-span depth}}``.  Because a span's total includes its
+    sub-phases, entries for nested phase names overlap — the dict answers
+    "how much work ran under phase X", not a disjoint partition.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for s in span.walk():
+        entry = out.setdefault(
+            s.name, {"work": 0, "count": 0, "max_depth": 0}
+        )
+        entry["work"] += s.work
+        entry["count"] += 1
+        entry["max_depth"] = max(entry["max_depth"], s.depth)
+    return out

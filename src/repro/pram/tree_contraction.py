@@ -20,11 +20,12 @@ the concurrent PRAM schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, List, Sequence, Tuple, TypeVar
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 from .cost import Cost
+from .trace import Tracer
 
 __all__ = ["Algebra", "BinaryExpressionTree", "evaluate_expression_tree"]
 
@@ -110,7 +111,10 @@ class BinaryExpressionTree:
 
 
 def evaluate_expression_tree(
-    tree: BinaryExpressionTree, algebra: Algebra[F]
+    tree: BinaryExpressionTree,
+    algebra: Algebra[F],
+    tracer: Optional[Tracer] = None,
+    label: str = "tree-contraction",
 ) -> Tuple[np.ndarray, Cost]:
     """Evaluate every node of ``tree`` under ``algebra``.
 
@@ -121,6 +125,8 @@ def evaluate_expression_tree(
     values = np.full(n, NIL, dtype=np.int64)
     if n == 1:
         values[tree.root] = int(tree.leaf_value[tree.root])
+        if tracer is not None:
+            tracer.charge(Cost.step(1), label=label, nodes=1)
         return values, Cost.step(1)
 
     parent = tree.parent_array()
@@ -183,4 +189,6 @@ def evaluate_expression_tree(
     expand_work = max(1, 2 * len(events))
     cost = cost + Cost(expand_work, min(max(1, cost.depth), expand_work))
 
+    if tracer is not None:
+        tracer.charge(cost, label=label, nodes=n)
     return values, cost

@@ -33,7 +33,7 @@ from ..graphs.components import component_members, connected_components
 from ..graphs.csr import Graph
 from ..planar.contract import contract_vertex_sets, relabel_embedding
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Tracker
+from ..pram import Cost, Span, Tracer
 from ..treedecomp.baker import baker_decomposition
 from ..treedecomp.decomposition import TreeDecomposition
 
@@ -66,6 +66,7 @@ class SeparatingCover:
     pieces: List[SeparatingPiece]
     num_clusters: int
     cost: Cost
+    trace: Optional[Span] = None
 
     def max_width(self) -> int:
         return max(
@@ -80,55 +81,69 @@ def separating_cover(
     k: int,
     d: int,
     seed: int,
+    tracer: Optional[Tracer] = None,
 ) -> SeparatingCover:
-    """Build the separating k-d cover (see module docstring)."""
+    """Build the separating k-d cover (see module docstring).
+
+    When a ``tracer`` is given, the construction's phases (``clustering``,
+    per-cluster ``bfs``, per-window minor building) nest under a ``cover``
+    span of that trace.
+    """
     if k < 1 or d < 0:
         raise ValueError("need k >= 1 and d >= 0")
     marked = np.asarray(marked, dtype=bool)
     if marked.shape != (graph.n,):
         raise ValueError("marked mask must cover every vertex")
-    tracker = Tracker()
-    clustering, cost = est_clustering(graph, beta=2.0 * k, seed=seed)
-    tracker.charge(cost)
+    tracker = tracer if tracer is not None else Tracer("cover-run")
+    with tracker.span("cover", k=k, d=d) as cover_span:
+        clustering, _ = est_clustering(
+            graph, beta=2.0 * k, seed=seed, tracer=tracker
+        )
 
-    pieces: List[SeparatingPiece] = []
-    with tracker.parallel() as clusters_region:
-        for cluster_id, members in enumerate(
-            component_members(clustering.labels, clustering.count)
-        ):
-            with clusters_region.branch() as branch:
-                sub, originals = graph.induced_subgraph(members)
-                branch.charge(Cost.step(max(sub.n, 1)))
-                if sub.n == 0:
-                    continue
-                bfs, bcost = parallel_bfs(sub, [0])
-                branch.charge(bcost)
-                last = max(0, bfs.depth - d)
-                with branch.parallel() as windows:
-                    for i in range(last + 1):
-                        window_local = np.flatnonzero(
-                            (bfs.level >= i) & (bfs.level <= i + d)
-                        )
-                        if window_local.size == 0:
-                            continue
-                        window = originals[window_local]
-                        # Root the piece at a level-i vertex: every window
-                        # vertex is then within O(d) hops (through the
-                        # window itself and the merged inner component),
-                        # keeping the Baker width O(d).
-                        level_i = window_local[
-                            bfs.level[window_local] == i
-                        ]
-                        root_vertex = int(originals[level_i[0]])
-                        with windows.branch() as wbranch:
-                            piece = _window_minor(
-                                graph, embedding, marked, window,
-                                root_vertex, cluster_id, i, wbranch,
+        pieces: List[SeparatingPiece] = []
+        with tracker.parallel("clusters") as clusters_region:
+            for cluster_id, members in enumerate(
+                component_members(clustering.labels, clustering.count)
+            ):
+                with clusters_region.branch("cluster") as branch:
+                    sub, originals = graph.induced_subgraph(members)
+                    branch.charge(
+                        Cost.step(max(sub.n, 1)), label="subgraph"
+                    )
+                    if sub.n == 0:
+                        continue
+                    bfs, _ = parallel_bfs(sub, [0], tracer=branch)
+                    last = max(0, bfs.depth - d)
+                    with branch.parallel("windows") as windows:
+                        for i in range(last + 1):
+                            window_local = np.flatnonzero(
+                                (bfs.level >= i) & (bfs.level <= i + d)
                             )
-                        if piece is not None:
-                            pieces.append(piece)
+                            if window_local.size == 0:
+                                continue
+                            window = originals[window_local]
+                            # Root the piece at a level-i vertex: every
+                            # window vertex is then within O(d) hops
+                            # (through the window itself and the merged
+                            # inner component), keeping the Baker width
+                            # O(d).
+                            level_i = window_local[
+                                bfs.level[window_local] == i
+                            ]
+                            root_vertex = int(originals[level_i[0]])
+                            with windows.branch("window") as wbranch:
+                                piece = _window_minor(
+                                    graph, embedding, marked, window,
+                                    root_vertex, cluster_id, i, wbranch,
+                                )
+                            if piece is not None:
+                                pieces.append(piece)
+        tracker.count(pieces=len(pieces))
     return SeparatingCover(
-        pieces=pieces, num_clusters=clustering.count, cost=tracker.cost
+        pieces=pieces,
+        num_clusters=clustering.count,
+        cost=cover_span.cost,
+        trace=cover_span,
     )
 
 
@@ -140,7 +155,7 @@ def _window_minor(
     root_vertex: int,
     cluster_id: int,
     window_start: int,
-    tracker,
+    tracker: Tracer,
 ) -> Optional[SeparatingPiece]:
     """Contract the components of G - window; decompose; build masks."""
     n = graph.n
@@ -151,13 +166,13 @@ def _window_minor(
     if complement.size:
         comp_graph, comp_orig = graph.induced_subgraph(complement)
         labels, count, ccost = connected_components(comp_graph)
-        tracker.charge(ccost)
+        tracker.charge(ccost, label="components", components=count)
         groups = [
             comp_orig[idx].tolist()
             for idx in component_members(labels, count)
         ]
     minor_emb, rep, cost = contract_vertex_sets(embedding, groups)
-    tracker.charge(cost)
+    tracker.charge(cost, label="contract")
     # Live vertices: the window plus one representative per group.
     reps = sorted({int(rep[g[0]]) for g in groups})
     live = sorted(set(window.tolist()) | set(reps))
@@ -179,8 +194,7 @@ def _window_minor(
 
     piece_graph = small.to_graph()
     root = kept_index[root_vertex]
-    td, bcost = baker_decomposition(small, root)
-    tracker.charge(bcost)
+    td, _ = baker_decomposition(small, root, tracer=tracker)
     return SeparatingPiece(
         graph=piece_graph,
         originals=originals,

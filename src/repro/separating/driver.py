@@ -21,7 +21,7 @@ from ..isomorphism.planar_si import _rounds_for
 from ..isomorphism.recovery import first_witness
 from ..isomorphism.sequential_dp import sequential_dp
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Tracker
+from ..pram import Cost, Span, Tracer
 from ..treedecomp.nice import make_nice
 from .cover import separating_cover
 from .state_space import SeparatingStateSpace
@@ -43,6 +43,7 @@ class SeparatingSIResult:
     cost: Cost
     pieces_examined: int
     max_piece_width: int
+    trace: Optional[Span] = None
 
 
 def decide_separating_isomorphism(
@@ -71,60 +72,65 @@ def decide_separating_isomorphism(
     if engine not in ("parallel", "sequential"):
         raise ValueError(f"unknown engine {engine!r}")
     k, d = pattern.k, pattern.diameter()
-    tracker = Tracker()
+    tracker = Tracer("decide-separating-si")
+    tracker.count(n=graph.n, k=k, d=d)
     total_rounds = _rounds_for(graph.n, rounds, confidence_log_factor)
     pieces_examined = 0
     max_width = 0
     for r in range(total_rounds):
-        cover = separating_cover(
-            graph, embedding, marked, k, d, seed=seed + r
-        )
-        tracker.charge(cover.cost)
         found = False
         found_witness: Optional[Dict[int, int]] = None
-        with tracker.parallel() as region:
-            for piece in cover.pieces:
-                if int(piece.allowed.sum()) < k:
-                    continue
-                pieces_examined += 1
-                max_width = max(max_width, piece.decomposition.width())
-                nice, ncost = make_nice(piece.decomposition.binarize())
-                local_classes = None
-                if host_classes is not None:
-                    # Merged vertices (originals == -1) get class -1; they
-                    # are disallowed anyway.
-                    local_classes = np.where(
-                        piece.originals >= 0,
-                        host_classes[np.maximum(piece.originals, 0)],
-                        -1,
+        with tracker.span("round"):
+            cover = separating_cover(
+                graph, embedding, marked, k, d, seed=seed + r,
+                tracer=tracker,
+            )
+            with tracker.parallel("pieces") as region:
+                for piece in cover.pieces:
+                    if int(piece.allowed.sum()) < k:
+                        continue
+                    pieces_examined += 1
+                    max_width = max(
+                        max_width, piece.decomposition.width()
                     )
-                space = SeparatingStateSpace(
-                    pattern,
-                    piece.graph,
-                    piece.marked,
-                    piece.allowed,
-                    host_classes=local_classes,
-                    pattern_classes=(
-                        pattern_classes if host_classes is not None else None
-                    ),
-                )
-                with region.branch() as branch:
-                    branch.charge(ncost)
-                    result = (
-                        parallel_dp(space, nice)
-                        if engine == "parallel"
-                        else sequential_dp(space, nice)
+                    nice, ncost = make_nice(piece.decomposition.binarize())
+                    local_classes = None
+                    if host_classes is not None:
+                        # Merged vertices (originals == -1) get class -1;
+                        # they are disallowed anyway.
+                        local_classes = np.where(
+                            piece.originals >= 0,
+                            host_classes[np.maximum(piece.originals, 0)],
+                            -1,
+                        )
+                    space = SeparatingStateSpace(
+                        pattern,
+                        piece.graph,
+                        piece.marked,
+                        piece.allowed,
+                        host_classes=local_classes,
+                        pattern_classes=(
+                            pattern_classes
+                            if host_classes is not None
+                            else None
+                        ),
                     )
-                    branch.charge(result.cost)
-                if result.found and not found:
-                    found = True
-                    if want_witness:
-                        w = first_witness(space, nice, result.valid)
-                        if w is not None:
-                            found_witness = {
-                                p: int(piece.originals[v])
-                                for p, v in w.items()
-                            }
+                    with region.branch("dp-solve") as branch:
+                        branch.charge(ncost, label="nice")
+                        result = (
+                            parallel_dp(space, nice, tracer=branch)
+                            if engine == "parallel"
+                            else sequential_dp(space, nice, tracer=branch)
+                        )
+                    if result.found and not found:
+                        found = True
+                        if want_witness:
+                            w = first_witness(space, nice, result.valid)
+                            if w is not None:
+                                found_witness = {
+                                    p: int(piece.originals[v])
+                                    for p, v in w.items()
+                                }
         if found:
             return SeparatingSIResult(
                 found=True,
@@ -133,6 +139,7 @@ def decide_separating_isomorphism(
                 cost=tracker.cost,
                 pieces_examined=pieces_examined,
                 max_piece_width=max_width,
+                trace=tracker.root,
             )
     return SeparatingSIResult(
         found=False,
@@ -141,4 +148,5 @@ def decide_separating_isomorphism(
         cost=tracker.cost,
         pieces_examined=pieces_examined,
         max_piece_width=max_width,
+        trace=tracker.root,
     )

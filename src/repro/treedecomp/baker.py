@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..graphs.csr import Graph
-from ..pram import Cost, log2_ceil
+from ..pram import Cost, Tracer, log2_ceil
 from ..planar.embedding import NIL, PlanarEmbedding
 from ..planar.triangulate import stellate
 from .decomposition import TreeDecomposition
@@ -72,7 +72,10 @@ def bfs_tree_darts(
 
 
 def baker_decomposition(
-    embedding: PlanarEmbedding, root: int
+    embedding: PlanarEmbedding,
+    root: int,
+    tracer: Optional[Tracer] = None,
+    label: str = "baker",
 ) -> Tuple[TreeDecomposition, Cost]:
     """Width <= 3D + 2 tree decomposition of a connected embedded graph,
     where D is the BFS depth from ``root``.
@@ -85,6 +88,8 @@ def baker_decomposition(
     if embedding.num_edges() == 0:
         if n > 1:
             raise ValueError("embedding is not connected")
+        if tracer is not None:
+            tracer.charge(Cost.step(1), label=label, n=1)
         return (
             TreeDecomposition(
                 bags=[np.array([root])],
@@ -168,4 +173,6 @@ def baker_decomposition(
     decomposition = TreeDecomposition(
         bags=bags, parent=dual_parent, root=0
     )
+    if tracer is not None:
+        tracer.charge(cost, label=label, n=n, bags=len(bags))
     return decomposition, cost

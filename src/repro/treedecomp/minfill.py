@@ -11,12 +11,12 @@ E11 benchmark reports the widths achieved so the substitution stays visible
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..graphs.csr import Graph
-from ..pram import Cost
+from ..pram import Cost, Tracer
 from .decomposition import TreeDecomposition
 
 __all__ = ["minfill_decomposition"]
@@ -25,7 +25,10 @@ NIL = -1
 
 
 def minfill_decomposition(
-    graph: Graph, strategy: str = "min_fill"
+    graph: Graph,
+    strategy: str = "min_fill",
+    tracer: Optional[Tracer] = None,
+    label: str = "minfill",
 ) -> Tuple[TreeDecomposition, Cost]:
     """Tree decomposition by greedy elimination.
 
@@ -106,4 +109,6 @@ def minfill_decomposition(
 
     decomposition = TreeDecomposition(bags=bags, parent=parent, root=root)
     cost = Cost(max(work, 1), max(work, 1))  # sequential heuristic
+    if tracer is not None:
+        tracer.charge(cost, label=label, n=n, width=decomposition.width())
     return decomposition, cost

@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..pram import Cost
+from ..pram import Cost, Tracer
 from .decomposition import TreeDecomposition
 
 __all__ = ["NiceDecomposition", "make_nice"]
@@ -108,6 +108,8 @@ class NiceDecomposition:
 
 def make_nice(
     decomposition: TreeDecomposition,
+    tracer: Optional[Tracer] = None,
+    label: str = "nice",
 ) -> Tuple[NiceDecomposition, Cost]:
     """Convert any tree decomposition into nice form.
 
@@ -194,4 +196,6 @@ def make_nice(
 
     t = nd.num_nodes
     cost = Cost(max(2 * t, 1), max(1, 2 * log2_ceil(max(t, 2))))
+    if tracer is not None:
+        tracer.charge(cost, label=label, nodes=t)
     return nd, cost

@@ -27,7 +27,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..pram import Cost
+from ..pram import Cost, Tracer
 from ..pram.layer_algebra import (
     IDENTITY,
     apply_fn,
@@ -150,6 +150,8 @@ def layered_paths(
     parent: np.ndarray,
     root: Optional[int] = None,
     use_parallel_layers: bool = False,
+    tracer: Optional[Tracer] = None,
+    label: str = "layered-paths",
 ) -> Tuple[PathDecomposition, Cost]:
     """Decompose a rooted tree or forest into O(log n) layers of disjoint
     paths (Lemma 3.2): nodes in layer i have no children in layers > i."""
@@ -199,6 +201,10 @@ def layered_paths(
         layers[int(layer_of[v])].append(path_nodes[i])
 
     cost = cost + Cost.scan(max(n, 1)) + Cost.step(max(n, 1))
+    if tracer is not None:
+        tracer.charge(
+            cost, label=label, layers=num_layers, paths=len(tops)
+        )
     return (
         PathDecomposition(layers=layers, layer_of=layer_of, path_of=path_of),
         cost,

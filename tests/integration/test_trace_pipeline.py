@@ -1,0 +1,90 @@
+"""Integration: the drivers' span trees account for every charged unit.
+
+For each end-to-end driver, the returned ``trace`` must (a) total exactly
+the driver's flat ``cost`` (the refactor is attribution, not re-pricing),
+(b) satisfy the running-total == recursive-fold invariant at every node,
+and (c) contain the pipeline's expected phases.
+"""
+
+import numpy as np
+
+from repro.connectivity import minimum_vertex_cuts, planar_vertex_connectivity
+from repro.graphs import cycle_graph, grid_graph, triangulated_grid, wheel_graph
+from repro.isomorphism import (
+    count_occurrences_exact,
+    cycle_pattern,
+    decide_subgraph_isomorphism,
+    list_occurrences,
+    triangle,
+)
+from repro.planar import embed_geometric
+from repro.separating.driver import decide_separating_isomorphism
+
+
+def _check(trace, cost, *phases):
+    assert trace is not None
+    assert trace.cost == cost
+    for span in trace.walk():
+        assert span.cost == span.folded()
+    names = {s.name for s in trace.walk()}
+    assert set(phases) <= names, set(phases) - names
+
+
+def _target(gg):
+    emb, _ = embed_geometric(gg)
+    return gg.graph, emb
+
+
+class TestDriverTraces:
+    def test_decide(self):
+        graph, emb = _target(triangulated_grid(6, 6))
+        for engine in ("parallel", "sequential"):
+            r = decide_subgraph_isomorphism(
+                graph, emb, triangle(), seed=0, engine=engine
+            )
+            assert r.found
+            _check(
+                r.trace, r.cost,
+                "embed", "round", "cover", "clustering", "pieces",
+                "dp-solve",
+            )
+
+    def test_listing(self):
+        graph, emb = _target(grid_graph(4, 4))
+        r = list_occurrences(graph, emb, cycle_pattern(4), seed=0)
+        _check(
+            r.trace, r.cost,
+            "round", "cover", "clustering", "dp-solve", "dedup",
+        )
+
+    def test_exact_count(self):
+        graph, emb = _target(grid_graph(4, 4))
+        r = count_occurrences_exact(graph, emb, cycle_pattern(4))
+        _check(
+            r.trace, r.cost,
+            "components", "bfs", "window-count", "minfill",
+            "sequential-dp",
+        )
+
+    def test_separating(self):
+        graph, emb = _target(cycle_graph(8))
+        marked = np.ones(graph.n, dtype=bool)
+        r = decide_separating_isomorphism(
+            graph, emb, marked, cycle_pattern(4), seed=0, rounds=2
+        )
+        _check(r.trace, r.cost, "round", "cover", "pieces")
+
+    def test_vertex_connectivity(self):
+        graph, emb = _target(wheel_graph(6))
+        r = planar_vertex_connectivity(graph, emb, seed=0, rounds=2)
+        assert r.connectivity == 3
+        _check(
+            r.trace, r.cost,
+            "components", "biconnectivity", "face-vertex", "cycle-search",
+            "cover", "dp-solve",
+        )
+
+    def test_min_cuts(self):
+        graph, emb = _target(cycle_graph(7))
+        r = minimum_vertex_cuts(graph, emb, seed=0, max_iterations=2)
+        _check(r.trace, r.cost, "iteration", "cover", "planar-vc")

@@ -61,6 +61,12 @@ class TestReduce:
         with pytest.raises(ValueError):
             parallel_reduce(np.array([1]), "median")
 
+    def test_returns_python_scalar(self):
+        out, _ = parallel_reduce(np.array([1, 2, 3]), "sum")
+        assert type(out) is int
+        fout, _ = parallel_reduce(np.array([1.5, 2.5]), "sum")
+        assert type(fout) is float
+
 
 class TestPack:
     @given(int_arrays)
@@ -79,6 +85,23 @@ class TestPack:
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
             pack(np.array([1, 2]), np.array([True]))
+
+    def test_empty_input_costs_nothing(self):
+        # Regression: the old accounting charged Cost(1, 1) for n == 0.
+        empty = np.array([], dtype=np.int64)
+        out, cost = pack(empty, np.array([], dtype=bool))
+        assert out.size == 0 and cost == Cost.zero()
+        idx, icost = pack_indices(np.array([], dtype=bool))
+        assert idx.size == 0 and icost == Cost.zero()
+
+    @given(int_arrays)
+    def test_cost_scales_with_input(self, a):
+        mask = a > 0
+        _, cost = pack(a, mask)
+        _, icost = pack_indices(mask)
+        # One scan plus one scatter step over n elements.
+        assert cost == Cost.scan(len(a)) + Cost.step(len(a))
+        assert icost == cost
 
 
 class TestPointerJumping:

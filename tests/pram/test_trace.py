@@ -1,0 +1,245 @@
+"""The trace substrate: span-tree accounting vs the Cost algebra.
+
+The key property: a :class:`Tracer` drives the exact same ``Cost.seq`` /
+``Cost.par`` arithmetic as folding the corresponding cost expression by
+hand — nesting spans and parallel regions only adds attribution, never
+changes totals.  Random "trace programs" (nested seq blocks, parallel
+regions, charges) are interpreted twice — once declaratively over ``Cost``,
+once through a ``Tracer`` — and must agree; the recorded tree's running
+totals must equal its from-scratch fold.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram import (
+    Cost,
+    Span,
+    Tracer,
+    Tracker,
+    aggregate_phases,
+    format_trace,
+    span_from_dict,
+)
+
+# -- random trace programs -------------------------------------------------
+#
+# A program is a list of ops, run sequentially:
+#   ("charge", work, depth)      one direct charge
+#   ("seq", name, [ops])         a named span around a subprogram
+#   ("par", name, [[ops], ...])  a parallel region, one branch per subprogram
+
+costs = st.tuples(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+).map(lambda t: ("charge", max(t), min(t)))
+
+programs = st.recursive(
+    st.lists(costs, max_size=4),
+    lambda inner: st.one_of(
+        st.lists(
+            st.one_of(
+                costs,
+                st.tuples(st.just("seq"), st.sampled_from("abc"), inner).map(
+                    tuple
+                ),
+                st.tuples(
+                    st.just("par"),
+                    st.sampled_from("xyz"),
+                    st.lists(inner, max_size=3),
+                ).map(tuple),
+            ),
+            max_size=4,
+        ),
+    ),
+    max_leaves=20,
+)
+
+
+def expected_cost(program) -> Cost:
+    """Declarative fold of a program over the Cost algebra."""
+    parts = []
+    for op in program:
+        if op[0] == "charge":
+            parts.append(Cost(op[1], op[2]))
+        elif op[0] == "seq":
+            parts.append(expected_cost(op[2]))
+        else:
+            parts.append(Cost.par(expected_cost(b) for b in op[2]))
+    return Cost.seq(parts)
+
+
+def run_program(tracer: Tracer, program, labeled: bool) -> None:
+    """Drive the same program through a Tracer."""
+    for op in program:
+        if op[0] == "charge":
+            if labeled:
+                tracer.charge(Cost(op[1], op[2]), label="leaf")
+            else:
+                tracer.charge(Cost(op[1], op[2]))
+        elif op[0] == "seq":
+            with tracer.span(op[1]):
+                run_program(tracer, op[2], labeled)
+        else:
+            with tracer.parallel(op[1]) as region:
+                for sub in op[2]:
+                    with region.branch() as branch:
+                        run_program(branch, sub, labeled)
+
+
+class TestCostAlgebraEquivalence:
+    @given(programs, st.booleans())
+    def test_tracer_matches_declarative_fold(self, program, labeled):
+        tracer = Tracer()
+        run_program(tracer, program, labeled)
+        want = expected_cost(program)
+        assert tracer.cost == want
+        assert tracer.root.cost == want
+
+    @given(programs)
+    def test_running_totals_equal_recursive_fold(self, program):
+        tracer = Tracer()
+        run_program(tracer, program, labeled=False)
+        for span in tracer.root.walk():
+            assert span.cost == span.folded()
+
+    @given(programs)
+    def test_labels_do_not_change_totals(self, program):
+        plain, labeled = Tracer(), Tracer()
+        run_program(plain, program, labeled=False)
+        run_program(labeled, program, labeled=True)
+        assert plain.cost == labeled.cost
+
+    @given(programs)
+    def test_cost_readable_inside_open_span(self, program):
+        """Drivers read ``tracker.cost`` before their outermost span
+        closes; the open-stack fold must already include everything."""
+        tracer = Tracer()
+        with tracer.span("outer"):
+            run_program(tracer, program, labeled=False)
+            inside = tracer.cost
+        assert inside == expected_cost(program)
+        assert tracer.cost == inside
+
+
+class TestTrackerCompatibility:
+    def test_alias(self):
+        assert Tracker is Tracer
+
+    def test_flat_usage_unchanged(self):
+        t = Tracker()
+        t.charge(Cost(10, 2))
+        t.step(5)
+        with t.parallel() as region:
+            region.add(Cost(7, 3))
+            with region.branch() as b:
+                b.charge(Cost(9, 4))
+        assert t.cost == Cost(10, 2) + Cost(5, 1) + (Cost(7, 3) | Cost(9, 4))
+
+
+class TestExceptionSafety:
+    def test_span_keeps_charges_on_raise(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("phase"):
+                t.charge(Cost(10, 2))
+                raise RuntimeError("boom")
+        assert t.cost == Cost(10, 2)
+        assert t.root.find("phase").cost == Cost(10, 2)
+        assert t.current is t.root  # stack unwound
+
+    def test_parallel_keeps_branches_on_raise(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.parallel() as region:
+                region.add(Cost(8, 3))
+                raise RuntimeError("boom")
+        assert t.cost == Cost(8, 3)
+
+    def test_branch_keeps_charges_on_raise(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.parallel() as region:
+                with region.branch() as b:
+                    b.charge(Cost(4, 2))
+                    raise RuntimeError("boom")
+        assert t.cost == Cost(4, 2)
+
+
+class TestSpanTree:
+    def test_structure_and_counters(self):
+        t = Tracer("run")
+        with t.span("cover", k=3):
+            t.charge(Cost(5, 1), label="clustering", clusters=2)
+            t.count(pieces=4)
+        cover = t.root.find("cover")
+        assert cover.counters == {"k": 3, "pieces": 4}
+        assert [c.name for c in cover.children] == ["clustering"]
+        assert cover.find("clustering").counters == {"clusters": 2}
+        assert t.root.find_all("cover") == [cover]
+        assert t.root.find("missing") is None
+
+    def test_attach_folds_sequentially(self):
+        helper = Tracer("helper")
+        helper.charge(Cost(6, 2))
+        t = Tracer()
+        t.charge(Cost(10, 3))
+        t.attach(helper.root)
+        assert t.cost == Cost(16, 5)
+        assert t.root.children[-1] is helper.root
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Span("x", mode="quantum")
+
+
+class TestSerialization:
+    @given(programs)
+    def test_roundtrip(self, program):
+        tracer = Tracer()
+        run_program(tracer, program, labeled=True)
+        tracer.count(n=7)
+        data = json.loads(json.dumps(tracer.root.to_dict()))
+        back = span_from_dict(data)
+        assert back.to_dict() == tracer.root.to_dict()
+        assert back.cost == tracer.root.cost == back.folded()
+
+
+class TestRendering:
+    def _sample(self):
+        t = Tracer("run")
+        with t.span("cover"):
+            t.charge(Cost(100, 4), label="clustering")
+        with t.parallel("pieces") as region:
+            for _ in range(3):
+                with region.branch("dp-solve") as b:
+                    b.charge(Cost(50, 5))
+        return t
+
+    def test_format_trace_table(self):
+        t = self._sample()
+        text = format_trace(t.root)
+        assert "phase" in text and "work" in text and "depth" in text
+        assert "cover" in text
+        assert "dp-solve x3" in text  # merged siblings
+        assert "pieces ||" in text  # parallel marker
+        assert f"{t.cost.work:,}" in text
+
+    def test_format_trace_unmerged_and_limits(self):
+        t = self._sample()
+        text = format_trace(t.root, merge_siblings=False)
+        assert text.count("dp-solve") == 3
+        shallow = format_trace(t.root, max_depth=1)
+        assert "clustering" not in shallow
+        filtered = format_trace(t.root, min_work_fraction=0.9)
+        assert "below threshold" in filtered
+
+    def test_aggregate_phases(self):
+        t = self._sample()
+        agg = aggregate_phases(t.root)
+        assert agg["dp-solve"] == {"work": 150, "count": 3, "max_depth": 5}
+        assert agg["pieces"]["work"] == 150
+        assert agg["run"]["work"] == t.cost.work

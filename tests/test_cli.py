@@ -1,8 +1,11 @@
 """CLI tests: spec parsing and the command entry points."""
 
+import json
+
 import pytest
 
 from repro.cli import main, parse_pattern, parse_target
+from repro.pram import span_from_dict
 
 
 class TestParseTarget:
@@ -97,3 +100,54 @@ class TestCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTraceFlags:
+    def test_decide_trace_table(self, capsys):
+        assert main(
+            ["decide", "--target", "trigrid:5x5", "--pattern", "triangle",
+             "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        # The table header plus the pipeline's phases.
+        assert "phase" in out and "share" in out
+        for phase in ("decide-si", "cover", "clustering", "dp-solve"):
+            assert phase in out
+
+    def test_decide_trace_json(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(
+            ["decide", "--target", "trigrid:5x5", "--pattern", "triangle",
+             "--trace-json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        with open(path) as fh:
+            data = json.load(fh)
+        span = span_from_dict(data)
+        # The printed flat totals and the tree's root must agree.
+        assert f"work={span.work:,} depth={span.depth:,}" in out
+        assert span.cost == span.folded()
+        names = {s.name for s in span.walk()}
+        assert {"clustering", "cover", "dp-solve"} <= names
+
+    def test_vc_trace(self, capsys):
+        assert main(
+            ["vc", "--target", "wheel:6", "--rounds", "2", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "planar-vc" in out and "cycle-search" in out
+
+    def test_list_trace(self, capsys):
+        assert main(
+            ["list", "--target", "grid:4x4", "--pattern", "cycle:4",
+             "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "list-occurrences" in out and "dp-solve" in out
+
+    def test_count_exact_trace(self, capsys):
+        assert main(
+            ["count", "--target", "grid:4x4", "--pattern", "cycle:4",
+             "--exact", "--trace"]
+        ) == 0
+        assert "window-count" in capsys.readouterr().out
