@@ -9,6 +9,8 @@ Claims measured:
   (exercised end to end on a small instance).
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -27,7 +29,7 @@ from repro.separating import (
 )
 from repro.treedecomp import make_nice, minfill_decomposition
 
-from conftest import report
+from conftest import record_pr2, report, smoke_mode
 
 
 def test_state_blowup_factor(benchmark):
@@ -75,6 +77,65 @@ def test_driver_matches_oracle(benchmark, cols):
         work=result.cost.work, width=result.max_piece_width,
     )
     assert result.found == expect
+
+
+def test_separating_packed_speedup(benchmark):
+    """E10-packed: reference vs packed engines on the extended space.
+
+    The separating space pays Lemma 5.3's 2^O(k) state blow-up, so its
+    tables are where the packed high-bit codec earns its keep: one
+    parallel-engine solve of a full-grid decomposition, both kernels.
+    Charged cost/diagnostics must be identical; wall-clock floor >= 5x
+    (waived under BENCH_SMOKE along with the instance size).
+    """
+    smoke = smoke_mode()
+    side = 5 if smoke else 7
+    g = grid_graph(side, side).graph
+    marked = np.ones(g.n, dtype=bool)
+    pattern = path_pattern(4)
+    td, _ = minfill_decomposition(g)
+    nice, _ = make_nice(td)
+
+    def solve(kernel):
+        space = SeparatingStateSpace(pattern, g, marked)
+        t0 = time.perf_counter()
+        result = parallel_dp(space, nice, engine=kernel)
+        return time.perf_counter() - t0, result
+
+    def run():
+        return solve("reference"), solve("packed")
+
+    (ref_wall, ref), (pkd_wall, pkd) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert pkd.cost == ref.cost
+    assert pkd.accepting_count == ref.accepting_count
+    assert (pkd.total_states, pkd.total_shortcuts, pkd.max_bfs_rounds) == (
+        ref.total_states, ref.total_shortcuts, ref.max_bfs_rounds
+    )
+    speedup = record_pr2(
+        "E10-packed-speedup",
+        config={
+            "graph": f"grid{side}x{side}", "pattern": f"P{pattern.k}",
+            "engine": "parallel", "width": nice.width(),
+        },
+        reference={
+            "wall_s": round(ref_wall, 3),
+            "work": ref.cost.work, "depth": ref.cost.depth,
+        },
+        packed={
+            "wall_s": round(pkd_wall, 3),
+            "work": pkd.cost.work, "depth": pkd.cost.depth,
+        },
+    )
+    benchmark.extra_info.update(speedup=round(speedup, 2))
+    report(
+        "E10-packed", n=g.n, k=pattern.k, states=ref.total_states,
+        ref_s=round(ref_wall, 2), packed_s=round(pkd_wall, 2),
+        speedup=round(speedup, 1),
+    )
+    if not smoke:
+        assert speedup >= 5.0
 
 
 def test_parallel_engine_depth(benchmark):

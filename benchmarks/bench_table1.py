@@ -19,6 +19,7 @@ wall-clock is what pytest-benchmark records.
 """
 
 import math
+import time
 
 import numpy as np
 import pytest
@@ -26,14 +27,18 @@ import pytest
 from repro.baselines import color_coding_decide, eppstein_decide
 from repro.graphs import grid_graph
 from repro.isomorphism import (
+    SubgraphStateSpace,
     cycle_pattern,
     decide_subgraph_isomorphism,
+    parallel_dp,
     triangle,
 )
+from repro.isomorphism.cover import treewidth_cover
 from repro.planar import embed_geometric
-from repro.pram import aggregate_phases
+from repro.pram import Tracer, aggregate_phases
+from repro.treedecomp import make_nice
 
-from conftest import report
+from conftest import record_pr2, report, smoke_mode
 
 SIZES = [256, 1024, 4096]
 
@@ -124,6 +129,79 @@ def test_table1_color_coding(benchmark, n):
     benchmark.extra_info.update(n=n, work=cost.work, depth=cost.depth)
     report("T1-colorcoding", n=n, k=pattern.k, work=cost.work,
            depth=cost.depth)
+
+
+def test_table1_packed_speedup(benchmark):
+    """T1-packed: wall-clock of the packed vs reference table engines.
+
+    Times the dp-solve phase (where the packed kernels act) over the
+    heaviest pieces of one real n=4096 cover with a k=7 pattern — the
+    regime Table 1 is about, where the ``(tau + 3)^k`` tables dominate.
+    The charged costs, accepting counts and parallel diagnostics must be
+    identical between engines (the packed contract); the wall-clock floor
+    is >= 5x (waived under BENCH_SMOKE along with the instance size).
+    """
+    smoke = smoke_mode()
+    n = 256 if smoke else 4096
+    pattern = cycle_pattern(5 if smoke else 7)
+    top_pieces = 2 if smoke else 4
+    graph, emb = _target(n)
+    cover = treewidth_cover(
+        graph, emb, pattern.k, pattern.diameter(), seed=1,
+        tracer=Tracer("bench-cover"),
+    )
+    pieces = sorted(
+        (p for p in cover.pieces if p.graph.n >= pattern.k),
+        key=lambda p: p.graph.n,
+        reverse=True,
+    )[:top_pieces]
+    prep = [
+        (p, make_nice(p.decomposition.binarize())[0]) for p in pieces
+    ]
+
+    def solve(kernel):
+        t0 = time.perf_counter()
+        results = [
+            parallel_dp(
+                SubgraphStateSpace(pattern, p.graph), nice, engine=kernel
+            )
+            for p, nice in prep
+        ]
+        wall = time.perf_counter() - t0
+        return wall, results
+
+    def run():
+        return solve("reference"), solve("packed")
+
+    (ref_wall, ref), (pkd_wall, pkd) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # Engine invariance: identical charged costs and diagnostics per piece.
+    for r, p in zip(ref, pkd):
+        assert p.cost == r.cost
+        assert p.accepting_count == r.accepting_count
+        assert (p.total_states, p.total_shortcuts, p.max_bfs_rounds) == (
+            r.total_states, r.total_shortcuts, r.max_bfs_rounds
+        )
+    work = sum(r.cost.work for r in ref)
+    depth = max(r.cost.depth for r in ref)
+    speedup = record_pr2(
+        "T1-packed-speedup",
+        config={
+            "n": n, "pattern": f"C{pattern.k}", "engine": "parallel",
+            "pieces": [p.graph.n for p, _ in prep],
+        },
+        reference={"wall_s": round(ref_wall, 3), "work": work, "depth": depth},
+        packed={"wall_s": round(pkd_wall, 3), "work": work, "depth": depth},
+    )
+    benchmark.extra_info.update(n=n, speedup=round(speedup, 2))
+    report(
+        "T1-packed", n=n, k=pattern.k, pieces=len(prep),
+        ref_s=round(ref_wall, 2), packed_s=round(pkd_wall, 2),
+        speedup=round(speedup, 1),
+    )
+    if not smoke:
+        assert speedup >= 5.0
 
 
 def test_table1_depth_crossover(benchmark):

@@ -10,13 +10,67 @@ lemma/theorem/figure).  Conventions:
   (run ``pytest benchmarks/ --benchmark-only -s`` to see them);
 * each measurement also asserts the qualitative claim it reproduces (who
   wins, how curves scale), so the harness doubles as a regression test.
+
+The packed-kernel speedup experiments additionally write a machine-readable
+record to ``BENCH_PR2.json`` (see :func:`record_pr2`): charged work/depth
+and host wall-clock for the reference and packed table engines, plus the
+wall-clock speedup.  ``BENCH_PR2_PATH`` overrides the output path;
+``BENCH_SMOKE=1`` shrinks the instances and waives the speedup floor (CI
+smoke mode — the equivalence assertions still run at full strength).
 """
+
+import json
+import os
 
 import numpy as np
 import pytest
 
 from repro.graphs import delaunay_graph, grid_graph, triangulated_grid
 from repro.planar import embed_geometric
+
+_PR2_ROWS = []
+
+
+def smoke_mode() -> bool:
+    """CI smoke mode: reduced instance sizes, no wall-clock floor."""
+    return bool(os.environ.get("BENCH_SMOKE"))
+
+
+def record_pr2(experiment: str, config: dict, reference: dict, packed: dict):
+    """Record one reference-vs-packed measurement for BENCH_PR2.json.
+
+    ``reference``/``packed`` each carry ``wall_s`` plus the charged
+    ``work``/``depth`` totals; the charged quantities must already have
+    been asserted identical by the caller (engine invariance).
+    """
+    speedup = reference["wall_s"] / max(packed["wall_s"], 1e-9)
+    _PR2_ROWS.append(
+        {
+            "experiment": experiment,
+            "config": config,
+            "reference": reference,
+            "packed": packed,
+            "speedup": round(speedup, 2),
+        }
+    )
+    return speedup
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _PR2_ROWS:
+        return
+    path = os.environ.get(
+        "BENCH_PR2_PATH",
+        os.path.join(os.path.dirname(__file__), "..", "BENCH_PR2.json"),
+    )
+    payload = {
+        "schema": "bench-pr2/v1",
+        "smoke": smoke_mode(),
+        "experiments": _PR2_ROWS,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
 
 
 @pytest.fixture(scope="session")

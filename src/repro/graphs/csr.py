@@ -28,7 +28,7 @@ class Graph:
         edges are merged (the structure is a simple graph).
     """
 
-    __slots__ = ("n", "indptr", "indices", "_edges_uv", "_adjsets")
+    __slots__ = ("n", "indptr", "indices", "_edges_uv", "_adjsets", "_edge_keys")
 
     def __init__(self, n: int, edges: Iterable[Tuple[int, int]]) -> None:
         if n < 0:
@@ -57,6 +57,7 @@ class Graph:
             [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
         )
         self._adjsets = None
+        self._edge_keys = None
 
     # -- constructors ------------------------------------------------------
 
@@ -68,6 +69,7 @@ class Graph:
         g.indptr = np.asarray(indptr, dtype=np.int64)
         g.indices = np.asarray(indices, dtype=np.int64)
         g._adjsets = None
+        g._edge_keys = None
         u = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.indptr))
         mask = u < g.indices
         g._edges_uv = np.stack([u[mask], g.indices[mask]], axis=1)
@@ -95,19 +97,54 @@ class Graph:
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
 
     def has_edge(self, u: int, v: int) -> bool:
-        return v in self.adjacency_set(u)
+        """O(log deg(u)) membership test via bisection on the sorted CSR row
+        (no per-vertex set materialization)."""
+        lo = int(self.indptr[u])
+        hi = int(self.indptr[u + 1])
+        i = lo + int(np.searchsorted(self.indices[lo:hi], v))
+        return i < hi and int(self.indices[i]) == v
+
+    def has_edges(self, u, v) -> np.ndarray:
+        """Vectorized edge-membership test: ``out[i] = has_edge(u[i], v[i])``.
+
+        ``u`` and ``v`` broadcast against each other.  Implemented as one
+        ``np.searchsorted`` over the flattened edge-key array ``u * n + v``
+        (sorted because CSR rows are sorted and concatenated in vertex
+        order), so a batch of q queries costs O(q log m) with no Python
+        loop — the membership kernel the packed DP engines build on.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        u, v = np.broadcast_arrays(u, v)
+        if self._edge_keys is None:
+            src = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(self.indptr)
+            )
+            self._edge_keys = src * self.n + self.indices
+        keys = u * self.n + v
+        pos = np.searchsorted(self._edge_keys, keys)
+        pos_clipped = np.minimum(pos, max(self._edge_keys.size - 1, 0))
+        if self._edge_keys.size == 0:
+            return np.zeros(u.shape, dtype=bool)
+        return (pos < self._edge_keys.size) & (
+            self._edge_keys[pos_clipped] == keys
+        )
 
     def adjacency_set(self, v: int) -> frozenset:
-        """Cached neighbor set of ``v`` (fast membership tests)."""
+        """Cached neighbor set of ``v`` (fast membership tests).
+
+        Built lazily *per queried vertex* — a single query no longer pays
+        for all ``n`` sets."""
         if self._adjsets is None:
-            self._adjsets = [
-                frozenset(
-                    int(x)
-                    for x in self.indices[self.indptr[u] : self.indptr[u + 1]]
-                )
-                for u in range(self.n)
-            ]
-        return self._adjsets[v]
+            self._adjsets = {}
+        s = self._adjsets.get(v)
+        if s is None:
+            s = frozenset(
+                int(x)
+                for x in self.indices[self.indptr[v] : self.indptr[v + 1]]
+            )
+            self._adjsets[v] = s
+        return s
 
     def edges(self) -> np.ndarray:
         """The ``m x 2`` array of canonical (u < v) edges."""

@@ -10,6 +10,12 @@ from .pattern import (
     triangle,
 )
 from .state_space import IN_CHILD, UNMATCHED, SubgraphStateSpace
+from .packed import (
+    PackedSubgraphOps,
+    PackedValidTables,
+    dedup_accumulate,
+    packed_ops_for,
+)
 from .sequential_dp import DPResult, sequential_dp
 from .parallel_dp import ParallelDPResult, parallel_dp
 from .match_dag import PathDAGResult, solve_path
@@ -39,6 +45,10 @@ __all__ = [
     "UNMATCHED",
     "IN_CHILD",
     "SubgraphStateSpace",
+    "PackedSubgraphOps",
+    "PackedValidTables",
+    "dedup_accumulate",
+    "packed_ops_for",
     "DPResult",
     "sequential_dp",
     "ParallelDPResult",

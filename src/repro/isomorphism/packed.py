@@ -1,0 +1,593 @@
+"""Packed-state NumPy kernels for the DP table engines.
+
+Every table engine in the reproduction (Eppstein-style ``sequential_dp``,
+the Section 3.3 path/DAG/shortcut engine, and the Section 5.2 separating
+variant) manipulates DP tables whose states are the paper's ``(phi, C, U)``
+triples.  The reference implementation stores them as ``dict[tuple, int]``
+and pays the ``(tau + 3)^k`` state explosion in Python interpreter overhead
+on top of the charged work.  The paper's cost model already observes that
+transitions are *data-parallel over states* — so this module executes them
+as batched array kernels instead:
+
+**Codec.**  A state of a decomposition node with bag ``X`` (sorted) is a
+single ``int64`` code in base ``b = |X| + 2``: pattern vertex ``p``
+contributes digit ``0`` (unmatched, the set U), ``1`` (matched in a child,
+the set C) or ``2 + j`` (mapped onto the ``j``-th bag vertex), weighted by
+``b^p``.  Encoding is bag-relative — every mapped target of a valid state
+lies in the bag, so the codec is total on DP tables — and strictly monotone
+with respect to the colexicographic order of the digit vectors, which makes
+sorted code arrays canonical.
+
+**Tables.**  A DP table is a pair ``(codes, mults)`` of equally long int64
+arrays with ``codes`` sorted and unique.  Duplicate accumulation is
+sort + ``np.add.reduceat``; join compatibility is ``join_key`` bucketing by
+``np.searchsorted``; membership filters are ``np.searchsorted`` probes.
+
+**Engine invariance.**  The kernels generate exactly the same candidate
+multisets as the tuple-dict reference transitions, so the charged
+``Cost``/trace totals are *identical* between ``engine="packed"`` and
+``engine="reference"`` — only host wall-clock changes.  The extended
+separating space packs its side sets and boolean history into the high bits
+above the base code (see ``repro.separating.packed``).
+
+``PackedValidTables`` re-exposes packed per-node tables through the
+list-of-``dict[tuple, int]`` facade the recovery walker and the tests
+consume, decoding lazily per visited node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "dedup_accumulate",
+    "member_positions",
+    "match_key_pairs",
+    "packed_ops_for",
+    "PackedSubgraphOps",
+    "PackedValidTables",
+]
+
+NIL = -1
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# shared table helpers
+# ---------------------------------------------------------------------------
+
+
+def dedup_accumulate(
+    codes: np.ndarray, mults: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicate codes, summing multiplicities.
+
+    Returns ``(unique_sorted_codes, summed_mults)`` — the canonical packed
+    table form (sort + ``np.add.reduceat``).
+    """
+    if codes.size == 0:
+        return _EMPTY, _EMPTY
+    order = np.argsort(codes, kind="stable")
+    codes = codes[order]
+    mults = mults[order]
+    boundaries = np.flatnonzero(
+        np.concatenate([[True], codes[1:] != codes[:-1]])
+    )
+    return codes[boundaries], np.add.reduceat(mults, boundaries)
+
+
+def member_positions(
+    sorted_codes: np.ndarray, queries: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Locate ``queries`` inside a sorted unique code array.
+
+    Returns ``(pos, found)``: ``pos[i]`` is the index of ``queries[i]`` in
+    ``sorted_codes`` (valid only where ``found[i]``).
+    """
+    if sorted_codes.size == 0:
+        z = np.zeros(queries.shape, dtype=np.int64)
+        return z, np.zeros(queries.shape, dtype=bool)
+    pos = np.searchsorted(sorted_codes, queries)
+    clipped = np.minimum(pos, sorted_codes.size - 1)
+    found = sorted_codes[clipped] == queries
+    return clipped, found
+
+
+def expand_buckets(
+    lo: np.ndarray, hi: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand per-query bucket ranges ``[lo, hi)`` into flat pair indices.
+
+    Returns ``(query_idx, bucket_offset)`` such that iterating the pairs
+    enumerates every (query, bucket member) combination.
+    """
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    qi = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    resets = np.repeat(np.cumsum(counts) - counts, counts)
+    offsets = np.arange(total, dtype=np.int64) - resets
+    return qi, starts + offsets
+
+
+def match_key_pairs(
+    kl: np.ndarray, kr: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All index pairs ``(li, ri)`` with ``kl[li] == kr[ri]``.
+
+    The join-compatibility bucketing: sort the right keys once, then locate
+    each left key's bucket with two ``np.searchsorted`` probes and expand.
+    """
+    order = np.argsort(kr, kind="stable")
+    krs = kr[order]
+    lo = np.searchsorted(krs, kl, side="left")
+    hi = np.searchsorted(krs, kl, side="right")
+    li, bucket = expand_buckets(lo, hi)
+    ri = order[bucket] if bucket.size else bucket
+    return li, ri
+
+
+# ---------------------------------------------------------------------------
+# the plain (phi, C, U) space
+# ---------------------------------------------------------------------------
+
+
+class _BagCtx:
+    """Per-bag packing context: base, digit weights and bag-local lookups."""
+
+    __slots__ = (
+        "bag",
+        "size",
+        "base",
+        "pows",
+        "bag_adj",
+        "host_positions",
+        "class_ok",
+        "local_digits",
+        "local_codes",
+        "skel_luts",
+    )
+
+    def __init__(self, bag: np.ndarray, k: int) -> None:
+        self.bag = bag
+        self.size = int(bag.size)
+        self.base = self.size + 2
+        pows = np.empty(k, dtype=np.int64)
+        acc = 1
+        for p in range(k):
+            pows[p] = acc
+            acc *= self.base
+        self.pows = pows
+        self.bag_adj: Optional[np.ndarray] = None
+        self.host_positions: Optional[List[int]] = None
+        self.class_ok: Optional[np.ndarray] = None
+        self.local_digits: Optional[np.ndarray] = None
+        self.local_codes: Optional[np.ndarray] = None
+        self.skel_luts: Optional[List[np.ndarray]] = None
+
+
+class PackedSubgraphOps:
+    """Vectorized kernels for :class:`SubgraphStateSpace` tables."""
+
+    def __init__(self, space) -> None:
+        self.space = space
+        self.k = space.k
+        self.graph = space.graph
+        self.pattern = space.pattern
+        self.nbr = [
+            space.pattern.neighbor_array(p) for p in range(self.k)
+        ]
+        self.hedges = space.pattern.edge_list()
+        self._ctxs: dict = {}
+
+    # -- feasibility -------------------------------------------------------
+
+    def code_bits(self, bag_size: int) -> int:
+        """Bits needed for codes of a bag of the given size."""
+        return ((bag_size + 2) ** self.k - 1).bit_length()
+
+    def fits(self, nice) -> bool:
+        """Do all of ``nice``'s bags pack into int64 codes?"""
+        max_bag = max((int(b.size) for b in nice.bags), default=0)
+        return self.code_bits(max_bag) <= 62
+
+    # -- contexts ----------------------------------------------------------
+
+    def ctx(self, bag) -> _BagCtx:
+        bag = np.asarray(bag, dtype=np.int64)
+        key = bag.tobytes()
+        ctx = self._ctxs.get(key)
+        if ctx is None:
+            ctx = _BagCtx(bag, self.k)
+            self._ctxs[key] = ctx
+        return ctx
+
+    def _bag_adj(self, ctx: _BagCtx) -> np.ndarray:
+        if ctx.bag_adj is None:
+            if ctx.size:
+                ctx.bag_adj = self.graph.has_edges(
+                    ctx.bag[:, None], ctx.bag[None, :]
+                )
+            else:
+                ctx.bag_adj = np.zeros((0, 0), dtype=bool)
+        return ctx.bag_adj
+
+    def _host_positions(self, ctx: _BagCtx) -> List[int]:
+        if ctx.host_positions is None:
+            space = self.space
+            ctx.host_positions = [
+                j
+                for j in range(ctx.size)
+                if space._can_host(int(ctx.bag[j]))
+            ]
+        return ctx.host_positions
+
+    def _class_ok(self, ctx: _BagCtx) -> np.ndarray:
+        if ctx.class_ok is None:
+            space = self.space
+            ok = np.ones((self.k, ctx.size), dtype=bool)
+            if space.pattern_classes is not None and ctx.size:
+                host = space.host_classes[ctx.bag]
+                for p in range(self.k):
+                    want = space.pattern_classes[p]
+                    if want is not None:
+                        ok[p] = host == want
+            ctx.class_ok = ok
+        return ctx.class_ok
+
+    # -- codec -------------------------------------------------------------
+
+    def digits(self, ctx: _BagCtx, codes: np.ndarray) -> np.ndarray:
+        """Unpack codes into an ``(N, k)`` digit matrix."""
+        out = np.empty((codes.size, self.k), dtype=np.int64)
+        rest = codes.copy()
+        for p in range(self.k):
+            out[:, p] = rest % ctx.base
+            rest //= ctx.base
+        return out
+
+    def codes_from_digits(self, ctx: _BagCtx, digits: np.ndarray) -> np.ndarray:
+        return digits @ ctx.pows
+
+    def encode(self, ctx: _BagCtx, states: Sequence[tuple]) -> np.ndarray:
+        """Encode tuple states (same order) to codes."""
+        if not len(states):
+            return _EMPTY
+        arr = np.asarray(list(states), dtype=np.int64).reshape(-1, self.k)
+        mapped = 2 + np.searchsorted(ctx.bag, np.maximum(arr, 0))
+        digits = np.where(arr == -1, 0, np.where(arr == -2, 1, mapped))
+        return self.codes_from_digits(ctx, digits)
+
+    def decode(self, ctx: _BagCtx, codes: np.ndarray) -> List[tuple]:
+        """Decode codes back to tuple states (same order)."""
+        if codes.size == 0:
+            return []
+        lut = np.concatenate(
+            [np.asarray([-1, -2], dtype=np.int64), ctx.bag]
+        )
+        vals = lut[self.digits(ctx, codes)]
+        return [tuple(row) for row in vals.tolist()]
+
+    def cmask(self, digits: np.ndarray) -> np.ndarray:
+        """Bitmask (over pattern vertices) of the IN_CHILD positions."""
+        weights = np.int64(1) << np.arange(self.k, dtype=np.int64)
+        return (digits == 1) @ weights
+
+    def occupied_bits(self, ctx: _BagCtx, codes: np.ndarray) -> np.ndarray:
+        """Bitmask (over bag positions) of the phi-occupied bag vertices."""
+        digits = self.digits(ctx, codes)
+        occ = np.zeros(codes.size, dtype=np.int64)
+        one = np.int64(1)
+        for p in range(self.k):
+            d = digits[:, p]
+            occ |= np.where(d >= 2, one << np.maximum(d - 2, 0), 0)
+        return occ
+
+    # -- basic states ------------------------------------------------------
+
+    def leaf_codes(self) -> np.ndarray:
+        """The single all-unmatched state of an empty-bag leaf."""
+        return np.zeros(1, dtype=np.int64)
+
+    def accepting_mask(self, ctx: _BagCtx, codes: np.ndarray) -> np.ndarray:
+        """All pattern vertices matched in a child (root acceptance)."""
+        return codes == int(ctx.pows.sum())
+
+    def trivial_source_mask(
+        self, ctx: _BagCtx, codes: np.ndarray
+    ) -> np.ndarray:
+        """States with empty C are unconditionally valid (Section 3.3.2)."""
+        return self.cmask(self.digits(ctx, codes)) == 0
+
+    def admissible_mask(
+        self,
+        ctx: _BagCtx,
+        codes: np.ndarray,
+        forgotten_count: int,
+        marked_forgotten: bool,
+    ) -> np.ndarray:
+        """Vectorized ``admissible_at``: |C| bounded by forget steps below."""
+        digits = self.digits(ctx, codes)
+        return (digits == 1).sum(axis=1) <= forgotten_count
+
+    # -- transitions -------------------------------------------------------
+
+    def introduce(
+        self, cctx: _BagCtx, pctx: _BagCtx, v: int, codes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All parent candidates when ``v`` joins the bag.
+
+        Returns ``(src, out, lift)``: candidate ``i`` extends child state
+        ``src[i]`` into parent code ``out[i]`` (the multiset matches the
+        reference ``space.introduce`` yields exactly); ``lift[n]`` is child
+        state ``n``'s canonical no-new-match lift (here: itself, re-encoded
+        relative to the parent bag).
+        """
+        n = codes.size
+        jv = int(np.searchsorted(pctx.bag, v))
+        digits = self.digits(cctx, codes)
+        remap = np.empty(cctx.base, dtype=np.int64)
+        remap[0] = 0
+        remap[1] = 1
+        if cctx.size:
+            j = np.arange(cctx.size, dtype=np.int64)
+            remap[2:] = 2 + j + (j >= jv)
+        pdigits = remap[digits]
+        rem_codes = self.codes_from_digits(pctx, pdigits)
+        src_parts = [np.arange(n, dtype=np.int64)]
+        out_parts = [rem_codes]
+        if self.space._can_host(v) and n:
+            adj_v = self._bag_adj(pctx)[jv]
+            # okq[d]: pattern neighbor q with parent digit d blocks the new
+            # match iff q is in C (d == 1) or mapped to a non-neighbor of v.
+            okq = np.concatenate([[True, False], adj_v])
+            vdigit = np.int64(2 + jv)
+            for p in range(self.k):
+                if not self.space._class_ok(p, v):
+                    continue
+                mask = pdigits[:, p] == 0
+                for q in self.nbr[p]:
+                    if not mask.any():
+                        break
+                    mask &= okq[pdigits[:, q]]
+                idx = np.flatnonzero(mask)
+                if idx.size:
+                    src_parts.append(idx)
+                    out_parts.append(rem_codes[idx] + vdigit * pctx.pows[p])
+        return (
+            np.concatenate(src_parts),
+            np.concatenate(out_parts),
+            rem_codes,
+        )
+
+    def forget(
+        self, cctx: _BagCtx, pctx: _BagCtx, v: int, codes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The unique parent candidate (if any) when ``v`` leaves the bag.
+
+        Returns ``(src, out, lift)``: kept child indices, their parent
+        codes, and a per-child lift array (``-1`` where the state dies).
+        """
+        n = codes.size
+        jv = int(np.searchsorted(cctx.bag, v))
+        dv = 2 + jv
+        digits = self.digits(cctx, codes)
+        remap = np.empty(cctx.base, dtype=np.int64)
+        remap[0] = 0
+        remap[1] = 1
+        if cctx.size:
+            j = np.arange(cctx.size, dtype=np.int64)
+            remap[2:] = 2 + j - (j > jv)
+        remap[dv] = 1  # the forgotten vertex's pattern vertex moves to C
+        pdigits = remap[digits]
+        keep = np.ones(n, dtype=bool)
+        for p in range(self.k):
+            mp = digits[:, p] == dv
+            if not mp.any():
+                continue
+            ok = mp.copy()
+            for q in self.nbr[p]:
+                ok &= digits[:, q] != 0
+            keep &= ~mp | ok
+        src = np.flatnonzero(keep)
+        out = self.codes_from_digits(pctx, pdigits[src])
+        lift = np.full(n, NIL, dtype=np.int64)
+        lift[src] = out
+        return src, out, lift
+
+    def join_keys(self, ctx: _BagCtx, codes: np.ndarray) -> np.ndarray:
+        """Bucketing key: the mapped part of phi (C folded into U)."""
+        digits = self.digits(ctx, codes)
+        keymap = np.arange(ctx.base, dtype=np.int64)
+        keymap[1] = 0
+        return self.codes_from_digits(ctx, keymap[digits])
+
+    def join(
+        self, ctx: _BagCtx, lcodes: np.ndarray, rcodes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """All key-compatible (left, right) pairs and their join results.
+
+        Returns ``(li, ri, out, valid)`` over every pair whose join keys
+        agree (the pairs the reference engine *examines*); ``valid`` marks
+        pairs with disjoint C sets (the pairs that actually join), and
+        ``out`` is the joined code (meaningful where ``valid``).
+        """
+        kl = self.join_keys(ctx, lcodes)
+        kr = self.join_keys(ctx, rcodes)
+        li, ri = match_key_pairs(kl, kr)
+        if li.size == 0:
+            return li, ri, _EMPTY, np.zeros(0, dtype=bool)
+        ccl = lcodes - kl  # the C contribution: digit 1 at C positions
+        ccr = rcodes - kr
+        cml = self.cmask(self.digits(ctx, lcodes))
+        cmr = self.cmask(self.digits(ctx, rcodes))
+        valid = (cml[li] & cmr[ri]) == 0
+        out = kl[li] + ccl[li] + ccr[ri]
+        return li, ri, out, valid
+
+    def join_lift(self, ctx: _BagCtx, codes: np.ndarray) -> np.ndarray:
+        """Canonical lift through a join: combine with the empty-C twin."""
+        return codes
+
+    # -- local enumeration (Section 3.3.2) ----------------------------------
+
+    def _skel_luts(self, ctx: _BagCtx) -> List[np.ndarray]:
+        if ctx.skel_luts is None:
+            adj = self._bag_adj(ctx)
+            ctx.skel_luts = [
+                np.concatenate([[True, True], adj[j]])
+                for j in range(ctx.size)
+            ]
+        return ctx.skel_luts
+
+    def local_digit_matrix(self, ctx: _BagCtx) -> np.ndarray:
+        """Digit matrix of every locally plausible state of the bag.
+
+        Incremental column-wise expansion with vectorized pruning — the
+        same state set (and the same ``(tau + 3)^k`` bound) as the
+        reference recursive enumeration, without per-state Python frames.
+        """
+        if ctx.local_digits is not None:
+            return ctx.local_digits
+        k = self.k
+        luts = self._skel_luts(ctx)
+        class_ok = self._class_ok(ctx)
+        host = self._host_positions(ctx)
+        digits = np.zeros((1, k), dtype=np.int64)
+        occ = np.zeros(1, dtype=np.int64)
+        # Mapped skeletons: each pattern vertex either stays off the bag or
+        # lands on a free, class-compatible bag vertex consistent with its
+        # already-placed pattern neighbors.
+        for p in range(k):
+            rows = digits.shape[0]
+            sel = [np.arange(rows, dtype=np.int64)]
+            val = [np.zeros(rows, dtype=np.int64)]
+            earlier = [int(q) for q in self.nbr[p] if q < p]
+            for j in host:
+                if not class_ok[p, j]:
+                    continue
+                mask = (occ >> j) & 1 == 0
+                for q in earlier:
+                    if not mask.any():
+                        break
+                    mask &= luts[j][digits[:, q]]
+                idx = np.flatnonzero(mask)
+                if idx.size:
+                    sel.append(idx)
+                    val.append(np.full(idx.size, 2 + j, dtype=np.int64))
+            sel_all = np.concatenate(sel)
+            val_all = np.concatenate(val)
+            digits = digits[sel_all]
+            digits[:, p] = val_all
+            occ = occ[sel_all] | np.where(
+                val_all >= 2,
+                np.int64(1) << np.maximum(val_all - 2, 0),
+                np.int64(0),
+            )
+        # U/C refinement: each off-bag pattern vertex independently stays
+        # unmatched or moves to C ...
+        for p in range(k):
+            idx = np.flatnonzero(digits[:, p] == 0)
+            if idx.size:
+                twin = digits[idx].copy()
+                twin[:, p] = 1
+                digits = np.concatenate([digits, twin])
+        # ... pruning C members adjacent (in H) to a U member — the edge
+        # between them could never be realized.
+        ok = np.ones(digits.shape[0], dtype=bool)
+        for p, q in self.hedges:
+            dp = digits[:, p]
+            dq = digits[:, q]
+            ok &= ~(((dp == 1) & (dq == 0)) | ((dp == 0) & (dq == 1)))
+        digits = digits[ok]
+        codes = self.codes_from_digits(ctx, digits)
+        order = np.argsort(codes, kind="stable")
+        ctx.local_digits = digits[order]
+        ctx.local_codes = codes[order]
+        return ctx.local_digits
+
+    def local_codes(self, ctx: _BagCtx) -> np.ndarray:
+        """Sorted codes of every locally plausible state of the bag."""
+        if ctx.local_codes is None:
+            self.local_digit_matrix(ctx)
+        return ctx.local_codes
+
+
+# ---------------------------------------------------------------------------
+# engine-facing helpers
+# ---------------------------------------------------------------------------
+
+
+def packed_ops_for(space, nice):
+    """The packed kernel set for ``space`` if it exists and fits ``nice``.
+
+    Returns ``None`` when the space has no packed implementation or the
+    codes would overflow int64 — engines then fall back to the reference
+    tuple-dict path (the results and charged costs are identical either
+    way, so the fallback is invisible).
+    """
+    factory = getattr(space, "packed_ops", None)
+    if factory is None:
+        return None
+    ops = factory()
+    return ops if ops.fits(nice) else None
+
+
+class PackedValidTables(Sequence):
+    """List-of-dict facade over packed per-node tables, decoded lazily.
+
+    Indexing node ``i`` yields the familiar ``dict[state, multiplicity]``
+    (multiplicity 1 for reachability engines); the packed codes stay
+    available through :meth:`codes_at` for kernel consumers.
+    """
+
+    def __init__(
+        self,
+        ops,
+        bags: Sequence[np.ndarray],
+        codes: List[Optional[np.ndarray]],
+        mults: Optional[List[Optional[np.ndarray]]] = None,
+    ) -> None:
+        self._ops = ops
+        self._bags = bags
+        self._codes = codes
+        self._mults = mults
+        self._cache: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self)))]
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        table = self._cache.get(i)
+        if table is None:
+            codes = self._codes[i]
+            if codes is None or codes.size == 0:
+                table = {}
+            else:
+                states = self._ops.decode(
+                    self._ops.ctx(self._bags[i]), codes
+                )
+                if self._mults is None or self._mults[i] is None:
+                    table = {s: 1 for s in states}
+                else:
+                    table = {
+                        s: int(m)
+                        for s, m in zip(states, self._mults[i])
+                    }
+            self._cache[i] = table
+        return table
+
+    def codes_at(self, i: int) -> Optional[np.ndarray]:
+        """The raw sorted code array of node ``i`` (or None)."""
+        return self._codes[i]

@@ -22,7 +22,8 @@ import numpy as np
 from ..pram import Cost, Span, Tracer
 from ..treedecomp.nice import NiceDecomposition
 from ..treedecomp.tree_paths import layered_paths
-from .match_dag import PathDAGResult, solve_path
+from .match_dag import PathDAGResult, _solve_path_packed, solve_path
+from .packed import PackedValidTables, packed_ops_for
 from .sequential_dp import DPResult
 
 __all__ = ["ParallelDPResult", "parallel_dp"]
@@ -51,7 +52,10 @@ class ParallelDPResult:
 
 
 def parallel_dp(
-    space, nice: NiceDecomposition, tracer: Optional[Tracer] = None
+    space,
+    nice: NiceDecomposition,
+    tracer: Optional[Tracer] = None,
+    engine: str = "packed",
 ) -> ParallelDPResult:
     """Run the parallel path/DAG/shortcut engine; see module docstring.
 
@@ -59,15 +63,27 @@ def parallel_dp(
     subtree statistics, one parallel region per layer) nest under a
     ``parallel-dp`` span of the caller's trace; otherwise a standalone
     trace is recorded and returned on the result.
+
+    ``engine="packed"`` (default) solves every path with the vectorized
+    int64 kernels, ``"reference"`` with the tuple-dict builder; valid
+    tables, diagnostics and the charged trace are identical either way
+    (packed falls back to reference when unavailable).
     """
+    if engine not in ("packed", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    ops = packed_ops_for(space, nice) if engine == "packed" else None
     tracker = tracer if tracer is not None else Tracer("parallel-dp-run")
     with tracker.span("parallel-dp") as dp_span:
-        result = _parallel_dp_traced(space, nice, tracker, dp_span)
+        result = _parallel_dp_traced(space, nice, tracker, dp_span, ops)
     return result
 
 
 def _parallel_dp_traced(
-    space, nice: NiceDecomposition, tracker: Tracer, dp_span: Span
+    space,
+    nice: NiceDecomposition,
+    tracker: Tracer,
+    dp_span: Span,
+    ops=None,
 ) -> ParallelDPResult:
     n_nodes = nice.num_nodes
     # Lemma 3.2 decomposition of the decomposition tree.  The layer numbers
@@ -104,6 +120,7 @@ def _parallel_dp_traced(
     node_stats = (forgotten_count, marked_forgotten)
 
     valid: List[Optional[Dict[tuple, int]]] = [None] * n_nodes
+    valid_codes: List[Optional[np.ndarray]] = [None] * n_nodes
     num_paths = 0
     max_rounds = 0
     total_states = 0
@@ -112,11 +129,23 @@ def _parallel_dp_traced(
         with tracker.parallel("layer") as region:
             for path in layer:
                 num_paths += 1
-                result = solve_path(
-                    space, nice, path, valid, node_stats=node_stats
-                )
-                for node, table in zip(path, result.valid_per_node):
-                    valid[node] = table
+                if ops is not None:
+                    result = _solve_path_packed(
+                        ops, nice, path, valid_codes, node_stats=node_stats
+                    )
+                    for node, codes in zip(path, result.valid_codes):
+                        valid_codes[node] = codes
+                else:
+                    result = solve_path(
+                        space,
+                        nice,
+                        path,
+                        valid,
+                        node_stats=node_stats,
+                        engine="reference",
+                    )
+                    for node, table in zip(path, result.valid_per_node):
+                        valid[node] = table
                 region.add(
                     result.cost,
                     label="path",
@@ -134,6 +163,27 @@ def _parallel_dp_traced(
         states=total_states,
         shortcuts=total_shortcuts,
     )
+    if ops is not None:
+        root_codes = valid_codes[nice.root]
+        assert root_codes is not None
+        accepting = int(
+            ops.accepting_mask(
+                ops.ctx(nice.bags[nice.root]), root_codes
+            ).sum()
+        )
+        return ParallelDPResult(
+            valid=PackedValidTables(ops, nice.bags, valid_codes),
+            root=nice.root,
+            accepting_count=accepting,
+            found=accepting > 0,
+            cost=dp_span.cost,
+            num_layers=pd.num_layers,
+            num_paths=num_paths,
+            max_bfs_rounds=max_rounds,
+            total_states=total_states,
+            total_shortcuts=total_shortcuts,
+            trace=dp_span,
+        )
     root_table = valid[nice.root]
     assert root_table is not None
     accepting = sum(1 for s in root_table if space.is_accepting(s))

@@ -39,6 +39,11 @@ class Pattern:
 
     graph: Graph
     _neighbors: Tuple[Tuple[int, ...], ...] = field(init=False, repr=False)
+    _neighbor_arrays: Tuple[np.ndarray, ...] = field(
+        init=False, repr=False, compare=False
+    )
+    _adj_matrix: np.ndarray = field(init=False, repr=False, compare=False)
+    _adj_bits: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.graph.n == 0:
@@ -51,6 +56,30 @@ class Pattern:
                 for v in range(self.graph.n)
             ),
         )
+        # NumPy views of the adjacency, precomputed once so the packed DP
+        # kernels never iterate neighbor tuples per call: per-vertex sorted
+        # neighbor arrays, the dense k x k boolean matrix, and (for k <= 63)
+        # one int64 neighbor bitmask per vertex.
+        k = self.graph.n
+        object.__setattr__(
+            self,
+            "_neighbor_arrays",
+            tuple(
+                np.asarray(self._neighbors[v], dtype=np.int64)
+                for v in range(k)
+            ),
+        )
+        adj = np.zeros((k, k), dtype=bool)
+        for u, v in self.graph.iter_edges():
+            adj[u, v] = adj[v, u] = True
+        object.__setattr__(self, "_adj_matrix", adj)
+        if k <= 63:
+            bits = (adj.astype(np.int64) << np.arange(k, dtype=np.int64)).sum(
+                axis=1
+            )
+        else:  # pragma: no cover - patterns are tiny by construction
+            bits = np.zeros(k, dtype=np.int64)
+        object.__setattr__(self, "_adj_bits", bits)
 
     @property
     def k(self) -> int:
@@ -59,6 +88,24 @@ class Pattern:
 
     def neighbors(self, p: int) -> Tuple[int, ...]:
         return self._neighbors[p]
+
+    def neighbor_array(self, p: int) -> np.ndarray:
+        """Sorted neighbor ids of ``p`` as an int64 array (do not mutate)."""
+        return self._neighbor_arrays[p]
+
+    @property
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense ``k x k`` boolean adjacency (do not mutate)."""
+        return self._adj_matrix
+
+    @property
+    def adjacency_bits(self) -> np.ndarray:
+        """Per-vertex int64 neighbor bitmasks (``k <= 63`` only)."""
+        return self._adj_bits
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """Canonical ``u < v`` pattern edges as Python int pairs."""
+        return [(int(u), int(v)) for u, v in self.graph.edges()]
 
     def is_connected(self) -> bool:
         _, count, _ = connected_components(self.graph)

@@ -72,6 +72,7 @@ def decide_subgraph_isomorphism(
     rounds: Optional[int] = None,
     confidence_log_factor: float = 2.0,
     want_witness: bool = False,
+    kernel: str = "packed",
 ) -> PlanarSIResult:
     """Decide (w.h.p.) whether the connected ``pattern`` occurs in the
     planar ``graph`` (Theorem 2.1 / Corollary 2.2).
@@ -83,6 +84,10 @@ def decide_subgraph_isomorphism(
     rounds:
         Fixed number of cover rounds; default ``ceil(c log2 n)`` rounds
         with ``c = confidence_log_factor`` (absence w.h.p.).
+    kernel:
+        Table representation of the per-piece DP: ``"packed"`` (vectorized
+        int64 kernels, default) or ``"reference"`` (tuple dicts).  Results
+        and charged costs are identical; only wall-clock differs.
     """
     if not pattern.is_connected():
         raise ValueError(
@@ -91,6 +96,8 @@ def decide_subgraph_isomorphism(
         )
     if engine not in ("parallel", "sequential"):
         raise ValueError(f"unknown engine {engine!r}")
+    if kernel not in ("packed", "reference"):
+        raise ValueError(f"unknown kernel {kernel!r}")
     k = pattern.k
     d = pattern.diameter()
     tracker = Tracer("decide-si")
@@ -113,7 +120,8 @@ def decide_subgraph_isomorphism(
                     pieces_examined += 1
                     with region.branch("dp-solve") as branch:
                         witness = _solve_piece(
-                            piece, pattern, engine, branch, want_witness
+                            piece, pattern, engine, branch, want_witness,
+                            kernel,
                         )
                     max_width = max(
                         max_width, piece.decomposition.width()
@@ -148,16 +156,16 @@ def decide_subgraph_isomorphism(
 
 def _solve_piece(
     piece, pattern: Pattern, engine: str, tracker: Tracer,
-    want_witness: bool,
+    want_witness: bool, kernel: str = "packed",
 ) -> Optional[Dict[int, int]]:
     """Solve one cover piece; returns a local witness dict, ``{}`` as a
     found-marker when no witness was requested, or None."""
     nice, _ = make_nice(piece.decomposition.binarize(), tracer=tracker)
     space = SubgraphStateSpace(pattern, piece.graph)
     if engine == "parallel":
-        result = parallel_dp(space, nice, tracer=tracker)
+        result = parallel_dp(space, nice, tracer=tracker, engine=kernel)
     else:
-        result = sequential_dp(space, nice, tracer=tracker)
+        result = sequential_dp(space, nice, tracer=tracker, engine=kernel)
     if not result.found:
         return None
     if not want_witness:
@@ -172,6 +180,7 @@ def find_occurrence(
     seed: int,
     engine: str = "parallel",
     rounds: Optional[int] = None,
+    kernel: str = "packed",
 ) -> PlanarSIResult:
     """Like :func:`decide_subgraph_isomorphism` but returns a witness."""
     return decide_subgraph_isomorphism(
@@ -182,4 +191,5 @@ def find_occurrence(
         engine=engine,
         rounds=rounds,
         want_witness=True,
+        kernel=kernel,
     )

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..pram import Cost, Tracer
 from ..treedecomp.nice import FORGET, INTRODUCE, JOIN, LEAF, NiceDecomposition
+from .packed import PackedValidTables, dedup_accumulate, packed_ops_for
 
 __all__ = ["DPResult", "sequential_dp"]
 
@@ -52,6 +53,7 @@ def sequential_dp(
     nice: NiceDecomposition,
     tracer: Optional[Tracer] = None,
     label: str = "sequential-dp",
+    engine: str = "packed",
 ) -> DPResult:
     """Run the bottom-up DP; see :class:`DPResult`.
 
@@ -59,7 +61,20 @@ def sequential_dp(
     heaviest root-to-leaf chain (the algorithm is sequential along the
     tree, the paper's Theta(k n) depth bottleneck that Section 3.3 removes).
     When a ``tracer`` is given the cost is charged to it as a labeled leaf.
+
+    ``engine`` selects the table representation: ``"packed"`` (default)
+    runs the vectorized int64 kernels of ``repro.isomorphism.packed``,
+    ``"reference"`` the tuple-dict transitions.  Both produce identical
+    valid tables, accepting counts and charged costs; packed silently
+    falls back to reference when the space has no kernels or a bag does
+    not fit int64 codes.
     """
+    if engine not in ("packed", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "packed":
+        ops = packed_ops_for(space, nice)
+        if ops is not None:
+            return _sequential_dp_packed(space, nice, ops, tracer, label)
     order = nice.topological_order()
     kids = nice.children()
     valid: List[Dict[tuple, int]] = [dict() for _ in range(nice.num_nodes)]
@@ -131,6 +146,90 @@ def sequential_dp(
         valid=valid,
         root=nice.root,
         accepting_count=int(accepting),
+        found=accepting > 0,
+        cost=cost,
+    )
+
+
+def _sequential_dp_packed(
+    space,
+    nice: NiceDecomposition,
+    ops,
+    tracer: Optional[Tracer],
+    label: str,
+) -> DPResult:
+    """The same DP over sorted ``(codes, mults)`` tables.
+
+    Candidate multisets (hence work, depth and the charged cost) match the
+    reference loop transition-for-transition; only the host execution is
+    batched.
+    """
+    order = nice.topological_order()
+    kids = nice.children()
+    n_nodes = nice.num_nodes
+    codes_per: List[Optional[np.ndarray]] = [None] * n_nodes
+    mults_per: List[Optional[np.ndarray]] = [None] * n_nodes
+    node_work = np.zeros(n_nodes, dtype=np.int64)
+
+    for i in reversed(order):
+        kind = nice.kinds[i]
+        cs = kids[i]
+        if kind == LEAF:
+            codes = ops.leaf_codes()
+            mults = np.ones(1, dtype=np.int64)
+            work = 1
+        elif kind == INTRODUCE:
+            c = cs[0]
+            v = int(nice.vertex[i])
+            src, out, _ = ops.introduce(
+                ops.ctx(nice.bags[c]), ops.ctx(nice.bags[i]), v, codes_per[c]
+            )
+            work = int(src.size)
+            codes, mults = dedup_accumulate(out, mults_per[c][src])
+        elif kind == FORGET:
+            c = cs[0]
+            v = int(nice.vertex[i])
+            src, out, _ = ops.forget(
+                ops.ctx(nice.bags[c]), ops.ctx(nice.bags[i]), v, codes_per[c]
+            )
+            work = int(codes_per[c].size)
+            codes, mults = dedup_accumulate(out, mults_per[c][src])
+        elif kind == JOIN:
+            left, right = cs
+            li, ri, out, ok = ops.join(
+                ops.ctx(nice.bags[i]), codes_per[left], codes_per[right]
+            )
+            work = int(li.size)
+            codes, mults = dedup_accumulate(
+                out[ok], mults_per[left][li[ok]] * mults_per[right][ri[ok]]
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown node kind {kind!r}")
+        codes_per[i] = codes
+        mults_per[i] = mults
+        node_work[i] = max(work, 1)
+
+    depth = np.zeros(n_nodes, dtype=np.int64)
+    for i in reversed(order):
+        cs = kids[i]
+        depth[i] = node_work[i] + max(
+            (int(depth[c]) for c in cs), default=0
+        )
+    total_work = int(node_work.sum())
+    cost = Cost(total_work, min(int(depth[nice.root]), total_work))
+
+    if tracer is not None:
+        tracer.charge(
+            cost, label=label, nodes=n_nodes, transitions=total_work
+        )
+
+    root_codes = codes_per[nice.root]
+    acc = ops.accepting_mask(ops.ctx(nice.bags[nice.root]), root_codes)
+    accepting = int(mults_per[nice.root][acc].sum()) if root_codes.size else 0
+    return DPResult(
+        valid=PackedValidTables(ops, nice.bags, codes_per, mults_per),
+        root=nice.root,
+        accepting_count=accepting,
         found=accepting > 0,
         cost=cost,
     )

@@ -87,6 +87,16 @@ class SubgraphStateSpace:
             list(pattern_classes) if pattern_classes is not None else None
         )
         self._local_cache: dict = {}
+        self._packed_ops = None
+
+    def packed_ops(self):
+        """The packed int64 kernel set for this space (cached; see
+        ``repro.isomorphism.packed``)."""
+        if self._packed_ops is None:
+            from .packed import PackedSubgraphOps
+
+            self._packed_ops = PackedSubgraphOps(self)
+        return self._packed_ops
 
     # -- basic states ------------------------------------------------------
 

@@ -1,6 +1,7 @@
 """S-separating subgraph isomorphism (Section 5.2)."""
 
 from .state_space import SeparatingStateSpace
+from .packed import PackedSeparatingOps
 from .cover import SeparatingCover, SeparatingPiece, separating_cover
 from .driver import SeparatingSIResult, decide_separating_isomorphism
 from .oracle import (
@@ -11,6 +12,7 @@ from .oracle import (
 
 __all__ = [
     "SeparatingStateSpace",
+    "PackedSeparatingOps",
     "SeparatingCover",
     "SeparatingPiece",
     "separating_cover",

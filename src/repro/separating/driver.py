@@ -58,6 +58,7 @@ def decide_separating_isomorphism(
     want_witness: bool = False,
     host_classes: Optional[np.ndarray] = None,
     pattern_classes=None,
+    kernel: str = "packed",
 ) -> SeparatingSIResult:
     """Decide (w.h.p.) whether some occurrence of the connected ``pattern``
     separates the ``marked`` vertices of the planar ``graph`` (Lemma 5.3).
@@ -65,12 +66,16 @@ def decide_separating_isomorphism(
     ``host_classes`` / ``pattern_classes`` optionally constrain which target
     vertices each pattern vertex may use (see ``SubgraphStateSpace``); the
     vertex connectivity pipeline uses them to pin cycle parity onto the
-    bipartition of G'.
+    bipartition of G'.  ``kernel`` selects the DP table representation
+    (``"packed"`` int64 kernels by default, ``"reference"`` tuple dicts) —
+    results and charged costs are identical either way.
     """
     if not pattern.is_connected():
         raise ValueError("the separating driver handles connected patterns")
     if engine not in ("parallel", "sequential"):
         raise ValueError(f"unknown engine {engine!r}")
+    if kernel not in ("packed", "reference"):
+        raise ValueError(f"unknown kernel {kernel!r}")
     k, d = pattern.k, pattern.diameter()
     tracker = Tracer("decide-separating-si")
     tracker.count(n=graph.n, k=k, d=d)
@@ -118,9 +123,13 @@ def decide_separating_isomorphism(
                     with region.branch("dp-solve") as branch:
                         branch.charge(ncost, label="nice")
                         result = (
-                            parallel_dp(space, nice, tracer=branch)
+                            parallel_dp(
+                                space, nice, tracer=branch, engine=kernel
+                            )
                             if engine == "parallel"
-                            else sequential_dp(space, nice, tracer=branch)
+                            else sequential_dp(
+                                space, nice, tracer=branch, engine=kernel
+                            )
                         )
                     if result.found and not found:
                         found = True

@@ -87,6 +87,16 @@ class SeparatingStateSpace:
             raise ValueError("marked mask must cover every vertex")
         self.marked = marked
         self._local_cache: dict = {}
+        self._packed_ops = None
+
+    def packed_ops(self):
+        """The packed int64 kernel set for this space (cached; see
+        ``repro.separating.packed``)."""
+        if self._packed_ops is None:
+            from .packed import PackedSeparatingOps
+
+            self._packed_ops = PackedSeparatingOps(self)
+        return self._packed_ops
 
     # -- basic states ------------------------------------------------------
 

@@ -54,11 +54,16 @@ class NiceDecomposition:
         return len(self.kinds)
 
     def children(self) -> List[List[int]]:
-        out: List[List[int]] = [[] for _ in range(self.num_nodes)]
-        for i, p in enumerate(self.parent):
-            if p != NIL:
-                out[int(p)].append(i)
-        return out
+        # Cached: the engines ask for the children lists once per path solve
+        # and the tree never changes after construction.
+        cached = self.__dict__.get("_children")
+        if cached is None:
+            out: List[List[int]] = [[] for _ in range(self.num_nodes)]
+            for i, p in enumerate(self.parent):
+                if p != NIL:
+                    out[int(p)].append(i)
+            self.__dict__["_children"] = cached = out
+        return cached
 
     def width(self) -> int:
         return max(int(b.size) for b in self.bags) - 1

@@ -1,0 +1,285 @@
+"""Packed-kernel tests: codec laws, table primitives, engine equivalence.
+
+The packed engine's contract (see ``repro.isomorphism.packed``) has three
+load-bearing parts, each tested here:
+
+* the bag-relative codec is a bijection between tuple states and int64
+  codes, strictly monotone w.r.t. the colexicographic digit order (sorted
+  code arrays are canonical tables);
+* the shared table primitives (dedup/membership/key bucketing) agree with
+  their obvious dict/loop specifications;
+* ``engine="packed"`` reproduces the reference engine's tables,
+  multiplicities, accepting counts, parallel diagnostics and — crucially —
+  charged costs, state for state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, grid_graph, triangulated_grid, wheel_graph
+from repro.isomorphism import (
+    SubgraphStateSpace,
+    clique_pattern,
+    cycle_pattern,
+    dedup_accumulate,
+    parallel_dp,
+    path_pattern,
+    sequential_dp,
+    star_pattern,
+    triangle,
+)
+from repro.isomorphism.packed import (
+    match_key_pairs,
+    member_positions,
+    packed_ops_for,
+)
+from repro.treedecomp import make_nice, minfill_decomposition
+
+
+def _ops_and_ctx(bag_vertices, pattern=None, side=4):
+    """A packed-ops instance over a small grid plus a ctx for ``bag``."""
+    g = grid_graph(side, side).graph
+    pattern = pattern if pattern is not None else path_pattern(3)
+    space = SubgraphStateSpace(pattern, g)
+    ops = space.packed_ops()
+    bag = np.asarray(sorted(bag_vertices), dtype=np.int64)
+    return ops, ops.ctx(bag)
+
+
+# ---------------------------------------------------------------------------
+# codec laws
+# ---------------------------------------------------------------------------
+
+
+class TestCodec:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_round_trip_identity(self, data):
+        bag_size = data.draw(st.integers(min_value=0, max_value=6))
+        k = data.draw(st.integers(min_value=2, max_value=4))
+        bag_vertices = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=bag_size,
+                max_size=bag_size,
+                unique=True,
+            )
+        )
+        ops, ctx = _ops_and_ctx(bag_vertices, pattern=path_pattern(k))
+        rows = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=bag_size + 1),
+                    min_size=k,
+                    max_size=k,
+                ),
+                min_size=0,
+                max_size=20,
+            )
+        )
+        # digit d: 0 -> unmatched, 1 -> in-child, 2+j -> bag vertex j.
+        lut = [-1, -2] + [int(v) for v in ctx.bag]
+        states = [tuple(lut[d] for d in row) for row in rows]
+        codes = ops.encode(ctx, states)
+        assert ops.decode(ctx, codes) == states
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_encoding_preserves_colex_order(self, data):
+        bag_size = data.draw(st.integers(min_value=0, max_value=5))
+        k = data.draw(st.integers(min_value=2, max_value=4))
+        bag_vertices = list(range(bag_size))
+        ops, ctx = _ops_and_ctx(bag_vertices, pattern=path_pattern(k))
+        rows = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=bag_size + 1),
+                    min_size=k,
+                    max_size=k,
+                ),
+                min_size=2,
+                max_size=20,
+                unique_by=tuple,
+            )
+        )
+        lut = [-1, -2] + [int(v) for v in ctx.bag]
+        states = [tuple(lut[d] for d in row) for row in rows]
+        codes = ops.encode(ctx, states)
+        # Strictly monotone w.r.t. colex digit order: sorting codes sorts
+        # the digit rows colexicographically, and distinct rows get
+        # distinct codes.
+        colex = sorted(range(len(rows)), key=lambda i: rows[i][::-1])
+        by_code = sorted(range(len(rows)), key=lambda i: int(codes[i]))
+        assert by_code == colex
+        assert len(set(codes.tolist())) == len(rows)
+
+    def test_codes_cover_valid_tables(self):
+        # Every state of a real DP table encodes and round-trips: the codec
+        # is total on bag-mapped states.
+        g = triangulated_grid(3, 3).graph
+        space = SubgraphStateSpace(triangle(), g)
+        td, _ = minfill_decomposition(g)
+        nice, _ = make_nice(td)
+        ref = sequential_dp(space, nice, engine="reference")
+        ops = space.packed_ops()
+        for node in range(nice.num_nodes):
+            ctx = ops.ctx(nice.bags[node])
+            states = list(ref.valid[node])
+            codes = ops.encode(ctx, states)
+            assert ops.decode(ctx, codes) == states
+
+
+# ---------------------------------------------------------------------------
+# table primitives
+# ---------------------------------------------------------------------------
+
+
+class TestPrimitives:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-50, max_value=50),
+                st.integers(min_value=1, max_value=5),
+            ),
+            max_size=40,
+        )
+    )
+    def test_dedup_accumulate(self, pairs):
+        codes = np.asarray([c for c, _ in pairs], dtype=np.int64)
+        mults = np.asarray([m for _, m in pairs], dtype=np.int64)
+        out_codes, out_mults = dedup_accumulate(codes, mults)
+        expect = {}
+        for c, m in pairs:
+            expect[c] = expect.get(c, 0) + m
+        assert out_codes.tolist() == sorted(expect)
+        assert out_mults.tolist() == [expect[c] for c in sorted(expect)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), max_size=20, unique=True),
+        st.lists(st.integers(min_value=0, max_value=30), max_size=20),
+    )
+    def test_member_positions(self, table, queries):
+        table = np.asarray(sorted(table), dtype=np.int64)
+        queries = np.asarray(queries, dtype=np.int64)
+        pos, found = member_positions(table, queries)
+        for i, q in enumerate(queries.tolist()):
+            assert bool(found[i]) == (q in table.tolist())
+            if found[i]:
+                assert table[pos[i]] == q
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), max_size=15),
+        st.lists(st.integers(min_value=0, max_value=6), max_size=15),
+    )
+    def test_match_key_pairs(self, kl, kr):
+        li, ri = match_key_pairs(
+            np.asarray(kl, dtype=np.int64), np.asarray(kr, dtype=np.int64)
+        )
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expect = sorted(
+            (i, j)
+            for i, a in enumerate(kl)
+            for j, b in enumerate(kr)
+            if a == b
+        )
+        assert got == expect
+
+
+# ---------------------------------------------------------------------------
+# engine equivalence
+# ---------------------------------------------------------------------------
+
+TARGETS = [
+    ("grid", grid_graph(4, 4).graph),
+    ("tri-grid", triangulated_grid(3, 4).graph),
+    ("wheel", wheel_graph(7).graph),
+]
+
+PATTERNS = [
+    ("triangle", triangle()),
+    ("p4", path_pattern(4)),
+    ("c4", cycle_pattern(4)),
+    ("star3", star_pattern(3)),
+    ("k4", clique_pattern(4)),
+]
+
+
+@pytest.mark.parametrize("tname,target", TARGETS, ids=[t[0] for t in TARGETS])
+@pytest.mark.parametrize("pname,pattern", PATTERNS, ids=[p[0] for p in PATTERNS])
+class TestPackedMatchesReference:
+    def test_sequential_tables_costs_identical(
+        self, tname, target, pname, pattern
+    ):
+        td, _ = minfill_decomposition(target)
+        nice, _ = make_nice(td)
+        space = SubgraphStateSpace(pattern, target)
+        assert packed_ops_for(space, nice) is not None
+        ref = sequential_dp(space, nice, engine="reference")
+        pkd = sequential_dp(space, nice, engine="packed")
+        assert pkd.accepting_count == ref.accepting_count
+        assert pkd.found == ref.found
+        assert pkd.cost == ref.cost
+        for node in range(nice.num_nodes):
+            assert dict(pkd.valid[node]) == ref.valid[node], node
+
+    def test_parallel_tables_costs_diagnostics_identical(
+        self, tname, target, pname, pattern
+    ):
+        td, _ = minfill_decomposition(target)
+        nice, _ = make_nice(td)
+        space = SubgraphStateSpace(pattern, target)
+        ref = parallel_dp(space, nice, engine="reference")
+        pkd = parallel_dp(space, nice, engine="packed")
+        assert pkd.accepting_count == ref.accepting_count
+        assert pkd.cost == ref.cost
+        assert (
+            pkd.num_layers,
+            pkd.num_paths,
+            pkd.max_bfs_rounds,
+            pkd.total_states,
+            pkd.total_shortcuts,
+        ) == (
+            ref.num_layers,
+            ref.num_paths,
+            ref.max_bfs_rounds,
+            ref.total_states,
+            ref.total_shortcuts,
+        )
+        for node in range(nice.num_nodes):
+            assert dict(pkd.valid[node]) == ref.valid[node], node
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=10**6),
+        st.sampled_from(["triangle", "p4", "c4", "star3"]),
+    )
+    def test_random_graphs(self, n, seed, pname):
+        rng = np.random.default_rng(seed)
+        edges = []
+        for _ in range(2 * n):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.append((int(u), int(v)))
+        g = Graph(n, edges)
+        pattern = dict(PATTERNS)[pname]
+        td, _ = minfill_decomposition(g)
+        nice, _ = make_nice(td)
+        space = SubgraphStateSpace(pattern, g)
+        ref = sequential_dp(space, nice, engine="reference")
+        pkd = sequential_dp(space, nice, engine="packed")
+        assert pkd.accepting_count == ref.accepting_count
+        assert pkd.cost == ref.cost
+        pref = parallel_dp(space, nice, engine="reference")
+        ppkd = parallel_dp(space, nice, engine="packed")
+        assert ppkd.cost == pref.cost
+        assert ppkd.total_shortcuts == pref.total_shortcuts
+        for node in range(nice.num_nodes):
+            assert dict(ppkd.valid[node]) == pref.valid[node]

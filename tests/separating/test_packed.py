@@ -1,0 +1,202 @@
+"""Separating packed-kernel tests: high-bit codec laws, engine equivalence.
+
+The extended space packs ``(base, inside, outside, ix, ox)`` states as
+``base_code | inside_bits << s0 | ix | ox`` (see
+``repro.separating.packed``); outside membership is recomputed from the
+occupied bag positions, so the codec must round-trip every state whose
+side sets partition the free bag vertices — exactly the states the
+reference space produces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import grid_graph, triangulated_grid
+from repro.isomorphism import (
+    cycle_pattern,
+    parallel_dp,
+    path_pattern,
+    sequential_dp,
+    star_pattern,
+    triangle,
+)
+from repro.isomorphism.packed import packed_ops_for
+from repro.separating import SeparatingStateSpace
+from repro.treedecomp import make_nice, minfill_decomposition
+
+
+def _sep_ops_and_ctx(bag_vertices, k=3, marked_seed=0):
+    g = grid_graph(4, 4).graph
+    rng = np.random.default_rng(marked_seed)
+    marked = rng.random(g.n) < 0.5
+    space = SeparatingStateSpace(path_pattern(k), g, marked)
+    ops = space.packed_ops()
+    bag = np.asarray(sorted(bag_vertices), dtype=np.int64)
+    return ops, ops.ctx(bag)
+
+
+class TestSeparatingCodec:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_round_trip_identity(self, data):
+        bag_size = data.draw(st.integers(min_value=0, max_value=5))
+        k = data.draw(st.integers(min_value=2, max_value=4))
+        bag_vertices = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=bag_size,
+                max_size=bag_size,
+                unique=True,
+            )
+        )
+        seed = data.draw(st.integers(min_value=0, max_value=10))
+        ops, ctx = _sep_ops_and_ctx(bag_vertices, k=k, marked_seed=seed)
+        bag = [int(v) for v in ctx.bctx.bag]
+        lut = [-1, -2] + bag
+        n_states = data.draw(st.integers(min_value=0, max_value=15))
+        states = []
+        for _ in range(n_states):
+            row = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=bag_size + 1),
+                    min_size=k,
+                    max_size=k,
+                )
+            )
+            base = tuple(lut[d] for d in row)
+            occupied = {j for d in row if d >= 2 for j in [d - 2]}
+            free = [j for j in range(bag_size) if j not in occupied]
+            side_bits = data.draw(
+                st.lists(
+                    st.booleans(), min_size=len(free), max_size=len(free)
+                )
+            )
+            inside = tuple(bag[j] for j, b in zip(free, side_bits) if b)
+            outside = tuple(bag[j] for j, b in zip(free, side_bits) if not b)
+            ix = data.draw(st.booleans())
+            ox = data.draw(st.booleans())
+            states.append((base, inside, outside, ix, ox))
+        codes = ops.encode(ctx, states)
+        assert ops.decode(ctx, codes) == states
+
+    def test_codes_cover_valid_tables(self):
+        g = triangulated_grid(3, 3).graph
+        marked = np.ones(g.n, dtype=bool)
+        space = SeparatingStateSpace(triangle(), g, marked)
+        td, _ = minfill_decomposition(g)
+        nice, _ = make_nice(td)
+        ref = sequential_dp(space, nice, engine="reference")
+        ops = space.packed_ops()
+        for node in range(nice.num_nodes):
+            ctx = ops.ctx(nice.bags[node])
+            states = list(ref.valid[node])
+            codes = ops.encode(ctx, states)
+            assert ops.decode(ctx, codes) == states
+
+    def test_high_bits_fit_check(self):
+        # A bag too wide for base code + side bits + booleans must be
+        # rejected by fits() so the engines fall back to reference.
+        g = grid_graph(4, 4).graph
+        space = SeparatingStateSpace(
+            path_pattern(6), g, np.ones(g.n, dtype=bool)
+        )
+        ops = space.packed_ops()
+
+        class _FakeNice:
+            bags = [np.arange(31, dtype=np.int64)]
+
+        assert not ops.fits(_FakeNice())
+
+
+TARGETS = [
+    ("grid", grid_graph(4, 4).graph),
+    ("tri-grid", triangulated_grid(3, 4).graph),
+]
+
+PATTERNS = [
+    ("triangle", triangle()),
+    ("p3", path_pattern(3)),
+    ("c4", cycle_pattern(4)),
+    ("star3", star_pattern(3)),
+]
+
+
+def _configs(g, seed):
+    rng = np.random.default_rng(seed)
+    marked = rng.random(g.n) < 0.5
+    allowed = rng.random(g.n) < 0.8
+    return marked, allowed
+
+
+@pytest.mark.parametrize("tname,target", TARGETS, ids=[t[0] for t in TARGETS])
+@pytest.mark.parametrize("pname,pattern", PATTERNS, ids=[p[0] for p in PATTERNS])
+@pytest.mark.parametrize("seed", [0, 1])
+class TestSeparatingPackedMatchesReference:
+    def test_sequential_tables_costs_identical(
+        self, tname, target, pname, pattern, seed
+    ):
+        marked, allowed = _configs(target, seed)
+        td, _ = minfill_decomposition(target)
+        nice, _ = make_nice(td)
+        space = SeparatingStateSpace(pattern, target, marked, allowed)
+        assert packed_ops_for(space, nice) is not None
+        ref = sequential_dp(space, nice, engine="reference")
+        pkd = sequential_dp(space, nice, engine="packed")
+        assert pkd.accepting_count == ref.accepting_count
+        assert pkd.found == ref.found
+        assert pkd.cost == ref.cost
+        for node in range(nice.num_nodes):
+            assert dict(pkd.valid[node]) == ref.valid[node], node
+
+    def test_parallel_tables_costs_diagnostics_identical(
+        self, tname, target, pname, pattern, seed
+    ):
+        marked, allowed = _configs(target, seed)
+        td, _ = minfill_decomposition(target)
+        nice, _ = make_nice(td)
+        space = SeparatingStateSpace(pattern, target, marked, allowed)
+        ref = parallel_dp(space, nice, engine="reference")
+        pkd = parallel_dp(space, nice, engine="packed")
+        assert pkd.accepting_count == ref.accepting_count
+        assert pkd.cost == ref.cost
+        assert (
+            pkd.num_layers,
+            pkd.num_paths,
+            pkd.max_bfs_rounds,
+            pkd.total_states,
+            pkd.total_shortcuts,
+        ) == (
+            ref.num_layers,
+            ref.num_paths,
+            ref.max_bfs_rounds,
+            ref.total_states,
+            ref.total_shortcuts,
+        )
+        for node in range(nice.num_nodes):
+            assert dict(pkd.valid[node]) == ref.valid[node], node
+
+
+class TestSeparatingWithClasses:
+    def test_host_pattern_classes_equivalence(self):
+        # The vertex-connectivity pipeline's class-constrained variant.
+        g = grid_graph(4, 4).graph
+        marked = np.ones(g.n, dtype=bool)
+        host_classes = (np.arange(g.n) % 2).astype(np.int64)
+        pattern_classes = [0, None, 1]
+        space = SeparatingStateSpace(
+            path_pattern(3),
+            g,
+            marked,
+            host_classes=host_classes,
+            pattern_classes=pattern_classes,
+        )
+        td, _ = minfill_decomposition(g)
+        nice, _ = make_nice(td)
+        ref = sequential_dp(space, nice, engine="reference")
+        pkd = sequential_dp(space, nice, engine="packed")
+        assert pkd.accepting_count == ref.accepting_count
+        assert pkd.cost == ref.cost
+        for node in range(nice.num_nodes):
+            assert dict(pkd.valid[node]) == ref.valid[node]
