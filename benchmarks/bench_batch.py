@@ -1,0 +1,143 @@
+"""S1 — Session engine: cold one-shot queries vs a warm cached session.
+
+The serving scenario the session engine targets: one fixed target (the
+Table-1 n=4096 grid), a stream of 16 small-pattern queries — four distinct
+k=4 patterns, each repeated, exactly what a pattern-mining loop issues.
+Cold = 16 independent one-shot driver calls (each rebuilds clusterings,
+covers and per-piece decompositions, and re-runs every DP).  Warm = one
+fresh :class:`~repro.engine.TargetSession` answering the same stream via
+``decide_batch``: same-k queries share the per-seed EST clusterings and
+cover sweeps, every query after the first reuses the per-piece nice
+decompositions, and repeated patterns reuse the per-piece DP solutions.
+
+Assertions (the session contract, at full strength even under smoke):
+
+* per-query results byte-identical to one-shot — verdict, witness, rounds;
+* ``trace.cost == result.cost`` on every session result;
+* ``cold_equivalent_cost.work`` exactly equals the one-shot charge;
+* warm wall-clock >= 3x faster than cold (waived under ``BENCH_SMOKE``).
+
+Writes the machine-readable record to ``BENCH_PR3.json`` (see conftest).
+"""
+
+import gc
+import time
+
+from repro.engine import TargetSession
+from repro.graphs import grid_graph
+from repro.isomorphism import (
+    clique_pattern,
+    cycle_pattern,
+    decide_subgraph_isomorphism,
+    diamond,
+    path_pattern,
+)
+from repro.planar import embed_geometric
+
+from conftest import record_pr3, report, smoke_mode
+
+ENGINE = "sequential"  # the realistic serving configuration (cf. planar_vc)
+ROUNDS = 2
+SEED = 0
+
+
+def _patterns():
+    """16 queries over four distinct k=4 patterns, four repeats each.
+
+    On the bipartite grid target, cycles/paths are positive and the
+    triangle-containing patterns (diamond, K4) negative, so both the
+    early-exit and the full-round paths of the driver are exercised — with
+    repeats, because repeated queries are the serving workload's common
+    case.
+    """
+    distinct = [
+        cycle_pattern(4),
+        path_pattern(4),
+        diamond(),
+        clique_pattern(4),
+    ]
+    return distinct * 4
+
+
+def test_batch_session_speedup(benchmark):
+    smoke = smoke_mode()
+    side = 16 if smoke else 64
+    gg = grid_graph(side, side)
+    emb, _ = embed_geometric(gg)
+    graph = gg.graph
+    patterns = _patterns()
+
+    def run():
+        # Each cold result is summarized immediately so the 16 full trace
+        # trees are freed before the warm phase — a serving process would
+        # not retain them either, and live megabyte-scale span forests
+        # distort the warm timing through GC pressure.
+        cold = []
+        t0 = time.perf_counter()
+        for p in patterns:
+            r = decide_subgraph_isomorphism(
+                graph, emb, p, seed=SEED, engine=ENGINE, rounds=ROUNDS
+            )
+            cold.append((r.found, r.rounds_used, r.witness, r.cost.work))
+        t_cold = time.perf_counter() - t0
+        gc.collect()
+        session = TargetSession(graph, emb)
+        t1 = time.perf_counter()
+        batch = session.decide_batch(
+            patterns, seed=SEED, engine=ENGINE, rounds=ROUNDS
+        )
+        t_warm = time.perf_counter() - t1
+        return cold, t_cold, session, batch, t_warm
+
+    cold, t_cold, session, batch, t_warm = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # The session contract: byte-identical per-query results, exact
+    # cold-equivalent work, internally consistent traces.
+    assert len(batch.results) == len(patterns)
+    for (found, rounds, witness, work), warm in zip(cold, batch.results):
+        assert warm.found == found
+        assert warm.rounds_used == rounds
+        assert warm.witness == witness
+        assert warm.trace.cost == warm.cost
+        assert warm.cold_equivalent_cost.work == work
+    assert batch.amortized_queries >= len(patterns) - 1
+    assert batch.cold_equivalent_cost.work == sum(
+        work for (_, _, _, work) in cold
+    )
+
+    speedup = record_pr3(
+        "S1-batch-session",
+        config={
+            "n": graph.n,
+            "engine": ENGINE,
+            "rounds": ROUNDS,
+            "seed": SEED,
+            "queries": len(patterns),
+            "distinct_patterns": 4,
+            "k": 4,
+        },
+        cold={"wall_s": round(t_cold, 3), "work": batch.cold_equivalent_cost.work},
+        warm={
+            "wall_s": round(t_warm, 3),
+            "work": batch.cost.work,
+            "cache": session.stats.as_dict(),
+        },
+    )
+    benchmark.extra_info.update(
+        n=graph.n, speedup=round(speedup, 2),
+        charged_work=batch.cost.work,
+        cold_equivalent_work=batch.cold_equivalent_cost.work,
+    )
+    report(
+        "S1-batch", n=graph.n, queries=len(patterns),
+        cold_s=round(t_cold, 1), warm_s=round(t_warm, 1),
+        speedup=round(speedup, 2),
+        hits=session.stats.hit_count, misses=session.stats.miss_count,
+    )
+    # The charged (amortized) work must undercut the cold-equivalent work
+    # substantially — this is the work-level statement of the speedup.
+    assert batch.cost.work < batch.cold_equivalent_cost.work
+    if not smoke:
+        assert speedup >= 3.0, f"warm session only {speedup:.2f}x faster"

@@ -14,8 +14,11 @@ lemma/theorem/figure).  Conventions:
 The packed-kernel speedup experiments additionally write a machine-readable
 record to ``BENCH_PR2.json`` (see :func:`record_pr2`): charged work/depth
 and host wall-clock for the reference and packed table engines, plus the
-wall-clock speedup.  ``BENCH_PR2_PATH`` overrides the output path;
-``BENCH_SMOKE=1`` shrinks the instances and waives the speedup floor (CI
+wall-clock speedup.  The session-engine batch experiments write
+``BENCH_PR3.json`` the same way (see :func:`record_pr3`): cold one-shot vs
+warm cached-session wall-clock over a multi-pattern batch.
+``BENCH_PR2_PATH``/``BENCH_PR3_PATH`` override the output paths;
+``BENCH_SMOKE=1`` shrinks the instances and waives the speedup floors (CI
 smoke mode — the equivalence assertions still run at full strength).
 """
 
@@ -29,6 +32,7 @@ from repro.graphs import delaunay_graph, grid_graph, triangulated_grid
 from repro.planar import embed_geometric
 
 _PR2_ROWS = []
+_PR3_ROWS = []
 
 
 def smoke_mode() -> bool:
@@ -56,21 +60,53 @@ def record_pr2(experiment: str, config: dict, reference: dict, packed: dict):
     return speedup
 
 
-def pytest_sessionfinish(session, exitstatus):
-    if not _PR2_ROWS:
-        return
-    path = os.environ.get(
-        "BENCH_PR2_PATH",
-        os.path.join(os.path.dirname(__file__), "..", "BENCH_PR2.json"),
+def record_pr3(experiment: str, config: dict, cold: dict, warm: dict):
+    """Record one cold-vs-warm session measurement for BENCH_PR3.json.
+
+    ``cold``/``warm`` each carry ``wall_s`` plus the charged ``work``
+    totals of one full batch; the caller must already have asserted the
+    per-query results byte-identical.
+    """
+    speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
+    _PR3_ROWS.append(
+        {
+            "experiment": experiment,
+            "config": config,
+            "cold": cold,
+            "warm": warm,
+            "speedup": round(speedup, 2),
+        }
     )
-    payload = {
-        "schema": "bench-pr2/v1",
-        "smoke": smoke_mode(),
-        "experiments": _PR2_ROWS,
-    }
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    return speedup
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _PR2_ROWS:
+        path = os.environ.get(
+            "BENCH_PR2_PATH",
+            os.path.join(os.path.dirname(__file__), "..", "BENCH_PR2.json"),
+        )
+        payload = {
+            "schema": "bench-pr2/v1",
+            "smoke": smoke_mode(),
+            "experiments": _PR2_ROWS,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if _PR3_ROWS:
+        path = os.environ.get(
+            "BENCH_PR3_PATH",
+            os.path.join(os.path.dirname(__file__), "..", "BENCH_PR3.json"),
+        )
+        payload = {
+            "schema": "bench-pr3/v1",
+            "smoke": smoke_mode(),
+            "experiments": _PR3_ROWS,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,15 @@ Examples
     python -m repro list    --target grid:6x6 --pattern cycle:4
     python -m repro vc      --target antiprism:4
     python -m repro vc      --target delaunay:200:7 --rounds 2
+    python -m repro batch   --target grid:16x16 \
+        --patterns cycle:4,path:4,star:3 --session-stats
+    python -m repro batch   --target trigrid:12x12 \
+        --patterns-file patterns.txt --session-stats
+
+``batch`` answers every pattern against one :class:`repro.engine.TargetSession`
+(covers, clusterings and per-piece decompositions are built once and served
+from cache afterwards); ``--session-stats`` prints the cache hit/miss table
+and the saved (amortized) cost.
 
 Every command accepts ``--trace`` to print the hierarchical per-phase
 work/depth table (the span tree recorded by ``repro.pram.trace``) and
@@ -173,6 +182,23 @@ def main(argv: Optional[list] = None) -> int:
     common(sub.add_parser("list", help="list all occurrences (Thm 4.2)"))
     common(sub.add_parser("vc", help="vertex connectivity (Lemma 5.2)"),
            pattern=False)
+    batch_p = sub.add_parser(
+        "batch",
+        help="decide many patterns over one cached target session",
+    )
+    common(batch_p, pattern=False)
+    batch_p.add_argument(
+        "--patterns", default=None,
+        help="comma-separated pattern specs (e.g. cycle:4,path:4,star:3)",
+    )
+    batch_p.add_argument(
+        "--patterns-file", metavar="PATH", default=None,
+        help="file with one pattern spec per line ('#' comments allowed)",
+    )
+    batch_p.add_argument(
+        "--session-stats", action="store_true",
+        help="print the session cache hit/miss table and amortized cost",
+    )
 
     args = parser.parse_args(argv)
     graph, embedding = parse_target(args.target)
@@ -239,6 +265,48 @@ def main(argv: Optional[list] = None) -> int:
         print(f"vertex connectivity: {result.connectivity}")
         print(_cost_summary(result.cost))
         _emit_trace(args, result.trace)
+    elif args.command == "batch":
+        from .engine import TargetSession
+
+        specs: list = []
+        if args.patterns:
+            specs.extend(s.strip() for s in args.patterns.split(",") if s.strip())
+        if args.patterns_file:
+            try:
+                with open(args.patterns_file, encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.split("#", 1)[0].strip()
+                        if line:
+                            specs.append(line)
+            except OSError as exc:
+                raise SystemExit(
+                    f"cannot read {args.patterns_file!r}: {exc}"
+                ) from exc
+        if not specs:
+            raise SystemExit(
+                "batch needs --patterns and/or --patterns-file"
+            )
+        patterns = [parse_pattern(s) for s in specs]
+        session = TargetSession(graph, embedding)
+        kwargs = {}
+        if args.engine:
+            kwargs["engine"] = args.engine
+        if args.rounds is not None:
+            kwargs["rounds"] = args.rounds
+        batch = session.decide_batch(patterns, seed=args.seed, **kwargs)
+        for spec, result in zip(specs, batch.results):
+            suffix = " (amortized)" if result.amortized else ""
+            print(
+                f"  {spec:<16} found={result.found!s:<5} "
+                f"rounds={result.rounds_used}{suffix}"
+            )
+        print(f"queries: {len(specs)}  "
+              f"amortized: {batch.amortized_queries}")
+        print("charged:         " + _cost_summary(batch.cost))
+        print("cold equivalent: " + _cost_summary(batch.cold_equivalent_cost))
+        if args.session_stats:
+            print(session.stats.format())
+        _emit_trace(args, batch.results[-1].trace if batch.results else None)
 
     print(f"(host time: {time.perf_counter() - t0:.2f}s)")
     return 0

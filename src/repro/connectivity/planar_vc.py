@@ -29,12 +29,12 @@ from typing import Optional
 
 import numpy as np
 
+from ..engine.artifacts import ColdArtifacts
 from ..graphs.biconnectivity import is_biconnected
 from ..graphs.components import connected_components
 from ..graphs.csr import Graph
 from ..isomorphism.pattern import cycle_pattern
 from ..planar.embedding import PlanarEmbedding
-from ..planar.face_vertex import build_face_vertex_graph
 from ..pram import Cost, Span, Tracer
 from ..separating.driver import decide_separating_isomorphism
 from .flow_vc import vertex_connectivity_flow
@@ -59,6 +59,8 @@ class VertexConnectivityResult:
     certificate_cut: Optional[frozenset]
     cost: Cost
     trace: Optional[Span] = None
+    amortized: bool = False
+    cold_equivalent_cost: Optional[Cost] = None
 
 
 def planar_vertex_connectivity(
@@ -68,6 +70,7 @@ def planar_vertex_connectivity(
     engine: str = "sequential",
     rounds: Optional[int] = None,
     want_certificate: bool = False,
+    artifacts=None,
 ) -> VertexConnectivityResult:
     """Decide the vertex connectivity of a planar graph (Lemma 5.2).
 
@@ -81,24 +84,35 @@ def planar_vertex_connectivity(
     the E10 benchmark measures its depth).
     """
     n = graph.n
+    provider = (
+        artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
+    )
+    mark = provider.amortization_mark()
     tracker = Tracer("planar-vc")
     tracker.count(n=n)
+
+    def _result(connectivity, cut):
+        hits, saved = provider.amortization_since(mark)
+        return VertexConnectivityResult(
+            connectivity=connectivity,
+            certificate_cut=cut,
+            cost=tracker.cost,
+            trace=tracker.root,
+            amortized=hits > 0,
+            cold_equivalent_cost=tracker.cost + saved,
+        )
+
     if n <= 5:
         # Lemma 5.1 needs a separator to exist; tiny/complete graphs are
         # answered exactly by the flow baseline.
         kappa = vertex_connectivity_flow(graph)
         tracker.charge(Cost.step(max(n * n, 1)), label="flow-baseline")
-        return VertexConnectivityResult(
-            connectivity=kappa, certificate_cut=None, cost=tracker.cost,
-            trace=tracker.root,
-        )
+        return _result(kappa, None)
 
     _, count, ccost = connected_components(graph)
     tracker.charge(ccost, label="components", components=count)
     if count > 1:
-        return VertexConnectivityResult(
-            0, None, tracker.cost, trace=tracker.root
-        )
+        return _result(0, None)
     two, bcost = is_biconnected(graph)
     tracker.charge(bcost, label="biconnectivity")
     if not two:
@@ -110,12 +124,10 @@ def planar_vertex_connectivity(
             tracker.charge(acost, label="articulation")
             if points.size:
                 cut = frozenset([int(points[0])])
-        return VertexConnectivityResult(
-            1, cut, tracker.cost, trace=tracker.root
-        )
+        return _result(1, cut)
 
-    fv, fcost = build_face_vertex_graph(embedding)
-    tracker.charge(fcost, label="face-vertex")
+    fv = provider.face_vertex(tracker)
+    sub_artifacts = provider.sub_provider(fv.graph, fv.embedding)
     marked = np.zeros(fv.graph.n, dtype=bool)
     marked[: fv.num_original] = True
     # Cycles of the bipartite G' alternate original/face vertices, so the
@@ -138,6 +150,7 @@ def planar_vertex_connectivity(
                 want_witness=want_certificate,
                 host_classes=host_classes,
                 pattern_classes=[p % 2 for p in range(2 * c)],
+                artifacts=sub_artifacts,
             )
             tracker.attach(result.trace)
         if result.found:
@@ -147,14 +160,9 @@ def planar_vertex_connectivity(
                     graph, embedding, c, result.witness, seed, engine,
                     tracker,
                 )
-            return VertexConnectivityResult(
-                connectivity=c,
-                certificate_cut=certificate,
-                cost=tracker.cost,
-                trace=tracker.root,
-            )
+            return _result(c, certificate)
     # Planar graphs are never 6-connected (Euler: minimum degree <= 5).
-    return VertexConnectivityResult(5, None, tracker.cost, trace=tracker.root)
+    return _result(5, None)
 
 
 def _certified_cut(

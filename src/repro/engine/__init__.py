@@ -1,0 +1,42 @@
+"""Target-session engine: cached derived artifacts for batched queries.
+
+See :mod:`repro.engine.session` for the caching :class:`TargetSession`,
+:mod:`repro.engine.artifacts` for the provider protocol the drivers
+consume, and :mod:`repro.engine.keys` for the content-addressed key scheme.
+
+This package init is lazy (PEP 562) so that the drivers can import
+``repro.engine.artifacts`` at module load without pulling the session
+module (which imports the drivers back) into the import cycle.
+"""
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "TargetSession",
+    "CacheStats",
+    "BatchResult",
+    "ColdArtifacts",
+    "target_fingerprint",
+    "graph_fingerprint",
+]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .artifacts import ColdArtifacts
+    from .keys import graph_fingerprint, target_fingerprint
+    from .session import BatchResult, CacheStats, TargetSession
+
+
+def __getattr__(name):
+    if name in ("TargetSession", "CacheStats", "BatchResult"):
+        from . import session
+
+        return getattr(session, name)
+    if name == "ColdArtifacts":
+        from .artifacts import ColdArtifacts
+
+        return ColdArtifacts
+    if name in ("target_fingerprint", "graph_fingerprint"):
+        from . import keys
+
+        return getattr(keys, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

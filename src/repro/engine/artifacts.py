@@ -1,0 +1,138 @@
+"""The artifact-provider protocol the end-to-end drivers consume.
+
+Every driver (decide / find / list / exact count / separating / vertex
+connectivity) spends most of its work on artifacts that depend only on the
+*target* graph and the pattern's ``(k, d)`` — never on the pattern's edge
+structure: EST clusterings, treewidth k-d covers, per-piece Baker/nice
+decompositions, window decompositions, the face--vertex graph.  The drivers
+therefore request these through a small provider object instead of building
+them inline:
+
+:class:`ColdArtifacts`
+    The default, allocation-free provider — builds every artifact fresh and
+    charges its construction to the caller's tracer exactly as the inline
+    code used to.  One-shot driver calls are byte-for-byte unchanged.
+
+:class:`~repro.engine.session.TargetSession`
+    The caching provider — memoizes artifacts behind content-addressed
+    keys, charges ``Cost(0, 0)`` on hits and reports the skipped
+    construction cost so results can state an honest
+    ``cold_equivalent_cost`` (see DESIGN.md, *Session engine & caching*).
+
+Both implement the same artifact methods (including the per-piece DP
+solve, which is itself a deterministic derived artifact) plus the two
+amortization
+hooks (:meth:`ColdArtifacts.amortization_mark` /
+:meth:`ColdArtifacts.amortization_since`) the drivers use to mark results
+``amortized`` and compute their cold-equivalent cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..pram import Cost, Tracer
+
+__all__ = ["ColdArtifacts"]
+
+
+class ColdArtifacts:
+    """Build-everything-fresh provider (the one-shot drivers' default).
+
+    Charges each construction to the caller's tracer through the same code
+    paths the drivers used before the provider refactor, so cold results —
+    verdicts, witnesses, counts, charged costs and trace totals — are
+    identical to the pre-session library.
+    """
+
+    caching = False
+
+    def __init__(self, graph, embedding) -> None:
+        self.graph = graph
+        self.embedding = embedding
+
+    # -- artifacts ---------------------------------------------------------
+
+    def charge_embedding(self, tracer: Tracer) -> None:
+        """Charge the analytic Klein--Reif rotation-system embedding cost
+        (a session charges it once and amortizes repeats)."""
+        from ..planar.geometric import embedding_cost
+
+        tracer.charge(embedding_cost(self.graph.n), label="embed")
+
+    def cover(self, k: int, d: int, seed: int, tracer: Tracer):
+        """A Parallel Treewidth k-d Cover (Theorem 2.4), built fresh."""
+        from ..isomorphism.cover import treewidth_cover
+
+        return treewidth_cover(
+            self.graph, self.embedding, k, d, seed=seed, tracer=tracer
+        )
+
+    def separating_cover(
+        self, marked: np.ndarray, k: int, d: int, seed: int, tracer: Tracer
+    ):
+        """A separating k-d cover (Section 5.2), built fresh."""
+        from ..separating.cover import separating_cover
+
+        return separating_cover(
+            self.graph, self.embedding, marked, k, d, seed=seed,
+            tracer=tracer,
+        )
+
+    def nice(self, decomposition, tracer: Optional[Tracer]):
+        """Binarize + nice form of one piece's tree decomposition."""
+        from ..treedecomp.nice import make_nice
+
+        nice, _ = make_nice(decomposition.binarize(), tracer=tracer)
+        return nice
+
+    def window_decomposition(self, subgraph, tracer: Tracer):
+        """Min-fill + nice decomposition of one deterministic-count window
+        (``repro.isomorphism.counting``)."""
+        from ..treedecomp.minfill import minfill_decomposition
+        from ..treedecomp.nice import make_nice
+
+        td, _ = minfill_decomposition(subgraph, tracer=tracer)
+        nice, _ = make_nice(td.binarize(), tracer=tracer)
+        return nice
+
+    def solve_piece(
+        self, piece, pattern, engine: str, tracer: Tracer,
+        want_witness: bool, kernel: str = "packed",
+    ):
+        """Solve one cover piece of the Monte Carlo SI driver: nice
+        decomposition + bounded-treewidth DP (+ witness recovery).
+
+        The outcome is a deterministic function of (piece, pattern, engine
+        flags), so a session caches it like any other derived artifact —
+        repeated patterns across a batch skip the DP entirely.
+        """
+        from ..isomorphism.planar_si import _solve_piece
+
+        return _solve_piece(
+            piece, pattern, engine, tracer, want_witness, kernel, self
+        )
+
+    def face_vertex(self, tracer: Tracer):
+        """The bipartite face--vertex graph G' (Section 5.1)."""
+        from ..planar.face_vertex import build_face_vertex_graph
+
+        fv, fcost = build_face_vertex_graph(self.embedding)
+        tracer.charge(fcost, label="face-vertex")
+        return fv
+
+    def sub_provider(self, graph, embedding) -> "ColdArtifacts":
+        """Provider for a derived target (vertex connectivity's G')."""
+        return ColdArtifacts(graph, embedding)
+
+    # -- amortization hooks ------------------------------------------------
+
+    def amortization_mark(self) -> Tuple[int, Cost]:
+        """Snapshot of (cache hits, saved cost) — always zero when cold."""
+        return (0, Cost.zero())
+
+    def amortization_since(self, mark: Tuple[int, Cost]) -> Tuple[int, Cost]:
+        """Hits and saved cost since ``mark`` — always zero when cold."""
+        return (0, Cost.zero())

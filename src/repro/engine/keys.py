@@ -1,0 +1,125 @@
+"""Content-addressed keys for the target-session artifact cache.
+
+Every artifact the session memoizes (EST clusterings, k-d covers, nice
+decompositions, window decompositions, the face--vertex graph) is stored
+under a key derived *from the bytes of the objects that determine it* —
+never from Python object identity.  Two consequences the tests rely on:
+
+* **Soundness** — mutating the target (adding or removing an edge, or
+  changing the rotation system) changes the target fingerprint and hence
+  every derived key: no stale artifact can ever be served for a different
+  graph (``tests/engine/test_session.py``).
+* **Reproducibility** — equal inputs produce equal keys, so two sessions
+  over byte-identical targets address (and rebuild) byte-identical
+  artifacts for equal seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "graph_fingerprint",
+    "embedding_fingerprint",
+    "target_fingerprint",
+    "decomposition_fingerprint",
+    "piece_fingerprint",
+    "mask_fingerprint",
+]
+
+
+def _digest(*chunks: bytes) -> str:
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(len(chunk).to_bytes(8, "little"))
+        h.update(chunk)
+    return h.hexdigest()[:24]
+
+
+def graph_fingerprint(graph) -> str:
+    """Fingerprint of a :class:`~repro.graphs.csr.Graph`: vertex count plus
+    the canonical (u < v) edge array bytes."""
+    return _digest(
+        graph.n.to_bytes(8, "little"),
+        np.ascontiguousarray(graph.edges(), dtype=np.int64).tobytes(),
+    )
+
+
+def embedding_fingerprint(embedding) -> str:
+    """Fingerprint of a rotation system: every vertex's neighbor cycle in
+    rotation order (the full combinatorial embedding)."""
+    h = hashlib.sha256()
+    h.update(embedding.n.to_bytes(8, "little"))
+    for v in range(embedding.n):
+        rot = embedding.rotation(v)
+        h.update(len(rot).to_bytes(4, "little"))
+        h.update(np.asarray(rot, dtype=np.int64).tobytes())
+    return h.hexdigest()[:24]
+
+
+def target_fingerprint(graph, embedding) -> str:
+    """The session's root key: graph content + embedding content.  Every
+    derived cache key embeds this fingerprint as a prefix."""
+    return _digest(
+        graph_fingerprint(graph).encode(),
+        embedding_fingerprint(embedding).encode(),
+    )
+
+
+def decomposition_fingerprint(decomposition) -> str:
+    """Fingerprint of a tree decomposition: bags (with sizes), parent
+    pointers and root.
+
+    Memoized on the decomposition object (they are never mutated after
+    construction anywhere in the library) so the hashing cost is paid once
+    per decomposition, not once per warm query.
+    """
+    cached = getattr(decomposition, "_content_fp", None)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    h.update(int(decomposition.root).to_bytes(8, "little", signed=True))
+    h.update(
+        np.asarray(decomposition.parent, dtype=np.int64).tobytes()
+    )
+    for bag in decomposition.bags:
+        h.update(int(bag.size).to_bytes(4, "little"))
+        h.update(np.asarray(bag, dtype=np.int64).tobytes())
+    fp = h.hexdigest()[:24]
+    try:
+        decomposition._content_fp = fp
+    except AttributeError:
+        pass  # slotted/frozen decomposition variants: just recompute
+    return fp
+
+
+def piece_fingerprint(piece) -> str:
+    """Fingerprint of one cover piece: subgraph content, original-vertex
+    map and tree decomposition (everything the per-piece DP depends on
+    besides the pattern).  Memoized on the piece object — pieces live
+    inside cached covers and are never mutated."""
+    cached = getattr(piece, "_content_fp", None)
+    if cached is not None:
+        return cached
+    fp = _digest(
+        graph_fingerprint(piece.graph).encode(),
+        np.ascontiguousarray(piece.originals, dtype=np.int64).tobytes(),
+        decomposition_fingerprint(piece.decomposition).encode(),
+    )
+    try:
+        piece._content_fp = fp
+    except AttributeError:
+        pass
+    return fp
+
+
+def mask_fingerprint(mask) -> str:
+    """Fingerprint of a boolean/integer vertex mask (the separating
+    problem's marked set)."""
+    return _digest(np.ascontiguousarray(mask).tobytes())
+
+
+Key = Tuple  # cache keys are plain tuples: (kind, target_fp, *specifics)

@@ -30,14 +30,13 @@ from typing import Optional
 
 import numpy as np
 
+from ..engine.artifacts import ColdArtifacts
 from ..graphs.bfs import parallel_bfs
 from ..graphs.components import component_members, connected_components
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
 from ..pram import Cost, Span, Tracer
-from ..treedecomp.nice import make_nice
 from .pattern import Pattern
-from .cover import _build_window_piece
 from .sequential_dp import sequential_dp
 from .state_space import SubgraphStateSpace
 
@@ -56,16 +55,30 @@ class DeterministicCountResult:
     windows_examined: int
     cost: Cost
     trace: Optional[Span] = None
+    amortized: bool = False
+    cold_equivalent_cost: Optional[Cost] = None
 
 
 def count_occurrences_exact(
     graph: Graph,
     embedding: PlanarEmbedding,
     pattern: Pattern,
+    artifacts=None,
 ) -> DeterministicCountResult:
-    """Count the pattern's occurrences exactly and deterministically."""
+    """Count the pattern's occurrences exactly and deterministically.
+
+    ``artifacts`` optionally supplies a provider/session caching the
+    per-window decompositions (they are pattern-independent, so a session
+    amortizes them across patterns — and even inside one query: the nested
+    window ``[i+1, max_level]`` recurs as both a minuend and a subtrahend
+    of consecutive inclusion--exclusion terms).
+    """
     if not pattern.is_connected():
         raise ValueError("exact counting needs a connected pattern")
+    provider = (
+        artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
+    )
+    mark = provider.amortization_mark()
     k, d = pattern.k, pattern.diameter()
     tracker = Tracer("count-exact")
     tracker.count(n=graph.n, k=k, d=d)
@@ -83,10 +96,10 @@ def count_occurrences_exact(
         max_level = bfs.depth
         for i in range(max(0, max_level - d) + 1):
             m_i = _window_count(
-                sub_emb, sub, level, i, i + d, pattern, tracker
+                sub_emb, sub, level, i, i + d, pattern, tracker, provider
             )
             k_i = _window_count(
-                sub_emb, sub, level, i + 1, i + d, pattern, tracker
+                sub_emb, sub, level, i + 1, i + d, pattern, tracker, provider
             )
             total += m_i - k_i
             windows += 1
@@ -97,19 +110,23 @@ def count_occurrences_exact(
         # full window's tail terms, handled by _window_count's clipping.
         for i in range(max(0, max_level - d) + 1, max_level + 1):
             m_i = _window_count(
-                sub_emb, sub, level, i, max_level, pattern, tracker
+                sub_emb, sub, level, i, max_level, pattern, tracker, provider
             )
             k_i = _window_count(
-                sub_emb, sub, level, i + 1, max_level, pattern, tracker
+                sub_emb, sub, level, i + 1, max_level, pattern, tracker,
+                provider,
             )
             total += m_i - k_i
             windows += 1
     tracker.count(windows=windows)
+    hits, saved = provider.amortization_since(mark)
     return DeterministicCountResult(
         isomorphisms=total,
         windows_examined=windows,
         cost=tracker.cost,
         trace=tracker.root,
+        amortized=hits > 0,
+        cold_equivalent_cost=tracker.cost + saved,
     )
 
 
@@ -121,6 +138,7 @@ def _window_count(
     hi: int,
     pattern: Pattern,
     tracker: Tracer,
+    provider,
 ) -> int:
     """Exact isomorphism count inside the induced subgraph of levels
     [lo, hi] (0 when the window is empty or too small)."""
@@ -130,11 +148,8 @@ def _window_count(
     sub, _originals = graph.induced_subgraph(window)
     if sub.m < pattern.graph.m:
         return 0
-    from ..treedecomp.minfill import minfill_decomposition
-
     with tracker.span("window-count"):
-        td, _ = minfill_decomposition(sub, tracer=tracker)
-        nice, _ = make_nice(td.binarize(), tracer=tracker)
+        nice = provider.window_decomposition(sub, tracker)
         space = SubgraphStateSpace(pattern, sub)
         result = sequential_dp(space, nice, tracer=tracker)
     return result.accepting_count

@@ -89,6 +89,7 @@ def treewidth_cover(
     d: int,
     seed: int,
     tracer: Optional[Tracer] = None,
+    clustering=None,
 ) -> TreewidthCover:
     """Build a Parallel Treewidth k-d Cover of ``graph`` (see module doc).
 
@@ -97,6 +98,12 @@ def treewidth_cover(
     When a ``tracer`` is given, the construction records its phases
     (``clustering``, one branch per cluster with its ``bfs`` and per-window
     ``baker``/``contract`` charges) under a ``cover`` span of that trace.
+
+    ``clustering`` optionally supplies a prebuilt EST 2k-clustering of the
+    same ``(graph, seed)`` (the target session's amortization); its
+    construction is then neither repeated nor re-charged — the caller
+    accounts for it.  The resulting cover is byte-identical to an inline
+    build because :func:`est_clustering` is deterministic per seed.
     """
     if k < 1 or d < 0:
         raise ValueError("need k >= 1 and d >= 0")
@@ -104,9 +111,10 @@ def treewidth_cover(
         raise ValueError("embedding does not match the graph")
     tracker = tracer if tracer is not None else Tracer("cover-run")
     with tracker.span("cover", k=k, d=d) as cover_span:
-        clustering, _ = est_clustering(
-            graph, beta=2.0 * k, seed=seed, tracer=tracker
-        )
+        if clustering is None:
+            clustering, _ = est_clustering(
+                graph, beta=2.0 * k, seed=seed, tracer=tracker
+            )
 
         pieces: List[CoverPiece] = []
         members_per_cluster = component_members(

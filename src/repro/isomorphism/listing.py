@@ -14,11 +14,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..engine.artifacts import ColdArtifacts
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
 from ..pram import Cost, Span, Tracer
-from ..treedecomp.nice import make_nice
-from .cover import treewidth_cover
 from .pattern import Pattern
 from .parallel_dp import parallel_dp
 from .recovery import iter_witnesses
@@ -43,6 +42,8 @@ class ListingResult:
     iterations: int
     cost: Cost
     trace: Optional[Span] = None
+    amortized: bool = False
+    cold_equivalent_cost: Optional[Cost] = None
 
     @property
     def occurrences(self) -> Set[frozenset]:
@@ -57,10 +58,19 @@ def list_occurrences(
     engine: str = "parallel",
     confidence_log_factor: float = 1.0,
     max_iterations: Optional[int] = None,
+    artifacts=None,
 ) -> ListingResult:
-    """List (w.h.p.) every occurrence of a connected pattern (Theorem 4.2)."""
+    """List (w.h.p.) every occurrence of a connected pattern (Theorem 4.2).
+
+    ``artifacts`` optionally supplies a provider/session for the covers and
+    nice decompositions (see :func:`decide_subgraph_isomorphism`).
+    """
     if not pattern.is_connected():
         raise ValueError("listing requires a connected pattern")
+    provider = (
+        artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
+    )
+    mark = provider.amortization_mark()
     k, d = pattern.k, pattern.diameter()
     tracker = Tracer("list-occurrences")
     tracker.count(n=graph.n, k=k, d=d)
@@ -71,10 +81,7 @@ def list_occurrences(
     while True:
         iterations += 1
         with tracker.span("round"):
-            cover = treewidth_cover(
-                graph, embedding, k, d, seed=seed + iterations,
-                tracer=tracker,
-            )
+            cover = provider.cover(k, d, seed + iterations, tracker)
             new_here = 0
             with tracker.parallel("pieces") as region:
                 for piece in cover.pieces:
@@ -82,7 +89,7 @@ def list_occurrences(
                         continue
                     with region.branch("dp-solve") as branch:
                         for w in _piece_witnesses(
-                            piece, pattern, engine, branch
+                            piece, pattern, engine, branch, provider
                         ):
                             if w not in found:
                                 found.add(w)
@@ -99,16 +106,19 @@ def list_occurrences(
         if max_iterations is not None and iterations >= max_iterations:
             break
     tracker.count(iterations=iterations, witnesses=len(found))
+    hits, saved = provider.amortization_since(mark)
     return ListingResult(
         witnesses=found,
         iterations=iterations,
         cost=tracker.cost,
         trace=tracker.root,
+        amortized=hits > 0,
+        cold_equivalent_cost=tracker.cost + saved,
     )
 
 
-def _piece_witnesses(piece, pattern, engine, tracker: Tracer):
-    nice, _ = make_nice(piece.decomposition.binarize(), tracer=tracker)
+def _piece_witnesses(piece, pattern, engine, tracker: Tracer, provider):
+    nice = provider.nice(piece.decomposition, tracker)
     space = SubgraphStateSpace(pattern, piece.graph)
     if engine == "parallel":
         result = parallel_dp(space, nice, tracer=tracker)
@@ -135,10 +145,13 @@ def count_occurrences(
     seed: int,
     engine: str = "parallel",
     distinct_images: bool = False,
+    artifacts=None,
 ) -> int:
     """Count occurrences via listing (the paper's conclusion notes this is
     the non-work-efficient route; exact nonetheless w.h.p.)."""
-    result = list_occurrences(graph, embedding, pattern, seed, engine=engine)
+    result = list_occurrences(
+        graph, embedding, pattern, seed, engine=engine, artifacts=artifacts
+    )
     if distinct_images:
         return len(result.occurrences)
     return len(result.witnesses)

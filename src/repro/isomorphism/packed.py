@@ -37,6 +37,7 @@ consume, decoding lazily per visited node.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,6 +47,8 @@ __all__ = [
     "member_positions",
     "match_key_pairs",
     "packed_ops_for",
+    "reset_overflow_warnings",
+    "PackedOverflowWarning",
     "PackedSubgraphOps",
     "PackedValidTables",
 ]
@@ -523,19 +526,53 @@ class PackedSubgraphOps:
 # ---------------------------------------------------------------------------
 
 
-def packed_ops_for(space, nice):
+class PackedOverflowWarning(RuntimeWarning):
+    """The packed int64 codec cannot represent this instance's states;
+    the engine silently produced the right answer via the reference
+    tuple-dict path, but at reference-engine wall-clock."""
+
+
+_overflow_warned: set = set()
+
+
+def reset_overflow_warnings() -> None:
+    """Forget which space types already warned (tests use this to assert
+    the warning fires exactly once per type)."""
+    _overflow_warned.clear()
+
+
+def packed_ops_for(space, nice, tracer=None):
     """The packed kernel set for ``space`` if it exists and fits ``nice``.
 
     Returns ``None`` when the space has no packed implementation or the
     codes would overflow int64 — engines then fall back to the reference
-    tuple-dict path (the results and charged costs are identical either
-    way, so the fallback is invisible).
+    tuple-dict path.  Results and charged costs are identical either way,
+    but the *overflow* fallback costs real wall-clock, so it is no longer
+    silent: the first occurrence per space type raises a
+    :class:`PackedOverflowWarning`, and every occurrence bumps the
+    ``packed_overflow_fallbacks`` counter on ``tracer`` (when given).
     """
     factory = getattr(space, "packed_ops", None)
     if factory is None:
         return None
     ops = factory()
-    return ops if ops.fits(nice) else None
+    if ops.fits(nice):
+        return ops
+    if tracer is not None:
+        tracer.count(packed_overflow_fallbacks=1)
+    kind = type(space).__name__
+    if kind not in _overflow_warned:
+        _overflow_warned.add(kind)
+        max_bag = max((int(b.size) for b in nice.bags), default=0)
+        warnings.warn(
+            f"packed int64 codes overflow for {kind} "
+            f"(k={ops.k}, max bag size {max_bag} needs > 62 bits); "
+            "falling back to the reference tuple-dict engine — results and "
+            "charged costs are unchanged, wall-clock is not",
+            PackedOverflowWarning,
+            stacklevel=2,
+        )
+    return None
 
 
 class PackedValidTables(Sequence):

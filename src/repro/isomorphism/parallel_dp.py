@@ -71,8 +71,12 @@ def parallel_dp(
     """
     if engine not in ("packed", "reference"):
         raise ValueError(f"unknown engine {engine!r}")
-    ops = packed_ops_for(space, nice) if engine == "packed" else None
     tracker = tracer if tracer is not None else Tracer("parallel-dp-run")
+    ops = (
+        packed_ops_for(space, nice, tracer=tracker)
+        if engine == "packed"
+        else None
+    )
     with tracker.span("parallel-dp") as dp_span:
         result = _parallel_dp_traced(space, nice, tracker, dp_span, ops)
     return result

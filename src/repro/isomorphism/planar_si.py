@@ -22,12 +22,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..engine.artifacts import ColdArtifacts
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
-from ..planar.geometric import embedding_cost
 from ..pram import Cost, Span, Tracer
-from ..treedecomp.nice import make_nice
-from .cover import treewidth_cover
 from .pattern import Pattern
 from .parallel_dp import parallel_dp
 from .recovery import first_witness, iter_witnesses
@@ -53,6 +51,8 @@ class PlanarSIResult:
     pieces_examined: int
     max_piece_width: int
     trace: Optional[Span] = None
+    amortized: bool = False
+    cold_equivalent_cost: Optional[Cost] = None
 
 
 def _rounds_for(n: int, rounds: Optional[int], confidence_log_factor: float) -> int:
@@ -73,6 +73,7 @@ def decide_subgraph_isomorphism(
     confidence_log_factor: float = 2.0,
     want_witness: bool = False,
     kernel: str = "packed",
+    artifacts=None,
 ) -> PlanarSIResult:
     """Decide (w.h.p.) whether the connected ``pattern`` occurs in the
     planar ``graph`` (Theorem 2.1 / Corollary 2.2).
@@ -88,6 +89,12 @@ def decide_subgraph_isomorphism(
         Table representation of the per-piece DP: ``"packed"`` (vectorized
         int64 kernels, default) or ``"reference"`` (tuple dicts).  Results
         and charged costs are identical; only wall-clock differs.
+    artifacts:
+        An artifact provider (``repro.engine``) supplying covers and nice
+        decompositions — a :class:`~repro.engine.session.TargetSession`
+        amortizes them across queries.  Default: build everything fresh
+        (the one-shot behavior).  The provider must be bound to the same
+        ``(graph, embedding)``.
     """
     if not pattern.is_connected():
         raise ValueError(
@@ -98,28 +105,45 @@ def decide_subgraph_isomorphism(
         raise ValueError(f"unknown engine {engine!r}")
     if kernel not in ("packed", "reference"):
         raise ValueError(f"unknown kernel {kernel!r}")
+    provider = (
+        artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
+    )
+    mark = provider.amortization_mark()
     k = pattern.k
     d = pattern.diameter()
     tracker = Tracer("decide-si")
     tracker.count(n=graph.n, m=graph.m, k=k, d=d)
-    tracker.charge(embedding_cost(graph.n), label="embed")
+    provider.charge_embedding(tracker)
     total_rounds = _rounds_for(graph.n, rounds, confidence_log_factor)
     pieces_examined = 0
     max_width = 0
+
+    def _result(found, witness, rounds_used):
+        hits, saved = provider.amortization_since(mark)
+        return PlanarSIResult(
+            found=found,
+            witness=witness,
+            rounds_used=rounds_used,
+            cost=tracker.cost,
+            pieces_examined=pieces_examined,
+            max_piece_width=max_width,
+            trace=tracker.root,
+            amortized=hits > 0,
+            cold_equivalent_cost=tracker.cost + saved,
+        )
+
     for r in range(total_rounds):
         found_witness: Optional[Dict[int, int]] = None
         found = False
         with tracker.span("round"):
-            cover = treewidth_cover(
-                graph, embedding, k, d, seed=seed + r, tracer=tracker
-            )
+            cover = provider.cover(k, d, seed + r, tracker)
             with tracker.parallel("pieces") as region:
                 for piece in cover.pieces:
                     if piece.graph.n < k:
                         continue
                     pieces_examined += 1
                     with region.branch("dp-solve") as branch:
-                        witness = _solve_piece(
+                        witness = provider.solve_piece(
                             piece, pattern, engine, branch, want_witness,
                             kernel,
                         )
@@ -134,33 +158,19 @@ def decide_subgraph_isomorphism(
                                 for p, v in witness.items()
                             }
         if found:
-            return PlanarSIResult(
-                found=True,
-                witness=found_witness,
-                rounds_used=r + 1,
-                cost=tracker.cost,
-                pieces_examined=pieces_examined,
-                max_piece_width=max_width,
-                trace=tracker.root,
-            )
-    return PlanarSIResult(
-        found=False,
-        witness=None,
-        rounds_used=total_rounds,
-        cost=tracker.cost,
-        pieces_examined=pieces_examined,
-        max_piece_width=max_width,
-        trace=tracker.root,
-    )
+            return _result(True, found_witness, r + 1)
+    return _result(False, None, total_rounds)
 
 
 def _solve_piece(
     piece, pattern: Pattern, engine: str, tracker: Tracer,
-    want_witness: bool, kernel: str = "packed",
+    want_witness: bool, kernel: str = "packed", provider=None,
 ) -> Optional[Dict[int, int]]:
     """Solve one cover piece; returns a local witness dict, ``{}`` as a
     found-marker when no witness was requested, or None."""
-    nice, _ = make_nice(piece.decomposition.binarize(), tracer=tracker)
+    if provider is None:
+        provider = ColdArtifacts(None, None)
+    nice = provider.nice(piece.decomposition, tracker)
     space = SubgraphStateSpace(pattern, piece.graph)
     if engine == "parallel":
         result = parallel_dp(space, nice, tracer=tracker, engine=kernel)
@@ -181,6 +191,7 @@ def find_occurrence(
     engine: str = "parallel",
     rounds: Optional[int] = None,
     kernel: str = "packed",
+    artifacts=None,
 ) -> PlanarSIResult:
     """Like :func:`decide_subgraph_isomorphism` but returns a witness."""
     return decide_subgraph_isomorphism(
@@ -192,4 +203,5 @@ def find_occurrence(
         rounds=rounds,
         want_witness=True,
         kernel=kernel,
+        artifacts=artifacts,
     )

@@ -72,7 +72,7 @@ def sequential_dp(
     if engine not in ("packed", "reference"):
         raise ValueError(f"unknown engine {engine!r}")
     if engine == "packed":
-        ops = packed_ops_for(space, nice)
+        ops = packed_ops_for(space, nice, tracer=tracer)
         if ops is not None:
             return _sequential_dp_packed(space, nice, ops, tracer, label)
     order = nice.topological_order()

@@ -82,12 +82,15 @@ def separating_cover(
     d: int,
     seed: int,
     tracer: Optional[Tracer] = None,
+    clustering=None,
 ) -> SeparatingCover:
     """Build the separating k-d cover (see module docstring).
 
     When a ``tracer`` is given, the construction's phases (``clustering``,
     per-cluster ``bfs``, per-window minor building) nest under a ``cover``
-    span of that trace.
+    span of that trace.  ``clustering`` optionally supplies a prebuilt EST
+    2k-clustering for the same ``(graph, seed)`` (the target session's
+    amortization); it is then neither rebuilt nor re-charged.
     """
     if k < 1 or d < 0:
         raise ValueError("need k >= 1 and d >= 0")
@@ -96,9 +99,10 @@ def separating_cover(
         raise ValueError("marked mask must cover every vertex")
     tracker = tracer if tracer is not None else Tracer("cover-run")
     with tracker.span("cover", k=k, d=d) as cover_span:
-        clustering, _ = est_clustering(
-            graph, beta=2.0 * k, seed=seed, tracer=tracker
-        )
+        if clustering is None:
+            clustering, _ = est_clustering(
+                graph, beta=2.0 * k, seed=seed, tracer=tracker
+            )
 
         pieces: List[SeparatingPiece] = []
         with tracker.parallel("clusters") as clusters_region:

@@ -8,12 +8,12 @@ absence with O(log n) rounds w.h.p.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
+from ..engine.artifacts import ColdArtifacts
 from ..graphs.csr import Graph
 from ..isomorphism.parallel_dp import parallel_dp
 from ..isomorphism.pattern import Pattern
@@ -22,8 +22,6 @@ from ..isomorphism.recovery import first_witness
 from ..isomorphism.sequential_dp import sequential_dp
 from ..planar.embedding import PlanarEmbedding
 from ..pram import Cost, Span, Tracer
-from ..treedecomp.nice import make_nice
-from .cover import separating_cover
 from .state_space import SeparatingStateSpace
 
 __all__ = ["SeparatingSIResult", "decide_separating_isomorphism"]
@@ -44,6 +42,8 @@ class SeparatingSIResult:
     pieces_examined: int
     max_piece_width: int
     trace: Optional[Span] = None
+    amortized: bool = False
+    cold_equivalent_cost: Optional[Cost] = None
 
 
 def decide_separating_isomorphism(
@@ -59,6 +59,7 @@ def decide_separating_isomorphism(
     host_classes: Optional[np.ndarray] = None,
     pattern_classes=None,
     kernel: str = "packed",
+    artifacts=None,
 ) -> SeparatingSIResult:
     """Decide (w.h.p.) whether some occurrence of the connected ``pattern``
     separates the ``marked`` vertices of the planar ``graph`` (Lemma 5.3).
@@ -76,19 +77,37 @@ def decide_separating_isomorphism(
         raise ValueError(f"unknown engine {engine!r}")
     if kernel not in ("packed", "reference"):
         raise ValueError(f"unknown kernel {kernel!r}")
+    provider = (
+        artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
+    )
+    mark = provider.amortization_mark()
     k, d = pattern.k, pattern.diameter()
     tracker = Tracer("decide-separating-si")
     tracker.count(n=graph.n, k=k, d=d)
     total_rounds = _rounds_for(graph.n, rounds, confidence_log_factor)
     pieces_examined = 0
     max_width = 0
+
+    def _result(found, witness, rounds_used):
+        hits, saved = provider.amortization_since(mark)
+        return SeparatingSIResult(
+            found=found,
+            witness=witness,
+            rounds_used=rounds_used,
+            cost=tracker.cost,
+            pieces_examined=pieces_examined,
+            max_piece_width=max_width,
+            trace=tracker.root,
+            amortized=hits > 0,
+            cold_equivalent_cost=tracker.cost + saved,
+        )
+
     for r in range(total_rounds):
         found = False
         found_witness: Optional[Dict[int, int]] = None
         with tracker.span("round"):
-            cover = separating_cover(
-                graph, embedding, marked, k, d, seed=seed + r,
-                tracer=tracker,
+            cover = provider.separating_cover(
+                marked, k, d, seed + r, tracker
             )
             with tracker.parallel("pieces") as region:
                 for piece in cover.pieces:
@@ -98,7 +117,6 @@ def decide_separating_isomorphism(
                     max_width = max(
                         max_width, piece.decomposition.width()
                     )
-                    nice, ncost = make_nice(piece.decomposition.binarize())
                     local_classes = None
                     if host_classes is not None:
                         # Merged vertices (originals == -1) get class -1;
@@ -121,7 +139,7 @@ def decide_separating_isomorphism(
                         ),
                     )
                     with region.branch("dp-solve") as branch:
-                        branch.charge(ncost, label="nice")
+                        nice = provider.nice(piece.decomposition, branch)
                         result = (
                             parallel_dp(
                                 space, nice, tracer=branch, engine=kernel
@@ -141,21 +159,5 @@ def decide_separating_isomorphism(
                                     for p, v in w.items()
                                 }
         if found:
-            return SeparatingSIResult(
-                found=True,
-                witness=found_witness,
-                rounds_used=r + 1,
-                cost=tracker.cost,
-                pieces_examined=pieces_examined,
-                max_piece_width=max_width,
-                trace=tracker.root,
-            )
-    return SeparatingSIResult(
-        found=False,
-        witness=None,
-        rounds_used=total_rounds,
-        cost=tracker.cost,
-        pieces_examined=pieces_examined,
-        max_piece_width=max_width,
-        trace=tracker.root,
-    )
+            return _result(True, found_witness, r + 1)
+    return _result(False, None, total_rounds)

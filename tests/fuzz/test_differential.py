@@ -1,0 +1,199 @@
+"""Differential fuzzing: random planar targets x random patterns, three ways.
+
+Every drawn instance is answered by (a) the one-shot drivers (decide,
+list, exact count), (b) a cached :class:`~repro.engine.TargetSession`
+(single query *and* as part of a batch), and (c) the exhaustive
+backtracking oracle — all three must agree, and the session runs must
+satisfy the cost invariants (``trace.cost == result.cost``;
+``cold_equivalent_cost.work`` equal to the one-shot work).  The
+exact-counting fuzzer plays the deterministic window-count against the
+oracle's isomorphism count; the listing fuzzer compares full witness
+sets.
+
+Replay: every drawn instance is ``note()``-ed, so a failing run prints the
+``family/size/graph-seed/pattern/query-seed`` tuple alongside Hypothesis's
+own reproduction blob (``@reproduce_failure`` or the printed falsifying
+example rerun the exact instance).
+
+Scaling: ``FUZZ_EXAMPLES`` sets the per-test example count (default 20 —
+quick enough for the tier-1 suite; the CI fuzz job raises it so the four
+tests together cover >= 500 instances).  The tests are also marked
+``slow`` so ``-m "not slow"`` keeps them out of blocking CI lanes.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, note, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    count_isomorphisms,
+    has_isomorphism,
+    iter_isomorphisms,
+)
+from repro.engine import TargetSession
+from repro.graphs import (
+    grid_graph,
+    outerplanar_graph,
+    random_tree,
+    triangulated_grid,
+    wheel_graph,
+)
+from repro.isomorphism import (
+    count_occurrences_exact,
+    cycle_pattern,
+    decide_subgraph_isomorphism,
+    diamond,
+    list_occurrences,
+    path_pattern,
+    star_pattern,
+    triangle,
+)
+from repro.planar import embed_geometric, embed_planar
+
+FUZZ_EXAMPLES = int(os.environ.get("FUZZ_EXAMPLES", "20"))
+
+pytestmark = pytest.mark.slow
+
+
+def _target(family: str, size: int, seed: int):
+    """Materialize one random planar target (graph + embedding)."""
+    if family == "tree":
+        g = random_tree(4 + size, seed=seed)
+        return g, embed_planar(g)
+    if family == "outerplanar":
+        gg = outerplanar_graph(5 + size, seed=seed)
+    elif family == "grid":
+        gg = grid_graph(2 + size % 5, 2 + size // 3)
+    elif family == "trigrid":
+        gg = triangulated_grid(2 + size % 4, 2 + size // 4)
+    else:  # wheel
+        gg = wheel_graph(4 + size)
+    emb, _ = embed_geometric(gg)
+    return gg.graph, emb
+
+
+def _pattern(kind: str, k: int):
+    if kind == "path":
+        return path_pattern(2 + k)
+    if kind == "cycle":
+        return cycle_pattern(3 + k)
+    if kind == "star":
+        return star_pattern(2 + k)
+    if kind == "triangle":
+        return triangle()
+    return diamond()
+
+
+TARGETS = st.tuples(
+    st.sampled_from(["tree", "outerplanar", "grid", "trigrid", "wheel"]),
+    st.integers(0, 12),
+    st.integers(0, 10_000),
+)
+PATTERNS = st.tuples(
+    st.sampled_from(["path", "cycle", "star", "triangle", "diamond"]),
+    st.integers(0, 3),
+)
+
+
+@given(target=TARGETS, pat=PATTERNS, seed=st.integers(0, 10_000))
+@settings(max_examples=FUZZ_EXAMPLES)
+def test_decide_differential(target, pat, seed):
+    family, size, gseed = target
+    kind, k = pat
+    note(f"target={family}:{size}:{gseed} pattern={kind}:{k} seed={seed}")
+    graph, emb = _target(family, size, gseed)
+    pattern = _pattern(kind, k)
+
+    oracle = has_isomorphism(pattern, graph)
+    one_shot = decide_subgraph_isomorphism(graph, emb, pattern, seed=seed)
+    session = TargetSession(graph, emb)
+    warm = session.decide(pattern, seed=seed)
+    again = session.decide(pattern, seed=seed)
+
+    # Monte Carlo one-sidedness: "found" is always correct; at the default
+    # 2 log2 n rounds a false negative has probability <= 1/n^2, so over
+    # these instance sizes divergence from the oracle is a real bug.
+    assert one_shot.found == oracle
+    assert warm.found == oracle
+    assert again.found == oracle
+    assert warm.rounds_used == one_shot.rounds_used
+    assert again.rounds_used == one_shot.rounds_used
+
+    for result in (warm, again):
+        assert result.trace.cost == result.cost
+        assert result.cold_equivalent_cost.work == one_shot.cost.work
+    assert not one_shot.amortized
+    assert one_shot.cold_equivalent_cost == one_shot.cost
+
+
+@given(
+    target=TARGETS,
+    pats=st.lists(PATTERNS, min_size=2, max_size=5),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=FUZZ_EXAMPLES)
+def test_batch_differential(target, pats, seed):
+    family, size, gseed = target
+    note(f"target={family}:{size}:{gseed} patterns={pats} seed={seed}")
+    graph, emb = _target(family, size, gseed)
+    patterns = [_pattern(kind, k) for kind, k in pats]
+
+    session = TargetSession(graph, emb)
+    batch = session.decide_batch(patterns, seed=seed)
+    assert len(batch.results) == len(patterns)
+    for pattern, result in zip(patterns, batch.results):
+        cold = decide_subgraph_isomorphism(graph, emb, pattern, seed=seed)
+        assert result.found == cold.found == has_isomorphism(pattern, graph)
+        assert result.rounds_used == cold.rounds_used
+        assert result.witness == cold.witness
+        assert result.cold_equivalent_cost.work == cold.cost.work
+    assert batch.cost.work <= batch.cold_equivalent_cost.work
+
+
+@given(target=TARGETS, pat=PATTERNS, seed=st.integers(0, 10_000))
+@settings(max_examples=FUZZ_EXAMPLES)
+def test_listing_differential(target, pat, seed):
+    family, size, gseed = target
+    kind, k = pat
+    note(f"target={family}:{size}:{gseed} pattern={kind}:{k} seed={seed}")
+    graph, emb = _target(family, size, gseed)
+    pattern = _pattern(kind, k)
+
+    oracle = {
+        tuple(sorted(w.items()))
+        for w in iter_isomorphisms(pattern, graph)
+    }
+    cold = list_occurrences(graph, emb, pattern, seed)
+    session = TargetSession(graph, emb)
+    warm = session.list_occurrences(pattern, seed=seed)
+
+    # Theorem 4.2 lists *every* occurrence w.h.p. — over these instance
+    # sizes a missing witness is a real bug, as is any spurious one.
+    assert {tuple(w) for w in cold.witnesses} == oracle
+    assert warm.witnesses == cold.witnesses
+    assert warm.occurrences == cold.occurrences
+    assert warm.iterations == cold.iterations
+    assert warm.trace.cost == warm.cost
+    assert warm.cold_equivalent_cost.work == cold.cost.work
+
+
+@given(target=TARGETS, pat=PATTERNS)
+@settings(max_examples=FUZZ_EXAMPLES)
+def test_exact_count_differential(target, pat):
+    family, size, gseed = target
+    kind, k = pat
+    note(f"target={family}:{size}:{gseed} pattern={kind}:{k}")
+    graph, emb = _target(family, size, gseed)
+    pattern = _pattern(kind, k)
+
+    oracle = count_isomorphisms(pattern, graph)
+    cold = count_occurrences_exact(graph, emb, pattern)
+    session = TargetSession(graph, emb)
+    warm = session.count_exact(pattern)
+
+    assert cold.isomorphisms == oracle
+    assert warm.isomorphisms == oracle
+    assert warm.trace.cost == warm.cost
+    assert warm.cold_equivalent_cost.work == cold.cost.work

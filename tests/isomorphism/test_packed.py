@@ -283,3 +283,62 @@ class TestRandomizedEquivalence:
         assert ppkd.total_shortcuts == pref.total_shortcuts
         for node in range(nice.num_nodes):
             assert dict(ppkd.valid[node]) == pref.valid[node]
+
+
+class TestOverflowFallback:
+    """The packed -> reference int64-overflow fallback is correct but no
+    longer silent: one PackedOverflowWarning per space type, plus a
+    ``packed_overflow_fallbacks`` counter on the caller's trace."""
+
+    def _overflowing_instance(self):
+        # k = 31 overflows even for tiny bags: (bag + 2)^31 needs > 62
+        # bits as soon as a bag has 3+ vertices (base 5^31 ~ 2^72), and a
+        # path decomposition of a path has bags of size 2-3.
+        gg = grid_graph(2, 20)
+        pattern = path_pattern(31)
+        g = gg.graph
+        td, _ = minfill_decomposition(g)
+        nice, _ = make_nice(td)
+        space = SubgraphStateSpace(pattern, g)
+        return space, nice
+
+    def test_packed_ops_for_warns_once_and_counts(self):
+        from repro.isomorphism.packed import (
+            PackedOverflowWarning,
+            reset_overflow_warnings,
+        )
+        from repro.pram import Tracer
+
+        space, nice = self._overflowing_instance()
+        assert space.packed_ops().fits(nice) is False  # really overflows
+        reset_overflow_warnings()
+        tracer = Tracer("overflow-test")
+        with pytest.warns(PackedOverflowWarning, match="falling back"):
+            assert packed_ops_for(space, nice, tracer=tracer) is None
+        assert tracer.root.counters["packed_overflow_fallbacks"] == 1
+        # Second overflow for the same space type: counted, not re-warned.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            assert packed_ops_for(space, nice, tracer=tracer) is None
+        assert not [
+            w for w in caught
+            if issubclass(w.category, PackedOverflowWarning)
+        ]
+        assert tracer.root.counters["packed_overflow_fallbacks"] == 2
+        reset_overflow_warnings()
+
+    def test_overflow_fallback_still_correct(self):
+        from repro.isomorphism.packed import reset_overflow_warnings
+
+        space, nice = self._overflowing_instance()
+        reset_overflow_warnings()
+        with pytest.warns(Warning):
+            packed = sequential_dp(space, nice, engine="packed")
+        reference = sequential_dp(space, nice, engine="reference")
+        # The fallback produced the reference behavior bit for bit.
+        assert packed.found == reference.found
+        assert packed.accepting_count == reference.accepting_count
+        assert packed.cost == reference.cost
+        reset_overflow_warnings()
