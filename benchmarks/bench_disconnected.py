@@ -8,7 +8,6 @@ Claims measured:
 """
 
 import numpy as np
-import pytest
 
 from repro.graphs import Graph, triangulated_grid
 from repro.isomorphism import Pattern, decide_disconnected, triangle

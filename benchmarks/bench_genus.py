@@ -7,7 +7,6 @@ Claims measured:
   here by the min-fill substitute for Lagergren's algorithm (DESIGN.md).
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import has_isomorphism

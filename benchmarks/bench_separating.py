@@ -15,12 +15,7 @@ import numpy as np
 import pytest
 
 from repro.graphs import grid_graph
-from repro.isomorphism import (
-    SubgraphStateSpace,
-    parallel_dp,
-    path_pattern,
-    sequential_dp,
-)
+from repro.isomorphism import SubgraphStateSpace, parallel_dp, path_pattern
 from repro.planar import embed_geometric
 from repro.separating import (
     SeparatingStateSpace,

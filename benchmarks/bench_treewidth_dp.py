@@ -9,7 +9,6 @@ Claims measured:
   staying linear in n at fixed tau.
 """
 
-import numpy as np
 import pytest
 
 from repro.graphs import grid_graph

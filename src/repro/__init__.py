@@ -14,8 +14,8 @@ public API lives at this top level; subpackages expose the substrates:
 - :mod:`repro.baselines` — comparators from Table 1.
 """
 
-__version__ = "1.0.0"
-
 from .pram import Cost, Tracker
+
+__version__ = "1.0.0"
 
 __all__ = ["Cost", "Tracker", "__version__"]

@@ -1,0 +1,26 @@
+"""Cost-soundness analysis: a static companion to the PRAM substrate.
+
+The cost model (``repro.pram``) is only as trustworthy as the discipline
+of the code charging into it: a NumPy call outside any ``charge``/``step``
+is *free* work, a Python loop over a graph-sized iterable inside a
+"polylog depth" routine silently voids the depth bound, and an unseeded
+RNG voids reproducibility.  This package provides a small, pluggable AST
+lint (``python -m repro lint``) that flags those hazards; its dynamic
+counterpart — the CREW write-race sanitizer — lives in
+``repro.pram.sanitize``.
+
+See DESIGN.md, "Cost-soundness analysis" for the rule catalog.
+"""
+
+from .findings import Finding
+from .linter import lint_paths, lint_source, run
+from .rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "run",
+]

@@ -1,0 +1,33 @@
+"""The analyzer's result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer hit, pointing at a source line.
+
+    ``rule`` is the stable identifier (``RPR001`` ...) used both for
+    reporting and for per-line ``# repro: noqa[RPR001]`` suppression.
+    """
+
+    rule: str
+    name: str
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.name}] {self.message}"

@@ -1,0 +1,181 @@
+"""Driver for the cost-soundness lint: file discovery, noqa, output.
+
+Suppression syntax (per line, at the reported line)::
+
+    risky_call()  # repro: noqa[RPR001] -- justification
+    risky_call()  # repro: noqa          (suppresses every rule)
+
+``lint_paths`` walks ``.py`` files under the given roots; ``lint_source``
+lints one in-memory module (the test fixtures use it).  ``run`` is the
+CLI entry behind ``python -m repro lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, TextIO
+
+from .findings import Finding
+from .rules import ALL_RULES, TRACED_PACKAGES, ModuleContext, Rule
+
+__all__ = ["lint_paths", "lint_source", "parse_noqa", "run"]
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+def parse_noqa(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line numbers to suppressed rule-id sets.
+
+    ``None`` means a bare ``# repro: noqa`` (suppress everything on the
+    line); otherwise the set holds uppercase rule ids.
+    """
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[lineno] = None
+        else:
+            ids = {r.strip().upper() for r in rules.split(",") if r.strip()}
+            prev = out.get(lineno)
+            if prev is None and lineno in out:
+                continue  # bare noqa already suppresses everything
+            out[lineno] = ids | (prev or set())
+    return out
+
+
+def _suppressed(finding: Finding, noqa: Dict[int, Optional[Set[str]]]) -> bool:
+    if finding.line not in noqa:
+        return False
+    rules = noqa[finding.line]
+    return rules is None or finding.rule in rules
+
+
+def _module_name(path: Path) -> str:
+    """Dotted name relative to the ``repro`` package root (best effort)."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro") + 1:]
+    return ".".join(parts)
+
+
+def _is_traced(module: str) -> bool:
+    head = module.split(".")[0] if module else ""
+    return head in TRACED_PACKAGES
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    traced: Optional[bool] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module given as a string; honors noqa comments.
+
+    ``traced`` overrides the package-based classification (fixture files
+    outside ``src/repro`` use ``traced=True`` to exercise RPR001/RPR002).
+    """
+    module = _module_name(Path(path)) if path != "<string>" else ""
+    if traced is None:
+        traced = _is_traced(module)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="RPR999",
+                name="syntax-error",
+                path=path,
+                line=exc.lineno or 1,
+                message=f"could not parse module: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(
+        path=path, source=source, tree=tree, module=module, traced=traced
+    )
+    noqa = parse_noqa(source)
+    found: List[Finding] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        for finding in rule.check(ctx):
+            if not _suppressed(finding, noqa):
+                found.append(finding)
+    found.sort(key=lambda f: (f.path, f.line, f.rule))
+    return found
+
+
+def _iter_py_files(roots: Sequence[str]) -> Iterable[Path]:
+    seen: Set[Path] = set()
+    for root in roots:
+        p = Path(root)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            r = f.resolve()
+            if r not in seen:
+                seen.add(r)
+                yield f
+
+
+def lint_paths(
+    roots: Sequence[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    for path in _iter_py_files(roots):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(source, path=str(path), rules=rules)
+        )
+    return findings
+
+
+def render_text(findings: List[Finding], stream: TextIO) -> None:
+    for finding in findings:
+        print(finding.render(), file=stream)
+    n = len(findings)
+    print(
+        f"{n} finding{'s' if n != 1 else ''}"
+        + ("" if n else " — cost-soundness lint is clean"),
+        file=stream,
+    )
+
+
+def render_json(findings: List[Finding], stream: TextIO) -> None:
+    json.dump(
+        {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+            "rules": {
+                r.id: {"name": r.name, "description": r.description}
+                for r in ALL_RULES
+            },
+        },
+        stream,
+        indent=2,
+    )
+    stream.write("\n")
+
+
+def run(
+    roots: Sequence[str],
+    format: str = "text",
+    output: Optional[str] = None,
+) -> int:
+    """CLI entry: lint ``roots``, print, return a process exit code."""
+    if format not in ("text", "json"):
+        raise ValueError(f"unknown format {format!r}")
+    findings = lint_paths(roots)
+    if output is not None:
+        with open(output, "w", encoding="utf-8") as fh:
+            (render_json if format == "json" else render_text)(findings, fh)
+    else:
+        stream = sys.stdout
+        (render_json if format == "json" else render_text)(findings, stream)
+    return 1 if findings else 0

@@ -1,0 +1,398 @@
+"""The analyzer's rule catalog (RPR001-RPR004).
+
+Each rule is a small class over the module's ``ast`` tree; the linter
+instantiates every rule in :data:`ALL_RULES` against every module and
+collects :class:`~repro.analysis.findings.Finding` objects.  Rules are
+deliberately heuristic — they flag *hazards* for a human to triage, and
+intentional sites are suppressed in place with
+``# repro: noqa[RPR00x]  -- justification``.
+
+Scope: only modules under the :data:`TRACED_PACKAGES` sub-packages of
+``repro`` are "traced algorithm modules"; modules elsewhere (CLI,
+benchmarks, the analyzer itself) get only the universally applicable
+rules (RPR003, RPR004).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "ALL_RULES",
+    "TRACED_PACKAGES",
+    "ModuleContext",
+    "Rule",
+    "UnchargedWork",
+    "DepthHazard",
+    "Nondeterminism",
+    "UnsafeSpan",
+]
+
+#: Sub-packages of ``repro`` whose modules carry work--depth obligations.
+TRACED_PACKAGES = frozenset(
+    {
+        "graphs",
+        "cluster",
+        "isomorphism",
+        "separating",
+        "connectivity",
+        "treedecomp",
+        "planar",
+        "baselines",
+        "pram",
+    }
+)
+
+#: Calls that constitute evidence the surrounding function charges its
+#: work into the cost model (directly or by delegating to a charged
+#: primitive / traced helper).
+CHARGE_ATTRS = frozenset({"charge", "add", "step", "par", "seq"})
+CHARGED_CALLEES = frozenset(
+    {
+        "Cost",
+        "prefix_sum",
+        "exclusive_prefix_sum",
+        "parallel_reduce",
+        "pack",
+        "pack_indices",
+        "pointer_jump_roots",
+        "list_rank",
+        "list_rank_optimal",
+        "evaluate_expression_tree",
+    }
+)
+CHARGE_KEYWORDS = frozenset({"tracer", "tracker", "cost"})
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Dotted module name relative to the scanned root (best effort).
+    module: str
+    #: True when the module lives under a traced algorithm package.
+    traced: bool
+    lines: List[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lines = self.source.splitlines()
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``name`` and implement ``check``."""
+
+    id: str = "RPR000"
+    name: str = "abstract"
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, line: int, message: str) -> Finding:
+        return Finding(
+            rule=self.id, name=self.name, path=ctx.path, line=line,
+            message=message,
+        )
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Yield every function/method definition node in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _cost_aware(func: ast.FunctionDef) -> bool:
+    """A function has engaged the cost protocol when a tracer/tracker is
+    in scope: received as a parameter or instantiated in the body."""
+    args = func.args
+    params = args.posonlyargs + args.args + args.kwonlyargs
+    if any(p.arg in ("tracer", "tracker") for p in params):
+        return True
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is not None and dotted.split(".")[-1] in (
+                "Tracer",
+                "Tracker",
+            ):
+                return True
+    return False
+
+
+class UnchargedWork(Rule):
+    """RPR001: NumPy bulk work bypassing an in-scope tracer.
+
+    A traced algorithm function that has a tracer/tracker in scope (as a
+    parameter, or built in the body) but performs ``np.*`` work without
+    any ``charge``/``step``/``Cost``/primitive call — and without handing
+    the tracer to a callee — does work the cost model never sees.  Leaf
+    helpers with no tracer in scope are out of scope here: their work is
+    charged at call sites (the trace-parity tests cover that contract).
+    One finding per function, anchored at its ``def`` line.
+    """
+
+    id = "RPR001"
+    name = "uncharged-work"
+    description = (
+        "NumPy work in a cost-aware traced function with no "
+        "charge/step/primitive call and no tracer handed on"
+    )
+
+    #: The PRAM substrate *implements* the accounting; its own NumPy use
+    #: is bookkeeping, not algorithm work.
+    EXEMPT_PACKAGES = frozenset({"pram"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.traced:
+            return
+        package = ctx.module.split(".")[0] if ctx.module else ""
+        if package in self.EXEMPT_PACKAGES:
+            return
+        for func in _functions(ctx.tree):
+            if not _cost_aware(func):
+                continue
+            uses_numpy = False
+            charges = False
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _dotted(node.func)
+                if dotted is not None and (
+                    dotted.startswith("np.") or dotted.startswith("numpy.")
+                ):
+                    uses_numpy = True
+                if isinstance(node.func, ast.Attribute):
+                    if node.func.attr in CHARGE_ATTRS:
+                        charges = True
+                    if node.func.attr in CHARGED_CALLEES:
+                        charges = True
+                elif isinstance(node.func, ast.Name):
+                    if node.func.id in CHARGED_CALLEES:
+                        charges = True
+                for kw in node.keywords:
+                    if kw.arg in CHARGE_KEYWORDS:
+                        charges = True
+            if uses_numpy and not charges:
+                yield self.finding(
+                    ctx,
+                    func.lineno,
+                    f"function {func.name!r} has a tracer in scope but "
+                    "does NumPy work without charging the cost model "
+                    "(no charge/step/Cost/primitive call, no tracer "
+                    "passed on)",
+                )
+
+
+#: Docstring phrases that claim a polylogarithmic depth bound.
+_DEPTH_CLAIM = re.compile(
+    r"O\([^)]*\blog\b[^)]*\)[^.\n]{0,60}\bdepth\b"
+    r"|\bdepth\b[^.\n]{0,60}O\([^)]*\blog\b[^)]*\)"
+    r"|\bpolylog(?:arithmic)?\b[^.\n]{0,60}\bdepth\b"
+    r"|\bdepth\b[^.\n]{0,60}\bpolylog(?:arithmic)?\b",
+    re.IGNORECASE,
+)
+
+#: Names/attributes that smell like a graph-sized quantity.
+_SIZE_NAMES = frozenset({"n", "m", "num_nodes", "n_nodes", "num_vertices"})
+_SIZE_ATTRS = frozenset({"n", "m", "size", "num_nodes"})
+
+
+def _graph_sized(expr: ast.AST) -> bool:
+    """Heuristic: does this expression scale with the graph size?"""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr in _SIZE_ATTRS:
+            return True
+        if isinstance(node, ast.Name) and node.id in _SIZE_NAMES:
+            return True
+    return False
+
+
+def _is_parallel_idiom(loop: ast.For) -> bool:
+    """True when the loop body opens parallel branches (simulated-parallel
+    idiom: the loop *enumerates* branches, it is not a sequential chain)."""
+    for node in ast.walk(loop):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                call = item.context_expr
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr in ("branch", "parallel")
+                ):
+                    return True
+    return False
+
+
+class DepthHazard(Rule):
+    """RPR002: sequential loop over graph-sized data under a polylog claim.
+
+    When a function's docstring advertises an ``O(log ...)`` depth bound,
+    a plain ``for``/``while`` over ``range(graph.n)``-like iterables is a
+    Theta(n) sequential chain unless each iteration is a parallel branch.
+    """
+
+    id = "RPR002"
+    name = "depth-hazard"
+    description = (
+        "sequential loop over a graph-sized iterable in a function whose "
+        "docstring claims polylog depth"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.traced:
+            return
+        for func in _functions(ctx.tree):
+            doc = ast.get_docstring(func)
+            if not doc or not _DEPTH_CLAIM.search(doc):
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, ast.For):
+                    if _is_parallel_idiom(node):
+                        continue
+                    if _graph_sized(node.iter):
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            f"function {func.name!r} claims polylog depth "
+                            "but runs a sequential loop over a graph-sized "
+                            "iterable",
+                        )
+                elif isinstance(node, ast.While):
+                    if _graph_sized(node.test):
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            f"function {func.name!r} claims polylog depth "
+                            "but runs a while-loop conditioned on a "
+                            "graph-sized quantity",
+                        )
+
+
+#: ``np.random.<allowed>`` constructors of seeded generators.
+_ALLOWED_RNG = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+
+class Nondeterminism(Rule):
+    """RPR003: module-level RNG state instead of a seeded Generator.
+
+    ``random.*`` and legacy ``np.random.*`` functions draw from hidden
+    global state, voiding the repo's per-seed reproducibility guarantee;
+    all randomness must flow through ``np.random.default_rng(seed)``.
+    """
+
+    id = "RPR003"
+    name = "nondeterminism"
+    description = (
+        "use of the random module or legacy np.random global state "
+        "instead of a seeded np.random.default_rng Generator"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            "import of the stdlib random module (hidden "
+                            "global state); use np.random.default_rng(seed)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        "import from the stdlib random module (hidden "
+                        "global state); use np.random.default_rng(seed)",
+                    )
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted is None:
+                    continue
+                for prefix in ("np.random.", "numpy.random."):
+                    if dotted.startswith(prefix):
+                        tail = dotted[len(prefix):].split(".")[0]
+                        if tail not in _ALLOWED_RNG:
+                            yield self.finding(
+                                ctx,
+                                node.lineno,
+                                f"legacy global-state RNG {dotted!r}; use "
+                                "np.random.default_rng(seed)",
+                            )
+                        break
+
+
+class UnsafeSpan(Rule):
+    """RPR004: a Tracer span opened outside a ``with`` statement.
+
+    ``span()``/``parallel()``/``branch()`` return context managers that
+    close (and charge) on exit; calling one without ``with`` (or
+    ``ExitStack.enter_context``) leaks an open span and corrupts the
+    phase tree on exceptions.
+    """
+
+    id = "RPR004"
+    name = "unsafe-span"
+    description = (
+        "Tracer span/parallel/branch opened without a with-statement"
+    )
+
+    _SPAN_ATTRS = frozenset({"span", "parallel", "branch"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        managed: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    managed.add(id(item.context_expr))
+            elif isinstance(node, ast.Call):
+                # ExitStack.enter_context(tracker.span(...)) is managed.
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "enter_context"
+                ):
+                    for arg in node.args:
+                        managed.add(id(arg))
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._SPAN_ATTRS
+                and id(node) not in managed
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{node.func.attr}() span opened without a "
+                    "with-statement; the span never closes on exceptions",
+                )
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    UnchargedWork(),
+    DepthHazard(),
+    Nondeterminism(),
+    UnsafeSpan(),
+)

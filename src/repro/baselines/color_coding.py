@@ -25,7 +25,6 @@ import numpy as np
 from ..graphs.csr import Graph
 from ..isomorphism.pattern import Pattern
 from ..pram import Cost, Tracker, log2_ceil
-from .backtracking import has_isomorphism
 
 __all__ = ["color_coding_decide", "colorful_tree_search"]
 
@@ -84,7 +83,6 @@ def colorful_tree_search(
             table[v] = combos
         masks[p] = table
     root = order[0][0]
-    full = (1 << k) - 1
     # Any root placement achieving k distinct colors wins (colorful).
     return any(
         any(bin(m).count("1") == k for m in masks[root][v])

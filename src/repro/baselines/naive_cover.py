@@ -21,7 +21,7 @@ import numpy as np
 
 from ..graphs.bfs import parallel_bfs
 from ..graphs.csr import Graph
-from ..pram import Cost, Tracker
+from ..pram import Cost, ShadowArray, Tracker
 
 __all__ = ["NaiveBallCover", "naive_ball_cover"]
 
@@ -44,8 +44,10 @@ def naive_ball_cover(graph: Graph, d: int, seed: int = 0) -> NaiveBallCover:
     pieces: List[Tuple[Graph, np.ndarray]] = []
     total = 0
     with tracker.parallel() as region:
+        ball_cells = ShadowArray("ball-pieces", graph.n)
         for v in range(graph.n):
             with region.branch() as branch:
+                branch.record_writes(ball_cells, v)
                 res, cost = parallel_bfs(graph, [v])
                 branch.charge(cost)
                 ball = np.flatnonzero(

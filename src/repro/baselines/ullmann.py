@@ -10,9 +10,8 @@ anchor of the related-work comparison.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator
 
-import numpy as np
 
 from ..graphs.csr import Graph
 from ..isomorphism.pattern import Pattern

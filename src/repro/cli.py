@@ -13,6 +13,7 @@ Examples
         --patterns cycle:4,path:4,star:3 --session-stats
     python -m repro batch   --target trigrid:12x12 \
         --patterns-file patterns.txt --session-stats
+    python -m repro lint src/repro --format json --output lint.json
 
 ``batch`` answers every pattern against one :class:`repro.engine.TargetSession`
 (covers, clusterings and per-piece decompositions are built once and served
@@ -199,8 +200,33 @@ def main(argv: Optional[list] = None) -> int:
         "--session-stats", action="store_true",
         help="print the session cache hit/miss table and amortized cost",
     )
+    lint_p = sub.add_parser(
+        "lint",
+        help="cost-soundness analyzer (uncharged work, depth hazards, "
+        "nondeterminism, unsafe spans)",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint_p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="findings output format",
+    )
+    lint_p.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write findings to PATH instead of stdout",
+    )
 
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        from .analysis import run as lint_run
+
+        return lint_run(
+            args.paths or ["src/repro"],
+            format=args.format,
+            output=args.output,
+        )
     graph, embedding = parse_target(args.target)
     print(f"target: {args.target} (n={graph.n}, m={graph.m})")
     t0 = time.perf_counter()

@@ -15,9 +15,8 @@ Also provides the definition-checking brute force for tiny graphs.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import List, Optional
+from typing import List
 
-import numpy as np
 
 from ..graphs.components import connected_components
 from ..graphs.csr import Graph

@@ -9,7 +9,7 @@ vectorizable, per the HPC guide's "vectorize the bottleneck" rule.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, Sequence, Tuple
 
 import numpy as np
 

@@ -23,7 +23,7 @@ O(k log n) depth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from ..graphs.components import component_members
 from ..graphs.csr import Graph
 from ..planar.contract import contract_vertex_sets, relabel_embedding
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Span, Tracer
+from ..pram import Cost, ShadowArray, Span, Tracer
 from ..treedecomp.baker import baker_decomposition
 from ..treedecomp.decomposition import TreeDecomposition
 
@@ -121,8 +121,13 @@ def treewidth_cover(
             clustering.labels, clustering.count
         )
         with tracker.parallel("clusters") as clusters_region:
+            # Each cluster branch writes the cover-piece cells of its own
+            # member vertices; the sanitizer thereby checks that the EST
+            # clustering really partitions the vertex set (Lemma 2.3).
+            vertex_cells = ShadowArray("cluster-vertices", graph.n)
             for cluster_id, members in enumerate(members_per_cluster):
                 with clusters_region.branch("cluster") as branch:
+                    branch.record_writes(vertex_cells, members)
                     pieces.extend(
                         _cover_cluster(
                             graph, embedding, members, d, cluster_id, branch
@@ -174,8 +179,10 @@ def _cover_cluster(
     out: List[CoverPiece] = []
     last_start = max(0, max_level - d)
     with tracker.parallel("windows") as windows:
+        window_cells = ShadowArray("window-pieces", last_start + 1)
         for i in range(last_start + 1):
             with windows.branch("window") as wbranch:
+                wbranch.record_writes(window_cells, i)
                 piece = _build_window_piece(
                     sub_emb, cluster_graph, originals, level,
                     i, d, root, cluster_id, wbranch,

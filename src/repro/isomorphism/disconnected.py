@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Tracker
+from ..pram import Cost, ShadowArray, Tracker
 from .pattern import Pattern
 from .planar_si import decide_subgraph_isomorphism
 
@@ -80,6 +80,7 @@ def decide_disconnected(
         witness: Dict[int, int] = {}
         all_found = True
         with tracker.parallel() as region:
+            component_cells = ShadowArray("component-results", l)
             for color, (component, original_ids) in enumerate(components):
                 vertices = np.flatnonzero(colors == color)
                 if vertices.size < component.k:
@@ -87,6 +88,7 @@ def decide_disconnected(
                     break
                 sub_emb, originals = embedding.induced_subembedding(vertices)
                 with region.branch() as branch:
+                    branch.record_writes(component_cells, color)
                     inner = decide_subgraph_isomorphism(
                         sub_emb.to_graph(),
                         sub_emb,

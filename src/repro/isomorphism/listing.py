@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from ..engine.artifacts import ColdArtifacts
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Span, Tracer
+from ..pram import Cost, ShadowArray, Span, Tracer
 from .pattern import Pattern
 from .parallel_dp import parallel_dp
 from .recovery import iter_witnesses
@@ -84,10 +84,12 @@ def list_occurrences(
             cover = provider.cover(k, d, seed + iterations, tracker)
             new_here = 0
             with tracker.parallel("pieces") as region:
-                for piece in cover.pieces:
+                results = ShadowArray("piece-witnesses", len(cover.pieces))
+                for piece_idx, piece in enumerate(cover.pieces):
                     if piece.graph.n < k:
                         continue
                     with region.branch("dp-solve") as branch:
+                        branch.record_writes(results, piece_idx)
                         for w in _piece_witnesses(
                             piece, pattern, engine, branch, provider
                         ):

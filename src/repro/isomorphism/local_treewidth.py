@@ -15,8 +15,6 @@ usable on, e.g., torus grids.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -25,7 +23,7 @@ from ..cluster.est import est_clustering
 from ..graphs.bfs import parallel_bfs
 from ..graphs.components import component_members
 from ..graphs.csr import Graph
-from ..pram import Cost, Tracker
+from ..pram import Cost, ShadowArray, Tracker
 from ..treedecomp.minfill import minfill_decomposition
 from ..treedecomp.nice import make_nice
 from .cover import CoverPiece, TreewidthCover
@@ -58,10 +56,12 @@ def local_treewidth_cover(
     tracker.charge(cost)
     pieces: List[CoverPiece] = []
     with tracker.parallel() as region:
+        vertex_cells = ShadowArray("cluster-vertices", graph.n)
         for cluster_id, members in enumerate(
             component_members(clustering.labels, clustering.count)
         ):
             with region.branch() as branch:
+                branch.record_writes(vertex_cells, members)
                 sub, originals = graph.induced_subgraph(members)
                 branch.charge(Cost.step(max(sub.n, 1)))
                 if sub.n == 0:

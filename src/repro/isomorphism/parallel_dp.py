@@ -19,12 +19,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..pram import Cost, Span, Tracer
+from ..pram import Cost, ShadowArray, Span, Tracer
 from ..treedecomp.nice import NiceDecomposition
 from ..treedecomp.tree_paths import layered_paths
-from .match_dag import PathDAGResult, _solve_path_packed, solve_path
+from .match_dag import _solve_path_packed, solve_path
 from .packed import PackedValidTables, packed_ops_for
-from .sequential_dp import DPResult
 
 __all__ = ["ParallelDPResult", "parallel_dp"]
 
@@ -125,14 +124,22 @@ def _parallel_dp_traced(
 
     valid: List[Optional[Dict[tuple, int]]] = [None] * n_nodes
     valid_codes: List[Optional[np.ndarray]] = [None] * n_nodes
+    # One conceptual table slot per decomposition node: paths within a
+    # layer must be node-disjoint (Lemma 3.2) for the parallel region to
+    # be race-free, and the sanitizer checks exactly that.
+    tables_shadow = ShadowArray("dp-node-tables", n_nodes)
     num_paths = 0
     max_rounds = 0
     total_states = 0
     total_shortcuts = 0
     for layer in pd.layers:
         with tracker.parallel("layer") as region:
-            for path in layer:
+            for path_idx, path in enumerate(layer):
                 num_paths += 1
+                if region.sanitizing:
+                    region.record_writes(
+                        tables_shadow, path, arm=f"path{path_idx}"
+                    )
                 if ops is not None:
                     result = _solve_path_packed(
                         ops, nice, path, valid_codes, node_stats=node_stats

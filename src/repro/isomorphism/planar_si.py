@@ -18,17 +18,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-import numpy as np
 
 from ..engine.artifacts import ColdArtifacts
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Span, Tracer
+from ..pram import Cost, ShadowArray, Span, Tracer
 from .pattern import Pattern
 from .parallel_dp import parallel_dp
-from .recovery import first_witness, iter_witnesses
+from .recovery import first_witness
 from .sequential_dp import sequential_dp
 from .state_space import SubgraphStateSpace
 
@@ -138,11 +137,15 @@ def decide_subgraph_isomorphism(
         with tracker.span("round"):
             cover = provider.cover(k, d, seed + r, tracker)
             with tracker.parallel("pieces") as region:
-                for piece in cover.pieces:
+                # Each piece's branch writes its own result slot of the
+                # conceptual output array (sanitizer disjointness check).
+                results = ShadowArray("piece-results", len(cover.pieces))
+                for piece_idx, piece in enumerate(cover.pieces):
                     if piece.graph.n < k:
                         continue
                     pieces_examined += 1
                     with region.branch("dp-solve") as branch:
+                        branch.record_writes(results, piece_idx)
                         witness = provider.solve_piece(
                             piece, pattern, engine, branch, want_witness,
                             kernel,

@@ -27,7 +27,7 @@ dead (surgery: deletion, contraction).  The face permutation is
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

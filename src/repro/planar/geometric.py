@@ -14,7 +14,6 @@ from typing import Tuple
 
 import numpy as np
 
-from ..graphs.csr import Graph
 from ..graphs.generators import GeometricGraph
 from ..pram import Cost, log2_ceil
 from .embedding import PlanarEmbedding

@@ -5,6 +5,7 @@ reproduced by exact work--depth accounting rather than OS threads.
 """
 
 from .cost import Cost, log2_ceil
+from .sanitize import CREWViolation, ShadowArray, sanitized
 from .trace import (
     ParallelRegion,
     Span,
@@ -33,6 +34,9 @@ from .tree_contraction import (
 __all__ = [
     "Cost",
     "log2_ceil",
+    "CREWViolation",
+    "ShadowArray",
+    "sanitized",
     "Tracker",
     "Tracer",
     "Span",

@@ -9,7 +9,7 @@ Table-1 benchmark uses them to plot simulated strong-scaling curves.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 from .cost import Cost
 

@@ -19,11 +19,26 @@ published API keep working::
 
 The tracker only *accounts*; execution remains single-threaded (see
 ``repro.pram.cost`` for why this is the faithful reproduction of the paper's
-CREW PRAM claims).
+CREW PRAM claims).  Because the machine is simulated, an accounting bug —
+two "concurrent" branches writing the same cell — cannot crash; it silently
+voids the CREW assumption behind the charged bounds.  The opt-in write-race
+sanitizer (:mod:`repro.pram.sanitize`, re-exported here) turns that into a
+hard error: run with ``REPRO_SANITIZE=crew`` (or ``erew`` for exclusive-read
+checking) and conflicting branch write-sets raise
+:class:`~repro.pram.sanitize.CREWViolation` naming both branch span paths.
 """
 
 from __future__ import annotations
 
+from .sanitize import CREWViolation, ShadowArray, active_mode, sanitized
 from .trace import ParallelRegion, Tracer, Tracker
 
-__all__ = ["Tracker", "Tracer", "ParallelRegion"]
+__all__ = [
+    "Tracker",
+    "Tracer",
+    "ParallelRegion",
+    "CREWViolation",
+    "ShadowArray",
+    "active_mode",
+    "sanitized",
+]

@@ -10,6 +10,13 @@ Every primitive accepts an optional ``tracer``: when given, the primitive's
 cost is additionally charged to the tracer as a labeled leaf span (the label
 defaults to the primitive's name), so callers get phase attribution without
 having to thread the returned cost by hand.
+
+Sanitizer instrumentation: under an active write-race sanitizer
+(``repro.pram.sanitize``) each primitive declares the cells of its *input*
+arrays as reads of the enclosing branch (its outputs are freshly allocated
+and therefore private).  Concurrent reads are legal on a CREW machine, so
+this only bites under the stricter EREW flag; it charges nothing and the
+declarations vanish entirely when no sanitizer is active.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from .cost import Cost, log2_ceil
+from .cost import Cost
 from .trace import Tracer
 
 __all__ = [
@@ -40,6 +47,13 @@ def _record(
     return cost
 
 
+def _note_reads(tracer: Optional[Tracer], *arrays: np.ndarray) -> None:
+    """Declare the primitive's input cells as branch reads (sanitizer)."""
+    if tracer is not None and tracer._mem is not None:
+        for array in arrays:
+            tracer.record_reads(array)
+
+
 def prefix_sum(
     values: np.ndarray,
     tracer: Optional[Tracer] = None,
@@ -48,6 +62,7 @@ def prefix_sum(
     """Inclusive prefix sum; ``O(n)`` work, ``O(log n)`` depth."""
     values = np.asarray(values)
     n = int(values.shape[0])
+    _note_reads(tracer, values)
     return np.cumsum(values), _record(tracer, Cost.scan(n), label, items=n)
 
 
@@ -59,6 +74,7 @@ def exclusive_prefix_sum(
     """Exclusive prefix sum (``out[i] = sum(values[:i])``)."""
     values = np.asarray(values)
     n = int(values.shape[0])
+    _note_reads(tracer, values)
     out = np.empty(n + 1, dtype=np.int64)
     out[0] = 0
     np.cumsum(values, out=out[1:])
@@ -80,6 +96,7 @@ def parallel_reduce(
     n = int(values.shape[0])
     if n == 0:
         raise ValueError("cannot reduce an empty array")
+    _note_reads(tracer, values)
     if op == "sum":
         result = values.sum()
     elif op == "max":
@@ -110,6 +127,7 @@ def pack(
     if values.shape[0] != mask.shape[0]:
         raise ValueError("values and mask must have equal length")
     n = int(values.shape[0])
+    _note_reads(tracer, values, mask)
     # Scan to compute target offsets + one scatter round.
     cost = Cost.scan(n) + Cost.step(n)
     return values[mask], _record(tracer, cost, label, items=n)
@@ -126,6 +144,7 @@ def pack_indices(
     """
     mask = np.asarray(mask, dtype=bool)
     n = int(mask.shape[0])
+    _note_reads(tracer, mask)
     cost = Cost.scan(n) + Cost.step(n)
     return np.flatnonzero(mask), _record(tracer, cost, label, items=n)
 
@@ -142,7 +161,9 @@ def pointer_jump_roots(
     charging ``n`` work per round — exactly the PRAM pointer-jumping loop used
     by the shortcut construction in Section 3.3.3.
     """
-    parent = np.asarray(parent, dtype=np.int64).copy()
+    source = np.asarray(parent, dtype=np.int64)
+    _note_reads(tracer, source)
+    parent = source.copy()
     n = int(parent.shape[0])
     if n == 0:
         return parent, _record(tracer, Cost.zero(), label, items=0)

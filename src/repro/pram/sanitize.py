@@ -1,0 +1,390 @@
+"""Dynamic CREW write-race sanitizer for the simulated PRAM.
+
+The cost algebra charges ``parallel()`` regions as concurrent — sum of
+work, max of depth — which is only sound on a CREW PRAM if the branches
+never write the same memory cell (Gianinazzi & Hoefler state their bounds
+on a CREW machine: concurrent reads allowed, writes exclusive).  The
+simulation executes branches sequentially, so an overlapping write does not
+crash; it silently mis-prices the region.  This module makes that invariant
+*checked*: in sanitized runs every parallel region tracks per-branch
+write-sets on shadow memory and raises :class:`CREWViolation` the moment
+two concurrent branches write the same cell.
+
+Activation
+----------
+The sanitizer is off by default and purely observational when on — it
+charges nothing and records nothing on the span tree, so traces and cost
+totals are byte-identical either way.  Enable it with the environment
+variable ``REPRO_SANITIZE``::
+
+    REPRO_SANITIZE=crew python -m pytest -q        # write/write races
+    REPRO_SANITIZE=erew python -m repro decide ... # + read/write conflicts
+
+or programmatically (overrides the environment)::
+
+    from repro.pram import sanitize
+    with sanitize.sanitized("crew"):
+        decide_subgraph_isomorphism(...)
+
+Modes: ``"crew"`` checks write-write conflicts between concurrent branches
+(the paper's model); ``"erew"`` additionally flags a cell written by one
+branch and read by a concurrent sibling (exclusive-read machines, e.g. when
+comparing against EREW bounds from the literature).  Concurrent reads alone
+never conflict in CREW mode.
+
+What is tracked
+---------------
+Branches declare their memory effects through
+:meth:`repro.pram.trace.Tracer.record_writes` /
+:meth:`~repro.pram.trace.Tracer.record_reads` (and the region-level
+equivalents for ``ParallelRegion.add``-style arms).  Targets are either
+
+* real :class:`numpy.ndarray` objects — cells are resolved to *absolute
+  byte addresses*, so overlapping views of one buffer conflict correctly
+  no matter how they are sliced; or
+* :class:`ShadowArray` handles — named conceptual cell ranges for outputs
+  that exist per-branch in the simulation (e.g. "the result slot of cover
+  piece i") but would be one shared output array on a real PRAM.
+
+The PRAM primitives (:mod:`repro.pram.primitives`) auto-record reads of
+their inputs, and the covers / DP layers / drivers declare the per-branch
+writes of their real parallel structure, so sanitized runs check the
+genuine disjointness arguments of the paper (cluster vertex-sets partition,
+layer paths are node-disjoint, piece result slots are distinct).
+
+Caveat: ndarray cells are identified by live byte address; an array freed
+and reallocated *within one region* could alias a sibling's addresses.
+Branch-local scratch should therefore not be recorded (it is private by
+construction) — record shared inputs and outputs only.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "OFF",
+    "CREW",
+    "EREW",
+    "CREWViolation",
+    "ShadowArray",
+    "active_mode",
+    "sanitized",
+]
+
+OFF = "off"
+CREW = "crew"
+EREW = "erew"
+
+_ENV_VAR = "REPRO_SANITIZE"
+_ENV_OFF = frozenset({"", "0", "off", "none", "false"})
+_ENV_CREW = frozenset({"crew", "1", "on", "true"})
+
+_override: Optional[str] = None
+
+
+def active_mode() -> str:
+    """The sanitizer mode in effect: ``"off"``, ``"crew"`` or ``"erew"``.
+
+    A :func:`sanitized` override wins; otherwise the ``REPRO_SANITIZE``
+    environment variable decides.  Unknown values raise ``ValueError``
+    rather than silently disabling the check.
+    """
+    if _override is not None:
+        return _override
+    raw = os.environ.get(_ENV_VAR, "").strip().lower()
+    if raw in _ENV_OFF:
+        return OFF
+    if raw in _ENV_CREW:
+        return CREW
+    if raw == EREW:
+        return EREW
+    raise ValueError(
+        f"{_ENV_VAR}={raw!r} is not a sanitizer mode "
+        f"(expected off/crew/erew)"
+    )
+
+
+@contextmanager
+def sanitized(mode: str = CREW) -> Iterator[None]:
+    """Force the sanitizer ``mode`` for the duration of the block."""
+    if mode not in (OFF, CREW, EREW):
+        raise ValueError(f"unknown sanitizer mode {mode!r}")
+    global _override
+    previous = _override
+    _override = mode
+    try:
+        yield
+    finally:
+        _override = previous
+
+
+class ShadowArray:
+    """A named conceptual cell range ``0..size-1`` for effect declarations.
+
+    Use for per-branch outputs that the single-threaded simulation stores
+    in branch-local objects (piece lists, table slots) but that a real
+    PRAM execution would write into one shared output array.  Creation is
+    allocation-free; the handle only gives the cells an identity and a
+    label for violation messages.
+    """
+
+    __slots__ = ("label", "size")
+
+    def __init__(self, label: str, size: int) -> None:
+        if size < 0:
+            raise ValueError("shadow array size must be non-negative")
+        self.label = label
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShadowArray({self.label!r}, size={self.size})"
+
+
+Target = Union[np.ndarray, ShadowArray]
+
+
+class CREWViolation(RuntimeError):
+    """Two concurrent branches touched the same memory cell.
+
+    Attributes name the conflicting cell and *both* branch span paths, so
+    the offending ``parallel()`` region can be located in the trace.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        mode: str,
+        label: str,
+        cell: int,
+        first_path: str,
+        second_path: str,
+    ) -> None:
+        self.kind = kind
+        self.mode = mode
+        self.label = label
+        self.cell = cell
+        self.first_path = first_path
+        self.second_path = second_path
+        super().__init__(
+            f"{mode.upper()} {kind} conflict on {label!r} cell {cell}: "
+            f"concurrent branches {first_path!r} and {second_path!r}"
+        )
+
+
+def _cells(target: Target, indices: object) -> Tuple[np.ndarray, np.ndarray]:
+    """Resolve ``indices`` of ``target`` to canonical int64 cell ids.
+
+    For :class:`ShadowArray` targets the ids are the indices themselves;
+    for ndarrays they are absolute byte addresses of the elements (views
+    into one buffer therefore resolve to the same cells).  ``indices`` may
+    be ``None`` (every cell), a boolean mask over the flattened target, or
+    an array/sequence/scalar of flat indices (negative indices count from
+    the end, as in NumPy).
+
+    Returns ``(cells, display)``: sorted unique cell ids plus, aligned
+    with them, the flat index each cell has *in this target* — used to
+    report a human-readable cell in violation messages.
+    """
+    if isinstance(target, ShadowArray):
+        size = target.size
+    elif isinstance(target, np.ndarray):
+        size = int(target.size)
+    else:
+        raise TypeError(
+            f"sanitizer target must be an ndarray or ShadowArray, "
+            f"got {type(target).__name__}"
+        )
+    if indices is None:
+        flat = np.arange(size, dtype=np.int64)
+    else:
+        idx = np.asarray(indices)
+        if idx.dtype == np.bool_:
+            if idx.size != size:
+                raise ValueError("boolean mask does not match target size")
+            flat = np.flatnonzero(idx).astype(np.int64)
+        else:
+            flat = idx.astype(np.int64).reshape(-1)
+            flat = np.where(flat < 0, flat + size, flat)
+            if flat.size and (
+                int(flat.min()) < 0 or int(flat.max()) >= size
+            ):
+                raise IndexError(
+                    f"cell index out of range for {_label(target)!r} "
+                    f"(size {size})"
+                )
+    if flat.size == 0:
+        return flat, flat
+    if isinstance(target, ShadowArray):
+        unique = np.unique(flat)
+        return unique, unique
+    base_ptr = int(target.__array_interface__["data"][0])
+    coords = np.unravel_index(flat, target.shape) if target.ndim else ()
+    offsets = np.zeros(flat.size, dtype=np.int64)
+    for coord, stride in zip(coords, target.strides):
+        offsets += coord.astype(np.int64) * stride
+    cells, first = np.unique(base_ptr + offsets, return_index=True)
+    return cells, flat[first]
+
+
+def _label(target: Target) -> str:
+    if isinstance(target, ShadowArray):
+        return target.label
+    return f"ndarray<{getattr(target, 'dtype', '?')}>"
+
+
+class _EffectStore:
+    """Sorted (cells, owner) sets per target key, with conflict lookup."""
+
+    __slots__ = ("_cells", "_owners")
+
+    def __init__(self) -> None:
+        self._cells: Dict[object, np.ndarray] = {}
+        self._owners: Dict[object, np.ndarray] = {}
+
+    def conflict(
+        self, key: object, arm: int, cells: np.ndarray
+    ) -> Optional[Tuple[int, int]]:
+        """First (cell, other_arm) of ``cells`` held by an arm != ``arm``."""
+        have = self._cells.get(key)
+        if have is None or have.size == 0 or cells.size == 0:
+            return None
+        pos = np.searchsorted(have, cells)
+        pos_ok = pos < have.size
+        hit = np.zeros(cells.size, dtype=bool)
+        hit[pos_ok] = have[pos[pos_ok]] == cells[pos_ok]
+        if not hit.any():
+            return None
+        owners = self._owners[key]
+        foreign = hit.copy()
+        foreign[hit] = owners[pos[hit]] != arm
+        if not foreign.any():
+            return None
+        first = int(np.flatnonzero(foreign)[0])
+        return int(cells[first]), int(owners[pos[first]])
+
+    def add(self, key: object, arm: int, cells: np.ndarray) -> None:
+        if cells.size == 0:
+            return
+        have = self._cells.get(key)
+        owners = np.full(cells.size, arm, dtype=np.int64)
+        if have is None:
+            self._cells[key] = cells
+            self._owners[key] = owners
+            return
+        merged = np.concatenate([have, cells])
+        merged_owners = np.concatenate([self._owners[key], owners])
+        order = np.argsort(merged, kind="stable")
+        self._cells[key] = merged[order]
+        self._owners[key] = merged_owners[order]
+
+
+class RegionSentry:
+    """Per-``parallel()`` shadow state: arm registry + effect stores.
+
+    Created by :meth:`repro.pram.trace.Tracer.parallel` when the sanitizer
+    is active.  Every concurrent arm of the region (a ``branch()`` block,
+    one ``record_writes`` call, or a named ``arm=``) registers here;
+    conflicts are raised at the exact ``record_*`` call that completes
+    them.  A ``parent`` scope chains nested regions: effects of an inner
+    region also belong to the enclosing branch, so they propagate up and
+    are checked against the outer region's sibling arms too.
+    """
+
+    __slots__ = ("mode", "path", "parent", "_writes", "_reads", "_arms")
+
+    def __init__(
+        self, mode: str, path: str, parent: Optional["BranchScope"]
+    ) -> None:
+        self.mode = mode
+        self.path = path
+        self.parent = parent
+        self._writes = _EffectStore()
+        self._reads = _EffectStore()
+        self._arms: List[str] = []
+
+    def new_arm(self, name: str) -> int:
+        self._arms.append(f"{self.path}/{name}#{len(self._arms)}")
+        return len(self._arms) - 1
+
+    def arm_path(self, arm: int) -> str:
+        return self._arms[arm]
+
+    def record(
+        self,
+        arm: int,
+        target: Target,
+        indices: object,
+        write: bool,
+    ) -> None:
+        if not write and self.mode != EREW:
+            return  # CREW: concurrent reads are always legal; skip resolving.
+        cells, display = _cells(target, indices)
+        if cells.size == 0:
+            return
+        key: object = (
+            target if isinstance(target, ShadowArray) else "mem"
+        )
+        label = _label(target)
+
+        def _raise(kind: str, clash: Tuple[int, int]) -> None:
+            shown = int(
+                display[int(np.searchsorted(cells, clash[0]))]
+            )
+            raise CREWViolation(
+                kind, self.mode, label, shown,
+                self.arm_path(clash[1]), self.arm_path(arm),
+            )
+
+        if write:
+            clash = self._writes.conflict(key, arm, cells)
+            if clash is not None:
+                _raise("write/write", clash)
+            if self.mode == EREW:
+                clash = self._reads.conflict(key, arm, cells)
+                if clash is not None:
+                    _raise("read/write", clash)
+            self._writes.add(key, arm, cells)
+        else:
+            # Only reached in EREW mode (early return above): exclusive
+            # read means both writers *and* other readers conflict.
+            clash = self._writes.conflict(key, arm, cells)
+            if clash is not None:
+                _raise("read/write", clash)
+            clash = self._reads.conflict(key, arm, cells)
+            if clash is not None:
+                _raise("read/read", clash)
+            self._reads.add(key, arm, cells)
+        # The enclosing branch (if any) performed this access too.
+        if self.parent is not None:
+            self.parent.record(target, indices, write)
+
+
+class BranchScope:
+    """One concurrent arm's handle onto its region's sentry.
+
+    Pass ``arm`` to rebind an already-registered arm id (named arms of
+    ``ParallelRegion.record_writes``); otherwise a fresh arm is created.
+    """
+
+    __slots__ = ("sentry", "arm")
+
+    def __init__(
+        self,
+        sentry: RegionSentry,
+        name: str = "branch",
+        arm: Optional[int] = None,
+    ) -> None:
+        self.sentry = sentry
+        self.arm = sentry.new_arm(name) if arm is None else arm
+
+    @property
+    def path(self) -> str:
+        return self.sentry.arm_path(self.arm)
+
+    def record(self, target: Target, indices: object, write: bool) -> None:
+        self.sentry.record(self.arm, target, indices, write)

@@ -47,7 +47,9 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
+from . import sanitize
 from .cost import Cost
+from .sanitize import Target
 
 __all__ = [
     "Span",
@@ -221,6 +223,9 @@ class Tracer:
         root = Span(name, SEQ)
         self._root = root
         self._stack: List[Span] = [root]
+        # Sanitizer scope: set on branch tracers when a write-race
+        # sanitizer is active (repro.pram.sanitize); None otherwise.
+        self._mem: Optional[sanitize.BranchScope] = None
 
     @property
     def root(self) -> Span:
@@ -275,6 +280,29 @@ class Tracer:
         a helper that built its own :class:`Tracer`) into the current phase."""
         self._stack[-1]._attach(span)
 
+    # -- sanitizer effect declarations (observational; charge nothing) -----
+
+    def record_writes(self, target: Target, indices: object = None) -> None:
+        """Declare that this branch wrote ``indices`` of ``target``.
+
+        No-op unless this tracer is a ``branch()`` arm of a sanitized
+        parallel region (``repro.pram.sanitize``); never charges cost.
+        Raises :class:`~repro.pram.sanitize.CREWViolation` when a
+        concurrent sibling branch already wrote (or, under EREW, read)
+        one of the cells.
+        """
+        if self._mem is not None:
+            self._mem.record(target, indices, write=True)
+
+    def record_reads(self, target: Target, indices: object = None) -> None:
+        """Declare that this branch read ``indices`` of ``target``.
+
+        Tracked only under the stricter EREW mode (CREW permits concurrent
+        reads); see :meth:`record_writes`.
+        """
+        if self._mem is not None:
+            self._mem.record(target, indices, write=False)
+
     @contextmanager
     def span(self, name: str, **counters: float) -> Iterator[Span]:
         """Open a named sequential phase; closes (and folds into the parent)
@@ -291,8 +319,20 @@ class Tracer:
     @contextmanager
     def parallel(self, name: str = "parallel") -> Iterator["ParallelRegion"]:
         """Open a parallel region; its branches compose as (sum work, max
-        depth).  Exception-safe: branches recorded before a raise are kept."""
-        region = ParallelRegion(Span(name, PAR))
+        depth).  Exception-safe: branches recorded before a raise are kept.
+
+        When the write-race sanitizer is active (``REPRO_SANITIZE`` or
+        :func:`repro.pram.sanitize.sanitized`), the region additionally
+        tracks per-branch write-sets and raises
+        :class:`~repro.pram.sanitize.CREWViolation` on concurrent
+        conflicting accesses; accounting is unchanged either way.
+        """
+        mode = sanitize.active_mode()
+        sentry = None
+        if mode != sanitize.OFF:
+            path = "/".join(s.name for s in self._stack) + "/" + name
+            sentry = sanitize.RegionSentry(mode, path, self._mem)
+        region = ParallelRegion(Span(name, PAR), sentry)
         try:
             yield region
         finally:
@@ -307,8 +347,14 @@ Tracker = Tracer
 class ParallelRegion:
     """Collects concurrent branches; total = (sum of work, max of depth)."""
 
-    def __init__(self, span: Span) -> None:
+    def __init__(
+        self,
+        span: Span,
+        sentry: Optional[sanitize.RegionSentry] = None,
+    ) -> None:
         self._span = span
+        self._sentry = sentry
+        self._named_arms: Optional[Dict[str, int]] = None
 
     @property
     def span(self) -> Span:
@@ -317,6 +363,15 @@ class ParallelRegion:
     @property
     def cost(self) -> Cost:
         return self._span.cost
+
+    @property
+    def sanitizing(self) -> bool:
+        """True when this region tracks write-sets (sanitizer active).
+
+        Lets instrumentation skip building index lists that only feed
+        ``record_*`` declarations (which would be discarded anyway).
+        """
+        return self._sentry is not None
 
     def add(
         self,
@@ -334,10 +389,55 @@ class ParallelRegion:
         """Open one concurrent branch; costs charged to the yielded tracer
         join the region as one parallel arm.  Exception-safe."""
         sub = Tracer(name)
+        if self._sentry is not None:
+            sub._mem = sanitize.BranchScope(self._sentry, name)
         try:
             yield sub
         finally:
             self._span._attach(sub.root)
+
+    # -- sanitizer effect declarations for add()-style arms ----------------
+
+    def _arm(self, arm: Optional[str]) -> sanitize.BranchScope:
+        assert self._sentry is not None
+        if arm is None:
+            return sanitize.BranchScope(self._sentry, "arm")
+        if self._named_arms is None:
+            self._named_arms = {}
+        slot = self._named_arms.get(arm)
+        if slot is None:
+            scope = sanitize.BranchScope(self._sentry, arm)
+            self._named_arms[arm] = scope.arm
+            return scope
+        return sanitize.BranchScope(self._sentry, arm, arm=slot)
+
+    def record_writes(
+        self,
+        target: Target,
+        indices: object = None,
+        arm: Optional[str] = None,
+    ) -> None:
+        """Declare a write-set for one concurrent arm of this region.
+
+        For ``add()``-style regions that never open ``branch()`` blocks
+        (e.g. the DP layer loop).  Each call is its own arm unless ``arm``
+        names one — repeat the same ``arm`` string to accumulate several
+        declarations (writes and reads) onto a single conceptual branch.
+        No-op when the sanitizer is inactive; charges nothing.
+        """
+        if self._sentry is not None:
+            self._arm(arm).record(target, indices, write=True)
+
+    def record_reads(
+        self,
+        target: Target,
+        indices: object = None,
+        arm: Optional[str] = None,
+    ) -> None:
+        """EREW-mode read-set declaration for one arm; see
+        :meth:`record_writes`."""
+        if self._sentry is not None:
+            self._arm(arm).record(target, indices, write=False)
 
 
 # -- rendering and aggregation --------------------------------------------

@@ -20,7 +20,7 @@ the concurrent PRAM schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
 
 import numpy as np
 

@@ -33,7 +33,7 @@ from ..graphs.components import component_members, connected_components
 from ..graphs.csr import Graph
 from ..planar.contract import contract_vertex_sets, relabel_embedding
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Span, Tracer
+from ..pram import Cost, ShadowArray, Span, Tracer
 from ..treedecomp.baker import baker_decomposition
 from ..treedecomp.decomposition import TreeDecomposition
 
@@ -106,10 +106,14 @@ def separating_cover(
 
         pieces: List[SeparatingPiece] = []
         with tracker.parallel("clusters") as clusters_region:
+            # Each cluster branch writes its member vertices' cells: the
+            # sanitizer checks that the clustering partitions the graph.
+            vertex_cells = ShadowArray("cluster-vertices", graph.n)
             for cluster_id, members in enumerate(
                 component_members(clustering.labels, clustering.count)
             ):
                 with clusters_region.branch("cluster") as branch:
+                    branch.record_writes(vertex_cells, members)
                     sub, originals = graph.induced_subgraph(members)
                     branch.charge(
                         Cost.step(max(sub.n, 1)), label="subgraph"
@@ -119,6 +123,9 @@ def separating_cover(
                     bfs, _ = parallel_bfs(sub, [0], tracer=branch)
                     last = max(0, bfs.depth - d)
                     with branch.parallel("windows") as windows:
+                        window_cells = ShadowArray(
+                            "window-pieces", last + 1
+                        )
                         for i in range(last + 1):
                             window_local = np.flatnonzero(
                                 (bfs.level >= i) & (bfs.level <= i + d)
@@ -136,6 +143,7 @@ def separating_cover(
                             ]
                             root_vertex = int(originals[level_i[0]])
                             with windows.branch("window") as wbranch:
+                                wbranch.record_writes(window_cells, i)
                                 piece = _window_minor(
                                     graph, embedding, marked, window,
                                     root_vertex, cluster_id, i, wbranch,

@@ -21,7 +21,7 @@ from ..isomorphism.planar_si import _rounds_for
 from ..isomorphism.recovery import first_witness
 from ..isomorphism.sequential_dp import sequential_dp
 from ..planar.embedding import PlanarEmbedding
-from ..pram import Cost, Span, Tracer
+from ..pram import Cost, ShadowArray, Span, Tracer
 from .state_space import SeparatingStateSpace
 
 __all__ = ["SeparatingSIResult", "decide_separating_isomorphism"]
@@ -110,7 +110,8 @@ def decide_separating_isomorphism(
                 marked, k, d, seed + r, tracker
             )
             with tracker.parallel("pieces") as region:
-                for piece in cover.pieces:
+                results = ShadowArray("piece-results", len(cover.pieces))
+                for piece_idx, piece in enumerate(cover.pieces):
                     if int(piece.allowed.sum()) < k:
                         continue
                     pieces_examined += 1
@@ -139,6 +140,7 @@ def decide_separating_isomorphism(
                         ),
                     )
                     with region.branch("dp-solve") as branch:
+                        branch.record_writes(results, piece_idx)
                         nice = provider.nice(piece.decomposition, branch)
                         result = (
                             parallel_dp(

@@ -25,11 +25,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..isomorphism.packed import (
-    NIL,
-    PackedSubgraphOps,
-    match_key_pairs,
-)
+from ..isomorphism.packed import NIL, match_key_pairs
 
 __all__ = ["PackedSeparatingOps"]
 

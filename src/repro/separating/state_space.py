@@ -35,7 +35,7 @@ shortcut machinery run unchanged (Lemma 5.3: the state count grows by the
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from itertools import product
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -43,11 +43,7 @@ import numpy as np
 
 from ..graphs.csr import Graph
 from ..isomorphism.pattern import Pattern
-from ..isomorphism.state_space import (
-    IN_CHILD,
-    UNMATCHED,
-    SubgraphStateSpace,
-)
+from ..isomorphism.state_space import SubgraphStateSpace
 
 __all__ = ["SeparatingStateSpace"]
 

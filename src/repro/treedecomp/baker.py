@@ -25,11 +25,10 @@ The result is a valid decomposition of the *simple* graph underlying H
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..graphs.csr import Graph
 from ..pram import Cost, Tracer, log2_ceil
 from ..planar.embedding import NIL, PlanarEmbedding
 from ..planar.triangulate import stellate
@@ -134,7 +133,6 @@ def baker_decomposition(
     seen = np.zeros(num_faces, dtype=bool)
     seen[0] = True
     frontier = [0]
-    visited = 1
     edge_uses = 0
     while frontier:
         nxt: List[int] = []

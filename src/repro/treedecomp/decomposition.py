@@ -11,8 +11,8 @@ of Section 3.3 requires.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 
@@ -100,7 +100,6 @@ class TreeDecomposition:
 
         Raises ``ValueError`` with a description of the first violated axiom.
         """
-        t = self.num_nodes
         # Vertex coverage + subtree contiguity: for every vertex, the nodes
         # whose bags contain it must form one connected subtree.
         appears: List[List[int]] = [[] for _ in range(graph.n)]

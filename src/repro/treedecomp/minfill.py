@@ -10,8 +10,7 @@ E11 benchmark reports the widths achieved so the substitution stays visible
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
 

@@ -1,0 +1,47 @@
+"""RPR002 fixture: sequential loops under polylog-depth docstrings."""
+
+
+def bad_for_loop(graph):
+    """Computes something in O(log n) depth (it claims)."""
+    total = 0
+    for v in range(graph.n):  # MARK: bad-for-loop
+        total += v
+    return total
+
+
+def bad_while_loop(graph):
+    """Polylogarithmic depth frontier sweep (it claims)."""
+    v = 0
+    while v < graph.n:  # MARK: bad-while-loop
+        v += 1
+    return v
+
+
+def ok_parallel_idiom(graph, tracker):
+    """Branches in O(log n) depth; the loop only enumerates branches."""
+    with tracker.parallel() as region:
+        for v in range(graph.n):
+            with region.branch() as branch:
+                branch.charge(None)
+
+
+def ok_no_depth_claim(graph):
+    """Plain sequential helper; makes no depth promise."""
+    total = 0
+    for v in range(graph.n):
+        total += v
+    return total
+
+
+def ok_small_loop(pieces):
+    """Merges a few pieces in O(log n) depth."""
+    out = []
+    for piece in pieces:
+        out.append(piece)
+    return out
+
+
+def suppressed(graph):
+    """Runs in O(log n) depth; iterations are address-calculation only."""
+    for v in range(graph.n):  # repro: noqa[RPR002] -- fixture: intentional
+        pass

@@ -1,0 +1,30 @@
+"""RPR003 fixture: global-state randomness vs seeded Generators."""
+
+import random  # MARK: bad-import-random
+
+import numpy as np
+
+
+def bad_legacy_numpy():
+    return np.random.rand(3)  # MARK: bad-legacy-numpy
+
+
+def bad_global_seed():
+    np.random.seed(0)  # MARK: bad-global-seed
+
+
+def bad_stdlib():
+    return random.random()
+
+
+def ok_seeded(seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 10, size=4)
+
+
+def ok_generator_type(rng: np.random.Generator):
+    return rng.random()
+
+
+def suppressed():
+    return np.random.rand(1)  # repro: noqa[RPR003] -- fixture: intentional

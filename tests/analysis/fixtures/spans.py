@@ -1,0 +1,37 @@
+"""RPR004 fixture: Tracer spans outside ``with`` statements."""
+
+from contextlib import ExitStack
+
+from repro.pram import Cost, Tracer
+
+
+def bad_bare_span(tracker):
+    span = tracker.span("leaky")  # MARK: bad-bare-span
+    return span
+
+
+def bad_bare_parallel(tracker):
+    region = tracker.parallel()  # MARK: bad-bare-parallel
+    return region
+
+
+def ok_with_span(tracker):
+    with tracker.span("scoped"):
+        tracker.charge(Cost.step(1))
+
+
+def ok_with_branch(tracker):
+    with tracker.parallel() as region:
+        with region.branch() as branch:
+            branch.charge(Cost.step(1))
+
+
+def ok_exit_stack(tracker):
+    with ExitStack() as stack:
+        stack.enter_context(tracker.span("managed"))
+        tracker.charge(Cost.step(1))
+
+
+def suppressed(tracker):
+    s = tracker.span("x")  # repro: noqa[RPR004] -- fixture: intentional
+    return s

@@ -1,0 +1,48 @@
+"""RPR001 fixture: uncharged NumPy work in cost-aware functions.
+
+Never imported — read as text by test_lint.py (``MARK:`` comments anchor
+the expected finding lines).
+"""
+
+import numpy as np
+
+from repro.pram import Cost, Tracer, prefix_sum
+
+
+def bad_tracer_param(graph, tracer):  # MARK: bad-tracer-param
+    """NumPy work with a tracer in scope and no charge."""
+    return np.cumsum(graph.deg)
+
+
+def bad_builds_tracker(graph):  # MARK: bad-builds-tracker
+    tracker = Tracer("run")
+    out = np.zeros(graph.n)
+    return tracker, out
+
+
+def ok_charges(graph, tracer):
+    out = np.cumsum(graph.deg)
+    tracer.charge(Cost.step(graph.n))
+    return out
+
+
+def ok_uses_primitive(values, tracer):
+    sums, _ = prefix_sum(np.asarray(values), tracer=tracer)
+    return sums
+
+
+def ok_forwards_tracer(graph, tracer):
+    return np.sort(helper(graph, tracer=tracer))
+
+
+def ok_leaf_helper(graph):
+    """No tracer in scope: charged at call sites, out of RPR001 scope."""
+    return np.flatnonzero(graph.deg)
+
+
+def suppressed(graph, tracer):  # repro: noqa[RPR001] -- fixture: intentional
+    return np.cumsum(graph.deg)
+
+
+def helper(graph, tracer=None):
+    return graph.deg

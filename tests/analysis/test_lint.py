@@ -1,0 +1,168 @@
+"""The cost-soundness analyzer (repro.analysis).
+
+Fixture modules under ``fixtures/`` carry ``MARK:`` comments at the lines
+where findings must anchor; ``line_of`` resolves them so the assertions
+don't break on unrelated fixture edits.  The final test locks the
+acceptance criterion: the analyzer is clean on the real ``src/repro``.
+"""
+
+import json
+from pathlib import Path
+
+
+from repro.analysis import ALL_RULES, lint_paths, lint_source
+from repro.analysis.linter import parse_noqa, render_json, render_text
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def line_of(path: Path, marker: str) -> int:
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if f"MARK: {marker}" in line:
+            return lineno
+    raise AssertionError(f"marker {marker!r} not found in {path}")
+
+
+def lint_fixture(name: str):
+    path = FIXTURES / name
+    return path, lint_source(
+        path.read_text(encoding="utf-8"), path=str(path), traced=True
+    )
+
+
+class TestRuleCatalog:
+    def test_ids_unique_and_complete(self):
+        ids = [rule.id for rule in ALL_RULES]
+        assert ids == ["RPR001", "RPR002", "RPR003", "RPR004"]
+        assert all(rule.name and rule.description for rule in ALL_RULES)
+
+
+class TestUnchargedWork:
+    def test_exact_findings(self):
+        path, findings = lint_fixture("uncharged.py")
+        assert [(f.rule, f.line) for f in findings] == [
+            ("RPR001", line_of(path, "bad-tracer-param")),
+            ("RPR001", line_of(path, "bad-builds-tracker")),
+        ]
+
+    def test_ok_variants_not_flagged(self):
+        _, findings = lint_fixture("uncharged.py")
+        names = " ".join(f.message for f in findings)
+        for ok in ("ok_charges", "ok_uses_primitive",
+                   "ok_forwards_tracer", "ok_leaf_helper", "suppressed"):
+            assert ok not in names
+
+
+class TestDepthHazard:
+    def test_exact_findings(self):
+        path, findings = lint_fixture("depth.py")
+        assert [(f.rule, f.line) for f in findings] == [
+            ("RPR002", line_of(path, "bad-for-loop")),
+            ("RPR002", line_of(path, "bad-while-loop")),
+        ]
+
+    def test_parallel_idiom_exempt(self):
+        _, findings = lint_fixture("depth.py")
+        assert all("ok_parallel_idiom" not in f.message for f in findings)
+
+
+class TestNondeterminism:
+    def test_exact_findings(self):
+        path, findings = lint_fixture("nondet.py")
+        assert [(f.rule, f.line) for f in findings] == [
+            ("RPR003", line_of(path, "bad-import-random")),
+            ("RPR003", line_of(path, "bad-legacy-numpy")),
+            ("RPR003", line_of(path, "bad-global-seed")),
+        ]
+
+    def test_fires_outside_traced_packages_too(self):
+        path = FIXTURES / "nondet.py"
+        findings = lint_source(
+            path.read_text(encoding="utf-8"), path=str(path), traced=False
+        )
+        assert {f.rule for f in findings} == {"RPR003"}
+
+
+class TestUnsafeSpan:
+    def test_exact_findings(self):
+        path, findings = lint_fixture("spans.py")
+        assert [(f.rule, f.line) for f in findings] == [
+            ("RPR004", line_of(path, "bad-bare-span")),
+            ("RPR004", line_of(path, "bad-bare-parallel")),
+        ]
+
+    def test_with_and_exitstack_managed(self):
+        _, findings = lint_fixture("spans.py")
+        lines = {f.line for f in findings}
+        path = FIXTURES / "spans.py"
+        src = path.read_text(encoding="utf-8").splitlines()
+        for lineno in lines:
+            assert "ok_" not in src[lineno - 1]
+
+
+class TestNoqa:
+    def test_parse_specific_rules(self):
+        noqa = parse_noqa("x = 1  # repro: noqa[RPR001, RPR003]\n")
+        assert noqa == {1: {"RPR001", "RPR003"}}
+
+    def test_parse_bare(self):
+        assert parse_noqa("x = 1  # repro: noqa\n") == {1: None}
+
+    def test_bare_suppresses_everything(self):
+        src = (
+            "import numpy as np\n"
+            "def f(graph, tracer):  # repro: noqa\n"
+            "    return np.cumsum(graph.deg)\n"
+        )
+        assert lint_source(src, path="f.py", traced=True) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = (
+            "import numpy as np\n"
+            "def f(graph, tracer):  # repro: noqa[RPR004]\n"
+            "    return np.cumsum(graph.deg)\n"
+        )
+        findings = lint_source(src, path="f.py", traced=True)
+        assert [f.rule for f in findings] == ["RPR001"]
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", path="b.py", traced=True)
+        assert [f.rule for f in findings] == ["RPR999"]
+
+
+class TestRenderers:
+    def _findings(self):
+        _, findings = lint_fixture("nondet.py")
+        return findings
+
+    def test_text_mentions_rule_and_path(self, capsys):
+        import sys
+
+        render_text(self._findings(), sys.stdout)
+        out = capsys.readouterr().out
+        assert "RPR003" in out and "nondet.py" in out
+        assert out.strip().endswith("3 findings")
+
+    def test_json_round_trips(self, tmp_path):
+        out = tmp_path / "lint.json"
+        with open(out, "w", encoding="utf-8") as fh:
+            render_json(self._findings(), fh)
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert data["count"] == 3
+        assert {f["rule"] for f in data["findings"]} == {"RPR003"}
+        assert set(data["rules"]) == {
+            "RPR001", "RPR002", "RPR003", "RPR004"
+        }
+
+
+class TestRealTree:
+    def test_src_repro_is_lint_clean(self):
+        findings = lint_paths([str(SRC)])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_lint_paths_accepts_single_file(self):
+        findings = lint_paths([str(FIXTURES / "spans.py")])
+        assert {f.rule for f in findings} == {"RPR004"}

@@ -8,7 +8,6 @@ from repro.graphs import (
     Graph,
     component_members,
     connected_components,
-    cycle_graph,
     delaunay_graph,
     grid_graph,
     path_graph,

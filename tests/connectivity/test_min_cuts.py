@@ -2,8 +2,6 @@
 
 from itertools import combinations
 
-import numpy as np
-import pytest
 
 from repro.connectivity import minimum_vertex_cuts
 from repro.graphs import (

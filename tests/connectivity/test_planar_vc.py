@@ -6,7 +6,6 @@ constant for the 8-cycle searches is the paper's k^O(k); scaling is the E9
 benchmark's job.
 """
 
-import numpy as np
 import pytest
 
 from repro.connectivity import (

@@ -2,7 +2,6 @@
 session ≡ one-shot equivalence for every refactored driver."""
 
 import numpy as np
-import pytest
 from hypothesis import given, note, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for parallel BFS: levels vs networkx, cost shape vs diameter."""
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -1,0 +1,117 @@
+"""Sanitized end-to-end runs: every family, byte-identical on/off.
+
+Two acceptance criteria live here.  First, each driver family runs clean
+under the CREW sanitizer (its declared per-branch write-sets really are
+disjoint — covers partition vertices, pieces own their result slots, DP
+layers are node-disjoint).  Second, the sanitizer is purely
+observational: results AND full trace trees are identical with it on or
+off, so CI can run the whole suite under ``REPRO_SANITIZE=crew`` without
+changing what is being tested.
+"""
+
+import numpy as np
+import pytest
+
+from repro.connectivity import planar_vertex_connectivity
+from repro.graphs import (
+    cycle_graph,
+    delaunay_graph,
+    grid_graph,
+    triangulated_grid,
+    wheel_graph,
+)
+from repro.isomorphism import (
+    count_occurrences_exact,
+    cycle_pattern,
+    decide_disconnected,
+    decide_subgraph_isomorphism,
+    list_occurrences,
+    path_pattern,
+    triangle,
+)
+from repro.planar import embed_geometric
+from repro.pram import sanitized
+
+
+def _target(gg):
+    emb, _ = embed_geometric(gg)
+    return gg.graph, emb
+
+
+def _pattern_union(a, b):
+    """A 2-component pattern for the disconnected driver."""
+    from repro.graphs import Graph
+    from repro.isomorphism.pattern import Pattern
+
+    offset = a.k
+    edges = a.edge_list() + [
+        (u + offset, v + offset) for u, v in b.edge_list()
+    ]
+    return Pattern(Graph(a.k + b.k, edges))
+
+
+def _families():
+    """(name, thunk) pairs: thunk runs the driver, returns (result, trace)."""
+    def decide():
+        graph, emb = _target(triangulated_grid(6, 6))
+        r = decide_subgraph_isomorphism(graph, emb, triangle(), seed=0)
+        return (r.found, r.rounds_used, r.cost.work, r.cost.depth), r.trace
+
+    def listing():
+        graph, emb = _target(grid_graph(4, 4))
+        r = list_occurrences(graph, emb, cycle_pattern(4), seed=0)
+        return (
+            sorted(tuple(sorted(o)) for o in r.occurrences),
+            r.cost.work,
+            r.cost.depth,
+        ), r.trace
+
+    def count_exact():
+        graph, emb = _target(grid_graph(4, 4))
+        r = count_occurrences_exact(graph, emb, cycle_pattern(4))
+        return (r.isomorphisms, r.cost.work, r.cost.depth), r.trace
+
+    def separating():
+        from repro.separating.driver import decide_separating_isomorphism
+
+        graph, emb = _target(cycle_graph(8))
+        marked = np.ones(graph.n, dtype=bool)
+        r = decide_separating_isomorphism(
+            graph, emb, marked, cycle_pattern(4), seed=0, rounds=2
+        )
+        return (r.found, r.rounds_used, r.cost.work, r.cost.depth), r.trace
+
+    def vc():
+        graph, emb = _target(wheel_graph(6))
+        r = planar_vertex_connectivity(graph, emb, seed=0, rounds=2)
+        return (r.connectivity, r.cost.work, r.cost.depth), r.trace
+
+    def disconnected():
+        gg = delaunay_graph(30, seed=2)
+        graph, emb = _target(gg)
+        pattern = _pattern_union(triangle(), path_pattern(3))
+        r = decide_disconnected(graph, emb, pattern, seed=0, colorings=6)
+        return (
+            r.found, r.colorings_used, r.cost.work, r.cost.depth
+        ), None  # no span tree on this result type
+
+    return [
+        ("decide", decide),
+        ("listing", listing),
+        ("count-exact", count_exact),
+        ("separating", separating),
+        ("vc", vc),
+        ("disconnected", disconnected),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,thunk", _families(), ids=[n for n, _ in _families()]
+)
+def test_family_clean_and_observational(name, thunk):
+    plain, plain_trace = thunk()
+    with sanitized("crew"):
+        checked, checked_trace = thunk()  # raises CREWViolation on a race
+    assert checked == plain
+    if plain_trace is not None:
+        assert checked_trace.to_dict() == plain_trace.to_dict()

@@ -1,6 +1,5 @@
 """Deterministic exact counting (the future-work extension) vs oracle."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -15,7 +14,6 @@ from repro.graphs import (
     triangulated_grid,
     wheel_graph,
     Graph,
-    GeometricGraph,
 )
 from repro.isomorphism import (
     Pattern,

@@ -8,16 +8,10 @@ from repro.graphs import (
     cycle_graph,
     delaunay_graph,
     grid_graph,
-    parallel_bfs,
     path_graph,
     triangulated_grid,
 )
-from repro.isomorphism import (
-    cycle_pattern,
-    path_pattern,
-    treewidth_cover,
-    triangle,
-)
+from repro.isomorphism import path_pattern, treewidth_cover, triangle
 from repro.planar import embed_geometric
 
 
@@ -113,7 +107,9 @@ class TestCaptureProbability:
         trials = 30
         target_set = {0, 1, 2, 3}
         for s in range(trials):
-            cover = treewidth_cover(gg.graph, emb, 4, 3, seed=s)
+            cover = treewidth_cover(
+                gg.graph, emb, pattern.k, pattern.diameter(), seed=s
+            )
             if any(
                 target_set <= set(p.originals.tolist())
                 for p in cover.pieces

@@ -1,6 +1,5 @@
 """Lemma 4.1 tests: disconnected patterns by random coloring."""
 
-import pytest
 
 from repro.graphs import Graph, grid_graph, path_graph, triangulated_grid
 from repro.isomorphism import Pattern, decide_disconnected, triangle

@@ -21,12 +21,10 @@ from repro.graphs import (
     outerplanar_graph,
     path_graph,
     random_tree,
-    star_graph,
     triangulated_grid,
     wheel_graph,
 )
 from repro.isomorphism import (
-    Pattern,
     SubgraphStateSpace,
     clique_pattern,
     cycle_pattern,

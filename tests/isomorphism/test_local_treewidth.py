@@ -1,6 +1,5 @@
 """Section 4.3 tests: bounded-genus targets via the general cover."""
 
-import pytest
 
 from repro.baselines import has_isomorphism
 from repro.graphs import grid_graph, torus_grid

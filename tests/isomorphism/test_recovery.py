@@ -1,8 +1,7 @@
 """Recovery walker details: images, dedup, engine-agnosticism."""
 
-import pytest
 
-from repro.baselines import count_isomorphisms, iter_isomorphisms
+from repro.baselines import count_isomorphisms
 from repro.graphs import cycle_graph, grid_graph, triangulated_grid, wheel_graph
 from repro.isomorphism import (
     SubgraphStateSpace,

@@ -1,7 +1,6 @@
 """Tests for the bipartite face--vertex graph G' (Section 5.1, Figure 6)."""
 
 import networkx as nx
-import pytest
 
 from repro.graphs import (
     antiprism_graph,

@@ -1,0 +1,342 @@
+"""The dynamic CREW sanitizer (repro.pram.sanitize).
+
+The PRAM simulation executes branches sequentially, so a concurrent-write
+race can never crash — it silently voids the CREW cost bound.  These tests
+check that declared write/read-sets make such races *loud*: disjoint
+writes pass, overlapping writes raise :class:`CREWViolation` with both
+branch paths, EREW additionally rejects read/write sharing, and the whole
+apparatus is purely observational (identical traces on/off).
+"""
+
+
+import numpy as np
+import pytest
+
+from repro.pram import CREWViolation, ShadowArray, Tracer, sanitized
+from repro.pram.sanitize import active_mode
+
+
+def _run_region(record_a, record_b, mode="crew", name="region"):
+    """Run a two-branch region, applying the given record callbacks."""
+    tracer = Tracer("t")
+    with sanitized(mode):
+        with tracer.parallel(name) as region:
+            with region.branch("left") as left:
+                record_a(left)
+            with region.branch("right") as right:
+                record_b(right)
+    return tracer
+
+
+class TestModes:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert active_mode() == "off"
+
+    @pytest.mark.parametrize(
+        "env,mode",
+        [("crew", "crew"), ("erew", "erew"), ("1", "crew"),
+         ("on", "crew"), ("true", "crew"), ("off", "off"), ("0", "off")],
+    )
+    def test_env_values(self, monkeypatch, env, mode):
+        monkeypatch.setenv("REPRO_SANITIZE", env)
+        assert active_mode() == mode
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "sometimes")
+        with pytest.raises(ValueError, match="REPRO_SANITIZE"):
+            active_mode()
+
+    def test_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "erew")
+        with sanitized("off"):
+            assert active_mode() == "off"
+        assert active_mode() == "erew"
+
+    def test_env_activation_detects_race(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "crew")
+        arr = np.zeros(4)
+        tracer = Tracer("t")
+        with pytest.raises(CREWViolation):
+            with tracer.parallel() as region:
+                with region.branch() as b:
+                    b.record_writes(arr, [0])
+                with region.branch() as b:
+                    b.record_writes(arr, [0])
+
+
+class TestCrewWrites:
+    def test_disjoint_writes_pass(self):
+        arr = np.zeros(8)
+        _run_region(
+            lambda b: b.record_writes(arr, [0, 1, 2]),
+            lambda b: b.record_writes(arr, [3, 4]),
+        )
+
+    def test_overlapping_writes_raise(self):
+        arr = np.zeros(8)
+        with pytest.raises(CREWViolation) as info:
+            _run_region(
+                lambda b: b.record_writes(arr, [0, 1, 2]),
+                lambda b: b.record_writes(arr, [2, 3]),
+            )
+        err = info.value
+        assert err.kind == "write/write"
+        assert err.mode == "crew"
+        assert "left" in err.first_path and "right" in err.second_path
+
+    def test_same_branch_may_rewrite(self):
+        arr = np.zeros(4)
+        tracer = Tracer("t")
+        with sanitized("crew"):
+            with tracer.parallel() as region:
+                with region.branch() as b:
+                    b.record_writes(arr, [0, 1])
+                    b.record_writes(arr, [1, 2])
+
+    def test_whole_array_default(self):
+        a = np.zeros(4)
+        with pytest.raises(CREWViolation):
+            _run_region(
+                lambda b: b.record_writes(a),
+                lambda b: b.record_writes(a, [3]),
+            )
+
+    def test_overlapping_views_conflict(self):
+        base = np.zeros(10)
+        with pytest.raises(CREWViolation):
+            _run_region(
+                lambda b: b.record_writes(base[2:6]),
+                lambda b: b.record_writes(base[5:9]),
+            )
+
+    def test_disjoint_views_pass(self):
+        base = np.zeros(10)
+        _run_region(
+            lambda b: b.record_writes(base[:5]),
+            lambda b: b.record_writes(base[5:]),
+        )
+
+    def test_distinct_arrays_never_conflict(self):
+        a, b_arr = np.zeros(4), np.zeros(4)
+        _run_region(
+            lambda b: b.record_writes(a),
+            lambda b: b.record_writes(b_arr),
+        )
+
+    def test_bool_mask_indices(self):
+        arr = np.zeros(6)
+        mask = np.array([True, False, False, False, False, True])
+        with pytest.raises(CREWViolation):
+            _run_region(
+                lambda b: b.record_writes(arr, mask),
+                lambda b: b.record_writes(arr, [5]),
+            )
+
+    def test_violation_reports_view_local_cell(self):
+        arr = np.zeros(8)
+        with pytest.raises(CREWViolation) as info:
+            _run_region(
+                lambda b: b.record_writes(arr, [4]),
+                lambda b: b.record_writes(arr, [4]),
+            )
+        assert info.value.cell == 4
+
+
+class TestShadowArrays:
+    def test_disjoint_slots_pass(self):
+        cells = ShadowArray("results", 4)
+        _run_region(
+            lambda b: b.record_writes(cells, [0, 1]),
+            lambda b: b.record_writes(cells, [2, 3]),
+        )
+
+    def test_same_slot_raises_with_label(self):
+        cells = ShadowArray("results", 4)
+        with pytest.raises(CREWViolation, match="results"):
+            _run_region(
+                lambda b: b.record_writes(cells, 1),
+                lambda b: b.record_writes(cells, 1),
+            )
+
+    def test_distinct_shadows_independent(self):
+        x, y = ShadowArray("x", 2), ShadowArray("y", 2)
+        _run_region(
+            lambda b: b.record_writes(x, 0),
+            lambda b: b.record_writes(y, 0),
+        )
+
+    def test_out_of_range_rejected(self):
+        cells = ShadowArray("tiny", 2)
+        tracer = Tracer("t")
+        with sanitized("crew"):
+            with pytest.raises(IndexError):
+                with tracer.parallel() as region:
+                    with region.branch() as b:
+                        b.record_writes(cells, 2)
+
+
+class TestErewReads:
+    def test_crew_allows_shared_reads(self):
+        arr = np.zeros(4)
+        _run_region(
+            lambda b: b.record_reads(arr),
+            lambda b: b.record_reads(arr),
+            mode="crew",
+        )
+
+    def test_erew_allows_disjoint_reads(self):
+        arr = np.zeros(4)
+        _run_region(
+            lambda b: b.record_reads(arr, [0]),
+            lambda b: b.record_reads(arr, [1]),
+            mode="erew",
+        )
+
+    def test_erew_rejects_shared_reads(self):
+        arr = np.zeros(4)
+        with pytest.raises(CREWViolation) as info:
+            _run_region(
+                lambda b: b.record_reads(arr, [1]),
+                lambda b: b.record_reads(arr, [1]),
+                mode="erew",
+            )
+        assert info.value.kind == "read/read"
+
+    def test_erew_rejects_read_write(self):
+        arr = np.zeros(4)
+        with pytest.raises(CREWViolation) as info:
+            _run_region(
+                lambda b: b.record_writes(arr, [1]),
+                lambda b: b.record_reads(arr, [1]),
+                mode="erew",
+            )
+        assert info.value.kind == "read/write"
+
+    def test_crew_allows_read_beside_write(self):
+        # CREW: concurrent read of a cell another branch writes is *not*
+        # checked (the model only forbids concurrent writes).
+        arr = np.zeros(4)
+        _run_region(
+            lambda b: b.record_writes(arr, [1]),
+            lambda b: b.record_reads(arr, [1]),
+            mode="crew",
+        )
+
+
+class TestNestedRegions:
+    def test_inner_writes_propagate_to_outer_siblings(self):
+        arr = np.zeros(8)
+        tracer = Tracer("t")
+        with sanitized("crew"):
+            with pytest.raises(CREWViolation):
+                with tracer.parallel("outer") as outer:
+                    with outer.branch("a") as a:
+                        a.record_writes(arr, [3])
+                    with outer.branch("b") as b:
+                        with b.parallel("inner") as inner:
+                            with inner.branch("x") as x:
+                                x.record_writes(arr, [3])
+
+    def test_inner_siblings_checked_against_each_other(self):
+        arr = np.zeros(8)
+        tracer = Tracer("t")
+        with sanitized("crew"):
+            with pytest.raises(CREWViolation):
+                with tracer.parallel("outer") as outer:
+                    with outer.branch("a") as a:
+                        with a.parallel("inner") as inner:
+                            with inner.branch("x") as x:
+                                x.record_writes(arr, [0])
+                            with inner.branch("y") as y:
+                                y.record_writes(arr, [0])
+
+    def test_nested_disjoint_pass(self):
+        arr = np.zeros(8)
+        tracer = Tracer("t")
+        with sanitized("crew"):
+            with tracer.parallel("outer") as outer:
+                with outer.branch("a") as a:
+                    a.record_writes(arr, [0])
+                    with a.parallel("inner") as inner:
+                        with inner.branch("x") as x:
+                            x.record_writes(arr, [1])
+                        with inner.branch("y") as y:
+                            y.record_writes(arr, [2])
+                with outer.branch("b") as b:
+                    b.record_writes(arr, [3])
+
+
+class TestNamedArms:
+    def test_region_level_named_arms_accumulate(self):
+        cells = ShadowArray("tables", 8)
+        tracer = Tracer("t")
+        with sanitized("crew"):
+            with tracer.parallel() as region:
+                assert region.sanitizing
+                region.record_writes(cells, [0, 1], arm="p0")
+                region.record_writes(cells, [2, 3], arm="p1")
+                region.record_writes(cells, [4], arm="p0")  # same arm: fine
+
+    def test_region_level_conflict_across_arms(self):
+        cells = ShadowArray("tables", 8)
+        tracer = Tracer("t")
+        with sanitized("crew"):
+            with pytest.raises(CREWViolation):
+                with tracer.parallel() as region:
+                    region.record_writes(cells, [0, 1], arm="p0")
+                    region.record_writes(cells, [1], arm="p1")
+
+    def test_not_sanitizing_without_mode(self):
+        tracer = Tracer("t")
+        with sanitized("off"):
+            with tracer.parallel() as region:
+                assert not region.sanitizing
+
+
+class TestObservational:
+    def _workload(self):
+        from repro.pram import Cost
+
+        tracer = Tracer("run")
+        arr = np.zeros(16)
+        with tracer.span("setup"):
+            tracer.charge(Cost.step(16))
+        with tracer.parallel("work") as region:
+            for i in range(4):
+                with region.branch("piece") as b:
+                    b.record_writes(arr, [4 * i, 4 * i + 1])
+                    b.charge(Cost(10 + i, 3))
+        return tracer
+
+    def test_trace_identical_on_and_off(self):
+        base = self._workload().root.to_dict()
+        with sanitized("crew"):
+            crew = self._workload().root.to_dict()
+        with sanitized("erew"):
+            erew = self._workload().root.to_dict()
+        assert base == crew == erew
+
+    def test_sanitizer_charges_nothing(self):
+        off = self._workload().cost
+        with sanitized("crew"):
+            on = self._workload().cost
+        assert (off.work, off.depth) == (on.work, on.depth)
+
+
+class TestInjectedRegression:
+    """The acceptance-criteria regression: a deliberately racy driver-like
+    loop must trip the sanitizer even via the high-level Tracker facade."""
+
+    def test_injected_race_fires(self):
+        from repro.pram import Tracker
+
+        out = np.zeros(5)
+        tracker = Tracker()
+        with sanitized("crew"):
+            with pytest.raises(CREWViolation):
+                with tracker.parallel() as region:
+                    for _ in range(2):
+                        with region.branch() as branch:
+                            branch.record_writes(out, [0])
+                            out[0] += 1.0

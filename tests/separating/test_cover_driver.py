@@ -39,7 +39,6 @@ class TestSeparatingCover:
         # In pieces whose window excludes vertex 0, some merged vertex must
         # carry the mark.
         for piece in cover.pieces:
-            window_marks = piece.marked[piece.originals >= 0]
             merged_marks = piece.marked[piece.originals == -1]
             originals = set(piece.originals.tolist()) - {-1}
             if 0 not in originals:

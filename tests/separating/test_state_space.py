@@ -15,7 +15,6 @@ from repro.isomorphism import (
 )
 from repro.separating import (
     SeparatingStateSpace,
-    has_separating_occurrence,
     is_separating_occurrence,
     iter_separating_occurrences,
 )

@@ -1,6 +1,7 @@
 """CLI tests: spec parsing and the command entry points."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -151,3 +152,36 @@ class TestTraceFlags:
              "--exact", "--trace"]
         ) == 0
         assert "window-count" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    SRC = str(Path(__file__).parents[1] / "src" / "repro")
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", self.SRC]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n", encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR003" in out and "1 finding" in out
+
+    def test_json_format_and_output(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n", encoding="utf-8")
+        report = tmp_path / "lint.json"
+        assert main(
+            ["lint", str(bad), "--format", "json",
+             "--output", str(report)]
+        ) == 1
+        data = json.loads(report.read_text(encoding="utf-8"))
+        assert data["count"] == 1
+        assert data["findings"][0]["rule"] == "RPR003"
+        assert data["findings"][0]["line"] == 1
+
+    def test_json_to_stdout(self, capsys):
+        assert main(["lint", self.SRC, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["count"] == 0 and data["findings"] == []

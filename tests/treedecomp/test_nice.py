@@ -1,7 +1,6 @@
 """Nice decomposition conversion tests."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
