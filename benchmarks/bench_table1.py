@@ -35,7 +35,12 @@ from repro.isomorphism import (
 )
 from repro.isomorphism.cover import treewidth_cover
 from repro.planar import embed_geometric
-from repro.pram import Tracer, aggregate_phases
+from repro.pram import (
+    Tracer,
+    aggregate_phases,
+    simulate_schedule,
+    speedup_curve,
+)
 from repro.treedecomp import make_nice
 
 from conftest import record_pr2, report, smoke_mode
@@ -202,6 +207,54 @@ def test_table1_packed_speedup(benchmark):
     )
     if not smoke:
         assert speedup >= 5.0
+
+
+def test_table1_speedup_curves(benchmark):
+    """T1-speedup: strong-scaling curves, simulated vs scalar.
+
+    The scalar curve evaluates the flat Brent closed form
+    ``(W + D) / (ceil(W/P) + D)``; the simulated curve *executes* the
+    recorded span tree under the greedy list scheduler
+    (``repro.pram.schedule``), so sequential phases and imbalanced pieces
+    show up as lost speedup the closed form cannot see.  Both are
+    reported; the invariants asserted are the guaranteed ones: the
+    simulated time never exceeds the scalar ``ceil(W/P) + D`` bound, and
+    the simulated speedup never exceeds the ideal ``W / max(ceil(W/P), D)``.
+    """
+    smoke = smoke_mode()
+    sizes = SIZES[:1] if smoke else SIZES
+    procs = [1, 4, 16, 64, 256]
+    pattern = cycle_pattern(4)
+
+    def _experiment():
+        rows = []
+        for n in sizes:
+            graph, emb = _target(n)
+            result = decide_subgraph_isomorphism(
+                graph, emb, pattern, seed=1, rounds=1
+            )
+            scalar = speedup_curve(result.cost, procs)
+            simulated = {}
+            for p in procs:
+                sched = simulate_schedule(result.trace, p)
+                assert sched.makespan <= result.cost.brent_time(p)
+                assert sched.makespan >= sched.ideal_time()
+                simulated[p] = sched.speedup
+            assert simulated[1] == pytest.approx(1.0)
+            report(
+                "T1-speedup", n=n,
+                scalar={p: round(s, 2) for p, s in scalar.items()},
+                simulated={p: round(s, 2) for p, s in simulated.items()},
+            )
+            rows.append((n, scalar, simulated))
+        return rows
+
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        sizes=sizes,
+        simulated={n: {p: round(s, 2) for p, s in sim.items()}
+                   for n, _, sim in rows},
+    )
 
 
 def test_table1_depth_crossover(benchmark):

@@ -13,12 +13,21 @@ Examples
         --patterns cycle:4,path:4,star:3 --session-stats
     python -m repro batch   --target trigrid:12x12 \
         --patterns-file patterns.txt --session-stats
+    python -m repro profile --target trigrid:12x12 --pattern cycle:4 \
+        --processors 1,4,16,64 --chrome-trace decide.json --metrics decide.prom
     python -m repro lint src/repro --format json --output lint.json
 
 ``batch`` answers every pattern against one :class:`repro.engine.TargetSession`
 (covers, clusterings and per-piece decompositions are built once and served
 from cache afterwards); ``--session-stats`` prints the cache hit/miss table
-and the saved (amortized) cost.
+and the saved (amortized) cost, and ``--metrics PATH`` exports the same
+counters (plus the last query's trace) in Prometheus text format.
+
+``profile`` runs one decide query, *executes* its span tree under the
+greedy list scheduler (``repro.pram.schedule``) for each ``--processors``
+count, and prints the simulated makespans against the scalar Brent bound;
+``--chrome-trace PATH`` writes a Chrome trace-event/Perfetto JSON timeline
+of the widest schedule and ``--metrics PATH`` the Prometheus gauges.
 
 Every command accepts ``--trace`` to print the hierarchical per-phase
 work/depth table (the span tree recorded by ``repro.pram.trace``) and
@@ -200,6 +209,29 @@ def main(argv: Optional[list] = None) -> int:
         "--session-stats", action="store_true",
         help="print the session cache hit/miss table and amortized cost",
     )
+    batch_p.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write cache stats + last query's trace as Prometheus text",
+    )
+    profile_p = sub.add_parser(
+        "profile",
+        help="simulate Brent schedules of one decide query's span tree",
+    )
+    common(profile_p)
+    profile_p.add_argument(
+        "--processors", default="1,2,4,8,16,64",
+        help="comma-separated simulated processor counts "
+        "(default: 1,2,4,8,16,64)",
+    )
+    profile_p.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON timeline of the schedule at "
+        "the largest processor count (open in Perfetto / chrome://tracing)",
+    )
+    profile_p.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write trace + schedule gauges in Prometheus text format",
+    )
     lint_p = sub.add_parser(
         "lint",
         help="cost-soundness analyzer (uncharged work, depth hazards, "
@@ -332,7 +364,80 @@ def main(argv: Optional[list] = None) -> int:
         print("cold equivalent: " + _cost_summary(batch.cold_equivalent_cost))
         if args.session_stats:
             print(session.stats.format())
+        if args.metrics:
+            from .pram import write_prometheus
+
+            last_trace = batch.results[-1].trace if batch.results else None
+            try:
+                write_prometheus(
+                    args.metrics, trace=last_trace,
+                    cache_stats=session.stats,
+                )
+            except OSError as exc:
+                raise SystemExit(
+                    f"cannot write metrics to {args.metrics!r}: {exc}"
+                ) from exc
+            print(f"metrics written to {args.metrics}")
         _emit_trace(args, batch.results[-1].trace if batch.results else None)
+    elif args.command == "profile":
+        from .isomorphism import find_occurrence
+        from .pram import (
+            simulate_schedule,
+            write_chrome_trace,
+            write_prometheus,
+        )
+
+        pattern = parse_pattern(args.pattern)
+        result = find_occurrence(
+            graph, embedding, pattern, seed=args.seed,
+            engine=args.engine or "parallel", rounds=args.rounds,
+        )
+        print(f"found: {result.found}")
+        print(_cost_summary(result.cost))
+        try:
+            procs = sorted({
+                int(s) for s in args.processors.split(",") if s.strip()
+            })
+        except ValueError as exc:
+            raise SystemExit(
+                f"bad --processors {args.processors!r}: {exc}"
+            ) from exc
+        if not procs or procs[0] < 1:
+            raise SystemExit("--processors needs positive integers")
+        schedules = [simulate_schedule(result.trace, p) for p in procs]
+        header = (
+            f"{'P':>6} {'T_P (sim)':>14} {'speedup':>9} {'util':>7} "
+            f"{'Brent bound':>14}"
+        )
+        print(header)
+        print("-" * len(header))
+        for s in schedules:
+            print(
+                f"{s.processors:>6} {s.makespan:>14,} {s.speedup:>9.2f} "
+                f"{s.utilization:>7.1%} {s.brent_bound():>14,}"
+            )
+        widest = schedules[-1]
+        longest = sorted(
+            widest.critical_path, key=lambda sp: sp.duration, reverse=True
+        )[:3]
+        print(f"critical path at P={widest.processors}: "
+              f"{len(widest.critical_path)} spans; longest:")
+        for sp in longest:
+            print(f"  {sp.name:<24} [{sp.start:,}, {sp.finish:,}) "
+                  f"work={sp.work:,}")
+        try:
+            if args.chrome_trace:
+                write_chrome_trace(args.chrome_trace, widest)
+                print(f"chrome trace (P={widest.processors}) written to "
+                      f"{args.chrome_trace}")
+            if args.metrics:
+                write_prometheus(
+                    args.metrics, trace=result.trace, schedules=schedules
+                )
+                print(f"metrics written to {args.metrics}")
+        except OSError as exc:
+            raise SystemExit(f"cannot write telemetry: {exc}") from exc
+        _emit_trace(args, result.trace)
 
     print(f"(host time: {time.perf_counter() - t0:.2f}s)")
     return 0

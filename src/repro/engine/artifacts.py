@@ -52,6 +52,10 @@ class ColdArtifacts:
     def __init__(self, graph, embedding) -> None:
         self.graph = graph
         self.embedding = embedding
+        # Once-per-kind PackedOverflowWarning dedup scope: owned by the
+        # provider so its lifetime matches the driver invocation (cold)
+        # or the whole session (TargetSession) — never process-global.
+        self.overflow_warned: set = set()
 
     # -- artifacts ---------------------------------------------------------
 
@@ -125,7 +129,11 @@ class ColdArtifacts:
 
     def sub_provider(self, graph, embedding) -> "ColdArtifacts":
         """Provider for a derived target (vertex connectivity's G')."""
-        return ColdArtifacts(graph, embedding)
+        child = ColdArtifacts(graph, embedding)
+        # One driver invocation = one warning scope, even across the
+        # derived-target recursion.
+        child.overflow_warned = self.overflow_warned
+        return child
 
     # -- amortization hooks ------------------------------------------------
 

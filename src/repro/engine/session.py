@@ -95,6 +95,7 @@ class CacheStats:
     def __init__(self) -> None:
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
+        self.evictions: Dict[str, int] = {}
         self.saved = Cost.zero()
         self.built = Cost.zero()
 
@@ -106,6 +107,9 @@ class CacheStats:
         self.misses[kind] = self.misses.get(kind, 0) + 1
         self.built = self.built + built
 
+    def record_eviction(self, kind: str, count: int = 1) -> None:
+        self.evictions[kind] = self.evictions.get(kind, 0) + count
+
     @property
     def hit_count(self) -> int:
         return sum(self.hits.values())
@@ -114,13 +118,19 @@ class CacheStats:
     def miss_count(self) -> int:
         return sum(self.misses.values())
 
+    @property
+    def eviction_count(self) -> int:
+        return sum(self.evictions.values())
+
     def as_dict(self) -> dict:
         """JSON-serializable snapshot (the CLI's ``--session-stats``)."""
         return {
             "hits": dict(self.hits),
             "misses": dict(self.misses),
+            "evictions": dict(self.evictions),
             "hit_count": self.hit_count,
             "miss_count": self.miss_count,
+            "eviction_count": self.eviction_count,
             "saved_work": self.saved.work,
             "saved_depth": self.saved.depth,
             "built_work": self.built.work,
@@ -129,13 +139,14 @@ class CacheStats:
 
     def format(self) -> str:
         """Render the per-kind hit/miss table."""
-        kinds = sorted(set(self.hits) | set(self.misses))
-        lines = [f"{'artifact':<16} {'hits':>8} {'misses':>8}"]
+        kinds = sorted(set(self.hits) | set(self.misses) | set(self.evictions))
+        lines = [f"{'artifact':<16} {'hits':>8} {'misses':>8} {'evicted':>8}"]
         lines.append("-" * len(lines[0]))
         for kind in kinds:
             lines.append(
                 f"{kind:<16} {self.hits.get(kind, 0):>8,}"
                 f" {self.misses.get(kind, 0):>8,}"
+                f" {self.evictions.get(kind, 0):>8,}"
             )
         lines.append(
             f"saved work={self.saved.work:,} depth={self.saved.depth:,}"
@@ -220,7 +231,12 @@ class TargetSession(ColdArtifacts):
 
     def invalidate(self) -> None:
         """Drop every cached artifact (and derived sub-sessions).  Stats
-        keep accumulating across invalidations."""
+        keep accumulating across invalidations; each dropped entry is
+        recorded as an eviction under its artifact kind."""
+        for key in self._cache:
+            self.stats.record_eviction(key[0])
+        for child in self._children.values():
+            child.invalidate()
         self._cache.clear()
         self._children.clear()
 
@@ -386,6 +402,9 @@ class TargetSession(ColdArtifacts):
             child = TargetSession(
                 graph, embedding, stats=self.stats, _amort=self._amort
             )
+            # Derived sub-sessions share the parent's once-per-kind
+            # PackedOverflowWarning scope: one session, one warning.
+            child.overflow_warned = self.overflow_warned
             self._children[key] = child
         return child
 

@@ -36,6 +36,7 @@ from ..graphs.components import component_members, connected_components
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
 from ..pram import Cost, Span, Tracer
+from .packed import overflow_warning_scope
 from .pattern import Pattern
 from .sequential_dp import sequential_dp
 from .state_space import SubgraphStateSpace
@@ -148,7 +149,8 @@ def _window_count(
     sub, _originals = graph.induced_subgraph(window)
     if sub.m < pattern.graph.m:
         return 0
-    with tracker.span("window-count"):
+    with overflow_warning_scope(provider.overflow_warned), \
+            tracker.span("window-count"):
         nice = provider.window_decomposition(sub, tracker)
         space = SubgraphStateSpace(pattern, sub)
         result = sequential_dp(space, nice, tracer=tracker)

@@ -18,6 +18,7 @@ from ..engine.artifacts import ColdArtifacts
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
 from ..pram import Cost, ShadowArray, Span, Tracer
+from .packed import overflow_warning_scope
 from .pattern import Pattern
 from .parallel_dp import parallel_dp
 from .recovery import iter_witnesses
@@ -80,7 +81,8 @@ def list_occurrences(
     log_n = math.log2(max(graph.n, 2))
     while True:
         iterations += 1
-        with tracker.span("round"):
+        with overflow_warning_scope(provider.overflow_warned), \
+                tracker.span("round"):
             cover = provider.cover(k, d, seed + iterations, tracker)
             new_here = 0
             with tracker.parallel("pieces") as region:

@@ -38,7 +38,9 @@ consume, decoding lazily per visited node.
 from __future__ import annotations
 
 import warnings
-from typing import List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,8 +48,8 @@ __all__ = [
     "dedup_accumulate",
     "member_positions",
     "match_key_pairs",
+    "overflow_warning_scope",
     "packed_ops_for",
-    "reset_overflow_warnings",
     "PackedOverflowWarning",
     "PackedSubgraphOps",
     "PackedValidTables",
@@ -532,13 +534,33 @@ class PackedOverflowWarning(RuntimeWarning):
     tuple-dict path, but at reference-engine wall-clock."""
 
 
-_overflow_warned: set = set()
+# Active once-per-kind suppression scope for PackedOverflowWarning.  The
+# warned-kind set is *owned by the caller* (a driver invocation or a
+# TargetSession) and installed for the dynamic extent of one run via
+# overflow_warning_scope() — never a module global, so a fallback seen by
+# one session can no longer silently mute the warning for every session
+# and test that follows in the same process.
+_warn_scope: ContextVar[Optional[set]] = ContextVar(
+    "packed_overflow_warn_scope", default=None
+)
 
 
-def reset_overflow_warnings() -> None:
-    """Forget which space types already warned (tests use this to assert
-    the warning fires exactly once per type)."""
-    _overflow_warned.clear()
+@contextmanager
+def overflow_warning_scope(warned: Optional[set] = None) -> Iterator[set]:
+    """Deduplicate :class:`PackedOverflowWarning` per kind within a scope.
+
+    ``warned`` is the set of space-type names that already warned; pass a
+    session-owned set to deduplicate across the queries of one session, or
+    omit it for a fresh per-invocation set (what the one-shot drivers do).
+    Scopes nest: the innermost set wins, and leaving the scope always
+    restores the previous one.  Outside any scope every overflow fallback
+    warns — there is deliberately no process-global memory.
+    """
+    token = _warn_scope.set(warned if warned is not None else set())
+    try:
+        yield _warn_scope.get()  # type: ignore[return-value]
+    finally:
+        _warn_scope.reset(token)
 
 
 def packed_ops_for(space, nice, tracer=None):
@@ -548,9 +570,12 @@ def packed_ops_for(space, nice, tracer=None):
     codes would overflow int64 — engines then fall back to the reference
     tuple-dict path.  Results and charged costs are identical either way,
     but the *overflow* fallback costs real wall-clock, so it is no longer
-    silent: the first occurrence per space type raises a
+    silent: the first occurrence per space type *per scope* (see
+    :func:`overflow_warning_scope`; the drivers open one per invocation, a
+    :class:`~repro.engine.session.TargetSession` one per session) raises a
     :class:`PackedOverflowWarning`, and every occurrence bumps the
-    ``packed_overflow_fallbacks`` counter on ``tracer`` (when given).
+    ``packed_overflow_fallbacks`` counter on ``tracer`` (when given) —
+    warning dedup never rounds the counter down.
     """
     factory = getattr(space, "packed_ops", None)
     if factory is None:
@@ -561,8 +586,10 @@ def packed_ops_for(space, nice, tracer=None):
     if tracer is not None:
         tracer.count(packed_overflow_fallbacks=1)
     kind = type(space).__name__
-    if kind not in _overflow_warned:
-        _overflow_warned.add(kind)
+    warned = _warn_scope.get()
+    if warned is None or kind not in warned:
+        if warned is not None:
+            warned.add(kind)
         max_bag = max((int(b.size) for b in nice.bags), default=0)
         warnings.warn(
             f"packed int64 codes overflow for {kind} "

@@ -25,6 +25,7 @@ from ..engine.artifacts import ColdArtifacts
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
 from ..pram import Cost, ShadowArray, Span, Tracer
+from .packed import overflow_warning_scope
 from .pattern import Pattern
 from .parallel_dp import parallel_dp
 from .recovery import first_witness
@@ -134,7 +135,8 @@ def decide_subgraph_isomorphism(
     for r in range(total_rounds):
         found_witness: Optional[Dict[int, int]] = None
         found = False
-        with tracker.span("round"):
+        with overflow_warning_scope(provider.overflow_warned), \
+                tracker.span("round"):
             cover = provider.cover(k, d, seed + r, tracker)
             with tracker.parallel("pieces") as region:
                 # Each piece's branch writes its own result slot of the

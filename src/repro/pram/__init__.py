@@ -16,6 +16,18 @@ from .trace import (
     span_from_dict,
 )
 from .brent import brent_schedule, scalability_limit, speedup_curve
+from .schedule import (
+    Schedule,
+    ScheduledSpan,
+    schedule_speedup_curve,
+    simulate_schedule,
+)
+from .export import (
+    chrome_trace,
+    prometheus_metrics,
+    write_chrome_trace,
+    write_prometheus,
+)
 from .primitives import (
     exclusive_prefix_sum,
     pack,
@@ -47,6 +59,14 @@ __all__ = [
     "brent_schedule",
     "speedup_curve",
     "scalability_limit",
+    "Schedule",
+    "ScheduledSpan",
+    "simulate_schedule",
+    "schedule_speedup_curve",
+    "chrome_trace",
+    "prometheus_metrics",
+    "write_chrome_trace",
+    "write_prometheus",
     "prefix_sum",
     "exclusive_prefix_sum",
     "parallel_reduce",

@@ -5,6 +5,12 @@ Section 1.1 of the paper: "By Brent's scheduling algorithm, an algorithm with
 work W and depth D can be executed with P processors in time O(W/P + D) on a
 CREW PRAM."  These helpers evaluate that bound over processor sweeps; the
 Table-1 benchmark uses them to plot simulated strong-scaling curves.
+
+The closed form here treats the trace as a single flat (work, depth) pair.
+For schedules that respect the recorded span *structure* — where the
+critical path actually lives — see :mod:`repro.pram.schedule`, which
+executes the span tree under a greedy list scheduler and never reports a
+time above the ``ceil(W/P) + D`` bound evaluated here.
 """
 
 from __future__ import annotations
@@ -16,15 +22,40 @@ from .cost import Cost
 __all__ = ["brent_schedule", "speedup_curve", "scalability_limit"]
 
 
-def brent_schedule(cost: Cost, processors: Sequence[int]) -> Dict[int, int]:
-    """Simulated time ``ceil(W/P) + D`` for each processor count."""
-    return {p: cost.brent_time(p) for p in processors}
+def _check_processors(processors: Sequence[int]) -> None:
+    for p in processors:
+        if p < 1:
+            raise ValueError(
+                f"processor counts must be >= 1, got {p}"
+            )
+
+
+def brent_schedule(cost: Cost, processors: Sequence[int]) -> Dict[int, float]:
+    """Simulated time ``ceil(W/P) + D`` for each processor count.
+
+    Times are returned as floats for consistency with
+    :func:`speedup_curve` (a zero-cost trace runs in time 0.0).  Processor
+    counts below 1 raise :class:`ValueError` up front rather than failing
+    midway through the sweep.
+    """
+    _check_processors(processors)
+    return {p: float(cost.brent_time(p)) for p in processors}
 
 
 def speedup_curve(cost: Cost, processors: Sequence[int]) -> Dict[int, float]:
-    """Speedup ``T_1 / T_P`` for each processor count."""
-    t1 = cost.brent_time(1)
-    return {p: t1 / cost.brent_time(p) for p in processors}
+    """Speedup ``T_1 / T_P`` for each processor count.
+
+    A zero-cost trace (``brent_time(p) == 0`` for every ``p``) speeds up
+    by definition 1.0 — doing nothing is never faster than doing nothing —
+    instead of dividing by zero.  Processor counts below 1 raise
+    :class:`ValueError`.
+    """
+    _check_processors(processors)
+    t1 = float(cost.brent_time(1))
+    return {
+        p: t1 / tp if (tp := float(cost.brent_time(p))) else 1.0
+        for p in processors
+    }
 
 
 def scalability_limit(cost: Cost) -> float:

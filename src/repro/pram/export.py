@@ -1,0 +1,400 @@
+"""Telemetry exporters: Chrome trace-event JSON and Prometheus text format.
+
+Two observability surfaces over the tracing/scheduling substrate:
+
+:func:`chrome_trace`
+    Serialize a :class:`~repro.pram.schedule.Schedule` (the simulated
+    P-processor timeline) or a raw :class:`~repro.pram.trace.Span` tree to
+    the Chrome trace-event JSON format — loadable in ``chrome://tracing``
+    and Perfetto.  Schedules lay leaf charges out on greedily assigned
+    lanes over the simulated step clock; raw span trees use the *depth*
+    clock (each span occupies ``depth`` virtual steps; parallel branches
+    get their own lanes).
+
+:func:`prometheus_metrics`
+    Flatten a trace, a session's :class:`~repro.engine.session.CacheStats`
+    and any number of schedules into Prometheus text-format gauges:
+    per-phase work/depth, summed trace counters (including
+    ``packed_overflow_fallbacks`` and the ``*-cached`` leaves' saved-cost
+    counters), per-kind cache hit/miss/eviction counts, and per-processor
+    makespan/utilization/speedup.
+
+Both formats are plain dict/str producers plus tiny ``write_*`` wrappers,
+so the CLI (``python -m repro profile``) and tests share one code path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
+
+from .schedule import Schedule, ScheduledSpan
+from .trace import PAR, Span, aggregate_phases
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_metrics",
+    "write_prometheus",
+]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+
+def _lane_assignment(spans: Iterable[ScheduledSpan]) -> List[Tuple[ScheduledSpan, int]]:
+    """Greedy interval coloring: first lane whose last event has ended."""
+    lanes_free_at: List[int] = []
+    out: List[Tuple[ScheduledSpan, int]] = []
+    for span in sorted(spans, key=lambda s: (s.start, s.finish)):
+        for lane, free_at in enumerate(lanes_free_at):
+            if free_at <= span.start:
+                lanes_free_at[lane] = span.finish
+                out.append((span, lane))
+                break
+        else:
+            lanes_free_at.append(span.finish)
+            out.append((span, len(lanes_free_at) - 1))
+    return out
+
+
+def _schedule_events(schedule: Schedule) -> List[dict]:
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {
+                "name": f"repro schedule (P={schedule.processors}, "
+                f"T={schedule.makespan})"
+            },
+        }
+    ]
+    assigned = _lane_assignment(schedule.spans)
+    critical = {(s.path, s.start, s.finish) for s in schedule.critical_path}
+    lanes = {lane for _, lane in assigned}
+    for lane in sorted(lanes):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": lane,
+                "args": {"name": f"lane {lane}"},
+            }
+        )
+    for span, lane in assigned:
+        events.append(
+            {
+                "name": span.name,
+                "cat": "critical-path"
+                if (span.path, span.start, span.finish) in critical
+                else "phase",
+                "ph": "X",
+                "ts": span.start,
+                "dur": span.duration,
+                "pid": 0,
+                "tid": lane,
+                "args": {
+                    "path": span.path,
+                    "work": span.work,
+                    "depth": span.depth,
+                    "mean_processors": round(span.processors, 3),
+                },
+            }
+        )
+    return events
+
+
+def _span_events(root: Span) -> List[dict]:
+    """Lay a raw span tree out on the depth clock (no scheduler): every
+    span covers ``depth`` virtual steps; concurrent branches of a parallel
+    region open fresh lanes."""
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"repro trace ({root.name}, depth clock)"},
+        }
+    ]
+    next_lane = 1
+
+    def emit(span: Span, t0: int, lane: int) -> None:
+        nonlocal next_lane
+        args: dict = {"work": span.work, "depth": span.depth, "mode": span.mode}
+        if span.counters:
+            args["counters"] = dict(span.counters)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": t0,
+                "dur": span.depth,
+                "pid": 0,
+                "tid": lane,
+                "args": args,
+            }
+        )
+        cursor = t0 + span.self_depth
+        if span.mode == PAR:
+            for i, child in enumerate(span.children):
+                if i == 0:
+                    child_lane = lane
+                else:
+                    child_lane = next_lane
+                    next_lane += 1
+                emit(child, cursor, child_lane)
+        else:
+            for child in span.children:
+                emit(child, cursor, lane)
+                cursor += child.depth
+
+    emit(root, 0, 0)
+    return events
+
+
+def chrome_trace(obj: Union[Schedule, Span]) -> dict:
+    """Chrome trace-event JSON (the ``{"traceEvents": [...]}`` object form)
+    for a simulated :class:`Schedule` or a raw :class:`Span` tree.
+
+    Timestamps are the simulated step clock (schedules) or the depth clock
+    (raw spans), exposed through ``displayTimeUnit`` as milliseconds —
+    simulated PRAM steps, not host time.
+    """
+    if isinstance(obj, Schedule):
+        events = _schedule_events(obj)
+    elif isinstance(obj, Span):
+        events = _span_events(obj)
+    else:
+        raise TypeError(
+            f"chrome_trace wants a Schedule or Span, got {type(obj).__name__}"
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.pram.export"},
+    }
+
+
+def write_chrome_trace(path: str, obj: Union[Schedule, Span]) -> None:
+    """Serialize :func:`chrome_trace` to ``path`` (pretty-printed JSON)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(obj), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class _MetricsWriter:
+    """Accumulates samples grouped per metric family (HELP/TYPE once)."""
+
+    def __init__(self, namespace: str) -> None:
+        self.namespace = namespace
+        self._families: List[Tuple[str, str, List[str]]] = []
+        self._index: Dict[str, int] = {}
+
+    def sample(
+        self,
+        name: str,
+        help_text: str,
+        value: float,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
+        full = f"{self.namespace}_{name}"
+        if full not in self._index:
+            self._index[full] = len(self._families)
+            self._families.append((full, help_text, []))
+        label_str = ""
+        if labels:
+            inner = ",".join(
+                f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+            )
+            label_str = "{" + inner + "}"
+        self._families[self._index[full]][2].append(
+            f"{full}{label_str} {_format_value(value)}"
+        )
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for full, help_text, samples in self._families:
+            lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} gauge")
+            lines.extend(samples)
+        return "\n".join(lines) + "\n"
+
+
+def _trace_metrics(writer: _MetricsWriter, trace: Span) -> None:
+    writer.sample("trace_work", "Total charged work of the trace.", trace.work)
+    writer.sample(
+        "trace_depth", "Critical-path depth of the trace.", trace.depth
+    )
+    phases = aggregate_phases(trace)
+    for name in sorted(phases):
+        entry = phases[name]
+        labels = {"phase": name}
+        writer.sample(
+            "phase_work_total",
+            "Work charged under spans of each phase name "
+            "(descendants included; nested phases overlap).",
+            entry["work"],
+            labels,
+        )
+        writer.sample(
+            "phase_max_depth",
+            "Largest single-span depth per phase name.",
+            entry["max_depth"],
+            labels,
+        )
+        writer.sample(
+            "phase_count_total",
+            "Number of spans recorded per phase name.",
+            entry["count"],
+            labels,
+        )
+    counters: Dict[str, float] = {}
+    for span in trace.walk():
+        for key, value in span.counters.items():
+            counters[key] = counters.get(key, 0) + value
+    for key in sorted(counters):
+        writer.sample(
+            "trace_counter_total",
+            "Trace counters summed over the whole span tree "
+            "(packed_overflow_fallbacks, saved_work of *-cached leaves, ...).",
+            counters[key],
+            {"counter": key},
+        )
+
+
+def _cache_metrics(writer: _MetricsWriter, stats: object) -> None:
+    # Accept a CacheStats or its as_dict() snapshot; normalize to the dict.
+    data = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)  # type: ignore[call-overload]
+    for kind in sorted(data.get("hits", {})):
+        writer.sample(
+            "cache_hits_total",
+            "Session cache hits per artifact kind.",
+            data["hits"][kind],
+            {"kind": kind},
+        )
+    for kind in sorted(data.get("misses", {})):
+        writer.sample(
+            "cache_misses_total",
+            "Session cache misses (builds) per artifact kind.",
+            data["misses"][kind],
+            {"kind": kind},
+        )
+    for kind in sorted(data.get("evictions", {})):
+        writer.sample(
+            "cache_evictions_total",
+            "Artifacts dropped by TargetSession.invalidate() per kind.",
+            data["evictions"][kind],
+            {"kind": kind},
+        )
+    for field, help_text in (
+        ("saved_work", "Work the cold drivers would have charged for hits."),
+        ("saved_depth", "Depth re-added sequentially for cache hits."),
+        ("built_work", "Work charged building cache misses."),
+        ("built_depth", "Depth charged building cache misses."),
+    ):
+        if field in data:
+            writer.sample(f"cache_{field}", help_text, data[field])
+
+
+def _schedule_metrics(writer: _MetricsWriter, schedule: Schedule) -> None:
+    labels = {"processors": schedule.processors}
+    writer.sample(
+        "schedule_makespan",
+        "Simulated makespan T_P of the span-tree list schedule.",
+        schedule.makespan,
+        labels,
+    )
+    writer.sample(
+        "schedule_brent_bound",
+        "Scalar ceil(W/P) + D bound the makespan never exceeds.",
+        schedule.brent_bound(),
+        labels,
+    )
+    writer.sample(
+        "schedule_utilization",
+        "Busy fraction W / (P * T_P) of the simulated processors.",
+        round(schedule.utilization, 6),
+        labels,
+    )
+    writer.sample(
+        "schedule_speedup",
+        "Schedule-simulated speedup T_1 / T_P = W / T_P.",
+        round(schedule.speedup, 6),
+        labels,
+    )
+
+
+def prometheus_metrics(
+    trace: Optional[Span] = None,
+    cache_stats: Optional[object] = None,
+    schedules: Union[Schedule, Iterable[Schedule], None] = None,
+    namespace: str = "repro",
+) -> str:
+    """Prometheus text-format gauges for any mix of telemetry sources.
+
+    Parameters
+    ----------
+    trace:
+        A span tree — exported as per-phase work/depth/count gauges plus
+        the summed trace counters.
+    cache_stats:
+        A :class:`~repro.engine.session.CacheStats` (or its ``as_dict()``
+        snapshot) — per-kind hit/miss/eviction counts and cost totals.
+    schedules:
+        One or more :class:`~repro.pram.schedule.Schedule` — makespan,
+        Brent bound, utilization and speedup labeled by processor count.
+    """
+    writer = _MetricsWriter(namespace)
+    if trace is not None:
+        _trace_metrics(writer, trace)
+    if cache_stats is not None:
+        _cache_metrics(writer, cache_stats)
+    if schedules is not None:
+        if isinstance(schedules, Schedule):
+            schedules = [schedules]
+        for schedule in schedules:
+            _schedule_metrics(writer, schedule)
+    return writer.render()
+
+
+def write_prometheus(
+    path: str,
+    trace: Optional[Span] = None,
+    cache_stats: Optional[object] = None,
+    schedules: Union[Schedule, Iterable[Schedule], None] = None,
+    namespace: str = "repro",
+) -> None:
+    """Write :func:`prometheus_metrics` to ``path``."""
+    text = prometheus_metrics(
+        trace=trace, cache_stats=cache_stats, schedules=schedules,
+        namespace=namespace,
+    )
+    fh: IO[str]
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

@@ -1,0 +1,424 @@
+"""Span-tree Brent scheduler: execute a phase-labeled trace under ``P``
+simulated processors.
+
+``Cost.brent_time`` evaluates the closed-form bound ``ceil(W/P) + D`` on a
+*flat* (work, depth) pair — it cannot say where the critical path lives, and
+it silently assumes every unit of work is available whenever a processor is
+idle.  The span tree recorded by :class:`repro.pram.trace.Tracer` knows
+better: sequential children serialize, parallel children compete for
+processor slots, and each leaf charge is a run of ``depth`` synchronous
+rounds over ``work`` divisible operations.  This module *executes* that
+structure with a greedy list scheduler (highest remaining critical path
+first — Graham's HLF discipline) and reports a per-phase timeline.
+
+Model
+-----
+Every span's direct charge ``(self_work, self_depth)`` becomes one
+*task* of ``self_depth`` sequential rounds holding ``self_work`` operations
+split as evenly as possible (round sizes differ by at most one, larger
+rounds first).  Within a round the operations are divisible: a round of
+``s`` operations on ``a`` dedicated processors takes ``ceil(s / a)`` steps;
+rounds of one task never overlap.  Precedence follows the tree: a
+sequential span runs its own charge, then each child subtree in order; a
+parallel span runs its own charge, then all child subtrees concurrently.
+
+At every scheduling event the ready tasks are ordered by static critical
+path (own rounds plus the longest round-path to the end of the trace);
+each receives one processor, then leftover slots top the most critical
+tasks up to their current round's size (work conservation), then up to
+their largest remaining round.  The classic greedy bounds hold and are
+property-tested in ``tests/pram/test_schedule.py``::
+
+    max(ceil(W / P), D)  <=  T_P  <=  ceil(W / P) + D        (Brent sandwich)
+    T_1 == W                 (one processor executes exactly the work)
+    T_P non-increasing in P
+
+so the simulated makespan never exceeds the scalar ``Cost.brent_time``
+bound, while imbalanced trees land measurably above the ``max(...)`` ideal
+— the gap the scalar formula cannot see.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cost import Cost
+from .trace import PAR, Span
+
+__all__ = [
+    "ScheduledSpan",
+    "Schedule",
+    "simulate_schedule",
+    "schedule_speedup_curve",
+]
+
+
+class _Task:
+    """One schedulable unit: the direct charge of one span.
+
+    Round structure is fixed at construction (even split of ``work`` over
+    ``depth`` rounds); the mutable state is the current round's remaining
+    operations plus how many full big/small rounds follow it.
+    """
+
+    __slots__ = (
+        "index", "name", "path", "work", "depth",
+        "big_size", "small_size", "n_big", "n_small", "cur",
+        "succs", "npreds", "crit", "tail",
+        "start", "finish", "started",
+    )
+
+    def __init__(
+        self, index: int, name: str, path: str, work: int, depth: int
+    ) -> None:
+        self.index = index
+        self.name = name
+        self.path = path
+        self.work = work
+        self.depth = depth
+        if work > 0:
+            # r rounds of size q+1 first, then depth - r rounds of size q.
+            q, r = divmod(work, depth)
+            self.big_size = q + 1 if r else q
+            self.small_size = q
+            if r:
+                self.n_big = r - 1
+                self.n_small = depth - r
+            else:
+                self.n_big = 0
+                self.n_small = depth - 1
+            self.cur = self.big_size
+        else:
+            self.big_size = self.small_size = 0
+            self.n_big = self.n_small = 0
+            self.cur = 0
+        self.succs: List["_Task"] = []
+        self.npreds = 0
+        self.crit = 0  # rounds on the longest path through this task
+        self.tail = 0  # rounds on the longest path after this task
+        self.start = 0
+        self.finish = 0
+        self.started = False
+
+    # -- round arithmetic --------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.cur == 0 and self.n_big == 0 and self.n_small == 0
+
+    def rounds_remaining(self) -> int:
+        return (1 if self.cur else 0) + self.n_big + self.n_small
+
+    def cap(self) -> int:
+        """Most processors this task can use in any one step: the largest
+        remaining round (extra slots beyond it necessarily idle)."""
+        return max(
+            self.cur,
+            self.big_size if self.n_big else 0,
+            self.small_size if self.n_small else 0,
+        )
+
+    def remaining_time(self, procs: int) -> int:
+        """Steps to finish every remaining round on ``procs`` processors."""
+        t = -(-self.cur // procs) if self.cur else 0
+        if self.n_big:
+            t += self.n_big * -(-self.big_size // procs)
+        if self.n_small:
+            t += self.n_small * -(-self.small_size // procs)
+        return t
+
+    def advance(self, procs: int, steps: int) -> None:
+        """Run ``steps`` scheduler steps at a fixed ``procs`` allocation."""
+        if self.cur:
+            t_cur = -(-self.cur // procs)
+            if steps < t_cur:
+                self.cur -= procs * steps
+                return
+            steps -= t_cur
+            self.cur = 0
+        if self.n_big:
+            per = -(-self.big_size // procs)
+            k = min(self.n_big, steps // per)
+            self.n_big -= k
+            steps -= k * per
+            if self.n_big:
+                self.n_big -= 1
+                self.cur = self.big_size - procs * steps
+                return
+        if self.n_small:
+            per = -(-self.small_size // procs)
+            k = min(self.n_small, steps // per)
+            self.n_small -= k
+            steps -= k * per
+            if self.n_small:
+                self.n_small -= 1
+                self.cur = self.small_size - procs * steps
+
+
+def _build_tasks(root: Span) -> List[_Task]:
+    """Flatten the span tree into tasks plus precedence edges.
+
+    Sequential units are chained through zero-work *barrier* tasks so a
+    wide parallel region followed by another costs O(branches) edges, not
+    a cross product.
+    """
+    tasks: List[_Task] = []
+
+    def new_task(name: str, path: str, work: int, depth: int) -> _Task:
+        t = _Task(len(tasks), name, path, work, depth)
+        tasks.append(t)
+        return t
+
+    def link(frm: Sequence[_Task], to: Sequence[_Task]) -> None:
+        for a in frm:
+            for b in to:
+                a.succs.append(b)
+                b.npreds += 1
+
+    def build(span: Span, prefix: str) -> Tuple[List[_Task], List[_Task]]:
+        """Return (entry tasks, exit tasks) of the span's sub-DAG."""
+        path = f"{prefix}/{span.name}" if prefix else span.name
+        units: List[Tuple[List[_Task], List[_Task]]] = []
+        if span.self_work > 0:
+            t = new_task(span.name, path, span.self_work, max(span.self_depth, 1))
+            units.append(([t], [t]))
+        children = [build(c, path) for c in span.children]
+        children = [u for u in children if u[0]]
+        if span.mode == PAR:
+            if children:
+                entries: List[_Task] = []
+                exits: List[_Task] = []
+                for ce, cx in children:
+                    entries.extend(ce)
+                    exits.extend(cx)
+                units.append((entries, exits))
+        else:
+            units.extend(children)
+        if not units:
+            return [], []
+        # Chain sequential units, inserting barriers where a fan-out meets
+        # a fan-in (both sides wider than one task).
+        for (pe, px), (ne, nx) in zip(units, units[1:]):
+            if len(px) > 1 and len(ne) > 1:
+                barrier = new_task("(barrier)", path, 0, 0)
+                link(px, [barrier])
+                link([barrier], ne)
+            else:
+                link(px, ne)
+        return units[0][0], units[-1][1]
+
+    build(root, "")
+    return tasks
+
+
+@dataclass(frozen=True)
+class ScheduledSpan:
+    """One executed leaf charge on the simulated timeline.
+
+    ``processors`` is the mean occupancy over the task's active window
+    (``work / (finish - start)``); instantaneous allocation varies as the
+    greedy scheduler rebalances.
+    """
+
+    name: str
+    path: str
+    start: int
+    finish: int
+    work: int
+    depth: int
+
+    @property
+    def duration(self) -> int:
+        return self.finish - self.start
+
+    @property
+    def processors(self) -> float:
+        span = self.finish - self.start
+        return self.work / span if span else float(self.work)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Outcome of :func:`simulate_schedule`: the per-phase timeline of one
+    span tree executed under ``processors`` simulated processors."""
+
+    processors: int
+    makespan: int
+    cost: Cost
+    spans: Tuple[ScheduledSpan, ...]
+    critical_path: Tuple[ScheduledSpan, ...]
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of processor-steps spent working: ``W / (P * T_P)``."""
+        if self.makespan == 0:
+            return 1.0
+        return self.cost.work / (self.processors * self.makespan)
+
+    @property
+    def speedup(self) -> float:
+        """Simulated speedup over one processor: ``T_1 / T_P = W / T_P``."""
+        if self.makespan == 0:
+            return 1.0
+        return self.cost.work / self.makespan
+
+    def brent_bound(self) -> int:
+        """The scalar ``ceil(W/P) + D`` bound the makespan never exceeds."""
+        return math.ceil(self.cost.work / self.processors) + self.cost.depth
+
+    def ideal_time(self) -> int:
+        """The unstructured lower bound ``max(ceil(W/P), D)`` — achieved
+        only by perfectly balanced traces."""
+        return max(math.ceil(self.cost.work / self.processors), self.cost.depth)
+
+
+def simulate_schedule(root: Span, processors: int) -> Schedule:
+    """Execute ``root`` greedily on ``processors`` simulated processors.
+
+    Returns the exact simulated makespan ``T_P`` together with the
+    start/finish window of every leaf charge and the scheduled critical
+    path (the backward chain of tasks that gated the makespan).
+
+    Deterministic: identical trees and processor counts yield identical
+    schedules (ties break on task creation order).
+    """
+    if processors < 1:
+        raise ValueError(f"need at least one processor, got {processors}")
+    tasks = _build_tasks(root)
+    # Static HLF priority: longest chain of rounds through each task.
+    for t in reversed(tasks):
+        t.tail = max((s.crit for s in t.succs), default=0)
+        t.crit = t.depth + t.tail
+
+    ready: List[Tuple[int, int]] = []  # (-crit, index) heap of runnable tasks
+    pending = 0
+
+    def release(task: _Task, now: int) -> None:
+        """Mark ``task`` ready at ``now``; zero-work tasks finish at once."""
+        nonlocal pending
+        if task.work == 0:
+            task.start = task.finish = now
+            for s in task.succs:
+                s.npreds -= 1
+                if s.npreds == 0:
+                    release(s, now)
+        else:
+            pending += 1
+            heapq.heappush(ready, (-task.crit, task.index))
+
+    now = 0
+    for t in tasks:
+        if t.npreds == 0:
+            release(t, now)
+
+    while pending:
+        # Draw the P most critical ready tasks and give each one
+        # processor.  Leftover slots (possible only when every ready task
+        # was drawn) top the most critical tasks up to their *current*
+        # round first — work conservation: a processor never idles while
+        # an executable operation exists — then up to their largest
+        # remaining round (the surplus would idle anyway).
+        drawn: List[_Task] = []
+        while ready and len(drawn) < processors:
+            _, idx = heapq.heappop(ready)
+            drawn.append(tasks[idx])
+        alloc: Dict[int, int] = {t.index: 1 for t in drawn}
+        spare = processors - len(drawn)
+        if spare:
+            for use_cap in (False, True):
+                for t in drawn:
+                    if spare == 0:
+                        break
+                    limit = t.cap() if use_cap else t.cur
+                    extra = min(spare, limit - alloc[t.index])
+                    if extra > 0:
+                        alloc[t.index] += extra
+                        spare -= extra
+        # Window length: the longest stretch over which re-running the
+        # per-step allocator would reproduce this exact assignment.  A
+        # single running task or an everyone-maxed allocation (alloc >=
+        # every remaining round) or unit allocation everywhere
+        # (len(drawn) == P) stays valid until the first task completes;
+        # otherwise the window ends after the last *full* step of the
+        # nearest round (cur // alloc), so a round's trailing partial
+        # step triggers reallocation instead of idling processors that
+        # other tasks' operations could use (work conservation — this is
+        # what makes the Brent upper bound hold).
+        if len(drawn) == 1 or all(
+            alloc[t.index] >= t.cap() for t in drawn
+        ):
+            delta = min(t.remaining_time(alloc[t.index]) for t in drawn)
+        elif len(drawn) == processors:
+            delta = min(t.remaining_time(1) for t in drawn)
+        else:
+            delta = min(
+                max(1, t.cur // alloc[t.index]) for t in drawn
+            )
+        for t in drawn:
+            if not t.started:
+                t.started = True
+                t.start = now
+        now += delta
+        for t in drawn:
+            t.advance(alloc[t.index], delta)
+            if t.done:
+                pending -= 1
+                t.finish = now
+                for s in t.succs:
+                    s.npreds -= 1
+                    if s.npreds == 0:
+                        release(s, now)
+            else:
+                heapq.heappush(ready, (-t.crit, t.index))
+
+    real = [t for t in tasks if t.work > 0]
+    spans = tuple(
+        ScheduledSpan(t.name, t.path, t.start, t.finish, t.work, t.depth)
+        for t in sorted(real, key=lambda t: (t.start, t.index))
+    )
+    makespan = max((t.finish for t in real), default=0)
+
+    # Scheduled critical path: walk backward from the last finisher along
+    # the predecessor that finished last (ties to the earliest-created).
+    preds: Dict[int, List[_Task]] = {t.index: [] for t in tasks}
+    for t in tasks:
+        for s in t.succs:
+            preds[s.index].append(t)
+    chain: List[_Task] = []
+    cur: Optional[_Task] = max(
+        real, key=lambda t: (t.finish, -t.index), default=None
+    )
+    while cur is not None:
+        if cur.work > 0:
+            chain.append(cur)
+        cur = max(
+            preds[cur.index], key=lambda t: (t.finish, -t.index), default=None
+        )
+    chain.reverse()
+    critical = tuple(
+        ScheduledSpan(t.name, t.path, t.start, t.finish, t.work, t.depth)
+        for t in chain
+    )
+    return Schedule(
+        processors=processors,
+        makespan=makespan,
+        cost=Cost(root.work, root.depth),
+        spans=spans,
+        critical_path=critical,
+    )
+
+
+def schedule_speedup_curve(
+    root: Span, processors: Sequence[int]
+) -> Dict[int, float]:
+    """Schedule-simulated speedup ``T_1 / T_P = W / T_P`` per processor
+    count.  Zero-work traces speed up by definition 1.0, mirroring the
+    scalar :func:`repro.pram.brent.speedup_curve`."""
+    out: Dict[int, float] = {}
+    for p in processors:
+        sched = simulate_schedule(root, p)
+        out[p] = sched.speedup
+    return out

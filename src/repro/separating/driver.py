@@ -15,6 +15,7 @@ import numpy as np
 
 from ..engine.artifacts import ColdArtifacts
 from ..graphs.csr import Graph
+from ..isomorphism.packed import overflow_warning_scope
 from ..isomorphism.parallel_dp import parallel_dp
 from ..isomorphism.pattern import Pattern
 from ..isomorphism.planar_si import _rounds_for
@@ -105,7 +106,8 @@ def decide_separating_isomorphism(
     for r in range(total_rounds):
         found = False
         found_witness: Optional[Dict[int, int]] = None
-        with tracker.span("round"):
+        with overflow_warning_scope(provider.overflow_warned), \
+                tracker.span("round"):
             cover = provider.separating_cover(
                 marked, k, d, seed + r, tracker
             )

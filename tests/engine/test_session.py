@@ -131,6 +131,29 @@ class TestKeySoundness:
         assert s.stats.miss_count > misses_before
         assert s.stats.hit_count == hits_before
 
+    def test_invalidate_records_evictions(self):
+        graph, emb = _grid(5, 5)
+        s = TargetSession(graph, emb)
+        assert s.stats.eviction_count == 0
+        s.decide(cycle_pattern(4), seed=0)
+        held = len(s.derived_keys())
+        assert held > 0 and not s._children
+        s.invalidate()
+        # Every dropped entry is an eviction.
+        assert s.stats.eviction_count == held
+        assert set(s.stats.evictions) <= set(s.stats.misses)
+        evicted_once = s.stats.eviction_count
+        # Invalidate-then-rebuild accounting: the rebuild re-misses, a
+        # second invalidate evicts the rebuilt entries again.
+        s.decide(cycle_pattern(4), seed=0)
+        s.invalidate()
+        assert s.stats.eviction_count > evicted_once
+        assert "cover" in s.stats.evictions
+        d = s.stats.as_dict()
+        assert d["eviction_count"] == s.stats.eviction_count
+        assert d["evictions"] == s.stats.evictions
+        assert "evicted" in s.stats.format()
+
 
 class TestSessionEqualsOneShot:
     PATTERNS = [

@@ -305,35 +305,68 @@ class TestOverflowFallback:
     def test_packed_ops_for_warns_once_and_counts(self):
         from repro.isomorphism.packed import (
             PackedOverflowWarning,
-            reset_overflow_warnings,
+            overflow_warning_scope,
         )
         from repro.pram import Tracer
 
         space, nice = self._overflowing_instance()
         assert space.packed_ops().fits(nice) is False  # really overflows
-        reset_overflow_warnings()
         tracer = Tracer("overflow-test")
-        with pytest.warns(PackedOverflowWarning, match="falling back"):
-            assert packed_ops_for(space, nice, tracer=tracer) is None
-        assert tracer.root.counters["packed_overflow_fallbacks"] == 1
-        # Second overflow for the same space type: counted, not re-warned.
-        import warnings as _warnings
+        with overflow_warning_scope():
+            with pytest.warns(PackedOverflowWarning, match="falling back"):
+                assert packed_ops_for(space, nice, tracer=tracer) is None
+            assert tracer.root.counters["packed_overflow_fallbacks"] == 1
+            # Second overflow for the same space type inside the same
+            # scope: counted, not re-warned.
+            import warnings as _warnings
 
-        with _warnings.catch_warnings(record=True) as caught:
-            _warnings.simplefilter("always")
-            assert packed_ops_for(space, nice, tracer=tracer) is None
-        assert not [
-            w for w in caught
-            if issubclass(w.category, PackedOverflowWarning)
-        ]
-        assert tracer.root.counters["packed_overflow_fallbacks"] == 2
-        reset_overflow_warnings()
+            with _warnings.catch_warnings(record=True) as caught:
+                _warnings.simplefilter("always")
+                assert packed_ops_for(space, nice, tracer=tracer) is None
+            assert not [
+                w for w in caught
+                if issubclass(w.category, PackedOverflowWarning)
+            ]
+            assert tracer.root.counters["packed_overflow_fallbacks"] == 2
 
-    def test_overflow_fallback_still_correct(self):
-        from repro.isomorphism.packed import reset_overflow_warnings
+    def test_warns_every_time_outside_any_scope(self):
+        # No scope installed -> no dedup memory anywhere: nothing global
+        # left to leak between unrelated callers or tests.
+        from repro.isomorphism.packed import PackedOverflowWarning
 
         space, nice = self._overflowing_instance()
-        reset_overflow_warnings()
+        for _ in range(2):
+            with pytest.warns(PackedOverflowWarning, match="falling back"):
+                assert packed_ops_for(space, nice) is None
+
+    def test_warns_once_per_session(self):
+        # Two back-to-back sessions over the same target: each session
+        # owns a fresh warned-set, so the warning fires once per session.
+        from repro.engine.session import TargetSession
+        from repro.isomorphism.packed import (
+            PackedOverflowWarning,
+            overflow_warning_scope,
+        )
+
+        space, nice = self._overflowing_instance()
+        graph = grid_graph(2, 20).graph
+        for _ in range(2):
+            session = TargetSession(graph)
+            with overflow_warning_scope(session.overflow_warned):
+                with pytest.warns(PackedOverflowWarning):
+                    assert packed_ops_for(space, nice) is None
+                import warnings as _warnings
+
+                with _warnings.catch_warnings(record=True) as caught:
+                    _warnings.simplefilter("always")
+                    assert packed_ops_for(space, nice) is None
+                assert not [
+                    w for w in caught
+                    if issubclass(w.category, PackedOverflowWarning)
+                ]
+
+    def test_overflow_fallback_still_correct(self):
+        space, nice = self._overflowing_instance()
         with pytest.warns(Warning):
             packed = sequential_dp(space, nice, engine="packed")
         reference = sequential_dp(space, nice, engine="reference")
@@ -341,4 +374,3 @@ class TestOverflowFallback:
         assert packed.found == reference.found
         assert packed.accepting_count == reference.accepting_count
         assert packed.cost == reference.cost
-        reset_overflow_warnings()

@@ -43,6 +43,36 @@ class TestSpeedupCurve:
             assert speedup_curve(c, [p])[p] <= p + 1e-9
 
 
+class TestEdgeCases:
+    """Regression tests: p < 1 rejected up front, zero-cost traces speed
+    up by definition 1.0, and times come back as floats consistently."""
+
+    def test_rejects_nonpositive_processors(self):
+        c = Cost(100, 10)
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match=">= 1"):
+                brent_schedule(c, [1, bad])
+            with pytest.raises(ValueError, match=">= 1"):
+                speedup_curve(c, [bad])
+
+    def test_zero_cost_speedup_is_one(self):
+        assert speedup_curve(Cost.zero(), [1, 2, 64]) == {
+            1: 1.0, 2: 1.0, 64: 1.0,
+        }
+
+    def test_zero_cost_times_are_zero(self):
+        assert brent_schedule(Cost.zero(), [5]) == {5: 0.0}
+
+    def test_times_are_floats(self):
+        c = Cost(100, 10)
+        assert all(
+            isinstance(v, float) for v in brent_schedule(c, [1, 3]).values()
+        )
+        assert all(
+            isinstance(v, float) for v in speedup_curve(c, [1, 3]).values()
+        )
+
+
 class TestScalabilityLimit:
     def test_zero_depth(self):
         assert scalability_limit(Cost(0, 0)) == float("inf")

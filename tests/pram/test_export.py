@@ -1,0 +1,148 @@
+"""Exporter tests: Chrome trace-event JSON (golden file) and Prometheus
+text metrics."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.pram import (
+    Cost,
+    Tracer,
+    chrome_trace,
+    prometheus_metrics,
+    simulate_schedule,
+    write_chrome_trace,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer("driver")
+    tracer.charge(Cost(40, 4), label="setup")
+    with tracer.parallel("pieces") as region:
+        for i, (w, d) in enumerate([(900, 30), (200, 10), (64, 1)]):
+            with region.branch(f"piece-{i}") as br:
+                br.charge(Cost(w, d))
+    with tracer.span("teardown"):
+        tracer.charge(Cost(16, 2))
+    return tracer
+
+
+class TestChromeTrace:
+    def test_schedule_matches_golden_file(self, tmp_path):
+        sched = simulate_schedule(_sample_tracer().root, 2)
+        out = tmp_path / "trace.json"
+        write_chrome_trace(str(out), sched)
+        produced = json.loads(out.read_text())
+        golden = json.loads(
+            (GOLDEN / "chrome_trace_schedule.json").read_text()
+        )
+        assert produced == golden
+
+    def test_event_schema(self):
+        sched = simulate_schedule(_sample_tracer().root, 2)
+        doc = chrome_trace(sched)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        events = doc["traceEvents"]
+        assert events
+        for ev in events:
+            assert ev["ph"] in ("X", "M")
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0 and ev["dur"] >= 0
+                assert {"name", "pid", "tid", "args"} <= set(ev)
+                assert ev["cat"] in ("phase", "critical-path")
+        # One complete event per executed leaf charge.
+        xs = [ev for ev in events if ev["ph"] == "X"]
+        assert len(xs) == len(sched.spans)
+        assert sum(ev["args"]["work"] for ev in xs) == sched.cost.work
+        # The critical path is marked.
+        assert any(ev["cat"] == "critical-path" for ev in xs)
+
+    def test_lanes_never_overlap(self):
+        sched = simulate_schedule(_sample_tracer().root, 3)
+        xs = [
+            ev for ev in chrome_trace(sched)["traceEvents"]
+            if ev["ph"] == "X"
+        ]
+        by_lane = {}
+        for ev in xs:
+            by_lane.setdefault(ev["tid"], []).append(
+                (ev["ts"], ev["ts"] + ev["dur"])
+            )
+        for windows in by_lane.values():
+            windows.sort()
+            for (_, end), (start, _) in zip(windows, windows[1:]):
+                assert start >= end
+
+    def test_raw_span_tree_export(self):
+        root = _sample_tracer().root
+        doc = chrome_trace(root)
+        xs = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        names = {ev["name"] for ev in xs}
+        assert {"driver", "pieces", "teardown"} <= names
+        root_ev = next(ev for ev in xs if ev["name"] == "driver")
+        assert root_ev["dur"] == root.depth
+
+    def test_rejects_unknown_objects(self):
+        with pytest.raises(TypeError):
+            chrome_trace({"not": "a trace"})
+
+
+class TestPrometheusMetrics:
+    def test_trace_and_schedule_gauges(self):
+        tracer = _sample_tracer()
+        scheds = [simulate_schedule(tracer.root, p) for p in (1, 4)]
+        text = prometheus_metrics(trace=tracer.root, schedules=scheds)
+        assert "# HELP repro_trace_work" in text
+        assert "# TYPE repro_trace_work gauge" in text
+        assert f"repro_trace_work {tracer.root.work}" in text
+        assert f"repro_trace_depth {tracer.root.depth}" in text
+        assert 'repro_phase_work_total{phase="pieces"}' in text
+        assert 'repro_schedule_makespan{processors="1"} ' \
+            f"{scheds[0].makespan}" in text
+        assert 'repro_schedule_makespan{processors="4"} ' \
+            f"{scheds[1].makespan}" in text
+        assert 'repro_schedule_brent_bound{processors="4"}' in text
+        # Every family is declared exactly once.
+        for line in text.splitlines():
+            if line.startswith("# HELP"):
+                family = line.split()[2]
+                assert text.count(f"# HELP {family} ") == 1
+
+    def test_counter_gauges(self):
+        tracer = Tracer("t")
+        tracer.count(packed_overflow_fallbacks=3)
+        text = prometheus_metrics(trace=tracer.root)
+        assert (
+            'repro_trace_counter_total'
+            '{counter="packed_overflow_fallbacks"} 3' in text
+        )
+
+    def test_cache_stats_gauges_accept_object_and_dict(self):
+        from repro.engine.session import CacheStats
+
+        stats = CacheStats()
+        stats.record_miss("cover", Cost(100, 10))
+        stats.record_hit("cover", Cost(100, 10))
+        stats.record_eviction("cover")
+        for source in (stats, stats.as_dict()):
+            text = prometheus_metrics(cache_stats=source)
+            assert 'repro_cache_hits_total{kind="cover"} 1' in text
+            assert 'repro_cache_misses_total{kind="cover"} 1' in text
+            assert 'repro_cache_evictions_total{kind="cover"} 1' in text
+            assert "repro_cache_saved_work 100" in text
+            assert "repro_cache_built_work 100" in text
+
+    def test_label_escaping(self):
+        tracer = Tracer('we"ird\\phase\nname')
+        tracer.charge(Cost(5, 1))
+        text = prometheus_metrics(trace=tracer.root)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_custom_namespace(self):
+        tracer = _sample_tracer()
+        text = prometheus_metrics(trace=tracer.root, namespace="paper")
+        assert "paper_trace_work" in text
+        assert "repro_" not in text

@@ -1,0 +1,202 @@
+"""Property tests for the span-tree Brent scheduler.
+
+The load-bearing invariant (ISSUE acceptance criterion): for every span
+tree with work W and depth D and every processor count P,
+
+    max(ceil(W / P), D)  <=  T_P  <=  ceil(W / P) + D
+
+with T_1 == W exactly and T_P non-increasing in P.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import (
+    Cost,
+    Span,
+    Tracer,
+    schedule_speedup_curve,
+    simulate_schedule,
+)
+
+PROCS = [1, 2, 3, 5, 16, 64, 1000]
+
+
+@st.composite
+def _leaf(draw):
+    work = draw(st.integers(min_value=1, max_value=300))
+    depth = draw(st.integers(min_value=1, max_value=min(12, work)))
+    return ("leaf", work, depth)
+
+
+_specs = st.recursive(
+    _leaf(),
+    lambda children: st.tuples(
+        st.sampled_from(["seq", "par"]),
+        st.lists(children, min_size=1, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _materialize(spec, tracer) -> None:
+    kind = spec[0]
+    if kind == "leaf":
+        tracer.charge(Cost(spec[1], spec[2]))
+    elif kind == "seq":
+        for child in spec[1]:
+            with tracer.span("seq-child"):
+                _materialize(child, tracer)
+    else:
+        with tracer.parallel("par") as region:
+            for child in spec[1]:
+                with region.branch("branch") as br:
+                    _materialize(child, br)
+
+
+def _build(spec) -> Span:
+    tracer = Tracer("root")
+    _materialize(spec, tracer)
+    return tracer.root
+
+
+class TestBrentSandwich:
+    @settings(max_examples=60, deadline=None)
+    @given(_specs)
+    def test_sandwich_holds_for_every_processor_count(self, spec):
+        root = _build(spec)
+        W, D = root.work, root.depth
+        for P in PROCS:
+            sched = simulate_schedule(root, P)
+            lo = max(math.ceil(W / P), D)
+            hi = math.ceil(W / P) + D
+            assert lo <= sched.makespan <= hi, (
+                f"P={P} W={W} D={D}: {sched.makespan} not in [{lo}, {hi}]"
+            )
+            assert sched.makespan <= sched.brent_bound()
+            assert sched.makespan >= sched.ideal_time()
+
+    @settings(max_examples=60, deadline=None)
+    @given(_specs)
+    def test_one_processor_executes_exactly_the_work(self, spec):
+        root = _build(spec)
+        assert simulate_schedule(root, 1).makespan == root.work
+
+    @settings(max_examples=40, deadline=None)
+    @given(_specs)
+    def test_makespan_non_increasing_in_processors(self, spec):
+        root = _build(spec)
+        times = [simulate_schedule(root, P).makespan for P in PROCS]
+        assert times == sorted(times, reverse=True)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=100_000),
+        st.integers(min_value=1, max_value=500),
+    )
+    def test_flat_trace_agrees_with_cost_brent_time(self, extra, depth):
+        # A single flat charge: the schedule lands inside the scalar
+        # sandwich evaluated by Cost.brent_time.
+        work = depth + extra
+        tracer = Tracer("flat")
+        tracer.charge(Cost(work, depth))
+        root = tracer.root
+        for P in (1, 4, 64):
+            sched = simulate_schedule(root, P)
+            assert sched.makespan <= Cost(work, depth).brent_time(P)
+            assert sched.makespan >= max(math.ceil(work / P), depth)
+            if P == 1:
+                assert sched.makespan == work
+
+
+class TestScheduleSurface:
+    def _sample_root(self) -> Span:
+        tracer = Tracer("driver")
+        tracer.charge(Cost(40, 4), label="setup")
+        with tracer.parallel("pieces") as region:
+            for i, (w, d) in enumerate([(900, 30), (200, 10), (64, 1)]):
+                with region.branch(f"piece-{i}") as br:
+                    br.charge(Cost(w, d))
+        with tracer.span("teardown"):
+            tracer.charge(Cost(16, 2))
+        return tracer.root
+
+    def test_rejects_nonpositive_processors(self):
+        with pytest.raises(ValueError):
+            simulate_schedule(self._sample_root(), 0)
+        with pytest.raises(ValueError):
+            simulate_schedule(self._sample_root(), -4)
+
+    def test_empty_trace(self):
+        sched = simulate_schedule(Tracer("empty").root, 8)
+        assert sched.makespan == 0
+        assert sched.spans == ()
+        assert sched.utilization == 1.0
+        assert sched.speedup == 1.0
+
+    def test_spans_cover_the_work_within_the_makespan(self):
+        root = self._sample_root()
+        sched = simulate_schedule(root, 8)
+        assert sum(s.work for s in sched.spans) == root.work
+        assert all(0 <= s.start < s.finish <= sched.makespan
+                   for s in sched.spans)
+        assert max(s.finish for s in sched.spans) == sched.makespan
+        # Mean occupancy of any window never exceeds the machine width.
+        assert all(s.processors <= 8 + 1e-9 for s in sched.spans)
+
+    def test_critical_path_is_a_time_ordered_chain_ending_last(self):
+        sched = simulate_schedule(self._sample_root(), 8)
+        crit = sched.critical_path
+        assert crit
+        assert crit[-1].finish == sched.makespan
+        assert all(a.finish <= b.start or a is b
+                   for a, b in zip(crit, crit[1:]))
+
+    def test_utilization_and_speedup_are_consistent(self):
+        root = self._sample_root()
+        for P in (1, 3, 16):
+            sched = simulate_schedule(root, P)
+            assert sched.speedup == pytest.approx(
+                root.work / sched.makespan
+            )
+            assert sched.utilization == pytest.approx(
+                sched.speedup / P
+            )
+            assert sched.utilization <= 1.0 + 1e-9
+
+    def test_sequential_children_serialize(self):
+        tracer = Tracer("root")
+        with tracer.span("first"):
+            tracer.charge(Cost(100, 1))
+        with tracer.span("second"):
+            tracer.charge(Cost(100, 1))
+        sched = simulate_schedule(tracer.root, 64)
+        first, second = sched.spans
+        assert first.finish <= second.start
+
+    def test_parallel_children_overlap_given_processors(self):
+        tracer = Tracer("root")
+        with tracer.parallel("pieces") as region:
+            for i in range(2):
+                with region.branch(f"b{i}") as br:
+                    br.charge(Cost(100, 1))
+        sched = simulate_schedule(tracer.root, 200)
+        a, b = sched.spans
+        assert a.start == b.start == 0
+
+    def test_speedup_curve_matches_simulation(self):
+        root = self._sample_root()
+        curve = schedule_speedup_curve(root, [1, 2, 8])
+        for P in (1, 2, 8):
+            sched = simulate_schedule(root, P)
+            assert curve[P] == pytest.approx(root.work / sched.makespan)
+        assert curve[1] == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        root = self._sample_root()
+        a = simulate_schedule(root, 8)
+        b = simulate_schedule(root, 8)
+        assert a == b

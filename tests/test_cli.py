@@ -154,6 +154,73 @@ class TestTraceFlags:
         assert "window-count" in capsys.readouterr().out
 
 
+class TestProfileCommand:
+    def test_profile_prints_schedule_table(self, capsys):
+        assert main(
+            ["profile", "--target", "trigrid:5x5", "--pattern", "triangle",
+             "--rounds", "1", "--processors", "1,4,16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "T_P (sim)" in out
+        assert "Brent bound" in out
+        assert "critical path" in out
+
+    def test_profile_simulated_time_within_brent_bound(self, capsys):
+        assert main(
+            ["profile", "--target", "trigrid:6x6", "--pattern", "cycle:4",
+             "--rounds", "1", "--processors", "1,8,64"]
+        ) == 0
+        out = capsys.readouterr().out
+        rows = [
+            line.split() for line in out.splitlines()
+            if line.strip() and line.split()[0].isdigit()
+        ]
+        assert len(rows) == 3
+        for row in rows:
+            makespan = int(row[1].replace(",", ""))
+            bound = int(row[4].replace(",", ""))
+            assert makespan <= bound
+
+    def test_profile_writes_chrome_trace_and_metrics(self, capsys, tmp_path):
+        trace_path = tmp_path / "sched.json"
+        prom_path = tmp_path / "sched.prom"
+        assert main(
+            ["profile", "--target", "trigrid:5x5", "--pattern", "triangle",
+             "--rounds", "1", "--processors", "8",
+             "--chrome-trace", str(trace_path), "--metrics", str(prom_path)]
+        ) == 0
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert doc["traceEvents"]
+        assert any(ev["ph"] == "X" for ev in doc["traceEvents"])
+        prom = prom_path.read_text(encoding="utf-8")
+        assert 'repro_schedule_makespan{processors="8"}' in prom
+        assert "repro_trace_work" in prom
+
+    def test_profile_rejects_bad_processors(self):
+        for bad in ("0", "4,-1", "x"):
+            with pytest.raises(SystemExit):
+                main(
+                    ["profile", "--target", "trigrid:5x5",
+                     "--pattern", "triangle", "--processors", bad]
+                )
+
+
+class TestBatchMetrics:
+    def test_batch_writes_prometheus_metrics(self, capsys, tmp_path):
+        prom_path = tmp_path / "batch.prom"
+        assert main(
+            ["batch", "--target", "grid:5x5",
+             "--patterns", "cycle:4,cycle:4", "--rounds", "1",
+             "--session-stats", "--metrics", str(prom_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "artifact" in out  # the stats table
+        prom = prom_path.read_text(encoding="utf-8")
+        assert "repro_cache_hits_total" in prom
+        assert "repro_cache_misses_total" in prom
+        assert "repro_trace_work" in prom
+
+
 class TestLintCommand:
     SRC = str(Path(__file__).parents[1] / "src" / "repro")
 
