@@ -17,9 +17,14 @@ and host wall-clock for the reference and packed table engines, plus the
 wall-clock speedup.  The session-engine batch experiments write
 ``BENCH_PR3.json`` the same way (see :func:`record_pr3`): cold one-shot vs
 warm cached-session wall-clock over a multi-pattern batch.
-``BENCH_PR2_PATH``/``BENCH_PR3_PATH`` override the output paths;
-``BENCH_SMOKE=1`` shrinks the instances and waives the speedup floors (CI
-smoke mode — the equivalence assertions still run at full strength).
+The multicore-backend experiments write ``BENCH_PR6.json`` (see
+:func:`record_pr6`): measured wall-clock scaling of the ``processes``
+execution backend laid side-by-side with the HLF schedule simulation's
+predicted ``T_P`` and the Brent sandwich bounds.
+``BENCH_PR2_PATH``/``BENCH_PR3_PATH``/``BENCH_PR6_PATH`` override the
+output paths; ``BENCH_SMOKE=1`` shrinks the instances and waives the
+speedup floors (CI smoke mode — the equivalence assertions still run at
+full strength).
 """
 
 import json
@@ -33,6 +38,7 @@ from repro.planar import embed_geometric
 
 _PR2_ROWS = []
 _PR3_ROWS = []
+_PR6_ROWS = []
 
 
 def smoke_mode() -> bool:
@@ -80,6 +86,25 @@ def record_pr3(experiment: str, config: dict, cold: dict, warm: dict):
     return speedup
 
 
+def record_pr6(experiment: str, config: dict, points: list, extra: dict):
+    """Record one measured-vs-predicted scaling sweep for BENCH_PR6.json.
+
+    ``points`` are :func:`repro.pram.measured_as_dicts` rows — for every
+    worker count the measured wall-clock and speedup next to the HLF
+    simulation's predicted ``T_P``/speedup and the Brent sandwich bounds.
+    The caller must already have asserted results and traces identical
+    across the measured backends.
+    """
+    _PR6_ROWS.append(
+        {
+            "experiment": experiment,
+            "config": config,
+            "points": points,
+            **extra,
+        }
+    )
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _PR2_ROWS:
         path = os.environ.get(
@@ -103,6 +128,20 @@ def pytest_sessionfinish(session, exitstatus):
             "schema": "bench-pr3/v1",
             "smoke": smoke_mode(),
             "experiments": _PR3_ROWS,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if _PR6_ROWS:
+        path = os.environ.get(
+            "BENCH_PR6_PATH",
+            os.path.join(os.path.dirname(__file__), "..", "BENCH_PR6.json"),
+        )
+        payload = {
+            "schema": "bench-pr6/v1",
+            "smoke": smoke_mode(),
+            "cpu_count": os.cpu_count(),
+            "experiments": _PR6_ROWS,
         }
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=2)

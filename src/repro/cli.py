@@ -5,6 +5,8 @@ Examples
 ::
 
     python -m repro decide  --target trigrid:12x12 --pattern triangle
+    python -m repro decide  --target trigrid:24x24 --pattern cycle:4 \
+        --backend processes --processors 4
     python -m repro count   --target grid:8x8 --pattern cycle:4 --exact
     python -m repro list    --target grid:6x6 --pattern cycle:4
     python -m repro vc      --target antiprism:4
@@ -15,6 +17,8 @@ Examples
         --patterns-file patterns.txt --session-stats
     python -m repro profile --target trigrid:12x12 --pattern cycle:4 \
         --processors 1,4,16,64 --chrome-trace decide.json --metrics decide.prom
+    python -m repro profile --target trigrid:16x16 --pattern cycle:4 \
+        --processors 1,2,4 --measure
     python -m repro lint src/repro --format json --output lint.json
 
 ``batch`` answers every pattern against one :class:`repro.engine.TargetSession`
@@ -161,7 +165,7 @@ def main(argv: Optional[list] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, pattern=True):
+    def common(p, pattern=True, workers=True):
         p.add_argument("--target", required=True, help="target graph spec")
         if pattern:
             p.add_argument(
@@ -173,6 +177,18 @@ def main(argv: Optional[list] = None) -> int:
             "--engine", choices=["parallel", "sequential"],
             default=None,
         )
+        p.add_argument(
+            "--backend", choices=["serial", "threads", "processes"],
+            default="serial",
+            help="piece-solve execution backend (repro.exec); results "
+            "and traces are backend-independent",
+        )
+        if workers:
+            p.add_argument(
+                "--processors", type=int, default=None, metavar="N",
+                help="worker count for non-serial backends "
+                "(default: all cores)",
+            )
         p.add_argument(
             "--trace", action="store_true",
             help="print the hierarchical per-phase work/depth table",
@@ -217,11 +233,18 @@ def main(argv: Optional[list] = None) -> int:
         "profile",
         help="simulate Brent schedules of one decide query's span tree",
     )
-    common(profile_p)
+    common(profile_p, workers=False)
     profile_p.add_argument(
         "--processors", default="1,2,4,8,16,64",
         help="comma-separated simulated processor counts "
         "(default: 1,2,4,8,16,64)",
+    )
+    profile_p.add_argument(
+        "--measure", action="store_true",
+        help="also run the query for real at each --processors count "
+        "(processes backend unless --backend threads) and print "
+        "measured wall-clock against the simulated T_P and the Brent "
+        "sandwich",
     )
     profile_p.add_argument(
         "--chrome-trace", metavar="PATH", default=None,
@@ -263,6 +286,16 @@ def main(argv: Optional[list] = None) -> int:
     print(f"target: {args.target} (n={graph.n}, m={graph.m})")
     t0 = time.perf_counter()
 
+    # One resolved backend serves every query of the command (the process
+    # pool spins up once); profile builds its own per --measure count.
+    executor = None
+    if args.command != "profile":
+        from .exec import resolve_backend
+
+        executor = resolve_backend(
+            args.backend, max_workers=args.processors
+        )
+
     if args.command == "decide":
         from .isomorphism import find_occurrence
 
@@ -270,6 +303,7 @@ def main(argv: Optional[list] = None) -> int:
         result = find_occurrence(
             graph, embedding, pattern, seed=args.seed,
             engine=args.engine or "parallel", rounds=args.rounds,
+            backend=executor,
         )
         print(f"found: {result.found}")
         if result.witness:
@@ -281,7 +315,9 @@ def main(argv: Optional[list] = None) -> int:
         if args.exact:
             from .isomorphism import count_occurrences_exact
 
-            result = count_occurrences_exact(graph, embedding, pattern)
+            result = count_occurrences_exact(
+                graph, embedding, pattern, backend=executor
+            )
             print(f"isomorphisms (exact, deterministic): "
                   f"{result.isomorphisms}")
             print(_cost_summary(result.cost))
@@ -291,7 +327,7 @@ def main(argv: Optional[list] = None) -> int:
 
             listing = list_occurrences(
                 graph, embedding, pattern, seed=args.seed,
-                engine=args.engine or "parallel",
+                engine=args.engine or "parallel", backend=executor,
             )
             print(f"isomorphisms (w.h.p.): {len(listing.witnesses)}")
             print(f"distinct occurrences:  {len(listing.occurrences)}")
@@ -303,7 +339,7 @@ def main(argv: Optional[list] = None) -> int:
         pattern = parse_pattern(args.pattern)
         listing = list_occurrences(
             graph, embedding, pattern, seed=args.seed,
-            engine=args.engine or "parallel",
+            engine=args.engine or "parallel", backend=executor,
         )
         print(f"occurrences: {len(listing.occurrences)} "
               f"({listing.iterations} iterations)")
@@ -318,7 +354,7 @@ def main(argv: Optional[list] = None) -> int:
 
         result = planar_vertex_connectivity(
             graph, embedding, seed=args.seed, rounds=args.rounds,
-            engine=args.engine or "sequential",
+            engine=args.engine or "sequential", backend=executor,
         )
         print(f"vertex connectivity: {result.connectivity}")
         print(_cost_summary(result.cost))
@@ -346,7 +382,7 @@ def main(argv: Optional[list] = None) -> int:
             )
         patterns = [parse_pattern(s) for s in specs]
         session = TargetSession(graph, embedding)
-        kwargs = {}
+        kwargs = {"backend": executor}
         if args.engine:
             kwargs["engine"] = args.engine
         if args.rounds is not None:
@@ -425,6 +461,27 @@ def main(argv: Optional[list] = None) -> int:
         for sp in longest:
             print(f"  {sp.name:<24} [{sp.start:,}, {sp.finish:,}) "
                   f"work={sp.work:,}")
+        if args.measure:
+            from .exec import resolve_backend
+            from .pram import compare_measured, format_measured
+
+            bk_name = (
+                "threads" if args.backend == "threads" else "processes"
+            )
+            measurements = {}
+            for p in procs:
+                with resolve_backend(bk_name, max_workers=p) as mexec:
+                    m0 = time.perf_counter()
+                    find_occurrence(
+                        graph, embedding, pattern, seed=args.seed,
+                        engine=args.engine or "parallel",
+                        rounds=args.rounds, backend=mexec,
+                    )
+                    measurements[p] = time.perf_counter() - m0
+            print(format_measured(
+                compare_measured(result.trace, measurements),
+                title=f"measured ({bk_name}) vs simulated:",
+            ))
         try:
             if args.chrome_trace:
                 write_chrome_trace(args.chrome_trace, widest)
@@ -439,6 +496,8 @@ def main(argv: Optional[list] = None) -> int:
             raise SystemExit(f"cannot write telemetry: {exc}") from exc
         _emit_trace(args, result.trace)
 
+    if executor is not None:
+        executor.close()
     print(f"(host time: {time.perf_counter() - t0:.2f}s)")
     return 0
 

@@ -71,6 +71,7 @@ def planar_vertex_connectivity(
     rounds: Optional[int] = None,
     want_certificate: bool = False,
     artifacts=None,
+    backend="serial",
 ) -> VertexConnectivityResult:
     """Decide the vertex connectivity of a planar graph (Lemma 5.2).
 
@@ -81,7 +82,9 @@ def planar_vertex_connectivity(
     small); the sequential engine visits only reachable states and returns
     identical verdicts (property-tested).  Pass ``engine="parallel"`` to
     exercise the low-depth machinery end to end (fine for small graphs;
-    the E10 benchmark measures its depth).
+    the E10 benchmark measures its depth).  ``backend`` executes the
+    per-minor solves of the cycle searches (``repro.exec``); one resolved
+    backend is shared across the c = 2, 3, 4 searches.
     """
     n = graph.n
     provider = (
@@ -137,30 +140,34 @@ def planar_vertex_connectivity(
         np.int64
     )
 
-    for c in (2, 3, 4):
-        with tracker.span("cycle-search", cycle=2 * c):
-            result = decide_separating_isomorphism(
-                fv.graph,
-                fv.embedding,
-                marked,
-                cycle_pattern(2 * c),
-                seed=seed + 101 * c,
-                engine=engine,
-                rounds=rounds,
-                want_witness=want_certificate,
-                host_classes=host_classes,
-                pattern_classes=[p % 2 for p in range(2 * c)],
-                artifacts=sub_artifacts,
-            )
-            tracker.attach(result.trace)
-        if result.found:
-            certificate = None
-            if want_certificate:
-                certificate = _certified_cut(
-                    graph, embedding, c, result.witness, seed, engine,
-                    tracker,
+    from ..exec.backends import backend_scope
+
+    with backend_scope(backend) as executor:
+        for c in (2, 3, 4):
+            with tracker.span("cycle-search", cycle=2 * c):
+                result = decide_separating_isomorphism(
+                    fv.graph,
+                    fv.embedding,
+                    marked,
+                    cycle_pattern(2 * c),
+                    seed=seed + 101 * c,
+                    engine=engine,
+                    rounds=rounds,
+                    want_witness=want_certificate,
+                    host_classes=host_classes,
+                    pattern_classes=[p % 2 for p in range(2 * c)],
+                    artifacts=sub_artifacts,
+                    backend=executor,
                 )
-            return _result(c, certificate)
+                tracker.attach(result.trace)
+            if result.found:
+                certificate = None
+                if want_certificate:
+                    certificate = _certified_cut(
+                        graph, embedding, c, result.witness, seed, engine,
+                        tracker,
+                    )
+                return _result(c, certificate)
     # Planar graphs are never 6-connected (Euler: minimum degree <= 5).
     return _result(5, None)
 

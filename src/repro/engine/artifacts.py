@@ -119,6 +119,24 @@ class ColdArtifacts:
             piece, pattern, engine, tracer, want_witness, kernel, self
         )
 
+    # -- piece-solve cache surface (the dispatch path's split view of
+    # solve_piece: lookup at dispatch time, store at collect time) ---------
+
+    def piece_solution_cached(
+        self, piece, pattern, engine: str, tracer: Tracer,
+        want_witness: bool, kernel: str = "packed",
+    ) -> Tuple[bool, object]:
+        """``(hit, value)`` for a cached piece solve; always a miss when
+        cold.  On a hit the zero-cost cached leaf is charged to ``tracer``
+        (what :meth:`solve_piece` would have done)."""
+        return (False, None)
+
+    def store_piece_solution(
+        self, piece, pattern, engine: str, want_witness: bool,
+        kernel: str, value, cold_cost: Cost,
+    ) -> None:
+        """Record a worker-computed piece solution; no-op when cold."""
+
     def face_vertex(self, tracer: Tracer):
         """The bipartite face--vertex graph G' (Section 5.1)."""
         from ..planar.face_vertex import build_face_vertex_graph

@@ -28,6 +28,8 @@ __all__ = [
     "decomposition_fingerprint",
     "piece_fingerprint",
     "mask_fingerprint",
+    "pattern_fingerprint",
+    "solve_fingerprint",
 ]
 
 
@@ -120,6 +122,33 @@ def mask_fingerprint(mask) -> str:
     """Fingerprint of a boolean/integer vertex mask (the separating
     problem's marked set)."""
     return _digest(np.ascontiguousarray(mask).tobytes())
+
+
+def pattern_fingerprint(pattern) -> str:
+    """Fingerprint of a pattern H — its graph content (the precomputed
+    neighbor caches are derived, so they never enter the key)."""
+    return graph_fingerprint(pattern.graph)
+
+
+def solve_fingerprint(
+    piece, pattern, engine: str, kernel: str, want: str
+) -> str:
+    """Fingerprint of one piece-solve task: everything the pure task
+    function's output depends on (piece content, pattern content and the
+    engine/kernel/output-mode flags).
+
+    Content-only by construction — no ``id()``, no process-local state —
+    so two processes (or two machines) fingerprint the same task
+    identically; ``tests/exec/test_fingerprints.py`` checks this across
+    interpreter boundaries and hash seeds.
+    """
+    return _digest(
+        piece_fingerprint(piece).encode(),
+        pattern_fingerprint(pattern).encode(),
+        engine.encode(),
+        kernel.encode(),
+        want.encode(),
+    )
 
 
 Key = Tuple  # cache keys are plain tuples: (kind, target_fp, *specifics)

@@ -352,11 +352,10 @@ class TargetSession(ColdArtifacts):
         self._store("window", key, nice, td_cost + nice_cost)
         return nice
 
-    def solve_piece(
-        self, piece, pattern, engine: str, tracer: Tracer,
-        want_witness: bool, kernel: str = "packed",
-    ):
-        key = (
+    def _piece_key(
+        self, piece, pattern, engine: str, want_witness: bool, kernel: str
+    ) -> tuple:
+        return (
             "piece-dp",
             self.target_key,
             piece_fingerprint(piece),
@@ -365,9 +364,16 @@ class TargetSession(ColdArtifacts):
             kernel,
             bool(want_witness),
         )
-        entry = self._cache.get(key)
-        if entry is not None:
-            return self._hit("piece-dp", entry, tracer)
+
+    def solve_piece(
+        self, piece, pattern, engine: str, tracer: Tracer,
+        want_witness: bool, kernel: str = "packed",
+    ):
+        hit, value = self.piece_solution_cached(
+            piece, pattern, engine, tracer, want_witness, kernel
+        )
+        if hit:
+            return value
         # The stored cold cost must equal what a one-shot driver charges for
         # this piece: the charged delta on the branch tracer *plus* whatever
         # nested artifacts (the nice decomposition) were themselves served
@@ -380,8 +386,28 @@ class TargetSession(ColdArtifacts):
         after = tracer.cost
         _, nested_saved = self.amortization_since(mark)
         charged = Cost(after.work - before.work, after.depth - before.depth)
-        self._store("piece-dp", key, witness, charged + nested_saved)
+        self.store_piece_solution(
+            piece, pattern, engine, want_witness, kernel, witness,
+            charged + nested_saved,
+        )
         return witness
+
+    def piece_solution_cached(
+        self, piece, pattern, engine: str, tracer: Tracer,
+        want_witness: bool, kernel: str = "packed",
+    ):
+        key = self._piece_key(piece, pattern, engine, want_witness, kernel)
+        entry = self._cache.get(key)
+        if entry is not None:
+            return (True, self._hit("piece-dp", entry, tracer))
+        return (False, None)
+
+    def store_piece_solution(
+        self, piece, pattern, engine: str, want_witness: bool,
+        kernel: str, value, cold_cost: Cost,
+    ) -> None:
+        key = self._piece_key(piece, pattern, engine, want_witness, kernel)
+        self._store("piece-dp", key, value, cold_cost)
 
     def face_vertex(self, tracer: Tracer):
         key = ("face-vertex", self.target_key)
@@ -450,12 +476,12 @@ class TargetSession(ColdArtifacts):
             **kwargs,
         )
 
-    def count_exact(self, pattern):
+    def count_exact(self, pattern, **kwargs):
         """Session-backed :func:`~repro.isomorphism.counting.count_occurrences_exact`."""
         from ..isomorphism.counting import count_occurrences_exact
 
         return count_occurrences_exact(
-            self.graph, self.embedding, pattern, artifacts=self
+            self.graph, self.embedding, pattern, artifacts=self, **kwargs
         )
 
     def decide_separating(self, marked, pattern, seed: int = 0, **kwargs):

@@ -1,0 +1,59 @@
+"""Execution backends: run the piece-parallel driver phases for real.
+
+The PRAM tracer *simulates* the paper's parallelism (span trees, HLF
+schedules); this package *executes* it — the piece solves the drivers
+declare as parallel branches become pure, picklable tasks
+(:mod:`repro.exec.task`) dispatched to a pluggable backend
+(:mod:`repro.exec.backends`): ``serial`` (default, the inline loop),
+``threads``, or ``processes`` (zero-copy shared-memory array transport).
+Results and charged cost traces are byte-identical across backends; only
+wall-clock changes.  See DESIGN.md, *Execution backends*.
+"""
+
+from .backends import (
+    BACKENDS,
+    ExecStats,
+    ExecutionBackend,
+    ParallelSanitizeWarning,
+    ProcessesBackend,
+    SerialBackend,
+    ThreadsBackend,
+    backend_scope,
+    resolve_backend,
+)
+from .dispatch import (
+    PieceDispatch,
+    collect_into,
+    fold_overflow_events,
+    merge_worker_trace,
+)
+from .task import (
+    OverflowCollector,
+    PieceTask,
+    PieceTaskResult,
+    make_piece_task,
+    make_window_task,
+    run_piece_task,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecStats",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadsBackend",
+    "ProcessesBackend",
+    "ParallelSanitizeWarning",
+    "resolve_backend",
+    "backend_scope",
+    "PieceDispatch",
+    "collect_into",
+    "fold_overflow_events",
+    "merge_worker_trace",
+    "OverflowCollector",
+    "PieceTask",
+    "PieceTaskResult",
+    "make_piece_task",
+    "make_window_task",
+    "run_piece_task",
+]

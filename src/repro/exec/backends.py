@@ -1,0 +1,352 @@
+"""Pluggable execution backends for the piece-parallel driver phases.
+
+Three backends run the pure :func:`~repro.exec.task.run_piece_task` unit:
+
+``serial``
+    The default; the drivers keep their existing inline loop (no task
+    objects, no copies).  Byte-for-byte the pre-backend behavior.
+
+``threads``
+    A thread pool.  The GIL serializes the Python DP, so this is a
+    *validation* backend (it exercises the full task path with zero
+    process machinery) and a real one only for kernels that release the
+    GIL.
+
+``processes``
+    A process pool (fork start method where available) with zero-copy
+    array shipping over ``multiprocessing.shared_memory`` — the backend
+    that turns the simulated piece parallelism into wall-clock speedup
+    (``benchmarks/bench_multicore.py``).  Set ``REPRO_EXEC_TRANSPORT=
+    pickle`` to force the pickle path (or it engages automatically where
+    POSIX shared memory is unavailable).
+
+Every backend yields **identical results and identical charged traces**:
+the workers record their span subtrees and the dispatcher
+(:mod:`repro.exec.dispatch`) merges them back into the parent tracer, so
+``result.cost`` and ``trace.to_dict()`` do not depend on the backend
+(equality-tested in ``tests/exec/test_backends.py`` and in CI).
+
+Sanitizer policy (DESIGN.md): the CREW/EREW write-race sanitizer keeps its
+shadow state in the parent process, so under a non-serial backend it
+*degrades to per-worker sanitizing* — each worker still sanitizes its own
+DP-internal parallel regions (the env var is inherited), but cross-piece
+disjointness is only checked at the parent's region level.  The first
+non-serial run under an active sanitizer warns once per backend instance
+(:class:`ParallelSanitizeWarning`); set ``REPRO_SANITIZE_PARALLEL=forbid``
+to make it a hard error instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..pram import sanitize
+from .task import PieceTask, PieceTaskResult, run_piece_task
+
+__all__ = [
+    "ExecStats",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadsBackend",
+    "ProcessesBackend",
+    "ParallelSanitizeWarning",
+    "resolve_backend",
+    "backend_scope",
+    "BACKENDS",
+]
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+class ParallelSanitizeWarning(RuntimeWarning):
+    """A write-race sanitizer is active under a non-serial backend; the
+    check degrades to per-worker sanitizing (see module docstring)."""
+
+
+@dataclass
+class ExecStats:
+    """Observed execution statistics of one backend instance."""
+
+    tasks: int = 0
+    bytes_shipped: int = 0
+    task_wall_s: float = 0.0  # summed worker-side wall-clock
+    phase_wall_s: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "bytes_shipped": self.bytes_shipped,
+            "task_wall_s": self.task_wall_s,
+            "phase_wall_s": dict(self.phase_wall_s),
+        }
+
+
+class _Handle:
+    """Uniform future-like handle; ``result()`` blocks and cleans up."""
+
+    __slots__ = ("_future", "_value", "_cleanup", "_account")
+
+    def __init__(self, future=None, value=None, cleanup=None, account=None):
+        self._future = future
+        self._value = value
+        self._cleanup = cleanup
+        self._account = account
+
+    def result(self) -> PieceTaskResult:
+        try:
+            if self._future is not None:
+                self._value = self._future.result()
+                self._future = None
+                if self._account is not None:
+                    self._account(self._value)
+                    self._account = None
+            return self._value
+        finally:
+            if self._cleanup is not None:
+                cleanup, self._cleanup = self._cleanup, None
+                cleanup()
+
+
+class ExecutionBackend:
+    """Common submit/stats/sanitizer surface; see subclasses."""
+
+    name = "abstract"
+    serial = False
+
+    def __init__(self) -> None:
+        self.stats = ExecStats()
+        self._sanitize_checked = False
+
+    # -- task execution ----------------------------------------------------
+
+    def submit(self, task: PieceTask) -> _Handle:
+        raise NotImplementedError
+
+    def _account(self, task: PieceTask) -> None:
+        self.stats.tasks += 1
+        self.stats.bytes_shipped += task.nbytes
+
+    def _account_result(self, result: PieceTaskResult) -> PieceTaskResult:
+        self.stats.task_wall_s += result.wall_s
+        return result
+
+    @contextmanager
+    def phase(self, name: str):
+        """Wall-clock a driver phase (accumulated per name)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stats.phase_wall_s[name] = self.stats.phase_wall_s.get(
+                name, 0.0
+            ) + (time.perf_counter() - t0)
+
+    # -- sanitizer policy --------------------------------------------------
+
+    def check_sanitizer(self) -> None:
+        """Enforce the parallel-sanitizer policy (module docstring)."""
+        if self.serial or self._sanitize_checked:
+            return
+        self._sanitize_checked = True
+        mode = sanitize.active_mode()
+        if mode == sanitize.OFF:
+            return
+        policy = os.environ.get("REPRO_SANITIZE_PARALLEL", "degrade")
+        if policy == "forbid":
+            raise RuntimeError(
+                f"REPRO_SANITIZE={mode} with backend={self.name!r}: the "
+                "write-race sanitizer's shadow state is per-process, and "
+                "REPRO_SANITIZE_PARALLEL=forbid disallows degraded "
+                "per-worker sanitizing; use backend='serial' (or unset "
+                "REPRO_SANITIZE_PARALLEL to accept degraded checking)"
+            )
+        warnings.warn(
+            ParallelSanitizeWarning(
+                f"REPRO_SANITIZE={mode} with backend={self.name!r}: "
+                "degrading to per-worker sanitizing — each worker checks "
+                "its own DP-internal regions, cross-piece disjointness is "
+                "checked at the parent region only (set "
+                "REPRO_SANITIZE_PARALLEL=forbid to make this an error)"
+            ),
+            stacklevel=3,
+        )
+
+    def close(self) -> None:
+        """Release pools/segments; the backend is reusable until closed."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Run tasks inline (drivers normally bypass tasks entirely when
+    ``backend.serial``; submitting still works, for the equality tests)."""
+
+    name = "serial"
+    serial = True
+
+    def submit(self, task: PieceTask) -> _Handle:
+        self._account(task)
+        return _Handle(value=self._account_result(run_piece_task(task)))
+
+
+class ThreadsBackend(ExecutionBackend):
+    """Thread-pool backend (GIL-bound for the Python DP; see module
+    docstring)."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.max_workers = int(max_workers or (os.cpu_count() or 1))
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-exec"
+        )
+
+    def submit(self, task: PieceTask) -> _Handle:
+        self._account(task)
+        future = self._pool.submit(self._run, task)
+        return _Handle(future=future)
+
+    def _run(self, task: PieceTask) -> PieceTaskResult:
+        return self._account_result(run_piece_task(task))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def _run_task_shm(
+    task: PieceTask, descriptor, unregister: bool = False
+) -> PieceTaskResult:
+    """Worker entry for the shared-memory transport (module-level so it
+    pickles by reference)."""
+    from .shm import release_attached, unpack_arrays
+
+    seg, arrays = unpack_arrays(descriptor)
+    try:
+        return run_piece_task(task, arrays)
+    finally:
+        del arrays
+        release_attached(seg, unregister=unregister)
+
+
+class ProcessesBackend(ExecutionBackend):
+    """Process-pool backend with shared-memory array transport."""
+
+    name = "processes"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        transport: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self.max_workers = int(max_workers or (os.cpu_count() or 1))
+        if transport is None:
+            transport = os.environ.get("REPRO_EXEC_TRANSPORT", "shm")
+        if transport not in ("shm", "pickle"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if transport == "shm":
+            from .shm import shm_available
+
+            if not shm_available():
+                transport = "pickle"
+        self.transport = transport
+        self._pool = None
+        self._start_method = "fork"
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            # Fork (where available) shares the imported library pages and
+            # skips re-import cost per worker; tasks are self-contained, so
+            # spawn works too (Windows/macOS defaults).
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                ctx = multiprocessing.get_context()
+            self._start_method = ctx.get_start_method()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=ctx
+            )
+        return self._pool
+
+    def submit(self, task: PieceTask) -> _Handle:
+        self._account(task)
+        pool = self._ensure_pool()
+        if self.transport == "shm":
+            from .shm import destroy_segment, pack_arrays
+
+            husk, arrays = task.detach_arrays()
+            seg, descriptor = pack_arrays(arrays)
+            future = pool.submit(
+                _run_task_shm, husk, descriptor,
+                self._start_method != "fork",
+            )
+            # The parent owns the segment; unlink once the result (and
+            # hence the worker's detach) is in.
+            return _Handle(
+                future=future,
+                cleanup=lambda: destroy_segment(seg),
+                account=self._account_result,
+            )
+        future = pool.submit(run_piece_task, task)
+        return _Handle(future=future, account=self._account_result)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def resolve_backend(
+    spec, max_workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Turn a backend spec into an instance.
+
+    ``spec`` may already be an :class:`ExecutionBackend` (returned as-is;
+    ``max_workers`` must then be None — the instance carries its own), or
+    one of the strings ``"serial"`` / ``"threads"`` / ``"processes"``.
+    """
+    if isinstance(spec, ExecutionBackend):
+        if max_workers is not None:
+            raise ValueError(
+                "max_workers only applies to string backend specs; the "
+                "instance already carries its worker count"
+            )
+        return spec
+    if spec == "serial" or spec is None:
+        return SerialBackend()
+    if spec == "threads":
+        return ThreadsBackend(max_workers=max_workers)
+    if spec == "processes":
+        return ProcessesBackend(max_workers=max_workers)
+    raise ValueError(
+        f"unknown backend {spec!r} (expected one of {BACKENDS} or an "
+        "ExecutionBackend instance)"
+    )
+
+
+@contextmanager
+def backend_scope(spec, max_workers: Optional[int] = None):
+    """Resolve ``spec``; close the backend on exit only if created here
+    (caller-owned instances stay open for reuse across queries)."""
+    owned = not isinstance(spec, ExecutionBackend)
+    backend = resolve_backend(spec, max_workers=max_workers)
+    try:
+        yield backend
+    finally:
+        if owned:
+            backend.close()

@@ -1,0 +1,114 @@
+"""Dispatch/collect plumbing between the drivers and the backends.
+
+The drivers' non-serial path splits each round's piece loop in two:
+
+1. **dispatch** — per piece, open a *detached* branch :class:`Tracer`
+   (named exactly like the inline ``region.branch`` arm), do any
+   parent-side provider work (cache lookups; a session's nice
+   decomposition, so ``nice-cached`` leaves keep landing in the branch),
+   build the pure task and submit it;
+2. **collect** — in the original piece order, merge the worker-recorded
+   subtree into the branch tracer (:func:`merge_worker_trace`), re-emit
+   collected overflow warnings deduplicated against the provider's scope,
+   then attach the branch to the parallel region.
+
+Because attachment happens in piece order and the merge reproduces the
+worker's children, self-charges and counters verbatim, the resulting span
+tree — and therefore every charged ``Cost`` total — is byte-identical to
+the serial inline loop (``tests/exec/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+from ..pram import Cost, Tracer
+from ..pram.trace import span_from_dict
+from .backends import ExecutionBackend
+from .task import PieceTaskResult
+
+__all__ = [
+    "PieceDispatch",
+    "merge_worker_trace",
+    "fold_overflow_events",
+    "collect_into",
+]
+
+
+@dataclass
+class PieceDispatch:
+    """One in-flight piece: its branch tracer + result plumbing.
+
+    ``value`` is pre-filled (and ``handle`` None) when the piece never
+    went to a worker — a session cache hit, whose zero-cost leaf was
+    already charged to ``tracer`` at dispatch time.  ``nested_saved`` is
+    the provider-reported saved cost of artifacts served from cache while
+    *dispatching* this piece (the session's nice decomposition); it is
+    captured at dispatch time because other pieces' hits interleave before
+    collection.
+    """
+
+    piece: object
+    tracer: Tracer
+    handle: Optional[object] = None
+    value: object = None
+    result: Optional[PieceTaskResult] = None
+    nested_saved: Cost = Cost.zero()
+
+
+def merge_worker_trace(tracer: Tracer, trace: dict) -> None:
+    """Fold a worker-recorded root span (as a dict) into ``tracer``.
+
+    The worker's root *is* the branch span (same name), so its children
+    are re-attached in order, its direct self-charges folded as one
+    anonymous charge and its counters re-counted — sequential composition
+    makes the totals order-independent, so the merged branch is
+    indistinguishable from having recorded the charges inline.
+    """
+    root = span_from_dict(trace)
+    for child in root.children:
+        tracer.attach(child)
+    if root.self_work or root.self_depth:
+        tracer.charge(Cost(root.self_work, root.self_depth))
+    if root.counters:
+        tracer.count(**root.counters)
+
+
+def fold_overflow_events(provider, result: PieceTaskResult) -> None:
+    """Re-emit worker-collected ``PackedOverflowWarning`` events.
+
+    Deduplicated against the provider's ``overflow_warned`` scope — the
+    same once-per-kind-per-scope policy the inline path applies via
+    ``overflow_warning_scope`` (the counter already rode the merged trace,
+    so dedup never rounds accounting down).
+    """
+    from ..isomorphism.packed import PackedOverflowWarning
+
+    for kind, message in result.overflow_events:
+        if kind in provider.overflow_warned:
+            continue
+        provider.overflow_warned.add(kind)
+        warning = PackedOverflowWarning(message)
+        warning.kind = kind
+        warnings.warn(warning, stacklevel=3)
+
+
+def collect_into(
+    dispatch: PieceDispatch, provider, backend: ExecutionBackend
+) -> Optional[PieceTaskResult]:
+    """Resolve one dispatch: wait, merge trace, fold warnings.
+
+    Returns the task result, or None for pre-resolved (cache-hit)
+    dispatches.  After this call ``dispatch.tracer.root`` is final and
+    ready for ``region.attach``.
+    """
+    if dispatch.handle is None:
+        return None
+    result: PieceTaskResult = dispatch.handle.result()
+    dispatch.handle = None
+    dispatch.result = result
+    merge_worker_trace(dispatch.tracer, result.trace)
+    fold_overflow_events(provider, result)
+    return result

@@ -1,0 +1,164 @@
+"""Shared-memory transport for task array payloads.
+
+The processes backend ships each task's NumPy arrays (piece CSR, nice/
+decomposition arrays, pattern edges, masks) through one
+``multiprocessing.shared_memory`` segment instead of pickling their bytes:
+the parent packs every array back-to-back into a single block, the worker
+maps the block and reconstructs zero-copy views, computes, and drops the
+mapping — only scalars, the fingerprint and the array *specs* travel
+through the pickle channel.
+
+Lifetime protocol: the parent creates and eventually unlinks each segment
+(after the task result is collected, or at backend close); the worker only
+attaches and closes.  Workers unregister their attachment from the
+``resource_tracker`` because the parent owns unlinking — otherwise every
+worker's tracker would report the parent's segments as leaked at exit.
+"""
+
+from __future__ import annotations
+
+import gc
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["ShmArrays", "pack_arrays", "unpack_arrays", "shm_available"]
+
+_ALIGN = 64  # cache-line align every array start
+
+
+def _shared_memory():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory can actually be created here (some
+    sandboxes mount no /dev/shm); probed once per process."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            seg = _shared_memory().SharedMemory(create=True, size=16)
+            seg.close()
+            seg.unlink()
+            _AVAILABLE = True
+        except (OSError, ImportError):
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+_AVAILABLE = None
+
+
+@dataclass(frozen=True)
+class ShmArrays:
+    """Picklable descriptor of arrays packed into one shared segment.
+
+    ``specs`` maps each array name to ``(dtype_str, shape, offset)`` inside
+    the segment called ``name``.
+    """
+
+    name: str
+    size: int
+    specs: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+
+    @property
+    def nbytes(self) -> int:
+        return self.size
+
+
+def pack_arrays(arrays: Dict[str, np.ndarray]):
+    """Pack ``arrays`` into one new shared-memory segment.
+
+    Returns ``(segment, descriptor)``; the caller owns the segment (close
+    + unlink when the consumer is done).  Zero-length arrays are carried
+    in the descriptor alone (no bytes in the segment).
+    """
+    shared_memory = _shared_memory()
+    offset = 0
+    layout: List[Tuple[str, np.ndarray, int]] = []
+    for key, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        if arr.nbytes:
+            offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+            layout.append((key, arr, offset))
+            offset += arr.nbytes
+        else:
+            layout.append((key, arr, 0))
+    seg = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    specs = []
+    for key, arr, off in layout:
+        if arr.nbytes:
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf, offset=off)
+            view[...] = arr
+        specs.append((key, arr.dtype.str, tuple(arr.shape), off))
+    return seg, ShmArrays(name=seg.name, size=seg.size, specs=tuple(specs))
+
+
+def unpack_arrays(descriptor: ShmArrays):
+    """Attach to a packed segment; returns ``(segment, {name: view})``.
+
+    The views are zero-copy windows into the mapping — the caller must
+    drop every view (and anything built over them) before closing the
+    segment via :func:`release_attached`.
+    """
+    shared_memory = _shared_memory()
+    seg = shared_memory.SharedMemory(name=descriptor.name)
+    out: Dict[str, np.ndarray] = {}
+    for key, dtype_str, shape, off in descriptor.specs:
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape)) if shape else 1
+        if count * dtype.itemsize == 0:
+            out[key] = np.zeros(shape, dtype=dtype)
+        else:
+            out[key] = np.ndarray(shape, dtype=dtype, buffer=seg.buf, offset=off)
+    return seg, out
+
+
+def release_attached(seg, unregister: bool = False) -> None:
+    """Close a worker-side attachment opened by :func:`unpack_arrays`.
+
+    The parent owns the segment's lifetime.  Pass ``unregister=True``
+    under a *spawn* start method, where the worker has its own resource
+    tracker that would otherwise warn about a "leak" the parent cleans
+    up; under *fork* the tracker process is shared with the parent, whose
+    own registration must stay until the parent unlinks.  Closing can
+    raise ``BufferError`` while views are still referenced somewhere
+    (e.g. a reference cycle awaiting collection); one GC pass usually
+    clears it, and a still-failing close is abandoned — the mapping is
+    reclaimed at worker exit and the parent's unlink frees the segment
+    either way.
+    """
+    if unregister:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+    try:
+        seg.close()
+    except BufferError:
+        gc.collect()
+        try:
+            seg.close()
+        except BufferError:
+            pass
+
+
+def destroy_segment(seg) -> None:
+    """Parent-side close + unlink (idempotent)."""
+    try:
+        seg.close()
+    except BufferError:
+        gc.collect()
+        try:
+            seg.close()
+        except BufferError:
+            pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass

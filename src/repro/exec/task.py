@@ -1,0 +1,458 @@
+"""Pure piece-solve tasks: the unit of work the execution backends run.
+
+The tentpole contract (DESIGN.md, *Execution backends*): solving one cover
+piece is a **pure function** of packed arrays — piece CSR + decomposition
+arrays + pattern arrays in, packed results + a recorded trace subtree +
+counters out.  A :class:`PieceTask` carries nothing but plain scalars,
+strings and NumPy arrays (no ``Tracer``, no provider, no live graph
+objects), so it pickles across process boundaries and ships its arrays
+through shared memory unchanged.  :func:`run_piece_task` is a module-level
+function (picklable by reference) that reconstructs the graph/pattern/
+decomposition from the arrays, runs the same DP code path the inline
+drivers run, and returns a :class:`PieceTaskResult` whose ``trace`` is the
+worker-recorded span subtree — the parent merges it back so charged
+``Cost`` totals stay byte-identical with the serial backend.
+
+Determinism: every task embeds a content-derived ``seed``
+(:func:`repro.engine.keys.solve_fingerprint` prefix), so any randomized
+kernel a task may ever grow draws from a per-piece stream fixed by content
+— never by submission order or worker identity.  The current DP kernels
+are deterministic; the seed pins the contract regardless.
+
+Overflow accounting across process boundaries: ``overflow_warning_scope``
+is a :class:`~contextvars.ContextVar` scope that cannot propagate into a
+worker, so each task installs its own :class:`OverflowCollector` — a scope
+whose ``emit`` hook *records* ``PackedOverflowWarning`` events instead of
+raising them.  The events travel back in the result and the parent
+re-emits them deduplicated against the provider's session-wide
+``overflow_warned`` set; the exact ``packed_overflow_fallbacks`` counter
+rides the merged trace counters (warning dedup never rounds it down).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PieceTask",
+    "PieceTaskResult",
+    "OverflowCollector",
+    "run_piece_task",
+    "nice_to_arrays",
+    "nice_from_arrays",
+    "decomposition_to_arrays",
+    "decomposition_from_arrays",
+]
+
+# Stable numeric codes for nice-node kinds (shared-memory transport of the
+# ``kinds`` string list).
+_KIND_CODES = {"leaf": 0, "introduce": 1, "forget": 2, "join": 3}
+_KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+class OverflowCollector(set):
+    """An ``overflow_warning_scope`` target that records instead of warns.
+
+    ``packed_ops_for`` calls ``scope.emit(warning)`` when the active scope
+    has one — inside a worker there is no parent warning machinery (and
+    ``warnings.catch_warnings`` is not thread-safe under the threads
+    backend), so events are collected as ``(kind, message)`` pairs and
+    re-emitted by the parent, deduplicated per provider.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[Tuple[str, str]] = []
+
+    def emit(self, warning: Warning) -> None:
+        self.events.append(
+            (getattr(warning, "kind", type(warning).__name__), str(warning))
+        )
+
+
+def _pack_ragged(rows) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate a list of 1-d int64 arrays into (values, indptr)."""
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    for i, row in enumerate(rows):
+        indptr[i + 1] = indptr[i] + len(row)
+    if len(rows):
+        values = np.concatenate(
+            [np.asarray(r, dtype=np.int64) for r in rows]
+        ) if indptr[-1] else np.zeros(0, dtype=np.int64)
+    else:
+        values = np.zeros(0, dtype=np.int64)
+    return values, indptr
+
+
+def _unpack_ragged(values: np.ndarray, indptr: np.ndarray) -> List[np.ndarray]:
+    return [
+        np.asarray(values[indptr[i] : indptr[i + 1]], dtype=np.int64)
+        for i in range(len(indptr) - 1)
+    ]
+
+
+def nice_to_arrays(nice) -> Dict[str, np.ndarray]:
+    """Stable array form of a :class:`~repro.treedecomp.nice.NiceDecomposition`
+    (everything but ``root``, which rides the task as a scalar)."""
+    bag_values, bag_indptr = _pack_ragged(nice.bags)
+    return {
+        "nice_kinds": np.array(
+            [_KIND_CODES[k] for k in nice.kinds], dtype=np.int8
+        ),
+        "nice_vertex": np.asarray(nice.vertex, dtype=np.int64),
+        "nice_parent": np.asarray(nice.parent, dtype=np.int64),
+        "nice_bag_values": bag_values,
+        "nice_bag_indptr": bag_indptr,
+    }
+
+
+def nice_from_arrays(arrays: Dict[str, np.ndarray], root: int):
+    """Inverse of :func:`nice_to_arrays`."""
+    from ..treedecomp.nice import NiceDecomposition
+
+    return NiceDecomposition(
+        kinds=[_KIND_NAMES[int(c)] for c in arrays["nice_kinds"]],
+        vertex=np.asarray(arrays["nice_vertex"], dtype=np.int64),
+        bags=_unpack_ragged(
+            arrays["nice_bag_values"], arrays["nice_bag_indptr"]
+        ),
+        parent=np.asarray(arrays["nice_parent"], dtype=np.int64),
+        root=int(root),
+    )
+
+
+def decomposition_to_arrays(decomposition) -> Dict[str, np.ndarray]:
+    """Stable array form of a raw (pre-nice) tree decomposition."""
+    bag_values, bag_indptr = _pack_ragged(decomposition.bags)
+    return {
+        "decomp_parent": np.asarray(decomposition.parent, dtype=np.int64),
+        "decomp_bag_values": bag_values,
+        "decomp_bag_indptr": bag_indptr,
+    }
+
+
+def decomposition_from_arrays(arrays: Dict[str, np.ndarray], root: int):
+    """Inverse of :func:`decomposition_to_arrays`."""
+    from ..treedecomp.decomposition import TreeDecomposition
+
+    return TreeDecomposition(
+        bags=_unpack_ragged(
+            arrays["decomp_bag_values"], arrays["decomp_bag_indptr"]
+        ),
+        parent=np.asarray(arrays["decomp_parent"], dtype=np.int64),
+        root=int(root),
+    )
+
+
+@dataclass
+class PieceTask:
+    """One piece-solve, fully described by content (see module docstring).
+
+    ``want`` selects the output mode: ``"decide"`` (found marker),
+    ``"witness"`` (one local witness), ``"witnesses"`` (every witness,
+    mapped through ``originals`` — the listing driver), ``"count"`` (exact
+    multiplicity count — the deterministic counting driver's windows).
+    ``space`` is ``"subgraph"`` or ``"separating"``; ``prep`` says how much
+    decomposition work the worker owes: ``"none"`` (a nice decomposition is
+    shipped — the session served or built it parent-side), ``"nice"`` (the
+    raw piece decomposition is shipped; the worker binarizes + nices it,
+    charging the same cost the cold inline path charges), ``"window"``
+    (only the graph is shipped; the worker runs min-fill + nice — the
+    counting driver's cold path).
+    """
+
+    fingerprint: str
+    want: str  # "decide" | "witness" | "witnesses" | "count"
+    space: str  # "subgraph" | "separating"
+    engine: str  # "parallel" | "sequential"
+    kernel: str  # "packed" | "reference"
+    prep: str  # "none" | "nice" | "window"
+    span_name: str  # "dp-solve" | "window-count"
+    graph_n: int
+    k: int
+    seed: int = 0
+    nice_root: int = -1
+    decomp_root: int = -1
+    pattern_classes: Optional[Tuple[Optional[int], ...]] = None
+    arrays: Optional[Dict[str, np.ndarray]] = field(default=None, repr=False)
+
+    def detach_arrays(self) -> Tuple["PieceTask", Dict[str, np.ndarray]]:
+        """Split off the array payload (shared-memory transport ships the
+        arrays out of band and pickles only the scalar husk)."""
+        assert self.arrays is not None
+        return replace(self, arrays=None), self.arrays
+
+    @property
+    def nbytes(self) -> int:
+        """Array payload size (backend ``bytes_shipped`` accounting)."""
+        if self.arrays is None:
+            return 0
+        return sum(int(a.nbytes) for a in self.arrays.values())
+
+
+@dataclass
+class PieceTaskResult:
+    """What a worker sends back: packed outputs + the recorded subtree.
+
+    ``witness`` uses the piece-local vertex ids for the decide/witness
+    paths (the parent maps through ``piece.originals``, exactly as the
+    inline driver does); the listing path's ``witnesses`` are already
+    mapped (the worker holds ``originals`` for that purpose, matching the
+    inline ``_piece_witnesses`` generator).  ``trace`` is the worker root
+    span as a plain dict (``Span.to_dict``); ``overflow_events`` the
+    collected ``PackedOverflowWarning`` occurrences (kind, message).
+    """
+
+    fingerprint: str
+    found: bool
+    witness: Optional[Dict[int, int]]
+    witnesses: Tuple[Tuple[Tuple[int, int], ...], ...]
+    accepting_count: int
+    trace: dict
+    overflow_events: Tuple[Tuple[str, str], ...]
+    wall_s: float
+
+
+def _task_seed(fingerprint: str) -> int:
+    """Deterministic per-piece seed: a content-fingerprint prefix."""
+    return int(fingerprint[:12], 16)
+
+
+def make_piece_task(
+    piece,
+    pattern,
+    want: str,
+    space: str,
+    engine: str,
+    kernel: str,
+    nice=None,
+    include_originals: bool = False,
+    pattern_classes=None,
+    host_classes: Optional[np.ndarray] = None,
+) -> PieceTask:
+    """Build the task for one cover piece (decide / witness / listing).
+
+    When ``nice`` is given the task ships it (``prep="none"``); otherwise
+    the raw ``piece.decomposition`` is shipped and the worker runs the
+    binarize + nice conversion itself (``prep="nice"``), charging it to
+    the worker trace exactly where the inline cold path charges it.
+    """
+    from ..engine.keys import solve_fingerprint
+
+    graph = piece.graph
+    arrays: Dict[str, np.ndarray] = {
+        "graph_indptr": np.asarray(graph.indptr, dtype=np.int64),
+        "graph_indices": np.asarray(graph.indices, dtype=np.int64),
+        "pattern_edges": np.asarray(pattern.graph.edges(), dtype=np.int64),
+    }
+    nice_root = -1
+    decomp_root = -1
+    if nice is not None:
+        arrays.update(nice_to_arrays(nice))
+        nice_root = int(nice.root)
+        prep = "none"
+    else:
+        arrays.update(decomposition_to_arrays(piece.decomposition))
+        decomp_root = int(piece.decomposition.root)
+        prep = "nice"
+    if include_originals:
+        arrays["originals"] = np.asarray(piece.originals, dtype=np.int64)
+    if space == "separating":
+        arrays["marked"] = np.asarray(piece.marked)
+        arrays["allowed"] = np.asarray(piece.allowed)
+        if host_classes is not None:
+            arrays["host_classes"] = np.asarray(host_classes, dtype=np.int64)
+    fingerprint = solve_fingerprint(piece, pattern, engine, kernel, want)
+    return PieceTask(
+        fingerprint=fingerprint,
+        want=want,
+        space=space,
+        engine=engine,
+        kernel=kernel,
+        prep=prep,
+        span_name="dp-solve",
+        graph_n=int(graph.n),
+        k=int(pattern.k),
+        seed=_task_seed(fingerprint),
+        nice_root=nice_root,
+        decomp_root=decomp_root,
+        pattern_classes=(
+            tuple(pattern_classes) if pattern_classes is not None else None
+        ),
+        arrays=arrays,
+    )
+
+
+def make_window_task(subgraph, pattern, nice=None) -> PieceTask:
+    """Build the task for one deterministic-count window.
+
+    Cold path ships only the window subgraph (``prep="window"``; the worker
+    runs min-fill + nice, charging both); a session that already holds the
+    window decomposition ships it (``prep="none"``).
+    """
+    from ..engine.keys import graph_fingerprint, pattern_fingerprint, _digest
+
+    arrays: Dict[str, np.ndarray] = {
+        "graph_indptr": np.asarray(subgraph.indptr, dtype=np.int64),
+        "graph_indices": np.asarray(subgraph.indices, dtype=np.int64),
+        "pattern_edges": np.asarray(pattern.graph.edges(), dtype=np.int64),
+    }
+    nice_root = -1
+    if nice is not None:
+        arrays.update(nice_to_arrays(nice))
+        nice_root = int(nice.root)
+        prep = "none"
+    else:
+        prep = "window"
+    fingerprint = _digest(
+        graph_fingerprint(subgraph).encode(),
+        pattern_fingerprint(pattern).encode(),
+        b"count",
+    )
+    return PieceTask(
+        fingerprint=fingerprint,
+        want="count",
+        space="subgraph",
+        engine="sequential",
+        kernel="packed",
+        prep=prep,
+        span_name="window-count",
+        graph_n=int(subgraph.n),
+        k=int(pattern.k),
+        seed=_task_seed(fingerprint),
+        nice_root=nice_root,
+        arrays=arrays,
+    )
+
+
+def run_piece_task(
+    task: PieceTask, arrays: Optional[Dict[str, np.ndarray]] = None
+) -> PieceTaskResult:
+    """Execute one task; pure (everything it reads rides in ``task``).
+
+    Runs in a worker process/thread or inline (the threads backend and the
+    serial equality tests call it directly).  ``arrays`` overrides
+    ``task.arrays`` when the payload traveled out of band (shared memory).
+    """
+    from ..graphs.csr import Graph
+    from ..isomorphism.packed import overflow_warning_scope
+    from ..isomorphism.parallel_dp import parallel_dp
+    from ..isomorphism.pattern import Pattern
+    from ..isomorphism.recovery import first_witness, iter_witnesses
+    from ..isomorphism.sequential_dp import sequential_dp
+    from ..isomorphism.state_space import SubgraphStateSpace
+    from ..pram import Cost, Tracer
+
+    t0 = time.perf_counter()
+    arr = arrays if arrays is not None else task.arrays
+    if arr is None:
+        raise ValueError("task has no array payload")
+    graph = Graph.from_arrays(
+        task.graph_n, arr["graph_indptr"], arr["graph_indices"]
+    )
+    pattern = Pattern(Graph(task.k, arr["pattern_edges"].reshape(-1, 2)))
+    tracer = Tracer(task.span_name)
+    collector = OverflowCollector()
+    with overflow_warning_scope(collector):
+        # Decomposition prep, charged exactly as the inline cold path
+        # charges it (the parent charged it already when prep == "none").
+        if task.prep == "none":
+            nice = nice_from_arrays(arr, task.nice_root)
+        elif task.prep == "nice":
+            from ..treedecomp.nice import make_nice
+
+            decomposition = decomposition_from_arrays(arr, task.decomp_root)
+            nice, _ = make_nice(decomposition.binarize(), tracer=tracer)
+        elif task.prep == "window":
+            from ..treedecomp.minfill import minfill_decomposition
+            from ..treedecomp.nice import make_nice
+
+            td, _ = minfill_decomposition(graph, tracer=tracer)
+            nice, _ = make_nice(td.binarize(), tracer=tracer)
+        else:
+            raise ValueError(f"unknown prep {task.prep!r}")
+
+        if task.space == "subgraph":
+            space = SubgraphStateSpace(pattern, graph)
+        elif task.space == "separating":
+            from ..separating.state_space import SeparatingStateSpace
+
+            space = SeparatingStateSpace(
+                pattern,
+                graph,
+                arr["marked"],
+                arr["allowed"],
+                host_classes=arr.get("host_classes"),
+                pattern_classes=(
+                    list(task.pattern_classes)
+                    if task.pattern_classes is not None
+                    else None
+                ),
+            )
+        else:
+            raise ValueError(f"unknown space {task.space!r}")
+
+        if task.engine == "parallel":
+            result = parallel_dp(
+                space, nice, tracer=tracer, engine=task.kernel
+            )
+        else:
+            result = sequential_dp(
+                space, nice, tracer=tracer, engine=task.kernel
+            )
+
+        found = bool(result.found)
+        witness: Optional[Dict[int, int]] = None
+        witnesses: Tuple[Tuple[Tuple[int, int], ...], ...] = ()
+        accepting = 0
+        if task.want == "decide":
+            witness = {} if found else None
+        elif task.want == "witness":
+            if found:
+                w = first_witness(space, nice, result.valid)
+                witness = (
+                    {int(p): int(v) for p, v in w.items()}
+                    if w is not None
+                    else None
+                )
+        elif task.want == "witnesses":
+            if found:
+                originals = arr["originals"]
+                out = []
+                count = 0
+                for w in iter_witnesses(space, nice, result.valid):
+                    count += 1
+                    out.append(
+                        tuple(
+                            sorted(
+                                (int(p), int(originals[v]))
+                                for p, v in w.items()
+                            )
+                        )
+                    )
+                # Same recovery charge the inline generator records.
+                tracer.charge(
+                    Cost.step(max(count * task.k, 1)),
+                    label="recover",
+                    witnesses=count,
+                )
+                witnesses = tuple(out)
+        elif task.want == "count":
+            accepting = int(result.accepting_count)
+        else:
+            raise ValueError(f"unknown want {task.want!r}")
+
+    return PieceTaskResult(
+        fingerprint=task.fingerprint,
+        found=found,
+        witness=witness,
+        witnesses=witnesses,
+        accepting_count=accepting,
+        trace=tracer.root.to_dict(),
+        overflow_events=tuple(collector.events),
+        wall_s=time.perf_counter() - t0,
+    )

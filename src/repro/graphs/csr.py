@@ -79,6 +79,39 @@ class Graph:
     def empty(n: int) -> "Graph":
         return Graph(n, [])
 
+    # -- stable serialization ----------------------------------------------
+
+    def to_arrays(self) -> dict:
+        """Stable array form for pickling / shared-memory transport.
+
+        Returns ``{"n": int, "indptr": int64[n+1], "indices": int64[2m]}``
+        — exactly the CSR invariants :meth:`from_arrays` trusts.  The
+        arrays are the graph's own (contiguous int64 by construction); do
+        not mutate them.
+        """
+        return {"n": self.n, "indptr": self.indptr, "indices": self.indices}
+
+    @staticmethod
+    def from_arrays(n: int, indptr: np.ndarray, indices: np.ndarray) -> "Graph":
+        """Rebuild a graph from :meth:`to_arrays` output (or buffers of it).
+
+        Validates the dtypes/shapes the CSR fast path trusts, so arrays
+        that crossed a process or shared-memory boundary cannot silently
+        corrupt the adjacency: ``indptr`` must be a monotone int64 array of
+        length ``n + 1`` ending at ``len(indices)``.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.shape[0] != n + 1:
+            raise ValueError("indptr must have length n + 1")
+        if indptr[0] != 0 or int(indptr[-1]) != indices.shape[0]:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if indptr.size > 1 and np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be monotone")
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("neighbor id out of range")
+        return Graph.from_csr(n, indptr, indices)
+
     # -- basic queries -----------------------------------------------------
 
     @property

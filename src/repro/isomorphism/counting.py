@@ -31,6 +31,9 @@ from typing import Optional
 import numpy as np
 
 from ..engine.artifacts import ColdArtifacts
+from ..exec.backends import backend_scope
+from ..exec.dispatch import PieceDispatch, collect_into
+from ..exec.task import make_window_task
 from ..graphs.bfs import parallel_bfs
 from ..graphs.components import component_members, connected_components
 from ..graphs.csr import Graph
@@ -65,6 +68,7 @@ def count_occurrences_exact(
     embedding: PlanarEmbedding,
     pattern: Pattern,
     artifacts=None,
+    backend="serial",
 ) -> DeterministicCountResult:
     """Count the pattern's occurrences exactly and deterministically.
 
@@ -72,7 +76,10 @@ def count_occurrences_exact(
     per-window decompositions (they are pattern-independent, so a session
     amortizes them across patterns — and even inside one query: the nested
     window ``[i+1, max_level]`` recurs as both a minuend and a subtrahend
-    of consecutive inclusion--exclusion terms).
+    of consecutive inclusion--exclusion terms).  ``backend`` executes the
+    per-window DPs (``repro.exec``): windows dispatch per component and
+    collect in window order, so the sequential span interleaving — and
+    hence the charged trace — is byte-identical to the serial path.
     """
     if not pattern.is_connected():
         raise ValueError("exact counting needs a connected pattern")
@@ -87,38 +94,47 @@ def count_occurrences_exact(
     windows = 0
     labels, comp_count, ccost = connected_components(graph)
     tracker.charge(ccost, label="components", components=comp_count)
-    for members in component_members(labels, comp_count):
-        if members.size < k:
-            continue
-        sub_emb, originals = embedding.induced_subembedding(members)
-        sub = sub_emb.to_graph()
-        bfs, _ = parallel_bfs(sub, [0], tracer=tracker)
-        level = bfs.level
-        max_level = bfs.depth
-        for i in range(max(0, max_level - d) + 1):
-            m_i = _window_count(
-                sub_emb, sub, level, i, i + d, pattern, tracker, provider
-            )
-            k_i = _window_count(
-                sub_emb, sub, level, i + 1, i + d, pattern, tracker, provider
-            )
-            total += m_i - k_i
-            windows += 1
-        # The windows above stop once they cover the deepest level; any
-        # occurrence has min level <= max_level - ... every occurrence's
-        # min level i satisfies i <= max_level, and for
-        # i > max_level - d the nested difference is covered by the last
-        # full window's tail terms, handled by _window_count's clipping.
-        for i in range(max(0, max_level - d) + 1, max_level + 1):
-            m_i = _window_count(
-                sub_emb, sub, level, i, max_level, pattern, tracker, provider
-            )
-            k_i = _window_count(
-                sub_emb, sub, level, i + 1, max_level, pattern, tracker,
-                provider,
-            )
-            total += m_i - k_i
-            windows += 1
+    with backend_scope(backend) as executor:
+        if not executor.serial:
+            executor.check_sanitizer()
+        for members in component_members(labels, comp_count):
+            if members.size < k:
+                continue
+            sub_emb, originals = embedding.induced_subembedding(members)
+            sub = sub_emb.to_graph()
+            bfs, _ = parallel_bfs(sub, [0], tracer=tracker)
+            level = bfs.level
+            max_level = bfs.depth
+            # The inclusion--exclusion window bounds, in evaluation order:
+            # full windows [i, i+d] while they fit, then the clipped tail
+            # (any occurrence's min level i satisfies i <= max_level; for
+            # i > max_level - d the nested difference terms clip at the
+            # deepest level).  Each (m_i, k_i) pair is one logical window.
+            bounds = []
+            for i in range(max(0, max_level - d) + 1):
+                bounds.append(((i, i + d), (i + 1, i + d)))
+            for i in range(max(0, max_level - d) + 1, max_level + 1):
+                bounds.append(((i, max_level), (i + 1, max_level)))
+            if executor.serial:
+                for (lo_m, hi_m), (lo_k, hi_k) in bounds:
+                    m_i = _window_count(
+                        sub_emb, sub, level, lo_m, hi_m, pattern, tracker,
+                        provider,
+                    )
+                    k_i = _window_count(
+                        sub_emb, sub, level, lo_k, hi_k, pattern, tracker,
+                        provider,
+                    )
+                    total += m_i - k_i
+                    windows += 1
+            else:
+                flat = [b for pair in bounds for b in pair]
+                counts = _dispatch_window_counts(
+                    sub, level, pattern, flat, tracker, provider, executor
+                )
+                for j in range(0, len(flat), 2):
+                    total += counts[j] - counts[j + 1]
+                    windows += 1
     tracker.count(windows=windows)
     hits, saved = provider.amortization_since(mark)
     return DeterministicCountResult(
@@ -155,3 +171,50 @@ def _window_count(
         space = SubgraphStateSpace(pattern, sub)
         result = sequential_dp(space, nice, tracer=tracker)
     return result.accepting_count
+
+
+def _dispatch_window_counts(
+    sub: Graph,
+    level: np.ndarray,
+    pattern: Pattern,
+    bounds,
+    tracker: Tracer,
+    provider,
+    executor,
+):
+    """Backend path of :func:`_window_count` over one component's windows.
+
+    Dispatches every window's DP, then collects *in window order*,
+    attaching each worker-recorded ``window-count`` span sequentially —
+    the same span sequence the inline loop records.  Guard-rejected
+    windows (too small / too few edges) count 0 and record no span,
+    exactly like the inline early returns.
+    """
+    dispatches = []
+    for lo, hi in bounds:
+        window = np.flatnonzero((level >= lo) & (level <= hi))
+        if window.size < pattern.k:
+            dispatches.append(None)
+            continue
+        wsub, _originals = sub.induced_subgraph(window)
+        if wsub.m < pattern.graph.m:
+            dispatches.append(None)
+            continue
+        branch = Tracer("window-count")
+        disp = PieceDispatch(piece=None, tracer=branch)
+        nice = None
+        if provider.caching:
+            nice = provider.window_decomposition(wsub, branch)
+        disp.handle = executor.submit(
+            make_window_task(wsub, pattern, nice=nice)
+        )
+        dispatches.append(disp)
+    counts = []
+    for disp in dispatches:
+        if disp is None:
+            counts.append(0)
+            continue
+        result = collect_into(disp, provider, executor)
+        tracker.attach(disp.tracer.root)
+        counts.append(result.accepting_count)
+    return counts

@@ -17,6 +17,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..exec.backends import backend_scope
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
 from ..pram import Cost, ShadowArray, Tracker
@@ -45,6 +46,7 @@ def decide_disconnected(
     colorings: Optional[int] = None,
     rounds_per_component: Optional[int] = 4,
     want_witness: bool = False,
+    backend="serial",
 ) -> DisconnectedSIResult:
     """Decide (w.h.p.) occurrence of an arbitrary pattern (Lemma 4.1).
 
@@ -52,7 +54,9 @@ def decide_disconnected(
     pass a smaller number to trade confidence for work (the E7 benchmark
     sweeps this).  ``rounds_per_component`` bounds the connected driver's
     rounds inside each coloring (a small constant suffices because failures
-    are retried by the outer coloring loop).
+    are retried by the outer coloring loop).  ``backend`` is resolved once
+    here and shared by every inner connected-driver call (one pool for the
+    whole coloring loop; see :mod:`repro.exec`).
     """
     components = pattern.component_patterns()
     l = len(components)
@@ -60,7 +64,7 @@ def decide_disconnected(
     if l == 1:
         inner = decide_subgraph_isomorphism(
             graph, embedding, pattern, seed,
-            engine=engine, want_witness=want_witness,
+            engine=engine, want_witness=want_witness, backend=backend,
         )
         return DisconnectedSIResult(
             found=inner.found,
@@ -74,46 +78,52 @@ def decide_disconnected(
         )
     tracker = Tracker()
     rng = np.random.default_rng(seed)
-    for attempt in range(colorings):
-        colors = rng.integers(0, l, size=graph.n)
-        tracker.charge(Cost.step(max(graph.n, 1)))
-        witness: Dict[int, int] = {}
-        all_found = True
-        with tracker.parallel() as region:
-            component_cells = ShadowArray("component-results", l)
-            for color, (component, original_ids) in enumerate(components):
-                vertices = np.flatnonzero(colors == color)
-                if vertices.size < component.k:
-                    all_found = False
-                    break
-                sub_emb, originals = embedding.induced_subembedding(vertices)
-                with region.branch() as branch:
-                    branch.record_writes(component_cells, color)
-                    inner = decide_subgraph_isomorphism(
-                        sub_emb.to_graph(),
-                        sub_emb,
-                        component,
-                        seed=seed + 7919 * attempt + color,
-                        engine=engine,
-                        rounds=rounds_per_component,
-                        want_witness=want_witness,
+    with backend_scope(backend) as executor:
+        for attempt in range(colorings):
+            colors = rng.integers(0, l, size=graph.n)
+            tracker.charge(Cost.step(max(graph.n, 1)))
+            witness: Dict[int, int] = {}
+            all_found = True
+            with tracker.parallel() as region:
+                component_cells = ShadowArray("component-results", l)
+                for color, (component, original_ids) in enumerate(
+                    components
+                ):
+                    vertices = np.flatnonzero(colors == color)
+                    if vertices.size < component.k:
+                        all_found = False
+                        break
+                    sub_emb, originals = embedding.induced_subembedding(
+                        vertices
                     )
-                    branch.charge(inner.cost)
-                if not inner.found:
-                    all_found = False
-                    break
-                if want_witness and inner.witness is not None:
-                    for p_local, target_local in inner.witness.items():
-                        witness[int(original_ids[p_local])] = int(
-                            originals[target_local]
+                    with region.branch() as branch:
+                        branch.record_writes(component_cells, color)
+                        inner = decide_subgraph_isomorphism(
+                            sub_emb.to_graph(),
+                            sub_emb,
+                            component,
+                            seed=seed + 7919 * attempt + color,
+                            engine=engine,
+                            rounds=rounds_per_component,
+                            want_witness=want_witness,
+                            backend=executor,
                         )
-        if all_found:
-            return DisconnectedSIResult(
-                found=True,
-                witness=witness if want_witness else None,
-                colorings_used=attempt + 1,
-                cost=tracker.cost,
-            )
+                        branch.charge(inner.cost)
+                    if not inner.found:
+                        all_found = False
+                        break
+                    if want_witness and inner.witness is not None:
+                        for p_local, target_local in inner.witness.items():
+                            witness[int(original_ids[p_local])] = int(
+                                originals[target_local]
+                            )
+            if all_found:
+                return DisconnectedSIResult(
+                    found=True,
+                    witness=witness if want_witness else None,
+                    colorings_used=attempt + 1,
+                    cost=tracker.cost,
+                )
     return DisconnectedSIResult(
         found=False,
         witness=None,

@@ -15,6 +15,9 @@ from dataclasses import dataclass
 from typing import Optional, Set, Tuple
 
 from ..engine.artifacts import ColdArtifacts
+from ..exec.backends import backend_scope
+from ..exec.dispatch import PieceDispatch, collect_into
+from ..exec.task import make_piece_task
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
 from ..pram import Cost, ShadowArray, Span, Tracer
@@ -60,11 +63,13 @@ def list_occurrences(
     confidence_log_factor: float = 1.0,
     max_iterations: Optional[int] = None,
     artifacts=None,
+    backend="serial",
 ) -> ListingResult:
     """List (w.h.p.) every occurrence of a connected pattern (Theorem 4.2).
 
     ``artifacts`` optionally supplies a provider/session for the covers and
-    nice decompositions (see :func:`decide_subgraph_isomorphism`).
+    nice decompositions; ``backend`` how the per-piece solves execute
+    (see :func:`decide_subgraph_isomorphism` for both).
     """
     if not pattern.is_connected():
         raise ValueError("listing requires a connected pattern")
@@ -79,36 +84,73 @@ def list_occurrences(
     dry_streak = 0
     iterations = 0
     log_n = math.log2(max(graph.n, 2))
-    while True:
-        iterations += 1
-        with overflow_warning_scope(provider.overflow_warned), \
-                tracker.span("round"):
-            cover = provider.cover(k, d, seed + iterations, tracker)
-            new_here = 0
-            with tracker.parallel("pieces") as region:
-                results = ShadowArray("piece-witnesses", len(cover.pieces))
-                for piece_idx, piece in enumerate(cover.pieces):
-                    if piece.graph.n < k:
-                        continue
-                    with region.branch("dp-solve") as branch:
-                        branch.record_writes(results, piece_idx)
-                        for w in _piece_witnesses(
-                            piece, pattern, engine, branch, provider
-                        ):
-                            if w not in found:
-                                found.add(w)
-                                new_here += 1
-            # Dedup cost: hashing all newly produced witnesses.
-            tracker.charge(Cost.step(max(k, 1)), label="dedup")
-        if new_here:
-            dry_streak = 0
-        else:
-            dry_streak += 1
-        threshold = math.log2(iterations + 1) + confidence_log_factor * log_n
-        if dry_streak >= threshold:
-            break
-        if max_iterations is not None and iterations >= max_iterations:
-            break
+    with backend_scope(backend) as executor:
+        while True:
+            iterations += 1
+            with overflow_warning_scope(provider.overflow_warned), \
+                    tracker.span("round"):
+                cover = provider.cover(k, d, seed + iterations, tracker)
+                new_here = 0
+                with tracker.parallel("pieces") as region:
+                    results = ShadowArray(
+                        "piece-witnesses", len(cover.pieces)
+                    )
+                    if executor.serial:
+                        for piece_idx, piece in enumerate(cover.pieces):
+                            if piece.graph.n < k:
+                                continue
+                            with region.branch("dp-solve") as branch:
+                                branch.record_writes(results, piece_idx)
+                                for w in _piece_witnesses(
+                                    piece, pattern, engine, branch, provider
+                                ):
+                                    if w not in found:
+                                        found.add(w)
+                                        new_here += 1
+                    else:
+                        executor.check_sanitizer()
+                        dispatches = []
+                        for piece_idx, piece in enumerate(cover.pieces):
+                            if piece.graph.n < k:
+                                continue
+                            region.record_writes(
+                                results, piece_idx, arm=f"piece-{piece_idx}"
+                            )
+                            branch = Tracer("dp-solve")
+                            disp = PieceDispatch(piece=piece, tracer=branch)
+                            nice = None
+                            if provider.caching:
+                                nice = provider.nice(
+                                    piece.decomposition, branch
+                                )
+                            disp.handle = executor.submit(
+                                make_piece_task(
+                                    piece, pattern, "witnesses",
+                                    "subgraph", engine, "packed",
+                                    nice=nice, include_originals=True,
+                                )
+                            )
+                            dispatches.append(disp)
+                        for disp in dispatches:
+                            result = collect_into(disp, provider, executor)
+                            region.attach(disp.tracer.root)
+                            for w in result.witnesses:
+                                if w not in found:
+                                    found.add(w)
+                                    new_here += 1
+                # Dedup cost: hashing all newly produced witnesses.
+                tracker.charge(Cost.step(max(k, 1)), label="dedup")
+            if new_here:
+                dry_streak = 0
+            else:
+                dry_streak += 1
+            threshold = (
+                math.log2(iterations + 1) + confidence_log_factor * log_n
+            )
+            if dry_streak >= threshold:
+                break
+            if max_iterations is not None and iterations >= max_iterations:
+                break
     tracker.count(iterations=iterations, witnesses=len(found))
     hits, saved = provider.amortization_since(mark)
     return ListingResult(
@@ -150,11 +192,13 @@ def count_occurrences(
     engine: str = "parallel",
     distinct_images: bool = False,
     artifacts=None,
+    backend="serial",
 ) -> int:
     """Count occurrences via listing (the paper's conclusion notes this is
     the non-work-efficient route; exact nonetheless w.h.p.)."""
     result = list_occurrences(
-        graph, embedding, pattern, seed, engine=engine, artifacts=artifacts
+        graph, embedding, pattern, seed, engine=engine, artifacts=artifacts,
+        backend=backend,
     )
     if distinct_images:
         return len(result.occurrences)

@@ -50,6 +50,8 @@ __all__ = [
     "match_key_pairs",
     "overflow_warning_scope",
     "packed_ops_for",
+    "table_from_buffers",
+    "table_to_buffers",
     "PackedOverflowWarning",
     "PackedSubgraphOps",
     "PackedValidTables",
@@ -58,6 +60,42 @@ __all__ = [
 NIL = -1
 
 _EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def table_to_buffers(
+    codes: np.ndarray, mults: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable buffer form of one packed ``(codes, mults)`` table.
+
+    Validates the canonical-table invariants (int64 dtypes, equal lengths,
+    ``codes`` strictly increasing) so a table cannot cross a pickle or
+    shared-memory boundary in a corrupted form; returns contiguous int64
+    arrays suitable for raw-byte transport.  Empty tables round-trip to
+    two zero-length buffers.  Inverse: :func:`table_from_buffers`.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.int64)
+    mults = np.ascontiguousarray(mults, dtype=np.int64)
+    if codes.ndim != 1 or mults.ndim != 1 or codes.shape != mults.shape:
+        raise ValueError("a packed table is two equally long 1-d arrays")
+    if codes.size > 1 and not bool(np.all(codes[1:] > codes[:-1])):
+        raise ValueError("packed table codes must be strictly increasing")
+    return codes, mults
+
+
+def table_from_buffers(
+    codes: np.ndarray, mults: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Rebuild a packed table from transported buffers (any buffer-like
+    int64 source, e.g. a shared-memory view); re-validates the canonical
+    invariants.  Inverse of :func:`table_to_buffers`."""
+    return table_to_buffers(
+        np.frombuffer(codes, dtype=np.int64)
+        if not isinstance(codes, np.ndarray)
+        else codes,
+        np.frombuffer(mults, dtype=np.int64)
+        if not isinstance(mults, np.ndarray)
+        else mults,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -591,14 +629,24 @@ def packed_ops_for(space, nice, tracer=None):
         if warned is not None:
             warned.add(kind)
         max_bag = max((int(b.size) for b in nice.bags), default=0)
-        warnings.warn(
+        warning = PackedOverflowWarning(
             f"packed int64 codes overflow for {kind} "
             f"(k={ops.k}, max bag size {max_bag} needs > 62 bits); "
             "falling back to the reference tuple-dict engine — results and "
-            "charged costs are unchanged, wall-clock is not",
-            PackedOverflowWarning,
-            stacklevel=2,
+            "charged costs are unchanged, wall-clock is not"
         )
+        # The space-type name rides on the warning object so execution
+        # backends can dedup re-emission parent-side without parsing the
+        # message (repro.exec.task).
+        warning.kind = kind
+        emit = getattr(warned, "emit", None)
+        if emit is not None:
+            # A collector scope (worker-side task execution): record the
+            # event instead of emitting — the parent process re-emits it
+            # once per kind per provider.
+            emit(warning)
+        else:
+            warnings.warn(warning, stacklevel=2)
     return None
 
 

@@ -22,6 +22,9 @@ from typing import Dict, Optional
 
 
 from ..engine.artifacts import ColdArtifacts
+from ..exec.backends import backend_scope
+from ..exec.dispatch import PieceDispatch, collect_into
+from ..exec.task import make_piece_task
 from ..graphs.csr import Graph
 from ..planar.embedding import PlanarEmbedding
 from ..pram import Cost, ShadowArray, Span, Tracer
@@ -74,6 +77,7 @@ def decide_subgraph_isomorphism(
     want_witness: bool = False,
     kernel: str = "packed",
     artifacts=None,
+    backend="serial",
 ) -> PlanarSIResult:
     """Decide (w.h.p.) whether the connected ``pattern`` occurs in the
     planar ``graph`` (Theorem 2.1 / Corollary 2.2).
@@ -95,6 +99,13 @@ def decide_subgraph_isomorphism(
         amortizes them across queries.  Default: build everything fresh
         (the one-shot behavior).  The provider must be bound to the same
         ``(graph, embedding)``.
+    backend:
+        How the per-piece solves *execute*: ``"serial"`` (default, the
+        inline loop), ``"threads"``, ``"processes"``, or an
+        :class:`~repro.exec.backends.ExecutionBackend` instance (reused
+        across calls; string specs build and tear down one per call).
+        Verdict, witness, charged cost and trace are byte-identical
+        across backends — only wall-clock changes (``repro.exec``).
     """
     if not pattern.is_connected():
         raise ValueError(
@@ -132,39 +143,97 @@ def decide_subgraph_isomorphism(
             cold_equivalent_cost=tracker.cost + saved,
         )
 
-    for r in range(total_rounds):
-        found_witness: Optional[Dict[int, int]] = None
-        found = False
-        with overflow_warning_scope(provider.overflow_warned), \
-                tracker.span("round"):
-            cover = provider.cover(k, d, seed + r, tracker)
-            with tracker.parallel("pieces") as region:
-                # Each piece's branch writes its own result slot of the
-                # conceptual output array (sanitizer disjointness check).
-                results = ShadowArray("piece-results", len(cover.pieces))
-                for piece_idx, piece in enumerate(cover.pieces):
-                    if piece.graph.n < k:
-                        continue
-                    pieces_examined += 1
-                    with region.branch("dp-solve") as branch:
-                        branch.record_writes(results, piece_idx)
-                        witness = provider.solve_piece(
-                            piece, pattern, engine, branch, want_witness,
-                            kernel,
-                        )
-                    max_width = max(
-                        max_width, piece.decomposition.width()
-                    )
-                    if witness is not None and not found:
-                        found = True
-                        if want_witness:
-                            found_witness = {
-                                p: int(piece.originals[v])
-                                for p, v in witness.items()
-                            }
-        if found:
-            return _result(True, found_witness, r + 1)
-    return _result(False, None, total_rounds)
+    with backend_scope(backend) as executor:
+        for r in range(total_rounds):
+            found_witness: Optional[Dict[int, int]] = None
+            found = False
+            with overflow_warning_scope(provider.overflow_warned), \
+                    tracker.span("round"):
+                cover = provider.cover(k, d, seed + r, tracker)
+                with tracker.parallel("pieces") as region:
+                    # Each piece's branch writes its own result slot of the
+                    # conceptual output array (sanitizer disjointness check).
+                    results = ShadowArray("piece-results", len(cover.pieces))
+                    if executor.serial:
+                        for piece_idx, piece in enumerate(cover.pieces):
+                            if piece.graph.n < k:
+                                continue
+                            pieces_examined += 1
+                            with region.branch("dp-solve") as branch:
+                                branch.record_writes(results, piece_idx)
+                                witness = provider.solve_piece(
+                                    piece, pattern, engine, branch,
+                                    want_witness, kernel,
+                                )
+                            max_width = max(
+                                max_width, piece.decomposition.width()
+                            )
+                            if witness is not None and not found:
+                                found = True
+                                if want_witness:
+                                    found_witness = {
+                                        p: int(piece.originals[v])
+                                        for p, v in witness.items()
+                                    }
+                    else:
+                        executor.check_sanitizer()
+                        want = "witness" if want_witness else "decide"
+                        dispatches = []
+                        for piece_idx, piece in enumerate(cover.pieces):
+                            if piece.graph.n < k:
+                                continue
+                            pieces_examined += 1
+                            max_width = max(
+                                max_width, piece.decomposition.width()
+                            )
+                            region.record_writes(
+                                results, piece_idx, arm=f"piece-{piece_idx}"
+                            )
+                            branch = Tracer("dp-solve")
+                            disp = PieceDispatch(piece=piece, tracer=branch)
+                            hit, value = provider.piece_solution_cached(
+                                piece, pattern, engine, branch,
+                                want_witness, kernel,
+                            )
+                            if hit:
+                                disp.value = value
+                            else:
+                                nice = None
+                                if provider.caching:
+                                    amark = provider.amortization_mark()
+                                    nice = provider.nice(
+                                        piece.decomposition, branch
+                                    )
+                                    _, disp.nested_saved = (
+                                        provider.amortization_since(amark)
+                                    )
+                                disp.handle = executor.submit(
+                                    make_piece_task(
+                                        piece, pattern, want, "subgraph",
+                                        engine, kernel, nice=nice,
+                                    )
+                                )
+                            dispatches.append(disp)
+                        for disp in dispatches:
+                            result = collect_into(disp, provider, executor)
+                            if result is not None:
+                                disp.value = result.witness
+                                provider.store_piece_solution(
+                                    disp.piece, pattern, engine,
+                                    want_witness, kernel, disp.value,
+                                    disp.tracer.cost + disp.nested_saved,
+                                )
+                            region.attach(disp.tracer.root)
+                            if disp.value is not None and not found:
+                                found = True
+                                if want_witness:
+                                    found_witness = {
+                                        p: int(disp.piece.originals[v])
+                                        for p, v in disp.value.items()
+                                    }
+            if found:
+                return _result(True, found_witness, r + 1)
+        return _result(False, None, total_rounds)
 
 
 def _solve_piece(
@@ -197,6 +266,7 @@ def find_occurrence(
     rounds: Optional[int] = None,
     kernel: str = "packed",
     artifacts=None,
+    backend="serial",
 ) -> PlanarSIResult:
     """Like :func:`decide_subgraph_isomorphism` but returns a witness."""
     return decide_subgraph_isomorphism(
@@ -209,4 +279,5 @@ def find_occurrence(
         want_witness=True,
         kernel=kernel,
         artifacts=artifacts,
+        backend=backend,
     )

@@ -22,6 +22,12 @@ from .schedule import (
     schedule_speedup_curve,
     simulate_schedule,
 )
+from .measured import (
+    MeasuredPoint,
+    compare_measured,
+    format_measured,
+    measured_as_dicts,
+)
 from .export import (
     chrome_trace,
     prometheus_metrics,
@@ -63,6 +69,10 @@ __all__ = [
     "ScheduledSpan",
     "simulate_schedule",
     "schedule_speedup_curve",
+    "MeasuredPoint",
+    "compare_measured",
+    "format_measured",
+    "measured_as_dicts",
     "chrome_trace",
     "prometheus_metrics",
     "write_chrome_trace",

@@ -1,0 +1,123 @@
+"""Measured-vs-predicted scaling: real wall-clock against the simulator.
+
+The cost model charges exact (work, depth) and :func:`simulate_schedule`
+turns a span tree into a predicted ``T_P`` under greedy HLF scheduling.
+The ``processes`` execution backend (:mod:`repro.exec`) makes the same
+piece-parallel phases run on real cores — so the two can be laid side by
+side: for each worker count ``P``, the measured wall-clock speedup versus
+the simulated schedule's speedup and the Brent sandwich
+
+    max(ceil(W/P), D)  <=  T_P  <=  ceil(W/P) + D.
+
+The shapes should agree (both saturate at ``W/D``); absolute ratios differ
+because a simulated "operation" is not a machine instruction.  ``python -m
+repro profile --measure`` and ``benchmarks/bench_multicore.py`` emit these
+rows (EXPERIMENTS.md, BENCH_PR6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from .schedule import simulate_schedule
+from .trace import Span
+
+__all__ = [
+    "MeasuredPoint",
+    "compare_measured",
+    "format_measured",
+    "measured_as_dicts",
+]
+
+
+@dataclass(frozen=True)
+class MeasuredPoint:
+    """One processor count's measured and predicted scaling figures.
+
+    ``measured_speedup`` is relative to the smallest measured worker
+    count (pass a ``P = 1`` measurement to anchor it at true serial).
+    Predicted figures come from the exact HLF simulation of the recorded
+    span tree; ``brent_lower``/``brent_upper`` are the sandwich bounds
+    the simulated makespan always respects.
+    """
+
+    processors: int
+    wall_s: float
+    measured_speedup: float
+    predicted_makespan: int
+    predicted_speedup: float
+    brent_lower: int
+    brent_upper: int
+
+    def as_dict(self) -> dict:
+        return {
+            "processors": self.processors,
+            "wall_s": self.wall_s,
+            "measured_speedup": self.measured_speedup,
+            "predicted_makespan": self.predicted_makespan,
+            "predicted_speedup": self.predicted_speedup,
+            "brent_lower": self.brent_lower,
+            "brent_upper": self.brent_upper,
+        }
+
+
+def compare_measured(
+    root: Span, measurements: Mapping[int, float]
+) -> List[MeasuredPoint]:
+    """Join measured wall-clock times with the simulated schedule.
+
+    ``measurements`` maps worker count -> wall seconds for the *same*
+    query whose charged trace is ``root`` (results and traces are
+    backend-independent, so any backend's trace serves).  Rows come back
+    sorted by processor count; speedups are relative to the smallest
+    measured count.
+    """
+    if not measurements:
+        return []
+    counts = sorted(measurements)
+    base_wall = float(measurements[counts[0]])
+    work, depth = root.work, root.depth
+    points: List[MeasuredPoint] = []
+    for p in counts:
+        wall = float(measurements[p])
+        schedule = simulate_schedule(root, p)
+        points.append(
+            MeasuredPoint(
+                processors=p,
+                wall_s=wall,
+                measured_speedup=(base_wall / wall) if wall else 1.0,
+                predicted_makespan=schedule.makespan,
+                predicted_speedup=schedule.speedup,
+                brent_lower=max(math.ceil(work / p), depth),
+                brent_upper=math.ceil(work / p) + depth,
+            )
+        )
+    return points
+
+
+def format_measured(
+    points: List[MeasuredPoint], title: Optional[str] = None
+) -> str:
+    """Render measured-vs-predicted rows as an aligned text table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'P':>4}  {'wall[s]':>10}  {'meas.SU':>8}  "
+        f"{'sim T_P':>12}  {'sim SU':>8}  {'Brent lo':>12}  {'Brent hi':>12}"
+    )
+    for pt in points:
+        lines.append(
+            f"{pt.processors:>4}  {pt.wall_s:>10.4f}  "
+            f"{pt.measured_speedup:>8.2f}  {pt.predicted_makespan:>12}  "
+            f"{pt.predicted_speedup:>8.2f}  {pt.brent_lower:>12}  "
+            f"{pt.brent_upper:>12}"
+        )
+    return "\n".join(lines)
+
+
+def measured_as_dicts(points: List[MeasuredPoint]) -> List[Dict]:
+    """JSON-ready rows (the BENCH_PR6 artifact schema)."""
+    return [pt.as_dict() for pt in points]

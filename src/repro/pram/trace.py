@@ -396,6 +396,18 @@ class ParallelRegion:
         finally:
             self._span._attach(sub.root)
 
+    def attach(self, span: Span) -> None:
+        """Fold an already-recorded span tree into the region as one arm.
+
+        The span must be *finished* (its totals final): attachment folds
+        ``(sum work, max depth)`` once, so later mutation of ``span`` would
+        not propagate.  This is how the execution backends
+        (``repro.exec``) merge worker-recorded branch subtrees back into
+        the parent region — equivalent to having recorded the same charges
+        inside a :meth:`branch` block.
+        """
+        self._span._attach(span)
+
     # -- sanitizer effect declarations for add()-style arms ----------------
 
     def _arm(self, arm: Optional[str]) -> sanitize.BranchScope:

@@ -14,6 +14,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..engine.artifacts import ColdArtifacts
+from ..exec.backends import backend_scope
+from ..exec.dispatch import PieceDispatch, collect_into
+from ..exec.task import make_piece_task
 from ..graphs.csr import Graph
 from ..isomorphism.packed import overflow_warning_scope
 from ..isomorphism.parallel_dp import parallel_dp
@@ -61,6 +64,7 @@ def decide_separating_isomorphism(
     pattern_classes=None,
     kernel: str = "packed",
     artifacts=None,
+    backend="serial",
 ) -> SeparatingSIResult:
     """Decide (w.h.p.) whether some occurrence of the connected ``pattern``
     separates the ``marked`` vertices of the planar ``graph`` (Lemma 5.3).
@@ -70,7 +74,9 @@ def decide_separating_isomorphism(
     vertex connectivity pipeline uses them to pin cycle parity onto the
     bipartition of G'.  ``kernel`` selects the DP table representation
     (``"packed"`` int64 kernels by default, ``"reference"`` tuple dicts) —
-    results and charged costs are identical either way.
+    results and charged costs are identical either way.  ``backend``
+    selects how the per-minor solves execute (``repro.exec``); results
+    and traces are backend-independent.
     """
     if not pattern.is_connected():
         raise ValueError("the separating driver handles connected patterns")
@@ -103,65 +109,107 @@ def decide_separating_isomorphism(
             cold_equivalent_cost=tracker.cost + saved,
         )
 
-    for r in range(total_rounds):
-        found = False
-        found_witness: Optional[Dict[int, int]] = None
-        with overflow_warning_scope(provider.overflow_warned), \
-                tracker.span("round"):
-            cover = provider.separating_cover(
-                marked, k, d, seed + r, tracker
-            )
-            with tracker.parallel("pieces") as region:
-                results = ShadowArray("piece-results", len(cover.pieces))
-                for piece_idx, piece in enumerate(cover.pieces):
-                    if int(piece.allowed.sum()) < k:
-                        continue
-                    pieces_examined += 1
-                    max_width = max(
-                        max_width, piece.decomposition.width()
-                    )
-                    local_classes = None
-                    if host_classes is not None:
-                        # Merged vertices (originals == -1) get class -1;
-                        # they are disallowed anyway.
-                        local_classes = np.where(
-                            piece.originals >= 0,
-                            host_classes[np.maximum(piece.originals, 0)],
-                            -1,
+    with backend_scope(backend) as executor:
+        for r in range(total_rounds):
+            found = False
+            found_witness: Optional[Dict[int, int]] = None
+            with overflow_warning_scope(provider.overflow_warned), \
+                    tracker.span("round"):
+                cover = provider.separating_cover(
+                    marked, k, d, seed + r, tracker
+                )
+                with tracker.parallel("pieces") as region:
+                    results = ShadowArray("piece-results", len(cover.pieces))
+                    serial = executor.serial
+                    if not serial:
+                        executor.check_sanitizer()
+                        want = "witness" if want_witness else "decide"
+                        dispatches = []
+                    for piece_idx, piece in enumerate(cover.pieces):
+                        if int(piece.allowed.sum()) < k:
+                            continue
+                        pieces_examined += 1
+                        max_width = max(
+                            max_width, piece.decomposition.width()
                         )
-                    space = SeparatingStateSpace(
-                        pattern,
-                        piece.graph,
-                        piece.marked,
-                        piece.allowed,
-                        host_classes=local_classes,
-                        pattern_classes=(
+                        local_classes = None
+                        if host_classes is not None:
+                            # Merged vertices (originals == -1) get class
+                            # -1; they are disallowed anyway.
+                            local_classes = np.where(
+                                piece.originals >= 0,
+                                host_classes[np.maximum(piece.originals, 0)],
+                                -1,
+                            )
+                        piece_classes = (
                             pattern_classes
                             if host_classes is not None
                             else None
-                        ),
-                    )
-                    with region.branch("dp-solve") as branch:
-                        branch.record_writes(results, piece_idx)
-                        nice = provider.nice(piece.decomposition, branch)
-                        result = (
-                            parallel_dp(
-                                space, nice, tracer=branch, engine=kernel
-                            )
-                            if engine == "parallel"
-                            else sequential_dp(
-                                space, nice, tracer=branch, engine=kernel
-                            )
                         )
-                    if result.found and not found:
-                        found = True
-                        if want_witness:
-                            w = first_witness(space, nice, result.valid)
-                            if w is not None:
-                                found_witness = {
-                                    p: int(piece.originals[v])
-                                    for p, v in w.items()
-                                }
-        if found:
-            return _result(True, found_witness, r + 1)
-    return _result(False, None, total_rounds)
+                        if not serial:
+                            region.record_writes(
+                                results, piece_idx, arm=f"piece-{piece_idx}"
+                            )
+                            branch = Tracer("dp-solve")
+                            disp = PieceDispatch(piece=piece, tracer=branch)
+                            nice = None
+                            if provider.caching:
+                                nice = provider.nice(
+                                    piece.decomposition, branch
+                                )
+                            disp.handle = executor.submit(
+                                make_piece_task(
+                                    piece, pattern, want, "separating",
+                                    engine, kernel, nice=nice,
+                                    pattern_classes=piece_classes,
+                                    host_classes=local_classes,
+                                )
+                            )
+                            dispatches.append(disp)
+                            continue
+                        space = SeparatingStateSpace(
+                            pattern,
+                            piece.graph,
+                            piece.marked,
+                            piece.allowed,
+                            host_classes=local_classes,
+                            pattern_classes=piece_classes,
+                        )
+                        with region.branch("dp-solve") as branch:
+                            branch.record_writes(results, piece_idx)
+                            nice = provider.nice(piece.decomposition, branch)
+                            result = (
+                                parallel_dp(
+                                    space, nice, tracer=branch, engine=kernel
+                                )
+                                if engine == "parallel"
+                                else sequential_dp(
+                                    space, nice, tracer=branch, engine=kernel
+                                )
+                            )
+                        if result.found and not found:
+                            found = True
+                            if want_witness:
+                                w = first_witness(space, nice, result.valid)
+                                if w is not None:
+                                    found_witness = {
+                                        p: int(piece.originals[v])
+                                        for p, v in w.items()
+                                    }
+                    if not serial:
+                        for disp in dispatches:
+                            result = collect_into(disp, provider, executor)
+                            region.attach(disp.tracer.root)
+                            if result.found and not found:
+                                found = True
+                                if (
+                                    want_witness
+                                    and result.witness is not None
+                                ):
+                                    found_witness = {
+                                        p: int(disp.piece.originals[v])
+                                        for p, v in result.witness.items()
+                                    }
+            if found:
+                return _result(True, found_witness, r + 1)
+        return _result(False, None, total_rounds)

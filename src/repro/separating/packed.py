@@ -25,11 +25,41 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..isomorphism.packed import NIL, match_key_pairs
+from ..isomorphism.packed import (
+    NIL,
+    match_key_pairs,
+    table_from_buffers,
+    table_to_buffers,
+)
 
-__all__ = ["PackedSeparatingOps"]
+__all__ = [
+    "PackedSeparatingOps",
+    "sep_table_from_buffers",
+    "sep_table_to_buffers",
+]
 
 _EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def sep_table_to_buffers(
+    codes: np.ndarray, mults: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable buffer form of one separating packed table.
+
+    The separating codec packs side sets and history into the high bits
+    of the same sorted-unique int64 codes, so the canonical-table
+    invariants (and hence the transport validation) are those of the plain
+    kernel; kept as a named entry point so serialization callers do not
+    depend on that coincidence.
+    """
+    return table_to_buffers(codes, mults)
+
+
+def sep_table_from_buffers(
+    codes: np.ndarray, mults: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`sep_table_to_buffers` (revalidating)."""
+    return table_from_buffers(codes, mults)
 
 
 def _iter_bits(mask: int):

@@ -1,0 +1,219 @@
+"""Cross-backend equality: every driver's results AND charged traces are
+byte-identical under serial / threads / processes execution.
+
+This is the tentpole invariant of the execution-backend refactor: the
+worker-recorded span subtrees merge back into the parent tracer in piece
+order, so ``result.cost`` and ``trace.to_dict()`` cannot depend on how the
+pieces physically executed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.connectivity import planar_vertex_connectivity
+from repro.engine import TargetSession
+from repro.exec import (
+    BACKENDS,
+    ProcessesBackend,
+    SerialBackend,
+    ThreadsBackend,
+    backend_scope,
+    resolve_backend,
+)
+from repro.graphs import Graph, triangulated_grid
+from repro.isomorphism import (
+    count_occurrences_exact,
+    cycle_pattern,
+    decide_subgraph_isomorphism,
+    list_occurrences,
+    triangle,
+)
+from repro.isomorphism.disconnected import decide_disconnected
+from repro.isomorphism.pattern import Pattern
+from repro.planar import embed_geometric
+from repro.separating.driver import decide_separating_isomorphism
+
+NONSERIAL = ("threads", "processes")
+
+
+def _target(rows=5, cols=5):
+    gg = triangulated_grid(rows, cols)
+    emb, _ = embed_geometric(gg)
+    return gg.graph, emb
+
+
+def _trace(result):
+    return result.trace.to_dict() if result.trace is not None else None
+
+
+GRAPH, EMB = _target()
+
+
+@pytest.mark.parametrize("backend", NONSERIAL)
+def test_decide_matches_serial(backend):
+    pat = cycle_pattern(4)
+    base = decide_subgraph_isomorphism(
+        GRAPH, EMB, pat, seed=3, rounds=2, want_witness=True
+    )
+    other = decide_subgraph_isomorphism(
+        GRAPH, EMB, pat, seed=3, rounds=2, want_witness=True,
+        backend=backend,
+    )
+    assert other.found == base.found
+    assert other.witness == base.witness
+    assert other.cost == base.cost
+    assert other.rounds_used == base.rounds_used
+    assert other.pieces_examined == base.pieces_examined
+    assert _trace(other) == _trace(base)
+
+
+@pytest.mark.parametrize("backend", NONSERIAL)
+def test_listing_matches_serial(backend):
+    pat = triangle()
+    base = list_occurrences(GRAPH, EMB, pat, seed=5, max_iterations=3)
+    other = list_occurrences(
+        GRAPH, EMB, pat, seed=5, max_iterations=3, backend=backend
+    )
+    assert other.witnesses == base.witnesses
+    assert other.iterations == base.iterations
+    assert other.cost == base.cost
+    assert _trace(other) == _trace(base)
+
+
+@pytest.mark.parametrize("backend", NONSERIAL)
+def test_exact_count_matches_serial(backend):
+    pat = cycle_pattern(4)
+    base = count_occurrences_exact(GRAPH, EMB, pat)
+    other = count_occurrences_exact(GRAPH, EMB, pat, backend=backend)
+    assert other.isomorphisms == base.isomorphisms
+    assert other.windows_examined == base.windows_examined
+    assert other.cost == base.cost
+    assert _trace(other) == _trace(base)
+
+
+@pytest.mark.parametrize("backend", NONSERIAL)
+def test_separating_matches_serial(backend):
+    marked = np.zeros(GRAPH.n, dtype=bool)
+    marked[0] = True
+    marked[GRAPH.n - 1] = True
+    pat = cycle_pattern(4)
+    base = decide_separating_isomorphism(
+        GRAPH, EMB, marked, pat, seed=7, rounds=2, want_witness=True
+    )
+    other = decide_separating_isomorphism(
+        GRAPH, EMB, marked, pat, seed=7, rounds=2, want_witness=True,
+        backend=backend,
+    )
+    assert other.found == base.found
+    assert other.witness == base.witness
+    assert other.cost == base.cost
+    assert _trace(other) == _trace(base)
+
+
+@pytest.mark.parametrize("backend", NONSERIAL)
+def test_vertex_connectivity_matches_serial(backend):
+    graph, emb = _target(4, 4)
+    base = planar_vertex_connectivity(
+        graph, emb, seed=5, rounds=2, want_certificate=True
+    )
+    other = planar_vertex_connectivity(
+        graph, emb, seed=5, rounds=2, want_certificate=True,
+        backend=backend,
+    )
+    assert other.connectivity == base.connectivity
+    assert other.certificate_cut == base.certificate_cut
+    assert other.cost == base.cost
+    assert _trace(other) == _trace(base)
+
+
+@pytest.mark.parametrize("backend", NONSERIAL)
+def test_disconnected_matches_serial(backend):
+    pat = Pattern(Graph(4, np.array([[0, 1], [2, 3]])))
+    base = decide_disconnected(
+        GRAPH, EMB, pat, seed=9, colorings=4, want_witness=True
+    )
+    other = decide_disconnected(
+        GRAPH, EMB, pat, seed=9, colorings=4, want_witness=True,
+        backend=backend,
+    )
+    assert other.found == base.found
+    assert other.witness == base.witness
+    assert other.colorings_used == base.colorings_used
+    assert other.cost == base.cost
+
+
+@pytest.mark.parametrize("backend", NONSERIAL)
+def test_session_caching_matches_serial(backend):
+    """Warm piece-dp cache hits replay identically under every backend —
+    including the session's hit/miss counters."""
+    pat = cycle_pattern(4)
+
+    def run(bk):
+        graph, emb = _target()
+        session = TargetSession(graph, emb)
+        first = session.decide(pat, seed=3, rounds=2, want_witness=True,
+                               backend=bk)
+        second = session.decide(pat, seed=3, rounds=2, want_witness=True,
+                                backend=bk)
+        return first, second, session.stats.as_dict()
+
+    b1, b2, bstats = run("serial")
+    o1, o2, ostats = run(backend)
+    assert (o1.found, o1.witness, o1.cost) == (b1.found, b1.witness, b1.cost)
+    assert (o2.found, o2.witness, o2.cost) == (b2.found, b2.witness, b2.cost)
+    assert _trace(o1) == _trace(b1)
+    assert _trace(o2) == _trace(b2)
+    assert ostats == bstats
+    assert o2.amortized
+
+
+def test_pickle_transport_matches_shm():
+    pat = cycle_pattern(4)
+    base = decide_subgraph_isomorphism(GRAPH, EMB, pat, seed=3, rounds=2)
+    with ProcessesBackend(max_workers=2, transport="pickle") as bk:
+        other = decide_subgraph_isomorphism(
+            GRAPH, EMB, pat, seed=3, rounds=2, backend=bk
+        )
+    assert other.cost == base.cost
+    assert _trace(other) == _trace(base)
+
+
+def test_resolve_backend_specs():
+    assert isinstance(resolve_backend(None), SerialBackend)
+    assert isinstance(resolve_backend("serial"), SerialBackend)
+    with resolve_backend("threads", max_workers=2) as bk:
+        assert isinstance(bk, ThreadsBackend)
+        assert bk.max_workers == 2
+    inst = SerialBackend()
+    assert resolve_backend(inst) is inst
+    with pytest.raises(ValueError):
+        resolve_backend(inst, max_workers=4)
+    with pytest.raises(ValueError):
+        resolve_backend("gpu")
+    assert BACKENDS == ("serial", "threads", "processes")
+
+
+def test_backend_scope_ownership():
+    """Instances passed in stay open; string specs are closed on exit."""
+    inst = ThreadsBackend(max_workers=1)
+    with backend_scope(inst) as bk:
+        assert bk is inst
+    # Still usable after the scope (the scope did not close it).
+    pat = triangle()
+    r = decide_subgraph_isomorphism(
+        GRAPH, EMB, pat, seed=1, rounds=1, backend=inst
+    )
+    assert r.cost.work > 0
+    inst.close()
+
+
+def test_backend_stats_populated():
+    pat = cycle_pattern(4)
+    with ThreadsBackend(max_workers=2) as bk:
+        decide_subgraph_isomorphism(
+            GRAPH, EMB, pat, seed=3, rounds=2, backend=bk
+        )
+        stats = bk.stats.as_dict()
+    assert stats["tasks"] > 0
+    assert stats["bytes_shipped"] > 0
+    assert stats["task_wall_s"] > 0.0

@@ -1,0 +1,151 @@
+"""Cross-process fingerprint stability (promised by ``engine/keys.py``).
+
+Piece/pattern/solve fingerprints are content-only — no ``id()``, no
+dict-iteration order, no process-local state — so a fresh interpreter
+with a *different* ``PYTHONHASHSEED`` must derive the exact same keys.
+That property is what lets a parent address work it shipped to a worker
+process by fingerprint alone.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.engine.keys import (
+    pattern_fingerprint,
+    piece_fingerprint,
+    solve_fingerprint,
+)
+from repro.exec.task import make_piece_task
+
+_SCRIPT = r"""
+import json
+import sys
+
+import numpy as np
+
+from repro.engine import ColdArtifacts
+from repro.engine.keys import (
+    pattern_fingerprint,
+    piece_fingerprint,
+    solve_fingerprint,
+)
+from repro.exec.task import make_piece_task
+from repro.graphs import triangulated_grid
+from repro.isomorphism import cycle_pattern
+from repro.planar import embed_geometric
+from repro.pram import Tracer
+
+gg = triangulated_grid(4, 4)
+emb, _ = embed_geometric(gg)
+pattern = cycle_pattern(4)
+provider = ColdArtifacts(gg.graph, emb)
+cover = provider.cover(pattern.k, pattern.diameter(), 3, Tracer("t"))
+pieces = [p for p in cover.pieces if p.graph.n >= pattern.k]
+out = {
+    "pattern": pattern_fingerprint(pattern),
+    "pieces": [piece_fingerprint(p) for p in pieces],
+    "solves": [
+        solve_fingerprint(p, pattern, "sequential", "packed", "decide")
+        for p in pieces
+    ],
+    "tasks": [
+        make_piece_task(
+            p, pattern, "decide", "subgraph", "sequential", "packed"
+        ).fingerprint
+        for p in pieces
+    ],
+    "seeds": [
+        make_piece_task(
+            p, pattern, "decide", "subgraph", "sequential", "packed"
+        ).seed
+        for p in pieces
+    ],
+}
+json.dump(out, sys.stdout)
+"""
+
+
+def _run_with_hashseed(seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [os.path.abspath("src"),
+                    env.get("PYTHONPATH", "")] if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def test_fingerprints_stable_across_hash_seeds():
+    a = _run_with_hashseed("0")
+    b = _run_with_hashseed("424242")
+    assert a == b
+    assert a["pieces"], "cover produced no solvable pieces"
+    assert len(set(a["pieces"])) == len(a["pieces"]), \
+        "distinct pieces must not collide"
+
+
+def test_fingerprints_match_in_this_process():
+    """The subprocess derivation equals the in-process one (same content,
+    same keys — regardless of this interpreter's own hash seed)."""
+    from repro.engine import ColdArtifacts
+    from repro.graphs import triangulated_grid
+    from repro.isomorphism import cycle_pattern
+    from repro.planar import embed_geometric
+    from repro.pram import Tracer
+
+    gg = triangulated_grid(4, 4)
+    emb, _ = embed_geometric(gg)
+    pattern = cycle_pattern(4)
+    provider = ColdArtifacts(gg.graph, emb)
+    cover = provider.cover(pattern.k, pattern.diameter(), 3, Tracer("t"))
+    pieces = [p for p in cover.pieces if p.graph.n >= pattern.k]
+    sub = _run_with_hashseed("7")
+    assert sub["pattern"] == pattern_fingerprint(pattern)
+    assert sub["pieces"] == [piece_fingerprint(p) for p in pieces]
+    assert sub["solves"] == [
+        solve_fingerprint(p, pattern, "sequential", "packed", "decide")
+        for p in pieces
+    ]
+
+
+def test_task_fingerprint_and_seed_are_content_derived():
+    from repro.engine import ColdArtifacts
+    from repro.graphs import triangulated_grid
+    from repro.isomorphism import cycle_pattern
+    from repro.planar import embed_geometric
+    from repro.pram import Tracer
+
+    gg = triangulated_grid(4, 4)
+    emb, _ = embed_geometric(gg)
+    pattern = cycle_pattern(4)
+    provider = ColdArtifacts(gg.graph, emb)
+    cover = provider.cover(pattern.k, pattern.diameter(), 3, Tracer("t"))
+    piece = next(p for p in cover.pieces if p.graph.n >= pattern.k)
+    t1 = make_piece_task(piece, pattern, "decide", "subgraph",
+                         "sequential", "packed")
+    t2 = make_piece_task(piece, pattern, "decide", "subgraph",
+                         "sequential", "packed")
+    assert t1.fingerprint == t2.fingerprint
+    assert t1.seed == t2.seed
+    assert t1.seed == int(t1.fingerprint[:12], 16)
+    # A different output mode is a different task.
+    t3 = make_piece_task(piece, pattern, "witness", "subgraph",
+                         "sequential", "packed")
+    assert t3.fingerprint != t1.fingerprint
+
+
+def test_mutating_content_changes_fingerprint():
+    from repro.graphs import Graph
+    from repro.isomorphism.pattern import Pattern
+
+    p1 = Pattern(Graph(3, np.array([[0, 1], [1, 2]])))
+    p2 = Pattern(Graph(3, np.array([[0, 1], [1, 2], [2, 0]])))
+    assert pattern_fingerprint(p1) != pattern_fingerprint(p2)

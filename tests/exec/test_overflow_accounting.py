@@ -1,0 +1,78 @@
+"""Overflow-warning accounting across execution-backend boundaries.
+
+When the packed kernel's int64 codes would overflow, the DP falls back to
+the reference engine, warns once per space type per provider scope, and
+bumps a ``packed_overflow_fallbacks`` counter.  Under a non-serial
+backend the fallback happens in a *worker*: the counter must come back in
+the task's trace subtree and the warning must be re-emitted parent-side,
+deduped against the provider's scope — so warning count and trace
+counters are backend-independent like everything else.
+
+(The fallback is forced by patching ``PackedSubgraphOps.fits`` — real
+overflow needs ``k``/bag sizes whose DP would dominate the suite's
+runtime.  Fork-started workers inherit the patch.)
+"""
+
+import warnings
+
+import pytest
+
+from repro.exec import ProcessesBackend, SerialBackend, ThreadsBackend
+from repro.graphs import triangulated_grid
+from repro.isomorphism import cycle_pattern, decide_subgraph_isomorphism
+from repro.isomorphism.packed import PackedOverflowWarning, PackedSubgraphOps
+from repro.planar import embed_geometric
+
+
+@pytest.fixture
+def target():
+    gg = triangulated_grid(4, 4)
+    emb, _ = embed_geometric(gg)
+    return gg.graph, emb
+
+
+@pytest.fixture
+def always_overflow(monkeypatch):
+    monkeypatch.setattr(PackedSubgraphOps, "fits", lambda self, nice: False)
+
+
+def _count_fallbacks(span) -> int:
+    total = span.counters.get("packed_overflow_fallbacks", 0)
+    return total + sum(_count_fallbacks(c) for c in span.children)
+
+
+def _run(target, backend):
+    graph, emb = target
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = decide_subgraph_isomorphism(
+            graph, emb, cycle_pattern(4), seed=3, rounds=2, backend=backend
+        )
+    overflow = [
+        w for w in caught if issubclass(w.category, PackedOverflowWarning)
+    ]
+    return result, overflow
+
+
+@pytest.mark.parametrize("make_backend", [
+    lambda: ThreadsBackend(max_workers=2),
+    lambda: ProcessesBackend(max_workers=2),
+], ids=["threads", "processes"])
+def test_worker_fallbacks_fold_into_parent(
+    target, always_overflow, make_backend
+):
+    base, base_warnings = _run(target, SerialBackend())
+    base_count = _count_fallbacks(base.trace)
+    assert base_count > 0, "patched fits() must force fallbacks"
+    assert len(base_warnings) == 1, "deduped to one warning per scope"
+    assert getattr(base_warnings[0].message, "kind", None) \
+        == "SubgraphStateSpace"
+
+    with make_backend() as backend:
+        other, other_warnings = _run(target, backend)
+    assert other.cost == base.cost
+    assert other.trace.to_dict() == base.trace.to_dict()
+    assert _count_fallbacks(other.trace) == base_count
+    assert len(other_warnings) == 1
+    assert getattr(other_warnings[0].message, "kind", None) \
+        == "SubgraphStateSpace"

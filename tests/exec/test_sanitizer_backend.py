@@ -1,0 +1,113 @@
+"""Sanitizer semantics under real parallelism (DESIGN.md policy).
+
+The CREW/EREW write-race sanitizer keeps its shadow state in the parent
+process, so a non-serial backend cannot see cross-worker writes.  Policy:
+degrade to per-worker sanitizing with a one-time
+:class:`ParallelSanitizeWarning`, or raise when
+``REPRO_SANITIZE_PARALLEL=forbid``.
+"""
+
+import warnings
+
+import pytest
+
+from repro.exec import (
+    ParallelSanitizeWarning,
+    SerialBackend,
+    ThreadsBackend,
+)
+from repro.graphs import triangulated_grid
+from repro.isomorphism import cycle_pattern, decide_subgraph_isomorphism
+from repro.planar import embed_geometric
+
+
+@pytest.fixture
+def target():
+    gg = triangulated_grid(4, 4)
+    emb, _ = embed_geometric(gg)
+    return gg.graph, emb
+
+
+@pytest.fixture
+def sanitizing(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "crew")
+    monkeypatch.delenv("REPRO_SANITIZE_PARALLEL", raising=False)
+
+
+def test_degrades_with_one_warning(target, sanitizing):
+    graph, emb = target
+    pat = cycle_pattern(4)
+    with ThreadsBackend(max_workers=2) as backend:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = decide_subgraph_isomorphism(
+                graph, emb, pat, seed=3, rounds=2, backend=backend
+            )
+            second = decide_subgraph_isomorphism(
+                graph, emb, pat, seed=3, rounds=2, backend=backend
+            )
+    hits = [w for w in caught if issubclass(w.category,
+                                            ParallelSanitizeWarning)]
+    assert len(hits) == 1, "warn once per backend instance"
+    assert "degrading to per-worker" in str(hits[0].message)
+    # The degraded run still returns the serial answer.
+    base = decide_subgraph_isomorphism(graph, emb, pat, seed=3, rounds=2)
+    assert first.found == base.found
+    assert first.cost == base.cost
+    assert second.cost == base.cost
+
+
+def test_fresh_instance_warns_again(target, sanitizing):
+    graph, emb = target
+    pat = cycle_pattern(4)
+    for _ in range(2):
+        with ThreadsBackend(max_workers=2) as backend:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                decide_subgraph_isomorphism(
+                    graph, emb, pat, seed=3, rounds=1, backend=backend
+                )
+        assert any(
+            issubclass(w.category, ParallelSanitizeWarning) for w in caught
+        )
+
+
+def test_forbid_policy_raises(target, sanitizing, monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE_PARALLEL", "forbid")
+    graph, emb = target
+    with ThreadsBackend(max_workers=2) as backend:
+        with pytest.raises(RuntimeError, match="forbid"):
+            decide_subgraph_isomorphism(
+                graph, emb, cycle_pattern(4), seed=3, rounds=1,
+                backend=backend,
+            )
+
+
+def test_serial_backend_never_warns(target, sanitizing):
+    graph, emb = target
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        decide_subgraph_isomorphism(
+            graph, emb, cycle_pattern(4), seed=3, rounds=1,
+            backend=SerialBackend(),
+        )
+    assert not [
+        w for w in caught
+        if issubclass(w.category, ParallelSanitizeWarning)
+    ]
+
+
+def test_no_warning_when_sanitizer_off(target, monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    graph, emb = target
+    with ThreadsBackend(max_workers=2) as backend:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            decide_subgraph_isomorphism(
+                graph, emb, cycle_pattern(4), seed=3, rounds=1,
+                backend=backend,
+            )
+    assert not [
+        w for w in caught
+        if issubclass(w.category, ParallelSanitizeWarning)
+    ]

@@ -1,0 +1,251 @@
+"""Round-trip properties for the task-transport serialization layer.
+
+CSR graphs and packed ``(codes, mults)`` DP tables must survive both
+transports — pickle and POSIX shared memory — bit-exactly: same dtypes,
+same values, including the edge cases the kernels rely on (empty tables,
+int64 boundary codes, isolated vertices).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.shm import (
+    pack_arrays,
+    release_attached,
+    destroy_segment,
+    shm_available,
+    unpack_arrays,
+)
+from repro.exec.task import (
+    PieceTask,
+    decomposition_from_arrays,
+    decomposition_to_arrays,
+    make_piece_task,
+    nice_from_arrays,
+    nice_to_arrays,
+)
+from repro.graphs import Graph, triangulated_grid
+from repro.isomorphism.packed import table_from_buffers, table_to_buffers
+from repro.planar import embed_geometric
+from repro.separating.packed import (
+    sep_table_from_buffers,
+    sep_table_to_buffers,
+)
+from repro.treedecomp.nice import make_nice
+
+INT64_MIN = np.iinfo(np.int64).min
+INT64_MAX = np.iinfo(np.int64).max
+
+
+# -- strategies --------------------------------------------------------------
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True))  \
+        if possible else []
+    return Graph(n, np.array(edges).reshape(-1, 2))
+
+
+@st.composite
+def packed_tables(draw):
+    codes = draw(
+        st.lists(
+            st.integers(min_value=INT64_MIN, max_value=INT64_MAX),
+            max_size=32,
+            unique=True,
+        )
+    )
+    codes = np.sort(np.array(codes, dtype=np.int64))
+    mults = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=INT64_MAX),
+            min_size=len(codes),
+            max_size=len(codes),
+        )
+    )
+    return codes, np.array(mults, dtype=np.int64)
+
+
+def _shm_roundtrip(arrays):
+    seg, descriptor = pack_arrays(arrays)
+    try:
+        aseg, views = unpack_arrays(descriptor)
+        out = {k: np.array(v) for k, v in views.items()}
+        del views
+        release_attached(aseg)
+        return out
+    finally:
+        destroy_segment(seg)
+
+
+# -- CSR graphs --------------------------------------------------------------
+
+@given(graphs())
+@settings(max_examples=50)
+def test_graph_roundtrips_through_pickle(graph):
+    arrays = graph.to_arrays()
+    back = pickle.loads(pickle.dumps(arrays))
+    rebuilt = Graph.from_arrays(back["n"], back["indptr"], back["indices"])
+    assert rebuilt.n == graph.n
+    assert rebuilt.m == graph.m
+    assert rebuilt.indptr.dtype == np.int64
+    assert rebuilt.indices.dtype == np.int64
+    np.testing.assert_array_equal(rebuilt.indptr, graph.indptr)
+    np.testing.assert_array_equal(rebuilt.indices, graph.indices)
+
+
+@pytest.mark.skipif(not shm_available(), reason="no POSIX shared memory")
+@given(graphs())
+@settings(max_examples=25)
+def test_graph_roundtrips_through_shm(graph):
+    arrays = graph.to_arrays()
+    back = _shm_roundtrip(
+        {"indptr": arrays["indptr"], "indices": arrays["indices"]}
+    )
+    rebuilt = Graph.from_arrays(graph.n, back["indptr"], back["indices"])
+    np.testing.assert_array_equal(rebuilt.indptr, graph.indptr)
+    np.testing.assert_array_equal(rebuilt.indices, graph.indices)
+
+
+def test_graph_from_arrays_validates():
+    g = Graph(3, np.array([[0, 1], [1, 2]]))
+    arrays = g.to_arrays()
+    with pytest.raises(ValueError):
+        Graph.from_arrays(5, arrays["indptr"], arrays["indices"])
+    bad = arrays["indptr"].copy()
+    bad[0] = 1
+    with pytest.raises(ValueError):
+        Graph.from_arrays(3, bad, arrays["indices"])
+
+
+# -- packed DP tables --------------------------------------------------------
+
+@given(packed_tables())
+@settings(max_examples=50)
+def test_table_roundtrips_through_pickle(table):
+    codes, mults = table_to_buffers(*table)
+    b_codes, b_mults = pickle.loads(
+        pickle.dumps((codes.tobytes(), mults.tobytes()))
+    )
+    r_codes, r_mults = table_from_buffers(b_codes, b_mults)
+    assert r_codes.dtype == np.int64 and r_mults.dtype == np.int64
+    np.testing.assert_array_equal(r_codes, table[0])
+    np.testing.assert_array_equal(r_mults, table[1])
+
+
+@pytest.mark.skipif(not shm_available(), reason="no POSIX shared memory")
+@given(packed_tables())
+@settings(max_examples=25)
+def test_table_roundtrips_through_shm(table):
+    codes, mults = table_to_buffers(*table)
+    back = _shm_roundtrip({"codes": codes, "mults": mults})
+    r_codes, r_mults = table_from_buffers(back["codes"], back["mults"])
+    np.testing.assert_array_equal(r_codes, table[0])
+    np.testing.assert_array_equal(r_mults, table[1])
+
+
+def test_empty_table_roundtrips():
+    empty = np.zeros(0, dtype=np.int64)
+    codes, mults = table_to_buffers(empty, empty)
+    r_codes, r_mults = table_from_buffers(codes.tobytes(), mults.tobytes())
+    assert r_codes.size == 0 and r_mults.size == 0
+    assert r_codes.dtype == np.int64 and r_mults.dtype == np.int64
+
+
+def test_boundary_codes_roundtrip():
+    codes = np.array([INT64_MIN, -1, 0, 1, INT64_MAX], dtype=np.int64)
+    mults = np.array([1, 2, 3, 4, INT64_MAX], dtype=np.int64)
+    c, m = sep_table_to_buffers(codes, mults)
+    r_codes, r_mults = sep_table_from_buffers(c.tobytes(), m.tobytes())
+    np.testing.assert_array_equal(r_codes, codes)
+    np.testing.assert_array_equal(r_mults, mults)
+
+
+def test_table_buffers_validate():
+    with pytest.raises(ValueError):
+        table_to_buffers(
+            np.array([3, 1], dtype=np.int64), np.array([1, 1], dtype=np.int64)
+        )
+    with pytest.raises(ValueError):
+        table_to_buffers(
+            np.array([1], dtype=np.int64), np.array([1, 2], dtype=np.int64)
+        )
+
+
+# -- shm segment layer -------------------------------------------------------
+
+@pytest.mark.skipif(not shm_available(), reason="no POSIX shared memory")
+def test_pack_arrays_mixed_dtypes_and_empties():
+    arrays = {
+        "a": np.arange(7, dtype=np.int64),
+        "b": np.zeros(0, dtype=np.int64),
+        "c": np.array([True, False, True]),
+        "d": np.array([[1, 2], [3, 4]], dtype=np.int8),
+    }
+    back = _shm_roundtrip(arrays)
+    assert set(back) == set(arrays)
+    for key, arr in arrays.items():
+        assert back[key].dtype == arr.dtype, key
+        assert back[key].shape == arr.shape, key
+        np.testing.assert_array_equal(back[key], arr)
+
+
+# -- whole tasks -------------------------------------------------------------
+
+def _piece():
+    gg = triangulated_grid(4, 4)
+    emb, _ = embed_geometric(gg)
+    from repro.engine import ColdArtifacts
+    from repro.isomorphism import cycle_pattern
+    from repro.pram import Tracer
+
+    pattern = cycle_pattern(4)
+    provider = ColdArtifacts(gg.graph, emb)
+    cover = provider.cover(
+        pattern.k, pattern.diameter(), 3, Tracer("t")
+    )
+    piece = next(p for p in cover.pieces if p.graph.n >= pattern.k)
+    return piece, pattern
+
+
+def test_piece_task_pickles_whole():
+    piece, pattern = _piece()
+    task = make_piece_task(piece, pattern, "decide", "subgraph",
+                           "sequential", "packed")
+    clone = pickle.loads(pickle.dumps(task))
+    assert isinstance(clone, PieceTask)
+    assert clone.fingerprint == task.fingerprint
+    assert clone.seed == task.seed
+    assert set(clone.arrays) == set(task.arrays)
+    for key in task.arrays:
+        np.testing.assert_array_equal(clone.arrays[key], task.arrays[key])
+
+
+def test_nice_arrays_roundtrip():
+    piece, _ = _piece()
+    nice, _cost = make_nice(piece.decomposition.binarize())
+    arrays = nice_to_arrays(nice)
+    back = nice_from_arrays(
+        {k: np.array(v) for k, v in arrays.items()}, nice.root
+    )
+    assert list(back.kinds) == list(nice.kinds)
+    np.testing.assert_array_equal(back.parent, nice.parent)
+    assert [sorted(b) for b in back.bags] == [sorted(b) for b in nice.bags]
+    assert back.root == nice.root
+
+
+def test_decomposition_arrays_roundtrip():
+    piece, _ = _piece()
+    decomp = piece.decomposition
+    arrays = decomposition_to_arrays(decomp)
+    back = decomposition_from_arrays(
+        {k: np.array(v) for k, v in arrays.items()}, int(decomp.root)
+    )
+    np.testing.assert_array_equal(back.parent, decomp.parent)
+    assert [sorted(b) for b in back.bags] == [sorted(b) for b in decomp.bags]
