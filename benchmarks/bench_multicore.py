@@ -22,10 +22,10 @@ speedup next to the simulated ``T_P``, simulated speedup and the Brent
 sandwich ``max(ceil(W/P), D) <= T_P <= ceil(W/P) + D``.
 """
 
-import os
 import time
 
 from repro.exec import ProcessesBackend
+from repro.exec.backends import available_cores
 from repro.isomorphism import cycle_pattern, decide_subgraph_isomorphism
 from repro.pram import compare_measured, format_measured, measured_as_dicts
 
@@ -36,7 +36,7 @@ FLOOR_WORKERS = 4
 
 
 def _worker_counts():
-    cores = os.cpu_count() or 1
+    cores = available_cores()
     counts = sorted({p for p in (2, 4, 8) if p <= cores})
     if cores >= FLOOR_WORKERS and cores not in counts:
         counts.append(cores)
@@ -85,6 +85,8 @@ def test_multicore_speedup(benchmark, targets):
     max_p = max(measurements)
     measured_speedup = serial_wall / max(measurements[max_p], 1e-9)
     predicted = {pt.processors: pt for pt in points}
+    cores = available_cores()
+    waived = smoke or cores < FLOOR_WORKERS
     record_pr6(
         "M1-multicore-decide",
         {
@@ -99,6 +101,8 @@ def test_multicore_speedup(benchmark, targets):
         {
             "serial_wall_s": serial_wall,
             "max_workers": max_p,
+            "physical_cores": cores,
+            "speedup_floor_waived": waived,
             "measured_speedup_at_max": round(measured_speedup, 2),
             "predicted_speedup_at_max": round(
                 predicted[max_p].predicted_speedup, 2
@@ -109,14 +113,15 @@ def test_multicore_speedup(benchmark, targets):
         "M1",
         n=graph.n,
         workers=max_p,
+        cores=cores,
         serial_s=round(serial_wall, 3),
         parallel_s=round(measurements[max_p], 3),
         speedup=round(measured_speedup, 2),
         sim_speedup=round(predicted[max_p].predicted_speedup, 2),
+        floor_waived=waived,
     )
 
-    cores = os.cpu_count() or 1
-    if not smoke and cores >= FLOOR_WORKERS:
+    if not waived:
         floor_p = min(
             p for p in measurements if p >= FLOOR_WORKERS
         )

@@ -21,10 +21,14 @@ The multicore-backend experiments write ``BENCH_PR6.json`` (see
 :func:`record_pr6`): measured wall-clock scaling of the ``processes``
 execution backend laid side-by-side with the HLF schedule simulation's
 predicted ``T_P`` and the Brent sandwich bounds.
-``BENCH_PR2_PATH``/``BENCH_PR3_PATH``/``BENCH_PR6_PATH`` override the
-output paths; ``BENCH_SMOKE=1`` shrinks the instances and waives the
-speedup floors (CI smoke mode — the equivalence assertions still run at
-full strength).
+The query-planner experiments write ``BENCH_PR7.json`` (see
+:func:`record_pr7`): the planner's charged-cost regret against the best
+manual variant, its predicted-vs-actual error, and the shared-subpattern
+batch speedup over the per-pattern session path.
+``BENCH_PR2_PATH``/``BENCH_PR3_PATH``/``BENCH_PR6_PATH``/
+``BENCH_PR7_PATH`` override the output paths; ``BENCH_SMOKE=1`` shrinks
+the instances and waives the speedup floors (CI smoke mode — the
+equivalence assertions still run at full strength).
 """
 
 import json
@@ -39,6 +43,7 @@ from repro.planar import embed_geometric
 _PR2_ROWS = []
 _PR3_ROWS = []
 _PR6_ROWS = []
+_PR7_ROWS = []
 
 
 def smoke_mode() -> bool:
@@ -105,6 +110,22 @@ def record_pr6(experiment: str, config: dict, points: list, extra: dict):
     )
 
 
+def record_pr7(experiment: str, config: dict, **data):
+    """Record one planner measurement for BENCH_PR7.json.
+
+    ``data`` carries the experiment's payload verbatim — per-query regret
+    rows with predicted-vs-actual errors for the planning experiments,
+    batch wall-clock/charged-cost comparisons for the sharing ones.
+    """
+    _PR7_ROWS.append(
+        {
+            "experiment": experiment,
+            "config": config,
+            **data,
+        }
+    )
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _PR2_ROWS:
         path = os.environ.get(
@@ -142,6 +163,19 @@ def pytest_sessionfinish(session, exitstatus):
             "smoke": smoke_mode(),
             "cpu_count": os.cpu_count(),
             "experiments": _PR6_ROWS,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if _PR7_ROWS:
+        path = os.environ.get(
+            "BENCH_PR7_PATH",
+            os.path.join(os.path.dirname(__file__), "..", "BENCH_PR7.json"),
+        )
+        payload = {
+            "schema": "bench-pr7/v1",
+            "smoke": smoke_mode(),
+            "experiments": _PR7_ROWS,
         }
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=2)

@@ -7,6 +7,8 @@ Examples
     python -m repro decide  --target trigrid:12x12 --pattern triangle
     python -m repro decide  --target trigrid:24x24 --pattern cycle:4 \
         --backend processes --processors 4
+    python -m repro decide  --target grid:16x16 --pattern cycle:4 \
+        --plan auto --explain
     python -m repro count   --target grid:8x8 --pattern cycle:4 --exact
     python -m repro list    --target grid:6x6 --pattern cycle:4
     python -m repro vc      --target antiprism:4
@@ -134,6 +136,16 @@ def _cost_summary(cost) -> str:
     )
 
 
+def _emit_plan(args, plan) -> None:
+    """Print the executed plan per --explain."""
+    if not getattr(args, "explain", False):
+        return
+    if plan is None:
+        print("(no plan recorded: pass --plan auto)")
+        return
+    print(plan.explain())
+
+
 def _emit_trace(args, trace) -> None:
     """Print and/or dump the result's span tree per --trace/--trace-json."""
     if trace is None:
@@ -179,9 +191,21 @@ def main(argv: Optional[list] = None) -> int:
         )
         p.add_argument(
             "--backend", choices=["serial", "threads", "processes"],
-            default="serial",
+            default=None,
             help="piece-solve execution backend (repro.exec); results "
-            "and traces are backend-independent",
+            "and traces are backend-independent (default: serial, or "
+            "the plan's choice under --plan auto)",
+        )
+        p.add_argument(
+            "--plan", choices=["auto", "manual"], default=None,
+            help="query planning: 'auto' picks engine/kernel/backend by "
+            "predicted cost (repro.engine.planner); explicit --engine/"
+            "--backend still override the plan (default: manual)",
+        )
+        p.add_argument(
+            "--explain", action="store_true",
+            help="print the executed query plan (chosen variant, "
+            "predicted vs actual cost); pairs with --plan auto",
         )
         if workers:
             p.add_argument(
@@ -289,7 +313,7 @@ def main(argv: Optional[list] = None) -> int:
     # One resolved backend serves every query of the command (the process
     # pool spins up once); profile builds its own per --measure count.
     executor = None
-    if args.command != "profile":
+    if args.command != "profile" and args.backend is not None:
         from .exec import resolve_backend
 
         executor = resolve_backend(
@@ -302,13 +326,14 @@ def main(argv: Optional[list] = None) -> int:
         pattern = parse_pattern(args.pattern)
         result = find_occurrence(
             graph, embedding, pattern, seed=args.seed,
-            engine=args.engine or "parallel", rounds=args.rounds,
-            backend=executor,
+            engine=args.engine, rounds=args.rounds,
+            backend=executor, plan=args.plan,
         )
         print(f"found: {result.found}")
         if result.witness:
             print(f"witness: {result.witness}")
         print(_cost_summary(result.cost))
+        _emit_plan(args, result.plan)
         _emit_trace(args, result.trace)
     elif args.command == "count":
         pattern = parse_pattern(args.pattern)
@@ -316,22 +341,25 @@ def main(argv: Optional[list] = None) -> int:
             from .isomorphism import count_occurrences_exact
 
             result = count_occurrences_exact(
-                graph, embedding, pattern, backend=executor
+                graph, embedding, pattern, backend=executor,
+                plan=args.plan,
             )
             print(f"isomorphisms (exact, deterministic): "
                   f"{result.isomorphisms}")
             print(_cost_summary(result.cost))
+            _emit_plan(args, result.plan)
             _emit_trace(args, result.trace)
         else:
             from .isomorphism import list_occurrences
 
             listing = list_occurrences(
                 graph, embedding, pattern, seed=args.seed,
-                engine=args.engine or "parallel", backend=executor,
+                engine=args.engine, backend=executor, plan=args.plan,
             )
             print(f"isomorphisms (w.h.p.): {len(listing.witnesses)}")
             print(f"distinct occurrences:  {len(listing.occurrences)}")
             print(_cost_summary(listing.cost))
+            _emit_plan(args, listing.plan)
             _emit_trace(args, listing.trace)
     elif args.command == "list":
         from .isomorphism import list_occurrences
@@ -339,7 +367,7 @@ def main(argv: Optional[list] = None) -> int:
         pattern = parse_pattern(args.pattern)
         listing = list_occurrences(
             graph, embedding, pattern, seed=args.seed,
-            engine=args.engine or "parallel", backend=executor,
+            engine=args.engine, backend=executor, plan=args.plan,
         )
         print(f"occurrences: {len(listing.occurrences)} "
               f"({listing.iterations} iterations)")
@@ -348,16 +376,18 @@ def main(argv: Optional[list] = None) -> int:
         if len(listing.occurrences) > 20:
             print(f"  ... and {len(listing.occurrences) - 20} more")
         print(_cost_summary(listing.cost))
+        _emit_plan(args, listing.plan)
         _emit_trace(args, listing.trace)
     elif args.command == "vc":
         from .connectivity import planar_vertex_connectivity
 
         result = planar_vertex_connectivity(
             graph, embedding, seed=args.seed, rounds=args.rounds,
-            engine=args.engine or "sequential", backend=executor,
+            engine=args.engine, backend=executor, plan=args.plan,
         )
         print(f"vertex connectivity: {result.connectivity}")
         print(_cost_summary(result.cost))
+        _emit_plan(args, result.plan)
         _emit_trace(args, result.trace)
     elif args.command == "batch":
         from .engine import TargetSession
@@ -387,7 +417,9 @@ def main(argv: Optional[list] = None) -> int:
             kwargs["engine"] = args.engine
         if args.rounds is not None:
             kwargs["rounds"] = args.rounds
-        batch = session.decide_batch(patterns, seed=args.seed, **kwargs)
+        batch = session.decide_batch(
+            patterns, seed=args.seed, plan=args.plan, **kwargs
+        )
         for spec, result in zip(specs, batch.results):
             suffix = " (amortized)" if result.amortized else ""
             print(
@@ -395,7 +427,21 @@ def main(argv: Optional[list] = None) -> int:
                 f"rounds={result.rounds_used}{suffix}"
             )
         print(f"queries: {len(specs)}  "
-              f"amortized: {batch.amortized_queries}")
+              f"amortized: {batch.amortized_queries}  "
+              f"deduped: {batch.deduped_queries}"
+              + ("  [shared-subpattern plan]" if batch.shared else ""))
+        if args.explain:
+            if batch.shared:
+                print(
+                    "plan: shared-subpattern batch — one (k_max, d_max) "
+                    "cover per round, occurrence tables computed once per "
+                    "canonical subpattern and shared across patterns"
+                )
+            else:
+                for spec, result in zip(specs, batch.results):
+                    if getattr(result, "plan", None) is not None:
+                        print(f"-- {spec}")
+                        print(result.plan.explain())
         print("charged:         " + _cost_summary(batch.cost))
         print("cold equivalent: " + _cost_summary(batch.cold_equivalent_cost))
         if args.session_stats:
@@ -426,10 +472,11 @@ def main(argv: Optional[list] = None) -> int:
         pattern = parse_pattern(args.pattern)
         result = find_occurrence(
             graph, embedding, pattern, seed=args.seed,
-            engine=args.engine or "parallel", rounds=args.rounds,
+            engine=args.engine, rounds=args.rounds, plan=args.plan,
         )
         print(f"found: {result.found}")
         print(_cost_summary(result.cost))
+        _emit_plan(args, result.plan)
         try:
             procs = sorted({
                 int(s) for s in args.processors.split(",") if s.strip()
@@ -463,18 +510,27 @@ def main(argv: Optional[list] = None) -> int:
                   f"work={sp.work:,}")
         if args.measure:
             from .exec import resolve_backend
+            from .exec.backends import available_cores
             from .pram import compare_measured, format_measured
 
             bk_name = (
                 "threads" if args.backend == "threads" else "processes"
             )
+            cores = available_cores()
+            over = [p for p in procs if p > cores]
+            note = (
+                f"; P={','.join(map(str, over))} oversubscribe — "
+                f"measured speedups above {cores}x are not expected"
+                if over else ""
+            )
+            print(f"physical cores available: {cores}{note}")
             measurements = {}
             for p in procs:
                 with resolve_backend(bk_name, max_workers=p) as mexec:
                     m0 = time.perf_counter()
                     find_occurrence(
                         graph, embedding, pattern, seed=args.seed,
-                        engine=args.engine or "parallel",
+                        engine=args.engine,
                         rounds=args.rounds, backend=mexec,
                     )
                     measurements[p] = time.perf_counter() - m0

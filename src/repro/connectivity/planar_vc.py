@@ -61,17 +61,19 @@ class VertexConnectivityResult:
     trace: Optional[Span] = None
     amortized: bool = False
     cold_equivalent_cost: Optional[Cost] = None
+    plan: Optional[object] = None
 
 
 def planar_vertex_connectivity(
     graph: Graph,
     embedding: PlanarEmbedding,
     seed: int = 0,
-    engine: str = "sequential",
+    engine: Optional[str] = None,
     rounds: Optional[int] = None,
     want_certificate: bool = False,
     artifacts=None,
-    backend="serial",
+    backend=None,
+    plan=None,
 ) -> VertexConnectivityResult:
     """Decide the vertex connectivity of a planar graph (Lemma 5.2).
 
@@ -86,9 +88,17 @@ def planar_vertex_connectivity(
     per-minor solves of the cycle searches (``repro.exec``); one resolved
     backend is shared across the c = 2, 3, 4 searches.
     """
+    from ..engine.planner import apply_plan
+
     n = graph.n
     provider = (
         artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
+    )
+    # VC has no pattern argument: plan against the deepest cycle search
+    # (the 8-cycle of the c = 4 probe), which dominates the pipeline cost.
+    plan_obj, engine, _kernel, backend = apply_plan(
+        plan, provider, cycle_pattern(8), "vc", seed, rounds,
+        engine, None, backend, default_engine="sequential",
     )
     mark = provider.amortization_mark()
     tracker = Tracer("planar-vc")
@@ -96,6 +106,8 @@ def planar_vertex_connectivity(
 
     def _result(connectivity, cut):
         hits, saved = provider.amortization_since(mark)
+        if plan_obj is not None:
+            plan_obj.record_actual(tracker.cost)
         return VertexConnectivityResult(
             connectivity=connectivity,
             certificate_cut=cut,
@@ -103,6 +115,7 @@ def planar_vertex_connectivity(
             trace=tracker.root,
             amortized=hits > 0,
             cold_equivalent_cost=tracker.cost + saved,
+            plan=plan_obj,
         )
 
     if n <= 5:

@@ -56,6 +56,13 @@ class ColdArtifacts:
         # provider so its lifetime matches the driver invocation (cold)
         # or the whole session (TargetSession) — never process-global.
         self.overflow_warned: set = set()
+        # The planner's calibrating cost model (repro.engine.planner) —
+        # provider-owned for the same lifetime reason: a cold provider
+        # calibrates within one driver call, a session across its whole
+        # query stream, and nothing leaks between sessions.
+        from .planner import CostModel
+
+        self.cost_model = CostModel()
 
     # -- artifacts ---------------------------------------------------------
 
@@ -136,6 +143,18 @@ class ColdArtifacts:
         kernel: str, value, cold_cost: Cost,
     ) -> None:
         """Record a worker-computed piece solution; no-op when cold."""
+
+    def subpattern_cached(
+        self, piece, canon: Tuple[int, int], tracer: Tracer
+    ) -> Tuple[bool, object]:
+        """``(hit, table)`` for a shared-subpattern occurrence table
+        (``repro.engine.shared``); always a miss when cold."""
+        return (False, None)
+
+    def store_subpattern(
+        self, piece, canon: Tuple[int, int], table, cold_cost: Cost
+    ) -> None:
+        """Publish a per-piece subpattern table; no-op when cold."""
 
     def face_vertex(self, tracer: Tracer):
         """The bipartite face--vertex graph G' (Section 5.1)."""

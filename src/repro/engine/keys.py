@@ -43,11 +43,24 @@ def _digest(*chunks: bytes) -> str:
 
 def graph_fingerprint(graph) -> str:
     """Fingerprint of a :class:`~repro.graphs.csr.Graph`: vertex count plus
-    the canonical (u < v) edge array bytes."""
-    return _digest(
+    the canonical (u < v) edge array bytes.
+
+    Memoized on the graph object (CSR graphs are immutable), so batches
+    that probe the same pattern or target repeatedly hash its edge array
+    once instead of once per query.
+    """
+    cached = getattr(graph, "_content_fp", None)
+    if cached is not None:
+        return cached
+    fp = _digest(
         graph.n.to_bytes(8, "little"),
         np.ascontiguousarray(graph.edges(), dtype=np.int64).tobytes(),
     )
+    try:
+        graph._content_fp = fp
+    except AttributeError:  # pragma: no cover - non-Graph duck types
+        pass
+    return fp
 
 
 def embedding_fingerprint(embedding) -> str:
@@ -126,7 +139,8 @@ def mask_fingerprint(mask) -> str:
 
 def pattern_fingerprint(pattern) -> str:
     """Fingerprint of a pattern H — its graph content (the precomputed
-    neighbor caches are derived, so they never enter the key)."""
+    neighbor caches are derived, so they never enter the key).  Memoized
+    through :func:`graph_fingerprint`'s on-object cache."""
     return graph_fingerprint(pattern.graph)
 
 

@@ -171,6 +171,9 @@ class BatchResult:
     cold_equivalent_cost: Cost
     amortized_queries: int
     cache_stats: dict = field(default_factory=dict)
+    deduped_queries: int = 0
+    shared: bool = False
+    trace: Optional[object] = None
 
     @property
     def amortized(self) -> bool:
@@ -409,6 +412,28 @@ class TargetSession(ColdArtifacts):
         key = self._piece_key(piece, pattern, engine, want_witness, kernel)
         self._store("piece-dp", key, value, cold_cost)
 
+    def _subpattern_key(self, piece, canon: Tuple[int, int]) -> tuple:
+        return ("piece-sub", self.target_key, piece_fingerprint(piece), canon)
+
+    def subpattern_cached(
+        self, piece, canon: Tuple[int, int], tracer: Optional[Tracer]
+    ) -> Tuple[bool, object]:
+        """Shared-subpattern occurrence table of ``piece`` for the
+        canonical subpattern ``canon`` (``repro.engine.shared``) — cached
+        like any derived artifact, so a repeated shared batch skips the
+        extension cascade outright."""
+        entry = self._cache.get(self._subpattern_key(piece, canon))
+        if entry is not None:
+            return (True, self._hit("piece-sub", entry, tracer))
+        return (False, None)
+
+    def store_subpattern(
+        self, piece, canon: Tuple[int, int], table, cold_cost: Cost
+    ) -> None:
+        self._store(
+            "piece-sub", self._subpattern_key(piece, canon), table, cold_cost
+        )
+
     def face_vertex(self, tracer: Tracer):
         key = ("face-vertex", self.target_key)
         entry = self._cache.get(key)
@@ -502,13 +527,20 @@ class TargetSession(ColdArtifacts):
         )
 
     def decide_batch(
-        self, patterns: Sequence, seed: int = 0, **kwargs
+        self, patterns: Sequence, seed: int = 0, plan=None, **kwargs
     ) -> BatchResult:
         """Decide every pattern against this target, sharing artifacts.
 
-        Queries run in input order with the *same seed schedule* the
-        one-shot driver uses, so ``results[i]`` is byte-identical (verdict,
-        witness, rounds used) to
+        Identical in-flight patterns are deduplicated first (request
+        coalescing): each distinct pattern is solved once and the result
+        fanned out in input order — duplicate entries carry a zero-cost
+        trace, count as ``batch-dedup`` hits in :class:`CacheStats`, and
+        keep the original's ``cold_equivalent_cost`` so Table-1 style
+        accounting still reflects every query.
+
+        With ``plan=None`` (default), queries run in input order with the
+        *same seed schedule* the one-shot driver uses, so ``results[i]``
+        is byte-identical (verdict, witness, rounds used) to
         ``decide_subgraph_isomorphism(graph, embedding, patterns[i], seed)``.
         Patterns of equal ``(k, d)`` share one cover sweep per round;
         patterns of equal ``k`` additionally share the per-seed EST
@@ -516,13 +548,54 @@ class TargetSession(ColdArtifacts):
         decompositions, and *repeated* patterns reuse the per-piece DP
         solutions outright — that is where the >=3x warm wall-clock win of
         ``benchmarks/bench_batch.py`` comes from.
+
+        With ``plan="auto"`` the planner takes over: batches of two or
+        more distinct connected patterns run the shared-subpattern path
+        (``repro.engine.shared``) — one Theorem 2.4 cover per round at
+        ``(k_max, d_max)`` and per-piece occurrence tables computed once
+        per shared canonical subpattern.  Verdicts keep the one-sided
+        Monte Carlo guarantee but draw different covers, so they are
+        verdict-equal, not byte-identical, to the per-pattern path (which
+        is why sharing is opt-in).  The shared charge lives on
+        ``BatchResult.cost``/``trace``; per-result costs are zero.
         """
-        results = []
+        from .keys import pattern_fingerprint
+
+        unique: List = []
+        assign: List[int] = []
+        index_of: Dict[str, int] = {}
+        for pattern in patterns:
+            fp = pattern_fingerprint(pattern)
+            if fp not in index_of:
+                index_of[fp] = len(unique)
+                unique.append(pattern)
+            assign.append(index_of[fp])
+        deduped = len(patterns) - len(unique)
+
+        if (
+            plan == "auto"
+            and len(unique) >= 2
+            and all(p.is_connected() for p in unique)
+        ):
+            return self._decide_batch_shared(
+                unique, assign, deduped, seed, **kwargs
+            )
+
+        unique_results: List = []
         total = Cost.zero()
         cold = Cost.zero()
         amortized_queries = 0
-        for pattern in patterns:
-            result = self.decide(pattern, seed=seed, **kwargs)
+        results: List = []
+        for i, pattern in enumerate(patterns):
+            uidx = assign[i]
+            if uidx < len(unique_results):
+                original = unique_results[uidx]
+                result = self._dedup_result(original)
+            else:
+                result = self.decide(
+                    pattern, seed=seed, plan=plan, **kwargs
+                )
+                unique_results.append(result)
             results.append(result)
             total = total + result.cost
             cold = cold + (result.cold_equivalent_cost or result.cost)
@@ -534,4 +607,68 @@ class TargetSession(ColdArtifacts):
             cold_equivalent_cost=cold,
             amortized_queries=amortized_queries,
             cache_stats=self.stats.as_dict(),
+            deduped_queries=deduped,
+        )
+
+    def _dedup_result(self, original):
+        """Fan-out copy of a duplicate query's result: same verdict and
+        witness, zero charged cost (a fresh zero-cost trace keeps
+        ``result.trace.cost == result.cost``), the original's
+        cold-equivalent charge, and a ``batch-dedup`` CacheStats hit whose
+        saved cost is the warm re-solve the duplicate skipped."""
+        import dataclasses
+
+        tracer = Tracer("decide-si")
+        self.stats.record_hit("batch-dedup", original.cost)
+        tracer.charge(
+            Cost.zero(),
+            label="batch-dedup-cached",
+            amortized=1,
+            saved_work=original.cost.work,
+            saved_depth=original.cost.depth,
+        )
+        return dataclasses.replace(
+            original,
+            cost=Cost.zero(),
+            trace=tracer.root,
+            amortized=True,
+            cold_equivalent_cost=(
+                original.cold_equivalent_cost or original.cost
+            ),
+        )
+
+    def _decide_batch_shared(
+        self, unique: List, assign: List[int], deduped: int, seed: int,
+        **kwargs,
+    ) -> BatchResult:
+        """The ``plan="auto"`` shared-subpattern path (see
+        :meth:`decide_batch`)."""
+        from .shared import decide_batch_shared
+
+        shared_kwargs = {
+            key: value
+            for key, value in kwargs.items()
+            if key in (
+                "rounds", "confidence_log_factor", "want_witness",
+                "engine", "kernel", "cap",
+            )
+            and value is not None
+        }
+        mark = self.amortization_mark()
+        unique_results, tracer = decide_batch_shared(
+            self, unique, seed=seed, **shared_kwargs
+        )
+        _, saved = self.amortization_since(mark)
+        for _ in range(deduped):
+            self.stats.record_hit("batch-dedup", Cost.zero())
+        results = [unique_results[uidx] for uidx in assign]
+        return BatchResult(
+            results=results,
+            cost=tracer.cost,
+            cold_equivalent_cost=tracer.cost + saved,
+            amortized_queries=len(results),
+            cache_stats=self.stats.as_dict(),
+            deduped_queries=deduped,
+            shared=True,
+            trace=tracer.root,
         )

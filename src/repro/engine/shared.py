@@ -1,0 +1,506 @@
+"""Multi-pattern plan sharing: one cover, shared subpattern tables.
+
+Eppstein's connected-pattern decomposition (PAPERS.md, *Subgraph
+Isomorphism in Planar Graphs and Related Problems*) observes that related
+patterns factor through shared connected subpatterns.  This module makes
+that executable for a batch of queries against one target session:
+
+1.  Every connected pattern H is reduced to a :func:`pattern_chain` — an
+    addition order ``v_1 .. v_k`` whose every prefix induces a connected
+    subpattern, found by greedily deleting connectivity-preserving
+    vertices toward the lexicographically smallest canonical form.  Chains
+    of different patterns meet in shared *canonical* nodes (C4..C7 all
+    funnel through the paths P1..P6), and isomorphic patterns share their
+    entire chain — the lattice dedups them for free.
+
+2.  Per batch, the chains merge into a subpattern *lattice* (one build
+    recipe per canonical node, topologically ordered by size).
+
+3.  Per round, ONE Theorem 2.4 cover is built at ``(k_max, d_max)`` —
+    valid for every pattern in the batch, since the cut probability
+    ``(d_i + 1) / (2 k_max) <= (d_max + 1) / (2 k_max) <= 1/2`` keeps the
+    per-round success guarantee.  Per piece, occurrence tables (int64
+    ``N x size`` arrays of injective maps, columns in canonical vertex
+    order) are built bottom-up through the lattice with the vectorized
+    incremental-extension matcher (:func:`extend_table`): extend every
+    occurrence of the size-``i`` node by one vertex via CSR ragged
+    expansion + ``Graph.has_edges`` adjacency filters + injectivity
+    masks.  Each table is computed once per piece regardless of how many
+    patterns consume it, and published into the session's per-piece store
+    (kind ``"piece-sub"``) so a repeated batch is fully warm.
+
+4.  If a piece's tables outgrow :data:`OCCURRENCE_CAP`, the piece falls
+    back to the standard per-(piece, pattern) bounded-treewidth DP
+    (``provider.solve_piece`` — itself session-cached), so density never
+    breaks the batch, only its sharing.
+
+Verdict semantics: "found" is exact (the tables enumerate occurrences
+outright, and double as witnesses); "not found" after ``O(log n)`` rounds
+is correct w.h.p. — the same one-sided Monte Carlo guarantee as the
+per-pattern driver.  Because the shared path draws *different covers*
+(one per batch round at ``(k_max, d_max)`` instead of one per pattern at
+``(k_i, d_i)``), results are *verdict-equal* but not byte-identical to
+the per-pattern path; sharing is therefore opt-in via
+``decide_batch(..., plan="auto")``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..pram import Cost, ShadowArray, Tracer
+from ..pram.cost import log2_ceil
+
+__all__ = [
+    "OCCURRENCE_CAP",
+    "ChainLevel",
+    "canonical_form",
+    "pattern_chain",
+    "extend_table",
+    "decide_batch_shared",
+]
+
+#: Hard ceiling on the candidate expansion of one extension step (and
+#: hence on table rows).  Above it the piece is solved by the DP instead.
+OCCURRENCE_CAP = 1 << 20
+
+#: Largest pattern the brute-force canonicalizer accepts (8! = 40320
+#: permutations; the paper's patterns have k <= 8).
+MAX_CANON_VERTICES = 8
+
+
+class CapExceeded(Exception):
+    """An extension step outgrew :data:`OCCURRENCE_CAP`."""
+
+
+@lru_cache(maxsize=4096)
+def _canonical(k: int, edges: Tuple[Tuple[int, int], ...]) -> Tuple[
+    Tuple[int, int], Tuple[int, ...]
+]:
+    """Brute-force canonical form of a tiny graph.
+
+    Returns ``(canon, perm)`` where ``canon = (k, code)`` is equal for
+    exactly the isomorphic graphs on ``k`` vertices (``code`` packs the
+    lexicographically smallest upper-triangle adjacency over all vertex
+    relabellings) and ``perm[v]`` is the canonical position of vertex
+    ``v`` under a deterministic code-minimizing relabelling.
+
+    Pure function of content, so the ``lru_cache`` is a sound process-wide
+    memo (no mutable state escapes).
+    """
+    if k > MAX_CANON_VERTICES:
+        raise ValueError(
+            f"canonical_form handles at most {MAX_CANON_VERTICES} vertices, "
+            f"got {k}"
+        )
+    adj = [[False] * k for _ in range(k)]
+    for u, v in edges:
+        adj[u][v] = adj[v][u] = True
+    best_code: Optional[int] = None
+    best_perm: Tuple[int, ...] = tuple(range(k))
+    for perm in permutations(range(k)):
+        code = 0
+        for u in range(k):
+            pu = perm[u]
+            row = adj[u]
+            for v in range(u + 1, k):
+                if row[v]:
+                    i, j = (
+                        (pu, perm[v]) if pu < perm[v] else (perm[v], pu)
+                    )
+                    code |= 1 << (i * k + j)
+        if best_code is None or code < best_code:
+            best_code = code
+            best_perm = perm
+    return (k, int(best_code or 0)), best_perm
+
+
+def canonical_form(graph) -> Tuple[Tuple[int, int], Tuple[int, ...]]:
+    """Canonical ``((k, code), vertex -> canonical position)`` of a tiny
+    :class:`~repro.graphs.csr.Graph` (see :func:`_canonical`)."""
+    edges = tuple(
+        sorted((int(u), int(v)) for u, v in graph.iter_edges())
+    )
+    return _canonical(graph.n, edges)
+
+
+@dataclass(frozen=True)
+class ChainLevel:
+    """One prefix of a pattern's addition order.
+
+    ``verts[l]`` is the original pattern vertex at addition position
+    ``l``; ``canon`` identifies the induced subpattern up to isomorphism;
+    ``perm[l]`` is the canonical column of addition position ``l``;
+    ``attach`` lists the addition positions the newest vertex connects to
+    (empty only at size 1).
+    """
+
+    verts: Tuple[int, ...]
+    canon: Tuple[int, int]
+    perm: Tuple[int, ...]
+    attach: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.verts)
+
+
+def _induced_edges(
+    vert_order: Sequence[int], neighbors
+) -> Tuple[Tuple[int, int], ...]:
+    """Edges of the induced subpattern, relabelled to addition positions."""
+    pos = {v: i for i, v in enumerate(vert_order)}
+    out = []
+    for v in vert_order:
+        for w in neighbors(v):
+            if w in pos and pos[v] < pos[w]:
+                out.append((pos[v], pos[w]))
+    return tuple(sorted(out))
+
+
+def _connected_subset(vertices: frozenset, neighbors) -> bool:
+    if not vertices:
+        return False
+    start = next(iter(vertices))
+    seen = {start}
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        for w in neighbors(v):
+            if w in vertices and w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return len(seen) == len(vertices)
+
+
+def pattern_chain(pattern) -> Tuple[ChainLevel, ...]:
+    """Connectivity-preserving addition order of a connected pattern.
+
+    Built backwards: repeatedly delete the vertex whose removal keeps the
+    subpattern connected and yields the smallest canonical form (ties by
+    vertex id) — the greedy choice that makes chains of related patterns
+    meet (every cycle funnels through the path family).  The result is
+    deterministic and memoized on the pattern object.
+    """
+    cached = getattr(pattern, "_chain", None)
+    if cached is not None:
+        return cached
+    if not pattern.is_connected():
+        raise ValueError("plan sharing handles connected patterns only")
+    k = pattern.k
+    current = list(range(k))
+    deletion: List[int] = []
+    while len(current) > 1:
+        best: Optional[Tuple[Tuple[int, int], int]] = None
+        for v in current:
+            rest = frozenset(current) - {v}
+            if not _connected_subset(rest, pattern.neighbors):
+                continue
+            order = [u for u in current if u != v]
+            canon, _ = _canonical(
+                len(order), _induced_edges(order, pattern.neighbors)
+            )
+            if best is None or (canon, v) < best:
+                best = (canon, v)
+        assert best is not None  # a connected graph always has one
+        deletion.append(best[1])
+        current.remove(best[1])
+    addition = current + list(reversed(deletion))
+    levels: List[ChainLevel] = []
+    for i in range(1, k + 1):
+        prefix = addition[:i]
+        canon, perm = _canonical(
+            i, _induced_edges(prefix, pattern.neighbors)
+        )
+        pos = {v: l for l, v in enumerate(prefix)}
+        if i == 1:
+            attach: Tuple[int, ...] = ()
+        else:
+            attach = tuple(
+                sorted(
+                    pos[w]
+                    for w in pattern.neighbors(prefix[-1])
+                    if w in pos and pos[w] < i - 1
+                )
+            )
+        levels.append(
+            ChainLevel(
+                verts=tuple(prefix), canon=canon, perm=perm, attach=attach
+            )
+        )
+    chain = tuple(levels)
+    try:
+        object.__setattr__(pattern, "_chain", chain)
+    except AttributeError:  # pragma: no cover - duck-typed patterns
+        pass
+    return chain
+
+
+# -- the vectorized incremental-extension matcher ---------------------------
+
+
+def extend_table(
+    piece_graph,
+    t_local: np.ndarray,
+    attach: Sequence[int],
+    cap: int = OCCURRENCE_CAP,
+) -> Tuple[np.ndarray, int]:
+    """Extend every injective occurrence in ``t_local`` by one vertex.
+
+    ``t_local`` is an ``N x (i-1)`` int64 array (columns in addition
+    order); the new vertex must be adjacent to the columns in ``attach``
+    and distinct from every mapped vertex.  Returns ``(table, work)``
+    where ``table`` is ``M x i`` in addition order and ``work`` counts the
+    elementary candidate expansions and filter operations performed (what
+    the caller charges).  Raises :class:`CapExceeded` when the candidate
+    expansion exceeds ``cap``.
+
+    One CSR ragged expansion + boolean masks — no Python loop over rows.
+    """
+    n_rows, width = t_local.shape
+    if n_rows == 0:
+        return np.empty((0, width + 1), dtype=np.int64), 1
+    indptr = piece_graph.indptr
+    j0 = attach[0]
+    base = t_local[:, j0]
+    counts = (indptr[base + 1] - indptr[base]).astype(np.int64)
+    total = int(counts.sum())
+    if total > cap:
+        raise CapExceeded(f"extension expands {total} > cap {cap}")
+    if total == 0:
+        return np.empty((0, width + 1), dtype=np.int64), max(n_rows, 1)
+    starts = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    cand = piece_graph.indices[np.repeat(indptr[base], counts) + offsets]
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), counts)
+    mask = np.ones(total, dtype=bool)
+    for j in attach[1:]:
+        mask &= piece_graph.has_edges(t_local[rows, j], cand)
+    for c in range(width):
+        mask &= cand != t_local[rows, c]
+    rows = rows[mask]
+    cand = cand[mask]
+    table = np.concatenate([t_local[rows], cand[:, None]], axis=1)
+    work = total * (len(attach) + width) + n_rows
+    return table, work
+
+
+@dataclass(frozen=True)
+class _LatticeNode:
+    """Build recipe for one canonical subpattern: extend ``parent``'s
+    canonical table (columns -> addition order via ``parent_perm``) by a
+    vertex attached at ``attach``, then reorder columns to this node's
+    canonical order via ``perm``.  The recipe came from whichever chain
+    reached the node first — any route builds the same table, because a
+    canonical table is the complete set of injective maps of the node's
+    graph, independent of construction order."""
+
+    canon: Tuple[int, int]
+    parent: Optional[Tuple[int, int]]
+    parent_perm: Tuple[int, ...]
+    attach: Tuple[int, ...]
+    perm: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return self.canon[0]
+
+
+def _build_lattice(
+    chains: Sequence[Tuple[ChainLevel, ...]]
+) -> List[_LatticeNode]:
+    """Merge chains into one recipe per canonical node, sorted by size
+    (a valid topological order: every recipe's parent is smaller)."""
+    nodes: Dict[Tuple[int, int], _LatticeNode] = {}
+    for chain in chains:
+        for i, level in enumerate(chain):
+            if level.canon in nodes:
+                continue
+            parent = chain[i - 1] if i > 0 else None
+            nodes[level.canon] = _LatticeNode(
+                canon=level.canon,
+                parent=parent.canon if parent else None,
+                parent_perm=parent.perm if parent else (),
+                attach=level.attach,
+                perm=level.perm,
+            )
+    return sorted(nodes.values(), key=lambda node: (node.size, node.canon))
+
+
+def _node_table(
+    node: _LatticeNode,
+    piece,
+    tables: Dict[Tuple[int, int], np.ndarray],
+    provider,
+    tracer,
+    cap: int,
+) -> np.ndarray:
+    """The canonical occurrence table of ``node`` in ``piece`` — from the
+    session's per-piece store when warm, else built via one extension."""
+    hit, cached = provider.subpattern_cached(piece, node.canon, tracer)
+    if hit:
+        return cached
+    if node.parent is None:
+        table = np.arange(piece.graph.n, dtype=np.int64)[:, None]
+        work = max(piece.graph.n, 1)
+    else:
+        parent_table = tables[node.parent]
+        # Canonical columns -> addition order of the discovering chain.
+        t_local = parent_table[:, np.asarray(node.parent_perm, np.int64)]
+        t_local, work = extend_table(piece.graph, t_local, node.attach, cap)
+        inv = np.empty(node.size, dtype=np.int64)
+        inv[np.asarray(node.perm, np.int64)] = np.arange(node.size)
+        table = np.ascontiguousarray(t_local[:, inv])
+    cost = Cost(work, min(work, log2_ceil(work) + len(node.attach) + 1))
+    tracer.charge(cost, label="subpattern-extend")
+    provider.store_subpattern(piece, node.canon, table, cost)
+    return table
+
+
+def decide_batch_shared(
+    provider,
+    patterns: Sequence,
+    seed: int = 0,
+    rounds: Optional[int] = None,
+    confidence_log_factor: float = 2.0,
+    want_witness: bool = False,
+    engine: str = "parallel",
+    kernel: str = "packed",
+    cap: int = OCCURRENCE_CAP,
+) -> Tuple[List, Tracer]:
+    """Decide every pattern with shared covers and shared subpattern
+    tables (module docstring).  Returns per-pattern
+    :class:`~repro.isomorphism.planar_si.PlanarSIResult` objects (shared
+    work is charged to the returned batch tracer, so the per-result
+    ``cost`` is zero and ``trace`` is None — attribution happens at batch
+    granularity) plus the batch tracer itself.
+
+    ``engine`` / ``kernel`` configure only the dense-piece DP fallback.
+    """
+    from ..isomorphism.planar_si import PlanarSIResult
+
+    chains = [pattern_chain(p) for p in patterns]
+    lattice = _build_lattice(chains)
+    k_max = max(p.k for p in patterns)
+    d_max = max(p.diameter() for p in patterns)
+    n = provider.graph.n
+    if rounds is None:
+        rounds = max(
+            1, math.ceil(confidence_log_factor * math.log2(max(n, 2)))
+        )
+    tracer = Tracer("decide-batch-shared")
+    tracer.count(
+        n=n, m=provider.graph.m, patterns=len(patterns),
+        lattice_nodes=len(lattice), k_max=k_max, d_max=d_max,
+    )
+    provider.charge_embedding(tracer)
+    found: List[Optional[Dict[int, int]]] = [None] * len(patterns)
+    decided = [False] * len(patterns)
+    rounds_used = [0] * len(patterns)
+    pieces_examined = 0
+    max_width = 0
+    for r in range(rounds):
+        if all(decided):
+            break
+        undecided = [i for i in range(len(patterns)) if not decided[i]]
+        needed = set()
+        for i in undecided:
+            needed.update(level.canon for level in chains[i])
+        with tracer.span("shared-round"):
+            cover = provider.cover(k_max, d_max, seed + r, tracer)
+            hits: List[List[Tuple[int, Dict[int, int]]]] = [
+                [] for _ in patterns
+            ]
+            with tracer.parallel("pieces") as region:
+                slots = ShadowArray("piece-subtables", len(cover.pieces))
+                for piece_idx, piece in enumerate(cover.pieces):
+                    if piece.graph.n < min(
+                        patterns[i].k for i in undecided
+                    ):
+                        continue
+                    pieces_examined += 1
+                    max_width = max(
+                        max_width, piece.decomposition.width()
+                    )
+                    with region.branch("shared-tables") as branch:
+                        branch.record_writes(slots, piece_idx)
+                        tables: Dict[Tuple[int, int], np.ndarray] = {}
+                        dense = False
+                        for node in lattice:
+                            if node.canon not in needed:
+                                continue
+                            if node.size > piece.graph.n:
+                                continue
+                            if (
+                                node.parent is not None
+                                and node.parent not in tables
+                            ):
+                                continue  # parent skipped (piece too small)
+                            try:
+                                tables[node.canon] = _node_table(
+                                    node, piece, tables, provider,
+                                    branch, cap,
+                                )
+                            except CapExceeded:
+                                dense = True
+                                break
+                        for i in undecided:
+                            pat = patterns[i]
+                            if pat.k > piece.graph.n:
+                                continue
+                            final = chains[i][-1]
+                            if dense:
+                                witness = provider.solve_piece(
+                                    piece, pat, engine, branch,
+                                    want_witness, kernel,
+                                )
+                                if witness is None:
+                                    continue
+                                local = {
+                                    p: int(piece.originals[v])
+                                    for p, v in witness.items()
+                                } if want_witness else {}
+                                hits[i].append((piece_idx, local))
+                                continue
+                            table = tables.get(final.canon)
+                            if table is None or table.shape[0] == 0:
+                                continue
+                            row = table[0]
+                            local = {
+                                final.verts[l]: int(
+                                    piece.originals[row[final.perm[l]]]
+                                )
+                                for l in range(final.size)
+                            } if want_witness else {}
+                            hits[i].append((piece_idx, local))
+            for i in undecided:
+                if hits[i]:
+                    decided[i] = True
+                    rounds_used[i] = r + 1
+                    found[i] = min(hits[i])[1]
+    for i in range(len(patterns)):
+        if not decided[i]:
+            rounds_used[i] = rounds
+    results = [
+        PlanarSIResult(
+            found=found[i] is not None,
+            witness=(
+                found[i] if want_witness and found[i] is not None else None
+            ),
+            rounds_used=rounds_used[i],
+            cost=Cost.zero(),
+            pieces_examined=pieces_examined,
+            max_piece_width=max_width,
+            trace=None,
+            amortized=True,
+            cold_equivalent_cost=None,
+        )
+        for i in range(len(patterns))
+    ]
+    return results, tracer

@@ -55,12 +55,33 @@ __all__ = [
     "ThreadsBackend",
     "ProcessesBackend",
     "ParallelSanitizeWarning",
+    "available_cores",
     "resolve_backend",
     "backend_scope",
     "BACKENDS",
 ]
 
 BACKENDS = ("serial", "threads", "processes")
+
+
+def available_cores() -> int:
+    """CPU cores actually available to this process.
+
+    Fallback chain: ``os.process_cpu_count()`` (3.13+, affinity-aware) ->
+    ``os.sched_getaffinity(0)`` (POSIX affinity mask — what a cgroup-
+    restricted CI container really grants) -> ``os.cpu_count()`` -> 1.
+    Benchmarks report this next to their waiver notes so BENCH_PR6-style
+    records are interpretable off the development container.
+    """
+    probe = getattr(os, "process_cpu_count", None)
+    if probe is not None:
+        count = probe()
+        if count:
+            return int(count)
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX
+        return os.cpu_count() or 1
 
 
 class ParallelSanitizeWarning(RuntimeWarning):
@@ -208,7 +229,7 @@ class ThreadsBackend(ExecutionBackend):
         super().__init__()
         from concurrent.futures import ThreadPoolExecutor
 
-        self.max_workers = int(max_workers or (os.cpu_count() or 1))
+        self.max_workers = int(max_workers or available_cores())
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="repro-exec"
         )
@@ -251,7 +272,7 @@ class ProcessesBackend(ExecutionBackend):
         transport: Optional[str] = None,
     ) -> None:
         super().__init__()
-        self.max_workers = int(max_workers or (os.cpu_count() or 1))
+        self.max_workers = int(max_workers or available_cores())
         if transport is None:
             transport = os.environ.get("REPRO_EXEC_TRANSPORT", "shm")
         if transport not in ("shm", "pickle"):

@@ -28,7 +28,10 @@ class Graph:
         edges are merged (the structure is a simple graph).
     """
 
-    __slots__ = ("n", "indptr", "indices", "_edges_uv", "_adjsets", "_edge_keys")
+    __slots__ = (
+        "n", "indptr", "indices", "_edges_uv", "_adjsets", "_edge_keys",
+        "_content_fp",
+    )
 
     def __init__(self, n: int, edges: Iterable[Tuple[int, int]]) -> None:
         if n < 0:
@@ -58,6 +61,7 @@ class Graph:
         )
         self._adjsets = None
         self._edge_keys = None
+        self._content_fp = None
 
     # -- constructors ------------------------------------------------------
 
@@ -70,6 +74,7 @@ class Graph:
         g.indices = np.asarray(indices, dtype=np.int64)
         g._adjsets = None
         g._edge_keys = None
+        g._content_fp = None
         u = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.indptr))
         mask = u < g.indices
         g._edges_uv = np.stack([u[mask], g.indices[mask]], axis=1)

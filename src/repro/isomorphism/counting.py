@@ -61,6 +61,7 @@ class DeterministicCountResult:
     trace: Optional[Span] = None
     amortized: bool = False
     cold_equivalent_cost: Optional[Cost] = None
+    plan: Optional[object] = None
 
 
 def count_occurrences_exact(
@@ -68,7 +69,8 @@ def count_occurrences_exact(
     embedding: PlanarEmbedding,
     pattern: Pattern,
     artifacts=None,
-    backend="serial",
+    backend=None,
+    plan=None,
 ) -> DeterministicCountResult:
     """Count the pattern's occurrences exactly and deterministically.
 
@@ -83,8 +85,15 @@ def count_occurrences_exact(
     """
     if not pattern.is_connected():
         raise ValueError("exact counting needs a connected pattern")
+    from ..engine.planner import apply_plan
+
     provider = (
         artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
+    )
+    # The window DP is inherently sequential (nested inclusion--exclusion
+    # windows); only the plan's backend choice applies here.
+    plan_obj, _engine, _kernel, backend = apply_plan(
+        plan, provider, pattern, "count", 0, None, None, None, backend,
     )
     mark = provider.amortization_mark()
     k, d = pattern.k, pattern.diameter()
@@ -137,6 +146,8 @@ def count_occurrences_exact(
                     windows += 1
     tracker.count(windows=windows)
     hits, saved = provider.amortization_since(mark)
+    if plan_obj is not None:
+        plan_obj.record_actual(tracker.cost)
     return DeterministicCountResult(
         isomorphisms=total,
         windows_examined=windows,
@@ -144,6 +155,7 @@ def count_occurrences_exact(
         trace=tracker.root,
         amortized=hits > 0,
         cold_equivalent_cost=tracker.cost + saved,
+        plan=plan_obj,
     )
 
 

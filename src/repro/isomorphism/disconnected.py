@@ -35,6 +35,7 @@ class DisconnectedSIResult:
     witness: Optional[Dict[int, int]]
     colorings_used: int
     cost: Cost
+    plan: Optional[object] = None
 
 
 def decide_disconnected(
@@ -42,11 +43,12 @@ def decide_disconnected(
     embedding: PlanarEmbedding,
     pattern: Pattern,
     seed: int,
-    engine: str = "parallel",
+    engine: Optional[str] = None,
     colorings: Optional[int] = None,
     rounds_per_component: Optional[int] = 4,
     want_witness: bool = False,
-    backend="serial",
+    backend=None,
+    plan=None,
 ) -> DisconnectedSIResult:
     """Decide (w.h.p.) occurrence of an arbitrary pattern (Lemma 4.1).
 
@@ -58,6 +60,9 @@ def decide_disconnected(
     here and shared by every inner connected-driver call (one pool for the
     whole coloring loop; see :mod:`repro.exec`).
     """
+    from ..engine.artifacts import ColdArtifacts
+    from ..engine.planner import apply_plan
+
     components = pattern.component_patterns()
     l = len(components)
     k = pattern.k
@@ -65,13 +70,22 @@ def decide_disconnected(
         inner = decide_subgraph_isomorphism(
             graph, embedding, pattern, seed,
             engine=engine, want_witness=want_witness, backend=backend,
+            plan=plan,
         )
         return DisconnectedSIResult(
             found=inner.found,
             witness=inner.witness,
             colorings_used=1,
             cost=inner.cost,
+            plan=inner.plan,
         )
+    # Plan against the largest component (the dominant inner search);
+    # the resolved engine/backend then apply to every component solve.
+    rep = max((c for c, _ids in components), key=lambda c: c.k)
+    plan_obj, engine, _kernel, backend = apply_plan(
+        plan, ColdArtifacts(graph, embedding), rep, "decide", seed,
+        rounds_per_component, engine, None, backend,
+    )
     if colorings is None:
         colorings = max(
             1, math.ceil(l**k * math.log2(max(graph.n, 2)))
@@ -118,15 +132,21 @@ def decide_disconnected(
                                 originals[target_local]
                             )
             if all_found:
+                if plan_obj is not None:
+                    plan_obj.record_actual(tracker.cost)
                 return DisconnectedSIResult(
                     found=True,
                     witness=witness if want_witness else None,
                     colorings_used=attempt + 1,
                     cost=tracker.cost,
+                    plan=plan_obj,
                 )
+    if plan_obj is not None:
+        plan_obj.record_actual(tracker.cost)
     return DisconnectedSIResult(
         found=False,
         witness=None,
         colorings_used=colorings,
         cost=tracker.cost,
+        plan=plan_obj,
     )

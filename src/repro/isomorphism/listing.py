@@ -48,6 +48,7 @@ class ListingResult:
     trace: Optional[Span] = None
     amortized: bool = False
     cold_equivalent_cost: Optional[Cost] = None
+    plan: Optional[object] = None
 
     @property
     def occurrences(self) -> Set[frozenset]:
@@ -59,22 +60,30 @@ def list_occurrences(
     embedding: PlanarEmbedding,
     pattern: Pattern,
     seed: int,
-    engine: str = "parallel",
+    engine: Optional[str] = None,
     confidence_log_factor: float = 1.0,
     max_iterations: Optional[int] = None,
     artifacts=None,
-    backend="serial",
+    backend=None,
+    plan=None,
 ) -> ListingResult:
     """List (w.h.p.) every occurrence of a connected pattern (Theorem 4.2).
 
     ``artifacts`` optionally supplies a provider/session for the covers and
-    nice decompositions; ``backend`` how the per-piece solves execute
-    (see :func:`decide_subgraph_isomorphism` for both).
+    nice decompositions; ``backend`` how the per-piece solves execute, and
+    ``plan`` an optional query plan (``"auto"`` or a ``QueryPlan``) whose
+    engine/backend choices apply where not explicitly overridden
+    (see :func:`decide_subgraph_isomorphism` for all three).
     """
+    from ..engine.planner import apply_plan
+
     if not pattern.is_connected():
         raise ValueError("listing requires a connected pattern")
     provider = (
         artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
+    )
+    plan_obj, engine, _kernel, backend = apply_plan(
+        plan, provider, pattern, "list", seed, None, engine, None, backend,
     )
     mark = provider.amortization_mark()
     k, d = pattern.k, pattern.diameter()
@@ -153,6 +162,8 @@ def list_occurrences(
                 break
     tracker.count(iterations=iterations, witnesses=len(found))
     hits, saved = provider.amortization_since(mark)
+    if plan_obj is not None:
+        plan_obj.record_actual(tracker.cost)
     return ListingResult(
         witnesses=found,
         iterations=iterations,
@@ -160,6 +171,7 @@ def list_occurrences(
         trace=tracker.root,
         amortized=hits > 0,
         cold_equivalent_cost=tracker.cost + saved,
+        plan=plan_obj,
     )
 
 
@@ -189,16 +201,17 @@ def count_occurrences(
     embedding: PlanarEmbedding,
     pattern: Pattern,
     seed: int,
-    engine: str = "parallel",
+    engine: Optional[str] = None,
     distinct_images: bool = False,
     artifacts=None,
-    backend="serial",
+    backend=None,
+    plan=None,
 ) -> int:
     """Count occurrences via listing (the paper's conclusion notes this is
     the non-work-efficient route; exact nonetheless w.h.p.)."""
     result = list_occurrences(
         graph, embedding, pattern, seed, engine=engine, artifacts=artifacts,
-        backend=backend,
+        backend=backend, plan=plan,
     )
     if distinct_images:
         return len(result.occurrences)

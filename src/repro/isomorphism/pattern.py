@@ -9,7 +9,8 @@ paths, cycles — including the separating 8-cycle of Section 5 — stars, K4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +45,18 @@ class Pattern:
     )
     _adj_matrix: np.ndarray = field(init=False, repr=False, compare=False)
     _adj_bits: np.ndarray = field(init=False, repr=False, compare=False)
+    # Lazily memoized derived statistics (diameter BFS sweeps, component
+    # labelling, connected-subpattern counting are each paid once per
+    # pattern object, not once per query of a batch).
+    _diameter: Optional[int] = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _connected: Optional[bool] = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _subpattern_count: Optional[int] = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if self.graph.n == 0:
@@ -108,8 +121,10 @@ class Pattern:
         return [(int(u), int(v)) for u, v in self.graph.edges()]
 
     def is_connected(self) -> bool:
-        _, count, _ = connected_components(self.graph)
-        return count <= 1
+        if self._connected is None:
+            _, count, _ = connected_components(self.graph)
+            object.__setattr__(self, "_connected", count <= 1)
+        return bool(self._connected)
 
     def components(self) -> List[np.ndarray]:
         """Vertex arrays of the connected components."""
@@ -128,7 +143,10 @@ class Pattern:
 
     def diameter(self) -> int:
         """Diameter of the pattern (max over components; the quantity ``d``
-        of Corollary 2.2)."""
+        of Corollary 2.2).  Memoized: the all-sources BFS sweep runs once
+        per pattern object, not once per query."""
+        if self._diameter is not None:
+            return self._diameter
         from ..graphs.bfs import parallel_bfs
 
         best = 0
@@ -136,7 +154,45 @@ class Pattern:
             res, _ = parallel_bfs(self.graph, [v])
             reached = res.level[res.level >= 0]
             best = max(best, int(reached.max(initial=0)))
+        object.__setattr__(self, "_diameter", best)
         return best
+
+    def connected_subpattern_count(self) -> int:
+        """``|C(H)|`` — the number of vertex subsets inducing a connected
+        subpattern (Eppstein's connected-pattern decomposition bound; the
+        planner's state-richness statistic).
+
+        Computed by bitmask BFS over the precomputed adjacency bitmasks for
+        ``k <= 20`` (at most ~1M subsets for the tiny patterns this library
+        handles); for larger patterns the trivial upper bound ``2^k`` is
+        returned.  Memoized per pattern object.
+        """
+        if self._subpattern_count is not None:
+            return self._subpattern_count
+        k = self.k
+        if k > 20:  # pragma: no cover - patterns are tiny by construction
+            count = 1 << k
+        else:
+            bits = [int(b) for b in self._adj_bits]
+            count = 0
+            for subset in range(1, 1 << k):
+                # Flood from the lowest member through adjacency bitmasks.
+                low = subset & -subset
+                seen = low
+                frontier = low
+                while frontier:
+                    reach = 0
+                    f = frontier
+                    while f:
+                        v = f & -f
+                        reach |= bits[v.bit_length() - 1]
+                        f ^= v
+                    frontier = reach & subset & ~seen
+                    seen |= frontier
+                if seen == subset:
+                    count += 1
+        object.__setattr__(self, "_subpattern_count", count)
+        return count
 
     def spanning_forest_edges(self) -> List[Tuple[int, int]]:
         """A spanning forest (used by Observation 1's argument)."""
@@ -157,11 +213,18 @@ class Pattern:
         return edges
 
 
+# The named factories are interned: patterns (and graphs) are immutable, so
+# repeated batch entries reuse one Pattern object and share its memoized
+# fingerprint, adjacency bitmasks, diameter and |C(H)| statistics.
+
+
+@lru_cache(maxsize=None)
 def triangle() -> Pattern:
     """K3."""
     return Pattern(Graph(3, [(0, 1), (1, 2), (0, 2)]))
 
 
+@lru_cache(maxsize=None)
 def path_pattern(k: int) -> Pattern:
     """The path on ``k`` vertices."""
     if k < 1:
@@ -169,6 +232,7 @@ def path_pattern(k: int) -> Pattern:
     return Pattern(Graph(k, [(i, i + 1) for i in range(k - 1)]))
 
 
+@lru_cache(maxsize=None)
 def cycle_pattern(k: int) -> Pattern:
     """The cycle on ``k >= 3`` vertices (``k = 2c`` for Section 5's
     separating cycles)."""
@@ -177,6 +241,7 @@ def cycle_pattern(k: int) -> Pattern:
     return Pattern(Graph(k, [(i, (i + 1) % k) for i in range(k)]))
 
 
+@lru_cache(maxsize=None)
 def star_pattern(leaves: int) -> Pattern:
     """The star with ``leaves`` leaves."""
     if leaves < 1:
@@ -184,6 +249,7 @@ def star_pattern(leaves: int) -> Pattern:
     return Pattern(Graph(leaves + 1, [(0, i) for i in range(1, leaves + 1)]))
 
 
+@lru_cache(maxsize=None)
 def clique_pattern(k: int) -> Pattern:
     """K_k (planar-embeddable only for k <= 4)."""
     return Pattern(
@@ -191,6 +257,7 @@ def clique_pattern(k: int) -> Pattern:
     )
 
 
+@lru_cache(maxsize=None)
 def diamond() -> Pattern:
     """K4 minus an edge."""
     return Pattern(Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]))

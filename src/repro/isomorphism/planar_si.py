@@ -56,6 +56,7 @@ class PlanarSIResult:
     trace: Optional[Span] = None
     amortized: bool = False
     cold_equivalent_cost: Optional[Cost] = None
+    plan: Optional[object] = None  # the QueryPlan that drove this query
 
 
 def _rounds_for(n: int, rounds: Optional[int], confidence_log_factor: float) -> int:
@@ -71,13 +72,14 @@ def decide_subgraph_isomorphism(
     embedding: PlanarEmbedding,
     pattern: Pattern,
     seed: int,
-    engine: str = "parallel",
+    engine: Optional[str] = None,
     rounds: Optional[int] = None,
     confidence_log_factor: float = 2.0,
     want_witness: bool = False,
-    kernel: str = "packed",
+    kernel: Optional[str] = None,
     artifacts=None,
-    backend="serial",
+    backend=None,
+    plan=None,
 ) -> PlanarSIResult:
     """Decide (w.h.p.) whether the connected ``pattern`` occurs in the
     planar ``graph`` (Theorem 2.1 / Corollary 2.2).
@@ -106,19 +108,34 @@ def decide_subgraph_isomorphism(
         across calls; string specs build and tear down one per call).
         Verdict, witness, charged cost and trace are byte-identical
         across backends — only wall-clock changes (``repro.exec``).
+    plan:
+        ``None``/``"manual"`` (the defaults above apply), ``"auto"``
+        (choose the variant by predicted cost — ``repro.engine.planner``)
+        or an explicit :class:`~repro.engine.planner.QueryPlan`.
+        Explicit ``engine=``/``kernel=``/``backend=`` always override the
+        plan.  The executed plan (with its actual charged cost folded into
+        the provider's calibrating cost model) is returned on
+        ``result.plan``.
     """
+    from ..engine.planner import apply_plan
+
     if not pattern.is_connected():
         raise ValueError(
             "the base driver handles connected patterns; use "
             "repro.isomorphism.disconnected for the general case"
         )
+    provider = (
+        artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
+    )
+    plan_obj, engine, kernel, backend = apply_plan(
+        plan, provider, pattern,
+        "witness" if want_witness else "decide", seed, rounds,
+        engine, kernel, backend,
+    )
     if engine not in ("parallel", "sequential"):
         raise ValueError(f"unknown engine {engine!r}")
     if kernel not in ("packed", "reference"):
         raise ValueError(f"unknown kernel {kernel!r}")
-    provider = (
-        artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
-    )
     mark = provider.amortization_mark()
     k = pattern.k
     d = pattern.diameter()
@@ -131,6 +148,8 @@ def decide_subgraph_isomorphism(
 
     def _result(found, witness, rounds_used):
         hits, saved = provider.amortization_since(mark)
+        if plan_obj is not None:
+            plan_obj.record_actual(tracker.cost)
         return PlanarSIResult(
             found=found,
             witness=witness,
@@ -141,6 +160,7 @@ def decide_subgraph_isomorphism(
             trace=tracker.root,
             amortized=hits > 0,
             cold_equivalent_cost=tracker.cost + saved,
+            plan=plan_obj,
         )
 
     with backend_scope(backend) as executor:
@@ -262,11 +282,12 @@ def find_occurrence(
     embedding: PlanarEmbedding,
     pattern: Pattern,
     seed: int,
-    engine: str = "parallel",
+    engine: Optional[str] = None,
     rounds: Optional[int] = None,
-    kernel: str = "packed",
+    kernel: Optional[str] = None,
     artifacts=None,
-    backend="serial",
+    backend=None,
+    plan=None,
 ) -> PlanarSIResult:
     """Like :func:`decide_subgraph_isomorphism` but returns a witness."""
     return decide_subgraph_isomorphism(
@@ -280,4 +301,5 @@ def find_occurrence(
         kernel=kernel,
         artifacts=artifacts,
         backend=backend,
+        plan=plan,
     )

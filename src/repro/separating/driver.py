@@ -48,6 +48,7 @@ class SeparatingSIResult:
     trace: Optional[Span] = None
     amortized: bool = False
     cold_equivalent_cost: Optional[Cost] = None
+    plan: Optional[object] = None
 
 
 def decide_separating_isomorphism(
@@ -56,15 +57,16 @@ def decide_separating_isomorphism(
     marked: np.ndarray,
     pattern: Pattern,
     seed: int,
-    engine: str = "parallel",
+    engine: Optional[str] = None,
     rounds: Optional[int] = None,
     confidence_log_factor: float = 2.0,
     want_witness: bool = False,
     host_classes: Optional[np.ndarray] = None,
     pattern_classes=None,
-    kernel: str = "packed",
+    kernel: Optional[str] = None,
     artifacts=None,
-    backend="serial",
+    backend=None,
+    plan=None,
 ) -> SeparatingSIResult:
     """Decide (w.h.p.) whether some occurrence of the connected ``pattern``
     separates the ``marked`` vertices of the planar ``graph`` (Lemma 5.3).
@@ -78,15 +80,21 @@ def decide_separating_isomorphism(
     selects how the per-minor solves execute (``repro.exec``); results
     and traces are backend-independent.
     """
+    from ..engine.planner import apply_plan
+
     if not pattern.is_connected():
         raise ValueError("the separating driver handles connected patterns")
+    provider = (
+        artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
+    )
+    plan_obj, engine, kernel, backend = apply_plan(
+        plan, provider, pattern, "separating", seed, rounds,
+        engine, kernel, backend,
+    )
     if engine not in ("parallel", "sequential"):
         raise ValueError(f"unknown engine {engine!r}")
     if kernel not in ("packed", "reference"):
         raise ValueError(f"unknown kernel {kernel!r}")
-    provider = (
-        artifacts if artifacts is not None else ColdArtifacts(graph, embedding)
-    )
     mark = provider.amortization_mark()
     k, d = pattern.k, pattern.diameter()
     tracker = Tracer("decide-separating-si")
@@ -97,6 +105,8 @@ def decide_separating_isomorphism(
 
     def _result(found, witness, rounds_used):
         hits, saved = provider.amortization_since(mark)
+        if plan_obj is not None:
+            plan_obj.record_actual(tracker.cost)
         return SeparatingSIResult(
             found=found,
             witness=witness,
@@ -107,6 +117,7 @@ def decide_separating_isomorphism(
             trace=tracker.root,
             amortized=hits > 0,
             cold_equivalent_cost=tracker.cost + saved,
+            plan=plan_obj,
         )
 
     with backend_scope(backend) as executor:

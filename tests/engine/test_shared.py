@@ -1,0 +1,295 @@
+"""Shared-subpattern batch tests: canonicalization, chain/lattice
+sharing, the vectorized extension matcher vs a brute-force oracle,
+shared-vs-per-pattern verdict equality, duplicate-query dedup and the
+dense-piece fallback."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import TargetSession
+from repro.engine.shared import (
+    OCCURRENCE_CAP,
+    canonical_form,
+    extend_table,
+    pattern_chain,
+)
+from repro.graphs import Graph, grid_graph
+from repro.isomorphism import (
+    cycle_pattern,
+    decide_subgraph_isomorphism,
+    diamond,
+    path_pattern,
+    star_pattern,
+    triangle,
+)
+from repro.isomorphism.pattern import Pattern
+from repro.planar import embed_geometric
+from repro.pram import Cost
+
+
+def _grid(rows, cols):
+    gg = grid_graph(rows, cols)
+    emb, _ = embed_geometric(gg)
+    return gg.graph, emb
+
+
+def _relabel(graph: Graph, perm) -> Graph:
+    return Graph(
+        graph.n, [(perm[u], perm[v]) for u, v in graph.iter_edges()]
+    )
+
+
+class TestCanonicalForm:
+    @given(
+        k=st.integers(2, 6),
+        edge_bits=st.integers(0, 2**15 - 1),
+        perm_seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60)
+    def test_relabelling_invariant(self, k, edge_bits, perm_seed):
+        pairs = [(u, v) for u in range(k) for v in range(u + 1, k)]
+        edges = [
+            pair for i, pair in enumerate(pairs) if edge_bits >> i & 1
+        ]
+        graph = Graph(k, edges)
+        perm = list(np.random.default_rng(perm_seed).permutation(k))
+        canon, _ = canonical_form(graph)
+        canon2, _ = canonical_form(_relabel(graph, perm))
+        assert canon == canon2
+
+    def test_distinguishes_non_isomorphic(self):
+        assert (
+            canonical_form(path_pattern(4).graph)[0]
+            != canonical_form(star_pattern(3).graph)[0]
+        )
+        assert (
+            canonical_form(cycle_pattern(4).graph)[0]
+            != canonical_form(diamond().graph)[0]
+        )
+
+    def test_perm_reorders_to_canonical_positions(self):
+        graph = path_pattern(3).graph
+        canon, perm = canonical_form(graph)
+        # perm maps vertex -> canonical position; re-deriving the code
+        # under that relabelling must reproduce the canonical code.
+        relabeled = _relabel(graph, perm)
+        assert canonical_form(relabeled)[0] == canon
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError, match="at most"):
+            canonical_form(path_pattern(9).graph)
+
+
+class TestPatternChain:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            triangle(), path_pattern(4), cycle_pattern(4),
+            cycle_pattern(6), star_pattern(3), diamond(),
+        ],
+        ids=["K3", "P4", "C4", "C6", "star3", "diamond"],
+    )
+    def test_chain_shape(self, pattern):
+        chain = pattern_chain(pattern)
+        assert len(chain) == pattern.k
+        assert [lvl.size for lvl in chain] == list(range(1, pattern.k + 1))
+        assert chain[-1].canon == canonical_form(pattern.graph)[0]
+        for lvl in chain[1:]:
+            assert lvl.attach  # connectivity-preserving addition order
+            assert set(lvl.verts[:-1]) == set(chain[lvl.size - 2].verts)
+        assert pattern_chain(pattern) is chain  # memoized on the object
+
+    def test_cycles_funnel_through_shared_path_prefixes(self):
+        chains = {k: pattern_chain(cycle_pattern(k)) for k in (4, 5, 6, 7)}
+        for k in (5, 6, 7):
+            # Every proper prefix of a cycle chain is a path, so all
+            # cycle chains share canonical nodes up to the shortest one.
+            for i in range(3):
+                assert chains[k][i].canon == chains[4][i].canon
+
+    def test_isomorphic_patterns_share_whole_chain(self):
+        scrambled = Pattern(Graph(4, [(0, 2), (2, 1), (1, 3)]))
+        assert [lvl.canon for lvl in pattern_chain(scrambled)] == [
+            lvl.canon for lvl in pattern_chain(path_pattern(4))
+        ]
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="connected"):
+            pattern_chain(Pattern(Graph(4, [(0, 1), (2, 3)])))
+
+
+def _oracle_tables(graph: Graph, pattern: Pattern):
+    """All injective maps of the pattern into the graph, by brute force,
+    as sorted row tuples (column j = image of pattern vertex j)."""
+    rows = []
+    for image in permutations(range(graph.n), pattern.k):
+        if all(
+            graph.has_edge(image[u], image[v])
+            for u, v in pattern.graph.iter_edges()
+        ):
+            rows.append(tuple(image))
+    return sorted(rows)
+
+
+class TestExtendTable:
+    @pytest.mark.parametrize(
+        "pattern",
+        [path_pattern(3), triangle(), path_pattern(4), cycle_pattern(4)],
+        ids=["P3", "K3", "P4", "C4"],
+    )
+    def test_matches_brute_force_oracle(self, pattern):
+        graph, _ = _grid(3, 3)
+        if pattern is triangle():
+            graph = Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)])
+        # Build the table level by level along the pattern's own vertex
+        # order 0..k-1 (valid for these patterns: every prefix connects).
+        table = np.arange(graph.n, dtype=np.int64)[:, None]
+        for v in range(1, pattern.k):
+            attach = [u for u in pattern.neighbors(v) if u < v]
+            table, work = extend_table(graph, table, attach)
+            assert work > 0
+        assert sorted(map(tuple, table)) == _oracle_tables(graph, pattern)
+
+    def test_empty_input_and_empty_result(self):
+        graph = Graph(3, [(0, 1)])
+        empty = np.empty((0, 1), dtype=np.int64)
+        out, work = extend_table(graph, empty, [0])
+        assert out.shape == (0, 2) and work >= 1
+        isolated = np.array([[2]], dtype=np.int64)  # vertex 2 has no edges
+        out, work = extend_table(graph, isolated, [0])
+        assert out.shape == (0, 2)
+
+    def test_cap_raises(self):
+        from repro.engine.shared import CapExceeded
+
+        graph, _ = _grid(4, 4)
+        table = np.arange(graph.n, dtype=np.int64)[:, None]
+        with pytest.raises(CapExceeded):
+            extend_table(graph, table, [0], cap=3)
+
+
+class TestSharedBatch:
+    PATTERNS = [
+        cycle_pattern(4),
+        cycle_pattern(5),  # odd cycle: structurally absent in the grid
+        cycle_pattern(6),
+        path_pattern(4),
+    ]
+
+    def test_verdicts_match_per_pattern_path(self):
+        graph, emb = _grid(8, 8)
+        session = TargetSession(graph, emb)
+        batch = session.decide_batch(self.PATTERNS, seed=0, plan="auto")
+        assert batch.shared
+        expected = [
+            decide_subgraph_isomorphism(graph, emb, p, seed=0).found
+            for p in self.PATTERNS
+        ]
+        assert [r.found for r in batch.results] == expected
+        assert expected == [True, False, True, True]
+
+    def test_witnesses_are_valid_embeddings(self):
+        graph, emb = _grid(8, 8)
+        session = TargetSession(graph, emb)
+        batch = session.decide_batch(
+            self.PATTERNS, seed=0, plan="auto", want_witness=True
+        )
+        for pattern, result in zip(self.PATTERNS, batch.results):
+            if not result.found:
+                assert result.witness is None
+                continue
+            witness = result.witness
+            assert len(set(witness.values())) == pattern.k  # injective
+            for u, v in pattern.graph.iter_edges():
+                assert graph.has_edge(witness[u], witness[v])
+
+    def test_batch_cost_accounting(self):
+        graph, emb = _grid(8, 8)
+        session = TargetSession(graph, emb)
+        batch = session.decide_batch(self.PATTERNS, seed=0, plan="auto")
+        assert batch.cost.work > 0
+        assert 0 <= batch.cost.depth <= batch.cost.work
+        assert batch.trace is not None
+        for result in batch.results:
+            assert result.cost == Cost.zero()  # charged at batch level
+            assert result.amortized
+        assert batch.amortized_queries == len(self.PATTERNS)
+
+    def test_repeat_batch_is_warm(self):
+        graph, emb = _grid(8, 8)
+        session = TargetSession(graph, emb)
+        cold = session.decide_batch(self.PATTERNS, seed=0, plan="auto")
+        warm = session.decide_batch(self.PATTERNS, seed=0, plan="auto")
+        assert [r.found for r in warm.results] == [
+            r.found for r in cold.results
+        ]
+        # Covers and every shared subpattern table come from the session
+        # store the second time round.
+        assert warm.cost.work < cold.cost.work / 2
+        assert warm.cold_equivalent_cost.work > warm.cost.work
+
+    def test_dense_cap_fallback_keeps_verdicts(self):
+        graph, emb = _grid(6, 6)
+        session = TargetSession(graph, emb)
+        shared = session.decide_batch(self.PATTERNS, seed=0, plan="auto")
+        tiny_cap = session_fallback = TargetSession(graph, emb)
+        fallback = session_fallback.decide_batch(
+            self.PATTERNS, seed=0, plan="auto", cap=8
+        )
+        assert tiny_cap is session_fallback
+        assert [r.found for r in fallback.results] == [
+            r.found for r in shared.results
+        ]
+
+    def test_single_unique_pattern_stays_on_per_pattern_path(self):
+        graph, emb = _grid(5, 5)
+        session = TargetSession(graph, emb)
+        batch = session.decide_batch(
+            [cycle_pattern(4), cycle_pattern(4)], seed=0, plan="auto"
+        )
+        assert not batch.shared  # sharing needs >= 2 distinct patterns
+        assert batch.deduped_queries == 1
+
+
+class TestBatchDedup:
+    def test_duplicates_fan_out_in_input_order(self):
+        graph, emb = _grid(6, 6)
+        session = TargetSession(graph, emb)
+        patterns = [
+            cycle_pattern(4), path_pattern(4), cycle_pattern(4),
+            cycle_pattern(4), path_pattern(4),
+        ]
+        batch = session.decide_batch(patterns, seed=0)
+        assert batch.deduped_queries == 3
+        assert batch.results[0].found == batch.results[2].found
+        assert batch.results[0].witness == batch.results[2].witness
+        assert batch.results[1].found == batch.results[4].found
+        for dup in (batch.results[2], batch.results[3], batch.results[4]):
+            assert dup.cost == Cost.zero()
+            assert dup.amortized
+            assert dup.trace.cost == dup.cost
+        # Every duplicate still carries the cold-equivalent charge.
+        assert batch.results[2].cold_equivalent_cost.work > 0
+        assert batch.cache_stats["hits"]["batch-dedup"] == 3
+
+    def test_dedup_counts_in_cache_stats(self):
+        graph, emb = _grid(5, 5)
+        session = TargetSession(graph, emb)
+        session.decide_batch([triangle(), triangle()], seed=0)
+        stats = session.stats.as_dict()
+        assert stats["hits"]["batch-dedup"] == 1
+        assert stats["saved_work"] >= 0
+
+    def test_batch_cost_equals_sum_of_result_costs(self):
+        graph, emb = _grid(6, 6)
+        session = TargetSession(graph, emb)
+        patterns = [cycle_pattern(4), cycle_pattern(4), path_pattern(4)]
+        batch = session.decide_batch(patterns, seed=0)
+        total = Cost.zero()
+        for result in batch.results:
+            total = total + result.cost
+        assert batch.cost == total

@@ -103,6 +103,63 @@ class TestCommands:
             main([])
 
 
+class TestPlanFlags:
+    def test_decide_plan_auto_explain(self, capsys):
+        assert main(
+            ["decide", "--target", "grid:8x8", "--pattern", "cycle:4",
+             "--rounds", "2", "--plan", "auto", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "found: True" in out
+        assert "plan: mode=witness" in out
+        assert "predicted cost" in out
+        assert "actual cost" in out
+
+    def test_explain_without_plan_notes_absence(self, capsys):
+        assert main(
+            ["decide", "--target", "grid:5x5", "--pattern", "cycle:4",
+             "--rounds", "1", "--explain"]
+        ) == 0
+        assert "no plan recorded" in capsys.readouterr().out
+
+    def test_explicit_engine_overrides_auto_plan(self, capsys):
+        assert main(
+            ["decide", "--target", "grid:6x6", "--pattern", "cycle:4",
+             "--rounds", "1", "--plan", "auto", "--engine", "parallel",
+             "--explain"]
+        ) == 0
+        # The plan records its own choice, but the run is still correct
+        # and the explain block renders.
+        assert "plan: mode=" in capsys.readouterr().out
+
+    def test_batch_plan_auto_shares(self, capsys):
+        assert main(
+            ["batch", "--target", "grid:6x6",
+             "--patterns", "cycle:4,path:4,cycle:6,cycle:4",
+             "--rounds", "3", "--plan", "auto", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[shared-subpattern plan]" in out
+        assert "deduped: 1" in out
+        assert "shared-subpattern batch" in out
+
+    def test_batch_dedup_reported(self, capsys):
+        assert main(
+            ["batch", "--target", "grid:5x5",
+             "--patterns", "cycle:4,cycle:4,path:4"]
+        ) == 0
+        assert "deduped: 1" in capsys.readouterr().out
+
+    def test_vc_plan_auto(self, capsys):
+        assert main(
+            ["vc", "--target", "wheel:6", "--rounds", "1",
+             "--plan", "auto", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vertex connectivity: 3" in out
+        assert "plan: mode=vc" in out
+
+
 class TestTraceFlags:
     def test_decide_trace_table(self, capsys):
         assert main(
