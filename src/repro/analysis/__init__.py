@@ -4,23 +4,67 @@ The cost model (``repro.pram``) is only as trustworthy as the discipline
 of the code charging into it: a NumPy call outside any ``charge``/``step``
 is *free* work, a Python loop over a graph-sized iterable inside a
 "polylog depth" routine silently voids the depth bound, and an unseeded
-RNG voids reproducibility.  This package provides a small, pluggable AST
-lint (``python -m repro lint``) that flags those hazards; its dynamic
-counterpart — the CREW write-race sanitizer — lives in
-``repro.pram.sanitize``.
+RNG voids reproducibility.  This package provides a static verifier
+(``python -m repro lint``) with two layers:
 
-See DESIGN.md, "Cost-soundness analysis" for the rule catalog.
+* per-module AST rules (RPR001-RPR004) — syntactic hazards;
+* interprocedural project passes sharing one call-graph substrate
+  (:mod:`repro.analysis.callgraph`, :mod:`repro.analysis.dataflow`):
+  cost-contract checking (RPR010-RPR014, declared via
+  :func:`cost_contract`), static CREW write-set inference
+  (RPR020-RPR022, the static complement of ``repro.pram.sanitize``),
+  and task purity for remote-shippable entry points (RPR030-RPR032,
+  rooted at :func:`task_pure`).
+
+Existing debt is frozen in ``analysis/baseline.json`` and ratchets down;
+see DESIGN.md, "Cost-soundness analysis" for the rule catalog and the
+contract-composition rules.
 """
 
+from .baseline import Baseline, apply_baseline, default_baseline_path
+from .bounds import Bound, BoundParseError, Term, parse_bound
+from .callgraph import ProjectContext, build_project, enclosing_symbol
+from .contracts import cost_contract, task_pure
+from .cost_check import DEFAULT_REQUIRED_CONTRACTS, CostContractPass
+from .crew_check import StaticCrewPass, region_reports
 from .findings import Finding
-from .linter import lint_paths, lint_source, run
+from .linter import (
+    default_project_passes,
+    lint_paths,
+    lint_source,
+    parse_noqa,
+    run,
+)
+from .purity import TaskPurityPass
 from .rules import ALL_RULES, Rule
+from .sarif import RULE_SUMMARIES, render_sarif
 
 __all__ = [
     "ALL_RULES",
+    "Baseline",
+    "Bound",
+    "BoundParseError",
+    "CostContractPass",
+    "DEFAULT_REQUIRED_CONTRACTS",
     "Finding",
+    "ProjectContext",
+    "RULE_SUMMARIES",
     "Rule",
+    "StaticCrewPass",
+    "TaskPurityPass",
+    "Term",
+    "apply_baseline",
+    "build_project",
+    "cost_contract",
+    "default_baseline_path",
+    "default_project_passes",
+    "enclosing_symbol",
     "lint_paths",
     "lint_source",
+    "parse_bound",
+    "parse_noqa",
+    "region_reports",
+    "render_sarif",
     "run",
+    "task_pure",
 ]

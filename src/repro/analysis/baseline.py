@@ -1,0 +1,142 @@
+"""Baseline ("ratchet") support for the analyzer.
+
+A committed ``baseline.json`` freezes the *known* findings so new code is
+held to the full standard while existing debt is paid down incrementally.
+Entries are keyed ``(rule, repo-relative path, enclosing symbol)`` with a
+count — symbol keys survive unrelated edits that would shift line
+numbers, while still pinning the debt to a specific function.
+
+The ratchet works both ways:
+
+* a finding **not** covered by the baseline fails the run (no new debt);
+* a baseline entry that no longer fires is **stale** and, under
+  ``--ratchet``, also fails the run — the entry must be deleted so the
+  debt number only decreases.
+
+``# repro: noqa[...]``-suppressed findings are filtered *before* the
+baseline applies, so a noqa'd finding never consumes a baseline slot
+(no double-counting between the two mechanisms).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "apply_baseline",
+    "default_baseline_path",
+    "find_repo_root",
+    "repo_relative",
+]
+
+_KEY = Tuple[str, str, str]  # (rule, repo-relative posix path, symbol)
+
+
+def find_repo_root(start: Path) -> Path:
+    """Nearest ancestor containing ``.git`` or ``pyproject.toml``."""
+    probe = start.resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for cand in (probe, *probe.parents):
+        if (cand / ".git").exists() or (cand / "pyproject.toml").exists():
+            return cand
+    return probe
+
+
+def repo_relative(path: str, root: Path) -> str:
+    """Repo-relative posix form of ``path`` (fallback: posix as-given)."""
+    p = Path(path)
+    try:
+        return p.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass
+class Baseline:
+    """The committed debt ledger."""
+
+    entries: Dict[_KEY, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries: Dict[_KEY, int] = {}
+        for item in data.get("entries", []):
+            key = (item["rule"], item["path"], item.get("symbol", ""))
+            entries[key] = int(item.get("count", 1))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], root: Path
+    ) -> "Baseline":
+        entries: Dict[_KEY, int] = {}
+        for f in findings:
+            key = (f.rule, repo_relative(f.path, root), f.symbol)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        items = [
+            {"rule": rule, "path": rel, "symbol": symbol, "count": count}
+            for (rule, rel, symbol), count in sorted(self.entries.items())
+        ]
+        path.write_text(
+            json.dumps({"version": 1, "entries": items}, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    #: Findings not covered by any baseline slot (these fail the run).
+    new: List[Finding]
+    #: Findings absorbed by the baseline (reported only in verbose modes).
+    suppressed: List[Finding]
+    #: Entries whose count exceeds what actually fired: (key, expected,
+    #: actual).  Under ``--ratchet`` these fail the run too.
+    stale: List[Tuple[_KEY, int, int]]
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: Optional[Baseline],
+    root: Path,
+) -> BaselineResult:
+    if baseline is None:
+        return BaselineResult(new=list(findings), suppressed=[], stale=[])
+    remaining = dict(baseline.entries)
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    # Findings are pre-sorted (path, line, rule); slots absorb in order so
+    # "which finding is new" is deterministic.
+    for f in findings:
+        key = (f.rule, repo_relative(f.path, root), f.symbol)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed.append(f)
+        else:
+            new.append(f)
+    stale = [
+        (key, baseline.entries[key], baseline.entries[key] - left)
+        for key, left in sorted(remaining.items())
+        if left > 0
+    ]
+    return BaselineResult(new=new, suppressed=suppressed, stale=stale)

@@ -1,0 +1,376 @@
+"""A tiny symbolic big-O algebra for cost-contract checking.
+
+The interprocedural analyzer (``repro.analysis.cost_check``) composes
+declared asymptotic bounds through the program's seq/par structure, so it
+needs a value domain for expressions like ``O(n log n)`` or
+``O(n / log n + T)``.  A :class:`Bound` is a finite union of
+:class:`Term` monomials::
+
+    c * n^a * log^b(n) * <atoms>
+
+where *atoms* are opaque symbols (``k``, ``beta``, ``T``, ``k^k`` ...)
+treated as quantities ``>= 1`` that the analyzer cannot order against
+``n``.  Planarity note: the target graphs are planar, so the edge count
+``m`` is Theta(n) and the parser canonicalizes ``m`` to ``n`` (documented
+in DESIGN.md; bounds stated with ``m`` mean the same thing here).
+
+The algebra is deliberately *one-sided*: the checker computes **lower
+bounds** on the cost a function body provably incurs and compares them
+against the **declared** bound, so every operation rounds unknowable
+quantities down to zero.  ``Bound.leq`` is therefore the only comparison
+that matters: ``inferred.leq(declared) == False`` is a proof that the body
+exceeds its contract (up to the analyzer's heuristics for "graph-sized").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Bound",
+    "BoundParseError",
+    "Term",
+    "parse_bound",
+]
+
+
+class BoundParseError(ValueError):
+    """A bound string the parser cannot interpret (RPR012 material)."""
+
+
+Atoms = Tuple[Tuple[str, int], ...]
+
+
+def _merge_atoms(a: Atoms, b: Atoms) -> Atoms:
+    counts = dict(a)
+    for name, mult in b:
+        counts[name] = counts.get(name, 0) + mult
+    return tuple(sorted((k, v) for k, v in counts.items() if v))
+
+
+def _atoms_subset(small: Atoms, big: Atoms) -> bool:
+    """Multiset inclusion: every atom of ``small`` appears in ``big``.
+
+    Sound for ``leq`` because atoms denote quantities ``>= 1`` — dropping
+    a factor ``>= 1`` never increases a term.
+    """
+    have = dict(big)
+    return all(have.get(name, 0) >= mult for name, mult in small)
+
+
+@dataclass(frozen=True)
+class Term:
+    """One monomial ``n^n_exp * log^log_exp(n) * atoms``.
+
+    ``provenance`` carries the 1-based source line that contributed the
+    term (the loop or call the checker blames in RPR010/RPR011 findings);
+    it is ignored by all algebraic comparisons.
+    """
+
+    n_exp: float = 0.0
+    log_exp: float = 0.0
+    atoms: Atoms = ()
+    provenance: int = field(default=0, compare=False)
+
+    def times(self, other: "Term", provenance: Optional[int] = None) -> "Term":
+        return Term(
+            self.n_exp + other.n_exp,
+            self.log_exp + other.log_exp,
+            _merge_atoms(self.atoms, other.atoms),
+            provenance if provenance is not None
+            else (self.provenance or other.provenance),
+        )
+
+    def leq(self, other: "Term") -> bool:
+        """Is this term asymptotically dominated by ``other``?
+
+        Requires this term's atoms to be a sub-multiset of the other's
+        (opaque symbols are incomparable with ``n``); then compares the
+        ``(n, log)`` exponents lexicographically.
+        """
+        if not _atoms_subset(self.atoms, other.atoms):
+            return False
+        if self.n_exp != other.n_exp:
+            return self.n_exp < other.n_exp
+        return self.log_exp <= other.log_exp
+
+    def is_constant(self) -> bool:
+        return not self.atoms and self.n_exp == 0 and self.log_exp == 0
+
+    def render(self) -> str:
+        parts: List[str] = []
+
+        def exp(base: str, e: float) -> str:
+            if e == int(e):
+                e = int(e)
+            return base if e == 1 else f"{base}^{e}"
+
+        if self.n_exp:
+            parts.append(exp("n", self.n_exp))
+        if self.log_exp:
+            parts.append(exp("log", self.log_exp) + " n")
+        for name, mult in self.atoms:
+            parts.extend([name] * mult)
+        return " ".join(parts) if parts else "1"
+
+
+CONST = Term()
+N = Term(n_exp=1.0)
+LOG = Term(log_exp=1.0)
+
+
+@dataclass(frozen=True)
+class Bound:
+    """A finite union (asymptotic sum) of :class:`Term` monomials.
+
+    The empty bound is zero cost — the identity of :meth:`plus` and the
+    absorbing element of :meth:`times`.
+    """
+
+    terms: Tuple[Term, ...] = ()
+
+    @staticmethod
+    def zero() -> "Bound":
+        return _ZERO
+
+    @staticmethod
+    def of(*terms: Term) -> "Bound":
+        return Bound(()).plus(Bound(tuple(terms)))
+
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def plus(self, other: "Bound") -> "Bound":
+        """Asymptotic sum: union of terms with dominated terms pruned."""
+        merged = list(self.terms) + list(other.terms)
+        kept: List[Term] = []
+        for i, t in enumerate(merged):
+            dominated = False
+            for j, u in enumerate(merged):
+                if i == j:
+                    continue
+                if t == u and i > j:
+                    dominated = True  # duplicate: keep the first copy
+                    break
+                if t != u and t.leq(u) and not u.leq(t):
+                    dominated = True
+                    break
+            if not dominated:
+                kept.append(t)
+        kept.sort(key=lambda t: (-t.n_exp, -t.log_exp, t.atoms))
+        return Bound(tuple(kept))
+
+    def max(self, other: "Bound") -> "Bound":
+        """Asymptotic max — identical to :meth:`plus` in big-O land."""
+        return self.plus(other)
+
+    def times(self, factor: Term, provenance: int = 0) -> "Bound":
+        """Multiply every term by ``factor`` (a loop multiplier)."""
+        if not self.terms:
+            return self
+        return Bound(
+            tuple(t.times(factor, provenance or None) for t in self.terms)
+        )
+
+    def leq(self, other: "Bound") -> bool:
+        """Is every term dominated by some term of ``other``?
+
+        Zero is below everything; nothing nonzero is below zero.
+        """
+        return all(
+            any(t.leq(u) for u in other.terms) for t in self.terms
+        )
+
+    def excess(self, other: "Bound") -> Optional[Term]:
+        """The first term of ``self`` not dominated by ``other`` (if any)."""
+        for t in self.terms:
+            if not any(t.leq(u) for u in other.terms):
+                return t
+        return None
+
+    def render(self) -> str:
+        if not self.terms:
+            return "O(0)"
+        return "O(" + " + ".join(t.render() for t in self.terms) + ")"
+
+
+_ZERO = Bound(())
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>\d+(?:\.\d+)?)|(?P<op>[+*/()^])|(?P<name>[A-Za-z_]\w*))"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    out: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise BoundParseError(
+                f"unexpected character {text[pos]!r} in bound {text!r}"
+            )
+        out.append(match.group(match.lastgroup or "op"))
+        pos = match.end()
+    return out
+
+
+class _Parser:
+    """Recursive-descent parser for the bound grammar::
+
+        bound   := "O" "(" sum ")" | sum
+        sum     := product ("+" product)*
+        product := factor (("*" | " ") factor)* ("/" factor)*
+        factor  := number | "n" | "m" | "log" ["^" number] primary
+                 | "sqrt" "(" primary ")" | atom ["^" (number | atom)]
+                 | "(" sum ")"
+    """
+
+    def __init__(self, tokens: List[str], source: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise BoundParseError(f"truncated bound {self.source!r}")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.take()
+        if got != tok:
+            raise BoundParseError(
+                f"expected {tok!r}, got {got!r} in bound {self.source!r}"
+            )
+
+    def parse(self) -> Bound:
+        if self.peek() == "O":
+            self.take()
+            self.expect("(")
+            bound = self.sum()
+            self.expect(")")
+        else:
+            bound = self.sum()
+        if self.peek() is not None:
+            raise BoundParseError(
+                f"trailing tokens in bound {self.source!r}"
+            )
+        return bound
+
+    def sum(self) -> Bound:
+        bound = Bound.of(self.product())
+        while self.peek() == "+":
+            self.take()
+            bound = bound.plus(Bound.of(self.product()))
+        return bound
+
+    def product(self) -> Term:
+        term = self.factor()
+        while True:
+            nxt = self.peek()
+            if nxt == "*":
+                self.take()
+                term = term.times(self.factor())
+            elif nxt == "/":
+                self.take()
+                term = term.times(_invert(self.factor(), self.source))
+            elif nxt is not None and nxt not in ("+", ")", "^"):
+                term = term.times(self.factor())  # juxtaposition: "n log n"
+            else:
+                return term
+
+    def _exponent(self) -> float:
+        tok = self.take()
+        try:
+            return float(tok)
+        except ValueError as exc:
+            raise BoundParseError(
+                f"non-numeric exponent {tok!r} in bound {self.source!r}"
+            ) from exc
+
+    def factor(self) -> Term:
+        tok = self.take()
+        if tok == "(":
+            inner = self.sum()
+            self.expect(")")
+            if len(inner.terms) != 1:
+                raise BoundParseError(
+                    f"sums may not nest under products in {self.source!r}"
+                )
+            return inner.terms[0]
+        if re.fullmatch(r"\d+(?:\.\d+)?", tok):
+            return CONST  # constants vanish in O-notation
+        if tok in ("n", "m"):  # planar: m = Theta(n)
+            exp = 1.0
+            if self.peek() == "^":
+                self.take()
+                exp = self._exponent()
+            return Term(n_exp=exp)
+        if tok == "sqrt":
+            self.expect("(")
+            inner = self.factor()
+            self.expect(")")
+            return Term(
+                inner.n_exp / 2, inner.log_exp / 2, inner.atoms
+            )
+        if tok == "log":
+            exp = 1.0
+            if self.peek() == "^":
+                self.take()
+                exp = self._exponent()
+            parens = self.peek() == "("
+            if parens:
+                self.take()
+            operand = self.take()
+            if parens:
+                self.expect(")")
+            if operand in ("n", "m"):
+                return Term(log_exp=exp)
+            # log of an opaque symbol is itself opaque (``log k``).
+            name = f"log {operand}" if exp == 1 else f"log^{exp} {operand}"
+            return Term(atoms=((name, 1),))
+        # An opaque atom, optionally with an exponent (``k^2``, ``k^k``).
+        if self.peek() == "^":
+            self.take()
+            power = self.take()
+            try:
+                mult = float(power)
+                if mult != int(mult) or mult < 1:
+                    raise ValueError
+                return Term(atoms=((tok, int(mult)),))
+            except ValueError:
+                return Term(atoms=((f"{tok}^{power}", 1),))
+        return Term(atoms=((tok, 1),))
+
+
+def _invert(term: Term, source: str) -> Term:
+    if term.atoms:
+        raise BoundParseError(
+            f"cannot divide by opaque symbols in bound {source!r}"
+        )
+    return Term(-term.n_exp, -term.log_exp)
+
+
+def parse_bound(text: str) -> Bound:
+    """Parse a bound string like ``"O(n log^2 n + T)"`` into a :class:`Bound`.
+
+    Raises :class:`BoundParseError` on anything the grammar cannot read.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise BoundParseError(f"empty bound {text!r}")
+    return _Parser(_tokenize(text.strip()), text).parse()
+
+
+def par_bound(bounds: Iterable[Bound]) -> Bound:
+    """Depth of a parallel region: the max (= asymptotic sum) of the arms."""
+    out = Bound.zero()
+    for b in bounds:
+        out = out.max(b)
+    return out

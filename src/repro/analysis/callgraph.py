@@ -1,0 +1,375 @@
+"""Module-graph / call-graph substrate shared by the interprocedural passes.
+
+A :class:`ProjectContext` is built once per lint run from every parsed
+module (:class:`~repro.analysis.rules.ModuleContext`); the cost-contract,
+static-CREW and task-purity passes all query it instead of re-walking the
+ASTs.  Resolution is *best effort by construction*: it follows the repo's
+actual idioms (relative imports, package ``__init__`` re-exports,
+``Class.method`` attribute chains, ``self.method`` within a class) and
+returns ``None`` for anything dynamic — callers must treat ``None`` as
+"unknown callee" and stay conservative.
+
+Qualified names are module-relative dotted paths without the leading
+``repro.`` (``pram.primitives.prefix_sum``,
+``exec.task.PieceTask.detach_arrays``), matching the module names the
+linter derives from file paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .rules import ModuleContext
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ProjectContext",
+    "build_project",
+    "dotted_name",
+    "enclosing_symbol",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains rooted at a Name; else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    #: The source-level dotted callee (``np.cumsum``, ``tracer.charge``)
+    #: or ``None`` for dynamic callees (lambdas, subscripts, calls of calls).
+    dotted: Optional[str]
+    #: Project-resolved callee qualname, or ``None`` when unknown/external.
+    callee: Optional[str]
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the interprocedural passes need about one function."""
+
+    qualname: str
+    name: str
+    module: str
+    ctx: ModuleContext
+    node: ast.FunctionDef
+    class_name: Optional[str] = None
+    #: Raw ``@cost_contract`` keyword strings, when syntactically valid.
+    contract: Optional[Dict[str, str]] = None
+    #: ``(line, message)`` for a malformed ``@cost_contract`` decorator.
+    contract_error: Optional[Tuple[int, str]] = None
+    #: Line of the ``@cost_contract`` decorator (0 = none).
+    contract_line: int = 0
+    #: True when decorated ``@task_pure`` (purity-analysis root).
+    pure_root: bool = False
+    _calls: Optional[List[CallSite]] = field(default=None, repr=False)
+
+
+def _decorator_dotted(dec: ast.AST) -> Optional[str]:
+    if isinstance(dec, ast.Call):
+        dec = dec.func
+    return dotted_name(dec)
+
+
+def _extract_contract(info: FunctionInfo) -> None:
+    for dec in info.node.decorator_list:
+        tail = (_decorator_dotted(dec) or "").split(".")[-1]
+        if tail == "task_pure":
+            info.pure_root = True
+            continue
+        if tail != "cost_contract":
+            continue
+        info.contract_line = dec.lineno
+        if not isinstance(dec, ast.Call):
+            info.contract_error = (
+                dec.lineno,
+                "cost_contract must be called with work=/depth= keywords",
+            )
+            continue
+        kwargs: Dict[str, str] = {}
+        bad = None
+        for kw in dec.keywords:
+            if kw.arg not in ("work", "depth"):
+                bad = f"unknown cost_contract keyword {kw.arg!r}"
+            elif not (
+                isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, str)
+            ):
+                bad = f"cost_contract {kw.arg}= must be a string literal"
+            else:
+                kwargs[kw.arg] = kw.value.value
+        if dec.args:
+            bad = "cost_contract takes keyword arguments only"
+        if bad is None and set(kwargs) != {"work", "depth"}:
+            bad = "cost_contract needs both work= and depth="
+        if bad is not None:
+            info.contract_error = (dec.lineno, bad)
+        else:
+            info.contract = kwargs
+
+
+def _module_package(ctx: ModuleContext) -> List[str]:
+    """The package path relative imports resolve against."""
+    parts = ctx.module.split(".") if ctx.module else []
+    if ctx.path.replace("\\", "/").endswith("__init__.py"):
+        return parts
+    return parts[:-1]
+
+
+def _strip_repro(dotted: str) -> str:
+    if dotted == "repro":
+        return ""
+    if dotted.startswith("repro."):
+        return dotted[len("repro."):]
+    return dotted
+
+
+class ProjectContext:
+    """The parsed project: modules, functions, imports, and call resolution."""
+
+    def __init__(self, modules: Sequence[ModuleContext]) -> None:
+        self.modules: Dict[str, ModuleContext] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: Per module: local name -> absolute dotted target.
+        self.imports: Dict[str, Dict[str, str]] = {}
+        #: Per module: names of top-level classes.
+        self.classes: Dict[str, Set[str]] = {}
+        for ctx in modules:
+            if ctx.module in self.modules:
+                continue  # first path wins (duplicate roots)
+            self.modules[ctx.module] = ctx
+            self._index_module(ctx)
+
+    # -- construction ------------------------------------------------------
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        imports: Dict[str, str] = {}
+        self.imports[ctx.module] = imports
+        self.classes[ctx.module] = set()
+        package = _module_package(ctx)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    imports[local] = _strip_repro(target)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = package[: len(package) - (node.level - 1)]
+                    if node.module:
+                        base = base + node.module.split(".")
+                    base_dotted = ".".join(base)
+                else:
+                    base_dotted = _strip_repro(node.module or "")
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    prefix = f"{base_dotted}." if base_dotted else ""
+                    imports[local] = _strip_repro(f"{prefix}{alias.name}")
+
+        def add_function(
+            node: ast.FunctionDef, class_name: Optional[str]
+        ) -> None:
+            qual = (
+                f"{ctx.module}.{class_name}.{node.name}"
+                if class_name
+                else f"{ctx.module}.{node.name}"
+            )
+            if ctx.module == "":
+                qual = qual.lstrip(".")
+            info = FunctionInfo(
+                qualname=qual,
+                name=node.name,
+                module=ctx.module,
+                ctx=ctx,
+                node=node,
+                class_name=class_name,
+            )
+            _extract_contract(info)
+            self.functions.setdefault(qual, info)
+
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add_function(stmt, None)  # type: ignore[arg-type]
+            elif isinstance(stmt, ast.ClassDef):
+                self.classes[ctx.module].add(stmt.name)
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        add_function(sub, stmt.name)  # type: ignore[arg-type]
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_name(
+        self, module: str, dotted: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Resolve a source-level dotted name to a function qualname.
+
+        Follows the module's import table, package re-exports
+        (``pram.__init__`` style ``from .cost import Cost``) and
+        ``Class.method`` attribute access.  Returns ``None`` for external
+        or dynamic names.
+        """
+        if _depth > 8 or not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+
+        # Module-local function / class.
+        local = f"{module}.{dotted}" if module else dotted
+        if local in self.functions:
+            return local
+        if head in self.classes.get(module, ()):
+            if rest:
+                cand = f"{module}.{dotted}" if module else dotted
+                if cand in self.functions:
+                    return cand
+            return None
+
+        imports = self.imports.get(module, {})
+        if head in imports:
+            target = imports[head]
+            full = f"{target}.{rest}" if rest else target
+            return self._resolve_absolute(full, _depth + 1)
+        return None
+
+    def _resolve_absolute(self, full: str, _depth: int) -> Optional[str]:
+        if full in self.functions:
+            return full
+        parts = full.split(".")
+        # Longest known-module prefix, then resolve the remainder inside it.
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = ".".join(parts[:cut])
+            if mod in self.modules:
+                rest = ".".join(parts[cut:])
+                cand = f"{mod}.{rest}"
+                if cand in self.functions:
+                    return cand
+                return self.resolve_name(mod, rest, _depth + 1)
+        return None
+
+    def resolve_call(
+        self, info: FunctionInfo, node: ast.Call
+    ) -> Optional[str]:
+        """Resolve one call inside ``info`` to a callee qualname (or None)."""
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        if info.class_name is not None and dotted.startswith("self."):
+            cand = f"{info.module}.{info.class_name}.{dotted[5:]}"
+            if cand in self.functions:
+                return cand
+            return None
+        resolved = self.resolve_name(info.module, dotted)
+        if resolved is not None:
+            return resolved
+        # Calling a class constructs an instance: credit ``__init__``.
+        if "." not in dotted:
+            imports = self.imports.get(info.module, {})
+            target = imports.get(dotted)
+            if target is not None:
+                init = self._resolve_absolute(f"{target}.__init__", 1)
+                if init is not None:
+                    return init
+            if dotted in self.classes.get(info.module, ()):
+                cand = f"{info.module}.{dotted}.__init__"
+                if cand in self.functions:
+                    return cand
+        return None
+
+    def calls(self, info: FunctionInfo) -> List[CallSite]:
+        """Every call site in ``info`` (resolved where possible), cached."""
+        if info._calls is None:
+            sites: List[CallSite] = []
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    sites.append(
+                        CallSite(
+                            node=node,
+                            dotted=dotted_name(node.func),
+                            callee=self.resolve_call(info, node),
+                        )
+                    )
+            info._calls = sites
+        return info._calls
+
+    def reachable(self, roots: Iterable[str]) -> List[str]:
+        """Qualnames reachable from ``roots`` via resolved calls (BFS order,
+        roots included, deterministic)."""
+        seen: Set[str] = set()
+        order: List[str] = []
+        frontier = [r for r in roots if r in self.functions]
+        while frontier:
+            nxt: List[str] = []
+            for qual in frontier:
+                if qual in seen:
+                    continue
+                seen.add(qual)
+                order.append(qual)
+                info = self.functions[qual]
+                for site in self.calls(info):
+                    if site.callee is not None and site.callee not in seen:
+                        nxt.append(site.callee)
+            frontier = sorted(set(nxt) - seen)
+        return order
+
+    def pure_roots(self) -> List[str]:
+        return sorted(
+            q for q, f in self.functions.items() if f.pure_root
+        )
+
+    def contracted(self) -> List[FunctionInfo]:
+        return [
+            self.functions[q]
+            for q in sorted(self.functions)
+            if self.functions[q].contract is not None
+            or self.functions[q].contract_error is not None
+        ]
+
+
+def build_project(modules: Sequence[ModuleContext]) -> ProjectContext:
+    """Build the shared substrate from every parsed module of the run."""
+    return ProjectContext(modules)
+
+
+def enclosing_symbol(ctx: ModuleContext, line: int) -> str:
+    """Module-relative qualname of the innermost def enclosing ``line``.
+
+    Empty string at module level.  Used to key baseline entries by symbol
+    rather than by brittle line numbers.
+    """
+    best: Tuple[int, str] = (0, "")
+
+    def visit(body: List[ast.stmt], prefix: str) -> None:
+        nonlocal best
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                start = min(
+                    [stmt.lineno]
+                    + [d.lineno for d in stmt.decorator_list]
+                )
+                end = stmt.end_lineno or stmt.lineno
+                name = f"{prefix}.{stmt.name}" if prefix else stmt.name
+                if start <= line <= end and start >= best[0]:
+                    if not isinstance(stmt, ast.ClassDef):
+                        best = (start, name)
+                    visit(stmt.body, name)
+
+    visit(ctx.tree.body, "")
+    symbol = best[1]
+    return f"{ctx.module}.{symbol}" if ctx.module and symbol else symbol

@@ -1,0 +1,66 @@
+"""Zero-cost annotation decorators consumed by the static analyzer.
+
+``@cost_contract`` declares the asymptotic work/depth bound a function
+promises (the paper's per-lemma contracts); ``@task_pure`` marks an entry
+point whose transitive callees must be pure enough to ship to a remote
+worker (no mutable module globals, no unseeded RNG, no environment
+effects).  Both decorators return the function **unchanged** apart from
+two introspection attributes — they never wrap, so call overhead is zero,
+pickling-by-reference still works, and the attributes double as runtime
+documentation::
+
+    >>> from repro.analysis.contracts import cost_contract
+    >>> @cost_contract(work="O(n)", depth="O(log n)")
+    ... def scan(values): ...
+    >>> scan.__cost_contract__
+    {'work': 'O(n)', 'depth': 'O(log n)'}
+
+The static checkers (``repro.analysis.cost_check``,
+``repro.analysis.purity``) read the *decorator syntax* from the AST — they
+never import the annotated modules — so the contracts are verified even
+for modules whose imports would fail in the analysis environment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+__all__ = ["cost_contract", "task_pure"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Attribute set by :func:`cost_contract` (read by tests and tooling).
+CONTRACT_ATTR = "__cost_contract__"
+#: Attribute set by :func:`task_pure`.
+PURE_ATTR = "__task_pure__"
+
+
+def cost_contract(*, work: str, depth: str) -> Callable[[F], F]:
+    """Declare the work/depth bound this function is accountable to.
+
+    ``work`` and ``depth`` are bound strings parsed by
+    :func:`repro.analysis.bounds.parse_bound` (``"O(n log n)"``,
+    ``"O(log^2 n)"``, opaque symbols like ``k`` allowed).  The analyzer's
+    RPR010/RPR011 rules verify the body against the declaration by
+    composing callee contracts through the seq/par structure; RPR012
+    rejects malformed declarations.
+    """
+
+    def mark(func: F) -> F:
+        setattr(func, CONTRACT_ATTR, {"work": work, "depth": depth})
+        return func
+
+    return mark
+
+
+def task_pure(func: F) -> F:
+    """Mark a purity root: everything reachable from here must be pure.
+
+    The analyzer's RPR030-RPR032 rules walk the call graph from every
+    ``@task_pure`` function and flag closures over mutable module globals,
+    unseeded RNG construction, and filesystem/network/clock effects —
+    the gate for shipping :class:`~repro.exec.task.PieceTask` bodies to
+    remote workers.
+    """
+    setattr(func, PURE_ATTR, True)
+    return func

@@ -1,0 +1,457 @@
+"""Interprocedural cost-contract checking (RPR010-RPR014).
+
+Every ``@cost_contract(work=..., depth=...)`` declaration is verified by
+*composing* cost through the function body's seq/par structure:
+
+* sequential statements add work and add depth (asymptotic union);
+* ``for`` loops over graph-sized iterables multiply both by ``n`` —
+  unless the loop fans out ``region.branch`` arms inside a
+  ``tracer.parallel`` region, in which case only work multiplies and
+  depth takes the max over arms (Brent composition);
+* explicit :class:`~repro.pram.cost.Cost` constructions
+  (``Cost.scan(n)``, ``Cost.step(3 * n)``, ``Cost(w, d)``) contribute
+  their own work/depth, whether charged directly or routed through a
+  helper;
+* calls resolved to *contracted* callees contribute the callee's
+  declared bound.
+
+The inference is one-sided: anything the analyzer cannot size rounds
+down to ``O(1)``, so the inferred bound is a **lower bound** on the real
+cost and ``inferred > declared`` is a proof of violation, never a guess.
+
+Rules
+-----
+RPR010  body provably exceeds the declared *work* bound
+RPR011  body provably exceeds the declared *depth* bound
+RPR012  malformed ``@cost_contract`` (syntax or unparseable bound)
+RPR013  contracted function forwards its tracer to an uncontracted
+        traced-package callee (a hole in the composition argument)
+RPR014  registry function (driver / primitive) lacks a contract
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .bounds import (
+    CONST,
+    LOG,
+    N,
+    Bound,
+    BoundParseError,
+    Term,
+    parse_bound,
+)
+from .callgraph import FunctionInfo, ProjectContext, dotted_name
+from .findings import Finding
+from .rules import _graph_sized
+
+__all__ = [
+    "DEFAULT_REQUIRED_CONTRACTS",
+    "CostContractPass",
+    "infer_cost",
+]
+
+#: Functions that must carry a verified ``@cost_contract`` (RPR014):
+#: the six paper drivers plus the pram substrate they compose.
+DEFAULT_REQUIRED_CONTRACTS: Tuple[str, ...] = (
+    "isomorphism.planar_si.decide_subgraph_isomorphism",
+    "isomorphism.planar_si.find_occurrence",
+    "isomorphism.listing.list_occurrences",
+    "isomorphism.counting.count_occurrences_exact",
+    "isomorphism.disconnected.decide_disconnected",
+    "separating.driver.decide_separating_isomorphism",
+    "connectivity.planar_vc.planar_vertex_connectivity",
+    "pram.primitives.prefix_sum",
+    "pram.primitives.exclusive_prefix_sum",
+    "pram.primitives.parallel_reduce",
+    "pram.primitives.pack",
+    "pram.primitives.pack_indices",
+    "pram.primitives.pointer_jump_roots",
+    "pram.list_ranking.list_rank",
+    "pram.list_ranking.list_rank_optimal",
+    "pram.tree_contraction.evaluate_expression_tree",
+    "cluster.est.est_clustering",
+)
+
+_SIZE_NAMES = frozenset(
+    {"n", "m", "num_nodes", "n_nodes", "num_vertices", "num_edges"}
+)
+_SIZE_ATTRS = frozenset(
+    {"n", "m", "num_nodes", "n_nodes", "num_vertices", "num_edges"}
+)
+_LOG_CALLS = frozenset({"log2_ceil", "log2", "log", "log1p", "ceil_log2"})
+
+
+def _size_term(expr: ast.expr) -> Bound:
+    """Lower-bound a scalar cost expression as a :class:`Bound`.
+
+    Unknown quantities (``len(events)``, function results, ``min`` arms)
+    round down to ``O(1)`` so the result stays a provable lower bound.
+    """
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, (int, float)) and expr.value == 0:
+            return Bound.zero()
+        return Bound.of(CONST)
+    if isinstance(expr, ast.Name):
+        if expr.id in _SIZE_NAMES:
+            return Bound.of(Term(n_exp=1.0, provenance=expr.lineno))
+        return Bound.of(CONST)
+    if isinstance(expr, ast.Attribute):
+        if expr.attr in _SIZE_ATTRS:
+            return Bound.of(Term(n_exp=1.0, provenance=expr.lineno))
+        return Bound.of(CONST)
+    if isinstance(expr, ast.BinOp):
+        left = _size_term(expr.left)
+        right = _size_term(expr.right)
+        if isinstance(expr.op, ast.Add):
+            return left.plus(right)
+        if isinstance(expr.op, (ast.Mult,)):
+            out = Bound.zero()
+            for lt in left.terms or (CONST,):
+                for rt in right.terms or (CONST,):
+                    out = out.plus(Bound.of(lt.times(rt, expr.lineno)))
+            return out
+        if isinstance(expr.op, (ast.Sub, ast.FloorDiv, ast.Div, ast.Mod)):
+            return Bound.of(CONST)  # could be arbitrarily small
+        return Bound.of(CONST)
+    if isinstance(expr, ast.Call):
+        dotted = dotted_name(expr.func) or ""
+        tail = dotted.split(".")[-1]
+        if tail == "max":
+            out = Bound.zero()
+            for arg in expr.args:
+                out = out.plus(_size_term(arg))
+            return out
+        if tail in ("min",):
+            return Bound.of(CONST)
+        if tail in ("int", "float", "abs", "round"):
+            return _size_term(expr.args[0]) if expr.args else Bound.of(CONST)
+        if tail in _LOG_CALLS:
+            inner = (
+                _size_term(expr.args[0]) if expr.args else Bound.zero()
+            )
+            if any(t.n_exp > 0 for t in inner.terms):
+                return Bound.of(
+                    Term(log_exp=1.0, provenance=expr.lineno)
+                )
+            return Bound.of(CONST)
+        if tail == "len":
+            return Bound.of(CONST)
+        return Bound.of(CONST)
+    if isinstance(expr, (ast.IfExp,)):
+        return Bound.of(CONST)  # either arm might be the small one
+    return Bound.of(CONST)
+
+
+def _cost_call_bounds(node: ast.Call) -> Optional[Tuple[Bound, Bound]]:
+    """(work, depth) of an explicit ``Cost`` construction, else ``None``."""
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if parts[-1] == "Cost" or dotted == "Cost":
+        args = list(node.args)
+        kwargs = {kw.arg: kw.value for kw in node.keywords}
+        work_expr = args[0] if args else kwargs.get("work")
+        depth_expr = args[1] if len(args) > 1 else kwargs.get("depth")
+        work = _size_term(work_expr) if work_expr is not None else Bound.zero()
+        depth = (
+            _size_term(depth_expr) if depth_expr is not None else Bound.zero()
+        )
+        return work, depth
+    if len(parts) >= 2 and parts[-2] == "Cost":
+        factory = parts[-1]
+        arg = _size_term(node.args[0]) if node.args else Bound.of(CONST)
+        line = node.lineno
+        if factory == "zero":
+            return Bound.zero(), Bound.zero()
+        if factory == "step":
+            return arg, Bound.of(Term(provenance=line))
+        if factory in ("scan", "reduction"):
+            return arg, Bound.of(Term(log_exp=1.0, provenance=line))
+        if factory == "sequential_loop":
+            return arg, arg
+        if factory == "repeated":
+            return arg, arg
+    return None
+
+
+class _BodyCost:
+    """Recursive seq/par cost composition over one function body."""
+
+    def __init__(
+        self,
+        project: ProjectContext,
+        info: FunctionInfo,
+        contracts: Dict[str, Tuple[Bound, Bound]],
+    ) -> None:
+        self.project = project
+        self.info = info
+        self.contracts = contracts
+
+    def infer(
+        self, body: Sequence[ast.stmt], par: bool
+    ) -> Tuple[Bound, Bound]:
+        work = Bound.zero()
+        depth = Bound.zero()
+        for stmt in body:
+            w, d = self.stmt(stmt, par)
+            work = work.plus(w)
+            depth = depth.plus(d)
+        return work, depth
+
+    def stmt(self, stmt: ast.stmt, par: bool) -> Tuple[Bound, Bound]:
+        if isinstance(stmt, ast.For):
+            inner_w, inner_d = self.infer(stmt.body, par)
+            ow, od = self.infer(stmt.orelse, par)
+            factor = (
+                Term(n_exp=1.0, provenance=stmt.lineno)
+                if _graph_sized(stmt.iter)
+                else CONST
+            )
+            w = inner_w.times(factor, stmt.lineno).plus(ow)
+            if par:
+                # Parallel fan-out: the loop only *spawns* arms, so depth
+                # is the max over arms, not the sum.
+                d = inner_d.plus(od)
+            else:
+                d = inner_d.times(factor, stmt.lineno).plus(od)
+            ew, ed = self.exprs_of(stmt.iter)
+            return w.plus(ew), d.plus(ed)
+        if isinstance(stmt, ast.While):
+            # Iteration count unprovable: charge one iteration (lower bound).
+            w, d = self.infer(stmt.body, par)
+            ow, od = self.infer(stmt.orelse, par)
+            return w.plus(ow), d.plus(od)
+        if isinstance(stmt, ast.If):
+            # Either side may run; lower bound = the cheaper side, but for
+            # usefulness we keep the union (sound for one-sided O-compare
+            # only when both sides are reachable; guarded serial fallbacks
+            # are the common repo idiom and share the driver's bound).
+            w1, d1 = self.infer(stmt.body, par)
+            w2, d2 = self.infer(stmt.orelse, par)
+            tw, td = self.exprs_of(stmt.test)
+            return w1.plus(w2).plus(tw), d1.plus(d2).plus(td)
+        if isinstance(stmt, ast.With):
+            mode = par
+            for item in stmt.items:
+                dotted = dotted_name(
+                    item.context_expr.func
+                ) if isinstance(item.context_expr, ast.Call) else None
+                if dotted is not None:
+                    tail = dotted.split(".")[-1]
+                    if tail == "parallel":
+                        mode = True
+                    elif tail in ("branch", "span"):
+                        mode = False
+            ew = Bound.zero()
+            ed = Bound.zero()
+            for item in stmt.items:
+                w, d = self.exprs_of(item.context_expr)
+                ew = ew.plus(w)
+                ed = ed.plus(d)
+            bw, bd = self.infer(stmt.body, mode)
+            return bw.plus(ew), bd.plus(ed)
+        if isinstance(stmt, ast.Try):
+            work = Bound.zero()
+            depth = Bound.zero()
+            for group in (
+                [stmt.body]
+                + [h.body for h in stmt.handlers]
+                + [stmt.orelse, stmt.finalbody]
+            ):
+                w, d = self.infer(group, par)
+                work = work.plus(w)
+                depth = depth.plus(d)
+            return work, depth
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return Bound.zero(), Bound.zero()  # nested defs cost at call
+        # Expression statements, assignments, returns...
+        return self.exprs_of(stmt)
+
+    def exprs_of(self, node: ast.AST) -> Tuple[Bound, Bound]:
+        """Cost carried by the expressions of a non-compound statement."""
+        work = Bound.zero()
+        depth = Bound.zero()
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            cost = _cost_call_bounds(sub)
+            if cost is not None:
+                work = work.plus(cost[0])
+                depth = depth.plus(cost[1])
+                continue
+            callee = self.project.resolve_call(self.info, sub)
+            if callee is None or callee == self.info.qualname:
+                continue
+            declared = self.contracts.get(callee)
+            if declared is not None:
+                cw = Bound(
+                    tuple(
+                        Term(t.n_exp, t.log_exp, t.atoms, sub.lineno)
+                        for t in declared[0].terms
+                    )
+                )
+                cd = Bound(
+                    tuple(
+                        Term(t.n_exp, t.log_exp, t.atoms, sub.lineno)
+                        for t in declared[1].terms
+                    )
+                )
+                work = work.plus(cw)
+                depth = depth.plus(cd)
+        return work, depth
+
+
+def infer_cost(
+    project: ProjectContext,
+    info: FunctionInfo,
+    contracts: Dict[str, Tuple[Bound, Bound]],
+) -> Tuple[Bound, Bound]:
+    """Provable lower bound on (work, depth) incurred by ``info``'s body."""
+    return _BodyCost(project, info, contracts).infer(info.node.body, False)
+
+
+_TRACER_NAMES = frozenset({"tracer", "tracker", "branch", "region"})
+
+
+def _forwards_tracer(call: ast.Call) -> bool:
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id in _TRACER_NAMES:
+            return True
+    for kw in call.keywords:
+        if kw.arg in ("tracer", "tracker"):
+            return True
+        if isinstance(kw.value, ast.Name) and kw.value.id in _TRACER_NAMES:
+            return True
+    return False
+
+
+class CostContractPass:
+    """Project pass producing RPR010-RPR014 findings."""
+
+    rules = ("RPR010", "RPR011", "RPR012", "RPR013", "RPR014")
+
+    def __init__(
+        self, required: Sequence[str] = DEFAULT_REQUIRED_CONTRACTS
+    ) -> None:
+        self.required = tuple(required)
+
+    def check_project(self, project: ProjectContext) -> List[Finding]:
+        findings: List[Finding] = []
+        parsed: Dict[str, Tuple[Bound, Bound]] = {}
+
+        # Pass 1: parse every declared contract (RPR012 on failure).
+        for info in project.contracted():
+            if info.contract_error is not None:
+                line, message = info.contract_error
+                findings.append(
+                    Finding(
+                        rule="RPR012",
+                        name="malformed-contract",
+                        path=info.ctx.path,
+                        line=line,
+                        message=f"{info.qualname}: {message}",
+                    )
+                )
+                continue
+            assert info.contract is not None
+            try:
+                parsed[info.qualname] = (
+                    parse_bound(info.contract["work"]),
+                    parse_bound(info.contract["depth"]),
+                )
+            except BoundParseError as exc:
+                findings.append(
+                    Finding(
+                        rule="RPR012",
+                        name="malformed-contract",
+                        path=info.ctx.path,
+                        line=info.contract_line,
+                        message=f"{info.qualname}: {exc}",
+                    )
+                )
+
+        # Pass 2: verify each parsed contract against its body (RPR010/011)
+        # and audit tracer forwarding (RPR013).
+        for qual in sorted(parsed):
+            info = project.functions[qual]
+            declared_work, declared_depth = parsed[qual]
+            inferred_work, inferred_depth = infer_cost(project, info, parsed)
+            excess = inferred_work.excess(declared_work)
+            if excess is not None:
+                findings.append(
+                    Finding(
+                        rule="RPR010",
+                        name="work-bound-violation",
+                        path=info.ctx.path,
+                        line=excess.provenance or info.node.lineno,
+                        message=(
+                            f"{qual} declares work "
+                            f"{declared_work.render()} but its body "
+                            f"provably incurs O({excess.render()}) work"
+                        ),
+                    )
+                )
+            excess = inferred_depth.excess(declared_depth)
+            if excess is not None:
+                findings.append(
+                    Finding(
+                        rule="RPR011",
+                        name="depth-bound-violation",
+                        path=info.ctx.path,
+                        line=excess.provenance or info.node.lineno,
+                        message=(
+                            f"{qual} declares depth "
+                            f"{declared_depth.render()} but its body "
+                            f"provably incurs O({excess.render()}) depth"
+                        ),
+                    )
+                )
+            for site in project.calls(info):
+                if site.callee is None or not _forwards_tracer(site.node):
+                    continue
+                callee = project.functions[site.callee]
+                if not callee.ctx.traced:
+                    continue
+                if callee.contract is not None \
+                        or callee.contract_error is not None:
+                    continue
+                findings.append(
+                    Finding(
+                        rule="RPR013",
+                        name="uncontracted-callee",
+                        path=info.ctx.path,
+                        line=site.node.lineno,
+                        message=(
+                            f"{qual} forwards its tracer to "
+                            f"{site.callee}, which has no @cost_contract; "
+                            f"the composition argument for "
+                            f"{qual}'s bound has a hole"
+                        ),
+                    )
+                )
+
+        # Pass 3: registry coverage (RPR014).
+        for qual in self.required:
+            info = project.functions.get(qual)
+            if info is None:
+                continue  # partial lint runs only see some modules
+            if info.contract is None and info.contract_error is None:
+                findings.append(
+                    Finding(
+                        rule="RPR014",
+                        name="missing-contract",
+                        path=info.ctx.path,
+                        line=info.node.lineno,
+                        message=(
+                            f"{qual} is a registry function (driver or "
+                            f"pram primitive) and must declare a "
+                            f"@cost_contract"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,356 @@
+"""Static CREW discipline for ``tracer.parallel`` regions (RPR020-RPR022).
+
+The dynamic sanitizer (:mod:`repro.pram.sanitize`) catches concurrent-
+write violations *on the executions we happen to run*.  This pass is its
+static complement: for every ``with <tracer>.parallel(...) as region:``
+block it infers, per branch arm, the set of shared ndarray roots the arm
+may write (via :mod:`repro.analysis.dataflow` alias tracking, including
+writes routed through helper calls), and checks the inferred set against
+the ``record_writes`` declarations the sanitizer would enforce.
+
+Rules
+-----
+RPR020  a branch arm writes a shared array with no covering
+        ``record_writes`` declaration (the sanitizer would be blind)
+RPR021  arm writes that provably overlap across arms: a constant or
+        full-slice index repeated across spawned arms of one region
+RPR022  a branch arm passes a shared array into a callee that writes
+        the corresponding parameter, again without a declaration
+        (escaped write)
+
+Arrays *created inside* a branch arm are private to that arm and exempt.
+Python lists are never classified as arrays, so list-typed DP scratch
+does not fire.  :func:`region_reports` exposes the same analysis as data
+for the static/dynamic cross-validation test.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import FunctionInfo, ProjectContext, dotted_name
+from .dataflow import (
+    AliasFrame,
+    build_frame,
+    collect_writes,
+    param_write_summaries,
+    subscript_root,
+)
+from .findings import Finding
+
+__all__ = [
+    "ArmWrite",
+    "BranchArm",
+    "RegionReport",
+    "StaticCrewPass",
+    "region_reports",
+]
+
+
+@dataclass(frozen=True)
+class ArmWrite:
+    """One may-write of a branch arm to a shared root."""
+
+    root: str
+    line: int
+    #: ``ast.dump`` of the subscript index; None for indirect writes.
+    index: Optional[str]
+    #: True when the index is a compile-time constant or a full slice.
+    constant_index: bool
+    via_call: Optional[str] = None
+
+
+@dataclass
+class BranchArm:
+    """One ``with region.branch(...)`` block inside a parallel region."""
+
+    node: ast.With
+    #: True when the arm is spawned from an enclosing loop (it repeats).
+    spawned_in_loop: bool
+    writes: List[ArmWrite] = field(default_factory=list)
+    declared: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class RegionReport:
+    """Everything the pass learned about one parallel region."""
+
+    function: str
+    node: ast.With
+    region_name: Optional[str]
+    arms: List[BranchArm] = field(default_factory=list)
+    #: All roots declared via record_writes anywhere in the region
+    #: (covers the region-level ``arm=`` dispatch idiom too).
+    declared_roots: Set[str] = field(default_factory=set)
+    #: root -> ShadowArray label, for roots with a literal label.
+    shadow_labels: Dict[str, str] = field(default_factory=dict)
+
+
+def _region_var(stmt: ast.With) -> Tuple[Optional[str], Optional[str]]:
+    """(bound name, region label) when ``stmt`` opens a parallel region."""
+    for item in stmt.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            dotted = dotted_name(expr.func)
+            if dotted is not None and dotted.split(".")[-1] == "parallel":
+                name = (
+                    item.optional_vars.id
+                    if isinstance(item.optional_vars, ast.Name)
+                    else None
+                )
+                label = None
+                if expr.args and isinstance(expr.args[0], ast.Constant) \
+                        and isinstance(expr.args[0].value, str):
+                    label = expr.args[0].value
+                return name, label
+    return None, None
+
+
+def _is_branch_with(stmt: ast.With) -> bool:
+    for item in stmt.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            dotted = dotted_name(expr.func)
+            if dotted is not None and dotted.split(".")[-1] == "branch":
+                return True
+    return False
+
+
+def _record_writes_targets(
+    nodes: Sequence[ast.stmt], frame: AliasFrame
+) -> Set[str]:
+    """Roots declared by ``*.record_writes(target, ...)`` calls in nodes."""
+    declared: Set[str] = set()
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None or not dotted.endswith("record_writes"):
+                continue
+            if node.args and isinstance(node.args[0], ast.Name):
+                root = frame.resolve(node.args[0].id)
+                if root is not None:
+                    declared.add(root)
+    return declared
+
+
+def _index_signature(target: ast.Subscript) -> Tuple[Optional[str], bool]:
+    """(dump of the index, is it constant-or-full-slice?)."""
+    index = target.slice
+    dump = ast.dump(index)
+    if isinstance(index, ast.Constant):
+        return dump, True
+    if isinstance(index, ast.Slice) and index.lower is None \
+            and index.upper is None and index.step is None:
+        return dump, True
+    return dump, False
+
+
+def _direct_arm_writes(
+    arm_body: Sequence[ast.stmt], frame: AliasFrame
+) -> List[Tuple[str, int, Optional[str], bool]]:
+    out: List[Tuple[str, int, Optional[str], bool]] = []
+    for stmt in arm_body:
+        for node in ast.walk(stmt):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    targets.extend(target.elts)
+                    continue
+                if isinstance(target, ast.Subscript):
+                    base = subscript_root(target)
+                    root = frame.resolve(base) if base else None
+                    if root is not None:
+                        dump, const = _index_signature(target)
+                        out.append((root, target.lineno, dump, const))
+    return out
+
+
+def _private_roots(
+    frame: AliasFrame, start: int, end: int
+) -> Set[str]:
+    """Roots created inside the [start, end] line span (arm-private)."""
+    return {
+        root
+        for root, line in frame.created_at.items()
+        if start <= line <= end
+    }
+
+
+def region_reports(
+    project: ProjectContext,
+    info: FunctionInfo,
+    summaries: Optional[Dict[str, Set[str]]] = None,
+) -> List[RegionReport]:
+    """Analyze every parallel region in ``info``."""
+    frame = build_frame(info.node)
+    reports: List[RegionReport] = []
+    if summaries is None:
+        summaries = {}
+
+    def visit(
+        body: Sequence[ast.stmt],
+        region: Optional[RegionReport],
+        in_loop: bool,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                name, label = _region_var(stmt)
+                if name is not None or label is not None:
+                    report = RegionReport(
+                        function=info.qualname,
+                        node=stmt,
+                        region_name=label,
+                    )
+                    report.declared_roots = _record_writes_targets(
+                        stmt.body, frame
+                    )
+                    for root in report.declared_roots:
+                        if root in frame.shadow_labels:
+                            report.shadow_labels[root] = (
+                                frame.shadow_labels[root]
+                            )
+                    reports.append(report)
+                    visit(stmt.body, report, False)
+                    continue
+                if region is not None and _is_branch_with(stmt):
+                    arm = BranchArm(node=stmt, spawned_in_loop=in_loop)
+                    end = stmt.end_lineno or stmt.lineno
+                    private = _private_roots(frame, stmt.lineno, end)
+                    for root, line, dump, const in _direct_arm_writes(
+                        stmt.body, frame
+                    ):
+                        if root in private:
+                            continue
+                        arm.writes.append(
+                            ArmWrite(root, line, dump, const)
+                        )
+                    for site in collect_writes(
+                        stmt.body, frame,
+                        project=project, info=info, summaries=summaries,
+                    ):
+                        if site.via_call is None or site.root in private:
+                            continue
+                        arm.writes.append(
+                            ArmWrite(
+                                site.root, site.line, None, False,
+                                via_call=site.via_call,
+                            )
+                        )
+                    arm.declared = _record_writes_targets(
+                        stmt.body, frame
+                    )
+                    if region is not None:
+                        region.arms.append(arm)
+                    # Nested regions inside an arm analyze independently.
+                    visit(stmt.body, None, False)
+                    continue
+                visit(stmt.body, region, in_loop)
+            elif isinstance(stmt, ast.For):
+                visit(stmt.body, region, True)
+                visit(stmt.orelse, region, in_loop)
+            elif isinstance(stmt, ast.While):
+                visit(stmt.body, region, True)
+                visit(stmt.orelse, region, in_loop)
+            elif isinstance(stmt, ast.If):
+                visit(stmt.body, region, in_loop)
+                visit(stmt.orelse, region, in_loop)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body, region, in_loop)
+                for handler in stmt.handlers:
+                    visit(handler.body, region, in_loop)
+                visit(stmt.orelse, region, in_loop)
+                visit(stmt.finalbody, region, in_loop)
+
+    visit(info.node.body, None, False)
+    return reports
+
+
+class StaticCrewPass:
+    """Project pass producing RPR020-RPR022 findings."""
+
+    rules = ("RPR020", "RPR021", "RPR022")
+
+    def check_project(self, project: ProjectContext) -> List[Finding]:
+        findings: List[Finding] = []
+        summaries = param_write_summaries(project)
+        for qual in sorted(project.functions):
+            info = project.functions[qual]
+            for report in region_reports(project, info, summaries):
+                findings.extend(self._check_region(info, report))
+        return findings
+
+    def _check_region(
+        self, info: FunctionInfo, report: RegionReport
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        covered = report.declared_roots
+        # (root, index dump) -> first arm node seen, for overlap detection.
+        seen_const: Dict[Tuple[str, str], ast.With] = {}
+        for arm in report.arms:
+            for write in arm.writes:
+                if write.root not in covered \
+                        and write.root not in arm.declared:
+                    if write.via_call is not None:
+                        findings.append(
+                            Finding(
+                                rule="RPR022",
+                                name="escaped-branch-write",
+                                path=info.ctx.path,
+                                line=write.line,
+                                message=(
+                                    f"{info.qualname}: branch arm passes "
+                                    f"shared array {write.root!r} to "
+                                    f"{write.via_call}, which writes it, "
+                                    f"with no record_writes declaration"
+                                ),
+                            )
+                        )
+                    else:
+                        findings.append(
+                            Finding(
+                                rule="RPR020",
+                                name="undeclared-branch-write",
+                                path=info.ctx.path,
+                                line=write.line,
+                                message=(
+                                    f"{info.qualname}: branch arm writes "
+                                    f"shared array {write.root!r} with no "
+                                    f"record_writes declaration (the "
+                                    f"dynamic sanitizer cannot see it)"
+                                ),
+                            )
+                        )
+                if write.constant_index and write.index is not None:
+                    key = (write.root, write.index)
+                    prior = seen_const.get(key)
+                    overlap = (
+                        arm.spawned_in_loop
+                        or (prior is not None and prior is not arm.node)
+                    )
+                    if overlap:
+                        findings.append(
+                            Finding(
+                                rule="RPR021",
+                                name="overlapping-arm-writes",
+                                path=info.ctx.path,
+                                line=write.line,
+                                message=(
+                                    f"{info.qualname}: arms of parallel "
+                                    f"region "
+                                    f"{report.region_name or '<anon>'} "
+                                    f"write {write.root!r} at the same "
+                                    f"loop-invariant index — concurrent "
+                                    f"arms would collide (CREW violation)"
+                                ),
+                            )
+                        )
+                    seen_const.setdefault(key, arm.node)
+        return findings

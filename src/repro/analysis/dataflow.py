@@ -1,0 +1,373 @@
+"""Intraprocedural alias / may-write dataflow over ndarray targets.
+
+The static-CREW pass needs to know, for every ``with region.branch()``
+body, *which shared arrays the body may write*.  That question reduces to
+three facts this module computes per function, in a single program-order
+walk:
+
+* **array classification** — which local names provably hold a numpy
+  ndarray (``np.zeros(...)``, ``arr.copy()``, an ``np.ndarray``-annotated
+  parameter) or a sanitizer :class:`~repro.pram.sanitize.ShadowArray`;
+* **alias tracking** — which names are *views* of another array
+  (``row = table[i]``, ``v = arr.reshape(...)``, plain ``b = a``), folded
+  down to a canonical *root* name so a write through any view counts as a
+  write to the root;
+* **may-write sites** — every subscript store whose base resolves to a
+  classified root, plus indirect writes through calls whose callee
+  summary says it writes the corresponding parameter.
+
+Everything is deliberately *may* analysis: reassignments kill facts in
+straight-line order only, branches union.  Python ``list`` subscripts are
+never classified, so list-typed DP scratch (``valid_codes[node] = ...``)
+stays out of CREW findings by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import FunctionInfo, ProjectContext, dotted_name
+
+__all__ = [
+    "AliasFrame",
+    "WriteSite",
+    "build_frame",
+    "collect_writes",
+    "param_write_summaries",
+    "subscript_root",
+]
+
+#: numpy top-level constructors that return a fresh ndarray.
+_NP_CREATORS = frozenset(
+    {
+        "zeros", "ones", "empty", "full", "arange", "array", "asarray",
+        "ascontiguousarray", "zeros_like", "ones_like", "empty_like",
+        "full_like", "copy", "concatenate", "stack", "where", "cumsum",
+        "repeat", "tile", "argsort", "sort", "unique", "diff", "minimum",
+        "maximum", "clip", "searchsorted", "flatnonzero", "frombuffer",
+    }
+)
+#: ndarray methods that return a *view* of the receiver.
+_VIEW_METHODS = frozenset({"reshape", "view", "ravel", "transpose", "T"})
+#: ndarray methods that return a fresh buffer.
+_FRESH_METHODS = frozenset({"copy", "astype", "take", "compress"})
+
+_ARRAY_ANNOTATIONS = ("ndarray", "NDArray", "ShadowArray")
+
+
+@dataclass(frozen=True)
+class WriteSite:
+    """One may-write to a classified array root."""
+
+    root: str
+    line: int
+    #: Qualname of the callee for indirect writes (``None`` = direct store).
+    via_call: Optional[str] = None
+
+
+@dataclass
+class AliasFrame:
+    """Array classification + alias state for one function body."""
+
+    #: name -> canonical root name (roots map to themselves).
+    roots: Dict[str, str] = field(default_factory=dict)
+    #: roots created by ``ShadowArray("label", ...)`` -> declared label.
+    shadow_labels: Dict[str, str] = field(default_factory=dict)
+    #: root -> line of the creating statement (0 for parameters).
+    created_at: Dict[str, int] = field(default_factory=dict)
+
+    def resolve(self, name: str) -> Optional[str]:
+        """Canonical array root for ``name``, or ``None`` if unclassified."""
+        seen: Set[str] = set()
+        while name in self.roots and name not in seen:
+            seen.add(name)
+            nxt = self.roots[name]
+            if nxt == name:
+                return name
+            name = nxt
+        return name if name in self.roots else None
+
+    def add_root(self, name: str, line: int) -> None:
+        self.roots[name] = name
+        self.created_at.setdefault(name, line)
+
+    def add_alias(self, name: str, of: str) -> None:
+        root = self.resolve(of)
+        if root is not None and name != root:
+            self.roots[name] = root
+
+    def kill(self, name: str) -> None:
+        self.roots.pop(name, None)
+        self.shadow_labels.pop(name, None)
+
+
+def subscript_root(node: ast.expr) -> Optional[str]:
+    """Peel ``a[i][j]...`` / ``a.attr[...]`` chains down to the base Name."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_array_annotation(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    text = ast.dump(annotation)
+    return any(marker in text for marker in _ARRAY_ANNOTATIONS)
+
+
+def _classify_value(value: ast.expr, frame: AliasFrame) -> Tuple[str, Optional[str]]:
+    """Classify an RHS: ``("fresh", None)``, ``("view", root)``,
+    ``("shadow", label)``, or ``("other", None)``."""
+    if isinstance(value, ast.Name):
+        root = frame.resolve(value.id)
+        return ("view", root) if root is not None else ("other", None)
+    if isinstance(value, ast.Subscript):
+        base = subscript_root(value)
+        root = frame.resolve(base) if base is not None else None
+        return ("view", root) if root is not None else ("other", None)
+    if isinstance(value, ast.Attribute):
+        # ``arr.T`` — a view through an attribute.
+        base = value.value
+        if isinstance(base, ast.Name) and value.attr in _VIEW_METHODS:
+            root = frame.resolve(base.id)
+            if root is not None:
+                return ("view", root)
+        return ("other", None)
+    if isinstance(value, ast.Call):
+        dotted = dotted_name(value.func)
+        if dotted is None:
+            return ("other", None)
+        head, _, tail = dotted.rpartition(".")
+        if tail == "ShadowArray" or dotted == "ShadowArray":
+            label: Optional[str] = None
+            if value.args and isinstance(value.args[0], ast.Constant) and \
+                    isinstance(value.args[0].value, str):
+                label = value.args[0].value
+            return ("shadow", label)
+        if head in ("np", "numpy") and tail in _NP_CREATORS:
+            return ("fresh", None)
+        if head:  # method call: receiver.method(...)
+            recv = frame.resolve(head.split(".")[0])
+            if recv is not None and tail in _VIEW_METHODS:
+                return ("view", recv)
+            if recv is not None and tail in _FRESH_METHODS:
+                return ("fresh", None)
+        return ("other", None)
+    return ("other", None)
+
+
+def _apply_assign(
+    targets: Sequence[ast.expr], value: ast.expr, frame: AliasFrame
+) -> None:
+    kind, payload = _classify_value(value, frame)
+    for target in targets:
+        if not isinstance(target, ast.Name):
+            continue
+        name = target.id
+        frame.kill(name)
+        if kind == "fresh":
+            frame.add_root(name, value.lineno)
+        elif kind == "view" and payload is not None:
+            frame.add_alias(name, payload)
+        elif kind == "shadow":
+            frame.add_root(name, value.lineno)
+            if payload is not None:
+                frame.shadow_labels[name] = payload
+
+
+def build_frame(
+    func: ast.FunctionDef, *, until_line: Optional[int] = None
+) -> AliasFrame:
+    """Array/alias state of ``func``, walked in program order.
+
+    ``until_line`` stops the walk before that line, yielding the state
+    visible at a nested region (the walk still descends into compound
+    statements whose body precedes the cutoff).
+    """
+    frame = AliasFrame()
+    args = func.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        if _is_array_annotation(arg.annotation):
+            frame.add_root(arg.arg, 0)
+
+    def walk(body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            if until_line is not None and stmt.lineno > until_line:
+                return
+            if isinstance(stmt, ast.Assign):
+                _apply_assign(stmt.targets, stmt.value, frame)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name) and _is_array_annotation(
+                    stmt.annotation
+                ):
+                    frame.kill(stmt.target.id)
+                    frame.add_root(stmt.target.id, stmt.lineno)
+                else:
+                    _apply_assign([stmt.target], stmt.value, frame)
+            elif isinstance(stmt, ast.For):
+                if isinstance(stmt.target, ast.Name):
+                    frame.kill(stmt.target.id)
+                walk(stmt.body)
+                walk(stmt.orelse)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                walk(stmt.body)
+                walk(stmt.orelse)
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        frame.kill(item.optional_vars.id)
+                walk(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                walk(stmt.body)
+                for handler in stmt.handlers:
+                    walk(handler.body)
+                walk(stmt.orelse)
+                walk(stmt.finalbody)
+
+    walk(func.body)
+    return frame
+
+
+def _param_names(func: ast.FunctionDef) -> List[str]:
+    args = func.args
+    return [
+        a.arg
+        for a in list(args.posonlyargs) + list(args.args)
+        + list(args.kwonlyargs)
+    ]
+
+
+def _direct_param_writes(func: ast.FunctionDef) -> Set[str]:
+    """Parameters written through a subscript anywhere in ``func``."""
+    params = set(_param_names(func))
+    written: Set[str] = set()
+    for node in ast.walk(func):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                targets.extend(target.elts)
+                continue
+            if isinstance(target, ast.Subscript):
+                base = subscript_root(target)
+                if base in params:
+                    written.add(base)
+    return written
+
+
+def param_write_summaries(project: ProjectContext) -> Dict[str, Set[str]]:
+    """``qualname -> parameter names the function may write through``.
+
+    Seeded with direct subscript stores, then propagated to a fixpoint
+    through resolved calls (an argument passed into a written parameter
+    position is itself written).
+    """
+    summaries: Dict[str, Set[str]] = {
+        qual: _direct_param_writes(info.node)
+        for qual, info in project.functions.items()
+    }
+    changed = True
+    rounds = 0
+    while changed and rounds < 10:
+        changed = False
+        rounds += 1
+        for qual in sorted(project.functions):
+            info = project.functions[qual]
+            params = set(_param_names(info.node))
+            mine = summaries[qual]
+            for site in project.calls(info):
+                if site.callee is None:
+                    continue
+                callee_written = summaries.get(site.callee, set())
+                if not callee_written:
+                    continue
+                for name in _written_arguments(
+                    site.node, project.functions[site.callee].node,
+                    callee_written,
+                ):
+                    if name in params and name not in mine:
+                        mine.add(name)
+                        changed = True
+    return summaries
+
+
+def _written_arguments(
+    call: ast.Call, callee: ast.FunctionDef, written_params: Set[str]
+) -> List[str]:
+    """Caller-side Name arguments that land in written callee parameters."""
+    params = _param_names(callee)
+    # Drop ``self`` when the call syntax does not pass it explicitly.
+    if params and params[0] == "self":
+        params = params[1:]
+    out: List[str] = []
+    for idx, arg in enumerate(call.args):
+        if isinstance(arg, ast.Name) and idx < len(params) \
+                and params[idx] in written_params:
+            out.append(arg.id)
+    for kw in call.keywords:
+        if kw.arg in written_params and isinstance(kw.value, ast.Name):
+            out.append(kw.value.id)
+    return out
+
+
+def collect_writes(
+    nodes: Iterable[ast.stmt],
+    frame: AliasFrame,
+    *,
+    project: Optional[ProjectContext] = None,
+    info: Optional[FunctionInfo] = None,
+    summaries: Optional[Dict[str, Set[str]]] = None,
+) -> List[WriteSite]:
+    """Every may-write to a classified root within ``nodes``.
+
+    Direct subscript stores always count; when ``project``/``info``/
+    ``summaries`` are given, calls passing a classified array into a
+    written parameter position count too (``via_call`` set to the callee).
+    """
+    sites: List[WriteSite] = []
+    seen: Set[Tuple[str, int, Optional[str]]] = set()
+
+    def record(root: str, line: int, via: Optional[str]) -> None:
+        key = (root, line, via)
+        if key not in seen:
+            seen.add(key)
+            sites.append(WriteSite(root=root, line=line, via_call=via))
+
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Call) and project is not None \
+                    and info is not None and summaries is not None:
+                callee = project.resolve_call(info, node)
+                if callee is not None and callee in project.functions:
+                    written = summaries.get(callee, set())
+                    if written:
+                        for name in _written_arguments(
+                            node, project.functions[callee].node, written
+                        ):
+                            root = frame.resolve(name)
+                            if root is not None:
+                                record(root, node.lineno, callee)
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    targets.extend(target.elts)
+                    continue
+                if isinstance(target, ast.Subscript):
+                    base = subscript_root(target)
+                    root = frame.resolve(base) if base is not None else None
+                    if root is not None:
+                        record(root, target.lineno, None)
+    return sites

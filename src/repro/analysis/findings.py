@@ -19,6 +19,9 @@ class Finding:
     path: str
     line: int
     message: str
+    #: Module-relative qualname of the enclosing function ("" at module
+    #: level).  Baseline entries key on it instead of the brittle line.
+    symbol: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -27,6 +30,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "message": self.message,
+            "symbol": self.symbol,
         }
 
     def render(self) -> str:

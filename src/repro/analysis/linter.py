@@ -1,28 +1,62 @@
-"""Driver for the cost-soundness lint: file discovery, noqa, output.
+"""Driver for the cost-soundness lint: discovery, noqa, baseline, output.
 
 Suppression syntax (per line, at the reported line)::
 
     risky_call()  # repro: noqa[RPR001] -- justification
     risky_call()  # repro: noqa          (suppresses every rule)
 
-``lint_paths`` walks ``.py`` files under the given roots; ``lint_source``
-lints one in-memory module (the test fixtures use it).  ``run`` is the
-CLI entry behind ``python -m repro lint``.
+``lint_paths`` walks ``.py`` files under the given roots (skipping
+``__pycache__`` and ``.gitignore``-matched paths), runs the per-module
+rules *and* the interprocedural project passes (cost contracts, static
+CREW, task purity) over the whole file set, and returns findings in a
+deterministic (path, line, rule) order.  ``lint_source`` lints one
+in-memory module against a singleton project (the test fixtures use it).
+``run`` is the CLI entry behind ``python -m repro lint`` and layers the
+committed-baseline ratchet on top.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
+import fnmatch
 import json
 import re
 import sys
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, TextIO
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    TextIO,
+    Tuple,
+)
 
+from .baseline import (
+    Baseline,
+    BaselineResult,
+    apply_baseline,
+    default_baseline_path,
+    find_repo_root,
+)
+from .callgraph import ProjectContext, build_project, enclosing_symbol
+from .cost_check import DEFAULT_REQUIRED_CONTRACTS, CostContractPass
+from .crew_check import StaticCrewPass
 from .findings import Finding
+from .purity import TaskPurityPass
 from .rules import ALL_RULES, TRACED_PACKAGES, ModuleContext, Rule
+from .sarif import RULE_SUMMARIES, render_sarif
 
-__all__ = ["lint_paths", "lint_source", "parse_noqa", "run"]
+__all__ = [
+    "default_project_passes",
+    "lint_paths",
+    "lint_source",
+    "parse_noqa",
+    "run",
+]
 
 _NOQA = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE
@@ -64,6 +98,8 @@ def _module_name(path: Path) -> str:
     parts = list(path.with_suffix("").parts)
     if "repro" in parts:
         parts = parts[parts.index("repro") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
     return ".".join(parts)
 
 
@@ -72,50 +108,165 @@ def _is_traced(module: str) -> bool:
     return head in TRACED_PACKAGES
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    traced: Optional[bool] = None,
-    rules: Optional[Sequence[Rule]] = None,
-) -> List[Finding]:
-    """Lint one module given as a string; honors noqa comments.
+def default_project_passes(
+    required: Optional[Sequence[str]] = None,
+):
+    """The three interprocedural passes in their standard configuration."""
+    return (
+        CostContractPass(
+            required if required is not None else DEFAULT_REQUIRED_CONTRACTS
+        ),
+        StaticCrewPass(),
+        TaskPurityPass(),
+    )
 
-    ``traced`` overrides the package-based classification (fixture files
-    outside ``src/repro`` use ``traced=True`` to exercise RPR001/RPR002).
-    """
+
+def _build_context(
+    source: str, path: str, traced: Optional[bool]
+) -> Tuple[Optional[ModuleContext], Optional[Finding]]:
     module = _module_name(Path(path)) if path != "<string>" else ""
     if traced is None:
         traced = _is_traced(module)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule="RPR999",
-                name="syntax-error",
-                path=path,
-                line=exc.lineno or 1,
-                message=f"could not parse module: {exc.msg}",
-            )
-        ]
-    ctx = ModuleContext(
-        path=path, source=source, tree=tree, module=module, traced=traced
+        return None, Finding(
+            rule="RPR999",
+            name="syntax-error",
+            path=path,
+            line=exc.lineno or 1,
+            message=f"could not parse module: {exc.msg}",
+        )
+    return (
+        ModuleContext(
+            path=path, source=source, tree=tree, module=module,
+            traced=traced,
+        ),
+        None,
     )
-    noqa = parse_noqa(source)
-    found: List[Finding] = []
-    for rule in rules if rules is not None else ALL_RULES:
-        for finding in rule.check(ctx):
-            if not _suppressed(finding, noqa):
-                found.append(finding)
-    found.sort(key=lambda f: (f.path, f.line, f.rule))
-    return found
+
+
+def _finalize(
+    findings: List[Finding],
+    contexts: Dict[str, ModuleContext],
+    noqa_maps: Dict[str, Dict[int, Optional[Set[str]]]],
+) -> List[Finding]:
+    """noqa-filter, attach enclosing symbols, and sort deterministically."""
+    out: List[Finding] = []
+    for finding in findings:
+        noqa = noqa_maps.get(finding.path, {})
+        if _suppressed(finding, noqa):
+            continue
+        ctx = contexts.get(finding.path)
+        if ctx is not None and not finding.symbol:
+            finding = dataclasses.replace(
+                finding, symbol=enclosing_symbol(ctx, finding.line)
+            )
+        out.append(finding)
+    out.sort(key=lambda f: (f.path, f.line, f.rule, f.symbol))
+    return out
+
+
+def _lint_contexts(
+    contexts: Sequence[ModuleContext],
+    rules: Optional[Sequence[Rule]],
+    passes: Optional[Sequence[object]],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for ctx in contexts:
+        for rule in rules if rules is not None else ALL_RULES:
+            findings.extend(rule.check(ctx))
+    project: Optional[ProjectContext] = None
+    for pass_ in (
+        passes if passes is not None else default_project_passes()
+    ):
+        if project is None:
+            project = build_project(contexts)
+        findings.extend(pass_.check_project(project))  # type: ignore[attr-defined]
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    traced: Optional[bool] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    passes: Optional[Sequence[object]] = None,
+) -> List[Finding]:
+    """Lint one module given as a string; honors noqa comments.
+
+    ``traced`` overrides the package-based classification (fixture files
+    outside ``src/repro`` use ``traced=True`` to exercise RPR001/RPR002).
+    The interprocedural passes run against a singleton project, so
+    contract/CREW/purity fixtures work file-at-a-time too.
+    """
+    ctx, syntax_error = _build_context(source, path, traced)
+    if ctx is None:
+        assert syntax_error is not None
+        return [syntax_error]
+    findings = _lint_contexts([ctx], rules, passes)
+    return _finalize(
+        findings, {ctx.path: ctx}, {ctx.path: parse_noqa(source)}
+    )
+
+
+# -- file discovery ---------------------------------------------------------
+
+
+def _load_gitignore(root: Path) -> List[str]:
+    gitignore = root / ".gitignore"
+    if not gitignore.exists():
+        return []
+    patterns: List[str] = []
+    for raw in gitignore.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("!"):
+            continue  # negations unsupported: better to lint too much
+        patterns.append(line.rstrip("/"))
+    return patterns
+
+
+def _gitignored(rel_posix: str, patterns: Sequence[str]) -> bool:
+    parts = rel_posix.split("/")
+    for pattern in patterns:
+        if "/" in pattern:
+            anchored = pattern.lstrip("/")
+            if fnmatch.fnmatch(rel_posix, anchored) or fnmatch.fnmatch(
+                rel_posix, anchored + "/*"
+            ):
+                return True
+        else:
+            # An unanchored pattern matches any path segment.
+            if any(fnmatch.fnmatch(part, pattern) for part in parts):
+                return True
+    return False
 
 
 def _iter_py_files(roots: Sequence[str]) -> Iterable[Path]:
     seen: Set[Path] = set()
     for root in roots:
         p = Path(root)
-        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        if p.is_dir():
+            repo = find_repo_root(p)
+            patterns = _load_gitignore(repo)
+            files = []
+            for f in sorted(p.rglob("*.py")):
+                if "__pycache__" in f.parts:
+                    continue
+                if any(
+                    part.startswith(".") and part not in (".", "..")
+                    for part in f.parts
+                ):
+                    continue
+                try:
+                    rel = f.resolve().relative_to(repo).as_posix()
+                except ValueError:
+                    rel = f.as_posix()
+                if _gitignored(rel, patterns):
+                    continue
+                files.append(f)
+        else:
+            files = [p]
         for f in files:
             r = f.resolve()
             if r not in seen:
@@ -124,42 +275,82 @@ def _iter_py_files(roots: Sequence[str]) -> Iterable[Path]:
 
 
 def lint_paths(
-    roots: Sequence[str], rules: Optional[Sequence[Rule]] = None
+    roots: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    passes: Optional[Sequence[object]] = None,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under the given files/directories."""
-    findings: List[Finding] = []
+    """Lint every ``.py`` file under the given files/directories.
+
+    Per-module rules run file-by-file; the interprocedural passes run
+    once over the full file set so cross-module contracts resolve.
+    """
+    contexts: List[ModuleContext] = []
+    noqa_maps: Dict[str, Dict[int, Optional[Set[str]]]] = {}
+    syntax_findings: List[Finding] = []
     for path in _iter_py_files(roots):
         source = path.read_text(encoding="utf-8")
-        findings.extend(
-            lint_source(source, path=str(path), rules=rules)
-        )
-    return findings
+        ctx, syntax_error = _build_context(source, str(path), None)
+        if ctx is None:
+            assert syntax_error is not None
+            syntax_findings.append(syntax_error)
+            continue
+        contexts.append(ctx)
+        noqa_maps[ctx.path] = parse_noqa(source)
+    findings = syntax_findings + _lint_contexts(contexts, rules, passes)
+    return _finalize(
+        findings, {ctx.path: ctx for ctx in contexts}, noqa_maps
+    )
 
 
-def render_text(findings: List[Finding], stream: TextIO) -> None:
+# -- rendering --------------------------------------------------------------
+
+
+def render_text(
+    findings: List[Finding],
+    stream: TextIO,
+    result: Optional[BaselineResult] = None,
+) -> None:
     for finding in findings:
         print(finding.render(), file=stream)
     n = len(findings)
-    print(
-        f"{n} finding{'s' if n != 1 else ''}"
-        + ("" if n else " — cost-soundness lint is clean"),
-        file=stream,
-    )
+    summary = f"{n} finding{'s' if n != 1 else ''}"
+    if result is not None:
+        summary += f" ({len(result.suppressed)} baselined)"
+        for (rule, path, symbol), expected, actual in result.stale:
+            print(
+                f"stale baseline entry: {rule} at {path}"
+                f"::{symbol or '<module>'} expected {expected}, "
+                f"saw {actual}",
+                file=stream,
+            )
+    if not n:
+        summary += " — cost-soundness lint is clean"
+    print(summary, file=stream)
 
 
-def render_json(findings: List[Finding], stream: TextIO) -> None:
-    json.dump(
-        {
-            "findings": [f.to_dict() for f in findings],
-            "count": len(findings),
-            "rules": {
-                r.id: {"name": r.name, "description": r.description}
-                for r in ALL_RULES
-            },
-        },
-        stream,
-        indent=2,
-    )
+def render_json(
+    findings: List[Finding],
+    stream: TextIO,
+    result: Optional[BaselineResult] = None,
+) -> None:
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+        "rules": dict(RULE_SUMMARIES),
+    }
+    if result is not None:
+        payload["baselined"] = len(result.suppressed)
+        payload["stale_baseline"] = [
+            {
+                "rule": rule,
+                "path": path,
+                "symbol": symbol,
+                "expected": expected,
+                "actual": actual,
+            }
+            for (rule, path, symbol), expected, actual in result.stale
+        ]
+    json.dump(payload, stream, indent=2)
     stream.write("\n")
 
 
@@ -167,15 +358,49 @@ def run(
     roots: Sequence[str],
     format: str = "text",
     output: Optional[str] = None,
+    baseline: Optional[str] = None,
+    no_baseline: bool = False,
+    write_baseline: bool = False,
+    ratchet: bool = False,
 ) -> int:
-    """CLI entry: lint ``roots``, print, return a process exit code."""
-    if format not in ("text", "json"):
+    """CLI entry: lint ``roots``, print, return a process exit code.
+
+    Exit 1 on any non-baselined finding; with ``ratchet`` also on stale
+    baseline entries (the committed debt must only shrink).
+    """
+    if format not in ("text", "json", "sarif"):
         raise ValueError(f"unknown format {format!r}")
     findings = lint_paths(roots)
+    baseline_path = (
+        Path(baseline) if baseline is not None else default_baseline_path()
+    )
+    repo_root = find_repo_root(
+        Path(roots[0]) if roots else baseline_path
+    )
+    if write_baseline:
+        Baseline.from_findings(findings, repo_root).save(baseline_path)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}",
+            file=sys.stdout,
+        )
+        return 0
+    loaded: Optional[Baseline] = None
+    if not no_baseline and baseline_path.exists():
+        loaded = Baseline.load(baseline_path)
+    result = apply_baseline(findings, loaded, repo_root)
+
+    def emit(stream: TextIO) -> None:
+        if format == "json":
+            render_json(result.new, stream, result)
+        elif format == "sarif":
+            stream.write(render_sarif(result.new, repo_root))
+        else:
+            render_text(result.new, stream, result)
+
     if output is not None:
         with open(output, "w", encoding="utf-8") as fh:
-            (render_json if format == "json" else render_text)(findings, fh)
+            emit(fh)
     else:
-        stream = sys.stdout
-        (render_json if format == "json" else render_text)(findings, stream)
-    return 1 if findings else 0
+        emit(sys.stdout)
+    failed = bool(result.new) or (ratchet and bool(result.stale))
+    return 1 if failed else 0

@@ -1,0 +1,318 @@
+"""Task-purity analysis for remote-shippable entry points (RPR030-RPR032).
+
+A ``@task_pure`` function (and everything reachable from it through the
+call graph) is a candidate for execution on a remote worker: the "ship
+pieces over a socket" roadmap item needs its behaviour to depend only on
+its arguments.  This pass walks the transitive closure of every purity
+root and flags the three ways the repo's code could smuggle in ambient
+state:
+
+RPR030  the function reads or writes a *mutable module global* (a
+        module-level dict/list/set that some code in the module mutates)
+RPR031  the function constructs an *unseeded* RNG (``np.random.*``
+        module-level calls, ``default_rng()`` / ``Random()`` without a
+        seed) — remote re-execution would not be reproducible
+RPR032  the function touches the environment: filesystem, network,
+        clock, process state (``open``, ``time.*``, ``os.environ``, ...)
+
+Module-level constants assigned once and never mutated (lookup tables
+like ``_KIND_CODES``) are *not* flagged: immutably-used data is fine to
+pickle along.  ``ContextVar.set`` is likewise exempt — context variables
+are task-scoped by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import FunctionInfo, ProjectContext, dotted_name
+from .findings import Finding
+from .rules import ModuleContext
+
+__all__ = ["TaskPurityPass", "mutable_globals"]
+
+#: Dotted-call prefixes that reach outside the task (RPR032).
+_EFFECT_PREFIXES: Tuple[str, ...] = (
+    "time.",
+    "socket.",
+    "subprocess.",
+    "urllib.",
+    "requests.",
+    "shutil.",
+    "tempfile.",
+)
+_EFFECT_EXACT = frozenset(
+    {
+        "open",
+        "input",
+        "os.getenv",
+        "os.putenv",
+        "os.system",
+        "os.popen",
+        "os.remove",
+        "os.unlink",
+        "os.mkdir",
+        "os.makedirs",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+#: Methods whose *receiver* makes them effects (``Path(...).read_text()``).
+_EFFECT_METHODS = frozenset(
+    {
+        "read_text", "write_text", "read_bytes", "write_bytes",
+        "urlopen", "perf_counter", "monotonic", "process_time",
+    }
+)
+
+#: Mutating method names on dict/list/set globals (RPR030 evidence).
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "pop", "popitem",
+        "remove", "discard", "clear", "setdefault", "sort", "reverse",
+        "appendleft",
+    }
+)
+
+_RNG_FACTORIES = frozenset({"default_rng", "RandomState", "Random"})
+_NP_RANDOM_FNS = frozenset(
+    {
+        "rand", "randn", "randint", "random", "choice", "shuffle",
+        "permutation", "uniform", "normal", "random_sample", "seed",
+    }
+)
+
+
+def _module_mutable_globals(ctx: ModuleContext) -> Set[str]:
+    """Module-level names bound to mutable literals/constructors."""
+    out: Set[str] = set()
+    for stmt in ctx.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        mutable = isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                                     ast.ListComp, ast.SetComp))
+        if isinstance(value, ast.Call):
+            tail = (dotted_name(value.func) or "").split(".")[-1]
+            mutable = tail in ("dict", "list", "set", "defaultdict",
+                               "OrderedDict", "deque", "Counter")
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out.add(target.id)
+    return out
+
+
+def _module_mutations(ctx: ModuleContext, candidates: Set[str]) -> Set[str]:
+    """Which candidate globals does *any* code in the module mutate?"""
+    mutated: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                list(node.targets)
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    base = target.value
+                    if isinstance(base, ast.Name) and base.id in candidates:
+                        mutated.add(base.id)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in _MUTATORS \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in candidates:
+                mutated.add(func.value.id)
+        elif isinstance(node, ast.Global):
+            mutated.update(set(node.names) & candidates)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id in candidates:
+                    mutated.add(target.value.id)
+    return mutated
+
+
+def mutable_globals(ctx: ModuleContext) -> Set[str]:
+    """Module-level mutable names that the module actually mutates."""
+    candidates = _module_mutable_globals(ctx)
+    if not candidates:
+        return set()
+    return _module_mutations(ctx, candidates)
+
+
+def _local_names(func: ast.FunctionDef) -> Set[str]:
+    """Names bound inside the function (params, assigns, loops, withs)."""
+    names: Set[str] = set()
+    args = func.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            if node is not func:
+                names.add(node.name)
+    return names
+
+
+def _rng_violation(call: ast.Call) -> Optional[str]:
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    tail = parts[-1]
+    if tail in _RNG_FACTORIES:
+        if not call.args and not call.keywords:
+            return f"{dotted}() constructs an unseeded RNG"
+        return None
+    if len(parts) >= 2 and parts[-2] == "random" \
+            and tail in _NP_RANDOM_FNS:
+        return (
+            f"{dotted}() uses the global numpy RNG stream "
+            f"(unseeded, process-wide state)"
+        )
+    if dotted.startswith("random.") and len(parts) == 2 \
+            and tail not in ("Random", "SystemRandom"):
+        return f"{dotted}() uses the global random module state"
+    return None
+
+
+def _effect_violation(call: ast.Call) -> Optional[str]:
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    if dotted in _EFFECT_EXACT:
+        return f"{dotted}() touches the environment"
+    for prefix in _EFFECT_PREFIXES:
+        if dotted.startswith(prefix):
+            return f"{dotted}() touches the environment"
+    tail = dotted.split(".")[-1]
+    if tail in _EFFECT_METHODS:
+        return f"{dotted}() touches the environment"
+    return None
+
+
+class TaskPurityPass:
+    """Project pass producing RPR030-RPR032 findings."""
+
+    rules = ("RPR030", "RPR031", "RPR032")
+
+    def check_project(self, project: ProjectContext) -> List[Finding]:
+        roots = project.pure_roots()
+        if not roots:
+            return []
+        findings: List[Finding] = []
+        mutable_cache: Dict[str, Set[str]] = {}
+        root_label = ", ".join(roots)
+        for qual in project.reachable(roots):
+            info = project.functions[qual]
+            module = info.module
+            if module not in mutable_cache:
+                mutable_cache[module] = mutable_globals(info.ctx)
+            findings.extend(
+                self._check_function(
+                    info, mutable_cache[module], root_label
+                )
+            )
+        return findings
+
+    def _check_function(
+        self,
+        info: FunctionInfo,
+        mutated_globals: Set[str],
+        root_label: str,
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        local = _local_names(info.node)
+        reported_globals: Set[str] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load) \
+                    and node.id in mutated_globals \
+                    and node.id not in local \
+                    and node.id not in reported_globals:
+                reported_globals.add(node.id)
+                findings.append(
+                    Finding(
+                        rule="RPR030",
+                        name="mutable-global",
+                        path=info.ctx.path,
+                        line=node.lineno,
+                        message=(
+                            f"{info.qualname} (reachable from task-pure "
+                            f"{root_label}) closes over mutable module "
+                            f"global {node.id!r}"
+                        ),
+                    )
+                )
+            elif isinstance(node, ast.Global):
+                for name in node.names:
+                    if name not in reported_globals:
+                        reported_globals.add(name)
+                        findings.append(
+                            Finding(
+                                rule="RPR030",
+                                name="mutable-global",
+                                path=info.ctx.path,
+                                line=node.lineno,
+                                message=(
+                                    f"{info.qualname} (reachable from "
+                                    f"task-pure {root_label}) rebinds "
+                                    f"module global {name!r}"
+                                ),
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                rng = _rng_violation(node)
+                if rng is not None:
+                    findings.append(
+                        Finding(
+                            rule="RPR031",
+                            name="unseeded-rng",
+                            path=info.ctx.path,
+                            line=node.lineno,
+                            message=(
+                                f"{info.qualname} (reachable from "
+                                f"task-pure {root_label}): {rng}"
+                            ),
+                        )
+                    )
+                    continue
+                effect = _effect_violation(node)
+                if effect is not None:
+                    findings.append(
+                        Finding(
+                            rule="RPR032",
+                            name="environment-effect",
+                            path=info.ctx.path,
+                            line=node.lineno,
+                            message=(
+                                f"{info.qualname} (reachable from "
+                                f"task-pure {root_label}): {effect}"
+                            ),
+                        )
+                    )
+        return findings

@@ -244,12 +244,54 @@ def _is_parallel_idiom(loop: ast.For) -> bool:
     return False
 
 
+def _charged_const_depth_span(stmt: ast.With) -> bool:
+    """True for ``with tracer.span(...)`` blocks that explicitly charge a
+    ``Cost`` with a *constant* depth (``Cost(n, 1)``-shaped).
+
+    Such a block models a data-parallel phase whose per-element loop is a
+    simulation artifact — the declared depth already accounts for it, so
+    RPR002 must not fire on loops inside it.
+    """
+    opens_span = any(
+        isinstance(item.context_expr, ast.Call)
+        and isinstance(item.context_expr.func, ast.Attribute)
+        and item.context_expr.func.attr == "span"
+        for item in stmt.items
+    )
+    if not opens_span:
+        return False
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if not dotted:
+            continue
+        parts = dotted.split(".")
+        if parts[-1] == "Cost":
+            depth: "ast.expr | None" = None
+            if len(node.args) > 1:
+                depth = node.args[1]
+            for kw in node.keywords:
+                if kw.arg == "depth":
+                    depth = kw.value
+            if isinstance(depth, ast.Constant) and isinstance(
+                depth.value, int
+            ):
+                return True
+        elif len(parts) >= 2 and parts[-2] == "Cost" \
+                and parts[-1] == "step":
+            return True  # Cost.step is constant-depth by definition
+    return False
+
+
 class DepthHazard(Rule):
     """RPR002: sequential loop over graph-sized data under a polylog claim.
 
     When a function's docstring advertises an ``O(log ...)`` depth bound,
     a plain ``for``/``while`` over ``range(graph.n)``-like iterables is a
-    Theta(n) sequential chain unless each iteration is a parallel branch.
+    Theta(n) sequential chain unless each iteration is a parallel branch
+    or the loop sits in a span that explicitly charges a constant-depth
+    ``Cost`` (the charged bound supersedes the syntactic heuristic).
     """
 
     id = "RPR002"
@@ -266,9 +308,20 @@ class DepthHazard(Rule):
             doc = ast.get_docstring(func)
             if not doc or not _DEPTH_CLAIM.search(doc):
                 continue
+            exempt: List[Tuple[int, int]] = [
+                (node.lineno, node.end_lineno or node.lineno)
+                for node in ast.walk(func)
+                if isinstance(node, ast.With)
+                and _charged_const_depth_span(node)
+            ]
             for node in ast.walk(func):
                 if isinstance(node, ast.For):
                     if _is_parallel_idiom(node):
+                        continue
+                    if any(
+                        start <= node.lineno <= end
+                        for start, end in exempt
+                    ):
                         continue
                     if _graph_sized(node.iter):
                         yield self.finding(

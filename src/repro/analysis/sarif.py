@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 rendering for ``repro lint`` (CI code-scanning annotations)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from .baseline import repo_relative
+from .findings import Finding
+
+__all__ = ["RULE_SUMMARIES", "render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: One-line catalog of every rule the analyzer can emit.
+RULE_SUMMARIES: Dict[str, str] = {
+    "RPR001": "Graph-sized work with no tracer charge",
+    "RPR002": "Sequential graph-sized loop under a polylog-depth claim",
+    "RPR003": "Nondeterministic iteration order in traced code",
+    "RPR004": "tracer.span misuse that can corrupt the span tree",
+    "RPR010": "Body provably exceeds the declared work bound",
+    "RPR011": "Body provably exceeds the declared depth bound",
+    "RPR012": "Malformed @cost_contract declaration",
+    "RPR013": "Tracer forwarded to a callee with no @cost_contract",
+    "RPR014": "Registry function missing its @cost_contract",
+    "RPR020": "Branch arm writes a shared array with no record_writes",
+    "RPR021": "Arms write the same loop-invariant index (CREW overlap)",
+    "RPR022": "Shared array escapes a branch into a writing callee",
+    "RPR030": "Task-pure code closes over a mutable module global",
+    "RPR031": "Task-pure code constructs an unseeded RNG",
+    "RPR032": "Task-pure code touches filesystem/network/clock state",
+    "RPR999": "File does not parse",
+}
+
+
+def render_sarif(findings: Sequence[Finding], root: Path) -> str:
+    """Render findings as a SARIF 2.1.0 log (paths repo-relative)."""
+    fired = sorted({f.rule for f in findings})
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule,
+            "shortDescription": {
+                "text": RULE_SUMMARIES.get(rule, rule),
+            },
+        }
+        for rule in fired
+    ]
+    rule_index = {rule: idx for idx, rule in enumerate(fired)}
+    results: List[Dict[str, Any]] = []
+    for f in findings:
+        results.append(
+            {
+                "ruleId": f.rule,
+                "ruleIndex": rule_index[f.rule],
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": repo_relative(f.path, root),
+                                "uriBaseId": "REPOROOT",
+                            },
+                            "region": {"startLine": max(1, f.line)},
+                        }
+                    }
+                ],
+            }
+        )
+    log = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "REPOROOT": {"uri": root.resolve().as_uri() + "/"}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2) + "\n"

@@ -282,19 +282,38 @@ def main(argv: Optional[list] = None) -> int:
     lint_p = sub.add_parser(
         "lint",
         help="cost-soundness analyzer (uncharged work, depth hazards, "
-        "nondeterminism, unsafe spans)",
+        "nondeterminism, unsafe spans, cost contracts, static CREW, "
+        "task purity)",
     )
     lint_p.add_argument(
         "paths", nargs="*", default=["src/repro"],
         help="files or directories to lint (default: src/repro)",
     )
     lint_p.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         help="findings output format",
     )
     lint_p.add_argument(
         "--output", metavar="PATH", default=None,
         help="write findings to PATH instead of stdout",
+    )
+    lint_p.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline file freezing known findings "
+        "(default: src/repro/analysis/baseline.json)",
+    )
+    lint_p.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    lint_p.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint_p.add_argument(
+        "--ratchet", action="store_true",
+        help="also fail on stale baseline entries that no longer fire "
+        "(committed debt must only shrink)",
     )
 
     args = parser.parse_args(argv)
@@ -305,6 +324,10 @@ def main(argv: Optional[list] = None) -> int:
             args.paths or ["src/repro"],
             format=args.format,
             output=args.output,
+            baseline=args.baseline,
+            no_baseline=args.no_baseline,
+            write_baseline=args.write_baseline,
+            ratchet=args.ratchet,
         )
     graph, embedding = parse_target(args.target)
     print(f"target: {args.target} (n={graph.n}, m={graph.m})")

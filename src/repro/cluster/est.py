@@ -26,6 +26,8 @@ import numpy as np
 from ..graphs.csr import Graph
 from ..pram import Cost, Tracer
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["Clustering", "est_clustering"]
 
 
@@ -65,6 +67,7 @@ class Clustering:
         return float(self.crossing_edges(graph).mean())
 
 
+@cost_contract(work="O(n + m)", depth="O(beta log n)")
 def est_clustering(
     graph: Graph,
     beta: float,

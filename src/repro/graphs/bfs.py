@@ -18,6 +18,8 @@ import numpy as np
 from ..pram import Cost, Tracer
 from .csr import Graph
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["BFSResult", "parallel_bfs"]
 
 UNREACHED = -1
@@ -44,6 +46,7 @@ class BFSResult:
         return self.depth + 1
 
 
+@cost_contract(work="O(n + m)", depth="O(d log n)")
 def parallel_bfs(
     graph: Graph,
     sources: Sequence[int] | np.ndarray,

@@ -44,6 +44,8 @@ from .pattern import Pattern
 from .sequential_dp import sequential_dp
 from .state_space import SubgraphStateSpace
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["DeterministicCountResult", "count_occurrences_exact"]
 
 
@@ -64,6 +66,7 @@ class DeterministicCountResult:
     plan: Optional[object] = None
 
 
+@cost_contract(work="O(c_k n log^3 n + c_k p)", depth="O(log^3 n + d log n + c_k p)")
 def count_occurrences_exact(
     graph: Graph,
     embedding: PlanarEmbedding,
@@ -159,6 +162,7 @@ def count_occurrences_exact(
     )
 
 
+@cost_contract(work="O(c_k n log n + c_k p)", depth="O(log^2 n + c_k p)")
 def _window_count(
     emb: PlanarEmbedding,
     graph: Graph,
@@ -185,6 +189,7 @@ def _window_count(
     return result.accepting_count
 
 
+@cost_contract(work="O(c_k n log n + c_k p)", depth="O(log^2 n + c_k p)")
 def _dispatch_window_counts(
     sub: Graph,
     level: np.ndarray,

@@ -24,6 +24,8 @@ from ..pram import Cost, ShadowArray, Tracker
 from .pattern import Pattern
 from .planar_si import decide_subgraph_isomorphism
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["DisconnectedSIResult", "decide_disconnected"]
 
 
@@ -38,6 +40,7 @@ class DisconnectedSIResult:
     plan: Optional[object] = None
 
 
+@cost_contract(work="O(n log n)", depth="O(log^2 n)")
 def decide_disconnected(
     graph: Graph,
     embedding: PlanarEmbedding,

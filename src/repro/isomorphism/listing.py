@@ -28,6 +28,8 @@ from .recovery import iter_witnesses
 from .sequential_dp import sequential_dp
 from .state_space import SubgraphStateSpace
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["ListingResult", "list_occurrences", "count_occurrences"]
 
 Witness = Tuple[Tuple[int, int], ...]
@@ -55,6 +57,7 @@ class ListingResult:
         return {frozenset(v for _, v in w) for w in self.witnesses}
 
 
+@cost_contract(work="O(c_k n log n + c_k p + occ)", depth="O(log^2 n + c_k p)")
 def list_occurrences(
     graph: Graph,
     embedding: PlanarEmbedding,
@@ -175,6 +178,7 @@ def list_occurrences(
     )
 
 
+@cost_contract(work="O(c_k n log n + c_k p + occ)", depth="O(log^2 n + c_k p)")
 def _piece_witnesses(piece, pattern, engine, tracker: Tracer, provider):
     nice = provider.nice(piece.decomposition, tracker)
     space = SubgraphStateSpace(pattern, piece.graph)

@@ -44,6 +44,8 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.contracts import cost_contract
+
 __all__ = [
     "dedup_accumulate",
     "member_positions",
@@ -601,6 +603,7 @@ def overflow_warning_scope(warned: Optional[set] = None) -> Iterator[set]:
         _warn_scope.reset(token)
 
 
+@cost_contract(work="O(c_k)", depth="O(1)")
 def packed_ops_for(space, nice, tracer=None):
     """The packed kernel set for ``space`` if it exists and fits ``nice``.
 

@@ -25,6 +25,8 @@ from ..treedecomp.tree_paths import layered_paths
 from .match_dag import _solve_path_packed, solve_path
 from .packed import PackedValidTables, packed_ops_for
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["ParallelDPResult", "parallel_dp"]
 
 
@@ -50,6 +52,7 @@ class ParallelDPResult:
     trace: Optional[Span] = None
 
 
+@cost_contract(work="O(c_k n log n)", depth="O(log^2 n)")
 def parallel_dp(
     space,
     nice: NiceDecomposition,
@@ -81,6 +84,7 @@ def parallel_dp(
     return result
 
 
+@cost_contract(work="O(c_k n log n)", depth="O(log^2 n)")
 def _parallel_dp_traced(
     space,
     nice: NiceDecomposition,

@@ -35,6 +35,8 @@ from .recovery import first_witness
 from .sequential_dp import sequential_dp
 from .state_space import SubgraphStateSpace
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["PlanarSIResult", "decide_subgraph_isomorphism", "find_occurrence"]
 
 
@@ -67,6 +69,7 @@ def _rounds_for(n: int, rounds: Optional[int], confidence_log_factor: float) -> 
     return max(1, math.ceil(confidence_log_factor * math.log2(max(n, 2))))
 
 
+@cost_contract(work="O(n log n)", depth="O(log^2 n)")
 def decide_subgraph_isomorphism(
     graph: Graph,
     embedding: PlanarEmbedding,
@@ -277,6 +280,7 @@ def _solve_piece(
     return first_witness(space, nice, result.valid)
 
 
+@cost_contract(work="O(n log n)", depth="O(log^2 n)")
 def find_occurrence(
     graph: Graph,
     embedding: PlanarEmbedding,

@@ -27,6 +27,8 @@ from ..pram import Cost, Tracer
 from ..treedecomp.nice import FORGET, INTRODUCE, JOIN, LEAF, NiceDecomposition
 from .packed import PackedValidTables, dedup_accumulate, packed_ops_for
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["DPResult", "sequential_dp"]
 
 
@@ -48,6 +50,7 @@ class DPResult:
     cost: Cost
 
 
+@cost_contract(work="O(c_k p)", depth="O(c_k p)")
 def sequential_dp(
     space,
     nice: NiceDecomposition,
@@ -151,6 +154,7 @@ def sequential_dp(
     )
 
 
+@cost_contract(work="O(c_k p)", depth="O(c_k p)")
 def _sequential_dp_packed(
     space,
     nice: NiceDecomposition,

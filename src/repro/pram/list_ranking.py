@@ -16,11 +16,14 @@ import numpy as np
 from .cost import Cost
 from .trace import Tracer
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["list_rank", "list_rank_optimal"]
 
 NIL = -1
 
 
+@cost_contract(work="O(n log n)", depth="O(log n)")
 def list_rank(
     successor: np.ndarray,
     tracer: Optional[Tracer] = None,
@@ -68,6 +71,7 @@ def list_rank(
     return ranks, cost
 
 
+@cost_contract(work="O(n)", depth="O(log n)")
 def list_rank_optimal(
     successor: np.ndarray,
     seed: int = 0,

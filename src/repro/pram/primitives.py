@@ -28,6 +28,8 @@ import numpy as np
 from .cost import Cost
 from .trace import Tracer
 
+from ..analysis.contracts import cost_contract
+
 __all__ = [
     "prefix_sum",
     "exclusive_prefix_sum",
@@ -38,6 +40,7 @@ __all__ = [
 ]
 
 
+@cost_contract(work="O(1)", depth="O(1)")
 def _record(
     tracer: Optional[Tracer], cost: Cost, label: str, **counters: float
 ) -> Cost:
@@ -47,6 +50,7 @@ def _record(
     return cost
 
 
+@cost_contract(work="O(1)", depth="O(1)")
 def _note_reads(tracer: Optional[Tracer], *arrays: np.ndarray) -> None:
     """Declare the primitive's input cells as branch reads (sanitizer)."""
     if tracer is not None and tracer._mem is not None:
@@ -54,6 +58,7 @@ def _note_reads(tracer: Optional[Tracer], *arrays: np.ndarray) -> None:
             tracer.record_reads(array)
 
 
+@cost_contract(work="O(n)", depth="O(log n)")
 def prefix_sum(
     values: np.ndarray,
     tracer: Optional[Tracer] = None,
@@ -66,6 +71,7 @@ def prefix_sum(
     return np.cumsum(values), _record(tracer, Cost.scan(n), label, items=n)
 
 
+@cost_contract(work="O(n)", depth="O(log n)")
 def exclusive_prefix_sum(
     values: np.ndarray,
     tracer: Optional[Tracer] = None,
@@ -81,6 +87,7 @@ def exclusive_prefix_sum(
     return out[:-1], _record(tracer, Cost.scan(n), label, items=n)
 
 
+@cost_contract(work="O(n)", depth="O(log n)")
 def parallel_reduce(
     values: np.ndarray,
     op: str = "sum",
@@ -110,6 +117,7 @@ def parallel_reduce(
     )
 
 
+@cost_contract(work="O(n)", depth="O(log n)")
 def pack(
     values: np.ndarray,
     mask: np.ndarray,
@@ -133,6 +141,7 @@ def pack(
     return values[mask], _record(tracer, cost, label, items=n)
 
 
+@cost_contract(work="O(n)", depth="O(log n)")
 def pack_indices(
     mask: np.ndarray,
     tracer: Optional[Tracer] = None,
@@ -149,6 +158,7 @@ def pack_indices(
     return np.flatnonzero(mask), _record(tracer, cost, label, items=n)
 
 
+@cost_contract(work="O(n log n)", depth="O(log n)")
 def pointer_jump_roots(
     parent: np.ndarray,
     tracer: Optional[Tracer] = None,

@@ -61,7 +61,9 @@ construction) — record shared inputs and outputs only.
 from __future__ import annotations
 
 import os
+import sys
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
@@ -72,7 +74,9 @@ __all__ = [
     "EREW",
     "CREWViolation",
     "ShadowArray",
+    "WriteObservation",
     "active_mode",
+    "observing_writes",
     "sanitized",
 ]
 
@@ -237,6 +241,71 @@ def _label(target: Target) -> str:
     return f"ndarray<{getattr(target, 'dtype', '?')}>"
 
 
+@dataclass(frozen=True)
+class WriteObservation:
+    """One dynamically-observed write declaration, with its call site.
+
+    ``path``/``function``/``line`` identify the *declaring* frame — the
+    first caller outside ``repro.pram`` — so observations can be joined
+    against the static CREW pass's per-function write sets (the
+    static/dynamic cross-validation test in ``tests/analysis``).
+    """
+
+    path: str
+    function: str
+    line: int
+    label: str
+    shadow: bool
+
+
+_observer: Optional[List[WriteObservation]] = None
+
+
+@contextmanager
+def observing_writes() -> Iterator[List[WriteObservation]]:
+    """Collect every sanitizer write declaration made inside the block.
+
+    Purely observational (requires an active sanitizer mode to see any
+    traffic, since declarations are skipped entirely when the sanitizer
+    is off).  Nested use restores the previous collector on exit.
+    """
+    global _observer
+    previous = _observer
+    collected: List[WriteObservation] = []
+    _observer = collected
+    try:
+        yield collected
+    finally:
+        _observer = previous
+
+
+_PRAM_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _observe_write(target: Target) -> None:
+    if _observer is None:
+        return
+    frame = sys._getframe(1)
+    path, function, line = "<unknown>", "<unknown>", 0
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if os.path.dirname(os.path.abspath(filename)) != _PRAM_DIR:
+            path, function, line = (
+                filename, frame.f_code.co_name, frame.f_lineno
+            )
+            break
+        frame = frame.f_back
+    _observer.append(
+        WriteObservation(
+            path=path,
+            function=function,
+            line=line,
+            label=_label(target),
+            shadow=isinstance(target, ShadowArray),
+        )
+    )
+
+
 class _EffectStore:
     """Sorted (cells, owner) sets per target key, with conflict lookup."""
 
@@ -321,6 +390,8 @@ class RegionSentry:
         indices: object,
         write: bool,
     ) -> None:
+        if write:
+            _observe_write(target)
         if not write and self.mode != EREW:
             return  # CREW: concurrent reads are always legal; skip resolving.
         cells, display = _cells(target, indices)

@@ -27,6 +27,8 @@ import numpy as np
 from .cost import Cost
 from .trace import Tracer
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["Algebra", "BinaryExpressionTree", "evaluate_expression_tree"]
 
 F = TypeVar("F")  # unary-function representation
@@ -110,6 +112,7 @@ class BinaryExpressionTree:
         return order
 
 
+@cost_contract(work="O(n)", depth="O(log n)")
 def evaluate_expression_tree(
     tree: BinaryExpressionTree,
     algebra: Algebra[F],

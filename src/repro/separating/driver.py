@@ -28,6 +28,8 @@ from ..planar.embedding import PlanarEmbedding
 from ..pram import Cost, ShadowArray, Span, Tracer
 from .state_space import SeparatingStateSpace
 
+from ..analysis.contracts import cost_contract
+
 __all__ = ["SeparatingSIResult", "decide_separating_isomorphism"]
 
 
@@ -51,6 +53,7 @@ class SeparatingSIResult:
     plan: Optional[object] = None
 
 
+@cost_contract(work="O(c_k n log n + c_k p)", depth="O(log^2 n + c_k p)")
 def decide_separating_isomorphism(
     graph: Graph,
     embedding: PlanarEmbedding,

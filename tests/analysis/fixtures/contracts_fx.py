@@ -1,0 +1,55 @@
+"""RPR010-RPR013 fixture: cost contracts checked against bodies.
+
+Only parsed, never imported — the decorators are matched by name in the
+AST, so no imports are needed for the analyzer to see them.
+"""
+
+
+@cost_contract(work="O(n)", depth="O(log n)")
+def ok_scan(values, n, tracer):
+    """Charges exactly what it declares."""
+    tracer.charge(Cost.scan(n))
+    return values
+
+
+@cost_contract(work="O(log n)", depth="O(log n)")
+def bad_work(values, n, tracer):
+    """Declares sublinear work but charges a linear step."""
+    tracer.charge(Cost.step(n))  # MARK: bad-work
+    return values
+
+
+@cost_contract(work="O(n)", depth="O(log n)")
+def bad_depth(values, n, tracer):
+    """The contract says log-depth; the body chains n sequential steps."""
+    for i in range(n):  # MARK: bad-depth
+        tracer.charge(Cost.step(1))
+    return values
+
+
+@cost_contract(work="O(n log n", depth="O(1)")  # MARK: bad-bound
+def bad_bound(n):
+    return n
+
+
+@cost_contract("O(n)", depth="O(1)")  # MARK: bad-positional
+def bad_positional(n):
+    return n
+
+
+def helper_without_contract(values, tracer):
+    tracer.charge(Cost.step(1))
+    return values
+
+
+@cost_contract(work="O(n)", depth="O(log n)")
+def bad_forwarding(values, n, tracer):
+    """Hands its tracer to an uncontracted callee: composition hole."""
+    tracer.charge(Cost.scan(n))
+    return helper_without_contract(values, tracer)  # MARK: bad-forward
+
+
+@cost_contract(work="O(n)", depth="O(log n)")
+def ok_composed(values, n, tracer):
+    """Composes a contracted callee; inherits its bound."""
+    return ok_scan(values, n, tracer)

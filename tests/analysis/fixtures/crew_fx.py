@@ -1,0 +1,79 @@
+"""RPR020-RPR022 fixture: static CREW write-set discipline.
+
+Every ``bad_*`` function violates the record_writes obligation in one
+specific way; every ``ok_*`` function follows an idiom the pass must
+accept (declared writes, arm-private scratch, list-typed scratch).
+"""
+
+import numpy as np
+
+
+def helper_writes(out, idx):
+    out[idx] = 1
+
+
+def bad_undeclared(graph, tracker):
+    results = np.zeros(graph.n)
+    with tracker.parallel("pieces") as region:
+        for i in range(graph.n):
+            with region.branch("piece") as branch:
+                branch.charge(None)
+                results[i] = i  # MARK: bad-undeclared
+
+
+def bad_overlap(graph, tracker):
+    out = np.zeros(graph.n)
+    with tracker.parallel("pair") as region:
+        with region.branch("left") as branch:
+            branch.charge(None)
+            branch.record_writes(out, 0)
+            out[0] = 1
+        with region.branch("right") as branch:
+            branch.charge(None)
+            branch.record_writes(out, 0)
+            out[0] = 2  # MARK: bad-overlap
+
+
+def bad_loop_invariant(graph, tracker):
+    acc = np.zeros(4)
+    with tracker.parallel("reduce") as region:
+        for i in range(graph.n):
+            with region.branch("arm") as branch:
+                branch.charge(None)
+                branch.record_writes(acc, 0)
+                acc[0] = i  # MARK: bad-loop-invariant
+
+
+def bad_escape(graph, tracker):
+    shared = np.zeros(graph.n)
+    with tracker.parallel("escape") as region:
+        with region.branch("delegate") as branch:
+            branch.charge(None)
+            helper_writes(shared, 3)  # MARK: bad-escape
+
+
+def ok_declared(graph, tracker):
+    out = np.zeros(graph.n)
+    with tracker.parallel("pieces") as region:
+        for i in range(graph.n):
+            with region.branch("piece") as branch:
+                branch.charge(None)
+                branch.record_writes(out, i)
+                out[i] = i
+
+
+def ok_arm_private(graph, tracker):
+    with tracker.parallel("scratchpads") as region:
+        with region.branch("scratch") as branch:
+            branch.charge(None)
+            local = np.zeros(4)
+            local[0] = 1
+
+
+def ok_list_scratch(graph, tracker):
+    table = [None] * graph.n
+    with tracker.parallel("tables") as region:
+        for i in range(graph.n):
+            with region.branch("slot") as branch:
+                branch.charge(None)
+                table[i] = i

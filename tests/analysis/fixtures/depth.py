@@ -41,6 +41,32 @@ def ok_small_loop(pieces):
     return out
 
 
+def ok_charged_span_loop(graph, tracer):
+    """Bucket pass in O(log n) depth; the loop is a simulation artifact."""
+    total = 0
+    with tracer.span("bucket-pass"):
+        tracer.charge(Cost(graph.n, 1))
+        for v in range(graph.n):
+            total += v
+    return total
+
+
+def ok_charged_step_span(graph, tracer):
+    """Scatter in O(log n) depth, charged as one constant-depth step."""
+    with tracer.span("scatter"):
+        tracer.charge(Cost.step(graph.n))
+        for v in range(graph.n):
+            pass
+
+
+def bad_nonconst_depth_span(graph, tracer):
+    """Sweep in O(log n) depth (it claims); the span charge admits O(n)."""
+    with tracer.span("sweep"):
+        tracer.charge(Cost(graph.n, graph.n))
+        for v in range(graph.n):  # MARK: bad-span-loop
+            pass
+
+
 def suppressed(graph):
     """Runs in O(log n) depth; iterations are address-calculation only."""
     for v in range(graph.n):  # repro: noqa[RPR002] -- fixture: intentional

@@ -1,0 +1,40 @@
+"""RPR030-RPR032 fixture: task-purity of remote-shippable entry points.
+
+``bad_task`` is a ``@task_pure`` root that commits all three sins; the
+reachable ``_tainted_helper`` shows violations propagate through the call
+graph.  ``ok_task`` threads its seed and touches nothing ambient.
+"""
+
+import time
+
+import numpy as np
+
+_MEMO = {}
+
+
+def _remember(key, value):
+    _MEMO[key] = value
+    return value
+
+
+@task_pure
+def bad_task(piece, seed):
+    rng = np.random.default_rng()  # MARK: bad-rng
+    started = time.perf_counter()  # MARK: bad-clock
+    cached = _MEMO.get(piece)  # MARK: bad-global
+    return _tainted_helper(piece), cached, rng, started
+
+
+def _tainted_helper(piece):
+    handle = open("/tmp/piece.bin", "rb")  # MARK: bad-open
+    return handle
+
+
+@task_pure
+def ok_task(piece, seed):
+    rng = np.random.default_rng(seed)
+    return float(rng.random()) + float(np.sum(piece))
+
+
+def unreachable_impurity():
+    return time.monotonic()

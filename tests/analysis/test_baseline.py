@@ -1,0 +1,194 @@
+"""Baseline ratchet, noqa edge cases, SARIF output, and file discovery."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    Baseline,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    render_sarif,
+)
+from repro.analysis import run as lint_run
+
+PURITY_HEADER = "import numpy as np\nimport time\n"
+
+
+def _purity_source(noqa_rng="", noqa_clock=""):
+    return (
+        PURITY_HEADER
+        + "@task_pure\n"
+        + "def run(piece, seed):\n"
+        + f"    rng = np.random.default_rng(){noqa_rng}\n"
+        + f"    t0 = time.perf_counter(){noqa_clock}\n"
+        + "    return rng, t0\n"
+    )
+
+
+class TestNoqaEdgeCases:
+    def test_multiple_rules_one_line(self):
+        source = (
+            PURITY_HEADER
+            + "@task_pure\n"
+            + "def run(piece):\n"
+            + "    x = np.random.default_rng() if time.time() else None"
+            + "  # repro: noqa[RPR031, RPR032]\n"
+            + "    return x\n"
+        )
+        assert lint_source(source, traced=True, rules=()) == []
+        # Suppressing only one of the two leaves the other.
+        partial = source.replace("[RPR031, RPR032]", "[RPR031]")
+        findings = lint_source(partial, traced=True, rules=())
+        assert [f.rule for f in findings] == ["RPR032"]
+
+    def test_noqa_on_decorator_line(self):
+        source = (
+            '@cost_contract(work="O(n log n", depth="O(1)")'
+            "  # repro: noqa[RPR012]\n"
+            "def f(n):\n"
+            "    return n\n"
+        )
+        assert lint_source(source, traced=True, rules=()) == []
+        unsuppressed = source.replace("  # repro: noqa[RPR012]", "")
+        findings = lint_source(unsuppressed, traced=True, rules=())
+        assert [f.rule for f in findings] == ["RPR012"]
+
+    def test_noqa_and_baseline_do_not_double_count(self, tmp_path):
+        # One finding noqa'd in place + one identical finding baselined:
+        # the noqa'd one must never consume the baseline slot.
+        source = _purity_source(noqa_rng="", noqa_clock="")
+        source += (
+            "@task_pure\n"
+            "def run2(piece):\n"
+            "    return np.random.default_rng()"
+            "  # repro: noqa[RPR031]\n"
+        )
+        path = tmp_path / "mod.py"
+        path.write_text(source, encoding="utf-8")
+        findings = lint_paths([str(path)])
+        # noqa already filtered: one RPR031 (run) + one RPR032 (run).
+        assert sorted(f.rule for f in findings) == ["RPR031", "RPR032"]
+        baseline = Baseline.from_findings(findings, tmp_path)
+        result = apply_baseline(findings, baseline, tmp_path)
+        assert result.new == []
+        assert len(result.suppressed) == 2
+        assert result.stale == []
+
+
+class TestBaselineRatchet:
+    def _findings(self, tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(source, encoding="utf-8")
+        return path, lint_paths([str(path)])
+
+    def test_new_findings_not_absorbed(self, tmp_path):
+        path, findings = self._findings(tmp_path, _purity_source())
+        baseline = Baseline.from_findings(findings[:1], tmp_path)
+        result = apply_baseline(findings, baseline, tmp_path)
+        assert len(result.suppressed) == 1
+        assert len(result.new) == 1
+        assert result.new[0].rule != result.suppressed[0].rule
+
+    def test_fixed_findings_become_stale(self, tmp_path):
+        path, findings = self._findings(tmp_path, _purity_source())
+        baseline = Baseline.from_findings(findings, tmp_path)
+        fixed = [f for f in findings if f.rule != "RPR032"]
+        result = apply_baseline(fixed, baseline, tmp_path)
+        assert result.new == []
+        ((key, expected, actual),) = result.stale
+        assert key[0] == "RPR032" and expected == 1 and actual == 0
+
+    def test_save_load_round_trip(self, tmp_path):
+        path, findings = self._findings(tmp_path, _purity_source())
+        baseline = Baseline.from_findings(findings, tmp_path)
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert loaded.entries == baseline.entries
+        data = json.loads(target.read_text(encoding="utf-8"))
+        assert data["version"] == 1
+        assert all(e["symbol"].endswith("run") for e in data["entries"])
+
+    def test_run_exit_codes_and_ratchet(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(_purity_source(), encoding="utf-8")
+        baseline_path = tmp_path / "baseline.json"
+        # 1. Dirty tree, no baseline: fail.
+        assert lint_run(
+            [str(path)], baseline=str(baseline_path)
+        ) == 1
+        # 2. Write the baseline, rerun: clean.
+        assert lint_run(
+            [str(path)], baseline=str(baseline_path), write_baseline=True
+        ) == 0
+        assert lint_run([str(path)], baseline=str(baseline_path)) == 0
+        # 3. Fix one finding: plain run stays green (debt only shrank)...
+        path.write_text(
+            _purity_source(noqa_clock="  # repro: noqa[RPR032]"),
+            encoding="utf-8",
+        )
+        assert lint_run([str(path)], baseline=str(baseline_path)) == 0
+        # ...but --ratchet demands the stale entry be dropped.
+        assert lint_run(
+            [str(path)], baseline=str(baseline_path), ratchet=True
+        ) == 1
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+
+    def test_no_baseline_flag_ignores_committed_debt(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(_purity_source(), encoding="utf-8")
+        baseline_path = tmp_path / "baseline.json"
+        lint_run(
+            [str(path)], baseline=str(baseline_path), write_baseline=True
+        )
+        assert lint_run(
+            [str(path)], baseline=str(baseline_path), no_baseline=True
+        ) == 1
+
+
+class TestSarif:
+    def test_sarif_shape_and_paths(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(_purity_source(), encoding="utf-8")
+        findings = lint_paths([str(path)])
+        log = json.loads(render_sarif(findings, tmp_path))
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rules == {"RPR031", "RPR032"}
+        for result in run["results"]:
+            loc = result["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == "mod.py"
+            assert loc["region"]["startLine"] >= 1
+            assert result["ruleId"] in rules
+
+    def test_cli_run_emits_sarif_file(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(_purity_source(), encoding="utf-8")
+        out = tmp_path / "lint.sarif"
+        code = lint_run(
+            [str(path)], format="sarif", output=str(out),
+            no_baseline=True,
+        )
+        assert code == 1
+        log = json.loads(out.read_text(encoding="utf-8"))
+        assert log["runs"][0]["results"]
+
+
+class TestDiscovery:
+    def test_gitignored_and_pycache_skipped(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("", encoding="utf-8")
+        (tmp_path / ".gitignore").write_text(
+            "build/\n*.egg-info\n", encoding="utf-8"
+        )
+        bad = "import random\n"
+        (tmp_path / "a.py").write_text(bad, encoding="utf-8")
+        for skipped in ("build", "__pycache__", ".hidden"):
+            sub = tmp_path / skipped
+            sub.mkdir()
+            (sub / "b.py").write_text(bad, encoding="utf-8")
+        findings = lint_paths([str(tmp_path)])
+        assert {Path(f.path).name for f in findings} == {"a.py"}
+        assert [f.rule for f in findings] == ["RPR003"]

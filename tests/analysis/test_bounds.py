@@ -1,0 +1,101 @@
+"""The symbolic big-O algebra behind cost contracts (repro.analysis.bounds)."""
+
+import pytest
+
+from repro.analysis import Bound, BoundParseError, Term, parse_bound
+from repro.analysis.bounds import par_bound
+
+
+def b(text):
+    return parse_bound(text)
+
+
+class TestParsing:
+    def test_simple_forms(self):
+        assert b("O(n)").render() == "O(n)"
+        assert b("O(n log n)").render() == "O(n log n)"
+        assert b("O(log^2 n)").render() == "O(log^2 n)"
+        assert b("O(1)").render() == "O(1)"
+        assert b("n + log n").render() == "O(n)"  # bare sums allowed
+
+    def test_m_canonicalizes_to_n(self):
+        # Planar hosts: m = Theta(n), so bounds in m mean the same thing.
+        assert b("O(m)") == b("O(n)")
+        assert b("O(n + m)") == b("O(n)")
+        assert b("O(m log m)") == b("O(n log n)")
+
+    def test_atoms_are_opaque(self):
+        bound = b("O(c_k n log n)")
+        (term,) = bound.terms
+        assert term.atoms == (("c_k", 1),)
+        assert term.n_exp == 1 and term.log_exp == 1
+
+    def test_atom_exponents(self):
+        (term,) = b("O(k^2)").terms
+        assert term.atoms == (("k", 2),)
+        (term,) = b("O(k^k)").terms
+        assert term.atoms == (("k^k", 1),)
+
+    def test_division_and_sqrt(self):
+        (term,) = b("O(n / log n)").terms
+        assert term.n_exp == 1 and term.log_exp == -1
+        (term,) = b("O(sqrt(n))").terms
+        assert term.n_exp == 0.5
+
+    def test_dominated_terms_pruned(self):
+        assert b("O(n + n log n)") == b("O(n log n)")
+        assert b("O(1 + log n + log^2 n)") == b("O(log^2 n)")
+
+    def test_incomparable_terms_kept(self):
+        bound = b("O(n log n + c_k p)")
+        assert len(bound.terms) == 2
+
+    def test_parse_errors(self):
+        for bad in ("", "O(n", "O(n))", "O(n ^ x + )", "O(n / k)"):
+            with pytest.raises(BoundParseError):
+                parse_bound(bad)
+
+
+class TestOrdering:
+    def test_leq_on_exponents(self):
+        assert b("O(n)").leq(b("O(n log n)"))
+        assert b("O(log^2 n)").leq(b("O(n)"))
+        assert not b("O(n)").leq(b("O(log^5 n)"))
+        assert not b("O(n^2)").leq(b("O(n log n)"))
+
+    def test_atoms_incomparable_with_n(self):
+        # k might be Theta(n): a k-term is never dominated by pure n-terms.
+        assert not b("O(k)").leq(b("O(n)"))
+        # ...but dropping an atom factor >= 1 only shrinks a term.
+        assert b("O(n)").leq(b("O(k n)"))
+        assert b("O(c_k)").leq(b("O(c_k p)"))
+
+    def test_excess_blames_the_right_term(self):
+        excess = b("O(n + c_k p)").excess(b("O(n log n)"))
+        assert excess is not None and excess.atoms == (
+            ("c_k", 1), ("p", 1),
+        )
+        assert b("O(n)").excess(b("O(n log n)")) is None
+
+    def test_zero_is_bottom(self):
+        assert Bound.zero().leq(b("O(1)"))
+        assert not b("O(1)").leq(Bound.zero())
+
+
+class TestAlgebra:
+    def test_plus_is_union(self):
+        assert b("O(n)").plus(b("O(log n)")) == b("O(n)")
+        assert b("O(n)").plus(b("O(c_k)")) == b("O(n + c_k)")
+
+    def test_times_multiplies_every_term(self):
+        n = Term(n_exp=1.0)
+        assert b("O(log n + c_k)").times(n) == b("O(n log n + c_k n)")
+
+    def test_par_bound_is_max(self):
+        assert par_bound([b("O(log n)"), b("O(log^2 n)")]) == b("O(log^2 n)")
+
+    def test_provenance_survives_times_and_is_ignored_by_eq(self):
+        t = Term(n_exp=1.0, provenance=17)
+        assert t == Term(n_exp=1.0)
+        assert Bound.of(t).times(Term(log_exp=1.0), 42).terms[0].provenance \
+            == 42

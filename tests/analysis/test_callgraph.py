@@ -1,0 +1,128 @@
+"""The call-graph substrate shared by the interprocedural passes."""
+
+from repro.analysis import build_project, enclosing_symbol
+from repro.analysis.linter import _build_context
+
+
+def ctx(source, path):
+    built, syntax_error = _build_context(source, path, True)
+    assert syntax_error is None, syntax_error
+    return built
+
+
+PRIMS = ctx(
+    "def prefix_sum(values, tracer):\n"
+    "    return values\n"
+    "\n"
+    "def pack(values, keep, tracer):\n"
+    "    return prefix_sum(values, tracer)\n",
+    "src/repro/pram/primitives.py",
+)
+
+PRAM_INIT = ctx(
+    "from .primitives import pack, prefix_sum\n",
+    "src/repro/pram/__init__.py",
+)
+
+DRIVER = ctx(
+    "from ..pram import pack\n"
+    "from ..pram.primitives import prefix_sum as scan\n"
+    "\n"
+    "class Engine:\n"
+    "    def __init__(self, n):\n"
+    "        self.n = n\n"
+    "\n"
+    "    def solve(self, values, tracer):\n"
+    "        return self.merge(pack(values, values, tracer))\n"
+    "\n"
+    "    def merge(self, values):\n"
+    "        return values\n"
+    "\n"
+    "def drive(values, tracer):\n"
+    "    engine = Engine(len(values))\n"
+    "    total = scan(values, tracer)\n"
+    "    return engine.solve(total, tracer)\n",
+    "src/repro/isomorphism/driver.py",
+)
+
+
+def project():
+    return build_project([PRIMS, PRAM_INIT, DRIVER])
+
+
+class TestResolution:
+    def test_module_local_call(self):
+        proj = project()
+        info = proj.functions["pram.primitives.pack"]
+        callees = {s.callee for s in proj.calls(info)}
+        assert "pram.primitives.prefix_sum" in callees
+
+    def test_relative_import_with_alias(self):
+        proj = project()
+        info = proj.functions["isomorphism.driver.drive"]
+        callees = {s.callee for s in proj.calls(info)}
+        assert "pram.primitives.prefix_sum" in callees  # via `as scan`
+
+    def test_package_reexport_chases_init(self):
+        proj = project()
+        info = proj.functions["isomorphism.driver.Engine.solve"]
+        callees = {s.callee for s in proj.calls(info)}
+        assert "pram.primitives.pack" in callees  # from ..pram import pack
+
+    def test_self_method(self):
+        proj = project()
+        info = proj.functions["isomorphism.driver.Engine.solve"]
+        callees = {s.callee for s in proj.calls(info)}
+        assert "isomorphism.driver.Engine.merge" in callees
+
+    def test_class_call_credits_init(self):
+        proj = project()
+        info = proj.functions["isomorphism.driver.drive"]
+        callees = {s.callee for s in proj.calls(info)}
+        assert "isomorphism.driver.Engine.__init__" in callees
+
+    def test_unknown_callee_is_none(self):
+        proj = project()
+        info = proj.functions["isomorphism.driver.drive"]
+        dotted = {s.dotted: s.callee for s in proj.calls(info)}
+        assert dotted["len"] is None  # builtin: unresolved, not guessed
+
+
+class TestReachability:
+    def test_bfs_closure(self):
+        proj = project()
+        seen = proj.reachable(["isomorphism.driver.drive"])
+        assert "pram.primitives.prefix_sum" in seen
+        assert "isomorphism.driver.Engine.__init__" in seen
+        assert seen[0] == "isomorphism.driver.drive"
+        # Instance calls through a local variable stay unresolved (best
+        # effort by construction) — but self-calls do resolve:
+        via_solve = proj.reachable(["isomorphism.driver.Engine.solve"])
+        assert "isomorphism.driver.Engine.merge" in via_solve
+
+    def test_unknown_roots_ignored(self):
+        assert project().reachable(["no.such.function"]) == []
+
+
+class TestEnclosingSymbol:
+    def test_nested_and_method_lines(self):
+        source = (
+            "def outer():\n"            # 1
+            "    def inner():\n"        # 2
+            "        return 1\n"        # 3
+            "    return inner\n"        # 4
+            "\n"                        # 5
+            "class Box:\n"              # 6
+            "    @staticmethod\n"       # 7
+            "    def get():\n"          # 8
+            "        return 2\n"        # 9
+            "\n"                        # 10
+            "TOP = 3\n"                 # 11
+        )
+        built = ctx(source, "src/repro/pram/box.py")
+        assert enclosing_symbol(built, 3) == "pram.box.outer.inner"
+        assert enclosing_symbol(built, 4) == "pram.box.outer"
+        # Decorator lines belong to the decorated function.
+        assert enclosing_symbol(built, 7) == "pram.box.Box.get"
+        assert enclosing_symbol(built, 9) == "pram.box.Box.get"
+        assert enclosing_symbol(built, 11) == ""

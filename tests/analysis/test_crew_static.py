@@ -1,0 +1,134 @@
+"""Static CREW write-set inference (RPR020-RPR022)."""
+
+from repro.analysis import build_project, region_reports
+from repro.analysis.dataflow import (
+    build_frame,
+    collect_writes,
+    param_write_summaries,
+)
+from repro.analysis.linter import _build_context
+
+from .test_lint import line_of, lint_fixture
+
+
+def ctx_of(source, path="src/repro/isomorphism/fx.py"):
+    built, syntax_error = _build_context(source, path, True)
+    assert syntax_error is None, syntax_error
+    return built
+
+
+class TestFixtureFindings:
+    def test_exact_findings(self):
+        path, findings = lint_fixture("crew_fx.py")
+        got = [(f.rule, f.line) for f in findings]
+        assert got == sorted(
+            [
+                ("RPR020", line_of(path, "bad-undeclared")),
+                ("RPR021", line_of(path, "bad-overlap")),
+                ("RPR021", line_of(path, "bad-loop-invariant")),
+                ("RPR022", line_of(path, "bad-escape")),
+            ],
+            key=lambda pair: (pair[1], pair[0]),
+        )
+
+    def test_ok_variants_not_flagged(self):
+        _, findings = lint_fixture("crew_fx.py")
+        messages = " ".join(f.message for f in findings)
+        for ok in ("ok_declared", "ok_arm_private", "ok_list_scratch"):
+            assert ok not in messages
+
+
+class TestDataflow:
+    SOURCE = (
+        "import numpy as np\n"
+        "from repro.pram.sanitize import ShadowArray\n"
+        "\n"
+        "def writer(out, idx):\n"
+        "    out[idx] = 1\n"
+        "\n"
+        "def flow(n):\n"
+        "    table = np.zeros(n)\n"
+        "    view = table.reshape(-1)\n"
+        "    alias = view\n"
+        "    fresh = table.copy()\n"
+        "    cells = ShadowArray('piece-cells', n)\n"
+        "    scratch = [0] * n\n"
+        "    alias[0] = 1\n"
+        "    fresh[1] = 2\n"
+        "    cells[2] = 3\n"
+        "    scratch[3] = 4\n"
+        "    writer(table, 4)\n"
+    )
+
+    def test_alias_chain_resolves_to_root(self):
+        built = ctx_of(self.SOURCE)
+        func = built.tree.body[-1]
+        frame = build_frame(func)
+        assert frame.resolve("alias") == "table"
+        assert frame.resolve("view") == "table"
+        assert frame.resolve("fresh") == "fresh"  # copy() severs aliasing
+        assert frame.resolve("scratch") is None  # lists never classified
+        assert frame.shadow_labels["cells"] == "piece-cells"
+
+    def test_collect_writes_direct_and_via_call(self):
+        built = ctx_of(self.SOURCE)
+        proj = build_project([built])
+        info = proj.functions["isomorphism.fx.flow"]
+        frame = build_frame(info.node)
+        summaries = param_write_summaries(proj)
+        sites = collect_writes(
+            info.node.body, frame,
+            project=proj, info=info, summaries=summaries,
+        )
+        by_root = {}
+        for site in sites:
+            by_root.setdefault(site.root, set()).add(site.via_call)
+        assert None in by_root["table"]  # alias[0] = 1
+        assert "isomorphism.fx.writer" in by_root["table"]  # escaped
+        assert None in by_root["fresh"]
+        assert None in by_root["cells"]
+        assert "scratch" not in by_root
+
+    def test_param_summaries_reach_fixpoint_through_wrappers(self):
+        source = (
+            "def inner(out):\n"
+            "    out[0] = 1\n"
+            "\n"
+            "def middle(buffer):\n"
+            "    inner(buffer)\n"
+            "\n"
+            "def outer(target):\n"
+            "    middle(target)\n"
+        )
+        proj = build_project([ctx_of(source)])
+        summaries = param_write_summaries(proj)
+        assert summaries["isomorphism.fx.inner"] == {"out"}
+        assert summaries["isomorphism.fx.middle"] == {"buffer"}
+        assert summaries["isomorphism.fx.outer"] == {"target"}
+
+
+class TestRegionReports:
+    def test_reports_expose_declarations_and_labels(self):
+        source = (
+            "import numpy as np\n"
+            "from repro.pram.sanitize import ShadowArray\n"
+            "\n"
+            "def drive(graph, tracker):\n"
+            "    results = ShadowArray('piece-results', graph.n)\n"
+            "    with tracker.parallel('pieces') as region:\n"
+            "        for i in range(graph.n):\n"
+            "            with region.branch('piece') as branch:\n"
+            "                branch.charge(None)\n"
+            "                branch.record_writes(results, i)\n"
+            "                results[i] = i\n"
+        )
+        built = ctx_of(source)
+        proj = build_project([built])
+        info = proj.functions["isomorphism.fx.drive"]
+        (report,) = region_reports(proj, info)
+        assert report.region_name == "pieces"
+        assert report.declared_roots == {"results"}
+        assert report.shadow_labels == {"results": "piece-results"}
+        (arm,) = report.arms
+        assert arm.spawned_in_loop
+        assert {w.root for w in arm.writes} == {"results"}

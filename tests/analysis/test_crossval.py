@@ -1,0 +1,150 @@
+"""Static/dynamic CREW cross-validation.
+
+The static pass infers, per function, which shadow-array declarations a
+parallel region makes (``region_reports``).  The sanitizer, run for real,
+*observes* which declarations actually happen (``observing_writes``).
+Soundness direction: every dynamically observed shadow declaration must
+appear in the static write-set inferred for the same (file, function) —
+i.e. static ⊇ dynamic.  The reverse inclusion cannot hold (static
+analysis over-approximates paths not taken on this input), so it is not
+asserted.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_project, region_reports
+from repro.analysis.dataflow import param_write_summaries
+from repro.connectivity import planar_vertex_connectivity
+from repro.graphs import triangulated_grid
+from repro.isomorphism import (
+    count_occurrences_exact,
+    decide_subgraph_isomorphism,
+    list_occurrences,
+    triangle,
+)
+from repro.isomorphism.disconnected import decide_disconnected
+from repro.planar import embed_geometric
+from repro.pram import Cost, ShadowArray, Tracer, sanitized
+from repro.pram.sanitize import WriteObservation, observing_writes
+from repro.separating.driver import decide_separating_isomorphism
+
+from .test_contracts import real_project
+
+
+class TestObservingWrites:
+    def _record_once(self, observed_label="unit-cells"):
+        cells = ShadowArray(observed_label, 4)
+        tracer = Tracer("t")
+        with tracer.parallel("region") as region:
+            with region.branch("arm") as arm:
+                arm.charge(Cost.step(1))
+                arm.record_writes(cells, [0])
+
+    def test_observation_attributes_to_caller(self):
+        with sanitized("crew"):
+            with observing_writes() as observed:
+                self._record_once()
+        assert observed, "no write observations collected"
+        obs = observed[0]
+        assert isinstance(obs, WriteObservation)
+        assert obs.shadow is True
+        assert obs.label == "unit-cells"
+        assert Path(obs.path).name == "test_crossval.py"
+        assert obs.function == "_record_once"
+        assert obs.line > 0
+
+    def test_ndarray_observations_not_shadow(self):
+        arr = np.zeros(4)
+        tracer = Tracer("t")
+        with sanitized("crew"):
+            with observing_writes() as observed:
+                with tracer.parallel("region") as region:
+                    with region.branch("arm") as arm:
+                        arm.charge(Cost.step(1))
+                        arm.record_writes(arr, [0])
+        assert observed and all(not o.shadow for o in observed)
+
+    def test_nested_observers_restore(self):
+        with sanitized("crew"):
+            with observing_writes() as outer:
+                self._record_once()
+                first = len(outer)
+                assert first > 0
+                with observing_writes() as inner:
+                    self._record_once()
+                assert len(inner) == first  # inner saw only its own
+                assert len(outer) == first  # outer paused during inner
+                self._record_once()
+                assert len(outer) == 2 * first
+
+    def test_no_observer_is_harmless(self):
+        with sanitized("crew"):
+            self._record_once()  # must not raise
+
+
+def _observed_declarations():
+    """Run all six drivers sanitized and collect shadow declarations."""
+    gg = triangulated_grid(4, 4)
+    emb, _ = embed_geometric(gg)
+    graph = gg.graph
+    pat = triangle()
+    marked = np.zeros(graph.n, dtype=bool)
+    marked[0] = True
+    marked[graph.n - 1] = True
+    with sanitized("crew"):
+        with observing_writes() as observed:
+            decide_subgraph_isomorphism(graph, emb, pat, seed=3, rounds=1)
+            list_occurrences(graph, emb, pat, seed=3, max_iterations=2)
+            count_occurrences_exact(graph, emb, pat)
+            decide_disconnected(graph, emb, pat, seed=3)
+            decide_separating_isomorphism(
+                graph, emb, marked, pat, seed=3, rounds=1
+            )
+            planar_vertex_connectivity(graph, emb, seed=0)
+    src = Path(__file__).parents[2] / "src" / "repro"
+    sites = set()
+    for obs in observed:
+        if not obs.shadow:
+            continue
+        path = Path(obs.path).resolve()
+        if src.resolve() not in path.parents:
+            continue
+        sites.add((str(path), obs.function, obs.label))
+    return sites
+
+
+def _static_shadow_labels():
+    """Labels the static pass infers, keyed by (resolved path, function)."""
+    proj = real_project()
+    summaries = param_write_summaries(proj)
+    inferred = {}
+    for info in proj.functions.values():
+        key = (str(Path(info.ctx.path).resolve()), info.name)
+        for report in region_reports(proj, info, summaries=summaries):
+            inferred.setdefault(key, set()).update(
+                report.shadow_labels.values()
+            )
+    return inferred
+
+
+@pytest.mark.slow
+class TestCrossValidation:
+    def test_static_write_sets_cover_dynamic_observations(self):
+        observed = _observed_declarations()
+        assert observed, (
+            "sanitized driver runs produced no shadow declarations; "
+            "the cross-validation would be vacuous"
+        )
+        inferred = _static_shadow_labels()
+        missing = sorted(
+            (path, function, label)
+            for path, function, label in observed
+            if label not in inferred.get((path, function), set())
+        )
+        assert missing == [], (
+            "dynamically observed shadow declarations absent from the "
+            f"static write sets: {missing}"
+        )

@@ -1,0 +1,88 @@
+"""Task-purity analysis (RPR030-RPR032)."""
+
+from repro.analysis import lint_source
+
+from .test_lint import line_of, lint_fixture
+
+
+class TestFixtureFindings:
+    def test_exact_findings(self):
+        path, findings = lint_fixture("purity_fx.py")
+        got = [(f.rule, f.line) for f in findings]
+        assert got == sorted(
+            [
+                ("RPR031", line_of(path, "bad-rng")),
+                ("RPR032", line_of(path, "bad-clock")),
+                ("RPR030", line_of(path, "bad-global")),
+                ("RPR032", line_of(path, "bad-open")),
+            ],
+            key=lambda pair: (pair[1], pair[0]),
+        )
+
+    def test_violations_name_the_root(self):
+        _, findings = lint_fixture("purity_fx.py")
+        assert all("bad_task" in f.message for f in findings)
+
+    def test_ok_and_unreachable_not_flagged(self):
+        _, findings = lint_fixture("purity_fx.py")
+        symbols = {f.symbol.rsplit(".", 1)[-1] for f in findings}
+        assert "ok_task" not in symbols
+        # Impure code NOT reachable from a @task_pure root is out of scope.
+        assert "unreachable_impurity" not in symbols
+
+
+class TestScope:
+    def test_no_roots_means_no_findings(self):
+        source = (
+            "import time\n"
+            "def helper():\n"
+            "    return time.monotonic()\n"
+        )
+        assert lint_source(source, traced=True, rules=()) == []
+
+    def test_immutable_module_constant_allowed(self):
+        source = (
+            "_CODES = {'a': 1}\n"  # never mutated: fine to close over
+            "@task_pure\n"
+            "def run(piece):\n"
+            "    return _CODES.get(piece)\n"
+        )
+        assert lint_source(source, traced=True, rules=()) == []
+
+    def test_mutated_module_dict_flagged(self):
+        source = (
+            "_CACHE = {}\n"
+            "def fill(k, v):\n"
+            "    _CACHE[k] = v\n"
+            "@task_pure\n"
+            "def run(piece):\n"
+            "    return _CACHE.get(piece)\n"  # line 6
+        )
+        findings = lint_source(source, traced=True, rules=())
+        assert [(f.rule, f.line) for f in findings] == [("RPR030", 6)]
+
+    def test_seeded_rng_allowed_unseeded_flagged(self):
+        source = (
+            "import numpy as np\n"
+            "@task_pure\n"
+            "def run(piece, seed):\n"
+            "    good = np.random.default_rng(seed)\n"
+            "    bad = np.random.default_rng()\n"  # line 5
+            "    return good, bad\n"
+        )
+        findings = lint_source(source, traced=True, rules=())
+        assert [(f.rule, f.line) for f in findings] == [("RPR031", 5)]
+
+    def test_violation_through_transitive_callee(self):
+        source = (
+            "import time\n"
+            "def leaf():\n"
+            "    return time.monotonic()\n"  # line 3
+            "def middle():\n"
+            "    return leaf()\n"
+            "@task_pure\n"
+            "def run(piece):\n"
+            "    return middle()\n"
+        )
+        findings = lint_source(source, traced=True, rules=())
+        assert [(f.rule, f.line) for f in findings] == [("RPR032", 3)]
