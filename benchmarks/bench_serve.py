@@ -1,0 +1,158 @@
+"""S2 — Query daemon: cold vs warm request latency over real sockets.
+
+The daemon's value proposition, measured end-to-end: one ``repro serve``
+instance, a 16-query decision workload (four distinct k=4 patterns, four
+repeats each — the same stream as S1/bench_batch) issued as HTTP requests
+against its ephemeral port.
+
+* **cold** — the pool is force-evicted before every request, so each
+  query pays the full session build (clusterings, cover, per-piece
+  decompositions) plus the HTTP round-trip: what a daemon-less service
+  that spawned one process per request would charge.
+* **warm** — the same 16 requests against the now-resident session: every
+  query after the first reuses the session's cached artifacts, repeats
+  reuse the per-piece DP solutions; the HTTP overhead stays.
+
+Assertions (full strength under smoke except the wall-clock floor):
+
+* per-query verdicts identical across the passes (same seeds → same
+  witnesses and rounds);
+* every warm response after the first is flagged ``amortized``;
+* warm wall-clock >= 3x faster than cold (waived under ``BENCH_SMOKE``).
+
+Writes the machine-readable record to ``BENCH_SERVE.json`` (see
+conftest) — per-request latencies for both passes plus the speedup.
+"""
+
+import asyncio
+import contextlib
+import http.client
+import json
+import threading
+import time
+
+from repro.serve import QueryServer, SessionPool
+
+from conftest import record_serve, report, smoke_mode
+
+SEED = 0
+
+
+@contextlib.contextmanager
+def _running_server():
+    """One in-process daemon on an ephemeral port, drained on exit."""
+    holder = {}
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            server = QueryServer(pool=SessionPool(), port=0)
+            await server.start()
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            ready.set()
+            await server.serve_forever()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(30)
+    try:
+        yield holder["server"]
+    finally:
+        holder["loop"].call_soon_threadsafe(
+            holder["server"].request_shutdown
+        )
+        thread.join(60)
+
+
+def _post(port, path, payload):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=600)
+    try:
+        conn.request("POST", path, body=json.dumps(payload))
+        resp = conn.getresponse()
+        body = json.loads(resp.read())
+        assert resp.status == 200, body
+        return body
+    finally:
+        conn.close()
+
+
+def _workload(target):
+    """16 decide requests: 4 distinct k=4 patterns, 4 repeats each."""
+    distinct = ["cycle:4", "path:4", "diamond", "clique:4"]
+    return [
+        {"target": target, "pattern": p, "seed": SEED, "rounds": 2}
+        for p in distinct * 4
+    ]
+
+
+def _run_pass(server, queries, evict_between):
+    latencies = []
+    responses = []
+    for query in queries:
+        if evict_between:
+            for pooled in server.pool.resident():
+                server.pool.evict(pooled.fingerprint)
+        t0 = time.perf_counter()
+        responses.append(_post(server.port, "/v1/decide", query))
+        latencies.append(time.perf_counter() - t0)
+    return responses, latencies
+
+
+def test_daemon_warm_request_latency(benchmark):
+    smoke = smoke_mode()
+    target = "grid:8x8" if smoke else "grid:16x16"
+    queries = _workload(target)
+
+    def run():
+        with _running_server() as server:
+            cold, cold_lat = _run_pass(server, queries, evict_between=True)
+            warm, warm_lat = _run_pass(server, queries, evict_between=False)
+        return cold, cold_lat, warm, warm_lat
+
+    cold, cold_lat, warm, warm_lat = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Verdict parity: the warm session answers exactly what the cold
+    # rebuilds answered.
+    for c, w in zip(cold, warm):
+        assert w["found"] == c["found"]
+        assert w["witness"] == c["witness"]
+        assert w["rounds_used"] == c["rounds_used"]
+    # Warm requests after the first ride the resident session's caches.
+    assert all(r["amortized"] for r in warm[1:])
+
+    speedup = record_serve(
+        "daemon-cold-vs-warm",
+        {
+            "target": target,
+            "queries": len(queries),
+            "distinct_patterns": 4,
+            "seed": SEED,
+            "rounds": 2,
+        },
+        {
+            "wall_s": round(sum(cold_lat), 4),
+            "mean_request_s": round(sum(cold_lat) / len(cold_lat), 4),
+            "latencies_s": [round(v, 4) for v in cold_lat],
+        },
+        {
+            "wall_s": round(sum(warm_lat), 4),
+            "mean_request_s": round(sum(warm_lat) / len(warm_lat), 4),
+            "latencies_s": [round(v, 4) for v in warm_lat],
+        },
+    )
+    report(
+        "S2-daemon",
+        target=target,
+        cold_s=round(sum(cold_lat), 3),
+        warm_s=round(sum(warm_lat), 3),
+        speedup=round(speedup, 2),
+    )
+    if not smoke:
+        assert speedup >= 3.0, (
+            f"warm requests only {speedup:.2f}x faster than cold"
+        )

@@ -25,8 +25,12 @@ The query-planner experiments write ``BENCH_PR7.json`` (see
 :func:`record_pr7`): the planner's charged-cost regret against the best
 manual variant, its predicted-vs-actual error, and the shared-subpattern
 batch speedup over the per-pattern session path.
+The query-daemon experiments write ``BENCH_SERVE.json`` (see
+:func:`record_serve`): cold vs warm request latency of the same workload
+over real sockets against ``python -m repro serve``'s session pool.
 ``BENCH_PR2_PATH``/``BENCH_PR3_PATH``/``BENCH_PR6_PATH``/
-``BENCH_PR7_PATH`` override the output paths; ``BENCH_SMOKE=1`` shrinks
+``BENCH_PR7_PATH``/``BENCH_SERVE_PATH`` override the output paths;
+``BENCH_SMOKE=1`` shrinks
 the instances and waives the speedup floors (CI smoke mode — the
 equivalence assertions still run at full strength).
 """
@@ -44,6 +48,7 @@ _PR2_ROWS = []
 _PR3_ROWS = []
 _PR6_ROWS = []
 _PR7_ROWS = []
+_SERVE_ROWS = []
 
 
 def smoke_mode() -> bool:
@@ -126,6 +131,28 @@ def record_pr7(experiment: str, config: dict, **data):
     )
 
 
+def record_serve(experiment: str, config: dict, cold: dict, warm: dict,
+                 **extra):
+    """Record one daemon cold-vs-warm measurement for BENCH_SERVE.json.
+
+    ``cold``/``warm`` each carry ``wall_s`` and per-request latencies of
+    one full request workload over real sockets; the caller must already
+    have asserted the per-query verdicts identical across the passes.
+    """
+    speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
+    _SERVE_ROWS.append(
+        {
+            "experiment": experiment,
+            "config": config,
+            "cold": cold,
+            "warm": warm,
+            "speedup": round(speedup, 2),
+            **extra,
+        }
+    )
+    return speedup
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _PR2_ROWS:
         path = os.environ.get(
@@ -163,6 +190,21 @@ def pytest_sessionfinish(session, exitstatus):
             "smoke": smoke_mode(),
             "cpu_count": os.cpu_count(),
             "experiments": _PR6_ROWS,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if _SERVE_ROWS:
+        path = os.environ.get(
+            "BENCH_SERVE_PATH",
+            os.path.join(
+                os.path.dirname(__file__), "..", "BENCH_SERVE.json"
+            ),
+        )
+        payload = {
+            "schema": "bench-serve/v1",
+            "smoke": smoke_mode(),
+            "experiments": _SERVE_ROWS,
         }
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=2)

@@ -279,6 +279,39 @@ def main(argv: Optional[list] = None) -> int:
         "--metrics", metavar="PATH", default=None,
         help="write trace + schedule gauges in Prometheus text format",
     )
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON query daemon (multi-tenant warm "
+        "session pool; POST /v1/decide|count|list|connectivity|batch, "
+        "GET /healthz, GET /metrics)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8722,
+        help="bind port (0 = pick an ephemeral port; the chosen port "
+        "is printed on startup)",
+    )
+    serve_p.add_argument(
+        "--cache-budget-mb", type=float, default=256.0, metavar="MB",
+        help="session-pool residency budget; least-recently-used "
+        "target sessions are invalidated past it (default: 256)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="query executor threads (default: 4)",
+    )
+    serve_p.add_argument(
+        "--backend", choices=["serial", "threads", "processes"],
+        default=None,
+        help="piece-solve execution backend shared by every query "
+        "(default: serial, or the plan's choice)",
+    )
+    serve_p.add_argument(
+        "--processors", type=int, default=None, metavar="N",
+        help="worker count for a non-serial --backend",
+    )
     lint_p = sub.add_parser(
         "lint",
         help="cost-soundness analyzer (uncharged work, depth hazards, "
@@ -317,6 +350,10 @@ def main(argv: Optional[list] = None) -> int:
     )
 
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        from .serve import serve_main
+
+        return serve_main(args)
     if args.command == "lint":
         from .analysis import run as lint_run
 

@@ -235,10 +235,15 @@ class TargetSession(ColdArtifacts):
     def invalidate(self) -> None:
         """Drop every cached artifact (and derived sub-sessions).  Stats
         keep accumulating across invalidations; each dropped entry is
-        recorded as an eviction under its artifact kind."""
+        recorded as an eviction under its artifact kind — including the
+        ``("subsession", fp)`` keys themselves, which hold the derived
+        child sessions: they are derived keys like any other (they appear
+        in :meth:`derived_keys`, which the pool's LRU accounts by), so
+        dropping one is an eviction too."""
         for key in self._cache:
             self.stats.record_eviction(key[0])
-        for child in self._children.values():
+        for key, child in self._children.items():
+            self.stats.record_eviction(key[0])
             child.invalidate()
         self._cache.clear()
         self._children.clear()

@@ -41,6 +41,7 @@ from __future__ import annotations
 import os
 import time
 import warnings
+import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -261,8 +262,27 @@ def _run_task_shm(
         release_attached(seg, unregister=unregister)
 
 
+def _destroy_outstanding(segments: Dict[str, object]) -> None:
+    """Unlink every segment a backend still owned (its ``close()`` never
+    ran, or handles were abandoned mid-flight).  Module-level so the
+    ``weakref.finalize`` callback holds no reference to the backend."""
+    from .shm import destroy_segment
+
+    for name in list(segments):
+        seg = segments.pop(name, None)
+        if seg is not None:
+            destroy_segment(seg)
+
+
 class ProcessesBackend(ExecutionBackend):
-    """Process-pool backend with shared-memory array transport."""
+    """Process-pool backend with shared-memory array transport.
+
+    Segment lifetime: the happy path unlinks each task's segment when its
+    handle's ``result()`` lands; ``close()`` sweeps anything outstanding
+    (abandoned handles, dead workers), and a ``weakref.finalize`` covers
+    a backend garbage-collected without ``close()`` — plus the module
+    ``atexit`` hook in :mod:`repro.exec.shm` as the last resort.
+    """
 
     name = "processes"
 
@@ -285,6 +305,10 @@ class ProcessesBackend(ExecutionBackend):
         self.transport = transport
         self._pool = None
         self._start_method = "fork"
+        self._outstanding: Dict[str, object] = {}
+        self._finalizer = weakref.finalize(
+            self, _destroy_outstanding, self._outstanding
+        )
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -308,10 +332,11 @@ class ProcessesBackend(ExecutionBackend):
         self._account(task)
         pool = self._ensure_pool()
         if self.transport == "shm":
-            from .shm import destroy_segment, pack_arrays
+            from .shm import pack_arrays
 
             husk, arrays = task.detach_arrays()
             seg, descriptor = pack_arrays(arrays)
+            self._outstanding[seg.name] = seg
             future = pool.submit(
                 _run_task_shm, husk, descriptor,
                 self._start_method != "fork",
@@ -320,16 +345,23 @@ class ProcessesBackend(ExecutionBackend):
             # hence the worker's detach) is in.
             return _Handle(
                 future=future,
-                cleanup=lambda: destroy_segment(seg),
+                cleanup=lambda: self._release(seg),
                 account=self._account_result,
             )
         future = pool.submit(run_piece_task, task)
         return _Handle(future=future, account=self._account_result)
 
+    def _release(self, seg) -> None:
+        from .shm import destroy_segment
+
+        self._outstanding.pop(seg.name, None)
+        destroy_segment(seg)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        _destroy_outstanding(self._outstanding)
 
 
 def resolve_backend(

@@ -13,17 +13,36 @@ Lifetime protocol: the parent creates and eventually unlinks each segment
 attaches and closes.  Workers unregister their attachment from the
 ``resource_tracker`` because the parent owns unlinking — otherwise every
 worker's tracker would report the parent's segments as leaked at exit.
+
+Safety net: the happy path unlinks each segment in the task handle's
+``result()`` cleanup, but that cleanup never runs when a worker dies
+mid-task and the caller abandons the handle, or when the whole backend is
+garbage-collected without ``close()``.  Every parent-created segment is
+therefore also tracked in a module registry (:func:`pack_arrays`
+registers, :func:`destroy_segment` unregisters) that an ``atexit`` hook —
+and the backend's ``weakref.finalize`` (see
+:class:`~repro.exec.backends.ProcessesBackend`) — drains via
+:func:`cleanup_segments`, so no ``/dev/shm`` entry can outlive the
+process whatever the failure mode.
 """
 
 from __future__ import annotations
 
+import atexit
 import gc
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np
 
-__all__ = ["ShmArrays", "pack_arrays", "unpack_arrays", "shm_available"]
+__all__ = [
+    "ShmArrays",
+    "pack_arrays",
+    "unpack_arrays",
+    "shm_available",
+    "cleanup_segments",
+    "live_segment_names",
+]
 
 _ALIGN = 64  # cache-line align every array start
 
@@ -50,6 +69,33 @@ def shm_available() -> bool:
 
 
 _AVAILABLE = None
+
+# Parent-owned segments not yet unlinked, keyed by segment name.  Only
+# mutated in the parent process (workers never create segments).
+_LIVE: Dict[str, object] = {}
+
+
+def live_segment_names() -> List[str]:
+    """Names of parent-owned segments still awaiting unlink (tests and
+    the serve daemon's shutdown assertion)."""
+    return sorted(_LIVE)
+
+
+def cleanup_segments() -> int:
+    """Unlink every still-registered segment; returns how many were
+    reclaimed.  Idempotent — the happy-path :func:`destroy_segment` calls
+    unregister as they go, so this normally finds nothing."""
+    reclaimed = 0
+    for name in list(_LIVE):
+        seg = _LIVE.pop(name, None)
+        if seg is None:
+            continue
+        _destroy(seg)
+        reclaimed += 1
+    return reclaimed
+
+
+atexit.register(cleanup_segments)
 
 
 @dataclass(frozen=True)
@@ -88,6 +134,7 @@ def pack_arrays(arrays: Dict[str, np.ndarray]):
         else:
             layout.append((key, arr, 0))
     seg = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    _LIVE[seg.name] = seg
     specs = []
     for key, arr, off in layout:
         if arr.nbytes:
@@ -150,6 +197,11 @@ def release_attached(seg, unregister: bool = False) -> None:
 
 def destroy_segment(seg) -> None:
     """Parent-side close + unlink (idempotent)."""
+    _LIVE.pop(seg.name, None)
+    _destroy(seg)
+
+
+def _destroy(seg) -> None:
     try:
         seg.close()
     except BufferError:

@@ -34,6 +34,7 @@ from .trace import PAR, Span, aggregate_phases
 __all__ = [
     "chrome_trace",
     "write_chrome_trace",
+    "MetricsWriter",
     "prometheus_metrics",
     "write_prometheus",
 ]
@@ -208,8 +209,18 @@ def _format_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
-class _MetricsWriter:
-    """Accumulates samples grouped per metric family (HELP/TYPE once)."""
+class MetricsWriter:
+    """Accumulates samples grouped per metric family.
+
+    The Prometheus text format allows each family's ``# HELP`` / ``# TYPE``
+    header **once per exposition**, with every label-set sample of that
+    family grouped under it — real scrapers reject duplicate headers.  One
+    writer must therefore span the whole exposition: callers with several
+    telemetry sources contributing to the same family (e.g. ``/metrics``
+    rendering one ``CacheStats`` per resident session) feed them all into
+    a single writer instead of concatenating per-source renders, and
+    :meth:`render` emits each family header exactly once.
+    """
 
     def __init__(self, namespace: str) -> None:
         self.namespace = namespace
@@ -246,7 +257,7 @@ class _MetricsWriter:
         return "\n".join(lines) + "\n"
 
 
-def _trace_metrics(writer: _MetricsWriter, trace: Span) -> None:
+def _trace_metrics(writer: MetricsWriter, trace: Span) -> None:
     writer.sample("trace_work", "Total charged work of the trace.", trace.work)
     writer.sample(
         "trace_depth", "Critical-path depth of the trace.", trace.depth
@@ -288,29 +299,41 @@ def _trace_metrics(writer: _MetricsWriter, trace: Span) -> None:
         )
 
 
-def _cache_metrics(writer: _MetricsWriter, stats: object) -> None:
+def cache_metrics(
+    writer: MetricsWriter,
+    stats: object,
+    labels: Optional[Dict[str, object]] = None,
+) -> None:
+    """Feed one session's cache counters into ``writer``.
+
+    ``labels`` (e.g. ``{"session": fingerprint}``) are merged into every
+    sample, so several sessions' stats can share one exposition — one
+    family header, one sample line per (session, kind) — instead of the
+    duplicate-header text a per-session render-and-concatenate produces.
+    """
     # Accept a CacheStats or its as_dict() snapshot; normalize to the dict.
     data = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)  # type: ignore[call-overload]
+    extra = dict(labels) if labels else {}
     for kind in sorted(data.get("hits", {})):
         writer.sample(
             "cache_hits_total",
             "Session cache hits per artifact kind.",
             data["hits"][kind],
-            {"kind": kind},
+            {"kind": kind, **extra},
         )
     for kind in sorted(data.get("misses", {})):
         writer.sample(
             "cache_misses_total",
             "Session cache misses (builds) per artifact kind.",
             data["misses"][kind],
-            {"kind": kind},
+            {"kind": kind, **extra},
         )
     for kind in sorted(data.get("evictions", {})):
         writer.sample(
             "cache_evictions_total",
             "Artifacts dropped by TargetSession.invalidate() per kind.",
             data["evictions"][kind],
-            {"kind": kind},
+            {"kind": kind, **extra},
         )
     for field, help_text in (
         ("saved_work", "Work the cold drivers would have charged for hits."),
@@ -319,10 +342,12 @@ def _cache_metrics(writer: _MetricsWriter, stats: object) -> None:
         ("built_depth", "Depth charged building cache misses."),
     ):
         if field in data:
-            writer.sample(f"cache_{field}", help_text, data[field])
+            writer.sample(
+                f"cache_{field}", help_text, data[field], extra or None
+            )
 
 
-def _schedule_metrics(writer: _MetricsWriter, schedule: Schedule) -> None:
+def _schedule_metrics(writer: MetricsWriter, schedule: Schedule) -> None:
     labels = {"processors": schedule.processors}
     writer.sample(
         "schedule_makespan",
@@ -366,15 +391,27 @@ def prometheus_metrics(
     cache_stats:
         A :class:`~repro.engine.session.CacheStats` (or its ``as_dict()``
         snapshot) — per-kind hit/miss/eviction counts and cost totals.
+        A ``{name: stats}`` mapping renders *several* sessions into one
+        exposition, each sample labeled ``session="name"`` — the family
+        headers still appear exactly once (scrapers reject duplicates;
+        see :class:`MetricsWriter`).
     schedules:
         One or more :class:`~repro.pram.schedule.Schedule` — makespan,
         Brent bound, utilization and speedup labeled by processor count.
     """
-    writer = _MetricsWriter(namespace)
+    writer = MetricsWriter(namespace)
     if trace is not None:
         _trace_metrics(writer, trace)
     if cache_stats is not None:
-        _cache_metrics(writer, cache_stats)
+        if isinstance(cache_stats, dict) and not (
+            "hits" in cache_stats or "misses" in cache_stats
+        ):
+            for name in sorted(cache_stats):
+                cache_metrics(
+                    writer, cache_stats[name], labels={"session": name}
+                )
+        else:
+            cache_metrics(writer, cache_stats)
     if schedules is not None:
         if isinstance(schedules, Schedule):
             schedules = [schedules]

@@ -1,0 +1,28 @@
+"""The query service: a multi-tenant daemon over warm target sessions.
+
+``python -m repro serve`` exposes the library's six query drivers as an
+HTTP/JSON service (stdlib-only; see :mod:`repro.serve.server`) backed by
+a byte-budgeted LRU :class:`~repro.serve.pool.SessionPool` of
+:class:`~repro.engine.session.TargetSession` instances, so repeated and
+related queries against the same targets are amortized across clients —
+the server-shaped version of what ``repro batch`` does for one process.
+"""
+
+from .errors import ServeError
+from .metrics import parse_prometheus_text, render_metrics
+from .pool import PooledSession, SessionPool
+from .protocol import QueryRequest, parse_query, result_to_dict
+from .server import QueryServer, serve_main
+
+__all__ = [
+    "ServeError",
+    "parse_prometheus_text",
+    "render_metrics",
+    "PooledSession",
+    "SessionPool",
+    "QueryRequest",
+    "parse_query",
+    "result_to_dict",
+    "QueryServer",
+    "serve_main",
+]

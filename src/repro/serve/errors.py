@@ -1,0 +1,60 @@
+"""Error taxonomy of the query service.
+
+Every failure the daemon can surface to a client is a :class:`ServeError`
+carrying an HTTP status and a stable machine-readable ``code``; the
+server renders them as ``{"error": {"code": ..., "message": ...}}``
+bodies so clients never have to parse prose.  Anything else escaping a
+handler is a bug and maps to a 500 with the exception type as its code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "BadRequest",
+    "NotFound",
+    "MethodNotAllowed",
+    "PayloadTooLarge",
+    "ShuttingDown",
+]
+
+
+class ServeError(Exception):
+    """A client-visible failure with an HTTP status and stable code."""
+
+    status = 500
+    code = "internal"
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def as_dict(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+class BadRequest(ServeError):
+    status = 400
+    code = "bad-request"
+
+
+class NotFound(ServeError):
+    status = 404
+    code = "not-found"
+
+
+class MethodNotAllowed(ServeError):
+    status = 405
+    code = "method-not-allowed"
+
+
+class PayloadTooLarge(ServeError):
+    status = 413
+    code = "payload-too-large"
+
+
+class ShuttingDown(ServeError):
+    """New work refused while the daemon drains in-flight requests."""
+
+    status = 503
+    code = "shutting-down"

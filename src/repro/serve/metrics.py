@@ -1,0 +1,221 @@
+"""The daemon's ``/metrics`` exposition and a strict text-format parser.
+
+Rendering reuses :class:`repro.pram.export.MetricsWriter` so the whole
+exposition shares one writer: every resident session's ``CacheStats``
+lands under the same ``repro_cache_*`` families (labeled
+``session="<fingerprint prefix>"``), followed by the pool and server
+gauges.  One writer per exposition is what guarantees each ``# HELP`` /
+``# TYPE`` header appears exactly once — scrapers reject duplicates.
+
+:func:`parse_prometheus_text` is the strict consumer used by the e2e
+tests and the CI smoke job: it enforces the text-format grammar (header
+pairs before samples, one header pair per family, contiguous family
+blocks, well-formed labels, no duplicate label sets) rather than just
+grepping, so a malformed exposition fails loudly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+__all__ = ["render_metrics", "parse_prometheus_text"]
+
+#: Label-set prefix length of the session fingerprint (full sha256 hex
+#: fingerprints would bloat every sample line; 12 hex chars keep the
+#: collision odds negligible at pool scale).
+FINGERPRINT_LABEL_LEN = 12
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r" (-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|Inf)|NaN|\+Inf)$"
+)
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"'
+)
+
+
+def render_metrics(pool, server=None, namespace: str = "repro") -> str:
+    """One Prometheus exposition for the pool (and optionally server)."""
+    from ..pram.export import MetricsWriter, cache_metrics
+
+    writer = MetricsWriter(namespace)
+    for fingerprint, stats in pool.iter_stats():
+        cache_metrics(
+            writer,
+            stats,
+            labels={"session": fingerprint[:FINGERPRINT_LABEL_LEN]},
+        )
+    writer.sample(
+        "pool_sessions_resident",
+        "Target sessions currently resident in the pool.",
+        len(pool),
+    )
+    writer.sample(
+        "pool_bytes_resident",
+        "Estimated resident bytes of all cached artifacts.",
+        pool.bytes_resident(),
+    )
+    writer.sample(
+        "pool_byte_budget",
+        "Configured residency budget the LRU eviction enforces.",
+        pool.max_bytes,
+    )
+    writer.sample(
+        "pool_session_builds_total",
+        "Sessions built because no resident session matched.",
+        pool.session_builds,
+    )
+    writer.sample(
+        "pool_session_hits_total",
+        "Requests served by an already-resident session.",
+        pool.session_hits,
+    )
+    writer.sample(
+        "pool_sessions_evicted_total",
+        "Sessions dropped by the byte-budget LRU.",
+        pool.sessions_evicted,
+    )
+    writer.sample(
+        "pool_evicted_artifacts_total",
+        "Cached artifacts invalidated by session eviction "
+        "(sum of the evicted sessions' CacheStats.evictions).",
+        pool.artifacts_evicted,
+    )
+    if server is not None:
+        for route, count in sorted(server.requests_total.items()):
+            writer.sample(
+                "server_requests_total",
+                "HTTP requests answered, by route.",
+                count,
+                {"route": route},
+            )
+        writer.sample(
+            "server_inflight",
+            "Query requests currently executing.",
+            server.inflight,
+        )
+        writer.sample(
+            "server_coalesced_total",
+            "Requests that attached to an identical in-flight query "
+            "instead of executing.",
+            server.coalesced_total,
+        )
+        writer.sample(
+            "server_draining",
+            "1 while the daemon refuses new work and drains in-flight.",
+            int(server.draining),
+        )
+    return writer.render()
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Strictly parse a Prometheus text exposition.
+
+    Returns ``{family: [(labels, value), ...]}``.  Raises ``ValueError``
+    on any grammar violation: missing/duplicate/ill-ordered ``# HELP`` /
+    ``# TYPE`` headers, samples before their headers, non-contiguous
+    family blocks, malformed label syntax, duplicate label sets, or a
+    missing trailing newline.
+    """
+    if not text:
+        raise ValueError("empty exposition")
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    families: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    typed: Dict[str, str] = {}
+    closed: set = set()
+    current = None
+    pending_help = None
+    for lineno, line in enumerate(text.split("\n")[:-1], 1):
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3]:
+                raise ValueError(f"line {lineno}: HELP without text")
+            name = parts[2]
+            if name in families:
+                raise ValueError(f"line {lineno}: duplicate HELP for {name}")
+            if current is not None:
+                closed.add(current)
+            families[name] = []
+            pending_help = name
+            current = None
+        elif line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE")
+            name, kind = parts[2], parts[3]
+            if kind not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: unknown type {kind!r}")
+            if pending_help != name:
+                raise ValueError(
+                    f"line {lineno}: TYPE for {name} must directly follow "
+                    f"its HELP"
+                )
+            if name in typed:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+            typed[name] = kind
+            current = name
+            pending_help = None
+        elif line.startswith("#"):
+            raise ValueError(f"line {lineno}: stray comment {line!r}")
+        else:
+            match = _SAMPLE_RE.match(line)
+            if match is None:
+                raise ValueError(f"line {lineno}: malformed sample {line!r}")
+            name, raw_labels, raw_value = match.groups()
+            if name not in typed:
+                raise ValueError(
+                    f"line {lineno}: sample for {name} before its headers"
+                )
+            if name != current:
+                if name in closed or current is None:
+                    raise ValueError(
+                        f"line {lineno}: sample for {name} outside its "
+                        f"family block"
+                    )
+                raise ValueError(
+                    f"line {lineno}: sample for {name} inside the "
+                    f"{current} block"
+                )
+            labels: Dict[str, str] = {}
+            if raw_labels is not None:
+                pos = 0
+                while pos < len(raw_labels):
+                    label = _LABEL_RE.match(raw_labels, pos)
+                    if label is None:
+                        raise ValueError(
+                            f"line {lineno}: malformed labels "
+                            f"{raw_labels!r}"
+                        )
+                    key, value = label.group(1), label.group(2)
+                    if key in labels:
+                        raise ValueError(
+                            f"line {lineno}: duplicate label {key!r}"
+                        )
+                    labels[key] = value
+                    pos = label.end()
+                    if pos < len(raw_labels):
+                        if raw_labels[pos] != ",":
+                            raise ValueError(
+                                f"line {lineno}: malformed labels "
+                                f"{raw_labels!r}"
+                            )
+                        pos += 1  # trailing comma is legal
+            key_set = tuple(sorted(labels.items()))
+            if any(existing == key_set for existing, _ in (
+                (tuple(sorted(ls.items())), v) for ls, v in families[name]
+            )):
+                raise ValueError(
+                    f"line {lineno}: duplicate label set for {name}"
+                )
+            families[name].append((labels, float(raw_value)))
+    for name in families:
+        if name not in typed:
+            raise ValueError(f"family {name} has HELP but no TYPE")
+    return families

@@ -275,6 +275,78 @@ class TestWorkloadRegret:
         )
         assert auto_provider.cost_model.observations == len(patterns)
 
+    def test_committed_priors_tighten_cold_start_regret(self):
+        """A fresh CostModel seeded from the committed BENCH_PR7 priors
+        starts in the converged regime, so the cold half of the workload
+        — previously a documented transient where the planner explores
+        the parallel engine at 1.4-1.8x regret — must come out strictly
+        cheaper than with a deliberately uncalibrated model, and the
+        very first query's regret must be no worse."""
+        graph, emb = _grid(16, 16)
+        patterns = [
+            cycle_pattern(4), path_pattern(4), diamond(), triangle(),
+            cycle_pattern(6), path_pattern(5), star_pattern(3),
+            cycle_pattern(5),
+        ]
+        best = []
+        for i, pattern in enumerate(patterns):
+            times = []
+            for engine in ("parallel", "sequential"):
+                res = decide_subgraph_isomorphism(
+                    graph, emb, pattern, seed=i, rounds=2, engine=engine,
+                )
+                times.append(res.cost.brent_time(PROCESSORS))
+            best.append(min(times))
+        outcomes = {}
+        for label, priors in (("seeded", None), ("uncalibrated", {})):
+            provider = ColdArtifacts(graph, emb)
+            provider.cost_model = CostModel(priors=priors)
+            assert provider.cost_model.observations == 0
+            regrets = []
+            for i, pattern in enumerate(patterns):
+                auto = decide_subgraph_isomorphism(
+                    graph, emb, pattern, seed=i, rounds=2,
+                    artifacts=provider, plan="auto",
+                )
+                regrets.append(
+                    auto.cost.brent_time(PROCESSORS) / best[i]
+                )
+            outcomes[label] = regrets
+        assert outcomes["seeded"][0] <= outcomes["uncalibrated"][0], (
+            f"priors worsened first-query regret: {outcomes}"
+        )
+        assert sum(outcomes["seeded"]) < sum(outcomes["uncalibrated"]), (
+            f"priors did not tighten cold-start regret: {outcomes}"
+        )
+        # The seeded cold half never pays an exploration spike.
+        assert max(outcomes["seeded"]) <= 1.25, (
+            f"seeded cold-start regret spike: {outcomes['seeded']}"
+        )
+
+    def test_prior_seeding_scales_each_engine_by_its_own_ratio(self):
+        """Each committed (mode, engine) prior seeds that engine's own
+        correction, and an engine absent from the priors still inherits
+        the mode-level mean through ``_mode_prior``."""
+        from repro.engine.planner import DEFAULT_PRIORS
+
+        seeded = CostModel()
+        bare = CostModel(priors={})
+        stats = _stats(1024, 4, 2, 13)
+        for engine in ("parallel", "sequential"):
+            w_prior, _ = DEFAULT_PRIORS[("decide", engine)]
+            est_seeded = seeded.estimate(stats, engine, warm=False)
+            est_bare = bare.estimate(stats, engine, warm=False)
+            assert est_seeded.work == pytest.approx(
+                int(est_bare.work * w_prior), rel=0.01
+            )
+        # An engine left out of the committed priors projects the mean.
+        partial = CostModel(priors={("decide", "sequential"): (1.5, 1.0)})
+        est_partial = partial.estimate(stats, "parallel", warm=False)
+        est_bare = bare.estimate(stats, "parallel", warm=False)
+        assert est_partial.work == pytest.approx(
+            int(est_bare.work * 1.5), rel=0.01
+        )
+
 
 class TestPlannerVsManualEquality:
     """plan='auto' must agree with the manual default run for every

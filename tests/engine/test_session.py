@@ -154,6 +154,26 @@ class TestKeySoundness:
         assert d["evictions"] == s.stats.evictions
         assert "evicted" in s.stats.format()
 
+    def test_invalidate_records_child_session_evictions(self):
+        """The ("subsession", fp) keys held in _children are derived keys
+        like any other: invalidate() must record them as evictions too, so
+        evictions == derived_keys() exactly (the pool's LRU accounts by
+        derived keys)."""
+        gg = wheel_graph(6)
+        emb, _ = embed_geometric(gg)
+        s = TargetSession(gg.graph, emb)
+        s.vertex_connectivity(seed=0, rounds=1)
+        held = s.derived_keys()
+        assert s._children, "vc should have built the G' sub-session"
+        # derived_keys counts the child keys themselves plus everything
+        # the children hold.
+        assert len(held) > len(s._cache)
+        s.invalidate()
+        assert s.stats.eviction_count == len(held)
+        assert s.stats.evictions.get("subsession", 0) == sum(
+            1 for key in held if key[0] == "subsession"
+        )
+
 
 class TestSessionEqualsOneShot:
     PATTERNS = [

@@ -1,0 +1,121 @@
+"""Shared-memory segment lifecycle: no ``/dev/shm`` leaks, whatever dies.
+
+The happy path unlinks each task's segment when its handle's ``result()``
+lands.  These tests pin the safety nets for every other exit: a worker
+killed mid-flight with the handle abandoned, a backend garbage-collected
+without ``close()``, and the module-level registry the ``atexit`` hook
+drains.
+"""
+
+import gc
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ColdArtifacts
+from repro.exec.backends import ProcessesBackend
+from repro.exec.shm import (
+    cleanup_segments,
+    live_segment_names,
+    pack_arrays,
+    shm_available,
+)
+from repro.exec.task import make_piece_task
+from repro.graphs import triangulated_grid
+from repro.isomorphism import cycle_pattern
+from repro.planar import embed_geometric
+from repro.pram import Tracer
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="no POSIX shared memory in this sandbox"
+)
+
+
+def _alive(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    gg = triangulated_grid(4, 4)
+    emb, _ = embed_geometric(gg)
+    pattern = cycle_pattern(4)
+    provider = ColdArtifacts(gg.graph, emb)
+    cover = provider.cover(pattern.k, pattern.diameter(), 3, Tracer("t"))
+    pieces = [p for p in cover.pieces if p.graph.n >= pattern.k]
+    assert pieces, "cover produced no solvable pieces"
+    return [
+        make_piece_task(
+            p, pattern, "decide", "subgraph", "sequential", "packed"
+        )
+        for p in pieces
+    ]
+
+
+def test_registry_tracks_pack_and_cleanup():
+    seg, _desc = pack_arrays({"a": np.arange(16, dtype=np.int64)})
+    name = seg.name
+    assert name in live_segment_names()
+    assert _alive(name)
+    # The atexit hook's function reclaims everything still registered.
+    assert cleanup_segments() >= 1
+    assert name not in live_segment_names()
+    assert not _alive(name)
+    # Idempotent on an empty registry.
+    assert cleanup_segments() == 0
+
+
+def test_worker_death_leaves_no_segments(tasks):
+    """SIGKILL the only worker with a task in flight and abandon the
+    handle: ``close()`` must still unlink every segment."""
+    backend = ProcessesBackend(max_workers=1, transport="shm")
+    try:
+        # First task spins the worker up and completes normally.
+        backend.submit(tasks[0]).result()
+        workers = list(backend._pool._processes.values())
+        assert workers
+        handle = backend.submit(tasks[0])  # noqa: F841 - abandoned on purpose
+        for proc in workers:
+            os.kill(proc.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10
+        while any(p.is_alive() for p in workers):
+            assert time.monotonic() < deadline, "worker refused to die"
+            time.sleep(0.01)
+        leaked = list(backend._outstanding)
+        assert leaked, "the in-flight task should have an outstanding segment"
+    finally:
+        backend.close()
+    assert not backend._outstanding
+    for name in leaked:
+        assert name not in live_segment_names()
+        assert not _alive(name)
+
+
+def test_backend_gc_without_close_unlinks_segments(tasks):
+    """Garbage-collecting a backend that was never ``close()``d must
+    trigger the ``weakref.finalize`` sweep."""
+    backend = ProcessesBackend(max_workers=1, transport="shm")
+    handle = backend.submit(tasks[0])
+    # Let the task finish, then abandon the handle without result():
+    # the happy-path cleanup never runs, the segment stays registered.
+    handle._future.result()
+    names = list(backend._outstanding)
+    assert names and all(_alive(n) for n in names)
+    backend._pool.shutdown(wait=True)
+    del handle, backend
+    gc.collect()
+    for name in names:
+        assert name not in live_segment_names()
+        assert not _alive(name)
+
+
+def test_happy_path_unlinks_on_result(tasks):
+    with ProcessesBackend(max_workers=1, transport="shm") as backend:
+        handles = [backend.submit(t) for t in tasks]
+        for h in handles:
+            h.result()
+        assert not backend._outstanding
+    assert cleanup_segments() == 0

@@ -135,6 +135,41 @@ class TestPrometheusMetrics:
             assert "repro_cache_saved_work 100" in text
             assert "repro_cache_built_work 100" in text
 
+    def test_multi_session_exposition_matches_golden_file(self):
+        """Two sessions' CacheStats in ONE exposition: each family header
+        appears exactly once, with one labeled sample per (session, kind)
+        — the render-per-session-and-concatenate approach duplicated the
+        # HELP/# TYPE headers, which real scrapers reject."""
+        from repro.engine.session import CacheStats
+
+        s1 = CacheStats()
+        s1.record_miss("cover", Cost(100, 10))
+        s1.record_hit("cover", Cost(100, 10))
+        s2 = CacheStats()
+        s2.record_miss("piece-dp", Cost(40, 4))
+        s2.record_eviction("piece-dp", 2)
+        text = prometheus_metrics(cache_stats={"t-a": s1, "t-b": s2})
+        golden = (GOLDEN / "prometheus_multisession.prom").read_text()
+        assert text == golden
+        # One shared family, two label sets, exactly one header pair.
+        assert text.count("# HELP repro_cache_misses_total ") == 1
+        assert text.count("# TYPE repro_cache_misses_total ") == 1
+        assert (
+            'repro_cache_misses_total{kind="cover",session="t-a"} 1'
+            in text
+        )
+        assert (
+            'repro_cache_misses_total{kind="piece-dp",session="t-b"} 1'
+            in text
+        )
+        # Headers always precede their samples.
+        seen_sample: set = set()
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.split()[2] not in seen_sample
+            else:
+                seen_sample.add(line.split("{")[0].split(" ")[0])
+
     def test_label_escaping(self):
         tracer = Tracer('we"ird\\phase\nname')
         tracer.charge(Cost(5, 1))

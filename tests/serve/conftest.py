@@ -1,0 +1,73 @@
+"""Shared harness for the query-service tests: an in-process daemon on
+an ephemeral port (real sockets, real HTTP framing) plus a tiny client.
+"""
+
+import asyncio
+import contextlib
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve import QueryServer
+
+
+@contextlib.contextmanager
+def running_server(**kwargs):
+    """Run a :class:`QueryServer` on its own event-loop thread.
+
+    Yields the server (its ``.port`` is the ephemeral bound port); tears
+    it down through the graceful-drain path on exit.
+    """
+    holder = {}
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            server = QueryServer(port=0, **kwargs)
+            await server.start()
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            ready.set()
+            await server.serve_forever()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(30), "server did not come up"
+    try:
+        yield holder["server"]
+    finally:
+        holder["loop"].call_soon_threadsafe(
+            holder["server"].request_shutdown
+        )
+        thread.join(60)
+        assert not thread.is_alive(), "server did not drain"
+
+
+def request(port, method, path, payload=None, timeout=120):
+    """One HTTP request against the daemon; returns (status, body).
+
+    ``body`` is parsed JSON for ``application/json`` responses, raw text
+    otherwise (``/metrics``).
+    """
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        raw = resp.read()
+        if resp.getheader("Content-Type", "").startswith("application/json"):
+            return resp.status, json.loads(raw)
+        return resp.status, raw.decode()
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def server():
+    """A fresh default-configuration daemon per test."""
+    with running_server() as srv:
+        yield srv

@@ -1,0 +1,117 @@
+"""The strict Prometheus text parser: accepts the grammar, rejects the
+classic exposition bugs (the very ones satellite 3 fixed in the writer).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.serve.metrics import parse_prometheus_text
+
+GOLDEN = (
+    pathlib.Path(__file__).parent.parent
+    / "pram" / "golden" / "prometheus_multisession.prom"
+)
+
+VALID = (
+    "# HELP repro_hits_total Cache hits.\n"
+    "# TYPE repro_hits_total counter\n"
+    'repro_hits_total{session="abc"} 3\n'
+    'repro_hits_total{session="def"} 1\n'
+    "# HELP repro_resident Resident sessions.\n"
+    "# TYPE repro_resident gauge\n"
+    "repro_resident 2\n"
+)
+
+
+def test_accepts_valid_exposition():
+    families = parse_prometheus_text(VALID)
+    assert set(families) == {"repro_hits_total", "repro_resident"}
+    assert families["repro_hits_total"] == [
+        ({"session": "abc"}, 3.0),
+        ({"session": "def"}, 1.0),
+    ]
+    assert families["repro_resident"] == [({}, 2.0)]
+
+
+def test_accepts_the_committed_golden_file():
+    families = parse_prometheus_text(GOLDEN.read_text())
+    assert families, "golden exposition parsed to nothing"
+
+
+def test_rejects_missing_trailing_newline():
+    with pytest.raises(ValueError, match="newline"):
+        parse_prometheus_text(VALID.rstrip("\n"))
+    with pytest.raises(ValueError, match="empty"):
+        parse_prometheus_text("")
+
+
+def test_rejects_duplicate_headers():
+    # The pre-fix MetricsWriter emitted one HELP/TYPE pair per *sample*;
+    # a strict scraper refuses the duplicate header.
+    dup = VALID + (
+        "# HELP repro_hits_total Cache hits.\n"
+        "# TYPE repro_hits_total counter\n"
+        'repro_hits_total{session="ghi"} 9\n'
+    )
+    with pytest.raises(ValueError, match="duplicate HELP"):
+        parse_prometheus_text(dup)
+
+
+def test_rejects_sample_before_headers():
+    with pytest.raises(ValueError, match="before its headers"):
+        parse_prometheus_text("repro_hits_total 3\n")
+
+
+def test_rejects_type_not_following_help():
+    text = (
+        "# HELP a First.\n"
+        "# HELP b Second.\n"
+        "# TYPE a counter\n"
+        "a 1\n"
+    )
+    with pytest.raises(ValueError, match="directly follow"):
+        parse_prometheus_text(text)
+
+
+def test_rejects_unknown_type():
+    text = "# HELP a A.\n# TYPE a tally\na 1\n"
+    with pytest.raises(ValueError, match="unknown type"):
+        parse_prometheus_text(text)
+
+
+def test_rejects_interleaved_family_blocks():
+    text = (
+        "# HELP a A.\n# TYPE a counter\n"
+        "a 1\n"
+        "# HELP b B.\n# TYPE b counter\n"
+        "b 1\n"
+        "a 2\n"
+    )
+    with pytest.raises(ValueError, match="outside its"):
+        parse_prometheus_text(text)
+
+
+def test_rejects_duplicate_label_sets():
+    text = (
+        "# HELP a A.\n# TYPE a counter\n"
+        'a{x="1"} 1\n'
+        'a{x="1"} 2\n'
+    )
+    with pytest.raises(ValueError, match="duplicate label set"):
+        parse_prometheus_text(text)
+
+
+def test_rejects_malformed_samples_and_labels():
+    for bad in (
+        "# HELP a A.\n# TYPE a counter\na one\n",
+        "# HELP a A.\n# TYPE a counter\na{x=1} 1\n",
+        '# HELP a A.\n# TYPE a counter\na{x="1" y="2"} 1\n',
+    ):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+
+def test_rejects_help_without_type():
+    with pytest.raises(ValueError, match="no TYPE"):
+        parse_prometheus_text("# HELP a A.\n")

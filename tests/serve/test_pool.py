@@ -1,0 +1,103 @@
+"""SessionPool unit tests: sizing, fingerprint keying, LRU eviction and
+its artifact accounting (the eviction counters satellite 1 fixed must
+surface through the pool).
+"""
+
+import numpy as np
+
+from repro import cli
+from repro.serve.pool import SessionPool, estimate_nbytes
+
+
+def _run_query(pooled, pattern="cycle:4"):
+    graph = cli.parse_pattern(pattern)
+    with pooled.lock:
+        result = pooled.session.find_occurrence(graph, seed=0, plan="auto")
+    return result
+
+
+def test_estimate_nbytes_counts_arrays_once():
+    arr = np.zeros(1024, dtype=np.int64)
+    assert estimate_nbytes(arr) >= arr.nbytes
+    # Identity-level dedup: the same buffer reachable twice costs once.
+    single = estimate_nbytes({"a": arr})
+    double = estimate_nbytes({"a": arr, "b": arr})
+    assert double < 2 * single
+    assert estimate_nbytes([arr, {"x": (1, 2.5, "s")}]) >= arr.nbytes
+
+
+def test_acquire_is_keyed_by_fingerprint_not_spec():
+    pool = SessionPool(max_bytes=1 << 30)
+    a = pool.acquire("grid:4x4")
+    b = pool.acquire("grid:4x4")
+    assert a is b
+    assert pool.session_builds == 1
+    assert pool.session_hits == 1
+    assert len(pool) == 1
+    assert a.fingerprint in pool
+
+
+def test_touch_refreshes_size_and_marks_mru():
+    pool = SessionPool(max_bytes=1 << 30)
+    a = pool.acquire("grid:4x4")
+    b = pool.acquire("grid:5x5")
+    assert a.nbytes == 0
+    _run_query(a)
+    pool.touch(a)
+    assert a.nbytes > 0
+    assert pool.bytes_resident() >= a.nbytes
+    # a was touched last, so b is now least-recently-used.
+    assert pool.resident()[0] is b
+    assert pool.resident()[-1] is a
+
+
+def test_lru_eviction_under_tiny_budget():
+    # A 1-byte budget means every touch evicts everything except the
+    # session that just answered — the deterministic worst case.
+    pool = SessionPool(max_bytes=1)
+    a = pool.acquire("grid:4x4")
+    _run_query(a)
+    pool.touch(a)
+    assert len(pool) == 1  # the in-use session is never evicted
+
+    b = pool.acquire("grid:5x5")
+    _run_query(b)
+    pool.touch(b)
+    assert len(pool) == 1
+    assert b.fingerprint in pool
+    assert a.fingerprint not in pool
+    assert pool.sessions_evicted == 1
+    # Eviction went through TargetSession.invalidate, so the dropped
+    # artifacts were counted (satellite 1's accounting fix).
+    assert pool.artifacts_evicted > 0
+
+    # The spec memo was purged with the session: re-acquiring rebuilds.
+    builds = pool.session_builds
+    a2 = pool.acquire("grid:4x4")
+    assert a2 is not a
+    assert pool.session_builds == builds + 1
+
+
+def test_eviction_skips_locked_sessions():
+    pool = SessionPool(max_bytes=1)
+    a = pool.acquire("grid:4x4")
+    _run_query(a)
+    b = pool.acquire("grid:5x5")
+    _run_query(b)
+    with a.lock:  # a is mid-query on another thread
+        pool.touch(b)
+        assert a.fingerprint in pool  # over budget, but not evictable
+    pool.touch(b)
+    assert a.fingerprint not in pool  # lock released: LRU drops it
+
+
+def test_close_drops_everything_with_accounting():
+    pool = SessionPool(max_bytes=1 << 30)
+    for spec in ("grid:4x4", "grid:5x5"):
+        _run_query(pool.acquire(spec))
+    pool.close()
+    assert len(pool) == 0
+    assert pool.bytes_resident() == 0
+    assert pool.sessions_evicted == 2
+    assert pool.artifacts_evicted > 0
+    assert list(pool.iter_stats()) == []
